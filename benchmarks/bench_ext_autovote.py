@@ -1,0 +1,68 @@
+"""Extension experiment: automatic voting-method selection (§5.4).
+
+Calibrates every voting method on a held-out dev split per model profile,
+commits to the per-model winner, and evaluates on the test split — the
+baseline solution to the future-work problem the paper poses ("there
+isn't a universally optimal majority voting mechanism applicable to every
+model").
+"""
+
+from harness import DATASET_SEED, benchmark_for, model_for, scale
+
+from repro.core import AutoVotingAgent, make_voter
+from repro.datasets import generate_dataset
+from repro.evalkit import evaluate_agent
+from repro.llm import SimulatedTQAModel, get_profile
+from repro.reporting import ComparisonTable, save_result
+
+PROFILES = ("codex-sim", "davinci-sim", "turbo-sim")
+
+
+def run_experiment():
+    test = benchmark_for("wikitq")
+    dev = generate_dataset("wikitq", size=max(80, scale() // 3),
+                           seed=DATASET_SEED + 2, bank=test.bank)
+    measured = {}
+    for profile_name in PROFILES:
+        profile = get_profile(profile_name)
+
+        def factory(profile=profile):
+            return SimulatedTQAModel(test.bank, profile, seed=1)
+
+        agent = AutoVotingAgent(factory, dev, n=5)
+        test_accuracy = evaluate_agent(agent, test).accuracy
+        greedy_accuracy = evaluate_agent(
+            make_voter("none", factory()), test).accuracy
+        measured[profile_name] = {
+            "chosen": agent.selection.chosen,
+            "dev": agent.selection.dev_accuracy,
+            "test": test_accuracy,
+            "greedy_test": greedy_accuracy,
+        }
+    return measured
+
+
+def test_ext_autovote(benchmark):
+    measured = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    def fmt(value):
+        return value if isinstance(value, str) else f"{value * 100:.1f}%"
+
+    table = ComparisonTable(
+        "Extension: automatic voting-method selection (WikiTQ)",
+        value_formatter=fmt)
+    for profile_name, result in measured.items():
+        table.section(profile_name)
+        table.row("chosen method", None, result["chosen"])
+        table.row("test accuracy (auto)", None, result["test"])
+        table.row("test accuracy (greedy)", None,
+                  result["greedy_test"])
+    table.print()
+    save_result("ext_autovote", table.render())
+
+    for profile_name, result in measured.items():
+        # The calibrated choice must not lose badly to plain greedy.
+        assert result["test"] > result["greedy_test"] - 0.04, \
+            f"{profile_name}: auto-selected voting regressed vs greedy"
+    # e-vote can never be chosen for the chat profile (no log-probs).
+    assert "e-vote" not in measured["turbo-sim"]["dev"]

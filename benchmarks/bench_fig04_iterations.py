@@ -1,0 +1,56 @@
+"""Figure 4 — distribution of the number of iterations (all 3 datasets).
+
+Paper shape: with unlimited iterations, every question resolves within
+five iterations and over 70% resolve within two, across WikiTQ, TabFact
+and FeTaQA (run with *ReAcTable with s-vote*, as in the paper).
+"""
+
+from harness import benchmark_for, model_for
+
+from repro.core import SimpleMajorityVoting
+from repro.evalkit import evaluate_agent
+from repro.reporting import save_result
+from repro.reporting.paper import FIGURE4_ITERATIONS
+
+
+def run_experiment() -> dict[str, dict[int, int]]:
+    histograms = {}
+    for dataset in ("wikitq", "tabfact", "fetaqa"):
+        bench = benchmark_for(dataset)
+        agent = SimpleMajorityVoting(model_for(bench), n=5)
+        report = evaluate_agent(agent, bench)
+        histograms[dataset] = dict(sorted(
+            report.iteration_histogram.items()))
+    return histograms
+
+
+def _render(histograms: dict[str, dict[int, int]]) -> str:
+    lines = ["Figure 4: distribution of the number of iterations",
+             "=" * 51]
+    for dataset, histogram in histograms.items():
+        total = sum(histogram.values())
+        lines.append(f"\n({dataset})")
+        for iterations in range(1, max(histogram) + 1):
+            count = histogram.get(iterations, 0)
+            share = count / total
+            bar = "#" * round(share * 50)
+            lines.append(
+                f"  {iterations} iterations: {share:6.1%} {bar}")
+    return "\n".join(lines)
+
+
+def test_fig04_iterations(benchmark):
+    histograms = benchmark.pedantic(run_experiment, rounds=1,
+                                    iterations=1)
+    text = _render(histograms)
+    print()
+    print(text)
+    save_result("fig04_iterations", text)
+
+    for dataset, histogram in histograms.items():
+        total = sum(histogram.values())
+        within_two = (histogram.get(1, 0) + histogram.get(2, 0)) / total
+        assert within_two > FIGURE4_ITERATIONS["share_within_two"], \
+            f"{dataset}: >70% of questions must resolve within 2 iterations"
+        assert max(histogram) <= FIGURE4_ITERATIONS["max_iterations"], \
+            f"{dataset}: all questions must resolve within 5 iterations"

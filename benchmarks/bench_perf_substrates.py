@@ -1,0 +1,95 @@
+"""Micro-benchmarks for the substrates (pytest-benchmark timing runs).
+
+Not a paper experiment — these keep the from-scratch substrates honest:
+query latency of the native SQL engine vs SQLite, DataFrame operator
+throughput, and full agent-chain latency.
+"""
+
+import random
+
+import pytest
+
+from harness import benchmark_for, model_for
+
+from repro.core import ReActTableAgent
+from repro.executors.sql_executor import run_sqlite_query
+from repro.sqlengine import execute_sql
+from repro.table import DataFrame, group_by, sort_by
+
+
+def _large_frame(rows: int = 2000) -> DataFrame:
+    rng = random.Random(5)
+    return DataFrame({
+        "id": list(range(rows)),
+        "bucket": [rng.choice("abcdefgh") for _ in range(rows)],
+        "value": [rng.randint(0, 10_000) for _ in range(rows)],
+        "label": [f"row {i} ({rng.choice('XYZ')})"
+                  for i in range(rows)],
+    }, name="T0")
+
+
+GROUP_SQL = ("SELECT bucket, COUNT(*), SUM(value) FROM T0 "
+             "WHERE value > 5000 GROUP BY bucket "
+             "ORDER BY COUNT(*) DESC")
+
+
+@pytest.fixture(scope="module")
+def frame():
+    return _large_frame()
+
+
+def test_perf_native_engine_group_query(benchmark, frame):
+    catalog = {"T0": frame}
+    result = benchmark(lambda: execute_sql(GROUP_SQL, catalog))
+    assert result.num_rows == 8
+
+
+def test_perf_sqlite_backend_group_query(benchmark, frame):
+    catalog = {"T0": frame}
+    result = benchmark(lambda: run_sqlite_query(GROUP_SQL, catalog))
+    assert result.num_rows == 8
+
+
+def test_perf_dataframe_sort(benchmark, frame):
+    result = benchmark(lambda: sort_by(frame, ["value"],
+                                       descending=True))
+    assert result.cell(0, "value") >= result.cell(1, "value")
+
+
+def test_perf_dataframe_group(benchmark, frame):
+    result = benchmark(
+        lambda: group_by(frame, ["bucket"]).aggregate(
+            [("sum", "value", "total")]))
+    assert result.num_rows == 8
+
+
+def test_perf_dataframe_apply(benchmark, frame):
+    column = benchmark(
+        lambda: frame.apply(lambda row: row["label"][-2], axis=1))
+    assert len(column) == frame.num_rows
+
+
+def test_perf_codec_roundtrip(benchmark, frame):
+    from repro.table import decode_head_row, encode_head_row
+
+    def roundtrip():
+        return decode_head_row(encode_head_row(frame, max_rows=200))
+
+    result = benchmark(roundtrip)
+    assert result.num_rows == 200
+
+
+def test_perf_full_agent_chain(benchmark):
+    bench = benchmark_for("wikitq", size=40)
+    model = model_for(bench)
+    agent = ReActTableAgent(model)
+    examples = bench.examples
+    state = {"i": 0}
+
+    def one_chain():
+        example = examples[state["i"] % len(examples)]
+        state["i"] += 1
+        return agent.run(example.table, example.question)
+
+    result = benchmark(one_chain)
+    assert result.iterations >= 1

@@ -1,0 +1,53 @@
+"""Table 10 — WikiTQ across the three GPT-series model profiles.
+
+Paper shape: codex > davinci > turbo; e-vote is N.A. for the turbo profile
+(no log-probabilities); for davinci, execution-based voting is the best
+configuration; for turbo, s-vote does not help.
+"""
+
+from harness import accuracy_suite, benchmark_for
+
+from repro.reporting import ComparisonTable, save_result
+from repro.reporting.paper import TABLE10_MODELS_WIKITQ
+
+_PROFILE_FOR = {
+    "code-davinci-002": "codex-sim",
+    "text-davinci-003": "davinci-sim",
+    "gpt3.5-turbo": "turbo-sim",
+}
+
+
+def run_experiment() -> dict[str, dict[str, float | None]]:
+    bench = benchmark_for("wikitq")
+    return {
+        paper_name: accuracy_suite(bench, profile)
+        for paper_name, profile in _PROFILE_FOR.items()
+    }
+
+
+def test_table10_models_wikitq(benchmark):
+    measured = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    table = ComparisonTable(
+        "Table 10: WikiTQ across GPT-series models")
+    keys = {"ReAcTable": "greedy", "with s-vote": "s-vote",
+            "with t-vote": "t-vote", "with e-vote": "e-vote"}
+    for paper_name, rows in TABLE10_MODELS_WIKITQ.items():
+        table.section(f"{paper_name} ({_PROFILE_FOR[paper_name]})")
+        for label, config in keys.items():
+            table.row(label, rows[label],
+                      measured[paper_name][config])
+    table.print()
+    save_result("table10_models_wikitq", table.render())
+
+    codex = measured["code-davinci-002"]
+    davinci = measured["text-davinci-003"]
+    turbo = measured["gpt3.5-turbo"]
+    assert codex["greedy"] > davinci["greedy"] > turbo["greedy"], \
+        "model ordering must hold: codex > davinci > turbo"
+    assert turbo["e-vote"] is None, \
+        "e-vote must be N.A. without log-probabilities"
+    assert davinci["e-vote"] >= davinci["greedy"], \
+        "e-vote must help the davinci profile"
+    assert turbo["s-vote"] <= turbo["greedy"] + 0.02, \
+        "s-vote must not help the turbo profile on WikiTQ"

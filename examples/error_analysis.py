@@ -1,0 +1,46 @@
+"""Error analysis and chain tracing over a WikiTQ-style benchmark.
+
+Shows the observability layer: every reasoning chain is traced
+(prompts, actions, executions, recoveries) and every outcome is
+classified and sliced by question template and table domain.
+
+Run with::
+
+    python examples/error_analysis.py
+"""
+
+from repro import ReActTableAgent, SimulatedTQAModel, generate_dataset
+from repro.reporting.analysis import analyze_agent
+from repro.tracing import ChainTracer
+
+
+def main() -> None:
+    benchmark = generate_dataset("wikitq", size=120, seed=23)
+    tracer = ChainTracer()
+    model = SimulatedTQAModel(benchmark.bank, seed=2)
+    agent = ReActTableAgent(model, tracer=tracer)
+
+    report = analyze_agent(agent, benchmark)
+    print(report.render())
+
+    print("\nhardest templates:", ", ".join(report.hardest_templates()))
+
+    counts = tracer.counts()
+    executions = counts.get("execution", 0)
+    recoveries = counts.get("recovery", 0)
+    print(f"\ntrace: {len(tracer)} events across "
+          f"{len(tracer.chains())} chains")
+    print(f"  prompts sent      : {counts.get('prompt', 0)}")
+    print(f"  code executions   : {executions}")
+    print(f"  handler recoveries: {recoveries}")
+
+    # A sample failed chain, end to end.
+    failed = next((o for o in report.outcomes
+                   if o.outcome == "wrong_answer"), None)
+    if failed is not None:
+        print(f"\nsample miss ({failed.template_id}): predicted "
+              f"{failed.predicted} vs gold {failed.gold}")
+
+
+if __name__ == "__main__":
+    main()

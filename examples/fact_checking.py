@@ -1,0 +1,55 @@
+"""TabFact-style fact verification with ReAcTable.
+
+Generates a fact-checking benchmark, runs the agent with and without the
+Python executor, and shows the per-claim verdicts — the Section 4.3.3
+executor ablation in miniature.
+
+Run with::
+
+    python examples/fact_checking.py
+"""
+
+from repro import (
+    ReActTableAgent,
+    SimulatedTQAModel,
+    evaluate_agent,
+    generate_dataset,
+    sql_only_registry,
+)
+
+
+def main() -> None:
+    benchmark = generate_dataset("tabfact", size=60, seed=13)
+    print(f"{len(benchmark)} claims; "
+          f"{benchmark.python_affine_share():.0%} need string "
+          f"reformatting (Python-affine)\n")
+
+    model = SimulatedTQAModel(benchmark.bank, seed=5)
+    agent = ReActTableAgent(model)
+
+    print("--- sample verdicts ---")
+    for example in benchmark.examples[:6]:
+        result = agent.run(example.table, example.question)
+        verdict = result.answer_text or "?"
+        gold = example.gold_answer[0]
+        flag = "OK " if verdict == gold else "MISS"
+        print(f"[{flag}] \"{example.question}\"")
+        print(f"       predicted {verdict!r}, gold {gold!r}, "
+              f"{result.iterations} iterations")
+    print()
+
+    full = evaluate_agent(
+        ReActTableAgent(SimulatedTQAModel(benchmark.bank, seed=5)),
+        benchmark)
+    sql_only = evaluate_agent(
+        ReActTableAgent(SimulatedTQAModel(benchmark.bank, seed=5),
+                        registry=sql_only_registry()),
+        benchmark)
+    print("--- executor ablation (Table 9 in miniature) ---")
+    print(f"  SQL + Python : {full.accuracy:.1%}")
+    print(f"  SQL only     : {sql_only.accuracy:.1%}")
+    print("  (the paper reports 83.1% vs 75.4% at full scale)")
+
+
+if __name__ == "__main__":
+    main()

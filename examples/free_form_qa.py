@@ -1,0 +1,43 @@
+"""FeTaQA-style free-form answering, scored with ROUGE.
+
+Run with::
+
+    python examples/free_form_qa.py
+"""
+
+from repro import ReActTableAgent, SimulatedTQAModel, generate_dataset
+from repro.evalkit import rouge_suite
+
+
+def main() -> None:
+    benchmark = generate_dataset("fetaqa", size=30, seed=19)
+    model = SimulatedTQAModel(benchmark.bank, seed=3)
+    agent = ReActTableAgent(model)
+
+    totals = {"rouge1": 0.0, "rouge2": 0.0, "rougeL": 0.0}
+    shown = 0
+    for example in benchmark.examples:
+        result = agent.run(example.table, example.question)
+        candidate = result.answer[0] if result.answer else ""
+        reference = example.gold_answer[0]
+        scores = rouge_suite(candidate, reference)
+        for key in totals:
+            totals[key] += scores[key]
+        if shown < 5:
+            shown += 1
+            print(f"Q: {example.question}")
+            print(f"   gold      : {reference}")
+            print(f"   predicted : {candidate}")
+            print(f"   ROUGE-1/2/L: "
+                  f"{scores['rouge1']:.2f} / {scores['rouge2']:.2f} / "
+                  f"{scores['rougeL']:.2f}\n")
+
+    n = len(benchmark)
+    print("--- corpus ROUGE (Table 3 in miniature) ---")
+    print(f"  ROUGE-1: {totals['rouge1'] / n:.2f}   (paper: 0.71)")
+    print(f"  ROUGE-2: {totals['rouge2'] / n:.2f}   (paper: 0.46)")
+    print(f"  ROUGE-L: {totals['rougeL'] / n:.2f}   (paper: 0.61)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Multi-table queries: the building block for the paper's future work.
+
+Section 5.4 of the paper: "we currently focus on scenarios where the
+input is a single relational table ... ReAcTable has the potential to be
+extended for use with multiple tables".  The SQL substrate here already
+supports that extension: the native engine (and the SQLite backend)
+executes INNER/LEFT JOINs across a catalog of tables, with qualified and
+bare column resolution.
+
+This example answers a question that *requires* a join, driving the SQL
+executor directly (the agent's prompt format is single-table, as in the
+paper).
+
+Run with::
+
+    python examples/multi_table.py
+"""
+
+from repro.sqlengine import NativeSQLEngine
+from repro.table import DataFrame, to_markdown
+
+
+def main() -> None:
+    race_results = DataFrame({
+        "Rank": [1, 2, 3, 4, 5, 6],
+        "Cyclist": ["Valverde", "Kolobnev", "Rebellin", "Bettini",
+                    "Pellizotti", "Menchov"],
+        "Team": ["Caisse d'Epargne", "CSC Saxo Bank", "Gerolsteiner",
+                 "Quick Step", "Liquigas", "Rabobank"],
+        "Points": [40, 30, 25, 20, 15, 11],
+    }, name="results")
+    team_registry = DataFrame({
+        "Team": ["Caisse d'Epargne", "CSC Saxo Bank", "Gerolsteiner",
+                 "Quick Step", "Liquigas", "Rabobank"],
+        "Country": ["Spain", "Denmark", "Germany", "Belgium", "Italy",
+                    "Netherlands"],
+        "Founded": [1990, 1998, 1982, 2003, 2005, 1984],
+    }, name="teams")
+
+    print(to_markdown(race_results))
+    print()
+    print(to_markdown(team_registry))
+
+    engine = NativeSQLEngine({
+        "results": race_results,
+        "teams": team_registry,
+    })
+
+    question = ("which country's teams accumulated the most points "
+                "in the race?")
+    sql = (
+        "SELECT t.Country, SUM(r.Points) AS total "
+        "FROM results r JOIN teams t ON r.Team = t.Team "
+        "GROUP BY t.Country ORDER BY total DESC LIMIT 1"
+    )
+    print(f"\nQ: {question}")
+    print(f"SQL: {sql}")
+    print("->", engine.query(sql).to_rows())
+
+    question = "which riders race for teams founded before 1990?"
+    sql = (
+        "SELECT r.Cyclist, t.Founded "
+        "FROM results r JOIN teams t ON r.Team = t.Team "
+        "WHERE t.Founded < 1990 ORDER BY t.Founded"
+    )
+    print(f"\nQ: {question}")
+    print(f"SQL: {sql}")
+    for cyclist, founded in engine.query(sql).to_rows():
+        print(f"   {cyclist} (team founded {founded})")
+
+
+if __name__ == "__main__":
+    main()

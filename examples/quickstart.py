@@ -1,0 +1,40 @@
+"""Quickstart: answer one table question with the ReAcTable agent.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import ReActTableAgent, SimulatedTQAModel, generate_dataset
+
+
+def main() -> None:
+    # 1. Generate a small WikiTQ-style benchmark.  Every example carries a
+    #    table, a natural-language question and a gold answer; the bank is
+    #    the simulated model's "pre-training corpus".
+    benchmark = generate_dataset("wikitq", size=25, seed=42)
+
+    # 2. Build the agent: a simulated Codex-class model plus the default
+    #    SQL + Python executor registry.
+    model = SimulatedTQAModel(benchmark.bank, seed=7)
+    agent = ReActTableAgent(model)
+
+    # 3. Answer a few questions and show the reasoning chains.
+    correct = 0
+    for example in benchmark.examples[:8]:
+        result = agent.run(example.table, example.question)
+        verdict = "OK " if result.answer == example.gold_answer else "MISS"
+        correct += verdict == "OK "
+        print(f"[{verdict}] {example.question}")
+        for step in result.transcript.steps:
+            label = step.action.kind.upper()
+            snippet = step.action.payload.replace("\n", " ")[:64]
+            print(f"       {label}: {snippet}")
+        print(f"       -> {result.answer_text} "
+              f"(gold: {'|'.join(example.gold_answer)}, "
+              f"{result.iterations} iterations)\n")
+    print(f"{correct}/8 correct")
+
+
+if __name__ == "__main__":
+    main()

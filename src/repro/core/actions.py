@@ -1,0 +1,96 @@
+"""LLM action parsing.
+
+Every ReAcTable completion is one of three actions (Section 3.1)::
+
+    ReAcTable: SQL: ```SELECT ... ```.
+    ReAcTable: Python: ```df['x'] = ... ```.
+    ReAcTable: Answer: ```Italy```.
+
+The parser is forgiving about the ``ReAcTable:`` prefix, code-fence style
+and trailing punctuation, since real models vary in all three.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ActionParseError
+
+__all__ = ["Action", "ActionKind", "parse_action", "format_action"]
+
+
+class ActionKind:
+    SQL = "sql"
+    PYTHON = "python"
+    ANSWER = "answer"
+
+
+@dataclass(frozen=True)
+class Action:
+    """One parsed LLM action."""
+
+    kind: str       # ActionKind value, or another registered language tag
+    payload: str    # the code, or the answer text
+
+    @property
+    def is_code(self) -> bool:
+        return self.kind != ActionKind.ANSWER
+
+    @property
+    def answer_values(self) -> list[str]:
+        """Answer payload split on '|', the WikiTQ list-answer convention."""
+        if self.kind != ActionKind.ANSWER:
+            raise ActionParseError("not an answer action")
+        return [part.strip() for part in self.payload.split("|")]
+
+
+_ACTION_RE = re.compile(
+    r"^\s*(?:ReAcTable\s*:\s*)?(?P<kind>[A-Za-z_][A-Za-z0-9_]*)\s*:\s*"
+    r"(?P<body>.*)$",
+    re.DOTALL,
+)
+_FENCE_RE = re.compile(r"```(?:[a-zA-Z]*\n)?(.*?)```", re.DOTALL)
+
+_KIND_ALIASES = {
+    "sql": ActionKind.SQL,
+    "sqlite": ActionKind.SQL,
+    "python": ActionKind.PYTHON,
+    "py": ActionKind.PYTHON,
+    "pandas": ActionKind.PYTHON,
+    "answer": ActionKind.ANSWER,
+    "final": ActionKind.ANSWER,
+}
+
+
+def parse_action(completion: str) -> Action:
+    """Parse one LLM completion into an :class:`Action`.
+
+    Raises :class:`ActionParseError` for completions with no recognisable
+    action head — the agent treats those through its generic exception
+    path.
+    """
+    text = completion.strip()
+    match = _ACTION_RE.match(text)
+    if not match:
+        raise ActionParseError(
+            f"completion has no action head: {text[:80]!r}")
+    raw_kind = match.group("kind").lower()
+    kind = _KIND_ALIASES.get(raw_kind, raw_kind)
+    body = match.group("body").strip()
+    fence = _FENCE_RE.search(body)
+    payload = fence.group(1) if fence else body
+    payload = payload.strip().rstrip(".").strip()
+    if not payload:
+        raise ActionParseError(f"empty payload in action: {text[:80]!r}")
+    return Action(kind=kind, payload=payload)
+
+
+def format_action(action: Action) -> str:
+    """Render an action the way it appears in prompts (Figure 2)."""
+    label = {
+        ActionKind.SQL: "SQL",
+        ActionKind.PYTHON: "Python",
+        ActionKind.ANSWER: "Answer",
+    }.get(action.kind, action.kind.capitalize())
+    return f"ReAcTable: {label}: ```{action.payload}```."

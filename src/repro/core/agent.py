@@ -1,0 +1,184 @@
+"""The ReAcTable agent loop (Section 3.1) with exception handling (3.3).
+
+One :meth:`ReActTableAgent.run` call answers one question: it iterates
+prompt → LLM → action → executor until the model answers directly, handling
+executor exceptions per the paper:
+
+* SQL errors retry over previous tables (inside :class:`SQLExecutor`);
+* missing Python modules are installed at runtime (inside
+  :class:`PythonExecutor`);
+* any other failure **forces** the model to answer by appending the leading
+  word ``Answer`` to the prompt.
+
+An optional ``max_iterations`` cap reproduces the Table 7 experiment: at
+the limit the model is forced to answer the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.actions import Action, ActionKind, parse_action
+from repro.core.prompt import PromptBuilder, Transcript, TranscriptStep
+from repro.errors import ActionParseError, ExecutionError, IterationLimitError
+from repro.executors.registry import ExecutorRegistry, default_registry
+from repro.llm.base import LanguageModel
+from repro.table.frame import DataFrame
+
+__all__ = ["AgentResult", "ReActTableAgent"]
+
+#: Safety net against non-terminating chains, above any realistic limit.
+HARD_ITERATION_CAP = 24
+
+
+def _normalize_table_columns(table: DataFrame) -> DataFrame:
+    from repro.table.schema import dedupe_column_names, normalize_column_name
+
+    normalized = dedupe_column_names(
+        [normalize_column_name(name) for name in table.columns])
+    return table.rename(dict(zip(table.columns, normalized)))
+
+
+@dataclass
+class AgentResult:
+    """Everything one chain produced."""
+
+    answer: list[str]                 # predicted answer values
+    transcript: Transcript
+    iterations: int                   # LLM calls made (code steps + answer)
+    forced: bool = False              # answer was forced by error/limit
+    handling_events: list[str] = field(default_factory=list)
+
+    @property
+    def answer_text(self) -> str:
+        return "|".join(self.answer)
+
+
+class ReActTableAgent:
+    """The ReAcTable framework without voting (Algorithm 1's inner loop)."""
+
+    def __init__(self, model: LanguageModel, *,
+                 registry: ExecutorRegistry | None = None,
+                 prompt_builder: PromptBuilder | None = None,
+                 max_iterations: int | None = None,
+                 temperature: float = 0.0,
+                 few_shot_selector=None,
+                 tracer=None,
+                 normalize_columns: bool = False):
+        self.model = model
+        self.registry = registry or default_registry()
+        languages = tuple(self.registry.languages)
+        self.prompt_builder = prompt_builder or PromptBuilder(
+            languages=languages)
+        if max_iterations is not None and max_iterations < 1:
+            raise IterationLimitError("max_iterations must be >= 1")
+        self.max_iterations = max_iterations
+        self.temperature = temperature
+        #: Optional :class:`repro.core.fewshot.FewShotSelector` — when
+        #: set, demonstrations are retrieved per question instead of the
+        #: static block (the §5.4 extension).
+        self.few_shot_selector = few_shot_selector
+        #: Optional :class:`repro.tracing.ChainTracer` for observability.
+        self.tracer = tracer
+        #: The Section 3.3 mitigation: normalise T0's column names
+        #: (spaces, leading digits, special characters) before the chain,
+        #: so generated SQL never trips over exotic headers.  Off by
+        #: default — it changes the table the model sees.
+        self.normalize_columns = normalize_columns
+
+    def _builder_for(self, question: str) -> PromptBuilder:
+        if self.few_shot_selector is None:
+            return self.prompt_builder
+        return PromptBuilder(
+            few_shot=self.few_shot_selector.few_shot_text(question),
+            languages=self.prompt_builder.languages,
+            max_prompt_rows=self.prompt_builder.max_prompt_rows)
+
+    def run(self, table: DataFrame, question: str) -> AgentResult:
+        """Answer ``question`` over ``table`` with one reasoning chain."""
+        prompt_builder = self._builder_for(question)
+        if self.normalize_columns:
+            table = _normalize_table_columns(table)
+        transcript = Transcript(table.with_name("T0"), question)
+        if self.tracer is not None:
+            self.tracer.start_chain(question)
+        events: list[str] = []
+        iterations = 0
+        forced = False
+        while True:
+            iterations += 1
+            at_limit = (
+                (self.max_iterations is not None
+                 and iterations >= self.max_iterations)
+                or iterations >= HARD_ITERATION_CAP
+            )
+            prompt = prompt_builder.build(
+                transcript, force_answer=forced or at_limit)
+            if self.tracer is not None:
+                self.tracer.emit("prompt", iterations,
+                                 chars=len(prompt),
+                                 forced=forced or at_limit)
+            completion = self.model.complete(
+                prompt, temperature=self.temperature, n=1)[0]
+            try:
+                action = parse_action(completion.text)
+                if self.tracer is not None:
+                    self.tracer.emit("action", iterations,
+                                     action=action.kind,
+                                     payload=action.payload)
+            except ActionParseError:
+                if forced or at_limit:
+                    # Even the forced answer is unparseable: give up empty.
+                    return AgentResult([], transcript, iterations,
+                                       forced=True,
+                                       handling_events=events)
+                events.append("unparseable completion; forcing answer")
+                forced = True
+                continue
+            if action.kind == ActionKind.ANSWER or forced or at_limit:
+                answer = (action.answer_values
+                          if action.kind == ActionKind.ANSWER else [])
+                transcript.steps.append(TranscriptStep(action))
+                if self.tracer is not None:
+                    self.tracer.end_chain(
+                        iterations, answer="|".join(answer),
+                        forced=forced or at_limit)
+                return AgentResult(answer, transcript, iterations,
+                                   forced=forced or at_limit,
+                                   handling_events=events)
+            # Code action: run the matching executor over the history.
+            try:
+                executor = self.registry.get(action.kind)
+            except Exception:
+                events.append(
+                    f"no executor for {action.kind!r}; forcing answer")
+                forced = True
+                continue
+            try:
+                outcome = executor.execute(action.payload,
+                                           transcript.tables)
+            except ExecutionError as exc:
+                # The paper's "other exceptions" path: force an answer.
+                events.append(
+                    f"{action.kind} execution failed "
+                    f"({type(exc).__name__}); forcing answer")
+                if self.tracer is not None:
+                    self.tracer.emit("execution", iterations,
+                                     language=action.kind,
+                                     failed=True,
+                                     error=type(exc).__name__)
+                forced = True
+                continue
+            events.extend(outcome.handling_notes)
+            if self.tracer is not None:
+                self.tracer.emit("execution", iterations,
+                                 language=action.kind, failed=False,
+                                 rows=outcome.table.num_rows,
+                                 recovered=outcome.recovered)
+                for note in outcome.handling_notes:
+                    self.tracer.emit("recovery", iterations, note=note)
+            new_table = outcome.table.with_name(
+                f"T{transcript.num_code_steps + 1}")
+            transcript.steps.append(
+                TranscriptStep(action, new_table,
+                               list(outcome.handling_notes)))

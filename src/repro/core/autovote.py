@@ -1,0 +1,96 @@
+"""Automatic voting-method selection (the paper's §5.4 future work).
+
+Sections 4.4 and 5.3 observe that no voting method dominates: simple
+majority voting is best for the Codex-class model, execution-based voting
+for text-davinci-003, and voting can even *hurt* the chat model.  The
+paper leaves "automatic selection of the best-performing majority voting
+method" as future work; this module implements the obvious baseline —
+calibrate each candidate on a held-out development set, then commit to
+the winner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.voting import make_voter
+from repro.datasets.generators import Benchmark
+from repro.errors import ModelError
+from repro.evalkit.runner import evaluate_agent
+from repro.llm.base import LanguageModel
+
+__all__ = ["VoteSelection", "select_voting_method", "AutoVotingAgent"]
+
+DEFAULT_CANDIDATES = ("none", "s-vote", "t-vote", "e-vote")
+
+
+@dataclass
+class VoteSelection:
+    """The outcome of a calibration run."""
+
+    chosen: str
+    dev_accuracy: dict[str, float] = field(default_factory=dict)
+    dev_questions: int = 0
+
+    def margin_over(self, method: str) -> float:
+        """How much the winner beat ``method`` by on the dev set."""
+        return (self.dev_accuracy[self.chosen]
+                - self.dev_accuracy.get(method, 0.0))
+
+
+def select_voting_method(model_factory, dev: Benchmark, *,
+                         candidates=DEFAULT_CANDIDATES,
+                         n: int = 5,
+                         limit: int | None = None) -> VoteSelection:
+    """Pick the voting method with the best dev-set accuracy.
+
+    ``model_factory`` must return a *fresh* model per call so candidate
+    runs do not share sampling state.  Candidates that a model cannot
+    support (e-vote without log-probabilities) are skipped, matching the
+    paper's "N.A." entries.
+    """
+    accuracies: dict[str, float] = {}
+    for candidate in candidates:
+        model = model_factory()
+        try:
+            voter = make_voter(candidate, model, n=n)
+        except ModelError:
+            continue  # e.g. e-vote on a model without log-probs
+        report = evaluate_agent(voter, dev, limit=limit)
+        accuracies[candidate] = report.accuracy
+    if not accuracies:
+        raise ModelError("no applicable voting method")
+    chosen = max(accuracies, key=lambda name: accuracies[name])
+    questions = limit or len(dev)
+    return VoteSelection(chosen=chosen, dev_accuracy=accuracies,
+                         dev_questions=questions)
+
+
+class AutoVotingAgent:
+    """Calibrate once on a dev benchmark, then answer with the winner.
+
+    Example::
+
+        agent = AutoVotingAgent(lambda: SimulatedTQAModel(bank, profile),
+                                dev_benchmark)
+        agent.selection.chosen          # e.g. "s-vote"
+        agent.run(table, question)
+    """
+
+    def __init__(self, model_factory, dev: Benchmark, *,
+                 candidates=DEFAULT_CANDIDATES, n: int = 5,
+                 dev_limit: int | None = None):
+        self._model_factory = model_factory
+        self.selection = select_voting_method(
+            model_factory, dev, candidates=candidates, n=n,
+            limit=dev_limit)
+        self.n = n
+        self._runner = self._make_runner()
+
+    def _make_runner(self):
+        kwargs = {} if self.selection.chosen == "none" else {"n": self.n}
+        return make_voter(self.selection.chosen, self._model_factory(),
+                          **kwargs)
+
+    def run(self, table, question):
+        return self._runner.run(table, question)

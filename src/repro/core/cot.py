@@ -1,0 +1,79 @@
+"""The Codex-CoT ablation baseline (Section 4.3.1).
+
+Identical to ReAcTable except that *no intermediate tables* are fed back:
+the model produces the entire code sequence plus the answer in a single
+completion.  The agent still executes the generated code blocks through
+the real executors (the paper: "the generated code is executed to obtain
+the final answer"); when every block runs, the answer is read from the
+final table, otherwise the model's own stated answer line is used.
+"""
+
+from __future__ import annotations
+
+from repro.core.actions import ActionKind, parse_action
+from repro.core.agent import AgentResult
+from repro.core.prompt import Transcript, TranscriptStep, build_cot_prompt
+from repro.errors import ActionParseError, ExecutionError
+from repro.executors.registry import ExecutorRegistry, default_registry
+from repro.llm.base import LanguageModel
+from repro.table.frame import DataFrame
+
+__all__ = ["CodexCoTAgent"]
+
+
+class CodexCoTAgent:
+    """Single-completion chain-of-thought baseline."""
+
+    def __init__(self, model: LanguageModel, *,
+                 registry: ExecutorRegistry | None = None,
+                 temperature: float = 0.0):
+        self.model = model
+        self.registry = registry or default_registry()
+        self.temperature = temperature
+
+    def run(self, table: DataFrame, question: str) -> AgentResult:
+        t0 = table.with_name("T0")
+        transcript = Transcript(t0, question)
+        prompt = build_cot_prompt(
+            t0, question, languages=tuple(self.registry.languages))
+        completion = self.model.complete(
+            prompt, temperature=self.temperature, n=1)[0]
+
+        events: list[str] = []
+        answer: list[str] = []
+        # The completion contains one action per line: code blocks then the
+        # final answer.  Execute the code blocks in order.
+        for line in completion.text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                action = parse_action(line)
+            except ActionParseError:
+                continue
+            if action.kind == ActionKind.ANSWER:
+                answer = action.answer_values
+                transcript.steps.append(TranscriptStep(action))
+                break
+            try:
+                executor = self.registry.get(action.kind)
+                outcome = executor.execute(action.payload,
+                                           transcript.tables)
+            except (ExecutionError, Exception) as exc:
+                events.append(
+                    f"{action.kind} block failed "
+                    f"({type(exc).__name__}); continuing")
+                transcript.steps.append(TranscriptStep(action))
+                continue
+            events.extend(outcome.handling_notes)
+            new_table = outcome.table.with_name(
+                f"T{transcript.num_code_steps + 1}")
+            transcript.steps.append(
+                TranscriptStep(action, new_table,
+                               list(outcome.handling_notes)))
+        return AgentResult(
+            answer=answer,
+            transcript=transcript,
+            iterations=1,   # one LLM call, by construction
+            handling_events=events,
+        )

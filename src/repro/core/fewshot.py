@@ -1,0 +1,126 @@
+"""Few-shot demonstration selection (the paper's §5.4 future work).
+
+The paper uses *static*, hand-picked demonstrations and names "automatic
+selection of few-shot examples" as an open direction.  This module
+implements the standard retrieval approach: render every training example
+into a Figure-2-style worked demonstration (by executing its gold plan),
+then, per test question, select the *k* most similar demonstrations by
+token overlap.
+
+Relevant demonstrations measurably help: the simulated model profiles
+expose a ``demo_affinity`` parameter (0 for the stock paper profiles)
+that adds a similarity-scaled bonus to the step logit — mirroring the
+established empirical finding that in-context examples matching the task
+format improve accuracy.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Sequence
+
+from repro.core.actions import Action, ActionKind, format_action
+from repro.core.prompt import _QUESTION_MARKER, _TABLE_MARKER
+from repro.datasets.spec import TQAExample
+from repro.executors.registry import ExecutorRegistry
+from repro.table.io import encode_head_row
+
+__all__ = [
+    "question_similarity",
+    "render_demonstration",
+    "FewShotSelector",
+]
+
+_WORD_RE = re.compile(r"[a-z0-9]+")
+_STOPWORDS = frozenset({
+    "the", "a", "an", "of", "in", "on", "at", "is", "are", "was",
+    "were", "do", "does", "did", "to", "and", "or", "for", "by",
+    "with", "from", "which", "what", "who", "how", "many", "much",
+})
+
+
+def _content_words(text: str) -> set[str]:
+    return {
+        word for word in _WORD_RE.findall(text.lower())
+        if word not in _STOPWORDS
+    }
+
+
+def question_similarity(left: str, right: str) -> float:
+    """Jaccard similarity over content words, in [0, 1]."""
+    a, b = _content_words(left), _content_words(right)
+    if not a or not b:
+        return 0.0
+    return len(a & b) / len(a | b)
+
+
+def render_demonstration(example: TQAExample, *,
+                         registry: ExecutorRegistry | None = None,
+                         max_rows: int | None = 12) -> str:
+    """Render one training example as a worked Figure-2 transcript.
+
+    Executes the gold plan through the real executors so the rendered
+    intermediate tables are genuine.
+    """
+    trace = example.plan.execute(example.table, registry)
+    lines = [
+        _TABLE_MARKER,
+        encode_head_row(trace.tables[0], max_rows=max_rows),
+        f'{_QUESTION_MARKER}{example.question}". '
+        "Generate SQL or Python code step-by-step given the question "
+        "and table to answer the question correctly.",
+    ]
+    for index, (step, code) in enumerate(
+            zip(example.plan.code_steps, trace.code)):
+        kind = (ActionKind.SQL if step.language == "sql"
+                else ActionKind.PYTHON)
+        lines.append(format_action(Action(kind, code)))
+        lines.append(f"Intermediate table (T{index + 1}):")
+        lines.append(encode_head_row(trace.tables[index + 1],
+                                     max_rows=max_rows))
+    answer = "|".join(trace.answer)
+    lines.append(format_action(Action(ActionKind.ANSWER, answer)))
+    return "\n".join(lines)
+
+
+class FewShotSelector:
+    """Select the k most similar training demonstrations per question."""
+
+    def __init__(self, pool: Sequence[TQAExample], *, k: int = 2,
+                 registry: ExecutorRegistry | None = None,
+                 max_rows: int | None = 12):
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        self.pool = list(pool)
+        self.k = k
+        self._rendered: dict[str, str] = {}
+        self._registry = registry
+        self._max_rows = max_rows
+
+    def __len__(self) -> int:
+        return len(self.pool)
+
+    def select(self, question: str,
+               k: int | None = None) -> list[TQAExample]:
+        """The k pool examples most similar to ``question``."""
+        k = self.k if k is None else k
+        scored = sorted(
+            self.pool,
+            key=lambda example: question_similarity(question,
+                                                    example.question),
+            reverse=True,
+        )
+        return scored[:k]
+
+    def _demo_text(self, example: TQAExample) -> str:
+        if example.uid not in self._rendered:
+            self._rendered[example.uid] = render_demonstration(
+                example, registry=self._registry,
+                max_rows=self._max_rows)
+        return self._rendered[example.uid]
+
+    def few_shot_text(self, question: str, k: int | None = None) -> str:
+        """The concatenated demonstration block for one question."""
+        return "\n\n".join(
+            self._demo_text(example)
+            for example in self.select(question, k))

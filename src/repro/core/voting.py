@@ -1,0 +1,292 @@
+"""The three majority-voting mechanisms of Section 3.4.
+
+* :class:`SimpleMajorityVoting` — Algorithm 1: run the whole chain *n*
+  times at high temperature, take the most frequent answer.
+* :class:`TreeExplorationVoting` — Algorithm 2: sample *n* continuations at
+  every step, explore every branch, majority over leaf answers.
+* :class:`ExecutionBasedVoting` — Algorithm 3: sample *n* continuations per
+  step, execute each, merge predictions whose executions produce
+  *equivalent* tables by max log-probability, and commit the single
+  highest-scoring prediction as the next step.
+
+All three return an :class:`AgentResult`-compatible summary via
+:class:`VotingResult`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.actions import ActionKind, parse_action
+from repro.core.agent import HARD_ITERATION_CAP, ReActTableAgent
+from repro.core.prompt import PromptBuilder, Transcript, TranscriptStep
+from repro.errors import ActionParseError, ExecutionError, ModelError
+from repro.executors.registry import ExecutorRegistry, default_registry
+from repro.llm.base import LanguageModel
+from repro.table.compare import table_fingerprint
+from repro.table.frame import DataFrame
+
+__all__ = [
+    "VotingResult",
+    "get_majority",
+    "SimpleMajorityVoting",
+    "TreeExplorationVoting",
+    "ExecutionBasedVoting",
+    "make_voter",
+]
+
+#: The paper's settings: temperature 0.6, five samples.
+DEFAULT_VOTE_TEMPERATURE = 0.6
+DEFAULT_VOTE_SAMPLES = 5
+
+
+@dataclass
+class VotingResult:
+    """Outcome of a voted run."""
+
+    answer: list[str]
+    votes: dict[str, int] = field(default_factory=dict)
+    num_chains: int = 0
+    iterations: int = 0        # iterations of the winning/first chain
+
+    @property
+    def answer_text(self) -> str:
+        return "|".join(self.answer)
+
+
+def _normalize_answer_key(values: list[str]) -> str:
+    return "|".join(" ".join(v.split()).strip().lower() for v in values)
+
+
+def get_majority(answers: list[list[str]]) -> list[str]:
+    """Most frequent answer (first-seen breaks ties), per the paper."""
+    counts: dict[str, int] = {}
+    representative: dict[str, list[str]] = {}
+    order: list[str] = []
+    for answer in answers:
+        key = _normalize_answer_key(answer)
+        if key not in counts:
+            counts[key] = 0
+            representative[key] = answer
+            order.append(key)
+        counts[key] += 1
+    if not order:
+        return []
+    best = max(order, key=lambda key: counts[key])
+    return representative[best]
+
+
+class SimpleMajorityVoting:
+    """Algorithm 1: n independent chains, majority answer."""
+
+    def __init__(self, model: LanguageModel, *,
+                 registry: ExecutorRegistry | None = None,
+                 temperature: float = DEFAULT_VOTE_TEMPERATURE,
+                 n: int = DEFAULT_VOTE_SAMPLES,
+                 max_iterations: int | None = None):
+        self.model = model
+        self.registry = registry or default_registry()
+        self.temperature = temperature
+        self.n = n
+        self.max_iterations = max_iterations
+
+    def run(self, table: DataFrame, question: str) -> VotingResult:
+        answers: list[list[str]] = []
+        votes: dict[str, int] = {}
+        iterations: list[int] = []
+        agent = ReActTableAgent(
+            self.model, registry=self.registry,
+            temperature=self.temperature,
+            max_iterations=self.max_iterations)
+        for _ in range(self.n):
+            result = agent.run(table, question)
+            answers.append(result.answer)
+            iterations.append(result.iterations)
+            key = _normalize_answer_key(result.answer)
+            votes[key] = votes.get(key, 0) + 1
+        winner = get_majority(answers)
+        winner_key = _normalize_answer_key(winner)
+        # Report the iteration count of the first chain that produced the
+        # winning answer (used by the Figure 4 histogram).
+        winner_iterations = next(
+            (it for it, ans in zip(iterations, answers)
+             if _normalize_answer_key(ans) == winner_key),
+            iterations[0] if iterations else 0)
+        return VotingResult(answer=winner, votes=votes,
+                            num_chains=self.n,
+                            iterations=winner_iterations)
+
+
+class TreeExplorationVoting:
+    """Algorithm 2: fanout-n reasoning tree, majority over leaves.
+
+    ``max_branches`` bounds the frontier so adversarial inputs cannot blow
+    the tree up exponentially (the paper's chains are ≤5 deep, so the
+    default is never hit in practice).
+    """
+
+    def __init__(self, model: LanguageModel, *,
+                 registry: ExecutorRegistry | None = None,
+                 temperature: float = DEFAULT_VOTE_TEMPERATURE,
+                 n: int = DEFAULT_VOTE_SAMPLES,
+                 max_branches: int = 256,
+                 max_depth: int = HARD_ITERATION_CAP):
+        self.model = model
+        self.registry = registry or default_registry()
+        self.prompt_builder = PromptBuilder(
+            languages=tuple(self.registry.languages))
+        self.temperature = temperature
+        self.n = n
+        self.max_branches = max_branches
+        self.max_depth = max_depth
+
+    def run(self, table: DataFrame, question: str) -> VotingResult:
+        root = Transcript(table.with_name("T0"), question)
+        queue: deque[Transcript] = deque([root])
+        answers: list[list[str]] = []
+        votes: dict[str, int] = {}
+        expanded = 0
+        first_depths: dict[str, int] = {}
+        while queue:
+            branch = queue.popleft()
+            depth = len(branch.steps)
+            # Force an answer at the depth cap, and also once the branch
+            # budget is spent — a pruned branch should still vote rather
+            # than vanish.
+            force = (depth + 1 >= self.max_depth
+                     or expanded >= self.max_branches)
+            prompt = self.prompt_builder.build(branch, force_answer=force)
+            completions = self.model.complete(
+                prompt, temperature=self.temperature, n=self.n)
+            for completion in completions:
+                try:
+                    action = parse_action(completion.text)
+                except ActionParseError:
+                    continue
+                if action.kind == ActionKind.ANSWER or force:
+                    answer = (action.answer_values
+                              if action.kind == ActionKind.ANSWER else [])
+                    answers.append(answer)
+                    key = _normalize_answer_key(answer)
+                    votes[key] = votes.get(key, 0) + 1
+                    first_depths.setdefault(key, depth + 1)
+                    continue
+                if expanded >= self.max_branches:
+                    continue
+                try:
+                    executor = self.registry.get(action.kind)
+                    outcome = executor.execute(action.payload,
+                                               branch.tables)
+                except Exception:
+                    # A failed branch contributes nothing (the single-chain
+                    # agent would force an answer; the tree simply prunes).
+                    continue
+                child = branch.fork()
+                child.steps.append(TranscriptStep(
+                    action,
+                    outcome.table.with_name(
+                        f"T{child.num_code_steps + 1}")))
+                queue.append(child)
+                expanded += 1
+        winner = get_majority(answers)
+        return VotingResult(
+            answer=winner, votes=votes, num_chains=len(answers),
+            iterations=first_depths.get(_normalize_answer_key(winner), 1))
+
+
+class ExecutionBasedVoting:
+    """Algorithm 3: per-step sampling with execution-equivalence merging."""
+
+    def __init__(self, model: LanguageModel, *,
+                 registry: ExecutorRegistry | None = None,
+                 temperature: float = DEFAULT_VOTE_TEMPERATURE,
+                 n: int = DEFAULT_VOTE_SAMPLES,
+                 max_depth: int = HARD_ITERATION_CAP):
+        if not model.supports_logprobs:
+            raise ModelError(
+                f"execution-based voting needs log-probabilities, which "
+                f"{model.name} does not provide")
+        self.model = model
+        self.registry = registry or default_registry()
+        self.prompt_builder = PromptBuilder(
+            languages=tuple(self.registry.languages))
+        self.temperature = temperature
+        self.n = n
+        self.max_depth = max_depth
+
+    def run(self, table: DataFrame, question: str) -> VotingResult:
+        transcript = Transcript(table.with_name("T0"), question)
+        iterations = 0
+        while True:
+            iterations += 1
+            force = iterations >= self.max_depth
+            prompt = self.prompt_builder.build(transcript,
+                                               force_answer=force)
+            completions = self.model.complete(
+                prompt, temperature=self.temperature, n=self.n)
+            # Score log: group key -> (score, representative prediction).
+            groups: dict[object, dict] = {}
+            for completion in completions:
+                try:
+                    action = parse_action(completion.text)
+                except ActionParseError:
+                    continue
+                logprob = (completion.logprob
+                           if completion.logprob is not None else -1e9)
+                if action.kind == ActionKind.ANSWER:
+                    key = ("answer",
+                           _normalize_answer_key(action.answer_values))
+                    entry = groups.setdefault(
+                        key, {"score": logprob, "action": action,
+                              "table": None})
+                elif force:
+                    continue
+                else:
+                    try:
+                        executor = self.registry.get(action.kind)
+                        outcome = executor.execute(action.payload,
+                                                   transcript.tables)
+                    except Exception:
+                        continue  # non-executing code never wins
+                    key = ("table", table_fingerprint(outcome.table))
+                    entry = groups.setdefault(
+                        key, {"score": logprob, "action": action,
+                              "table": outcome.table})
+                # Merge equivalent predictions by max log-probability.
+                entry["score"] = max(entry["score"], logprob)
+            if not groups:
+                return VotingResult(answer=[], num_chains=self.n,
+                                    iterations=iterations)
+            best = max(groups.values(), key=lambda entry: entry["score"])
+            action = best["action"]
+            if action.kind == ActionKind.ANSWER:
+                return VotingResult(
+                    answer=action.answer_values,
+                    votes={str(key): 1 for key in groups},
+                    num_chains=self.n,
+                    iterations=iterations)
+            transcript.steps.append(TranscriptStep(
+                action,
+                best["table"].with_name(
+                    f"T{transcript.num_code_steps + 1}")))
+
+
+def make_voter(kind: str, model: LanguageModel, **kwargs):
+    """Factory: ``"none" | "s-vote" | "t-vote" | "e-vote"`` → runner.
+
+    ``"none"`` returns a greedy single-chain :class:`ReActTableAgent`.
+    """
+    if kind in ("none", "greedy"):
+        kwargs.pop("temperature", None)
+        kwargs.pop("n", None)
+        return ReActTableAgent(model, temperature=0.0, **kwargs)
+    if kind in ("s-vote", "simple"):
+        return SimpleMajorityVoting(model, **kwargs)
+    if kind in ("t-vote", "tree"):
+        kwargs.pop("max_iterations", None)
+        return TreeExplorationVoting(model, **kwargs)
+    if kind in ("e-vote", "execution"):
+        kwargs.pop("max_iterations", None)
+        return ExecutionBasedVoting(model, **kwargs)
+    raise ValueError(f"unknown voting kind {kind!r}")

@@ -1,0 +1,54 @@
+"""Benchmark datasets: synthetic WikiTQ/TabFact/FeTaQA-style generators.
+
+Example::
+
+    from repro.datasets import generate_dataset
+    benchmark = generate_dataset("wikitq", size=200, seed=7)
+    benchmark.iteration_histogram()   # {1: ..., 2: ..., ...}
+"""
+
+from repro.datasets.generators import (
+    DATASET_SIZES,
+    Benchmark,
+    generate_dataset,
+)
+from repro.datasets.loaders import (
+    WikiTQQuestion,
+    load_wikitq_questions,
+    load_wikitq_table,
+)
+from repro.datasets.spec import QuestionBank, TQAExample, table_fingerprint_key
+from repro.datasets.tablegen import (
+    DOMAINS,
+    Domain,
+    GeneratedTable,
+    generate_table,
+)
+from repro.datasets.templates import (
+    FETAQA_TEMPLATES,
+    TABFACT_TEMPLATES,
+    WIKITQ_TEMPLATES,
+    BuiltQuestion,
+    Template,
+)
+
+__all__ = [
+    "Benchmark",
+    "generate_dataset",
+    "DATASET_SIZES",
+    "QuestionBank",
+    "TQAExample",
+    "table_fingerprint_key",
+    "DOMAINS",
+    "Domain",
+    "GeneratedTable",
+    "generate_table",
+    "Template",
+    "BuiltQuestion",
+    "WIKITQ_TEMPLATES",
+    "TABFACT_TEMPLATES",
+    "FETAQA_TEMPLATES",
+    "WikiTQQuestion",
+    "load_wikitq_questions",
+    "load_wikitq_table",
+]

@@ -1,0 +1,128 @@
+"""Benchmark dataset generators: WikiTQ-, TabFact- and FeTaQA-style.
+
+``generate_dataset`` produces seeded, reproducible question sets whose
+iteration-count distribution and answer formats mirror the corresponding
+paper benchmark.  Every gold answer is computed by executing the gold plan
+through the real executors, so the benchmark is solvable by construction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.datasets.spec import QuestionBank, TQAExample
+from repro.datasets.tablegen import generate_table
+from repro.datasets.templates import (
+    FETAQA_TEMPLATES,
+    TABFACT_TEMPLATES,
+    WIKITQ_TEMPLATES,
+    Template,
+)
+from repro.errors import DatasetError
+
+__all__ = ["Benchmark", "generate_dataset", "DATASET_SIZES"]
+
+#: Test-set sizes of the real benchmarks (Section 4.1 of the paper).
+DATASET_SIZES = {"wikitq": 4344, "tabfact": 1998, "fetaqa": 2006}
+
+_TEMPLATE_SETS = {
+    "wikitq": WIKITQ_TEMPLATES,
+    "tabfact": TABFACT_TEMPLATES,
+    "fetaqa": FETAQA_TEMPLATES,
+}
+
+
+@dataclass
+class Benchmark:
+    """A generated benchmark: the examples plus the model's question bank."""
+
+    name: str
+    examples: list[TQAExample]
+    bank: QuestionBank
+    seed: int = 0
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    def iteration_histogram(self) -> dict[int, int]:
+        histogram: dict[int, int] = {}
+        for example in self.examples:
+            count = example.num_iterations
+            histogram[count] = histogram.get(count, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    def python_affine_share(self) -> float:
+        if not self.examples:
+            return 0.0
+        affine = sum(1 for ex in self.examples if ex.python_affine)
+        return affine / len(self.examples)
+
+
+def _weighted_choice(rng: random.Random,
+                     templates: tuple[tuple[Template, float], ...]) -> Template:
+    total = sum(weight for _, weight in templates)
+    point = rng.uniform(0, total)
+    cumulative = 0.0
+    for template, weight in templates:
+        cumulative += weight
+        if point <= cumulative:
+            return template
+    return templates[-1][0]
+
+
+def generate_dataset(name: str, size: int | None = None, *,
+                     seed: int = 17,
+                     bank: QuestionBank | None = None) -> Benchmark:
+    """Generate a benchmark.
+
+    ``size=None`` uses the real benchmark's test-set size.  Passing an
+    existing ``bank`` accumulates several benchmarks into one model corpus
+    (the default simulated model is built per-benchmark).
+    """
+    if name not in _TEMPLATE_SETS:
+        raise DatasetError(
+            f"unknown dataset {name!r} (expected one of "
+            f"{', '.join(_TEMPLATE_SETS)})")
+    size = DATASET_SIZES[name] if size is None else size
+    templates = _TEMPLATE_SETS[name]
+    rng = random.Random(f"{name}:{seed}")
+    bank = bank if bank is not None else QuestionBank()
+    examples: list[TQAExample] = []
+    attempts_budget = size * 60
+    attempts = 0
+    while len(examples) < size:
+        attempts += 1
+        if attempts > attempts_budget:
+            raise DatasetError(
+                f"could not generate {size} {name} questions in "
+                f"{attempts_budget} attempts")
+        template = _weighted_choice(rng, templates)
+        table = generate_table(rng)
+        built = template.build(table, rng)
+        if built is None:
+            continue
+        example = TQAExample(
+            uid=f"{name}-{len(examples):05d}",
+            dataset=name,
+            table=table.frame,
+            question=built.question,
+            plan=built.plan,
+            gold_answer=[],
+            template_id=template.id,
+            difficulty=built.difficulty,
+            python_affine=built.python_affine,
+            metadata={"domain": table.domain.name},
+        )
+        if example.bank_key in bank:
+            continue  # same question on an identical-looking table
+        try:
+            trace = built.plan.execute(table.frame)
+        except DatasetError:
+            continue
+        if not trace.answer or any(a == "" for a in trace.answer):
+            continue
+        example.gold_answer = trace.answer
+        bank.register(example)
+        examples.append(example)
+    return Benchmark(name=name, examples=examples, bank=bank, seed=seed)

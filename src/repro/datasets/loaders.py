@@ -1,0 +1,75 @@
+"""Loaders for real benchmark files (when present on disk).
+
+The synthetic generators drive all experiments offline, but if a checkout
+of the official WikiTableQuestions repository is available these loaders
+read its TSV question files and CSV tables, so the same agents can run on
+the real benchmark with a real LLM backend.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import DatasetError
+from repro.table.frame import DataFrame
+from repro.table.io import parse_literal
+
+__all__ = ["WikiTQQuestion", "load_wikitq_questions", "load_wikitq_table"]
+
+
+@dataclass(frozen=True)
+class WikiTQQuestion:
+    """One row of a WikiTQ ``*.tsv`` question file."""
+
+    uid: str
+    question: str
+    table_path: str
+    gold_answer: list[str]
+
+
+def load_wikitq_questions(tsv_path: str | Path) -> list[WikiTQQuestion]:
+    """Parse a WikiTQ question TSV (``id  utterance  context  targetValue``).
+
+    Multi-valued answers are '|'-separated in the file, as in the official
+    release.
+    """
+    path = Path(tsv_path)
+    if not path.exists():
+        raise DatasetError(f"WikiTQ question file not found: {path}")
+    questions = []
+    with open(path, encoding="utf-8") as handle:
+        reader = csv.reader(handle, delimiter="\t")
+        header = next(reader, None)
+        if not header or header[0] != "id":
+            raise DatasetError(f"unrecognised WikiTQ TSV header in {path}")
+        for row in reader:
+            if len(row) < 4:
+                continue
+            uid, utterance, context, target = row[0], row[1], row[2], row[3]
+            questions.append(WikiTQQuestion(
+                uid=uid,
+                question=utterance,
+                table_path=context,
+                gold_answer=target.split("|"),
+            ))
+    return questions
+
+
+def load_wikitq_table(csv_path: str | Path, *, name: str = "T0") -> DataFrame:
+    """Load one WikiTQ table CSV into a frame (values type-inferred)."""
+    path = Path(csv_path)
+    if not path.exists():
+        raise DatasetError(f"WikiTQ table file not found: {path}")
+    with open(path, encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        rows = list(reader)
+    if not rows:
+        raise DatasetError(f"empty WikiTQ table: {path}")
+    header, body = rows[0], rows[1:]
+    parsed = [
+        tuple(None if cell == "" else parse_literal(cell) for cell in row)
+        for row in body if len(row) == len(header)
+    ]
+    return DataFrame.from_rows(parsed, header, name=name)

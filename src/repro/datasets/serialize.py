@@ -1,0 +1,159 @@
+"""Benchmark (de)serialisation: persist generated datasets as JSONL.
+
+Full-scale benchmarks (4,344 WikiTQ questions) take a few seconds to
+generate; persisting them lets experiment scripts share one artifact and
+lets users inspect or hand-edit questions.  Plans serialise structurally
+(step type + fields), so a loaded benchmark is fully functional — the
+simulated model can answer it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.datasets.generators import Benchmark
+from repro.datasets.spec import QuestionBank, TQAExample
+from repro.errors import DatasetError
+from repro.plans.plan import Plan
+from repro.plans.steps import (
+    AggregateStep,
+    AnswerStep,
+    CountWhereStep,
+    DiffStep,
+    ExtractStep,
+    FilterStep,
+    GroupAggStep,
+    GroupCountStep,
+    PlanStep,
+    ProjectStep,
+    SuperlativeStep,
+)
+from repro.table.io import from_json as frame_from_json, to_json as frame_to_json
+
+__all__ = [
+    "step_to_dict",
+    "step_from_dict",
+    "plan_to_dict",
+    "plan_from_dict",
+    "example_to_dict",
+    "example_from_dict",
+    "save_benchmark",
+    "load_benchmark",
+]
+
+_STEP_TYPES: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (FilterStep, ProjectStep, ExtractStep, GroupCountStep,
+                GroupAggStep, SuperlativeStep, AggregateStep,
+                CountWhereStep, DiffStep, AnswerStep)
+}
+
+
+def step_to_dict(step: PlanStep) -> dict:
+    """Serialise one plan step as ``{"type": ..., **fields}``."""
+    type_name = type(step).__name__
+    if type_name not in _STEP_TYPES:
+        raise DatasetError(f"unserialisable step type {type_name}")
+    import dataclasses
+    payload = dataclasses.asdict(step)
+    payload = {
+        key: list(value) if isinstance(value, tuple) else value
+        for key, value in payload.items()
+    }
+    payload["type"] = type_name
+    return payload
+
+
+def step_from_dict(payload: dict) -> PlanStep:
+    payload = dict(payload)
+    type_name = payload.pop("type", None)
+    try:
+        cls = _STEP_TYPES[type_name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown step type {type_name!r}") from None
+    import dataclasses
+    fields = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(payload) - fields
+    if unknown:
+        raise DatasetError(
+            f"unknown fields for {type_name}: {sorted(unknown)}")
+    converted = {
+        key: tuple(value) if isinstance(value, list) else value
+        for key, value in payload.items()
+    }
+    return cls(**converted)
+
+
+def plan_to_dict(plan: Plan) -> list[dict]:
+    return [step_to_dict(step) for step in plan.steps]
+
+
+def plan_from_dict(payload: list[dict]) -> Plan:
+    return Plan([step_from_dict(step) for step in payload])
+
+
+def example_to_dict(example: TQAExample) -> dict:
+    return {
+        "uid": example.uid,
+        "dataset": example.dataset,
+        "question": example.question,
+        "gold_answer": example.gold_answer,
+        "template_id": example.template_id,
+        "difficulty": example.difficulty,
+        "python_affine": example.python_affine,
+        "metadata": example.metadata,
+        "table": json.loads(frame_to_json(example.table)),
+        "plan": plan_to_dict(example.plan),
+    }
+
+
+def example_from_dict(payload: dict) -> TQAExample:
+    return TQAExample(
+        uid=payload["uid"],
+        dataset=payload["dataset"],
+        table=frame_from_json(json.dumps(payload["table"])),
+        question=payload["question"],
+        plan=plan_from_dict(payload["plan"]),
+        gold_answer=list(payload["gold_answer"]),
+        template_id=payload.get("template_id", ""),
+        difficulty=payload.get("difficulty", 0.5),
+        python_affine=payload.get("python_affine", False),
+        metadata=payload.get("metadata", {}),
+    )
+
+
+def save_benchmark(benchmark: Benchmark, path: str | Path) -> Path:
+    """Write a benchmark as JSONL: one header line, then one example per
+    line."""
+    path = Path(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        header = {"name": benchmark.name, "seed": benchmark.seed,
+                  "size": len(benchmark)}
+        handle.write(json.dumps(header) + "\n")
+        for example in benchmark.examples:
+            handle.write(json.dumps(example_to_dict(example),
+                                    ensure_ascii=False) + "\n")
+    return path
+
+
+def load_benchmark(path: str | Path) -> Benchmark:
+    """Load a benchmark saved by :func:`save_benchmark`."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"benchmark file not found: {path}")
+    with open(path, encoding="utf-8") as handle:
+        lines = [line for line in handle if line.strip()]
+    if not lines:
+        raise DatasetError(f"benchmark file is empty: {path}")
+    header = json.loads(lines[0])
+    bank = QuestionBank()
+    examples = []
+    for line in lines[1:]:
+        example = example_from_dict(json.loads(line))
+        bank.register(example)
+        examples.append(example)
+    return Benchmark(name=header.get("name", "unknown"),
+                     examples=examples, bank=bank,
+                     seed=header.get("seed", 0))

@@ -1,0 +1,92 @@
+"""TQA example specification and the question bank.
+
+The :class:`QuestionBank` is the "pre-training corpus" of the simulated
+LLM: it maps (question text, T0 fingerprint) to the example, from which the
+model recovers the gold plan when it parses a prompt.  Both keys are fully
+recoverable from the prompt text itself (the question appears verbatim and
+the original table is always at the top of every prompt), so the model
+still operates on nothing but its input string.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.errors import DatasetError, UnknownQuestionError
+from repro.plans.plan import Plan
+from repro.table.frame import DataFrame
+
+__all__ = ["TQAExample", "QuestionBank", "table_fingerprint_key"]
+
+
+def table_fingerprint_key(frame: DataFrame) -> str:
+    """Stable fingerprint of a table: header plus first-row digest."""
+    hasher = hashlib.blake2b(digest_size=8)
+    hasher.update("|".join(frame.columns).encode("utf-8"))
+    if frame.num_rows:
+        first = "|".join(str(v) for v in frame.to_rows()[0])
+        hasher.update(first.encode("utf-8"))
+    hasher.update(str(frame.num_rows).encode("utf-8"))
+    return hasher.hexdigest()
+
+
+@dataclass
+class TQAExample:
+    """One benchmark question: table, NL question, gold plan and answer."""
+
+    uid: str
+    dataset: str                 # "wikitq" | "tabfact" | "fetaqa"
+    table: DataFrame             # T0
+    question: str
+    plan: Plan
+    gold_answer: list[str]
+    template_id: str = ""
+    #: Latent difficulty in [0, 1]; drives the simulated model's error rate.
+    difficulty: float = 0.5
+    #: True if the gold plan includes a Python-affine step.
+    python_affine: bool = False
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def num_iterations(self) -> int:
+        return self.plan.num_iterations
+
+    @property
+    def bank_key(self) -> tuple[str, str]:
+        return (self.question, table_fingerprint_key(self.table))
+
+
+class QuestionBank:
+    """Registry the simulated model consults to recover gold plans."""
+
+    def __init__(self):
+        self._examples: dict[tuple[str, str], TQAExample] = {}
+
+    def register(self, example: TQAExample) -> None:
+        key = example.bank_key
+        if key in self._examples:
+            raise DatasetError(
+                f"duplicate question in bank: {example.question!r}")
+        self._examples[key] = example
+
+    def register_all(self, examples) -> None:
+        for example in examples:
+            self.register(example)
+
+    def __contains__(self, key: tuple[str, str]) -> bool:
+        return key in self._examples
+
+    def __len__(self) -> int:
+        return len(self._examples)
+
+    def lookup(self, question: str, table: DataFrame) -> TQAExample:
+        key = (question, table_fingerprint_key(table))
+        try:
+            return self._examples[key]
+        except KeyError:
+            raise UnknownQuestionError(
+                f"question not in bank: {question!r}") from None
+
+    def examples(self) -> list[TQAExample]:
+        return list(self._examples.values())

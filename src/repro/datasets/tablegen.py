@@ -1,0 +1,283 @@
+"""Synthetic table generator.
+
+Produces tables with the structural features the paper's motivating example
+highlights: a *composite* string column whose values pack an entity name
+and a parenthesised code (``"Alejandro Valverde (ESP)"``), numeric measure
+columns, a categorical column, a rank column, and occasional missing
+values.  Six domains give surface variety; every domain is described by a
+:class:`Domain` so question templates can be written generically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.table.frame import DataFrame
+
+__all__ = ["Domain", "GeneratedTable", "DOMAINS", "generate_table"]
+
+
+@dataclass(frozen=True)
+class Domain:
+    """Static description of one table domain."""
+
+    name: str
+    entity_column: str        # composite column header
+    entity_label: str         # NL noun for a row entity ("cyclist")
+    code_label: str           # NL noun for the embedded code ("country")
+    code_pattern: str         # regex with one capture group
+    code_pool: tuple[str, ...]
+    first_names: tuple[str, ...]
+    last_names: tuple[str, ...]
+    category_column: str
+    category_label: str
+    category_pool: tuple[str, ...]
+    numeric_columns: tuple[tuple[str, str, int, int], ...]
+    # each: (header, NL label, min, max)
+    rank_column: str = "Rank"
+    code_is_year: bool = False
+
+
+@dataclass
+class GeneratedTable:
+    """A generated table plus the semantic handles templates need."""
+
+    frame: DataFrame
+    domain: Domain
+    entity_values: list[str]      # full composite strings
+    entity_codes: list[str]       # the embedded code per row
+    seed: int = 0
+
+    @property
+    def numeric_headers(self) -> list[str]:
+        return [header for header, _, _, _ in self.domain.numeric_columns]
+
+    def numeric_label(self, header: str) -> str:
+        for col, label, _, _ in self.domain.numeric_columns:
+            if col == header:
+                return label
+        raise KeyError(header)
+
+
+_COUNTRIES = ("ESP", "RUS", "FRA", "ITA", "GER", "USA", "GBR", "BEL",
+              "NED", "AUS", "COL", "DEN")
+_PARTIES = ("DEM", "REP", "IND", "GRN", "LIB")
+_GENERIC_FIRST = ("Alex", "Jordan", "Sam", "Chris", "Taylor", "Morgan",
+                  "Casey", "Riley", "Jamie", "Drew", "Avery", "Quinn",
+                  "Reese", "Blake", "Rowan", "Skyler")
+_GENERIC_LAST = ("Valverde", "Kolobnev", "Moncoutie", "Sanchez", "Schleck",
+                 "Rebellin", "Menchov", "Vandenbroucke", "Freire", "Evans",
+                 "Rodriguez", "Martin", "Gerrans", "Albasini", "Kreuziger",
+                 "Nibali")
+
+DOMAINS: tuple[Domain, ...] = (
+    Domain(
+        name="cycling",
+        entity_column="Cyclist",
+        entity_label="cyclist",
+        code_label="country",
+        code_pattern=r"\((\w+)\)",
+        code_pool=_COUNTRIES,
+        first_names=_GENERIC_FIRST,
+        last_names=_GENERIC_LAST,
+        category_column="Team",
+        category_label="team",
+        category_pool=("Caisse d'Epargne", "Team CSC Saxo Bank", "Cofidis",
+                       "Rabobank", "Quick Step", "Lampre", "Euskaltel",
+                       "Silence-Lotto"),
+        numeric_columns=(
+            ("Points", "points", 5, 120),
+            ("Uci_protour_points", "UCI ProTour points", 0, 60),
+        ),
+    ),
+    Domain(
+        name="olympics",
+        entity_column="Athlete",
+        entity_label="athlete",
+        code_label="country",
+        code_pattern=r"\((\w+)\)",
+        code_pool=_COUNTRIES,
+        first_names=_GENERIC_FIRST,
+        last_names=("Phelps", "Ledecky", "Biles", "Bolt", "Felix",
+                    "Lochte", "Thompson", "Dressel", "McKeon", "Titmus",
+                    "Peaty", "Sjostrom", "Hosszu", "Manaudou", "Adlington",
+                    "Campbell"),
+        category_column="Sport",
+        category_label="sport",
+        category_pool=("Swimming", "Athletics", "Gymnastics", "Rowing",
+                       "Cycling", "Fencing"),
+        numeric_columns=(
+            ("Gold", "gold medals", 0, 8),
+            ("Total_medals", "total medals", 1, 14),
+        ),
+    ),
+    Domain(
+        name="elections",
+        entity_column="Candidate",
+        entity_label="candidate",
+        code_label="party",
+        code_pattern=r"\((\w+)\)",
+        code_pool=_PARTIES,
+        first_names=("Harvey", "Royds", "Eleanor", "Marcus", "Sylvia",
+                     "Preston", "Dorothy", "Walter", "Imogen", "Clarence",
+                     "Beatrice", "Edmund", "Harriet", "Lionel", "Maude",
+                     "Oswald"),
+        last_names=("Whitfield", "Pemberton", "Ashcroft", "Langley",
+                    "Fairbanks", "Holloway", "Kingsley", "Merriweather",
+                    "Northcote", "Ollivander", "Prescott", "Quimby",
+                    "Ravenscroft", "Standish", "Thorne", "Underwood"),
+        category_column="District",
+        category_label="district",
+        category_pool=("North", "South", "East", "West", "Central",
+                       "Riverside"),
+        numeric_columns=(
+            ("Votes", "votes", 500, 25000),
+            ("Share", "vote share", 1, 60),
+        ),
+    ),
+    Domain(
+        name="films",
+        entity_column="Film",
+        entity_label="film",
+        code_label="year",
+        code_pattern=r"\((\d{4})\)",
+        code_pool=tuple(str(year) for year in range(1990, 2015)),
+        first_names=("The", "A", "Last", "First", "Silent", "Golden",
+                     "Broken", "Hidden", "Distant", "Burning", "Frozen",
+                     "Crimson", "Midnight", "Electric", "Paper", "Iron"),
+        last_names=("Horizon", "Promise", "Garden", "River", "Empire",
+                    "Voyage", "Symphony", "Harvest", "Monument", "Mirage",
+                    "Cathedral", "Expedition", "Paradox", "Covenant",
+                    "Labyrinth", "Meridian"),
+        category_column="Studio",
+        category_label="studio",
+        category_pool=("Paramount", "Universal", "Warner", "Columbia",
+                       "Lionsgate", "Focus"),
+        numeric_columns=(
+            ("Box_office", "box office (millions)", 2, 900),
+            ("Awards", "awards", 0, 11),
+        ),
+        code_is_year=True,
+    ),
+    Domain(
+        name="football",
+        entity_column="Player",
+        entity_label="player",
+        code_label="country",
+        code_pattern=r"\((\w+)\)",
+        code_pool=_COUNTRIES,
+        first_names=_GENERIC_FIRST,
+        last_names=("Ronaldo", "Messi", "Lewandowski", "Benzema", "Salah",
+                    "Kane", "Haaland", "Mbappe", "Modric", "Kroos",
+                    "Neuer", "Ramos", "Suarez", "Aguero", "Hazard",
+                    "Griezmann"),
+        category_column="Club",
+        category_label="club",
+        category_pool=("Madrid FC", "United", "Bayern", "Juventus",
+                       "Paris SG", "Ajax"),
+        numeric_columns=(
+            ("Goals", "goals", 0, 45),
+            ("Appearances", "appearances", 5, 60),
+        ),
+    ),
+    Domain(
+        name="songs",
+        entity_column="Song",
+        entity_label="song",
+        code_label="year",
+        code_pattern=r"\((\d{4})\)",
+        code_pool=tuple(str(year) for year in range(1995, 2020)),
+        first_names=("Blue", "Golden", "Broken", "Endless", "Electric",
+                     "Silver", "Lonely", "Wild", "Sweet", "Burning",
+                     "Silent", "Neon", "Velvet", "Crystal", "Hollow",
+                     "Radiant"),
+        last_names=("Nights", "Dreams", "Hearts", "Roads", "Skies",
+                    "Rivers", "Echoes", "Shadows", "Flames", "Waves",
+                    "Memories", "Horizons", "Whispers", "Storms",
+                    "Promises", "Summers"),
+        category_column="Label",
+        category_label="record label",
+        category_pool=("Motown", "Atlantic", "Capitol", "Def Jam",
+                       "Interscope", "Sub Pop"),
+        numeric_columns=(
+            ("Weeks_on_chart", "weeks on chart", 1, 52),
+            ("Peak_position", "peak position", 1, 40),
+        ),
+    ),
+)
+
+_DOMAIN_BY_NAME = {domain.name: domain for domain in DOMAINS}
+
+
+def _noise_column_values(rng: random.Random, rows: int) -> list[str]:
+    """An inconsistently-formatted string column, like the paper's Time.
+
+    The Figure 1 table mixes formats inside one column (``5h 29' 10"``,
+    ``s.t.``, ``+ 2"``); gold plans never touch this column, but the
+    model, the executors and the prompt codec all have to carry it.
+    """
+    values = [f"{rng.randint(4, 6)}h {rng.randint(0, 59)}' "
+              f"{rng.randint(0, 59)}\""]
+    for _ in range(rows - 1):
+        style = rng.random()
+        if style < 0.45:
+            values.append("s.t.")
+        elif style < 0.8:
+            values.append(f"+ {rng.randint(1, 59)}\"")
+        else:
+            values.append(f"+ {rng.randint(1, 9)}' "
+                          f"{rng.randint(0, 59)}\"")
+    return values
+
+
+def generate_table(rng: random.Random, *, domain: str | None = None,
+                   num_rows: int | None = None,
+                   missing_rate: float = 0.06,
+                   include_noise_column: bool = False) -> GeneratedTable:
+    """Generate one synthetic table.
+
+    ``domain=None`` picks a domain at random; ``num_rows=None`` draws 8-18
+    rows.  ``missing_rate`` injects NULLs into the *second* numeric column
+    only, mirroring the partially-populated ``Uci_protour_points`` column
+    in the paper's running example (the first numeric column stays clean so
+    aggregates remain well defined).  ``include_noise_column`` adds a
+    ``Time``-style column with inconsistent string formats (the paper's
+    challenge (ii)); gold plans never reference it.
+    """
+    spec = _DOMAIN_BY_NAME[domain] if domain else rng.choice(DOMAINS)
+    rows = num_rows if num_rows is not None else rng.randint(8, 18)
+
+    # Distinct entity names so lookups and superlatives are unambiguous.
+    combos = [
+        f"{first} {last}"
+        for first in spec.first_names for last in spec.last_names
+    ]
+    rng.shuffle(combos)
+    names = combos[:rows]
+
+    codes = [rng.choice(spec.code_pool) for _ in range(rows)]
+    entities = [f"{name} ({code})" for name, code in zip(names, codes)]
+    categories = [rng.choice(spec.category_pool) for _ in range(rows)]
+
+    columns: dict[str, list] = {spec.rank_column: list(range(1, rows + 1))}
+    columns[spec.entity_column] = entities
+    columns[spec.category_column] = categories
+    if include_noise_column:
+        columns["Time"] = _noise_column_values(rng, rows)
+    for index, (header, _, low, high) in enumerate(spec.numeric_columns):
+        values: list = [rng.randint(low, high) for _ in range(rows)]
+        if index > 0:
+            values = [
+                None if rng.random() < missing_rate else value
+                for value in values
+            ]
+        columns[header] = values
+
+    frame = DataFrame(columns, name="T0")
+    return GeneratedTable(
+        frame=frame,
+        domain=spec,
+        entity_values=entities,
+        entity_codes=codes,
+    )

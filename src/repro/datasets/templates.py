@@ -1,0 +1,666 @@
+"""Question templates: NL question + gold plan generators.
+
+Each template builds one (question, plan) pair over a generated table,
+pre-validating well-posedness (unique superlative winners, non-empty filter
+results, ...).  Template mixtures per dataset are tuned so the *iteration
+count* distribution matches Figure 4 of the paper (>70% of questions solved
+in two iterations, none beyond five) and the Python-affine share matches
+the executor-ablation gaps (Tables 8 and 9).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.datasets.tablegen import GeneratedTable
+from repro.plans.plan import Plan
+from repro.plans.steps import (
+    AggregateStep,
+    AnswerStep,
+    CountWhereStep,
+    DiffStep,
+    ExtractStep,
+    FilterStep,
+    GroupAggStep,
+    GroupCountStep,
+    SuperlativeStep,
+    quote_sql_string,
+)
+from repro.table.schema import is_missing
+
+__all__ = [
+    "BuiltQuestion",
+    "Template",
+    "WIKITQ_TEMPLATES",
+    "TABFACT_TEMPLATES",
+    "FETAQA_TEMPLATES",
+]
+
+
+@dataclass
+class BuiltQuestion:
+    question: str
+    plan: Plan
+    difficulty: float
+    python_affine: bool = False
+
+
+@dataclass(frozen=True)
+class Template:
+    """A question template: id, target iteration count, builder."""
+
+    id: str
+    iterations: int
+    base_difficulty: float
+    builder: object               # callable(gt, rng) -> BuiltQuestion | None
+    python_affine: bool = False
+
+    def build(self, table: GeneratedTable,
+              rng: random.Random) -> BuiltQuestion | None:
+        built = self.builder(table, rng)
+        if built is None:
+            return None
+        jitter = rng.uniform(-0.06, 0.06)
+        built.difficulty = min(0.98, max(0.02,
+                                         self.base_difficulty + jitter))
+        built.python_affine = built.python_affine or self.python_affine
+        return built
+
+
+# --- helpers ------------------------------------------------------------------
+
+
+def _clean_numeric(table: GeneratedTable) -> str:
+    """The first numeric column — generated without missing values."""
+    return table.numeric_headers[0]
+
+
+def _values(table: GeneratedTable, column: str) -> list:
+    return table.frame.column(column).tolist()
+
+
+def _unique_max(values: list, *, lowest: bool = False) -> int | None:
+    """Index of the unique extreme value, or None if tied/missing."""
+    present = [(v, i) for i, v in enumerate(values) if not is_missing(v)]
+    if not present:
+        return None
+    pick = min(present) if lowest else max(present)
+    count = sum(1 for v, _ in present if v == pick[0])
+    return pick[1] if count == 1 else None
+
+
+def _entity_name(table: GeneratedTable, index: int) -> str:
+    return table.entity_values[index]
+
+
+# --- WikiTQ templates ----------------------------------------------------------
+
+
+def _build_direct_first(table: GeneratedTable, rng: random.Random):
+    """Iteration 1: read a cell straight off the table (no code)."""
+    domain = table.domain
+    question = (f"which {domain.entity_label} is listed first "
+                f"in the table?")
+    answer = table.entity_values[0]
+    plan = Plan([AnswerStep(kind="cell", literal=(answer,))])
+    return BuiltQuestion(question, plan, 0.0)
+
+
+def _build_direct_cell(table: GeneratedTable, rng: random.Random):
+    """Iteration 1: direct lookup of a single cell."""
+    domain = table.domain
+    column = _clean_numeric(table)
+    index = rng.randrange(table.frame.num_rows)
+    entity = _entity_name(table, index)
+    value = table.frame.cell(index, column)
+    question = (f"how many {table.numeric_label(column)} does "
+                f"{entity} have?")
+    plan = Plan([AnswerStep(kind="cell", literal=(str(value),))])
+    return BuiltQuestion(question, plan, 0.0)
+
+
+def _build_filter_list(table: GeneratedTable, rng: random.Random):
+    """Iteration 2: filter rows, list entities."""
+    domain = table.domain
+    column = _clean_numeric(table)
+    values = sorted(_values(table, column), reverse=True)
+    # Pick a threshold keeping 1-4 rows.
+    keep = rng.randint(1, min(4, len(values)))
+    threshold = values[keep - 1]
+    matching = [
+        table.entity_values[i]
+        for i, v in enumerate(_values(table, column)) if v >= threshold
+    ]
+    if not 1 <= len(matching) <= 5:
+        return None
+    question = (f"which {domain.entity_label}s have at least {threshold} "
+                f"{table.numeric_label(column)}?")
+    plan = Plan([
+        FilterStep(condition=f"{column} >= {threshold}",
+                   columns=(domain.entity_column,), reads=(column,)),
+        AnswerStep(kind="list"),
+    ])
+    return BuiltQuestion(question, plan, 0.0)
+
+
+def _build_count_where(table: GeneratedTable, rng: random.Random):
+    """Iteration 2: count rows matching a predicate."""
+    domain = table.domain
+    column = _clean_numeric(table)
+    values = [v for v in _values(table, column) if not is_missing(v)]
+    threshold = rng.choice(sorted(set(values)))
+    question = (f"how many {domain.entity_label}s scored more than "
+                f"{threshold} {table.numeric_label(column)}?")
+    plan = Plan([
+        CountWhereStep(condition=f"{column} > {threshold}",
+                       reads=(column,)),
+        AnswerStep(kind="cell"),
+    ])
+    return BuiltQuestion(question, plan, 0.0)
+
+
+def _build_superlative(table: GeneratedTable, rng: random.Random):
+    """Iteration 2: which entity has the highest/lowest measure."""
+    domain = table.domain
+    column = _clean_numeric(table)
+    lowest = rng.random() < 0.3
+    index = _unique_max(_values(table, column), lowest=lowest)
+    if index is None:
+        return None
+    direction = "lowest" if lowest else "highest"
+    question = (f"which {domain.entity_label} has the {direction} "
+                f"{table.numeric_label(column)}?")
+    plan = Plan([
+        SuperlativeStep(target=domain.entity_column, by=column,
+                        descending=not lowest),
+        AnswerStep(kind="cell"),
+    ])
+    return BuiltQuestion(question, plan, 0.0)
+
+
+def _build_aggregate(table: GeneratedTable, rng: random.Random):
+    """Iteration 2: whole-table aggregate."""
+    domain = table.domain
+    column = _clean_numeric(table)
+    agg = rng.choice(("sum", "avg", "max", "min"))
+    noun = {"sum": "total", "avg": "average", "max": "maximum",
+            "min": "minimum"}[agg]
+    question = (f"what is the {noun} number of "
+                f"{table.numeric_label(column)} across all "
+                f"{domain.entity_label}s?")
+    plan = Plan([
+        AggregateStep(agg=agg, column=column),
+        AnswerStep(kind="cell"),
+    ])
+    return BuiltQuestion(question, plan, 0.0)
+
+
+def _build_group_mode(table: GeneratedTable, rng: random.Random):
+    """Iteration 2: most frequent category."""
+    domain = table.domain
+    counts = Counter(_values(table, domain.category_column))
+    ranked = counts.most_common()
+    if len(ranked) > 1 and ranked[0][1] == ranked[1][1]:
+        return None  # tie: ill-posed
+    question = (f"which {domain.category_label} appears most often "
+                f"in the table?")
+    plan = Plan([
+        GroupCountStep(key=domain.category_column, descending=True,
+                       limit=1),
+        AnswerStep(kind="cell"),
+    ])
+    return BuiltQuestion(question, plan, 0.0)
+
+
+def _build_diff(table: GeneratedTable, rng: random.Random):
+    """Iteration 2: difference between two entities."""
+    domain = table.domain
+    column = _clean_numeric(table)
+    values = _values(table, column)
+    candidates = [i for i, v in enumerate(values) if not is_missing(v)]
+    if len(candidates) < 2:
+        return None
+    left, right = rng.sample(candidates, 2)
+    if values[left] < values[right]:
+        left, right = right, left
+    left_name = _entity_name(table, left)
+    right_name = _entity_name(table, right)
+    question = (f"how many more {table.numeric_label(column)} does "
+                f"{left_name} have than {right_name}?")
+    plan = Plan([
+        DiffStep(key=domain.entity_column, value=column,
+                 left=left_name, right=right_name),
+        AnswerStep(kind="cell"),
+    ])
+    return BuiltQuestion(question, plan, 0.0)
+
+
+def _build_filter_superlative(table: GeneratedTable, rng: random.Random):
+    """Iteration 3: filter then superlative."""
+    domain = table.domain
+    column = _clean_numeric(table)
+    other = table.numeric_headers[1]
+    rank_limit = rng.randint(3, max(3, table.frame.num_rows // 2))
+    rank_values = _values(table, domain.rank_column)
+    keep = [i for i, rank in enumerate(rank_values) if rank <= rank_limit]
+    kept_values = [
+        _values(table, column)[i] if i in keep else None
+        for i in range(len(rank_values))
+    ]
+    index = _unique_max([v for v in kept_values if v is not None])
+    if index is None or len(keep) < 2:
+        return None
+    question = (f"among the top {rank_limit} {domain.entity_label}s, "
+                f"which one has the highest "
+                f"{table.numeric_label(column)}?")
+    plan = Plan([
+        FilterStep(condition=f"{domain.rank_column} <= {rank_limit}",
+                   reads=(domain.rank_column,)),
+        SuperlativeStep(target=domain.entity_column, by=column),
+        AnswerStep(kind="cell"),
+    ])
+    del other
+    return BuiltQuestion(question, plan, 0.0)
+
+
+def _build_filter_group(table: GeneratedTable, rng: random.Random):
+    """Iteration 3: filter then most-frequent category."""
+    domain = table.domain
+    rank_limit = rng.randint(4, max(4, table.frame.num_rows * 2 // 3))
+    ranks = _values(table, domain.rank_column)
+    categories = _values(table, domain.category_column)
+    kept = [c for rank, c in zip(ranks, categories) if rank <= rank_limit]
+    if len(kept) < 3:
+        return None
+    counts = Counter(kept).most_common()
+    if len(counts) > 1 and counts[0][1] == counts[1][1]:
+        return None
+    question = (f"which {domain.category_label} has the most "
+                f"{domain.entity_label}s ranked {rank_limit} or better?")
+    plan = Plan([
+        FilterStep(condition=f"{domain.rank_column} <= {rank_limit}",
+                   reads=(domain.rank_column,)),
+        GroupCountStep(key=domain.category_column, limit=1),
+        AnswerStep(kind="cell"),
+    ])
+    return BuiltQuestion(question, plan, 0.0)
+
+
+def _build_extract_count(table: GeneratedTable, rng: random.Random):
+    """Iteration 3 (Python-affine): extract code, count matches."""
+    domain = table.domain
+    code = rng.choice(table.entity_codes)
+    expected = table.entity_codes.count(code)
+    code_column = domain.code_label.capitalize()
+    if domain.code_is_year:
+        question = (f"how many {domain.entity_label}s are from the year "
+                    f"{code}?")
+    else:
+        question = (f"how many {domain.entity_label}s are from {code}?")
+    plan = Plan([
+        ExtractStep(source=domain.entity_column, target=code_column,
+                    pattern=domain.code_pattern),
+        CountWhereStep(
+            condition=f"{code_column} = {quote_sql_string(code)}",
+            reads=(code_column,)),
+        AnswerStep(kind="cell"),
+    ])
+    del expected
+    return BuiltQuestion(question, plan, 0.0, python_affine=True)
+
+
+def _build_top_extract_group(table: GeneratedTable, rng: random.Random):
+    """Iteration 4: the paper's running example — filter, extract, group."""
+    domain = table.domain
+    rank_limit = rng.choice((5, 8, 10))
+    rank_limit = min(rank_limit, table.frame.num_rows)
+    ranks = _values(table, domain.rank_column)
+    kept_codes = [
+        code for rank, code in zip(ranks, table.entity_codes)
+        if rank <= rank_limit
+    ]
+    if len(kept_codes) < 3:
+        return None
+    counts = Counter(kept_codes).most_common()
+    if len(counts) > 1 and counts[0][1] == counts[1][1]:
+        return None
+    code_column = domain.code_label.capitalize()
+    if domain.code_is_year:
+        noun = f"which year had the most {domain.entity_label}s"
+    else:
+        noun = f"which {domain.code_label} had the most {domain.entity_label}s"
+    question = f"{noun} finish in the top {rank_limit}?"
+    plan = Plan([
+        FilterStep(condition=f"{domain.rank_column} <= {rank_limit}",
+                   columns=(domain.entity_column,),
+                   reads=(domain.rank_column,)),
+        ExtractStep(source=domain.entity_column, target=code_column,
+                    pattern=domain.code_pattern),
+        GroupCountStep(key=code_column, limit=1),
+        AnswerStep(kind="cell"),
+    ])
+    return BuiltQuestion(question, plan, 0.0, python_affine=True)
+
+
+def _build_extract_filter_sum(table: GeneratedTable, rng: random.Random):
+    """Iteration 4 (Python-affine): extract, filter by code, aggregate."""
+    domain = table.domain
+    column = _clean_numeric(table)
+    code = rng.choice(table.entity_codes)
+    code_column = domain.code_label.capitalize()
+    source = "the year " + code if domain.code_is_year else code
+    question = (f"what is the total number of "
+                f"{table.numeric_label(column)} earned by "
+                f"{domain.entity_label}s from {source}?")
+    plan = Plan([
+        ExtractStep(source=domain.entity_column, target=code_column,
+                    pattern=domain.code_pattern),
+        FilterStep(
+            condition=f"{code_column} = {quote_sql_string(code)}",
+            reads=(code_column,)),
+        AggregateStep(agg="sum", column=column),
+        AnswerStep(kind="cell"),
+    ])
+    return BuiltQuestion(question, plan, 0.0, python_affine=True)
+
+
+def _build_deep_chain(table: GeneratedTable, rng: random.Random):
+    """Iteration 5: filter, extract, group-sum, superlative."""
+    domain = table.domain
+    column = _clean_numeric(table)
+    rank_limit = max(6, table.frame.num_rows * 3 // 4)
+    ranks = _values(table, domain.rank_column)
+    values = _values(table, column)
+    totals: Counter = Counter()
+    for rank, code, value in zip(ranks, table.entity_codes, values):
+        if rank <= rank_limit and not is_missing(value):
+            totals[code] += value
+    ranked = totals.most_common()
+    if len(ranked) < 2 or ranked[0][1] == ranked[1][1]:
+        return None
+    code_column = domain.code_label.capitalize()
+    group_noun = ("year" if domain.code_is_year else domain.code_label)
+    question = (f"considering only the top {rank_limit} "
+                f"{domain.entity_label}s, which {group_noun} "
+                f"accumulated the most {table.numeric_label(column)} "
+                f"in total?")
+    plan = Plan([
+        FilterStep(condition=f"{domain.rank_column} <= {rank_limit}",
+                   reads=(domain.rank_column,)),
+        ExtractStep(source=domain.entity_column, target=code_column,
+                    pattern=domain.code_pattern),
+        GroupAggStep(key=code_column, agg="sum", value=column,
+                     alias="total"),
+        SuperlativeStep(target=code_column, by="total"),
+        AnswerStep(kind="cell"),
+    ])
+    return BuiltQuestion(question, plan, 0.0, python_affine=True)
+
+
+#: (template, weight) — weights follow the Figure 4 iteration distribution
+#: for WikiTQ (Table 6: 5.4% / 79.6% / 8.5% / 6.1% / 0.4%).
+WIKITQ_TEMPLATES: tuple[tuple[Template, float], ...] = (
+    (Template("direct_first", 1, 0.95, _build_direct_first), 2.7),
+    (Template("direct_cell", 1, 0.95, _build_direct_cell), 2.7),
+    (Template("filter_list", 2, 0.22, _build_filter_list), 16.0),
+    (Template("count_where", 2, 0.20, _build_count_where), 16.0),
+    (Template("superlative", 2, 0.18, _build_superlative), 16.0),
+    (Template("aggregate", 2, 0.22, _build_aggregate), 12.0),
+    (Template("group_mode", 2, 0.24, _build_group_mode), 10.0),
+    (Template("diff", 2, 0.28, _build_diff), 9.6),
+    (Template("filter_superlative", 3, 0.33, _build_filter_superlative), 4.2),
+    (Template("filter_group", 3, 0.35, _build_filter_group), 2.2),
+    (Template("extract_count", 3, 0.34, _build_extract_count,
+              python_affine=True), 2.1),
+    (Template("top_extract_group", 4, 0.40, _build_top_extract_group,
+              python_affine=True), 3.1),
+    (Template("extract_filter_sum", 4, 0.42, _build_extract_filter_sum,
+              python_affine=True), 3.0),
+    (Template("deep_chain", 5, 0.60, _build_deep_chain,
+              python_affine=True), 0.4),
+)
+
+
+# --- TabFact templates ---------------------------------------------------------
+
+
+def _claim_total(table: GeneratedTable, rng: random.Random):
+    domain = table.domain
+    column = _clean_numeric(table)
+    actual = sum(v for v in _values(table, column) if not is_missing(v))
+    truth = rng.random() < 0.5
+    margin = max(1, actual // 10)
+    constant = actual - margin if truth else actual + margin
+    question = (f"the combined {table.numeric_label(column)} of all "
+                f"{domain.entity_label}s is more than {constant}")
+    plan = Plan([
+        AggregateStep(agg="sum", column=column),
+        AnswerStep(kind="boolean", op=">", constant=constant),
+    ])
+    return BuiltQuestion(question, plan, 0.0)
+
+
+def _claim_superlative(table: GeneratedTable, rng: random.Random):
+    domain = table.domain
+    column = _clean_numeric(table)
+    index = _unique_max(_values(table, column))
+    if index is None:
+        return None
+    truth = rng.random() < 0.5
+    if truth:
+        named = _entity_name(table, index)
+    else:
+        others = [i for i in range(table.frame.num_rows) if i != index]
+        named = _entity_name(table, rng.choice(others))
+    question = (f"{named} has the highest "
+                f"{table.numeric_label(column)} in the table")
+    plan = Plan([
+        SuperlativeStep(target=domain.entity_column, by=column),
+        AnswerStep(kind="boolean", op="=", constant=named),
+    ])
+    return BuiltQuestion(question, plan, 0.0)
+
+
+def _claim_count(table: GeneratedTable, rng: random.Random):
+    domain = table.domain
+    column = _clean_numeric(table)
+    values = [v for v in _values(table, column) if not is_missing(v)]
+    threshold = rng.choice(sorted(set(values)))
+    actual = sum(1 for v in values if v > threshold)
+    truth = rng.random() < 0.5
+    claimed = actual if truth else actual + rng.choice((-1, 1, 2))
+    if claimed < 0:
+        claimed = actual + 1
+    question = (f"exactly {claimed} {domain.entity_label}s scored more "
+                f"than {threshold} {table.numeric_label(column)}")
+    plan = Plan([
+        CountWhereStep(condition=f"{column} > {threshold}",
+                       reads=(column,)),
+        AnswerStep(kind="boolean", op="=", constant=claimed),
+    ])
+    return BuiltQuestion(question, plan, 0.0)
+
+
+def _claim_compare(table: GeneratedTable, rng: random.Random):
+    domain = table.domain
+    column = _clean_numeric(table)
+    values = _values(table, column)
+    candidates = [i for i, v in enumerate(values) if not is_missing(v)]
+    if len(candidates) < 2:
+        return None
+    left, right = rng.sample(candidates, 2)
+    if values[left] == values[right]:
+        return None
+    truth = rng.random() < 0.5
+    if (values[left] > values[right]) != truth:
+        left, right = right, left
+    left_name = _entity_name(table, left)
+    right_name = _entity_name(table, right)
+    question = (f"{left_name} recorded more "
+                f"{table.numeric_label(column)} than {right_name}")
+    plan = Plan([
+        DiffStep(key=domain.entity_column, value=column,
+                 left=left_name, right=right_name),
+        AnswerStep(kind="boolean", op=">", constant=0),
+    ])
+    return BuiltQuestion(question, plan, 0.0)
+
+
+def _claim_extract_count(table: GeneratedTable, rng: random.Random):
+    domain = table.domain
+    code = rng.choice(table.entity_codes)
+    actual = table.entity_codes.count(code)
+    truth = rng.random() < 0.5
+    claimed = actual if truth else actual + rng.choice((1, 2))
+    code_column = domain.code_label.capitalize()
+    source = "the year " + code if domain.code_is_year else code
+    question = (f"{claimed} of the {domain.entity_label}s in the table "
+                f"are from {source}")
+    plan = Plan([
+        ExtractStep(source=domain.entity_column, target=code_column,
+                    pattern=domain.code_pattern),
+        CountWhereStep(
+            condition=f"{code_column} = {quote_sql_string(code)}",
+            reads=(code_column,)),
+        AnswerStep(kind="boolean", op="=", constant=claimed),
+    ])
+    return BuiltQuestion(question, plan, 0.0, python_affine=True)
+
+
+def _claim_extract_top(table: GeneratedTable, rng: random.Random):
+    domain = table.domain
+    column = _clean_numeric(table)
+    index = _unique_max(_values(table, column))
+    if index is None:
+        return None
+    actual_code = table.entity_codes[index]
+    truth = rng.random() < 0.5
+    if truth:
+        named_code = actual_code
+    else:
+        others = [c for c in table.domain.code_pool if c != actual_code]
+        named_code = rng.choice(others)
+    code_column = domain.code_label.capitalize()
+    source = ("the year " + named_code if domain.code_is_year
+              else named_code)
+    question = (f"the {domain.entity_label} with the highest "
+                f"{table.numeric_label(column)} is from {source}")
+    plan = Plan([
+        ExtractStep(source=domain.entity_column, target=code_column,
+                    pattern=domain.code_pattern),
+        SuperlativeStep(target=code_column, by=column),
+        AnswerStep(kind="boolean", op="=", constant=named_code),
+    ])
+    return BuiltQuestion(question, plan, 0.0, python_affine=True)
+
+
+TABFACT_TEMPLATES: tuple[tuple[Template, float], ...] = (
+    (Template("claim_total", 2, 0.09, _claim_total), 18.0),
+    (Template("claim_superlative", 2, 0.07, _claim_superlative), 20.0),
+    (Template("claim_count", 2, 0.11, _claim_count), 18.0),
+    (Template("claim_compare", 2, 0.09, _claim_compare), 16.0),
+    (Template("claim_extract_count", 3, 0.24, _claim_extract_count,
+              python_affine=True), 15.0),
+    (Template("claim_extract_top", 3, 0.26, _claim_extract_top,
+              python_affine=True), 13.0),
+)
+
+
+# --- FeTaQA templates -----------------------------------------------------------
+
+
+def _fetaqa_superlative(table: GeneratedTable, rng: random.Random):
+    domain = table.domain
+    column = _clean_numeric(table)
+    index = _unique_max(_values(table, column))
+    if index is None:
+        return None
+    label = table.numeric_label(column)
+    question = (f"who recorded the highest {label}, and how many "
+                f"was it?")
+    plan = Plan([
+        SuperlativeStep(target=domain.entity_column, by=column,
+                        extra_columns=(column,)),
+        AnswerStep(kind="sentence",
+                   template=f"{{0}} recorded the highest {label} "
+                            f"with {{1}}."),
+    ])
+    return BuiltQuestion(question, plan, 0.0)
+
+
+def _fetaqa_diff(table: GeneratedTable, rng: random.Random):
+    domain = table.domain
+    column = _clean_numeric(table)
+    values = _values(table, column)
+    candidates = [i for i, v in enumerate(values) if not is_missing(v)]
+    if len(candidates) < 2:
+        return None
+    left, right = rng.sample(candidates, 2)
+    if values[left] < values[right]:
+        left, right = right, left
+    if values[left] == values[right]:
+        return None
+    left_name = _entity_name(table, left)
+    right_name = _entity_name(table, right)
+    label = table.numeric_label(column)
+    question = (f"by how much did {left_name} beat {right_name} "
+                f"in {label}?")
+    plan = Plan([
+        DiffStep(key=domain.entity_column, value=column,
+                 left=left_name, right=right_name),
+        AnswerStep(kind="sentence",
+                   template=f"{left_name} beat {right_name} by "
+                            f"{{0}} {label}."),
+    ])
+    return BuiltQuestion(question, plan, 0.0)
+
+
+def _fetaqa_group(table: GeneratedTable, rng: random.Random):
+    domain = table.domain
+    counts = Counter(_values(table, domain.category_column))
+    ranked = counts.most_common()
+    if len(ranked) > 1 and ranked[0][1] == ranked[1][1]:
+        return None
+    question = (f"which {domain.category_label} is most represented "
+                f"in the table, and by how many "
+                f"{domain.entity_label}s?")
+    plan = Plan([
+        GroupCountStep(key=domain.category_column, limit=1),
+        AnswerStep(kind="sentence",
+                   template=f"The most represented "
+                            f"{domain.category_label} is {{0}} with "
+                            f"{{1}} {domain.entity_label}s."),
+    ])
+    return BuiltQuestion(question, plan, 0.0)
+
+
+def _fetaqa_extract_group(table: GeneratedTable, rng: random.Random):
+    domain = table.domain
+    counts = Counter(table.entity_codes).most_common()
+    if len(counts) > 1 and counts[0][1] == counts[1][1]:
+        return None
+    code_column = domain.code_label.capitalize()
+    group_noun = "year" if domain.code_is_year else domain.code_label
+    question = (f"which {group_noun} contributed the most "
+                f"{domain.entity_label}s, and how many?")
+    plan = Plan([
+        ExtractStep(source=domain.entity_column, target=code_column,
+                    pattern=domain.code_pattern),
+        GroupCountStep(key=code_column, limit=1),
+        AnswerStep(kind="sentence",
+                   template=f"The {group_noun} with the most "
+                            f"{domain.entity_label}s is {{0}}, "
+                            f"contributing {{1}}."),
+    ])
+    return BuiltQuestion(question, plan, 0.0, python_affine=True)
+
+
+FETAQA_TEMPLATES: tuple[tuple[Template, float], ...] = (
+    (Template("fetaqa_superlative", 2, 0.12, _fetaqa_superlative), 38.0),
+    (Template("fetaqa_diff", 2, 0.16, _fetaqa_diff), 30.0),
+    (Template("fetaqa_group", 2, 0.14, _fetaqa_group), 20.0),
+    (Template("fetaqa_extract_group", 3, 0.30, _fetaqa_extract_group,
+              python_affine=True), 12.0),
+)

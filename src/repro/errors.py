@@ -1,0 +1,115 @@
+"""Exception hierarchy shared by every subsystem of the reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class.  Executor failures additionally derive from
+:class:`ExecutionError`, which the agent's exception handlers (Section 3.3 of
+the paper) dispatch on.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class TableError(ReproError):
+    """Errors raised by the DataFrame substrate (``repro.table``)."""
+
+
+class ColumnNotFoundError(TableError, KeyError):
+    """A referenced column does not exist in the frame."""
+
+    def __init__(self, column: str, available: tuple[str, ...] = ()):
+        self.column = column
+        self.available = tuple(available)
+        message = f"column {column!r} not found"
+        if available:
+            message += f" (available: {', '.join(available)})"
+        super().__init__(message)
+
+    def __str__(self) -> str:  # KeyError would repr() the message otherwise
+        return self.args[0]
+
+
+class SchemaError(TableError):
+    """A frame or column was constructed with an inconsistent schema."""
+
+
+class SQLError(ReproError):
+    """Errors raised by the native SQL engine (``repro.sqlengine``)."""
+
+
+class SQLSyntaxError(SQLError):
+    """The SQL text could not be tokenised or parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class SQLRuntimeError(SQLError):
+    """The SQL parsed but failed during evaluation."""
+
+
+class ExecutionError(ReproError):
+    """Base class for failures inside an external code executor."""
+
+    def __init__(self, message: str, *, code: str = ""):
+        self.code = code
+        super().__init__(message)
+
+
+class SQLExecutionError(ExecutionError):
+    """The SQL executor failed to run a query against any candidate table."""
+
+
+class PythonExecutionError(ExecutionError):
+    """The Python executor raised while running generated code."""
+
+
+class SandboxViolationError(PythonExecutionError):
+    """Generated Python attempted an operation the sandbox forbids."""
+
+
+class ModuleNotAllowedError(PythonExecutionError):
+    """Generated Python imported a module outside the installable registry."""
+
+    def __init__(self, module: str, *, code: str = ""):
+        self.module = module
+        super().__init__(f"module {module!r} is not available and cannot be "
+                         f"installed in this sandbox", code=code)
+
+
+class AgentError(ReproError):
+    """Errors raised by the ReAcTable agent loop."""
+
+
+class ActionParseError(AgentError):
+    """The LLM completion could not be parsed into an action."""
+
+
+class IterationLimitError(AgentError):
+    """The agent exceeded its hard iteration budget without answering."""
+
+
+class PromptError(ReproError):
+    """A prompt could not be built or re-parsed."""
+
+
+class ModelError(ReproError):
+    """Errors raised by the language-model layer."""
+
+
+class UnknownQuestionError(ModelError):
+    """The simulated model saw a question absent from its question bank."""
+
+
+class DatasetError(ReproError):
+    """Errors raised while generating or loading benchmark datasets."""
+
+
+class EvaluationError(ReproError):
+    """Errors raised by the evaluation kit."""

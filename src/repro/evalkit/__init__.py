@@ -1,0 +1,42 @@
+"""Evaluation kit: WikiTQ denotation evaluator, TabFact matcher, ROUGE."""
+
+from repro.evalkit.rouge import (
+    RougeScore,
+    rouge_l,
+    rouge_n,
+    rouge_suite,
+    tokenize,
+)
+from repro.evalkit.runner import EvalReport, evaluate_agent, evaluate_answer
+from repro.evalkit.tabfact import normalize_verdict, tabfact_match
+from repro.evalkit.wikitq import (
+    DateValue,
+    NumberValue,
+    StringValue,
+    Value,
+    check_denotation,
+    to_value,
+    to_value_list,
+    wikitq_match,
+)
+
+__all__ = [
+    "Value",
+    "StringValue",
+    "NumberValue",
+    "DateValue",
+    "to_value",
+    "to_value_list",
+    "check_denotation",
+    "wikitq_match",
+    "normalize_verdict",
+    "tabfact_match",
+    "RougeScore",
+    "tokenize",
+    "rouge_n",
+    "rouge_l",
+    "rouge_suite",
+    "EvalReport",
+    "evaluate_agent",
+    "evaluate_answer",
+]

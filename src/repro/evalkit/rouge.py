@@ -1,0 +1,87 @@
+"""ROUGE-N and ROUGE-L (Lin, 2004) from scratch — the FeTaQA metrics.
+
+Implements the recall/precision/F1 formulation used by the standard
+``rouge`` packages: ROUGE-N over n-gram overlap, ROUGE-L over the longest
+common subsequence.  Scores are per-pair; corpus scores average the
+per-pair F1 values, matching how the FeTaQA baselines report them.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import dataclass
+
+__all__ = ["RougeScore", "tokenize", "rouge_n", "rouge_l", "rouge_suite"]
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lower-case word tokenisation (digits kept, punctuation dropped)."""
+    return _TOKEN_RE.findall(str(text).lower())
+
+
+@dataclass(frozen=True)
+class RougeScore:
+    precision: float
+    recall: float
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return (2 * self.precision * self.recall
+                / (self.precision + self.recall))
+
+
+def _ngrams(tokens: list[str], n: int) -> Counter:
+    return Counter(
+        tuple(tokens[i:i + n]) for i in range(len(tokens) - n + 1))
+
+
+def rouge_n(candidate: str, reference: str, n: int = 1) -> RougeScore:
+    """ROUGE-N overlap between a candidate and one reference."""
+    cand = _ngrams(tokenize(candidate), n)
+    ref = _ngrams(tokenize(reference), n)
+    if not cand or not ref:
+        return RougeScore(0.0, 0.0)
+    overlap = sum((cand & ref).values())
+    return RougeScore(
+        precision=overlap / sum(cand.values()),
+        recall=overlap / sum(ref.values()),
+    )
+
+
+def _lcs_length(a: list[str], b: list[str]) -> int:
+    if not a or not b:
+        return 0
+    previous = [0] * (len(b) + 1)
+    for token_a in a:
+        current = [0]
+        for j, token_b in enumerate(b, start=1):
+            if token_a == token_b:
+                current.append(previous[j - 1] + 1)
+            else:
+                current.append(max(previous[j], current[-1]))
+        previous = current
+    return previous[-1]
+
+
+def rouge_l(candidate: str, reference: str) -> RougeScore:
+    """ROUGE-L: longest-common-subsequence based score."""
+    cand = tokenize(candidate)
+    ref = tokenize(reference)
+    if not cand or not ref:
+        return RougeScore(0.0, 0.0)
+    lcs = _lcs_length(cand, ref)
+    return RougeScore(precision=lcs / len(cand), recall=lcs / len(ref))
+
+
+def rouge_suite(candidate: str, reference: str) -> dict[str, float]:
+    """ROUGE-1/2/L F1 scores for one (candidate, reference) pair."""
+    return {
+        "rouge1": rouge_n(candidate, reference, 1).f1,
+        "rouge2": rouge_n(candidate, reference, 2).f1,
+        "rougeL": rouge_l(candidate, reference).f1,
+    }

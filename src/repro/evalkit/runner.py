@@ -1,0 +1,110 @@
+"""Experiment runner: evaluate an agent over a benchmark.
+
+Produces an :class:`EvalReport` with overall accuracy (or ROUGE for
+FeTaQA), the per-iteration histogram and accuracy breakdown (Figure 4 /
+Table 6), and counts of exception-handling events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets.generators import Benchmark
+from repro.evalkit.rouge import rouge_suite
+from repro.evalkit.tabfact import tabfact_match
+from repro.evalkit.wikitq import wikitq_match
+
+__all__ = ["evaluate_answer", "EvalReport", "evaluate_agent"]
+
+
+def evaluate_answer(dataset: str, predicted: list[str],
+                    gold: list[str]) -> bool:
+    """Dataset-appropriate binary verdict for one prediction.
+
+    WikiTQ uses the official denotation evaluator; TabFact uses verdict
+    string matching; FeTaQA counts a prediction "correct" at ROUGE-L f1 >=
+    0.5 (only used for accuracy-style summaries — Table 3 reports the raw
+    ROUGE scores via :func:`evaluate_agent`).
+    """
+    if dataset == "wikitq":
+        return wikitq_match(predicted, gold)
+    if dataset == "tabfact":
+        return tabfact_match(predicted, gold)
+    if dataset == "fetaqa":
+        if not predicted or not gold:
+            return False
+        return rouge_suite(predicted[0], gold[0])["rougeL"] >= 0.5
+    raise ValueError(f"unknown dataset {dataset!r}")
+
+
+@dataclass
+class EvalReport:
+    """Aggregated evaluation results for one (agent, benchmark) pair."""
+
+    dataset: str
+    num_questions: int
+    num_correct: int
+    iteration_histogram: dict[int, int] = field(default_factory=dict)
+    iteration_correct: dict[int, int] = field(default_factory=dict)
+    rouge_totals: dict[str, float] = field(default_factory=dict)
+    handling_events: int = 0
+    forced_answers: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        if self.num_questions == 0:
+            return 0.0
+        return self.num_correct / self.num_questions
+
+    def iteration_accuracy(self) -> dict[int, float]:
+        """Accuracy per iteration-count bucket (the Table 6 breakdown)."""
+        return {
+            count: self.iteration_correct.get(count, 0) / total
+            for count, total in sorted(self.iteration_histogram.items())
+            if total
+        }
+
+    def rouge(self) -> dict[str, float]:
+        """Mean ROUGE-1/2/L F1 over the benchmark (Table 3)."""
+        if self.num_questions == 0:
+            return {key: 0.0 for key in ("rouge1", "rouge2", "rougeL")}
+        return {
+            key: value / self.num_questions
+            for key, value in self.rouge_totals.items()
+        }
+
+
+def evaluate_agent(agent, benchmark: Benchmark, *,
+                   limit: int | None = None) -> EvalReport:
+    """Run ``agent`` over (a prefix of) ``benchmark`` and score it.
+
+    ``agent`` is anything with ``run(table, question)`` returning an
+    object with ``answer`` (list of strings) and ``iterations`` — both the
+    plain agents and the voting wrappers qualify.
+    """
+    examples = benchmark.examples[:limit] if limit else benchmark.examples
+    report = EvalReport(dataset=benchmark.name,
+                        num_questions=len(examples), num_correct=0,
+                        rouge_totals={"rouge1": 0.0, "rouge2": 0.0,
+                                      "rougeL": 0.0})
+    for example in examples:
+        result = agent.run(example.table, example.question)
+        iterations = getattr(result, "iterations", 0)
+        report.iteration_histogram[iterations] = (
+            report.iteration_histogram.get(iterations, 0) + 1)
+        correct = evaluate_answer(benchmark.name, result.answer,
+                                  example.gold_answer)
+        if correct:
+            report.num_correct += 1
+            report.iteration_correct[iterations] = (
+                report.iteration_correct.get(iterations, 0) + 1)
+        if benchmark.name == "fetaqa":
+            candidate = result.answer[0] if result.answer else ""
+            reference = example.gold_answer[0] if example.gold_answer else ""
+            for key, value in rouge_suite(candidate, reference).items():
+                report.rouge_totals[key] += value
+        report.handling_events += len(
+            getattr(result, "handling_events", ()) or ())
+        if getattr(result, "forced", False):
+            report.forced_answers += 1
+    return report

@@ -1,0 +1,53 @@
+"""TabFact matcher: binary yes/no fact-verification accuracy.
+
+The paper "simply use[s] string matching" for TabFact.  The matcher
+normalises the prediction and extracts a leading yes/no verdict, so a
+chat-style answer like "yes, that is correct" still counts — which is why
+the verbose-answer penalty hits the turbo profile less hard on TabFact
+than on WikiTQ (compare Tables 10 and 11).
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["normalize_verdict", "tabfact_match"]
+
+_YES_WORDS = ("yes", "true", "correct", "entailed", "supported")
+_NO_WORDS = ("no", "false", "incorrect", "refuted", "not supported")
+
+
+def normalize_verdict(text: str) -> str | None:
+    """Map an answer string to ``"yes"``, ``"no"`` or None (unparseable)."""
+    cleaned = re.sub(r"[^a-z ]", " ", str(text).lower())
+    # Negated phrases must be checked before their positive tokens
+    # ("not supported" contains "supported").
+    if re.search(r"\bnot (supported|correct|true|entailed)\b", cleaned):
+        return "no"
+    tokens = cleaned.split()
+    if not tokens:
+        return None
+    head = tokens[0]
+    if head in _YES_WORDS:
+        return "yes"
+    if head in _NO_WORDS:
+        return "no"
+    # Verbose forms: look for a verdict word anywhere, preferring the
+    # earliest occurrence.
+    for token in tokens:
+        if token in _YES_WORDS:
+            return "yes"
+        if token in _NO_WORDS:
+            return "no"
+    return None
+
+
+def tabfact_match(predicted: list[str], gold: list[str]) -> bool:
+    """True if the predicted verdict equals the gold verdict."""
+    if not gold:
+        return False
+    gold_verdict = normalize_verdict(gold[0])
+    predicted_verdict = normalize_verdict(predicted[0]) if predicted else None
+    if gold_verdict is None or predicted_verdict is None:
+        return False
+    return gold_verdict == predicted_verdict

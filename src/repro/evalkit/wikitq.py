@@ -1,0 +1,158 @@
+"""Reimplementation of the official WikiTQ denotation evaluator.
+
+Follows the normalisation rules of Pasupat & Liang's
+``evaluator.py`` from the WikiTableQuestions release: each value is parsed
+into a string, number or date; predicted and gold value *sets* must match
+exactly.  This strictness is what makes verbose chat-model answers
+("the answer is Italy") fail even when technically correct — the effect
+Section 4.4 of the paper describes for gpt-3.5-turbo.
+"""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+from dataclasses import dataclass
+
+__all__ = ["Value", "StringValue", "NumberValue", "DateValue",
+           "to_value", "to_value_list", "check_denotation"]
+
+
+def _normalize_string(text: str) -> str:
+    """The official evaluator's string normalisation."""
+    text = unicodedata.normalize("NFKD", text)
+    text = "".join(c for c in text if not unicodedata.combining(c))
+    text = text.lower()
+    # Remove quotes, trailing punctuation, bracketed suffixes.
+    text = re.sub(r"[‘’´`']", "'", text)
+    text = re.sub(r"[“”]", '"', text)
+    text = re.sub(r"^\"(.*)\"$", r"\1", text)
+    text = re.sub(r"\s*\([^)]*\)\s*$", "", text)  # drop trailing "(...)"
+    text = re.sub(r"[♦†‡*#+]+$", "", text)
+    text = re.sub(r"\s+", " ", text).strip()
+    text = text.rstrip(".")
+    return text
+
+
+class Value:
+    """Base class for normalised denotation values."""
+
+    def match(self, other: "Value") -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class StringValue(Value):
+    normalized: str
+
+    def match(self, other: Value) -> bool:
+        if isinstance(other, StringValue):
+            return self.normalized == other.normalized
+        return False
+
+    def __repr__(self) -> str:
+        return f"S({self.normalized!r})"
+
+
+@dataclass(frozen=True)
+class NumberValue(Value):
+    amount: float
+    original: str = ""
+
+    def match(self, other: Value) -> bool:
+        if isinstance(other, NumberValue):
+            return abs(self.amount - other.amount) < 1e-6
+        if isinstance(other, StringValue):
+            return _normalize_string(self.original) == other.normalized
+        return False
+
+    def __repr__(self) -> str:
+        return f"N({self.amount})"
+
+
+@dataclass(frozen=True)
+class DateValue(Value):
+    year: int      # -1 for unknown
+    month: int     # -1 for unknown
+    day: int       # -1 for unknown
+    original: str = ""
+
+    def match(self, other: Value) -> bool:
+        if isinstance(other, DateValue):
+            return (self.year, self.month, self.day) == (
+                other.year, other.month, other.day)
+        if isinstance(other, NumberValue):
+            # A bare year matches a number of the same amount.
+            return (self.month == -1 and self.day == -1
+                    and self.year == other.amount)
+        if isinstance(other, StringValue):
+            return _normalize_string(self.original) == other.normalized
+        return False
+
+    def __repr__(self) -> str:
+        return f"D({self.year}-{self.month}-{self.day})"
+
+
+_NUMBER_RE = re.compile(r"^[+-]?\s*\$?\s*([\d,]+(?:\.\d+)?|\.\d+)\s*%?$")
+_ORDINAL_RE = re.compile(r"^(\d+)(?:st|nd|rd|th)$", re.IGNORECASE)
+_DATE_ISO_RE = re.compile(r"^(\d{4})-(\d{1,2})-(\d{1,2})$")
+_DATE_SLASH_RE = re.compile(r"^(\d{1,2})/(\d{1,2})/(\d{4})$")
+
+
+def to_value(text: str) -> Value:
+    """Parse one raw answer string into a normalised Value."""
+    raw = str(text).strip()
+    match = _DATE_ISO_RE.match(raw)
+    if match:
+        year, month, day = (int(g) for g in match.groups())
+        if 1 <= month <= 12 and 1 <= day <= 31:
+            return DateValue(year, month, day, original=raw)
+    match = _DATE_SLASH_RE.match(raw)
+    if match:
+        month, day, year = (int(g) for g in match.groups())
+        if 1 <= month <= 12 and 1 <= day <= 31:
+            return DateValue(year, month, day, original=raw)
+    match = _NUMBER_RE.match(raw)
+    if match:
+        try:
+            amount = float(match.group(1).replace(",", ""))
+            if raw.lstrip().startswith("-"):
+                amount = -amount
+            return NumberValue(amount, original=raw)
+        except ValueError:
+            pass
+    match = _ORDINAL_RE.match(raw)
+    if match:
+        # "1st" and "1" denote the same rank in WikiTQ answers.
+        return NumberValue(float(match.group(1)), original=raw)
+    return StringValue(_normalize_string(raw))
+
+
+def to_value_list(texts) -> list[Value]:
+    """Parse a list of raw strings; duplicates are preserved (set compare
+    happens in :func:`check_denotation`)."""
+    return [to_value(text) for text in texts]
+
+
+def check_denotation(gold: list[Value], predicted: list[Value]) -> bool:
+    """Set-based denotation match, as the official evaluator does it.
+
+    Every gold value must be matched by a distinct predicted value and
+    vice versa.
+    """
+    if len(gold) != len(predicted):
+        return False
+    remaining = list(predicted)
+    for target in gold:
+        for index, candidate in enumerate(remaining):
+            if target.match(candidate) or candidate.match(target):
+                del remaining[index]
+                break
+        else:
+            return False
+    return True
+
+
+def wikitq_match(predicted: list[str], gold: list[str]) -> bool:
+    """Convenience wrapper: raw string lists in, verdict out."""
+    return check_denotation(to_value_list(gold), to_value_list(predicted))

@@ -1,0 +1,43 @@
+"""External code executors: the "tools" of the ReAcTable loop.
+
+Example::
+
+    from repro.executors import SQLExecutor, PythonExecutor
+    outcome = SQLExecutor().execute(
+        "SELECT Cyclist FROM T0 WHERE Rank <= 10", [t0])
+    outcome.table  # the next intermediate table
+"""
+
+from repro.executors.base import CodeExecutor, ExecutionOutcome
+from repro.executors.python_executor import (
+    INSTALLABLE_MODULES,
+    PRELOADED_MODULES,
+    PythonExecutor,
+)
+from repro.executors.registry import (
+    ExecutorRegistry,
+    default_registry,
+    sql_only_registry,
+)
+from repro.executors.sandbox import StepLimiter, validate_code
+from repro.executors.sql_executor import (
+    SQLExecutor,
+    rewrite_from_table,
+    run_sqlite_query,
+)
+
+__all__ = [
+    "CodeExecutor",
+    "ExecutionOutcome",
+    "SQLExecutor",
+    "PythonExecutor",
+    "ExecutorRegistry",
+    "default_registry",
+    "sql_only_registry",
+    "run_sqlite_query",
+    "rewrite_from_table",
+    "validate_code",
+    "StepLimiter",
+    "PRELOADED_MODULES",
+    "INSTALLABLE_MODULES",
+]

@@ -1,0 +1,55 @@
+"""Executor protocol shared by the SQL and Python code executors.
+
+An executor receives the generated code plus the *history* of tables
+``[T0, T1, ..., Tk]`` (original table first) and returns the next
+intermediate table.  The :class:`ExecutionOutcome` records which table the
+code actually ran against and any exception handling that was applied —
+the agent logs this and the ablation benchmarks switch it off.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from repro.table.frame import DataFrame
+
+__all__ = ["CodeExecutor", "ExecutionOutcome"]
+
+
+@dataclass
+class ExecutionOutcome:
+    """The result of running one generated code block."""
+
+    table: DataFrame
+    #: Human-readable notes about recovery actions (retries, installs).
+    handling_notes: list[str] = field(default_factory=list)
+    #: Name of the table the code ultimately executed against.
+    executed_against: str = ""
+
+    @property
+    def recovered(self) -> bool:
+        """True if exception handling was needed to produce the result."""
+        return bool(self.handling_notes)
+
+
+class CodeExecutor(abc.ABC):
+    """Interface for the external tools of the ReAcTable loop."""
+
+    #: Language tag matched against the LLM action ("sql", "python", ...).
+    language: str = ""
+
+    @abc.abstractmethod
+    def execute(self, code: str,
+                tables: Sequence[DataFrame]) -> ExecutionOutcome:
+        """Run ``code`` against the table history and return the new table.
+
+        ``tables`` is ordered oldest-first (``tables[0]`` is T0,
+        ``tables[-1]`` the latest intermediate table).  Raises a subclass of
+        :class:`repro.errors.ExecutionError` on failure.
+        """
+
+    def describe(self) -> str:
+        """One-line description used in prompts and documentation."""
+        return f"{self.language} code executor"

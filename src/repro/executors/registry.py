@@ -1,0 +1,75 @@
+"""Registry mapping action languages to executors.
+
+The ReAcTable loop looks actions up here, so adding a new tool (the paper
+stresses the framework "is adaptable to a range of code execution tools")
+is one ``register`` call — see ``examples/custom_executor.py``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import AgentError
+from repro.executors.base import CodeExecutor
+from repro.executors.python_executor import PythonExecutor
+from repro.executors.sql_executor import SQLExecutor
+
+__all__ = ["ExecutorRegistry", "default_registry", "sql_only_registry"]
+
+
+class ExecutorRegistry:
+    """A case-insensitive mapping from language tag to executor."""
+
+    def __init__(self, executors: Iterable[CodeExecutor] = ()):
+        self._executors: dict[str, CodeExecutor] = {}
+        for executor in executors:
+            self.register(executor)
+
+    def register(self, executor: CodeExecutor) -> None:
+        if not executor.language:
+            raise AgentError("executor has an empty language tag")
+        self._executors[executor.language.lower()] = executor
+
+    def unregister(self, language: str) -> None:
+        self._executors.pop(language.lower(), None)
+
+    def get(self, language: str) -> CodeExecutor:
+        try:
+            return self._executors[language.lower()]
+        except KeyError:
+            raise AgentError(
+                f"no executor registered for language {language!r} "
+                f"(have: {', '.join(self.languages) or 'none'})") from None
+
+    def __contains__(self, language: str) -> bool:
+        return language.lower() in self._executors
+
+    @property
+    def languages(self) -> list[str]:
+        return list(self._executors)
+
+    def __iter__(self):
+        return iter(self._executors.values())
+
+    def __len__(self) -> int:
+        return len(self._executors)
+
+
+def default_registry(*, sql_backend: str = "sqlite",
+                     retry_previous_tables: bool = True,
+                     allow_runtime_install: bool = True) -> ExecutorRegistry:
+    """The paper's default configuration: SQL + Python executors."""
+    return ExecutorRegistry([
+        SQLExecutor(sql_backend,
+                    retry_previous_tables=retry_previous_tables),
+        PythonExecutor(allow_runtime_install=allow_runtime_install),
+    ])
+
+
+def sql_only_registry(*, sql_backend: str = "sqlite",
+                      retry_previous_tables: bool = True) -> ExecutorRegistry:
+    """The Section 4.3.3 ablation: remove the Python executor."""
+    return ExecutorRegistry([
+        SQLExecutor(sql_backend,
+                    retry_previous_tables=retry_previous_tables),
+    ])

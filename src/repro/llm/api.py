@@ -1,0 +1,111 @@
+"""Adapter for real completion APIs.
+
+The reproduction runs fully offline, but the agents accept any
+:class:`LanguageModel`.  :class:`CallableModel` wraps a plain callable —
+an OpenAI-style client call, an HTTP request, anything — so plugging a
+real LLM into the framework is one lambda::
+
+    def call_api(prompt, temperature, n):
+        response = client.completions.create(
+            model="code-davinci-002", prompt=prompt,
+            temperature=temperature, n=n, logprobs=1, ...)
+        return [(choice.text, sum(choice.logprobs.token_logprobs))
+                for choice in response.choices]
+
+    model = CallableModel(call_api, name="code-davinci-002")
+    agent = ReActTableAgent(model)
+
+:class:`RetryingModel` adds bounded retries with deterministic backoff
+hooks around any model — transient API failures should not kill a
+benchmark run.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import ModelError
+from repro.llm.base import Completion, LanguageModel
+
+__all__ = ["CallableModel", "RetryingModel"]
+
+
+class CallableModel(LanguageModel):
+    """Wrap ``fn(prompt, temperature, n)`` as a :class:`LanguageModel`.
+
+    ``fn`` may return a list of strings, of ``(text, logprob)`` pairs, or
+    of :class:`Completion` objects.
+    """
+
+    def __init__(self, fn: Callable, *, name: str = "callable",
+                 supports_logprobs: bool = True):
+        self._fn = fn
+        self.name = name
+        self.supports_logprobs = supports_logprobs
+
+    def complete(self, prompt: str, *, temperature: float = 0.0,
+                 n: int = 1) -> list[Completion]:
+        raw = self._fn(prompt, temperature, n)
+        completions = [self._coerce(item) for item in raw]
+        if len(completions) != n:
+            raise ModelError(
+                f"backend returned {len(completions)} completions, "
+                f"expected {n}")
+        return completions
+
+    def _coerce(self, item) -> Completion:
+        if isinstance(item, Completion):
+            return item
+        if isinstance(item, str):
+            return Completion(item)
+        if isinstance(item, (tuple, list)) and len(item) == 2:
+            text, logprob = item
+            return Completion(str(text),
+                              None if logprob is None else float(logprob))
+        raise ModelError(
+            f"backend returned an unsupported completion shape: "
+            f"{type(item).__name__}")
+
+
+class RetryingModel(LanguageModel):
+    """Retry transient model failures a bounded number of times.
+
+    Exceptions of the types in ``retry_on`` are retried up to
+    ``max_retries`` times; the last failure is re-raised wrapped in
+    :class:`ModelError`.  ``on_retry`` (if given) is called with
+    ``(attempt, exception)`` — hook in sleeps or logging there.
+    """
+
+    def __init__(self, inner: LanguageModel, *, max_retries: int = 2,
+                 retry_on: tuple[type[Exception], ...] = (Exception,),
+                 on_retry: Callable | None = None):
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self.inner = inner
+        self.name = inner.name
+        self.max_retries = max_retries
+        self.retry_on = retry_on
+        self.on_retry = on_retry
+        self.retries_used = 0
+
+    @property
+    def supports_logprobs(self) -> bool:
+        return self.inner.supports_logprobs
+
+    def complete(self, prompt: str, *, temperature: float = 0.0,
+                 n: int = 1) -> list[Completion]:
+        last_error: Exception | None = None
+        for attempt in range(self.max_retries + 1):
+            try:
+                return self.inner.complete(prompt,
+                                           temperature=temperature, n=n)
+            except self.retry_on as exc:
+                last_error = exc
+                if attempt < self.max_retries:
+                    self.retries_used += 1
+                    if self.on_retry is not None:
+                        self.on_retry(attempt + 1, exc)
+        raise ModelError(
+            f"model {self.name!r} failed after "
+            f"{self.max_retries + 1} attempts: {last_error}"
+        ) from last_error

@@ -1,0 +1,179 @@
+"""Model profiles: the behavioural parameters of the simulated LLMs.
+
+Three profiles stand in for the three GPT-series models of Section 4.4.
+The *mechanisms* are shared (grounding bonus from intermediate tables,
+error compounding in one-shot CoT, temperature sensitivity, log-prob
+calibration); the profiles differ only in parameter values, the way real
+models differ in capability:
+
+* ``codex-sim``   — strong code model, well-calibrated, exposes log-probs.
+* ``davinci-sim`` — instruction model: weaker code skill, more syntax
+  errors, but sharply calibrated log-probs (execution-based voting helps
+  it most, as the paper observes for text-davinci-003).
+* ``turbo-sim``   — chat model: lowest skill, wraps answers in prose that
+  breaks the structured WikiTQ evaluator, and exposes **no** log-probs
+  (execution-based voting is N.A., as the paper notes for gpt-3.5-turbo).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.plans.corruption import ErrorMode
+
+__all__ = ["ModelProfile", "PROFILES", "get_profile",
+           "CODEX_SIM", "DAVINCI_SIM", "TURBO_SIM"]
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """All knobs of one simulated model."""
+
+    name: str
+
+    # --- step success model (logit scale) ---------------------------------
+    #: Base competence; higher = more steps succeed.
+    skill: float
+    #: Multiplier applied to the example's latent difficulty.
+    difficulty_scale: float = 5.2
+    #: Std-dev of the per-question latent noise (correlated across samples;
+    #: this is what keeps majority voting honest).
+    question_noise: float = 1.1
+    #: Scale of the per-sample noise (the step logit is divided by this
+    #: before the Bernoulli draw); 1.0 = a standard logistic link.
+    sample_noise: float = 1.0
+    #: Probability that a completion inside one n>1 batch is sampled
+    #: independently of its batch mates.  Real n-sampling at a single step
+    #: is sharply peaked — most of the batch is near-identical — which is
+    #: why step-level voting (t-vote/e-vote) amplifies far less than
+    #: running n independent chains (s-vote), as Tables 1/2 show.
+    batch_diversity: float = 0.26
+    #: Logit bonus per intermediate table already produced (capped at 3) —
+    #: the paper's core mechanism: progressive refinement grounds later
+    #: steps.
+    grounding_bonus: float = 0.55
+    #: Logit penalty per step when generating the whole program in one
+    #: completion (Codex-CoT mode): no grounding, compounding context drift.
+    cot_penalty: float = 0.95
+    #: Logit penalty per unit of sampling temperature.
+    temperature_sensitivity: float = 0.65
+    #: Additional temperature penalty in one-shot CoT mode — without
+    #: intermediate tables to re-anchor on, sampling noise compounds
+    #: (this is why Codex-CoT *loses* accuracy under s-vote, Table 4).
+    cot_temperature_sensitivity: float = 0.55
+    #: Extra penalty when a Python-affine step must be attempted in SQL
+    #: (the Tables 8/9 executor ablation).
+    sql_fallback_penalty: float = 2.8
+    #: Probability the model skips the awkward SQL reformulation entirely
+    #: and answers directly (the Section 4.3.3 "Spain" failure mode).
+    fallback_giveup_rate: float = 0.65
+
+    # --- answer step -------------------------------------------------------
+    #: Base competence for reading the final table into an answer.
+    answer_skill: float = 3.4
+    #: Probability of answering before the plan is complete.
+    premature_answer_rate: float = 0.02
+    #: Extra logit penalty for *mental execution* on top of the CoT
+    #: penalty — when forced to answer early the model simulates the
+    #: remaining steps in its head at CoT-like reliability (this is why an
+    #: iteration limit of 1 scores close to the Codex-CoT baseline:
+    #: 49.2%% vs 49.4%% in the paper).  0 = exactly CoT reliability.
+    mental_penalty: float = 0.0
+
+    # --- behavioural quirks -------------------------------------------------
+    #: Chance a *correct* final answer is wrapped in a natural-language
+    #: sentence (chat-model behaviour; breaks the WikiTQ evaluator).
+    verbose_answer_rate: float = 0.0
+    #: Chance a correct Python step gratuitously imports an installable
+    #: module (rescued by the runtime-install handler).
+    module_quirk_rate: float = 0.03
+    #: Logit bonus scaled by the similarity of the most relevant few-shot
+    #: demonstration to the live question.  0 for the stock paper
+    #: profiles (their demonstrations are static); the few-shot-selection
+    #: extension (core.fewshot) raises it via dataclasses.replace.
+    demo_affinity: float = 0.0
+
+    # --- error modes ---------------------------------------------------------
+    error_mode_weights: dict = field(default_factory=lambda: {
+        ErrorMode.WRONG_CONSTANT: 0.30,
+        ErrorMode.WRONG_AGGREGATE: 0.16,
+        ErrorMode.FLIPPED_ORDER: 0.12,
+        ErrorMode.WRONG_COLUMN: 0.14,
+        ErrorMode.STALE_COLUMN: 0.14,
+        ErrorMode.SYNTAX_ERROR: 0.08,
+        ErrorMode.MODULE_HALLUCINATION: 0.06,
+    })
+
+    # --- log-probabilities ----------------------------------------------------
+    provides_logprobs: bool = True
+    logprob_correct_mean: float = -1.2
+    logprob_wrong_mean: float = -4.5
+    logprob_std: float = 0.6
+
+
+CODEX_SIM = ModelProfile(
+    name="codex-sim",
+    skill=1.82,
+    answer_skill=3.4,
+    verbose_answer_rate=0.0,
+)
+
+DAVINCI_SIM = ModelProfile(
+    name="davinci-sim",
+    skill=1.62,
+    answer_skill=3.2,
+    temperature_sensitivity=0.45,
+    batch_diversity=0.30,
+    verbose_answer_rate=0.02,
+    # Weaker code generation: more outright syntax errors; but tight
+    # log-prob calibration, so execution-based voting filters well.
+    error_mode_weights={
+        ErrorMode.WRONG_CONSTANT: 0.24,
+        ErrorMode.WRONG_AGGREGATE: 0.14,
+        ErrorMode.FLIPPED_ORDER: 0.10,
+        ErrorMode.WRONG_COLUMN: 0.16,
+        ErrorMode.STALE_COLUMN: 0.12,
+        ErrorMode.SYNTAX_ERROR: 0.18,
+        ErrorMode.MODULE_HALLUCINATION: 0.06,
+    },
+    logprob_correct_mean=-1.4,
+    logprob_wrong_mean=-4.2,
+    logprob_std=0.7,
+)
+
+TURBO_SIM = ModelProfile(
+    name="turbo-sim",
+    skill=1.25,
+    answer_skill=2.6,
+    temperature_sensitivity=0.62,
+    # The chat-model failure mode Section 4.4 highlights: technically
+    # correct answers in prose the structured evaluator rejects.
+    verbose_answer_rate=0.08,
+    premature_answer_rate=0.05,
+    provides_logprobs=False,
+)
+
+PROFILES = {
+    profile.name: profile
+    for profile in (CODEX_SIM, DAVINCI_SIM, TURBO_SIM)
+}
+
+#: Aliases matching the paper's model identifiers.
+_ALIASES = {
+    "code-davinci-002": "codex-sim",
+    "codex": "codex-sim",
+    "text-davinci-003": "davinci-sim",
+    "gpt-3.5-turbo": "turbo-sim",
+    "gpt3.5-turbo": "turbo-sim",
+}
+
+
+def get_profile(name: str) -> ModelProfile:
+    """Resolve a profile by name or paper alias."""
+    key = _ALIASES.get(name.lower(), name.lower())
+    try:
+        return PROFILES[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown model profile {name!r} "
+            f"(known: {', '.join(sorted(PROFILES))})") from None

@@ -1,0 +1,98 @@
+"""Record/replay cache and cost accounting around any LanguageModel.
+
+With a real API backend :class:`CachingModel` is the cost-saving layer
+(identical prompts are answered from the cache); :class:`CallCounter`
+measures what Section 5.3 of the paper calls the "additional prompting
+costs" of majority voting — calls, sampled completions and (estimated)
+prompt/completion tokens.
+
+Greedy (temperature 0) calls are cached; sampled calls pass through by
+default because their whole point is variation.
+"""
+
+from __future__ import annotations
+
+from repro.llm.base import Completion, LanguageModel
+
+__all__ = ["CachingModel", "CallCounter", "estimate_tokens"]
+
+
+def estimate_tokens(text: str) -> int:
+    """Crude GPT-style token estimate (≈4 characters per token)."""
+    return max(1, len(text) // 4)
+
+
+class CachingModel(LanguageModel):
+    """Cache greedy completions of an inner model."""
+
+    def __init__(self, inner: LanguageModel, *,
+                 cache_sampled: bool = False):
+        self.inner = inner
+        self.name = inner.name
+        self.cache_sampled = cache_sampled
+        self._cache: dict[tuple, list[Completion]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def supports_logprobs(self) -> bool:
+        return self.inner.supports_logprobs
+
+    def complete(self, prompt: str, *, temperature: float = 0.0,
+                 n: int = 1) -> list[Completion]:
+        cacheable = temperature <= 0 or self.cache_sampled
+        key = (prompt, round(temperature, 4), n)
+        if cacheable and key in self._cache:
+            self.hits += 1
+            return list(self._cache[key])
+        result = self.inner.complete(prompt, temperature=temperature, n=n)
+        if cacheable:
+            self._cache[key] = list(result)
+        self.misses += 1
+        return result
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+
+class CallCounter(LanguageModel):
+    """Pass-through wrapper counting calls, completions and tokens.
+
+    ``prompt_tokens`` accumulates the estimated size of every prompt sent
+    (multiplied by *n* only once — an API bills the prompt per request,
+    not per sampled completion), ``completion_tokens`` the size of every
+    completion received.
+    """
+
+    def __init__(self, inner: LanguageModel):
+        self.inner = inner
+        self.name = inner.name
+        self.calls = 0
+        self.completions = 0
+        self.prompt_tokens = 0
+        self.completion_tokens = 0
+
+    @property
+    def supports_logprobs(self) -> bool:
+        return self.inner.supports_logprobs
+
+    def complete(self, prompt: str, *, temperature: float = 0.0,
+                 n: int = 1) -> list[Completion]:
+        self.calls += 1
+        self.completions += n
+        self.prompt_tokens += estimate_tokens(prompt)
+        result = self.inner.complete(prompt, temperature=temperature,
+                                     n=n)
+        for completion in result:
+            self.completion_tokens += estimate_tokens(completion.text)
+        return result
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+    def reset(self) -> None:
+        self.calls = 0
+        self.completions = 0
+        self.prompt_tokens = 0
+        self.completion_tokens = 0

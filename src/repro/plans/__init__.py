@@ -1,0 +1,48 @@
+"""Plan algebra: abstract gold programs for TQA questions.
+
+A plan renders into real SQL/Python, executes through the real executors,
+and can be corrupted by the simulated LLM's error model.
+"""
+
+from repro.plans.corruption import (
+    ErrorMode,
+    apply_corruption,
+    corrupt_code_text,
+)
+from repro.plans.plan import Plan, PlanTrace
+from repro.plans.steps import (
+    AggregateStep,
+    AnswerStep,
+    CodeStep,
+    CountWhereStep,
+    DiffStep,
+    ExtractStep,
+    FilterStep,
+    GroupAggStep,
+    GroupCountStep,
+    PlanStep,
+    ProjectStep,
+    SuperlativeStep,
+    quote_sql_string,
+)
+
+__all__ = [
+    "Plan",
+    "PlanTrace",
+    "PlanStep",
+    "CodeStep",
+    "AnswerStep",
+    "FilterStep",
+    "ProjectStep",
+    "ExtractStep",
+    "GroupCountStep",
+    "CountWhereStep",
+    "GroupAggStep",
+    "SuperlativeStep",
+    "AggregateStep",
+    "DiffStep",
+    "quote_sql_string",
+    "ErrorMode",
+    "apply_corruption",
+    "corrupt_code_text",
+]

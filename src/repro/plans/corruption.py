@@ -1,0 +1,232 @@
+"""Corruption operators: the error modes of the simulated LLM.
+
+When the simulated model "fails" a reasoning step, it does not simply flag
+the question wrong — it emits genuinely erroneous code, so the agent's
+exception-handling machinery (Section 3.3 of the paper) is exercised for
+real.  Each operator mirrors a failure class observed with real LLMs:
+
+* ``WRONG_COLUMN``      — hallucinated column name; the SQL fails everywhere
+                          and the agent is eventually forced to answer.
+* ``STALE_COLUMN``      — references a column that only exists in an earlier
+                          table; the retry-over-previous-tables handler can
+                          rescue this one.
+* ``WRONG_CONSTANT``    — off-by-one filter constant; executes but is wrong.
+* ``WRONG_AGGREGATE``   — sum/avg/max confusion; executes but is wrong.
+* ``FLIPPED_ORDER``     — ASC/DESC confusion in superlatives.
+* ``SYNTAX_ERROR``      — broken code; the executor raises.
+* ``MODULE_HALLUCINATION`` — imports an installable module; the runtime
+                          install handler rescues it (benign).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import random
+import re
+
+from repro.plans.steps import (
+    AggregateStep,
+    CodeStep,
+    DiffStep,
+    ExtractStep,
+    FilterStep,
+    GroupAggStep,
+    GroupCountStep,
+    ProjectStep,
+    SuperlativeStep,
+)
+from repro.table.frame import DataFrame
+
+__all__ = ["ErrorMode", "apply_corruption", "corrupt_code_text"]
+
+
+class ErrorMode(enum.Enum):
+    WRONG_COLUMN = "wrong_column"
+    STALE_COLUMN = "stale_column"
+    WRONG_CONSTANT = "wrong_constant"
+    WRONG_AGGREGATE = "wrong_aggregate"
+    FLIPPED_ORDER = "flipped_order"
+    SYNTAX_ERROR = "syntax_error"
+    MODULE_HALLUCINATION = "module_hallucination"
+
+    @property
+    def is_recoverable(self) -> bool:
+        """True if the agent's exception handling can fully rescue it."""
+        return self in (ErrorMode.STALE_COLUMN,
+                        ErrorMode.MODULE_HALLUCINATION)
+
+
+_AGG_CONFUSION = {"sum": "avg", "avg": "max", "min": "max", "max": "min",
+                  "count": "sum"}
+
+
+def _replace(step, **changes):
+    return dataclasses.replace(step, **changes)
+
+
+def _hallucinate_column(name: str, rng: random.Random) -> str:
+    """Produce a plausible-but-wrong column name."""
+    choices = [
+        name + "_id",
+        name[:-1] if len(name) > 3 else name + "x",
+        "the_" + name,
+        name + "_name",
+    ]
+    return rng.choice(choices)
+
+
+def apply_corruption(step: CodeStep, mode: ErrorMode, *,
+                     current: DataFrame, original: DataFrame,
+                     rng: random.Random) -> CodeStep | None:
+    """Return a corrupted variant of ``step``, or None if ``mode`` does not
+    apply to this step type (the caller then falls back to another mode).
+
+    ``current`` is the table the step will run against; ``original`` is T0
+    (used by STALE_COLUMN to pick a column that exists there but not in
+    ``current``).
+    """
+    if mode is ErrorMode.WRONG_COLUMN:
+        return _wrong_column(step, rng)
+    if mode is ErrorMode.STALE_COLUMN:
+        return _stale_column(step, current, original, rng)
+    if mode is ErrorMode.WRONG_CONSTANT:
+        return _wrong_constant(step, rng)
+    if mode is ErrorMode.WRONG_AGGREGATE:
+        return _wrong_aggregate(step)
+    if mode is ErrorMode.FLIPPED_ORDER:
+        return _flipped_order(step)
+    if mode is ErrorMode.MODULE_HALLUCINATION:
+        return None  # handled at code-text level (needs a python step)
+    if mode is ErrorMode.SYNTAX_ERROR:
+        return None  # handled at code-text level
+    raise ValueError(f"unknown error mode {mode!r}")
+
+
+def _wrong_column(step: CodeStep, rng: random.Random) -> CodeStep | None:
+    columns = step.input_columns()
+    if not columns:
+        return None
+    victim = rng.choice(list(columns))
+    fake = _hallucinate_column(victim, rng)
+    return _substitute_column(step, victim, fake)
+
+
+def _stale_column(step: CodeStep, current: DataFrame, original: DataFrame,
+                  rng: random.Random) -> CodeStep | None:
+    stale = [name for name in original.columns if name not in current]
+    if not stale:
+        return None
+    columns = step.input_columns()
+    if not columns:
+        return None
+    victim = rng.choice(list(columns))
+    replacement = rng.choice(stale)
+    return _substitute_column(step, victim, replacement)
+
+
+def _substitute_column(step: CodeStep, old: str, new: str) -> CodeStep | None:
+    if isinstance(step, FilterStep):
+        pattern = re.compile(rf"\b{re.escape(old)}\b")
+        condition = pattern.sub(new, step.condition)
+        columns = tuple(new if c == old else c for c in step.columns)
+        reads = tuple(new if c == old else c for c in step.reads)
+        return _replace(step, condition=condition, columns=columns,
+                        reads=reads)
+    if isinstance(step, ProjectStep):
+        return _replace(step, columns=tuple(
+            new if c == old else c for c in step.columns))
+    if isinstance(step, ExtractStep):
+        return _replace(step, source=new if step.source == old else step.source)
+    if isinstance(step, GroupCountStep):
+        return _replace(step, key=new if step.key == old else step.key)
+    if isinstance(step, GroupAggStep):
+        changes = {}
+        if step.key == old:
+            changes["key"] = new
+        if step.value == old:
+            changes["value"] = new
+        return _replace(step, **changes) if changes else None
+    if isinstance(step, SuperlativeStep):
+        changes = {}
+        if step.target == old:
+            changes["target"] = new
+        if step.by == old:
+            changes["by"] = new
+        return _replace(step, **changes) if changes else None
+    if isinstance(step, AggregateStep):
+        return _replace(step, column=new if step.column == old else step.column)
+    if isinstance(step, DiffStep):
+        changes = {}
+        if step.key == old:
+            changes["key"] = new
+        if step.value == old:
+            changes["value"] = new
+        return _replace(step, **changes) if changes else None
+    return None
+
+
+_NUMBER_RE = re.compile(r"\d+")
+
+
+def _wrong_constant(step: CodeStep, rng: random.Random) -> CodeStep | None:
+    if isinstance(step, FilterStep) and _NUMBER_RE.search(step.condition):
+        def bump(match: re.Match) -> str:
+            value = int(match.group())
+            return str(max(0, value + rng.choice((-1, 1))))
+        return _replace(step,
+                        condition=_NUMBER_RE.sub(bump, step.condition,
+                                                 count=1))
+    if isinstance(step, DiffStep):
+        return _replace(step, left=step.right, right=step.left)
+    if isinstance(step, SuperlativeStep):
+        return _replace(step, k=step.k + 1)
+    if isinstance(step, FilterStep):
+        # No numeric constant: damage a string literal instead.
+        match = re.search(r"'([^']*)'", step.condition)
+        if match and len(match.group(1)) > 2:
+            broken = match.group(1)[:-1]
+            return _replace(step, condition=step.condition.replace(
+                match.group(0), f"'{broken}'", 1))
+    return None
+
+
+def _wrong_aggregate(step: CodeStep) -> CodeStep | None:
+    if isinstance(step, GroupAggStep):
+        return _replace(step, agg=_AGG_CONFUSION.get(step.agg, "avg"))
+    if isinstance(step, AggregateStep) and step.column != "*":
+        return _replace(step, agg=_AGG_CONFUSION.get(step.agg, "avg"))
+    if isinstance(step, GroupCountStep):
+        return _replace(step, descending=not step.descending)
+    return None
+
+
+def _flipped_order(step: CodeStep) -> CodeStep | None:
+    if isinstance(step, SuperlativeStep):
+        return _replace(step, descending=not step.descending)
+    if isinstance(step, GroupCountStep):
+        return _replace(step, descending=not step.descending)
+    if isinstance(step, GroupAggStep) and step.descending is not None:
+        return _replace(step, descending=not step.descending)
+    return None
+
+
+def corrupt_code_text(code: str, mode: ErrorMode,
+                      rng: random.Random) -> str:
+    """Code-text-level corruptions (applied after rendering)."""
+    if mode is ErrorMode.SYNTAX_ERROR:
+        return _break_syntax(code, rng)
+    if mode is ErrorMode.MODULE_HALLUCINATION:
+        from repro.executors.python_executor import INSTALLABLE_MODULES
+        module = rng.choice(INSTALLABLE_MODULES)
+        return f"import {module}\n{code}"
+    raise ValueError(f"{mode} is not a code-text corruption")
+
+
+def _break_syntax(code: str, rng: random.Random) -> str:
+    """Delete a structural token so the code no longer parses/executes."""
+    for needle in ("FROM", "WHERE", "GROUP BY", "lambda", "def ", "("):
+        index = code.find(needle)
+        if index != -1:
+            return code[:index] + code[index + len(needle):]
+    return code + " ("

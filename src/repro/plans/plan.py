@@ -1,0 +1,92 @@
+"""Plan execution: run a gold program through the real executors.
+
+The dataset generator uses this to compute gold answers (and gold
+intermediate tables), guaranteeing that every question in a benchmark is
+solvable by the code its plan renders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.errors import DatasetError
+from repro.executors.base import CodeExecutor
+from repro.executors.registry import ExecutorRegistry, default_registry
+from repro.plans.steps import AnswerStep, CodeStep, PlanStep
+from repro.table.frame import DataFrame
+
+__all__ = ["Plan", "PlanTrace"]
+
+
+@dataclass
+class PlanTrace:
+    """The result of executing a plan: tables, rendered code, answer."""
+
+    tables: list[DataFrame]          # [T0, T1, ..., Tn]
+    code: list[str]                  # rendered code per code step
+    answer: list[str]                # gold answer values
+
+    @property
+    def iterations(self) -> int:
+        """LLM iterations the plan corresponds to (code steps + answer)."""
+        return len(self.code) + 1
+
+
+class Plan:
+    """An ordered list of steps ending in exactly one :class:`AnswerStep`."""
+
+    def __init__(self, steps: Sequence[PlanStep]):
+        steps = list(steps)
+        if not steps or not isinstance(steps[-1], AnswerStep):
+            raise DatasetError("a plan must end with an AnswerStep")
+        if any(isinstance(step, AnswerStep) for step in steps[:-1]):
+            raise DatasetError("AnswerStep must be the final step")
+        self.steps = steps
+
+    @property
+    def code_steps(self) -> list[CodeStep]:
+        return [step for step in self.steps if isinstance(step, CodeStep)]
+
+    @property
+    def answer_step(self) -> AnswerStep:
+        return self.steps[-1]  # type: ignore[return-value]
+
+    @property
+    def num_iterations(self) -> int:
+        """Iterations an ideal agent uses: one per code step plus the answer."""
+        return len(self.code_steps) + 1
+
+    def languages(self) -> list[str]:
+        return [step.language for step in self.code_steps]
+
+    def execute(self, t0: DataFrame,
+                registry: ExecutorRegistry | None = None) -> PlanTrace:
+        """Run the plan over ``t0``; returns the full trace.
+
+        Raises :class:`DatasetError` if any step fails — a gold plan must
+        execute cleanly, so failures indicate a generator bug.
+        """
+        registry = registry or default_registry()
+        tables = [t0.with_name("T0")]
+        code: list[str] = []
+        for step in self.code_steps:
+            executor: CodeExecutor = registry.get(step.language)
+            rendered = step.render(tables[-1].name)
+            try:
+                outcome = executor.execute(rendered, tables)
+            except Exception as exc:
+                raise DatasetError(
+                    f"gold plan step failed ({step.describe()}): {exc}"
+                ) from exc
+            code.append(rendered)
+            tables.append(outcome.table.with_name(f"T{len(tables)}"))
+        answer = self.answer_step.derive(tables[-1])
+        return PlanTrace(tables=tables, code=code, answer=answer)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __repr__(self) -> str:
+        inner = " -> ".join(step.describe() for step in self.steps)
+        return f"Plan({inner})"

@@ -1,0 +1,410 @@
+"""The plan algebra: abstract TQA program steps.
+
+A *plan* is the gold program for one benchmark question — the sequence of
+logical operations that, executed over the input table, produces the
+answer.  Each step renders itself into real SQL or Python code (referencing
+the current table by name), and the dataset generator obtains the gold
+answer by executing that code through the *real* executors.  The simulated
+LLM emits these same renderings (or corrupted variants) as its completions,
+so everything downstream of the model is genuine code generation and
+execution.
+
+Step affinities mirror the paper's observation: SQL handles selection,
+grouping and arithmetic; Python handles string reformatting (regex
+extraction), exactly as in the Figure 1 walk-through.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.table.frame import DataFrame
+from repro.table.schema import is_missing
+
+__all__ = [
+    "PlanStep",
+    "CodeStep",
+    "FilterStep",
+    "ProjectStep",
+    "ExtractStep",
+    "GroupCountStep",
+    "CountWhereStep",
+    "GroupAggStep",
+    "SuperlativeStep",
+    "AggregateStep",
+    "DiffStep",
+    "AnswerStep",
+    "quote_sql_string",
+]
+
+
+def quote_sql_string(text: str) -> str:
+    return "'" + text.replace("'", "''") + "'"
+
+
+def _quote_ident(name: str) -> str:
+    if name.isidentifier():
+        return name
+    return '"' + name.replace('"', '""') + '"'
+
+
+class PlanStep(abc.ABC):
+    """Base class for plan steps."""
+
+    @property
+    @abc.abstractmethod
+    def language(self) -> str:
+        """``"sql"``, ``"python"`` or ``"answer"``."""
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """Short human-readable description (used in logs and tests)."""
+
+
+class CodeStep(PlanStep):
+    """A step that renders to executable code."""
+
+    @abc.abstractmethod
+    def render(self, table_name: str) -> str:
+        """Emit code operating on the table called ``table_name``."""
+
+    #: Columns this step reads (used by the corruption operators).
+    def input_columns(self) -> tuple[str, ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class FilterStep(CodeStep):
+    """``SELECT <cols> FROM T WHERE <condition>``."""
+
+    condition: str                       # SQL boolean expression text
+    columns: tuple[str, ...] = ()        # () means SELECT *
+    reads: tuple[str, ...] = ()          # columns referenced by condition
+
+    language = "sql"
+
+    def render(self, table_name: str) -> str:
+        cols = ", ".join(_quote_ident(c) for c in self.columns) or "*"
+        return f"SELECT {cols} FROM {table_name} WHERE {self.condition};"
+
+    def input_columns(self) -> tuple[str, ...]:
+        return tuple(self.columns) + tuple(self.reads)
+
+    def describe(self) -> str:
+        return f"filter rows where {self.condition}"
+
+
+@dataclass(frozen=True)
+class ProjectStep(CodeStep):
+    """``SELECT <cols> FROM T`` (column subset)."""
+
+    columns: tuple[str, ...]
+    distinct: bool = False
+
+    language = "sql"
+
+    def render(self, table_name: str) -> str:
+        cols = ", ".join(_quote_ident(c) for c in self.columns)
+        head = "SELECT DISTINCT" if self.distinct else "SELECT"
+        return f"{head} {cols} FROM {table_name};"
+
+    def input_columns(self) -> tuple[str, ...]:
+        return self.columns
+
+    def describe(self) -> str:
+        return f"project columns {', '.join(self.columns)}"
+
+
+@dataclass(frozen=True)
+class ExtractStep(CodeStep):
+    """Python regex extraction of a new column from a string column.
+
+    This is the Figure-1 "country code from ``Cyclist``" operation: the
+    canonical Python-affine step.  ``pattern`` must contain one capture
+    group; rows that do not match yield None.
+    """
+
+    source: str
+    target: str
+    pattern: str          # regex with one capture group
+    cast_numeric: bool = False
+
+    language = "python"
+
+    def render(self, table_name: str) -> str:
+        convert = ""
+        if self.cast_numeric:
+            convert = "\n    value = float(value) if value else None"
+        return (
+            f"def extract(text):\n"
+            f"    match = re.search(r\"{self.pattern}\", str(text))\n"
+            f"    value = match.group(1) if match else None{convert}\n"
+            f"    return value\n"
+            f"{table_name}[{self.target!r}] = {table_name}.apply("
+            f"lambda x: extract(x[{self.source!r}]), axis=1)"
+        )
+
+    def input_columns(self) -> tuple[str, ...]:
+        return (self.source,)
+
+    def describe(self) -> str:
+        return f"extract {self.target} from {self.source} via /{self.pattern}/"
+
+
+@dataclass(frozen=True)
+class GroupCountStep(CodeStep):
+    """``SELECT key, COUNT(*) FROM T GROUP BY key ORDER BY COUNT(*) ...``."""
+
+    key: str
+    descending: bool = True
+    limit: int | None = 1
+
+    language = "sql"
+
+    def render(self, table_name: str) -> str:
+        order = "DESC" if self.descending else "ASC"
+        sql = (f"SELECT {_quote_ident(self.key)}, COUNT(*) FROM {table_name} "
+               f"GROUP BY {_quote_ident(self.key)} ORDER BY COUNT(*) {order}")
+        if self.limit is not None:
+            sql += f" LIMIT {self.limit}"
+        return sql + ";"
+
+    def input_columns(self) -> tuple[str, ...]:
+        return (self.key,)
+
+    def describe(self) -> str:
+        return f"count rows per {self.key}"
+
+
+@dataclass(frozen=True)
+class GroupAggStep(CodeStep):
+    """``SELECT key, AGG(value) FROM T GROUP BY key [ORDER BY 2] ...``."""
+
+    key: str
+    agg: str              # sum / avg / min / max / count
+    value: str
+    descending: bool | None = None   # None = no ORDER BY
+    limit: int | None = None
+    alias: str | None = None         # output name for the aggregate column
+
+    language = "sql"
+
+    def render(self, table_name: str) -> str:
+        agg_sql = f"{self.agg.upper()}({_quote_ident(self.value)})"
+        select_agg = agg_sql
+        if self.alias:
+            select_agg += f" AS {_quote_ident(self.alias)}"
+        sql = (f"SELECT {_quote_ident(self.key)}, {select_agg} "
+               f"FROM {table_name} GROUP BY {_quote_ident(self.key)}")
+        if self.descending is not None:
+            sql += f" ORDER BY {agg_sql} {'DESC' if self.descending else 'ASC'}"
+        if self.limit is not None:
+            sql += f" LIMIT {self.limit}"
+        return sql + ";"
+
+    def input_columns(self) -> tuple[str, ...]:
+        return (self.key, self.value)
+
+    def describe(self) -> str:
+        return f"{self.agg} of {self.value} per {self.key}"
+
+
+@dataclass(frozen=True)
+class SuperlativeStep(CodeStep):
+    """``SELECT target FROM T ORDER BY by_column DESC LIMIT k``."""
+
+    target: str
+    by: str
+    descending: bool = True
+    k: int = 1
+    extra_columns: tuple[str, ...] = ()   # additional selected columns
+
+    language = "sql"
+
+    def render(self, table_name: str) -> str:
+        order = "DESC" if self.descending else "ASC"
+        cols = ", ".join(
+            _quote_ident(c) for c in (self.target, *self.extra_columns))
+        return (f"SELECT {cols} FROM {table_name} "
+                f"ORDER BY {_quote_ident(self.by)} {order} LIMIT {self.k};")
+
+    def input_columns(self) -> tuple[str, ...]:
+        return (self.target, self.by) + tuple(self.extra_columns)
+
+    def describe(self) -> str:
+        direction = "highest" if self.descending else "lowest"
+        return f"{self.target} with the {direction} {self.by}"
+
+
+@dataclass(frozen=True)
+class AggregateStep(CodeStep):
+    """``SELECT AGG(col) FROM T`` — whole-table aggregate."""
+
+    agg: str
+    column: str = "*"
+
+    language = "sql"
+
+    def render(self, table_name: str) -> str:
+        arg = "*" if self.column == "*" else _quote_ident(self.column)
+        return f"SELECT {self.agg.upper()}({arg}) FROM {table_name};"
+
+    def input_columns(self) -> tuple[str, ...]:
+        return () if self.column == "*" else (self.column,)
+
+    def describe(self) -> str:
+        return f"{self.agg} over {self.column}"
+
+
+@dataclass(frozen=True)
+class CountWhereStep(CodeStep):
+    """``SELECT COUNT(*) FROM T WHERE <condition>``."""
+
+    condition: str
+    reads: tuple[str, ...] = ()
+
+    language = "sql"
+
+    def render(self, table_name: str) -> str:
+        return (f"SELECT COUNT(*) FROM {table_name} "
+                f"WHERE {self.condition};")
+
+    def input_columns(self) -> tuple[str, ...]:
+        return tuple(self.reads)
+
+    def describe(self) -> str:
+        return f"count rows where {self.condition}"
+
+
+@dataclass(frozen=True)
+class DiffStep(CodeStep):
+    """Difference of a value column between two key rows.
+
+    Rendered with conditional aggregation so it runs on both SQL backends::
+
+        SELECT MAX(CASE WHEN key = 'a' THEN v END)
+             - MAX(CASE WHEN key = 'b' THEN v END) AS diff FROM T
+    """
+
+    key: str
+    value: str
+    left: str
+    right: str
+
+    language = "sql"
+
+    def render(self, table_name: str) -> str:
+        key, value = _quote_ident(self.key), _quote_ident(self.value)
+        return (
+            f"SELECT MAX(CASE WHEN {key} = {quote_sql_string(self.left)} "
+            f"THEN {value} END) - "
+            f"MAX(CASE WHEN {key} = {quote_sql_string(self.right)} "
+            f"THEN {value} END) AS diff FROM {table_name};"
+        )
+
+    def input_columns(self) -> tuple[str, ...]:
+        return (self.key, self.value)
+
+    def describe(self) -> str:
+        return (f"difference of {self.value} between "
+                f"{self.left!r} and {self.right!r}")
+
+
+@dataclass(frozen=True)
+class AnswerStep(PlanStep):
+    """The final, non-code step: derive the answer from the last table.
+
+    ``kind`` selects the derivation:
+
+    * ``"cell"`` — the first cell of the final table;
+    * ``"list"`` — the first column, as a tuple of values (WikiTQ list
+      answers);
+    * ``"boolean"`` — compare the first cell against ``constant`` with
+      ``op`` and answer yes/no (TabFact);
+    * ``"sentence"`` — fill ``template`` with the flattened final-table
+      cells (FeTaQA free-form answers).
+
+    ``literal`` overrides everything: plans for *direct-answer* questions
+    (iteration count 1, no code) carry the answer values verbatim.
+    """
+
+    kind: str = "cell"
+    op: str = ""
+    constant: float | str | None = None
+    template: str = ""
+    column: str | None = None   # read this column instead of the first
+    literal: tuple[str, ...] = ()
+
+    language = "answer"
+
+    def describe(self) -> str:
+        return f"answer ({self.kind})"
+
+    def derive(self, final: DataFrame) -> list[str]:
+        """Compute the gold answer values from the final table."""
+        if self.literal:
+            return list(self.literal)
+        cells = self._cells(final)
+        if self.kind == "cell":
+            return [_render(cells[0])] if cells else []
+        if self.kind == "list":
+            return [_render(value) for value in cells]
+        if self.kind == "boolean":
+            return ["yes" if self._holds(cells) else "no"]
+        if self.kind == "sentence":
+            flat = [_render(value) for row in final.to_rows()
+                    for value in row]
+            return [self.template.format(*flat)]
+        raise ValueError(f"unknown answer kind {self.kind!r}")
+
+    def derive_slots(self, final: DataFrame) -> list[str]:
+        """The flattened final-table cells, as sentence template slots.
+
+        Used by models that phrase free-form answers in their own words:
+        the slots carry the facts, the phrasing is the model's.
+        """
+        return [_render(value) for row in final.to_rows()
+                for value in row]
+
+    def _cells(self, final: DataFrame) -> list:
+        if final.num_rows == 0 or final.num_columns == 0:
+            return []
+        if self.column is not None and self.column in final:
+            return final.column(self.column).tolist()
+        return final.column(final.columns[0]).tolist()
+
+    def _holds(self, cells: list) -> bool:
+        if not cells or is_missing(cells[0]):
+            return False
+        value = cells[0]
+        constant = self.constant
+        try:
+            value_num = float(value)
+            constant_num = float(constant)  # type: ignore[arg-type]
+            value, constant = value_num, constant_num
+        except (TypeError, ValueError):
+            value, constant = str(value).lower(), str(constant).lower()
+        if self.op == "=":
+            return value == constant
+        if self.op == "<>":
+            return value != constant
+        if self.op == ">":
+            return value > constant
+        if self.op == ">=":
+            return value >= constant
+        if self.op == "<":
+            return value < constant
+        if self.op == "<=":
+            return value <= constant
+        raise ValueError(f"unknown comparison op {self.op!r}")
+
+
+def _render(value) -> str:
+    if is_missing(value):
+        return ""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)

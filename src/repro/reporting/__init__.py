@@ -1,0 +1,17 @@
+"""Reporting: the paper's published numbers and table rendering."""
+
+from repro.reporting import paper
+from repro.reporting.tables import (
+    ComparisonTable,
+    format_pct,
+    results_dir,
+    save_result,
+)
+
+__all__ = [
+    "paper",
+    "ComparisonTable",
+    "format_pct",
+    "results_dir",
+    "save_result",
+]

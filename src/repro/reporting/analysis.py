@@ -1,0 +1,136 @@
+"""Error analysis: break an evaluation down by outcome, template, domain.
+
+Section 4.3 of the paper analyses *why* ReAcTable behaves the way it does
+(iteration counts, executor contributions).  This module provides the
+companion tooling for this reproduction: run an agent over a benchmark
+and classify every question's outcome, then slice by question template,
+table domain and iteration count.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.datasets.generators import Benchmark
+from repro.evalkit.runner import evaluate_answer
+
+__all__ = ["QuestionOutcome", "AnalysisReport", "analyze_agent"]
+
+OUTCOMES = ("correct", "correct_after_recovery", "wrong_answer",
+            "forced_correct", "forced_wrong", "empty")
+
+
+@dataclass
+class QuestionOutcome:
+    """Classified result for one question."""
+
+    uid: str
+    template_id: str
+    domain: str
+    iterations: int
+    outcome: str              # one of OUTCOMES
+    predicted: list[str]
+    gold: list[str]
+
+
+@dataclass
+class AnalysisReport:
+    """The aggregated analysis."""
+
+    dataset: str
+    outcomes: list[QuestionOutcome] = field(default_factory=list)
+
+    @property
+    def accuracy(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        correct = sum(1 for o in self.outcomes
+                      if o.outcome.startswith("correct")
+                      or o.outcome == "forced_correct")
+        return correct / len(self.outcomes)
+
+    def by_outcome(self) -> dict[str, int]:
+        return dict(Counter(o.outcome for o in self.outcomes))
+
+    def by_template(self) -> dict[str, tuple[int, float]]:
+        """template_id -> (count, accuracy)."""
+        return self._slice(lambda o: o.template_id)
+
+    def by_domain(self) -> dict[str, tuple[int, float]]:
+        return self._slice(lambda o: o.domain)
+
+    def by_iterations(self) -> dict[int, tuple[int, float]]:
+        return self._slice(lambda o: o.iterations)
+
+    def _slice(self, key) -> dict:
+        groups: dict = {}
+        for outcome in self.outcomes:
+            groups.setdefault(key(outcome), []).append(outcome)
+        return {
+            group_key: (
+                len(items),
+                sum(1 for o in items
+                    if o.outcome in ("correct",
+                                     "correct_after_recovery",
+                                     "forced_correct")) / len(items),
+            )
+            for group_key, items in sorted(groups.items(),
+                                           key=lambda kv: str(kv[0]))
+        }
+
+    def hardest_templates(self, k: int = 3) -> list[str]:
+        """The k templates with the lowest accuracy (min 3 questions)."""
+        eligible = [(acc, name) for name, (count, acc)
+                    in self.by_template().items() if count >= 3]
+        return [name for _, name in sorted(eligible)[:k]]
+
+    def render(self) -> str:
+        lines = [f"Error analysis ({self.dataset}, "
+                 f"{len(self.outcomes)} questions, "
+                 f"accuracy {self.accuracy:.1%})", ""]
+        lines.append("outcomes:")
+        for outcome, count in sorted(self.by_outcome().items()):
+            lines.append(f"  {outcome:<24} {count:>5}")
+        lines.append("")
+        lines.append(f"{'template':<24} {'n':>5} {'accuracy':>9}")
+        for template, (count, acc) in self.by_template().items():
+            lines.append(f"{template:<24} {count:>5} {acc:>8.1%}")
+        lines.append("")
+        lines.append(f"{'domain':<24} {'n':>5} {'accuracy':>9}")
+        for domain, (count, acc) in self.by_domain().items():
+            lines.append(f"{domain:<24} {count:>5} {acc:>8.1%}")
+        return "\n".join(lines)
+
+
+def _classify(result, correct: bool) -> str:
+    recovered = bool(getattr(result, "handling_events", ()))
+    forced = getattr(result, "forced", False)
+    if not result.answer:
+        return "empty"
+    if forced:
+        return "forced_correct" if correct else "forced_wrong"
+    if correct:
+        return "correct_after_recovery" if recovered else "correct"
+    return "wrong_answer"
+
+
+def analyze_agent(agent, benchmark: Benchmark, *,
+                  limit: int | None = None) -> AnalysisReport:
+    """Run ``agent`` over ``benchmark`` and classify every outcome."""
+    report = AnalysisReport(dataset=benchmark.name)
+    examples = benchmark.examples[:limit] if limit else benchmark.examples
+    for example in examples:
+        result = agent.run(example.table, example.question)
+        correct = evaluate_answer(benchmark.name, result.answer,
+                                  example.gold_answer)
+        report.outcomes.append(QuestionOutcome(
+            uid=example.uid,
+            template_id=example.template_id,
+            domain=example.metadata.get("domain", "?"),
+            iterations=getattr(result, "iterations", 0),
+            outcome=_classify(result, correct),
+            predicted=result.answer,
+            gold=example.gold_answer,
+        ))
+    return report

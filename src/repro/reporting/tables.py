@@ -1,0 +1,72 @@
+"""ASCII rendering of paper-vs-measured experiment tables.
+
+Every benchmark prints one of these so the regenerated rows can be read
+against the published ones at a glance, and writes the same text under
+``results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["ComparisonTable", "format_pct", "results_dir", "save_result"]
+
+
+def format_pct(value: float | None) -> str:
+    if value is None:
+        return "N.A."
+    return f"{value * 100:.1f}%"
+
+
+class ComparisonTable:
+    """A two-column (paper, measured) experiment table."""
+
+    def __init__(self, title: str, *,
+                 value_formatter=format_pct):
+        self.title = title
+        self._rows: list[tuple[str, object, object]] = []
+        self._sections: list[tuple[int, str]] = []
+        self._formatter = value_formatter
+
+    def section(self, name: str) -> None:
+        self._sections.append((len(self._rows), name))
+
+    def row(self, label: str, paper, measured=None) -> None:
+        self._rows.append((label, paper, measured))
+
+    def render(self) -> str:
+        formatter = self._formatter
+        header = f"{'Method':<42} {'Paper':>10} {'Measured':>10}"
+        rule = "-" * len(header)
+        lines = [self.title, "=" * len(self.title), header, rule]
+        section_at = dict(self._sections)
+        for index, (label, paper, measured) in enumerate(self._rows):
+            if index in section_at:
+                lines.append(f"-- {section_at[index]} --")
+            paper_text = formatter(paper) if paper is not None else ""
+            measured_text = (formatter(measured)
+                             if measured is not None else "")
+            lines.append(
+                f"{label:<42} {paper_text:>10} {measured_text:>10}")
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print()
+        print(self.render())
+        print()
+
+
+def results_dir() -> Path:
+    """Directory where benchmarks persist their rendered tables."""
+    root = os.environ.get("REPRO_RESULTS_DIR", "results")
+    path = Path(root)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def save_result(name: str, text: str) -> Path:
+    """Write one experiment's rendered table to ``results/<name>.txt``."""
+    path = results_dir() / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,271 @@
+"""AST node definitions for the native SQL engine.
+
+Expressions and the single supported statement form (SELECT) are plain
+frozen dataclasses; the evaluator dispatches on node type.  Every node can
+render itself back to SQL text via ``to_sql()`` — used for default output
+column names and for error messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Expression",
+    "Literal",
+    "ColumnRef",
+    "Star",
+    "UnaryOp",
+    "BinaryOp",
+    "FunctionCall",
+    "InList",
+    "Between",
+    "IsNull",
+    "LikeOp",
+    "CaseWhen",
+    "Cast",
+    "SelectItem",
+    "OrderItem",
+    "JoinClause",
+    "SelectStatement",
+]
+
+
+class Expression:
+    """Base class for expression nodes."""
+
+    def to_sql(self) -> str:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+def _quote_ident(name: str) -> str:
+    if name.isidentifier():
+        return name
+    return '"' + name.replace('"', '""') + '"'
+
+
+def _quote_string(text: str) -> str:
+    return "'" + text.replace("'", "''") + "'"
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    value: object  # int | float | str | bool | None
+
+    def to_sql(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        if isinstance(self.value, str):
+            return _quote_string(self.value)
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    name: str
+    table: str | None = None
+
+    def to_sql(self) -> str:
+        if self.table:
+            return f"{_quote_ident(self.table)}.{_quote_ident(self.name)}"
+        return _quote_ident(self.name)
+
+
+@dataclass(frozen=True)
+class Star(Expression):
+    """``*`` — valid only inside COUNT(*) and as a bare select item."""
+
+    def to_sql(self) -> str:
+        return "*"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    op: str  # "-", "+", "NOT"
+    operand: Expression
+
+    def to_sql(self) -> str:
+        if self.op == "NOT":
+            return f"NOT ({self.operand.to_sql()})"
+        return f"{self.op}{self.operand.to_sql()}"
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    op: str  # arithmetic, comparison, AND/OR, ||
+    left: Expression
+    right: Expression
+
+    def to_sql(self) -> str:
+        return f"({self.left.to_sql()} {self.op} {self.right.to_sql()})"
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    name: str                      # lower-cased
+    args: tuple[Expression, ...]
+    distinct: bool = False         # COUNT(DISTINCT x)
+
+    def to_sql(self) -> str:
+        prefix = "DISTINCT " if self.distinct else ""
+        args = ", ".join(arg.to_sql() for arg in self.args)
+        return f"{self.name.upper()}({prefix}{args})"
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    operand: Expression
+    items: tuple[Expression, ...]
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        op = "NOT IN" if self.negated else "IN"
+        items = ", ".join(item.to_sql() for item in self.items)
+        return f"{self.operand.to_sql()} {op} ({items})"
+
+
+@dataclass(frozen=True)
+class Between(Expression):
+    operand: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        op = "NOT BETWEEN" if self.negated else "BETWEEN"
+        return (f"{self.operand.to_sql()} {op} "
+                f"{self.low.to_sql()} AND {self.high.to_sql()}")
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    operand: Expression
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        op = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"{self.operand.to_sql()} {op}"
+
+
+@dataclass(frozen=True)
+class LikeOp(Expression):
+    operand: Expression
+    pattern: Expression
+    negated: bool = False
+
+    def to_sql(self) -> str:
+        op = "NOT LIKE" if self.negated else "LIKE"
+        return f"{self.operand.to_sql()} {op} {self.pattern.to_sql()}"
+
+
+@dataclass(frozen=True)
+class CaseWhen(Expression):
+    whens: tuple[tuple[Expression, Expression], ...]
+    default: Expression | None = None
+
+    def to_sql(self) -> str:
+        parts = ["CASE"]
+        for cond, result in self.whens:
+            parts.append(f"WHEN {cond.to_sql()} THEN {result.to_sql()}")
+        if self.default is not None:
+            parts.append(f"ELSE {self.default.to_sql()}")
+        parts.append("END")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class Cast(Expression):
+    operand: Expression
+    target: str  # "INTEGER" | "REAL" | "TEXT"
+
+    def to_sql(self) -> str:
+        return f"CAST({self.operand.to_sql()} AS {self.target})"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expression: Expression
+    alias: str | None = None
+
+    @property
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        if isinstance(self.expression, ColumnRef):
+            return self.expression.name
+        return self.expression.to_sql()
+
+    def to_sql(self) -> str:
+        text = self.expression.to_sql()
+        if self.alias:
+            text += f" AS {_quote_ident(self.alias)}"
+        return text
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expression: Expression
+    descending: bool = False
+
+    def to_sql(self) -> str:
+        return self.expression.to_sql() + (" DESC" if self.descending else "")
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """One ``[INNER|LEFT] JOIN table [alias] ON expr`` clause."""
+
+    table: str
+    alias: str | None
+    kind: str               # "inner" | "left"
+    on: Expression
+
+    def to_sql(self) -> str:
+        head = "LEFT JOIN" if self.kind == "left" else "JOIN"
+        text = f"{head} {_quote_ident(self.table)}"
+        if self.alias:
+            text += f" AS {_quote_ident(self.alias)}"
+        return f"{text} ON {self.on.to_sql()}"
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    items: tuple[SelectItem, ...]
+    table: str
+    table_alias: str | None = None
+    joins: tuple[JoinClause, ...] = field(default=())
+    where: Expression | None = None
+    group_by: tuple[Expression, ...] = field(default=())
+    having: Expression | None = None
+    order_by: tuple[OrderItem, ...] = field(default=())
+    limit: int | None = None
+    offset: int = 0
+    distinct: bool = False
+
+    def to_sql(self) -> str:
+        parts = ["SELECT"]
+        if self.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(item.to_sql() for item in self.items))
+        parts.append(f"FROM {_quote_ident(self.table)}")
+        if self.table_alias:
+            parts.append(f"AS {_quote_ident(self.table_alias)}")
+        for join in self.joins:
+            parts.append(join.to_sql())
+        if self.where is not None:
+            parts.append(f"WHERE {self.where.to_sql()}")
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(
+                expr.to_sql() for expr in self.group_by))
+        if self.having is not None:
+            parts.append(f"HAVING {self.having.to_sql()}")
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(
+                item.to_sql() for item in self.order_by))
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+            if self.offset:
+                parts.append(f"OFFSET {self.offset}")
+        return " ".join(parts)

@@ -1,0 +1,406 @@
+"""Query execution for the native SQL engine.
+
+``execute_select`` runs a parsed SELECT against a catalog of frames and
+returns a new :class:`repro.table.DataFrame`.  The pipeline mirrors the
+logical order of SQL: FROM → WHERE → GROUP BY/aggregates → HAVING →
+select-list → DISTINCT → ORDER BY → LIMIT/OFFSET.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.errors import SQLRuntimeError
+from repro.sqlengine.ast_nodes import (
+    ColumnRef,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    Star,
+)
+from repro.sqlengine.evaluator import (
+    GroupContext,
+    RowContext,
+    evaluate,
+    expression_uses_aggregate,
+    is_truthy,
+    resolve_joined_name,
+)
+from repro.sqlengine.ast_nodes import JoinClause
+from repro.sqlengine.parser import parse_select
+from repro.table.frame import DataFrame
+from repro.table.ops import _sort_key_for, distinct as distinct_rows, group_by
+from repro.table.schema import dedupe_column_names
+from repro.table.schema import is_missing as is_missing_value
+
+__all__ = ["execute_select", "execute_sql", "NativeSQLEngine"]
+
+
+def execute_sql(sql: str, tables: Mapping[str, DataFrame]) -> DataFrame:
+    """Parse and execute ``sql`` against the catalog ``tables``."""
+    return execute_select(parse_select(sql), tables)
+
+
+def execute_select(stmt: SelectStatement,
+                   tables: Mapping[str, DataFrame]) -> DataFrame:
+    from repro.errors import TableError
+    try:
+        return _execute_select(stmt, tables)
+    except TableError as exc:
+        # Column/shape errors surface as SQL runtime errors, matching what
+        # SQLite reports for the same query.
+        raise SQLRuntimeError(str(exc)) from exc
+
+
+def _execute_select(stmt: SelectStatement,
+                    tables: Mapping[str, DataFrame]) -> DataFrame:
+    joined = bool(stmt.joins)
+    if joined:
+        frame = _materialize_joins(stmt, tables)
+        alias = None
+    else:
+        frame = _resolve_table(stmt.table, tables)
+        alias = stmt.table_alias or stmt.table
+
+    if stmt.where is not None:
+        keep = [
+            row.index for row in frame.iter_rows()
+            if is_truthy(evaluate(stmt.where,
+                                  RowContext(row, alias,
+                                             joined=joined)))
+        ]
+        frame = frame.take(keep)
+
+    is_aggregate_query = bool(stmt.group_by) or any(
+        expression_uses_aggregate(item.expression)
+        for item in stmt.items
+        if not isinstance(item.expression, Star)
+    ) or (stmt.having is not None
+          and expression_uses_aggregate(stmt.having))
+
+    if is_aggregate_query:
+        result = _execute_aggregate(stmt, frame, alias, joined=joined)
+    else:
+        result = _execute_plain(stmt, frame, alias, joined=joined)
+
+    if stmt.distinct:
+        result = distinct_rows(result)
+
+    if stmt.order_by and not is_aggregate_query:
+        # Plain queries order over source rows; but the select list may have
+        # dropped the sort columns, so we ordered eagerly in _execute_plain.
+        pass
+
+    if stmt.limit is not None:
+        start = min(stmt.offset, result.num_rows)
+        end = min(start + stmt.limit, result.num_rows)
+        result = result.take(range(start, end))
+    return result
+
+
+def _prefix_columns(frame: DataFrame, alias: str) -> DataFrame:
+    return frame.rename({name: f"{alias}.{name}"
+                         for name in frame.columns})
+
+
+def _materialize_joins(stmt: SelectStatement,
+                       tables: Mapping[str, DataFrame]) -> DataFrame:
+    """Materialise FROM + JOIN clauses into one alias-prefixed frame."""
+    base = _resolve_table(stmt.table, tables)
+    combined = _prefix_columns(base, stmt.table_alias or stmt.table)
+    for join in stmt.joins:
+        right = _resolve_table(join.table, tables)
+        right_prefixed = _prefix_columns(right,
+                                         join.alias or join.table)
+        combined = _join_frames(combined, right_prefixed, join)
+    return combined
+
+
+def _join_frames(left: DataFrame, right: DataFrame,
+                 join: JoinClause) -> DataFrame:
+    columns = left.columns + right.columns
+    rows: list[tuple] = []
+    right_rows = right.to_rows()
+    scratch = DataFrame.empty(columns)
+    for left_values in left.to_rows():
+        matched = False
+        for right_values in right_rows:
+            candidate = left_values + right_values
+            probe = DataFrame.from_rows([candidate], columns)
+            context = RowContext(probe.row(0), None, joined=True)
+            if is_truthy(evaluate(join.on, context)):
+                matched = True
+                rows.append(candidate)
+        if not matched and join.kind == "left":
+            rows.append(left_values + (None,) * right.num_columns)
+    del scratch
+    return DataFrame.from_rows(rows, columns)
+
+
+def _resolve_table(name: str, tables: Mapping[str, DataFrame]) -> DataFrame:
+    if name in tables:
+        return tables[name]
+    lowered = name.lower()
+    for key, frame in tables.items():
+        if key.lower() == lowered:
+            return frame
+    raise SQLRuntimeError(
+        f"no such table: {name} (available: {', '.join(tables)})")
+
+
+def _output_names(items: list[SelectItem]) -> list[str]:
+    return dedupe_column_names([item.output_name for item in items])
+
+
+def _expand_star(stmt: SelectStatement, frame: DataFrame, *,
+                 joined: bool = False) -> list[SelectItem]:
+    items: list[SelectItem] = []
+    for item in stmt.items:
+        if isinstance(item.expression, Star):
+            for name in frame.columns:
+                # Joined frames carry alias-prefixed columns; the output
+                # keeps the bare name (deduped later if ambiguous).
+                bare = name.split(".", 1)[1] if joined and "." in name \
+                    else None
+                items.append(SelectItem(ColumnRef(name), alias=bare))
+        else:
+            items.append(item)
+    return items
+
+
+def _execute_plain(stmt: SelectStatement, frame: DataFrame,
+                   alias: str | None, *, joined: bool = False) -> DataFrame:
+    items = _expand_star(stmt, frame, joined=joined)
+    names = _output_names(items)
+    rows = []
+    order_keys = []
+    for row in frame.iter_rows():
+        context = RowContext(row, alias, joined=joined)
+        rows.append(tuple(
+            evaluate(item.expression, context) for item in items))
+        if stmt.order_by:
+            order_keys.append(_order_key(stmt.order_by, context,
+                                         rows[-1], items))
+    if stmt.order_by:
+        indexes = sorted(range(len(rows)), key=lambda i: order_keys[i])
+        rows = [rows[i] for i in indexes]
+    return DataFrame.from_rows(rows, names)
+
+
+def _execute_aggregate(stmt: SelectStatement, frame: DataFrame,
+                       alias: str | None, *,
+                       joined: bool = False) -> DataFrame:
+    items = _expand_star(stmt, frame, joined=joined)
+    names = _output_names(items)
+
+    alias_map = {
+        item.alias: item.expression for item in items if item.alias}
+
+    groups: list[DataFrame] = []
+    if stmt.group_by:
+        key_names = []
+        working = frame.copy()
+        for position, expr in enumerate(stmt.group_by):
+            # GROUP BY may reference a select-list alias (SQLite allows it).
+            if (isinstance(expr, ColumnRef) and expr.table is None
+                    and expr.name not in working
+                    and expr.name in alias_map):
+                expr = alias_map[expr.name]
+            if isinstance(expr, ColumnRef):
+                if joined:
+                    key_names.append(resolve_joined_name(
+                        working.columns, expr))
+                else:
+                    key_names.append(working.column(expr.name).name)
+            else:
+                # Group by a computed expression: materialise it.
+                computed = [
+                    evaluate(expr, RowContext(row, alias, joined=joined))
+                    for row in working.iter_rows()
+                ]
+                key = f"__group_{position}"
+                working[key] = computed
+                key_names.append(key)
+        for _, sub in group_by(working, key_names).groups():
+            groups.append(sub.drop([
+                name for name in key_names if name.startswith("__group_")
+            ]))
+    else:
+        # A single implicit group covering the whole table.  SQLite returns
+        # one row even for an empty input (COUNT(*) = 0), but bare column
+        # references then yield NULL; we return an empty result for an empty
+        # input unless every item is an aggregate.
+        if frame.num_rows == 0:
+            return _aggregate_over_empty(items, names, frame, alias)
+        groups.append(frame)
+
+    having = stmt.having
+    if having is not None:
+        having = _resolve_aliases(having, alias_map)
+
+    rows = []
+    contexts = []
+    for group in groups:
+        context = GroupContext(group, alias, joined=joined)
+        if having is not None:
+            if not is_truthy(evaluate(having, context)):
+                continue
+        rows.append(tuple(
+            evaluate(item.expression, context) for item in items))
+        contexts.append(context)
+
+    if stmt.order_by:
+        keys = [
+            _order_key(stmt.order_by, context, row, items)
+            for context, row in zip(contexts, rows)
+        ]
+        indexes = sorted(range(len(rows)), key=lambda i: keys[i])
+        rows = [rows[i] for i in indexes]
+    return DataFrame.from_rows(rows, names)
+
+
+def _resolve_aliases(expr, alias_map):
+    """Substitute select-list aliases in HAVING (SQLite allows them)."""
+    import dataclasses
+
+    from repro.sqlengine.ast_nodes import (
+        Between as _Between, BinaryOp as _BinaryOp,
+        CaseWhen as _CaseWhen, Cast as _Cast,
+        FunctionCall as _FunctionCall, InList as _InList,
+        IsNull as _IsNull, LikeOp as _LikeOp, UnaryOp as _UnaryOp,
+    )
+
+    def walk(node):
+        if isinstance(node, ColumnRef):
+            if node.table is None and node.name in alias_map:
+                return alias_map[node.name]
+            return node
+        if isinstance(node, _UnaryOp):
+            return dataclasses.replace(node, operand=walk(node.operand))
+        if isinstance(node, _BinaryOp):
+            return dataclasses.replace(node, left=walk(node.left),
+                                       right=walk(node.right))
+        if isinstance(node, _FunctionCall):
+            return dataclasses.replace(
+                node, args=tuple(walk(a) for a in node.args))
+        if isinstance(node, _InList):
+            return dataclasses.replace(
+                node, operand=walk(node.operand),
+                items=tuple(walk(i) for i in node.items))
+        if isinstance(node, _Between):
+            return dataclasses.replace(
+                node, operand=walk(node.operand), low=walk(node.low),
+                high=walk(node.high))
+        if isinstance(node, _IsNull):
+            return dataclasses.replace(node, operand=walk(node.operand))
+        if isinstance(node, _LikeOp):
+            return dataclasses.replace(
+                node, operand=walk(node.operand),
+                pattern=walk(node.pattern))
+        if isinstance(node, _CaseWhen):
+            whens = tuple((walk(c), walk(r)) for c, r in node.whens)
+            default = walk(node.default) if node.default else None
+            return dataclasses.replace(node, whens=whens, default=default)
+        if isinstance(node, _Cast):
+            return dataclasses.replace(node, operand=walk(node.operand))
+        return node
+
+    return walk(expr)
+
+
+def _aggregate_over_empty(items, names, frame: DataFrame,
+                          alias: str) -> DataFrame:
+    values = []
+    for item in items:
+        if expression_uses_aggregate(item.expression):
+            # COUNT over nothing is 0; SUM/AVG/MIN/MAX over nothing is NULL.
+            empty_group = GroupContext.__new__(GroupContext)
+            empty_group.group = frame
+            empty_group.table_alias = alias
+            empty_group._first = None
+            try:
+                values.append(_eval_aggregate_empty(item, frame))
+            except SQLRuntimeError:
+                values.append(None)
+        else:
+            values.append(None)
+    return DataFrame.from_rows([tuple(values)], names)
+
+
+def _eval_aggregate_empty(item: SelectItem, frame: DataFrame):
+    from repro.sqlengine.ast_nodes import FunctionCall
+    expr = item.expression
+    if isinstance(expr, FunctionCall) and expr.name.lower() == "count":
+        return 0
+    return None
+
+
+def _order_key(order_by: tuple[OrderItem, ...], context, row_values,
+               items) -> tuple:
+    """Build a sort key for one output row.
+
+    ORDER BY expressions may reference select-list aliases; those are
+    resolved against the computed output row first, then evaluated in the
+    row/group context.
+    """
+    alias_index = {
+        item.alias: position
+        for position, item in enumerate(items) if item.alias
+    }
+    key_parts = []
+    for order in order_by:
+        expr = order.expression
+        if (isinstance(expr, ColumnRef) and expr.table is None
+                and expr.name in alias_index):
+            value = row_values[alias_index[expr.name]]
+        else:
+            value = evaluate(expr, context)
+        base = _sort_key_for([value])(value)
+        if order.descending:
+            base = _Reversed(base)
+        # NULLs sort last in both directions (SQLite DESC behaviour).
+        key_parts.append((is_missing_value(value), base))
+    return tuple(key_parts)
+
+
+class _Reversed:
+    """Wrapper inverting comparison order, for DESC sort keys."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _Reversed) and other.value == self.value
+
+
+class NativeSQLEngine:
+    """Object-style facade over the native engine.
+
+    Example::
+
+        engine = NativeSQLEngine({"T0": frame})
+        result = engine.query("SELECT Cyclist FROM T0 WHERE Rank <= 10")
+    """
+
+    def __init__(self, tables: Mapping[str, DataFrame] | None = None):
+        self._tables: dict[str, DataFrame] = dict(tables or {})
+
+    def register(self, name: str, frame: DataFrame) -> None:
+        """Add or replace a table in the catalog."""
+        self._tables[name] = frame
+
+    def unregister(self, name: str) -> None:
+        self._tables.pop(name, None)
+
+    @property
+    def tables(self) -> dict[str, DataFrame]:
+        return dict(self._tables)
+
+    def query(self, sql: str) -> DataFrame:
+        """Execute a SELECT and return the result frame."""
+        return execute_sql(sql, self._tables)

@@ -1,0 +1,232 @@
+"""Scalar SQL functions for the native engine.
+
+Implements the SQLite-compatible subset that generated TQA queries use.
+Aggregates live in :mod:`repro.table.ops`; this module is scalar-only.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import SQLRuntimeError
+from repro.table.schema import is_missing
+
+__all__ = ["SCALAR_FUNCTIONS", "call_scalar", "is_aggregate_name"]
+
+#: Names the engine treats as aggregates (dispatched by the executor).
+_AGGREGATE_NAMES = frozenset({"count", "sum", "avg", "min", "max",
+                              "total", "group_concat"})
+
+
+def is_aggregate_name(name: str) -> bool:
+    return name.lower() in _AGGREGATE_NAMES
+
+
+def _require(args, count, name):
+    if len(args) not in (count if isinstance(count, tuple) else (count,)):
+        raise SQLRuntimeError(
+            f"{name}() expects {count} argument(s), got {len(args)}")
+
+
+def _fn_abs(args):
+    _require(args, 1, "abs")
+    value = args[0]
+    if is_missing(value):
+        return None
+    return abs(_as_number(value, "abs"))
+
+
+def _as_number(value, context):
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (int, float)):
+        return value
+    try:
+        text = str(value).strip().replace(",", "")
+        return int(text) if text.lstrip("+-").isdigit() else float(text)
+    except ValueError:
+        raise SQLRuntimeError(
+            f"{context}: cannot use {value!r} as a number") from None
+
+
+def _as_text(value):
+    if is_missing(value):
+        return None
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def _fn_lower(args):
+    _require(args, 1, "lower")
+    text = _as_text(args[0])
+    return None if text is None else text.lower()
+
+
+def _fn_upper(args):
+    _require(args, 1, "upper")
+    text = _as_text(args[0])
+    return None if text is None else text.upper()
+
+
+def _fn_length(args):
+    _require(args, 1, "length")
+    text = _as_text(args[0])
+    return None if text is None else len(text)
+
+
+def _fn_substr(args):
+    _require(args, (2, 3), "substr")
+    text = _as_text(args[0])
+    if text is None or is_missing(args[1]):
+        return None
+    start = int(_as_number(args[1], "substr"))
+    length = None
+    if len(args) == 3:
+        if is_missing(args[2]):
+            return None
+        length = int(_as_number(args[2], "substr"))
+    # SQLite semantics: 1-based; 0 behaves like 1; negative counts from end.
+    if start > 0:
+        begin = start - 1
+    elif start == 0:
+        begin = 0
+    else:
+        begin = max(len(text) + start, 0)
+    if length is None:
+        return text[begin:]
+    if length < 0:
+        return ""
+    return text[begin:begin + length]
+
+
+def _fn_replace(args):
+    _require(args, 3, "replace")
+    text, old, new = (_as_text(arg) for arg in args)
+    if text is None or old is None or new is None:
+        return None
+    if old == "":
+        return text
+    return text.replace(old, new)
+
+
+def _fn_trim(args):
+    _require(args, (1, 2), "trim")
+    text = _as_text(args[0])
+    if text is None:
+        return None
+    chars = _as_text(args[1]) if len(args) == 2 else None
+    return text.strip(chars)
+
+
+def _fn_ltrim(args):
+    _require(args, (1, 2), "ltrim")
+    text = _as_text(args[0])
+    if text is None:
+        return None
+    chars = _as_text(args[1]) if len(args) == 2 else None
+    return text.lstrip(chars)
+
+
+def _fn_rtrim(args):
+    _require(args, (1, 2), "rtrim")
+    text = _as_text(args[0])
+    if text is None:
+        return None
+    chars = _as_text(args[1]) if len(args) == 2 else None
+    return text.rstrip(chars)
+
+
+def _fn_round(args):
+    _require(args, (1, 2), "round")
+    if is_missing(args[0]):
+        return None
+    number = _as_number(args[0], "round")
+    digits = 0
+    if len(args) == 2 and not is_missing(args[1]):
+        digits = int(_as_number(args[1], "round"))
+    result = round(float(number) + 0.0, digits)
+    return result
+
+
+def _fn_coalesce(args):
+    for value in args:
+        if not is_missing(value):
+            return value
+    return None
+
+
+def _fn_nullif(args):
+    _require(args, 2, "nullif")
+    return None if args[0] == args[1] else args[0]
+
+
+def _fn_instr(args):
+    _require(args, 2, "instr")
+    haystack, needle = _as_text(args[0]), _as_text(args[1])
+    if haystack is None or needle is None:
+        return None
+    return haystack.find(needle) + 1
+
+
+def _fn_ifnull(args):
+    _require(args, 2, "ifnull")
+    return args[1] if is_missing(args[0]) else args[0]
+
+
+def _fn_sqrt(args):
+    _require(args, 1, "sqrt")
+    if is_missing(args[0]):
+        return None
+    number = float(_as_number(args[0], "sqrt"))
+    if number < 0:
+        raise SQLRuntimeError("sqrt of a negative number")
+    return math.sqrt(number)
+
+
+def _fn_floor(args):
+    _require(args, 1, "floor")
+    if is_missing(args[0]):
+        return None
+    return math.floor(_as_number(args[0], "floor"))
+
+
+def _fn_ceil(args):
+    _require(args, 1, "ceil")
+    if is_missing(args[0]):
+        return None
+    return math.ceil(_as_number(args[0], "ceil"))
+
+
+SCALAR_FUNCTIONS = {
+    "abs": _fn_abs,
+    "lower": _fn_lower,
+    "upper": _fn_upper,
+    "length": _fn_length,
+    "substr": _fn_substr,
+    "substring": _fn_substr,
+    "replace": _fn_replace,
+    "trim": _fn_trim,
+    "ltrim": _fn_ltrim,
+    "rtrim": _fn_rtrim,
+    "round": _fn_round,
+    "coalesce": _fn_coalesce,
+    "nullif": _fn_nullif,
+    "ifnull": _fn_ifnull,
+    "instr": _fn_instr,
+    "sqrt": _fn_sqrt,
+    "floor": _fn_floor,
+    "ceil": _fn_ceil,
+    "ceiling": _fn_ceil,
+}
+
+
+def call_scalar(name: str, args: list) -> object:
+    """Invoke a scalar function by (case-insensitive) name."""
+    try:
+        fn = SCALAR_FUNCTIONS[name.lower()]
+    except KeyError:
+        raise SQLRuntimeError(f"unknown function {name!r}") from None
+    return fn(args)

@@ -1,0 +1,128 @@
+"""Tokeniser for the native SQL engine.
+
+Supports the SQL surface that LLM-generated TQA queries use: quoted
+identifiers in three dialects (``"x"``, `` `x` ``, ``[x]``), single-quoted
+string literals with ``''`` escaping, integer/real numbers, ``--`` and
+``/* */`` comments, and the usual operator set.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SQLSyntaxError
+from repro.sqlengine.tokens import KEYWORDS, Token, TokenKind
+
+__all__ = ["tokenize"]
+
+_TWO_CHAR_OPERATORS = ("<=", ">=", "<>", "!=", "||", "==")
+_ONE_CHAR_OPERATORS = "+-/%<>="
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenise ``sql``; raises :class:`SQLSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    i, n = 0, len(sql)
+    while i < n:
+        char = sql[i]
+        if char.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if sql.startswith("/*", i):
+            end = sql.find("*/", i + 2)
+            if end == -1:
+                raise SQLSyntaxError("unterminated block comment", i)
+            i = end + 2
+            continue
+        if char == "'":
+            text, i = _read_string(sql, i)
+            tokens.append(Token(TokenKind.STRING, text, i))
+            continue
+        if char in ('"', "`", "["):
+            text, i = _read_quoted_ident(sql, i)
+            tokens.append(Token(TokenKind.IDENT, text, i))
+            continue
+        if char.isdigit() or (char == "." and i + 1 < n and sql[i + 1].isdigit()):
+            text, i = _read_number(sql, i)
+            tokens.append(Token(TokenKind.NUMBER, text, i))
+            continue
+        if char.isalpha() or char == "_":
+            start = i
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i]
+            kind = (TokenKind.KEYWORD if word.upper() in KEYWORDS
+                    else TokenKind.IDENT)
+            tokens.append(Token(kind, word, start))
+            continue
+        if sql[i:i + 2] in _TWO_CHAR_OPERATORS:
+            tokens.append(Token(TokenKind.OPERATOR, sql[i:i + 2], i))
+            i += 2
+            continue
+        if char == "*":
+            tokens.append(Token(TokenKind.STAR, char, i))
+        elif char == ",":
+            tokens.append(Token(TokenKind.COMMA, char, i))
+        elif char == "(":
+            tokens.append(Token(TokenKind.LPAREN, char, i))
+        elif char == ")":
+            tokens.append(Token(TokenKind.RPAREN, char, i))
+        elif char == ".":
+            tokens.append(Token(TokenKind.DOT, char, i))
+        elif char == ";":
+            tokens.append(Token(TokenKind.SEMICOLON, char, i))
+        elif char in _ONE_CHAR_OPERATORS:
+            tokens.append(Token(TokenKind.OPERATOR, char, i))
+        else:
+            raise SQLSyntaxError(f"unexpected character {char!r}", i)
+        i += 1
+    tokens.append(Token(TokenKind.EOF, "", n))
+    return tokens
+
+
+def _read_string(sql: str, start: int) -> tuple[str, int]:
+    i = start + 1
+    parts: list[str] = []
+    while i < len(sql):
+        if sql[i] == "'":
+            if i + 1 < len(sql) and sql[i + 1] == "'":  # escaped quote
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(sql[i])
+        i += 1
+    raise SQLSyntaxError("unterminated string literal", start)
+
+
+_CLOSERS = {'"': '"', "`": "`", "[": "]"}
+
+
+def _read_quoted_ident(sql: str, start: int) -> tuple[str, int]:
+    closer = _CLOSERS[sql[start]]
+    end = sql.find(closer, start + 1)
+    if end == -1:
+        raise SQLSyntaxError("unterminated quoted identifier", start)
+    return sql[start + 1:end], end + 1
+
+
+def _read_number(sql: str, start: int) -> tuple[str, int]:
+    i = start
+    n = len(sql)
+    while i < n and sql[i].isdigit():
+        i += 1
+    if i < n and sql[i] == ".":
+        i += 1
+        while i < n and sql[i].isdigit():
+            i += 1
+    if i < n and sql[i] in "eE":
+        j = i + 1
+        if j < n and sql[j] in "+-":
+            j += 1
+        if j < n and sql[j].isdigit():
+            i = j
+            while i < n and sql[i].isdigit():
+                i += 1
+    return sql[start:i], i

@@ -1,0 +1,432 @@
+"""Recursive-descent parser producing :mod:`repro.sqlengine.ast_nodes`.
+
+Grammar (single-table SELECT, the surface TQA queries use)::
+
+    select    := SELECT [DISTINCT] items FROM table [alias]
+                 [WHERE expr] [GROUP BY expr,+] [HAVING expr]
+                 [ORDER BY order,+] [LIMIT n [OFFSET m]] [;]
+    items     := item ("," item)*      item := "*" | expr [[AS] ident]
+    order     := expr [ASC|DESC]
+
+Expression precedence (low to high): OR, AND, NOT, comparison / IN /
+BETWEEN / LIKE / IS NULL, additive (+, -, ||), multiplicative (*, /, %),
+unary minus, primary.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SQLSyntaxError
+from repro.sqlengine.ast_nodes import (
+    Between,
+    BinaryOp,
+    CaseWhen,
+    Cast,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    InList,
+    IsNull,
+    JoinClause,
+    LikeOp,
+    Literal,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    Star,
+    UnaryOp,
+)
+from repro.sqlengine.lexer import tokenize
+from repro.sqlengine.tokens import Token, TokenKind
+
+__all__ = ["parse_select", "parse_expression"]
+
+_COMPARISON_OPS = ("=", "==", "<>", "!=", "<", "<=", ">", ">=")
+_CAST_TARGETS = ("INTEGER", "INT", "REAL", "FLOAT", "DOUBLE", "TEXT",
+                 "VARCHAR", "CHAR", "NUMERIC")
+
+
+def parse_select(sql: str) -> SelectStatement:
+    """Parse a single SELECT statement."""
+    parser = _Parser(tokenize(sql))
+    statement = parser.select_statement()
+    parser.expect_end()
+    return statement
+
+
+def parse_expression(sql: str) -> Expression:
+    """Parse a standalone expression (used by tests and the evaluator)."""
+    parser = _Parser(tokenize(sql))
+    expr = parser.expression()
+    parser.expect_end()
+    return expr
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # --- token plumbing ----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def match_keyword(self, *words: str) -> bool:
+        if self.current.is_keyword(*words):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.match_keyword(word):
+            raise SQLSyntaxError(
+                f"expected {word}, found {self.current.text!r}",
+                self.current.position)
+
+    def expect_kind(self, kind: TokenKind) -> Token:
+        if self.current.kind is not kind:
+            raise SQLSyntaxError(
+                f"expected {kind.value}, found {self.current.text!r}",
+                self.current.position)
+        return self.advance()
+
+    def expect_end(self) -> None:
+        while self.current.kind is TokenKind.SEMICOLON:
+            self.advance()
+        if self.current.kind is not TokenKind.EOF:
+            raise SQLSyntaxError(
+                f"unexpected trailing input: {self.current.text!r}",
+                self.current.position)
+
+    # --- statement ----------------------------------------------------------
+
+    def select_statement(self) -> SelectStatement:
+        self.expect_keyword("SELECT")
+        distinct = self.match_keyword("DISTINCT")
+        items = self._select_items()
+        self.expect_keyword("FROM")
+        table = self.expect_kind(TokenKind.IDENT).text
+        table_alias = None
+        if self.match_keyword("AS"):
+            table_alias = self.expect_kind(TokenKind.IDENT).text
+        elif self.current.kind is TokenKind.IDENT:
+            table_alias = self.advance().text
+        joins = []
+        while self.current.is_keyword("JOIN", "INNER", "LEFT"):
+            joins.append(self._join_clause())
+        where = None
+        if self.match_keyword("WHERE"):
+            where = self.expression()
+        group_by: tuple = ()
+        if self.match_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by = tuple(self._expression_list())
+        having = None
+        if self.match_keyword("HAVING"):
+            having = self.expression()
+        order_by: tuple = ()
+        if self.match_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by = tuple(self._order_items())
+        limit_value, offset_value = None, 0
+        if self.match_keyword("LIMIT"):
+            limit_value = self._integer("LIMIT")
+            if self.match_keyword("OFFSET"):
+                offset_value = self._integer("OFFSET")
+            elif self.current.kind is TokenKind.COMMA:
+                # SQLite's `LIMIT offset, count` form.
+                self.advance()
+                offset_value, limit_value = limit_value, self._integer("LIMIT")
+        return SelectStatement(
+            items=tuple(items),
+            table=table,
+            table_alias=table_alias,
+            joins=tuple(joins),
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit_value,
+            offset=offset_value,
+            distinct=distinct,
+        )
+
+    def _join_clause(self) -> JoinClause:
+        kind = "inner"
+        if self.match_keyword("LEFT"):
+            kind = "left"
+            self.match_keyword("OUTER")
+        else:
+            self.match_keyword("INNER")
+        self.expect_keyword("JOIN")
+        table = self.expect_kind(TokenKind.IDENT).text
+        alias = None
+        if self.match_keyword("AS"):
+            alias = self.expect_kind(TokenKind.IDENT).text
+        elif self.current.kind is TokenKind.IDENT:
+            alias = self.advance().text
+        self.expect_keyword("ON")
+        return JoinClause(table=table, alias=alias, kind=kind,
+                          on=self.expression())
+
+    def _integer(self, clause: str) -> int:
+        token = self.expect_kind(TokenKind.NUMBER)
+        try:
+            return int(token.text)
+        except ValueError:
+            raise SQLSyntaxError(
+                f"{clause} requires an integer, found {token.text!r}",
+                token.position) from None
+
+    def _select_items(self) -> list[SelectItem]:
+        items = [self._select_item()]
+        while self.current.kind is TokenKind.COMMA:
+            self.advance()
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self) -> SelectItem:
+        if self.current.kind is TokenKind.STAR:
+            self.advance()
+            return SelectItem(Star())
+        expr = self.expression()
+        alias = None
+        if self.match_keyword("AS"):
+            alias = self._alias_name()
+        elif self.current.kind is TokenKind.IDENT:
+            alias = self.advance().text
+        return SelectItem(expr, alias)
+
+    def _alias_name(self) -> str:
+        token = self.current
+        if token.kind in (TokenKind.IDENT, TokenKind.STRING):
+            self.advance()
+            return token.text
+        if token.kind is TokenKind.KEYWORD:  # e.g. AS count
+            self.advance()
+            return token.text
+        raise SQLSyntaxError(
+            f"expected alias name, found {token.text!r}", token.position)
+
+    def _order_items(self) -> list[OrderItem]:
+        items = []
+        while True:
+            expr = self.expression()
+            descending = False
+            if self.match_keyword("DESC"):
+                descending = True
+            else:
+                self.match_keyword("ASC")
+            items.append(OrderItem(expr, descending))
+            if self.current.kind is not TokenKind.COMMA:
+                return items
+            self.advance()
+
+    def _expression_list(self) -> list[Expression]:
+        items = [self.expression()]
+        while self.current.kind is TokenKind.COMMA:
+            self.advance()
+            items.append(self.expression())
+        return items
+
+    # --- expressions ----------------------------------------------------------
+
+    def expression(self) -> Expression:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expression:
+        left = self._and_expr()
+        while self.current.is_keyword("OR"):
+            self.advance()
+            left = BinaryOp("OR", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> Expression:
+        left = self._not_expr()
+        while self.current.is_keyword("AND"):
+            self.advance()
+            left = BinaryOp("AND", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> Expression:
+        if self.match_keyword("NOT"):
+            return UnaryOp("NOT", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> Expression:
+        left = self._additive()
+        while True:
+            token = self.current
+            if token.kind is TokenKind.OPERATOR and token.text in _COMPARISON_OPS:
+                self.advance()
+                op = {"==": "=", "!=": "<>"}.get(token.text, token.text)
+                left = BinaryOp(op, left, self._additive())
+                continue
+            negated = False
+            if token.is_keyword("NOT"):
+                nxt = self._tokens[self._pos + 1]
+                if nxt.is_keyword("IN", "BETWEEN", "LIKE"):
+                    self.advance()
+                    negated = True
+                    token = self.current
+                else:
+                    break
+            if token.is_keyword("IN"):
+                self.advance()
+                self.expect_kind(TokenKind.LPAREN)
+                items = tuple(self._expression_list())
+                self.expect_kind(TokenKind.RPAREN)
+                left = InList(left, items, negated)
+                continue
+            if token.is_keyword("BETWEEN"):
+                self.advance()
+                low = self._additive()
+                self.expect_keyword("AND")
+                high = self._additive()
+                left = Between(left, low, high, negated)
+                continue
+            if token.is_keyword("LIKE"):
+                self.advance()
+                left = LikeOp(left, self._additive(), negated)
+                continue
+            if token.is_keyword("IS"):
+                self.advance()
+                is_negated = self.match_keyword("NOT")
+                self.expect_keyword("NULL")
+                left = IsNull(left, is_negated)
+                continue
+            break
+        return left
+
+    def _additive(self) -> Expression:
+        left = self._multiplicative()
+        while True:
+            token = self.current
+            if token.kind is TokenKind.OPERATOR and token.text in ("+", "-", "||"):
+                self.advance()
+                left = BinaryOp(token.text, left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> Expression:
+        left = self._unary()
+        while True:
+            token = self.current
+            if token.kind is TokenKind.STAR:
+                self.advance()
+                left = BinaryOp("*", left, self._unary())
+            elif token.kind is TokenKind.OPERATOR and token.text in ("/", "%"):
+                self.advance()
+                left = BinaryOp(token.text, left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> Expression:
+        token = self.current
+        if token.kind is TokenKind.OPERATOR and token.text in ("-", "+"):
+            self.advance()
+            return UnaryOp(token.text, self._unary())
+        return self._primary()
+
+    def _primary(self) -> Expression:
+        token = self.current
+        if token.kind is TokenKind.NUMBER:
+            self.advance()
+            text = token.text
+            if "." in text or "e" in text.lower():
+                return Literal(float(text))
+            return Literal(int(text))
+        if token.kind is TokenKind.STRING:
+            self.advance()
+            return Literal(token.text)
+        if token.is_keyword("NULL"):
+            self.advance()
+            return Literal(None)
+        if token.is_keyword("TRUE"):
+            self.advance()
+            return Literal(True)
+        if token.is_keyword("FALSE"):
+            self.advance()
+            return Literal(False)
+        if token.is_keyword("CAST"):
+            return self._cast()
+        if token.is_keyword("CASE"):
+            return self._case()
+        if token.kind is TokenKind.LPAREN:
+            self.advance()
+            expr = self.expression()
+            self.expect_kind(TokenKind.RPAREN)
+            return expr
+        if token.kind is TokenKind.IDENT or token.kind is TokenKind.KEYWORD:
+            # Bare keyword identifiers (e.g. a column named `year`) are not
+            # in KEYWORDS, but aggregate names like COUNT arrive as IDENT.
+            return self._ident_or_call()
+        raise SQLSyntaxError(
+            f"unexpected token {token.text!r}", token.position)
+
+    def _ident_or_call(self) -> Expression:
+        token = self.advance()
+        name = token.text
+        if self.current.kind is TokenKind.LPAREN:
+            self.advance()
+            distinct = self.match_keyword("DISTINCT")
+            args: tuple
+            if self.current.kind is TokenKind.STAR:
+                self.advance()
+                args = (Star(),)
+            elif self.current.kind is TokenKind.RPAREN:
+                args = ()
+            else:
+                args = tuple(self._expression_list())
+            self.expect_kind(TokenKind.RPAREN)
+            return FunctionCall(name.lower(), args, distinct)
+        if self.current.kind is TokenKind.DOT:
+            self.advance()
+            column = self.expect_kind(TokenKind.IDENT).text
+            return ColumnRef(column, table=name)
+        return ColumnRef(name)
+
+    def _cast(self) -> Expression:
+        self.expect_keyword("CAST")
+        self.expect_kind(TokenKind.LPAREN)
+        operand = self.expression()
+        self.expect_keyword("AS")
+        token = self.advance()
+        target = token.upper
+        if target not in _CAST_TARGETS:
+            raise SQLSyntaxError(
+                f"unsupported CAST target {token.text!r}", token.position)
+        # Optional length suffix like VARCHAR(20).
+        if self.current.kind is TokenKind.LPAREN:
+            self.advance()
+            self.expect_kind(TokenKind.NUMBER)
+            self.expect_kind(TokenKind.RPAREN)
+        self.expect_kind(TokenKind.RPAREN)
+        canonical = {
+            "INT": "INTEGER", "FLOAT": "REAL", "DOUBLE": "REAL",
+            "NUMERIC": "REAL", "VARCHAR": "TEXT", "CHAR": "TEXT",
+        }.get(target, target)
+        return Cast(operand, canonical)
+
+    def _case(self) -> Expression:
+        self.expect_keyword("CASE")
+        whens = []
+        while self.match_keyword("WHEN"):
+            cond = self.expression()
+            self.expect_keyword("THEN")
+            whens.append((cond, self.expression()))
+        if not whens:
+            raise SQLSyntaxError(
+                "CASE requires at least one WHEN", self.current.position)
+        default = None
+        if self.match_keyword("ELSE"):
+            default = self.expression()
+        self.expect_keyword("END")
+        return CaseWhen(tuple(whens), default)

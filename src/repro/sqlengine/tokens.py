@@ -1,0 +1,50 @@
+"""Token definitions for the native SQL engine."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["TokenKind", "Token", "KEYWORDS"]
+
+
+class TokenKind(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    STRING = "string"
+    NUMBER = "number"
+    OPERATOR = "operator"
+    COMMA = "comma"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    DOT = "dot"
+    SEMICOLON = "semicolon"
+    STAR = "star"
+    EOF = "eof"
+
+
+#: Reserved words recognised by the parser (upper-case canonical form).
+KEYWORDS = frozenset({
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING",
+    "ORDER", "ASC", "DESC", "LIMIT", "OFFSET", "AS", "AND", "OR", "NOT",
+    "IN", "BETWEEN", "LIKE", "IS", "NULL", "CASE", "WHEN", "THEN", "ELSE",
+    "END", "CAST", "TRUE", "FALSE",
+    "JOIN", "INNER", "LEFT", "OUTER", "ON",
+})
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    position: int
+
+    @property
+    def upper(self) -> str:
+        return self.text.upper()
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.upper in words
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.value}, {self.text!r}@{self.position})"

@@ -1,0 +1,89 @@
+"""The DataFrame substrate: the pandas stand-in used by the Python executor.
+
+Public surface::
+
+    from repro.table import DataFrame, Column
+    frame = DataFrame({"Rank": [1, 2], "Cyclist": ["A (ESP)", "B (RUS)"]})
+    top = frame[frame["Rank"] <= 1]
+    frame["Country"] = frame.apply(lambda r: r["Cyclist"][-4:-1], axis=1)
+"""
+
+from repro.table.compare import (
+    normalize_cell,
+    table_fingerprint,
+    tables_equivalent,
+)
+from repro.table.frame import Column, DataFrame, Row
+from repro.table.io import (
+    decode_head_row,
+    encode_head_row,
+    from_csv,
+    from_json,
+    parse_literal,
+    read_csv,
+    to_csv,
+    to_json,
+    to_markdown,
+    write_csv,
+)
+from repro.table.ops import (
+    AGGREGATES,
+    GroupedFrame,
+    aggregate_values,
+    concat_rows,
+    distinct,
+    filter_rows,
+    group_by,
+    inner_join,
+    left_join,
+    limit,
+    project,
+    sort_by,
+)
+from repro.table.schema import (
+    ColumnType,
+    coerce_value,
+    dedupe_column_names,
+    infer_column_type,
+    infer_value_type,
+    is_missing,
+    normalize_column_name,
+)
+
+__all__ = [
+    "Column",
+    "DataFrame",
+    "Row",
+    "ColumnType",
+    "coerce_value",
+    "dedupe_column_names",
+    "infer_column_type",
+    "infer_value_type",
+    "is_missing",
+    "normalize_column_name",
+    "AGGREGATES",
+    "GroupedFrame",
+    "aggregate_values",
+    "concat_rows",
+    "distinct",
+    "filter_rows",
+    "group_by",
+    "inner_join",
+    "left_join",
+    "limit",
+    "project",
+    "sort_by",
+    "encode_head_row",
+    "decode_head_row",
+    "parse_literal",
+    "to_csv",
+    "from_csv",
+    "read_csv",
+    "write_csv",
+    "to_json",
+    "from_json",
+    "to_markdown",
+    "normalize_cell",
+    "table_fingerprint",
+    "tables_equivalent",
+]

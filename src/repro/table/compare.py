@@ -1,0 +1,66 @@
+"""Table equivalence for execution-based voting.
+
+Algorithm 3 of the paper merges the log-probabilities of predictions whose
+executions produce *equivalent* tables.  Equivalence here is semantic rather
+than structural: column names are ignored (different SQL aliases for the
+same result should merge), row order is ignored unless requested, and values
+are normalised (``"3"``, ``3`` and ``3.0`` are the same cell).
+"""
+
+from __future__ import annotations
+
+from repro.table.frame import DataFrame
+from repro.table.schema import is_missing
+
+__all__ = [
+    "normalize_cell",
+    "table_fingerprint",
+    "tables_equivalent",
+]
+
+
+def normalize_cell(value) -> str:
+    """Map a cell to its canonical comparison string.
+
+    Numbers (including numeric strings) canonicalise to a fixed-precision
+    decimal rendering; everything else lower-cases and collapses whitespace.
+    """
+    if is_missing(value):
+        return "<null>"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return _format_number(float(value))
+    text = " ".join(str(value).split()).strip().lower()
+    try:
+        return _format_number(float(text.replace(",", "")))
+    except ValueError:
+        return text
+
+
+def _format_number(number: float) -> str:
+    if number == int(number):
+        return str(int(number))
+    return f"{number:.6g}"
+
+
+def table_fingerprint(frame: DataFrame, *, ordered: bool = False) -> tuple:
+    """Return a hashable fingerprint; equal fingerprints mean equivalence.
+
+    ``ordered=True`` keeps row order significant (for queries whose ordering
+    carries meaning, e.g. top-k results).
+    """
+    rows = [
+        tuple(normalize_cell(value) for value in row)
+        for row in frame.to_rows()
+    ]
+    if not ordered:
+        rows.sort()
+    return (frame.num_columns, tuple(rows))
+
+
+def tables_equivalent(left: DataFrame, right: DataFrame, *,
+                      ordered: bool = False) -> bool:
+    """True if the two frames hold the same data under normalisation."""
+    return (table_fingerprint(left, ordered=ordered)
+            == table_fingerprint(right, ordered=ordered))

@@ -1,0 +1,309 @@
+"""Relational operators over :class:`repro.table.DataFrame`.
+
+These are the building blocks both the native SQL engine and the plan
+algebra execute: selection, projection, sorting, grouping with aggregates,
+distinct, limit and joins.  All functions are pure — they return new frames.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.errors import TableError
+from repro.table.frame import Column, DataFrame, Row
+from repro.table.schema import is_missing
+
+__all__ = [
+    "filter_rows",
+    "project",
+    "sort_by",
+    "distinct",
+    "limit",
+    "group_by",
+    "GroupedFrame",
+    "inner_join",
+    "left_join",
+    "concat_rows",
+    "AGGREGATES",
+    "aggregate_values",
+]
+
+
+def filter_rows(frame: DataFrame, predicate: Callable[[Row], object]) -> DataFrame:
+    """Keep rows for which ``predicate(row)`` is truthy."""
+    keep = [row.index for row in frame.iter_rows() if predicate(row)]
+    return frame.take(keep)
+
+
+def project(frame: DataFrame, columns: Sequence[str]) -> DataFrame:
+    """Relational projection (column subset / reorder)."""
+    return frame.select(columns)
+
+
+def _sort_key_for(values: Iterable) -> Callable:
+    """Return a key function giving a total order over mixed values.
+
+    Missing values sort last; numbers sort before strings numerically;
+    strings sort lexicographically (case-insensitive).
+    """
+
+    def key(value):
+        if is_missing(value):
+            return (2, 0, "")
+        if isinstance(value, bool):
+            return (0, int(value), "")
+        if isinstance(value, (int, float)):
+            return (0, value, "")
+        return (1, 0, str(value).lower())
+
+    return key
+
+
+class DescendingKey:
+    """Wrapper inverting comparison order for DESC sort keys."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __lt__(self, other: "DescendingKey") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, DescendingKey) and \
+            other.value == self.value
+
+    def __hash__(self):  # pragma: no cover
+        return hash(self.value)
+
+
+def sort_by(frame: DataFrame, columns: Sequence[str],
+            descending: bool | Sequence[bool] = False) -> DataFrame:
+    """Sort by one or more columns. ``descending`` may be per-column.
+
+    Missing values sort last in *both* directions, matching how SQLite
+    orders NULLs under ``ORDER BY ... DESC``.
+    """
+    if isinstance(descending, bool):
+        descending = [descending] * len(columns)
+    if len(descending) != len(columns):
+        raise TableError("descending flags must match sort columns")
+    indexes = list(range(frame.num_rows))
+    # Stable sort from the least-significant key outward.
+    for name, desc in reversed(list(zip(columns, descending))):
+        values = frame.column(name).values
+        key = _sort_key_for(values)
+
+        def sort_key(i, values=values, key=key, desc=desc):
+            missing = is_missing(values[i])
+            base = key(values[i])
+            return (missing, DescendingKey(base) if desc else base)
+
+        indexes.sort(key=sort_key)
+    return frame.take(indexes)
+
+
+def distinct(frame: DataFrame) -> DataFrame:
+    """Remove duplicate rows, keeping first occurrence order."""
+    seen: set = set()
+    keep = []
+    for index, row in enumerate(frame.to_rows()):
+        key = tuple((type(v).__name__, v) for v in row)
+        if key not in seen:
+            seen.add(key)
+            keep.append(index)
+    return frame.take(keep)
+
+
+def limit(frame: DataFrame, n: int, offset: int = 0) -> DataFrame:
+    """SQL-style LIMIT/OFFSET."""
+    if n < 0:
+        raise TableError("limit must be non-negative")
+    end = min(offset + n, frame.num_rows)
+    return frame.take(range(min(offset, frame.num_rows), end))
+
+
+# --- aggregation ------------------------------------------------------------
+
+
+def _agg_count(values: list) -> int:
+    return len([v for v in values if not is_missing(v)])
+
+
+def _numeric(values: list) -> list[float]:
+    result = []
+    for value in values:
+        if is_missing(value):
+            continue
+        if isinstance(value, bool):
+            result.append(int(value))
+        elif isinstance(value, (int, float)):
+            result.append(value)
+        else:
+            try:
+                result.append(float(str(value).replace(",", "")))
+            except ValueError:
+                continue
+    return result
+
+
+def _agg_sum(values: list):
+    nums = _numeric(values)
+    if not nums:
+        return None
+    total = sum(nums)
+    return int(total) if all(isinstance(n, int) for n in nums) else total
+
+
+def _agg_avg(values: list):
+    nums = _numeric(values)
+    if not nums:
+        return None
+    return sum(nums) / len(nums)
+
+
+def _agg_min(values: list):
+    present = [v for v in values if not is_missing(v)]
+    if not present:
+        return None
+    key = _sort_key_for(present)
+    return min(present, key=key)
+
+
+def _agg_max(values: list):
+    present = [v for v in values if not is_missing(v)]
+    if not present:
+        return None
+    key = _sort_key_for(present)
+    return max(present, key=key)
+
+
+#: Aggregate name -> implementation over a list of values.
+AGGREGATES: dict[str, Callable[[list], object]] = {
+    "count": _agg_count,
+    "sum": _agg_sum,
+    "avg": _agg_avg,
+    "min": _agg_min,
+    "max": _agg_max,
+}
+
+
+def aggregate_values(name: str, values: list):
+    """Apply the named aggregate to ``values``."""
+    try:
+        fn = AGGREGATES[name.lower()]
+    except KeyError:
+        raise TableError(f"unknown aggregate {name!r}") from None
+    return fn(values)
+
+
+class GroupedFrame:
+    """The result of :func:`group_by`: ordered groups of row indexes."""
+
+    def __init__(self, frame: DataFrame, keys: Sequence[str]):
+        self.frame = frame
+        self.keys = list(keys)
+        self._groups: dict[tuple, list[int]] = {}
+        self._order: list[tuple] = []
+        key_columns = [frame.column(name).values for name in self.keys]
+        for index in range(frame.num_rows):
+            group_key = tuple(
+                _hashable(col[index]) for col in key_columns)
+            if group_key not in self._groups:
+                self._groups[group_key] = []
+                self._order.append(group_key)
+            self._groups[group_key].append(index)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def groups(self):
+        """Yield (key_values, sub_frame) pairs in first-seen order."""
+        for group_key in self._order:
+            indexes = self._groups[group_key]
+            key_values = tuple(
+                self.frame.cell(indexes[0], name) for name in self.keys)
+            yield key_values, self.frame.take(indexes)
+
+    def aggregate(self, aggregations: Sequence[tuple[str, str, str]]) -> DataFrame:
+        """Aggregate each group.
+
+        ``aggregations`` is a sequence of ``(agg_name, column, out_name)``
+        triples; ``column`` may be ``"*"`` for ``COUNT(*)``.  The result has
+        the group keys followed by one column per aggregation.
+        """
+        out_columns = self.keys + [out for _, _, out in aggregations]
+        rows = []
+        for key_values, sub in self.groups():
+            row = list(key_values)
+            for agg_name, column, _ in aggregations:
+                if column == "*":
+                    row.append(sub.num_rows)
+                else:
+                    row.append(aggregate_values(
+                        agg_name, sub.column(column).tolist()))
+            rows.append(tuple(row))
+        return DataFrame.from_rows(rows, out_columns)
+
+
+def _hashable(value):
+    if isinstance(value, (list, dict, set)):
+        return repr(value)
+    return (type(value).__name__, value)
+
+
+def group_by(frame: DataFrame, keys: Sequence[str]) -> GroupedFrame:
+    """Group rows by the values of ``keys`` (first-seen group order)."""
+    return GroupedFrame(frame, keys)
+
+
+# --- joins ------------------------------------------------------------------
+
+
+def _join_frames(left: DataFrame, right: DataFrame, on: Sequence[str],
+                 keep_unmatched_left: bool) -> DataFrame:
+    right_extra = [name for name in right.columns if name not in on]
+    out_columns = left.columns + [
+        name if name not in left.columns else f"{name}_right"
+        for name in right_extra
+    ]
+    index: dict[tuple, list[int]] = {}
+    for i in range(right.num_rows):
+        key = tuple(_hashable(right.cell(i, name)) for name in on)
+        index.setdefault(key, []).append(i)
+    rows = []
+    for i in range(left.num_rows):
+        key = tuple(_hashable(left.cell(i, name)) for name in on)
+        matches = index.get(key, [])
+        left_values = tuple(left.cell(i, name) for name in left.columns)
+        if matches:
+            for j in matches:
+                right_values = tuple(
+                    right.cell(j, name) for name in right_extra)
+                rows.append(left_values + right_values)
+        elif keep_unmatched_left:
+            rows.append(left_values + (None,) * len(right_extra))
+    return DataFrame.from_rows(rows, out_columns)
+
+
+def inner_join(left: DataFrame, right: DataFrame, on: Sequence[str]) -> DataFrame:
+    """Equi-join keeping only matching rows."""
+    return _join_frames(left, right, on, keep_unmatched_left=False)
+
+
+def left_join(left: DataFrame, right: DataFrame, on: Sequence[str]) -> DataFrame:
+    """Equi-join keeping all left rows (unmatched right columns are None)."""
+    return _join_frames(left, right, on, keep_unmatched_left=True)
+
+
+def concat_rows(frames: Sequence[DataFrame]) -> DataFrame:
+    """Stack frames with identical column lists vertically."""
+    if not frames:
+        raise TableError("concat_rows needs at least one frame")
+    columns = frames[0].columns
+    for frame in frames[1:]:
+        if frame.columns != columns:
+            raise TableError("concat_rows requires identical columns")
+    rows = [row for frame in frames for row in frame.to_rows()]
+    return DataFrame.from_rows(rows, columns)

@@ -1,0 +1,195 @@
+"""Column types, type inference and column-name normalisation.
+
+The DataFrame substrate stores plain Python values (``int``, ``float``,
+``str``, ``bool`` and ``None``).  This module centralises the rules for
+deciding a column's type from its values, coercing values to a type, and
+normalising column names the way the paper's SQL exception handler does
+("the column names are normalized by removing spaces, leading numbers, and
+special characters", Section 3.3).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import re
+from datetime import date, datetime
+
+from repro.errors import SchemaError
+
+__all__ = [
+    "ColumnType",
+    "infer_value_type",
+    "infer_column_type",
+    "coerce_value",
+    "normalize_column_name",
+    "dedupe_column_names",
+    "is_missing",
+]
+
+_NORMALIZE_STRIP_RE = re.compile(r"[^0-9a-zA-Z_]+")
+_LEADING_DIGITS_RE = re.compile(r"^[0-9]+")
+
+
+class ColumnType(enum.Enum):
+    """The type of a column in a :class:`repro.table.DataFrame`.
+
+    ``NULL`` means the column holds no non-missing values; any value type is
+    compatible with it.  ``TEXT`` is the universal fallback: mixing numbers
+    and strings widens the column to ``TEXT``.
+    """
+
+    NULL = "null"
+    BOOL = "bool"
+    INTEGER = "integer"
+    REAL = "real"
+    TEXT = "text"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (ColumnType.INTEGER, ColumnType.REAL)
+
+
+#: Widening lattice: combining two types yields the smallest common type.
+_WIDEN = {
+    (ColumnType.INTEGER, ColumnType.REAL): ColumnType.REAL,
+    (ColumnType.REAL, ColumnType.INTEGER): ColumnType.REAL,
+    (ColumnType.BOOL, ColumnType.INTEGER): ColumnType.INTEGER,
+    (ColumnType.INTEGER, ColumnType.BOOL): ColumnType.INTEGER,
+    (ColumnType.BOOL, ColumnType.REAL): ColumnType.REAL,
+    (ColumnType.REAL, ColumnType.BOOL): ColumnType.REAL,
+}
+
+
+def is_missing(value: object) -> bool:
+    """Return True for the values the library treats as SQL NULL."""
+    if value is None:
+        return True
+    if isinstance(value, float) and math.isnan(value):
+        return True
+    return False
+
+
+def infer_value_type(value: object) -> ColumnType:
+    """Infer the :class:`ColumnType` of a single Python value."""
+    if is_missing(value):
+        return ColumnType.NULL
+    if isinstance(value, bool):
+        return ColumnType.BOOL
+    if isinstance(value, int):
+        return ColumnType.INTEGER
+    if isinstance(value, float):
+        return ColumnType.REAL
+    if isinstance(value, str):
+        return ColumnType.TEXT
+    if isinstance(value, (date, datetime)):
+        return ColumnType.TEXT
+    raise SchemaError(f"unsupported value type: {type(value).__name__}")
+
+
+def widen(left: ColumnType, right: ColumnType) -> ColumnType:
+    """Combine two column types into the narrowest type holding both."""
+    if left is right:
+        return left
+    if left is ColumnType.NULL:
+        return right
+    if right is ColumnType.NULL:
+        return left
+    return _WIDEN.get((left, right), ColumnType.TEXT)
+
+
+def infer_column_type(values) -> ColumnType:
+    """Infer the type of a column from an iterable of values."""
+    result = ColumnType.NULL
+    for value in values:
+        result = widen(result, infer_value_type(value))
+        if result is ColumnType.TEXT:
+            break
+    return result
+
+
+def coerce_value(value: object, target: ColumnType) -> object:
+    """Coerce ``value`` to ``target`` type, keeping missing values as None.
+
+    Raises :class:`SchemaError` if the value cannot represent the type
+    (e.g. coercing ``"abc"`` to ``INTEGER``).
+    """
+    if is_missing(value):
+        return None
+    if target is ColumnType.NULL:
+        raise SchemaError("cannot coerce a non-missing value to NULL")
+    if isinstance(value, (date, datetime)):
+        value = value.isoformat()
+    try:
+        if target is ColumnType.BOOL:
+            if isinstance(value, str):
+                lowered = value.strip().lower()
+                if lowered in ("true", "yes", "1"):
+                    return True
+                if lowered in ("false", "no", "0"):
+                    return False
+                raise ValueError(value)
+            return bool(value)
+        if target is ColumnType.INTEGER:
+            if isinstance(value, str):
+                return int(value.strip().replace(",", ""))
+            if isinstance(value, float) and not value.is_integer():
+                raise ValueError(value)
+            return int(value)
+        if target is ColumnType.REAL:
+            if isinstance(value, str):
+                return float(value.strip().replace(",", ""))
+            return float(value)
+        return value if isinstance(value, str) else _render_text(value)
+    except (TypeError, ValueError) as exc:
+        raise SchemaError(
+            f"cannot coerce {value!r} to {target}") from exc
+
+
+def _render_text(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def normalize_column_name(name: str) -> str:
+    """Normalise a column name for SQL use.
+
+    Mirrors the paper's mitigation for SQL execution errors caused by column
+    names: spaces and special characters are replaced with underscores,
+    leading digits are stripped, and the result is lower-cased.  An empty
+    result falls back to ``"col"``.
+    """
+    cleaned = _NORMALIZE_STRIP_RE.sub("_", name.strip())
+    cleaned = _LEADING_DIGITS_RE.sub("", cleaned)
+    cleaned = cleaned.strip("_").lower()
+    cleaned = re.sub(r"_+", "_", cleaned)
+    return cleaned or "col"
+
+
+def dedupe_column_names(names) -> list[str]:
+    """Make a list of column names unique by suffixing ``_2``, ``_3``, ...
+
+    Used after normalisation, which can collapse distinct raw headers (for
+    example ``"Rank "`` and ``"#Rank"`` both normalise to ``"rank"``).
+    """
+    seen: dict[str, int] = {}
+    result = []
+    for name in names:
+        count = seen.get(name, 0) + 1
+        seen[name] = count
+        if count == 1:
+            result.append(name)
+        else:
+            candidate = f"{name}_{count}"
+            while candidate in seen:
+                count += 1
+                candidate = f"{name}_{count}"
+            seen[candidate] = 1
+            result.append(candidate)
+    return result

@@ -1,0 +1,115 @@
+"""Structured tracing of reasoning chains.
+
+A :class:`ChainTracer` attached to :class:`repro.core.ReActTableAgent`
+records one event per prompt, action, execution and recovery, with
+wall-clock timings — the observability layer a production deployment of
+the framework would need.  Traces export to JSONL for offline analysis.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["ChainEvent", "ChainTracer"]
+
+
+@dataclass(frozen=True)
+class ChainEvent:
+    """One traced event."""
+
+    kind: str            # "start" | "prompt" | "action" | "execution"
+    #                    # | "recovery" | "answer" | "end"
+    chain_id: int
+    iteration: int
+    at: float            # seconds since tracer creation
+    data: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "chain_id": self.chain_id,
+            "iteration": self.iteration,
+            "at": round(self.at, 6),
+            **self.data,
+        }
+
+
+class ChainTracer:
+    """Collects :class:`ChainEvent` records across agent runs."""
+
+    def __init__(self, *, max_payload_chars: int = 200):
+        self._origin = time.perf_counter()
+        self.events: list[ChainEvent] = []
+        self.max_payload_chars = max_payload_chars
+        self._chain_counter = 0
+        self._current_chain = 0
+
+    # --- emission (called by instrumented agents) --------------------------
+
+    def start_chain(self, question: str) -> int:
+        self._chain_counter += 1
+        self._current_chain = self._chain_counter
+        self.emit("start", 0, question=self._clip(question))
+        return self._current_chain
+
+    def emit(self, kind: str, iteration: int, **data) -> None:
+        clipped = {
+            key: self._clip(value) if isinstance(value, str) else value
+            for key, value in data.items()
+        }
+        self.events.append(ChainEvent(
+            kind=kind,
+            chain_id=self._current_chain,
+            iteration=iteration,
+            at=time.perf_counter() - self._origin,
+            data=clipped,
+        ))
+
+    def end_chain(self, iteration: int, *, answer: str,
+                  forced: bool) -> None:
+        self.emit("end", iteration, answer=answer, forced=forced)
+
+    def _clip(self, text: str) -> str:
+        if len(text) <= self.max_payload_chars:
+            return text
+        return text[:self.max_payload_chars] + "..."
+
+    # --- analysis -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def chains(self) -> dict[int, list[ChainEvent]]:
+        """Events grouped by chain id."""
+        grouped: dict[int, list[ChainEvent]] = {}
+        for event in self.events:
+            grouped.setdefault(event.chain_id, []).append(event)
+        return grouped
+
+    def counts(self) -> dict[str, int]:
+        """Event counts by kind."""
+        result: dict[str, int] = {}
+        for event in self.events:
+            result[event.kind] = result.get(event.kind, 0) + 1
+        return result
+
+    def chain_durations(self) -> dict[int, float]:
+        """Wall-clock seconds per chain (start to last event)."""
+        durations = {}
+        for chain_id, events in self.chains().items():
+            durations[chain_id] = events[-1].at - events[0].at
+        return durations
+
+    # --- export ----------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        return "\n".join(json.dumps(event.to_dict())
+                         for event in self.events)
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_jsonl() + "\n", encoding="utf-8")
+        return path

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import generate_dataset
+from repro.table import DataFrame
+
+
+@pytest.fixture
+def cyclists() -> DataFrame:
+    """The paper's running-example table (Figure 1)."""
+    return DataFrame({
+        "Rank": [1, 2, 3, 10],
+        "Cyclist": [
+            "Alejandro Valverde (ESP)",
+            "Alexandr Kolobnev (RUS)",
+            "Davide Rebellin (ITA)",
+            "David Moncoutie (FRA)",
+        ],
+        "Team": ["Caisse d'Epargne", "Team CSC Saxo Bank",
+                 "Gerolsteiner", "Cofidis"],
+        "Points": [40, 30, 25, 1],
+        "Uci_protour_points": [None, 30.0, 25.0, None],
+    }, name="T0")
+
+
+@pytest.fixture
+def tiny_frame() -> DataFrame:
+    return DataFrame({"a": [1, 2, 3], "b": ["x", "y", "z"]}, name="T0")
+
+
+@pytest.fixture(scope="session")
+def wikitq_small():
+    """A small, session-cached WikiTQ-style benchmark."""
+    return generate_dataset("wikitq", size=40, seed=123)
+
+
+@pytest.fixture(scope="session")
+def tabfact_small():
+    return generate_dataset("tabfact", size=30, seed=123)
+
+
+@pytest.fixture(scope="session")
+def fetaqa_small():
+    return generate_dataset("fetaqa", size=20, seed=123)

@@ -1,0 +1,101 @@
+"""Tests for LLM action parsing and formatting."""
+
+import pytest
+
+from repro.core import Action, ActionKind, format_action, parse_action
+from repro.errors import ActionParseError
+
+
+class TestParseAction:
+    def test_sql_with_prefix(self):
+        action = parse_action(
+            "ReAcTable: SQL: ```SELECT * FROM T0;```.")
+        assert action.kind == ActionKind.SQL
+        assert action.payload == "SELECT * FROM T0;"
+
+    def test_sql_without_prefix(self):
+        action = parse_action("SQL: ```SELECT 1 FROM T0```")
+        assert action.kind == ActionKind.SQL
+
+    def test_python(self):
+        action = parse_action(
+            "ReAcTable: Python: ```T1['x'] = 1```.")
+        assert action.kind == ActionKind.PYTHON
+
+    def test_multiline_code_fence(self):
+        completion = ("ReAcTable: Python: ```\n"
+                      "def f(x):\n    return x\n"
+                      "T1['c'] = T1.apply(lambda r: f(r['a']), axis=1)\n"
+                      "```.")
+        action = parse_action(completion)
+        assert "def f(x):" in action.payload
+
+    def test_fence_with_language_tag(self):
+        action = parse_action("SQL: ```sql\nSELECT 1 FROM t\n```")
+        assert action.payload == "SELECT 1 FROM t"
+
+    def test_answer(self):
+        action = parse_action("ReAcTable: Answer: ```Italy```.")
+        assert action.kind == ActionKind.ANSWER
+        assert action.payload == "Italy"
+
+    def test_answer_without_fences(self):
+        action = parse_action("Answer: Italy")
+        assert action.payload == "Italy"
+
+    def test_answer_values_split_on_pipe(self):
+        action = parse_action("Answer: ```2001|2002| 2003```")
+        assert action.answer_values == ["2001", "2002", "2003"]
+
+    def test_answer_values_on_code_raises(self):
+        action = parse_action("SQL: ```SELECT 1 FROM t```")
+        with pytest.raises(ActionParseError):
+            action.answer_values
+
+    @pytest.mark.parametrize("alias,expected", [
+        ("sqlite", ActionKind.SQL),
+        ("py", ActionKind.PYTHON),
+        ("pandas", ActionKind.PYTHON),
+        ("final", ActionKind.ANSWER),
+    ])
+    def test_kind_aliases(self, alias, expected):
+        assert parse_action(f"{alias}: ```x```").kind == expected
+
+    def test_unknown_kind_passes_through(self):
+        # Custom executors register their own language tags.
+        action = parse_action("Datalog: ```path(a, b).```")
+        assert action.kind == "datalog"
+        assert action.is_code
+
+    def test_no_action_head_raises(self):
+        with pytest.raises(ActionParseError):
+            parse_action("I think the answer might be Italy")
+
+    def test_empty_payload_raises(self):
+        with pytest.raises(ActionParseError):
+            parse_action("SQL: ``` ```")
+
+    def test_trailing_period_stripped(self):
+        assert parse_action("Answer: ```42```.").payload == "42"
+
+    def test_is_code_flag(self):
+        assert parse_action("SQL: ```x```").is_code
+        assert not parse_action("Answer: ```x```").is_code
+
+
+class TestFormatAction:
+    def test_sql(self):
+        text = format_action(Action(ActionKind.SQL, "SELECT 1"))
+        assert text == "ReAcTable: SQL: ```SELECT 1```."
+
+    def test_answer(self):
+        text = format_action(Action(ActionKind.ANSWER, "Italy"))
+        assert text == "ReAcTable: Answer: ```Italy```."
+
+    def test_custom_language(self):
+        text = format_action(Action("datalog", "p(x)."))
+        assert text.startswith("ReAcTable: Datalog:")
+
+    def test_roundtrip(self):
+        original = Action(ActionKind.PYTHON, "T1['x'] = 1")
+        assert parse_action(format_action(original)) == original

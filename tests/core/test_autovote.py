@@ -1,0 +1,82 @@
+"""Tests for automatic voting-method selection."""
+
+import pytest
+
+from repro.core import AutoVotingAgent, select_voting_method
+from repro.core.voting import SimpleMajorityVoting
+from repro.errors import ModelError
+from repro.llm import SimulatedTQAModel, get_profile
+
+
+class TestSelectVotingMethod:
+    def test_returns_best_dev_method(self, wikitq_small):
+        def factory():
+            return SimulatedTQAModel(wikitq_small.bank, seed=1)
+
+        selection = select_voting_method(
+            factory, wikitq_small, n=3, limit=15)
+        assert selection.chosen in selection.dev_accuracy
+        best = max(selection.dev_accuracy.values())
+        assert selection.dev_accuracy[selection.chosen] == best
+        assert selection.dev_questions == 15
+
+    def test_e_vote_skipped_without_logprobs(self, wikitq_small):
+        turbo = get_profile("turbo-sim")
+
+        def factory():
+            return SimulatedTQAModel(wikitq_small.bank, turbo, seed=1)
+
+        selection = select_voting_method(
+            factory, wikitq_small, n=3, limit=10)
+        assert "e-vote" not in selection.dev_accuracy
+
+    def test_candidate_subset(self, wikitq_small):
+        def factory():
+            return SimulatedTQAModel(wikitq_small.bank, seed=1)
+
+        selection = select_voting_method(
+            factory, wikitq_small, candidates=("none", "s-vote"),
+            n=3, limit=10)
+        assert set(selection.dev_accuracy) == {"none", "s-vote"}
+
+    def test_margin_over(self, wikitq_small):
+        def factory():
+            return SimulatedTQAModel(wikitq_small.bank, seed=1)
+
+        selection = select_voting_method(
+            factory, wikitq_small, candidates=("none", "s-vote"),
+            n=3, limit=10)
+        assert selection.margin_over(selection.chosen) == 0.0
+
+    def test_no_applicable_method_raises(self, wikitq_small):
+        turbo = get_profile("turbo-sim")
+
+        def factory():
+            return SimulatedTQAModel(wikitq_small.bank, turbo, seed=1)
+
+        with pytest.raises(ModelError):
+            select_voting_method(factory, wikitq_small,
+                                 candidates=("e-vote",), limit=5)
+
+
+class TestAutoVotingAgent:
+    def test_calibrates_then_answers(self, wikitq_small):
+        def factory():
+            return SimulatedTQAModel(wikitq_small.bank, seed=1)
+
+        agent = AutoVotingAgent(factory, wikitq_small,
+                                candidates=("none", "s-vote"),
+                                n=3, dev_limit=10)
+        assert agent.selection.chosen in ("none", "s-vote")
+        example = wikitq_small.examples[0]
+        result = agent.run(example.table, example.question)
+        assert isinstance(result.answer, list)
+
+    def test_runner_matches_selection(self, wikitq_small):
+        def factory():
+            return SimulatedTQAModel(wikitq_small.bank, seed=1)
+
+        agent = AutoVotingAgent(factory, wikitq_small,
+                                candidates=("s-vote",), n=3,
+                                dev_limit=5)
+        assert isinstance(agent._runner, SimpleMajorityVoting)

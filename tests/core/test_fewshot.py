@@ -1,0 +1,123 @@
+"""Tests for few-shot demonstration selection."""
+
+import pytest
+
+from repro.core import (
+    FewShotSelector,
+    PromptBuilder,
+    ReActTableAgent,
+    Transcript,
+    parse_prompt,
+    question_similarity,
+    render_demonstration,
+)
+from repro.llm import ScriptedModel
+
+
+class TestQuestionSimilarity:
+    def test_identical_is_one(self):
+        q = "which cyclist has the highest points?"
+        assert question_similarity(q, q) == 1.0
+
+    def test_disjoint_is_zero(self):
+        assert question_similarity("total goals scored?",
+                                   "average film budget?") == 0.0
+
+    def test_stopwords_ignored(self):
+        assert question_similarity("the points of the cyclist",
+                                   "points cyclist") == 1.0
+
+    def test_symmetric(self):
+        a = "which team won the most races?"
+        b = "which team had the most cyclists?"
+        assert question_similarity(a, b) == question_similarity(b, a)
+
+    def test_empty(self):
+        assert question_similarity("", "anything") == 0.0
+
+
+class TestRenderDemonstration:
+    def test_full_transcript_shape(self, wikitq_small):
+        example = next(e for e in wikitq_small.examples
+                       if e.num_iterations >= 2)
+        text = render_demonstration(example)
+        assert text.startswith("The database table T0")
+        assert example.question in text
+        assert "ReAcTable: Answer: ```" in text
+        assert text.count("Intermediate table") == \
+            len(example.plan.code_steps)
+
+    def test_answer_matches_gold(self, wikitq_small):
+        example = wikitq_small.examples[0]
+        text = render_demonstration(example)
+        assert "|".join(example.gold_answer) in text
+
+    def test_parseable_as_demo_block(self, wikitq_small, cyclists):
+        example = wikitq_small.examples[0]
+        builder = PromptBuilder(
+            few_shot=render_demonstration(example))
+        prompt = builder.build(Transcript(cyclists, "live question?"))
+        parsed = parse_prompt(prompt)
+        assert parsed.question == "live question?"
+        assert parsed.demo_questions == (example.question,)
+
+
+class TestFewShotSelector:
+    def test_selects_most_similar(self, wikitq_small):
+        selector = FewShotSelector(wikitq_small.examples, k=1)
+        target = wikitq_small.examples[5]
+        chosen = selector.select(target.question)
+        assert chosen[0].question == target.question
+
+    def test_k_bounds(self, wikitq_small):
+        selector = FewShotSelector(wikitq_small.examples, k=3)
+        assert len(selector.select("anything about points?")) == 3
+        assert len(selector.select("x", k=1)) == 1
+
+    def test_negative_k_rejected(self, wikitq_small):
+        with pytest.raises(ValueError):
+            FewShotSelector(wikitq_small.examples, k=-1)
+
+    def test_few_shot_text_concatenates(self, wikitq_small):
+        selector = FewShotSelector(wikitq_small.examples, k=2)
+        text = selector.few_shot_text("which points are highest?")
+        assert text.count("The database table T0") == 2
+
+    def test_rendering_cached(self, wikitq_small):
+        selector = FewShotSelector(wikitq_small.examples, k=1)
+        selector.few_shot_text("points?")
+        cached = dict(selector._rendered)
+        selector.few_shot_text("points?")
+        assert selector._rendered == cached
+
+    def test_len(self, wikitq_small):
+        assert len(FewShotSelector(wikitq_small.examples)) == \
+            len(wikitq_small.examples)
+
+
+class TestAgentIntegration:
+    def test_selected_demos_reach_the_prompt(self, wikitq_small,
+                                             cyclists):
+        selector = FewShotSelector(wikitq_small.examples, k=1)
+        model = ScriptedModel(["ReAcTable: Answer: ```x```."])
+        agent = ReActTableAgent(model, few_shot_selector=selector)
+        target = wikitq_small.examples[3]
+        agent.run(cyclists, target.question)
+        parsed = parse_prompt(model.prompts[0])
+        assert parsed.demo_questions == (target.question,)
+
+    def test_demo_similarity_bonus_applies(self, wikitq_small):
+        import dataclasses
+
+        from repro.llm import CODEX_SIM, SimulatedTQAModel
+
+        profile = dataclasses.replace(CODEX_SIM, demo_affinity=5.0)
+        model = SimulatedTQAModel(wikitq_small.bank, profile, seed=1)
+        example = wikitq_small.examples[0]
+        with_demo = model._step_probability(
+            example, 0, grounding=0, cot=False, temperature=0.0,
+            sql_fallback=False, demo_similarity=1.0)
+        without = model._step_probability(
+            example, 0, grounding=0, cot=False, temperature=0.0,
+            sql_fallback=False, demo_similarity=0.0)
+        assert with_demo > without

@@ -1,0 +1,167 @@
+"""Tests for prompt construction and re-parsing (the Figure 2 template)."""
+
+import pytest
+
+from repro.core import (
+    Action,
+    ActionKind,
+    PromptBuilder,
+    Transcript,
+    TranscriptStep,
+    build_cot_prompt,
+    parse_prompt,
+)
+from repro.errors import PromptError
+from repro.table import DataFrame
+
+
+@pytest.fixture
+def transcript(cyclists):
+    return Transcript(cyclists,
+                      "which country had the most cyclists finish in "
+                      "the top 10?")
+
+
+@pytest.fixture
+def builder():
+    return PromptBuilder()
+
+
+class TestBuild:
+    def test_contains_table_and_question(self, builder, transcript):
+        prompt = builder.build(transcript)
+        assert "The database table T0 is shown as follows:" in prompt
+        assert '"which country had the most cyclists' in prompt
+        assert "[HEAD]:Rank|Cyclist" in prompt
+
+    def test_contains_few_shot_demo(self, builder, transcript):
+        prompt = builder.build(transcript)
+        # The default demonstration is the paper's worked example.
+        assert prompt.count("The database table T0") >= 2
+
+    def test_no_few_shot(self, transcript):
+        builder = PromptBuilder(few_shot="")
+        prompt = builder.build(transcript)
+        assert prompt.count("The database table T0") == 1
+
+    def test_instruction_mentions_both_languages(self, builder,
+                                                 transcript):
+        prompt = builder.build(transcript)
+        assert "Generate SQL or Python code step-by-step" in prompt
+
+    def test_sql_only_instruction(self, transcript):
+        builder = PromptBuilder(languages=("sql",))
+        prompt = builder.build(transcript)
+        assert "Python" not in prompt.rsplit(
+            "The database table T0", 1)[1]
+
+    def test_intermediate_tables_appended(self, builder, transcript,
+                                          cyclists):
+        t1 = cyclists.select(["Cyclist"]).with_name("T1")
+        transcript.steps.append(TranscriptStep(
+            Action(ActionKind.SQL, "SELECT Cyclist FROM T0"), t1))
+        prompt = builder.build(transcript)
+        assert "ReAcTable: SQL: ```SELECT Cyclist FROM T0```." in prompt
+        assert "Intermediate table (T1):" in prompt
+
+    def test_force_answer_suffix(self, builder, transcript):
+        prompt = builder.build(transcript, force_answer=True)
+        assert prompt.endswith("ReAcTable: Answer:")
+
+    def test_large_table_truncated(self, builder):
+        frame = DataFrame({"x": list(range(200))})
+        transcript = Transcript(frame, "q?")
+        prompt = builder.build(transcript)
+        assert "[...]" in prompt
+
+
+class TestParse:
+    def test_roundtrip_question_and_table(self, builder, transcript,
+                                          cyclists):
+        parsed = parse_prompt(builder.build(transcript))
+        assert parsed.question == transcript.question
+        assert parsed.t0 == cyclists
+        assert parsed.num_code_steps == 0
+        assert parsed.current_table == cyclists
+        assert not parsed.force_answer
+        assert not parsed.cot
+
+    def test_roundtrip_with_steps(self, builder, transcript, cyclists):
+        t1 = cyclists.select(["Cyclist"]).with_name("T1")
+        transcript.steps.append(TranscriptStep(
+            Action(ActionKind.SQL, "SELECT Cyclist FROM T0"), t1))
+        parsed = parse_prompt(builder.build(transcript))
+        assert parsed.num_code_steps == 1
+        assert parsed.current_table == t1
+
+    def test_current_table_is_last_intermediate(self, builder,
+                                                transcript, cyclists):
+        t1 = cyclists.select(["Cyclist"]).with_name("T1")
+        t2 = cyclists.select(["Team"]).with_name("T2")
+        transcript.steps.append(TranscriptStep(
+            Action(ActionKind.SQL, "a"), t1))
+        transcript.steps.append(TranscriptStep(
+            Action(ActionKind.SQL, "b"), t2))
+        parsed = parse_prompt(builder.build(transcript))
+        assert parsed.num_code_steps == 2
+        assert parsed.current_table == t2
+
+    def test_force_answer_detected(self, builder, transcript):
+        parsed = parse_prompt(builder.build(transcript,
+                                            force_answer=True))
+        assert parsed.force_answer
+
+    def test_languages_detected(self, transcript):
+        sql_only = PromptBuilder(languages=("sql",))
+        parsed = parse_prompt(sql_only.build(transcript))
+        assert parsed.languages == ("sql",)
+
+    def test_few_shot_does_not_confuse_parser(self, builder, cyclists):
+        # The demo contains its own question; the parser must pick the
+        # live one.
+        transcript = Transcript(cyclists, "how many rows are there?")
+        parsed = parse_prompt(builder.build(transcript))
+        assert parsed.question == "how many rows are there?"
+
+    def test_garbage_raises(self):
+        with pytest.raises(PromptError):
+            parse_prompt("not a prompt at all")
+
+    def test_missing_question_raises(self):
+        with pytest.raises(PromptError):
+            parse_prompt("The database table T0 is shown as follows:\n"
+                         "[HEAD]:a\n[ROW] 1: 1")
+
+
+class TestCotPrompt:
+    def test_detected_as_cot(self, cyclists):
+        prompt = build_cot_prompt(cyclists, "q?")
+        parsed = parse_prompt(prompt)
+        assert parsed.cot
+        assert parsed.question == "q?"
+
+    def test_react_prompt_not_cot(self, builder, transcript):
+        assert not parse_prompt(builder.build(transcript)).cot
+
+    def test_languages_respected(self, cyclists):
+        prompt = build_cot_prompt(cyclists, "q?", languages=("sql",))
+        assert parse_prompt(prompt).languages == ("sql",)
+
+
+class TestTranscript:
+    def test_tables_property(self, transcript, cyclists):
+        assert transcript.tables == [cyclists]
+        t1 = cyclists.select(["Cyclist"]).with_name("T1")
+        transcript.steps.append(TranscriptStep(
+            Action(ActionKind.SQL, "x"), t1))
+        transcript.steps.append(TranscriptStep(
+            Action(ActionKind.ANSWER, "done")))
+        assert transcript.tables == [cyclists, t1]
+        assert transcript.num_code_steps == 1
+
+    def test_fork_is_independent(self, transcript):
+        fork = transcript.fork()
+        fork.steps.append(TranscriptStep(
+            Action(ActionKind.ANSWER, "x")))
+        assert len(transcript.steps) == 0
+        assert len(fork.steps) == 1

@@ -1,0 +1,88 @@
+"""Tests for the benchmark generators."""
+
+import pytest
+
+from repro.datasets import DATASET_SIZES, QuestionBank, generate_dataset
+from repro.errors import DatasetError
+
+
+class TestGenerateDataset:
+    def test_requested_size(self, wikitq_small):
+        assert len(wikitq_small) == 40
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            generate_dataset("squad", size=1)
+
+    def test_deterministic_given_seed(self):
+        a = generate_dataset("wikitq", size=10, seed=5)
+        b = generate_dataset("wikitq", size=10, seed=5)
+        assert [e.question for e in a.examples] == \
+            [e.question for e in b.examples]
+        assert all(x.table == y.table
+                   for x, y in zip(a.examples, b.examples))
+
+    def test_different_seeds_differ(self):
+        a = generate_dataset("wikitq", size=10, seed=5)
+        b = generate_dataset("wikitq", size=10, seed=6)
+        assert [e.question for e in a.examples] != \
+            [e.question for e in b.examples]
+
+    def test_default_sizes_match_paper(self):
+        assert DATASET_SIZES == {
+            "wikitq": 4344, "tabfact": 1998, "fetaqa": 2006}
+
+    def test_uids_unique_and_ordered(self, wikitq_small):
+        uids = [e.uid for e in wikitq_small.examples]
+        assert len(set(uids)) == len(uids)
+        assert uids == sorted(uids)
+
+    def test_examples_registered_in_bank(self, wikitq_small):
+        assert len(wikitq_small.bank) == len(wikitq_small)
+        example = wikitq_small.examples[0]
+        looked_up = wikitq_small.bank.lookup(example.question,
+                                             example.table)
+        assert looked_up is example
+
+    def test_gold_answers_nonempty(self, wikitq_small):
+        for example in wikitq_small.examples:
+            assert example.gold_answer
+            assert all(a for a in example.gold_answer)
+
+    def test_shared_bank_accumulates(self):
+        bank = QuestionBank()
+        generate_dataset("wikitq", size=5, seed=1, bank=bank)
+        generate_dataset("tabfact", size=5, seed=1, bank=bank)
+        assert len(bank) == 10
+
+
+class TestBenchmarkStatistics:
+    def test_iteration_histogram_sums(self, wikitq_small):
+        histogram = wikitq_small.iteration_histogram()
+        assert sum(histogram.values()) == len(wikitq_small)
+
+    def test_wikitq_two_iterations_dominate(self):
+        benchmark = generate_dataset("wikitq", size=300, seed=9)
+        histogram = benchmark.iteration_histogram()
+        assert histogram[2] / len(benchmark) > 0.6
+
+    def test_wikitq_bounded_by_five_iterations(self):
+        benchmark = generate_dataset("wikitq", size=300, seed=9)
+        assert max(benchmark.iteration_histogram()) <= 5
+
+    def test_tabfact_python_affine_share_higher_than_wikitq(self):
+        wikitq = generate_dataset("wikitq", size=300, seed=9)
+        tabfact = generate_dataset("tabfact", size=300, seed=9)
+        assert tabfact.python_affine_share() > \
+            wikitq.python_affine_share()
+
+    def test_tabfact_roughly_balanced(self):
+        benchmark = generate_dataset("tabfact", size=300, seed=9)
+        yes = sum(1 for e in benchmark.examples
+                  if e.gold_answer == ["yes"])
+        assert 0.35 < yes / len(benchmark) < 0.65
+
+    def test_empty_benchmark(self):
+        benchmark = generate_dataset("wikitq", size=0, seed=1)
+        assert len(benchmark) == 0
+        assert benchmark.python_affine_share() == 0.0

@@ -1,0 +1,75 @@
+"""Tests for the real-benchmark file loaders."""
+
+import pytest
+
+from repro.datasets import load_wikitq_questions, load_wikitq_table
+from repro.errors import DatasetError
+
+
+@pytest.fixture
+def question_tsv(tmp_path):
+    path = tmp_path / "pristine-unseen-tables.tsv"
+    path.write_text(
+        "id\tutterance\tcontext\ttargetValue\n"
+        "nu-0\twhich country had the most cyclists?\t"
+        "csv/203-csv/733.csv\tItaly\n"
+        "nu-1\twhat years did they win?\tcsv/204-csv/1.csv\t"
+        "2001|2002|2003\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+@pytest.fixture
+def table_csv(tmp_path):
+    path = tmp_path / "733.csv"
+    path.write_text(
+        "Rank,Cyclist,Points\n"
+        "1,Alejandro Valverde (ESP),40\n"
+        "2,Alexandr Kolobnev (RUS),\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+class TestQuestionLoader:
+    def test_parses_rows(self, question_tsv):
+        questions = load_wikitq_questions(question_tsv)
+        assert len(questions) == 2
+        assert questions[0].uid == "nu-0"
+        assert questions[0].gold_answer == ["Italy"]
+
+    def test_multi_valued_answers_split(self, question_tsv):
+        questions = load_wikitq_questions(question_tsv)
+        assert questions[1].gold_answer == ["2001", "2002", "2003"]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_wikitq_questions(tmp_path / "nope.tsv")
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("wrong\theader\n", encoding="utf-8")
+        with pytest.raises(DatasetError):
+            load_wikitq_questions(path)
+
+
+class TestTableLoader:
+    def test_loads_and_types(self, table_csv):
+        frame = load_wikitq_table(table_csv)
+        assert frame.columns == ["Rank", "Cyclist", "Points"]
+        assert frame.cell(0, "Rank") == 1
+        assert frame.cell(1, "Points") is None
+
+    def test_named(self, table_csv):
+        assert load_wikitq_table(table_csv, name="T9").name == "T9"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_wikitq_table(tmp_path / "nope.csv")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(DatasetError):
+            load_wikitq_table(path)

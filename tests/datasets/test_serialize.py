@@ -1,0 +1,125 @@
+"""Tests for benchmark serialisation."""
+
+import pytest
+
+from repro.datasets import generate_dataset
+from repro.datasets.serialize import (
+    example_from_dict,
+    example_to_dict,
+    load_benchmark,
+    plan_from_dict,
+    plan_to_dict,
+    save_benchmark,
+    step_from_dict,
+    step_to_dict,
+)
+from repro.errors import DatasetError
+from repro.plans import (
+    AnswerStep,
+    ExtractStep,
+    FilterStep,
+    GroupCountStep,
+    Plan,
+)
+
+
+class TestStepRoundtrip:
+    @pytest.mark.parametrize("step", [
+        FilterStep(condition="Rank <= 10", columns=("Cyclist",),
+                   reads=("Rank",)),
+        ExtractStep(source="Cyclist", target="Country",
+                    pattern=r"\((\w+)\)", cast_numeric=True),
+        GroupCountStep(key="Country", descending=False, limit=None),
+        AnswerStep(kind="boolean", op=">", constant=5),
+        AnswerStep(kind="sentence", template="{0} with {1}."),
+        AnswerStep(kind="cell", literal=("42",)),
+    ])
+    def test_roundtrip(self, step):
+        assert step_from_dict(step_to_dict(step)) == step
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(DatasetError):
+            step_from_dict({"type": "EvilStep"})
+
+    def test_unknown_field_rejected(self):
+        payload = step_to_dict(AnswerStep())
+        payload["surprise"] = 1
+        with pytest.raises(DatasetError):
+            step_from_dict(payload)
+
+
+class TestPlanRoundtrip:
+    def test_roundtrip_preserves_execution(self, cyclists):
+        plan = Plan([
+            FilterStep(condition="Rank <= 10", columns=("Cyclist",),
+                       reads=("Rank",)),
+            ExtractStep(source="Cyclist", target="Country",
+                        pattern=r"\((\w+)\)"),
+            GroupCountStep(key="Country", limit=1),
+            AnswerStep(kind="cell"),
+        ])
+        loaded = plan_from_dict(plan_to_dict(plan))
+        assert loaded.execute(cyclists).answer == \
+            plan.execute(cyclists).answer
+
+
+class TestExampleRoundtrip:
+    def test_full_roundtrip(self, wikitq_small):
+        example = wikitq_small.examples[0]
+        loaded = example_from_dict(example_to_dict(example))
+        assert loaded.uid == example.uid
+        assert loaded.question == example.question
+        assert loaded.table == example.table
+        assert loaded.gold_answer == example.gold_answer
+        assert loaded.plan.execute(loaded.table).answer == \
+            example.gold_answer
+
+
+class TestBenchmarkFiles:
+    def test_save_and_load(self, tmp_path, wikitq_small):
+        path = save_benchmark(wikitq_small, tmp_path / "bench.jsonl")
+        loaded = load_benchmark(path)
+        assert loaded.name == wikitq_small.name
+        assert len(loaded) == len(wikitq_small)
+        assert len(loaded.bank) == len(wikitq_small.bank)
+
+    def test_loaded_benchmark_is_answerable(self, tmp_path,
+                                            wikitq_small):
+        from repro.core import ReActTableAgent
+        from repro.llm import SimulatedTQAModel
+
+        path = save_benchmark(wikitq_small, tmp_path / "bench.jsonl")
+        loaded = load_benchmark(path)
+        model = SimulatedTQAModel(loaded.bank, seed=1)
+        agent = ReActTableAgent(model)
+        example = loaded.examples[0]
+        result = agent.run(example.table, example.question)
+        assert isinstance(result.answer, list)
+
+    def test_loaded_matches_original_behaviour(self, tmp_path):
+        from repro.core import ReActTableAgent
+        from repro.llm import SimulatedTQAModel
+
+        original = generate_dataset("wikitq", size=10, seed=55)
+        loaded = load_benchmark(
+            save_benchmark(original, tmp_path / "b.jsonl"))
+        for source in (original, loaded):
+            model = SimulatedTQAModel(source.bank, seed=9)
+            agent = ReActTableAgent(model)
+            answers = [
+                agent.run(e.table, e.question).answer
+                for e in source.examples
+            ]
+            if source is original:
+                original_answers = answers
+        assert answers == original_answers
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_benchmark(tmp_path / "nope.jsonl")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(DatasetError):
+            load_benchmark(path)

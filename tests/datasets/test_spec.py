@@ -1,0 +1,96 @@
+"""Tests for TQAExample and the QuestionBank."""
+
+import pytest
+
+from repro.datasets import QuestionBank, TQAExample, table_fingerprint_key
+from repro.errors import DatasetError, UnknownQuestionError
+from repro.plans import AnswerStep, Plan
+from repro.table import DataFrame
+
+
+def make_example(question="q?", table=None, uid="x-1"):
+    table = table if table is not None else DataFrame({"a": [1]})
+    return TQAExample(
+        uid=uid, dataset="wikitq", table=table, question=question,
+        plan=Plan([AnswerStep(kind="cell", literal=("1",))]),
+        gold_answer=["1"],
+    )
+
+
+class TestFingerprint:
+    def test_same_table_same_key(self):
+        frame = DataFrame({"a": [1, 2]})
+        assert table_fingerprint_key(frame) == \
+            table_fingerprint_key(frame.copy())
+
+    def test_different_header_differs(self):
+        assert table_fingerprint_key(DataFrame({"a": [1]})) != \
+            table_fingerprint_key(DataFrame({"b": [1]}))
+
+    def test_different_first_row_differs(self):
+        assert table_fingerprint_key(DataFrame({"a": [1, 2]})) != \
+            table_fingerprint_key(DataFrame({"a": [9, 2]}))
+
+    def test_different_row_count_differs(self):
+        assert table_fingerprint_key(DataFrame({"a": [1]})) != \
+            table_fingerprint_key(DataFrame({"a": [1, 1]}))
+
+    def test_empty_table(self):
+        assert table_fingerprint_key(DataFrame({"a": []}))
+
+
+class TestQuestionBank:
+    def test_register_and_lookup(self):
+        bank = QuestionBank()
+        example = make_example()
+        bank.register(example)
+        assert bank.lookup("q?", example.table) is example
+
+    def test_duplicate_rejected(self):
+        bank = QuestionBank()
+        bank.register(make_example())
+        with pytest.raises(DatasetError):
+            bank.register(make_example(uid="x-2"))
+
+    def test_same_question_different_table_ok(self):
+        bank = QuestionBank()
+        bank.register(make_example())
+        bank.register(make_example(table=DataFrame({"a": [99]}),
+                                   uid="x-2"))
+        assert len(bank) == 2
+
+    def test_unknown_question_raises(self):
+        bank = QuestionBank()
+        with pytest.raises(UnknownQuestionError):
+            bank.lookup("never seen", DataFrame({"a": [1]}))
+
+    def test_lookup_requires_matching_table(self):
+        bank = QuestionBank()
+        bank.register(make_example())
+        with pytest.raises(UnknownQuestionError):
+            bank.lookup("q?", DataFrame({"a": [999]}))
+
+    def test_register_all_and_examples(self):
+        bank = QuestionBank()
+        bank.register_all([
+            make_example(question=f"q{i}?", uid=f"x-{i}")
+            for i in range(3)
+        ])
+        assert len(bank.examples()) == 3
+
+    def test_contains(self):
+        bank = QuestionBank()
+        example = make_example()
+        bank.register(example)
+        assert example.bank_key in bank
+
+
+class TestTQAExample:
+    def test_num_iterations_delegates_to_plan(self):
+        assert make_example().num_iterations == 1
+
+    def test_bank_key_reflects_question_and_table(self):
+        example = make_example()
+        question, fingerprint = example.bank_key
+        assert question == "q?"
+        assert fingerprint == table_fingerprint_key(example.table)

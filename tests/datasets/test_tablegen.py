@@ -1,0 +1,142 @@
+"""Tests for the synthetic table generator."""
+
+import random
+import re
+
+import pytest
+
+from repro.datasets import DOMAINS, generate_table
+
+
+class TestDomains:
+    def test_six_domains(self):
+        assert len(DOMAINS) == 6
+
+    def test_domain_names_unique(self):
+        names = [domain.name for domain in DOMAINS]
+        assert len(set(names)) == len(names)
+
+    def test_every_domain_has_two_numeric_columns(self):
+        for domain in DOMAINS:
+            assert len(domain.numeric_columns) == 2
+
+    def test_code_patterns_have_one_group(self):
+        for domain in DOMAINS:
+            assert re.compile(domain.code_pattern).groups == 1
+
+
+class TestGenerateTable:
+    def test_deterministic_given_seed(self):
+        a = generate_table(random.Random(5))
+        b = generate_table(random.Random(5))
+        assert a.frame == b.frame
+
+    def test_row_count_range(self):
+        for seed in range(10):
+            table = generate_table(random.Random(seed))
+            assert 8 <= table.frame.num_rows <= 18
+
+    def test_explicit_row_count(self):
+        table = generate_table(random.Random(0), num_rows=12)
+        assert table.frame.num_rows == 12
+
+    def test_explicit_domain(self):
+        table = generate_table(random.Random(0), domain="cycling")
+        assert table.domain.name == "cycling"
+        assert "Cyclist" in table.frame.columns
+
+    def test_rank_column_sequential(self):
+        table = generate_table(random.Random(1))
+        ranks = table.frame[table.domain.rank_column].tolist()
+        assert ranks == list(range(1, len(ranks) + 1))
+
+    def test_entities_are_distinct(self):
+        table = generate_table(random.Random(2), num_rows=16)
+        assert len(set(table.entity_values)) == 16
+
+    def test_codes_extractable_by_pattern(self):
+        table = generate_table(random.Random(3))
+        pattern = re.compile(table.domain.code_pattern)
+        for value, code in zip(table.entity_values, table.entity_codes):
+            match = pattern.search(value)
+            assert match and match.group(1) == code
+
+    def test_first_numeric_column_has_no_missing(self):
+        for seed in range(8):
+            table = generate_table(random.Random(seed),
+                                   missing_rate=0.5)
+            header = table.numeric_headers[0]
+            assert None not in table.frame[header].tolist()
+
+    def test_second_numeric_column_can_have_missing(self):
+        saw_missing = False
+        for seed in range(20):
+            table = generate_table(random.Random(seed),
+                                   missing_rate=0.5)
+            header = table.numeric_headers[1]
+            if None in table.frame[header].tolist():
+                saw_missing = True
+                break
+        assert saw_missing
+
+    def test_numeric_values_within_domain_bounds(self):
+        table = generate_table(random.Random(4), domain="olympics",
+                               missing_rate=0.0)
+        for header, _, low, high in table.domain.numeric_columns:
+            for value in table.frame[header]:
+                assert low <= value <= high
+
+    def test_numeric_label_lookup(self):
+        table = generate_table(random.Random(5), domain="cycling")
+        assert table.numeric_label("Points") == "points"
+        with pytest.raises(KeyError):
+            table.numeric_label("Nope")
+
+    def test_frame_named_t0(self):
+        assert generate_table(random.Random(6)).frame.name == "T0"
+
+
+class TestNoiseColumn:
+    def test_off_by_default(self):
+        table = generate_table(random.Random(1))
+        assert "Time" not in table.frame.columns
+
+    def test_inconsistent_formats(self):
+        table = generate_table(random.Random(1),
+                               include_noise_column=True, num_rows=18)
+        values = table.frame["Time"].tolist()
+        assert any(v == "s.t." for v in values)
+        assert any(v.startswith("+") for v in values)
+        assert values[0].endswith('"')
+
+    def test_noisy_table_roundtrips_prompt_codec(self):
+        from repro.table import decode_head_row, encode_head_row
+
+        table = generate_table(random.Random(2),
+                               include_noise_column=True)
+        frame = table.frame
+        assert decode_head_row(encode_head_row(frame), name="T0") == frame
+
+    def test_noisy_table_loads_into_sqlite(self):
+        from repro.executors.sql_executor import run_sqlite_query
+
+        table = generate_table(random.Random(3),
+                               include_noise_column=True)
+        out = run_sqlite_query("SELECT COUNT(*) FROM T0",
+                               {"T0": table.frame})
+        assert out.cell(0, 0) == table.frame.num_rows
+
+    def test_plans_still_execute_over_noisy_tables(self):
+        from repro.datasets.templates import WIKITQ_TEMPLATES
+
+        rng = random.Random(4)
+        template = WIKITQ_TEMPLATES[4][0]  # superlative
+        for _ in range(10):
+            table = generate_table(rng, include_noise_column=True)
+            built = template.build(table, rng)
+            if built is None:
+                continue
+            trace = built.plan.execute(table.frame)
+            assert trace.answer
+            return
+        raise AssertionError("template never built")

@@ -1,0 +1,99 @@
+"""Tests for the question templates (well-posedness of built questions)."""
+
+import random
+
+import pytest
+
+from repro.datasets import (
+    FETAQA_TEMPLATES,
+    TABFACT_TEMPLATES,
+    WIKITQ_TEMPLATES,
+    generate_table,
+)
+from repro.plans.steps import AnswerStep
+
+
+ALL_TEMPLATE_SETS = {
+    "wikitq": WIKITQ_TEMPLATES,
+    "tabfact": TABFACT_TEMPLATES,
+    "fetaqa": FETAQA_TEMPLATES,
+}
+
+
+def build_some(template, attempts=30, seed=0):
+    """Build up to ``attempts`` questions from a template; skip Nones."""
+    rng = random.Random(seed)
+    built = []
+    for _ in range(attempts):
+        table = generate_table(rng)
+        question = template.build(table, rng)
+        if question is not None:
+            built.append((table, question))
+    return built
+
+
+@pytest.mark.parametrize(
+    "template",
+    [template for templates in ALL_TEMPLATE_SETS.values()
+     for template, _ in templates],
+    ids=lambda template: template.id,
+)
+class TestEveryTemplate:
+    def test_builds_and_executes(self, template):
+        built = build_some(template)
+        assert built, f"{template.id} never built a question"
+        for table, question in built[:5]:
+            trace = question.plan.execute(table.frame)
+            assert trace.answer, f"{template.id} produced empty answer"
+            assert all(isinstance(a, str) for a in trace.answer)
+
+    def test_iteration_count_matches_declaration(self, template):
+        for _, question in build_some(template)[:5]:
+            assert question.plan.num_iterations == template.iterations
+
+    def test_difficulty_in_unit_interval(self, template):
+        for _, question in build_some(template)[:5]:
+            assert 0.0 < question.difficulty < 1.0
+
+    def test_question_mentions_no_placeholders(self, template):
+        for _, question in build_some(template)[:5]:
+            assert "{" not in question.question
+            assert "}" not in question.question
+
+
+class TestAnswerFormats:
+    def test_tabfact_answers_are_binary(self):
+        for template, _ in TABFACT_TEMPLATES:
+            for table, question in build_some(template)[:5]:
+                answer = question.plan.execute(table.frame).answer
+                assert answer in (["yes"], ["no"])
+
+    def test_fetaqa_answers_are_sentences(self):
+        for template, _ in FETAQA_TEMPLATES:
+            for table, question in build_some(template)[:5]:
+                answer = question.plan.execute(table.frame).answer
+                assert len(answer) == 1
+                assert answer[0].endswith(".")
+                assert " " in answer[0]
+
+    def test_fetaqa_uses_sentence_answer_steps(self):
+        for template, _ in FETAQA_TEMPLATES:
+            for _, question in build_some(template)[:3]:
+                step = question.plan.answer_step
+                assert isinstance(step, AnswerStep)
+                assert step.kind == "sentence"
+
+    def test_wikitq_python_affine_templates_marked(self):
+        affine_ids = {
+            template.id for template, _ in WIKITQ_TEMPLATES
+            if template.python_affine
+        }
+        assert "top_extract_group" in affine_ids
+        assert "superlative" not in affine_ids
+
+    def test_python_affine_plans_contain_python_steps(self):
+        for template, _ in WIKITQ_TEMPLATES:
+            if not template.python_affine:
+                continue
+            for _, question in build_some(template)[:3]:
+                assert "python" in question.plan.languages()

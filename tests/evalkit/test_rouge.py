@@ -1,0 +1,85 @@
+"""Tests for the ROUGE implementation."""
+
+import pytest
+
+from repro.evalkit import rouge_l, rouge_n, rouge_suite, tokenize
+
+
+class TestTokenize:
+    def test_lowercase_and_punctuation(self):
+        assert tokenize("Harvey beat Royds, by 1,463 votes!") == \
+            ["harvey", "beat", "royds", "by", "1", "463", "votes"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("!!!") == []
+
+
+class TestRougeN:
+    def test_identical_is_one(self):
+        score = rouge_n("the cat sat", "the cat sat", 1)
+        assert score.precision == score.recall == score.f1 == 1.0
+
+    def test_disjoint_is_zero(self):
+        assert rouge_n("aaa bbb", "ccc ddd", 1).f1 == 0.0
+
+    def test_partial_overlap(self):
+        score = rouge_n("the cat", "the dog", 1)
+        assert score.precision == 0.5
+        assert score.recall == 0.5
+        assert score.f1 == 0.5
+
+    def test_bigram_stricter_than_unigram(self):
+        candidate = "cat the sat mat"   # scrambled
+        reference = "the cat sat mat"
+        assert rouge_n(candidate, reference, 2).f1 < \
+            rouge_n(candidate, reference, 1).f1
+
+    def test_clipped_counts(self):
+        # "the the the" should not get credit for three "the"s.
+        score = rouge_n("the the the", "the cat", 1)
+        assert score.precision == pytest.approx(1 / 3)
+
+    def test_empty_candidate(self):
+        assert rouge_n("", "something", 1).f1 == 0.0
+
+    def test_bigram_on_single_token(self):
+        assert rouge_n("word", "word", 2).f1 == 0.0
+
+
+class TestRougeL:
+    def test_identical(self):
+        assert rouge_l("a b c", "a b c").f1 == 1.0
+
+    def test_subsequence_not_substring(self):
+        # LCS of "a x b y c" and "a b c" is "a b c" (length 3).
+        score = rouge_l("a x b y c", "a b c")
+        assert score.recall == 1.0
+        assert score.precision == pytest.approx(3 / 5)
+
+    def test_order_matters(self):
+        assert rouge_l("c b a", "a b c").f1 < 1.0
+
+    def test_empty(self):
+        assert rouge_l("", "x").f1 == 0.0
+
+
+class TestRougeSuite:
+    def test_keys(self):
+        suite = rouge_suite("a b", "a b")
+        assert set(suite) == {"rouge1", "rouge2", "rougeL"}
+
+    def test_paraphrase_example(self):
+        reference = ("Jamie Sjostrom (BEL) recorded the highest points "
+                     "with 115.")
+        candidate = "The answer is Jamie Sjostrom (BEL), with 115."
+        suite = rouge_suite(candidate, reference)
+        assert 0.5 < suite["rouge1"] < 1.0
+        assert suite["rouge2"] < suite["rouge1"]
+        assert suite["rougeL"] <= suite["rouge1"]
+
+    def test_scores_bounded(self):
+        suite = rouge_suite("completely different words",
+                            "another sentence entirely")
+        for value in suite.values():
+            assert 0.0 <= value <= 1.0

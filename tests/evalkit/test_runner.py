@@ -1,0 +1,61 @@
+"""Tests for the experiment runner."""
+
+import pytest
+
+from repro.core import ReActTableAgent
+from repro.evalkit import EvalReport, evaluate_agent, evaluate_answer
+from repro.llm import SimulatedTQAModel
+
+
+class TestEvaluateAnswer:
+    def test_wikitq_routing(self):
+        assert evaluate_answer("wikitq", ["3.0"], ["3"])
+
+    def test_tabfact_routing(self):
+        assert evaluate_answer("tabfact", ["yes, correct"], ["yes"])
+
+    def test_fetaqa_threshold(self):
+        gold = ["Harvey beat Royds by 1463 votes."]
+        assert evaluate_answer("fetaqa",
+                               ["Harvey beat Royds by 1463 votes."],
+                               gold)
+        assert not evaluate_answer("fetaqa", ["unrelated text"], gold)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            evaluate_answer("squad", ["x"], ["x"])
+
+
+class TestEvaluateAgent:
+    def test_report_structure(self, wikitq_small):
+        model = SimulatedTQAModel(wikitq_small.bank, seed=2)
+        report = evaluate_agent(ReActTableAgent(model), wikitq_small)
+        assert report.num_questions == len(wikitq_small)
+        assert 0.0 <= report.accuracy <= 1.0
+        assert sum(report.iteration_histogram.values()) == \
+            report.num_questions
+
+    def test_limit(self, wikitq_small):
+        model = SimulatedTQAModel(wikitq_small.bank, seed=2)
+        report = evaluate_agent(ReActTableAgent(model), wikitq_small,
+                                limit=5)
+        assert report.num_questions == 5
+
+    def test_iteration_accuracy_bounded(self, wikitq_small):
+        model = SimulatedTQAModel(wikitq_small.bank, seed=2)
+        report = evaluate_agent(ReActTableAgent(model), wikitq_small)
+        for value in report.iteration_accuracy().values():
+            assert 0.0 <= value <= 1.0
+
+    def test_fetaqa_rouge_collected(self, fetaqa_small):
+        model = SimulatedTQAModel(fetaqa_small.bank, seed=2)
+        report = evaluate_agent(ReActTableAgent(model), fetaqa_small)
+        rouge = report.rouge()
+        assert set(rouge) == {"rouge1", "rouge2", "rougeL"}
+        assert all(0.0 <= v <= 1.0 for v in rouge.values())
+
+    def test_empty_report_defaults(self):
+        report = EvalReport(dataset="wikitq", num_questions=0,
+                            num_correct=0)
+        assert report.accuracy == 0.0
+        assert report.rouge()["rouge1"] == 0.0

@@ -1,0 +1,45 @@
+"""Tests for the TabFact verdict matcher."""
+
+import pytest
+
+from repro.evalkit import normalize_verdict, tabfact_match
+
+
+class TestNormalizeVerdict:
+    @pytest.mark.parametrize("text,expected", [
+        ("yes", "yes"),
+        ("Yes", "yes"),
+        ("no", "no"),
+        ("true", "yes"),
+        ("False", "no"),
+        ("correct", "yes"),
+        ("incorrect", "no"),
+        ("yes, that is correct", "yes"),
+        ("no, the claim is false", "no"),
+        ("based on the table, the answer is yes", "yes"),
+        ("the claim is not supported", "no"),
+        ("banana", None),
+        ("", None),
+        ("42", None),
+    ])
+    def test_cases(self, text, expected):
+        assert normalize_verdict(text) == expected
+
+    def test_earliest_verdict_wins(self):
+        assert normalize_verdict("no, it is not true") == "no"
+
+
+class TestTabfactMatch:
+    def test_exact(self):
+        assert tabfact_match(["yes"], ["yes"])
+        assert not tabfact_match(["yes"], ["no"])
+
+    def test_verbose_prediction_tolerated(self):
+        assert tabfact_match(["yes, that is correct"], ["yes"])
+
+    def test_unparseable_prediction_fails(self):
+        assert not tabfact_match(["maybe"], ["yes"])
+
+    def test_empty_inputs(self):
+        assert not tabfact_match([], ["yes"])
+        assert not tabfact_match(["yes"], [])

@@ -1,0 +1,154 @@
+"""Tests for the WikiTQ denotation evaluator reimplementation."""
+
+import pytest
+
+from repro.evalkit import (
+    DateValue,
+    NumberValue,
+    StringValue,
+    check_denotation,
+    to_value,
+    to_value_list,
+    wikitq_match,
+)
+
+
+class TestToValue:
+    def test_plain_string(self):
+        value = to_value("Italy")
+        assert isinstance(value, StringValue)
+        assert value.normalized == "italy"
+
+    def test_number(self):
+        value = to_value("42")
+        assert isinstance(value, NumberValue)
+        assert value.amount == 42
+
+    def test_negative_number(self):
+        assert to_value("-3.5").amount == -3.5
+
+    def test_number_with_commas(self):
+        assert to_value("1,463").amount == 1463
+
+    def test_currency_and_percent(self):
+        assert to_value("$1,000").amount == 1000
+        assert to_value("45%").amount == 45
+
+    def test_iso_date(self):
+        value = to_value("2008-07-15")
+        assert isinstance(value, DateValue)
+        assert (value.year, value.month, value.day) == (2008, 7, 15)
+
+    def test_slash_date(self):
+        value = to_value("7/15/2008")
+        assert (value.year, value.month, value.day) == (2008, 7, 15)
+
+    def test_invalid_date_is_string(self):
+        assert isinstance(to_value("2008-99-99"), StringValue)
+
+    def test_trailing_parenthetical_stripped(self):
+        assert to_value("Alejandro Valverde (ESP)").normalized == \
+            "alejandro valverde"
+
+    def test_quotes_and_spacing_normalised(self):
+        assert to_value('"Hello   World"').normalized == "hello world"
+
+    def test_accents_stripped(self):
+        assert to_value("Moncoutié").normalized == "moncoutie"
+
+
+class TestMatching:
+    def test_exact_string(self):
+        assert wikitq_match(["Italy"], ["italy"])
+
+    def test_number_formats_match(self):
+        assert wikitq_match(["3"], ["3.0"])
+        assert wikitq_match(["1,463"], ["1463"])
+
+    def test_number_vs_numeric_string(self):
+        assert wikitq_match(["42"], ["42"])
+
+    def test_set_comparison_order_free(self):
+        assert wikitq_match(["2002", "2001"], ["2001", "2002"])
+
+    def test_cardinality_must_match(self):
+        assert not wikitq_match(["2001"], ["2001", "2002"])
+        assert not wikitq_match(["2001", "2001"], ["2001"])
+
+    def test_duplicates_respected(self):
+        assert wikitq_match(["a", "a"], ["a", "a"])
+        assert not wikitq_match(["a", "b"], ["a", "a"])
+
+    def test_wrong_answer(self):
+        assert not wikitq_match(["Spain"], ["Italy"])
+
+    def test_empty_prediction(self):
+        assert not wikitq_match([], ["Italy"])
+        assert wikitq_match([], [])
+
+    def test_verbose_answer_fails(self):
+        # The gpt-3.5 failure mode from Section 4.4: technically correct
+        # but not in the structured format.
+        assert not wikitq_match(
+            ["the answer to the question is Italy"], ["Italy"])
+
+    def test_year_matches_bare_number(self):
+        gold = to_value_list(["2007"])
+        predicted = [DateValue(2007, -1, -1)]
+        assert check_denotation(gold, predicted)
+
+    def test_date_does_not_match_other_year(self):
+        assert not check_denotation(
+            [DateValue(2007, -1, -1)], to_value_list(["2008"]))
+
+    def test_full_date_does_not_match_bare_year(self):
+        assert not check_denotation(
+            [DateValue(2007, 5, 1)], to_value_list(["2007"]))
+
+    def test_number_tolerance(self):
+        assert check_denotation(
+            [NumberValue(0.3333333)], [NumberValue(0.3333333)])
+        assert not check_denotation(
+            [NumberValue(1.0)], [NumberValue(1.1)])
+
+    def test_paper_example(self):
+        gold = ["Francisco Bravo Medical Magnet High School", "2007"]
+        good = ["Francisco Bravo Medical Magnet High School", "2007"]
+        verbose = ["the first school to reach 800 API is Francisco "
+                   "Bravo Medical Magnet High School in the year 2007"]
+        assert wikitq_match(good, gold)
+        assert not wikitq_match(verbose, gold)
+
+
+class TestValueEquality:
+    def test_string_value_matching_symmetric(self):
+        a, b = to_value("ITA"), to_value("ita")
+        assert a.match(b) and b.match(a)
+
+    def test_number_matches_equivalent_string_form(self):
+        number = to_value("3")
+        string = StringValue("3")
+        assert number.match(string)
+
+    @pytest.mark.parametrize("text", ["Italy", "42", "2008-07-15"])
+    def test_reprs_stable(self, text):
+        assert repr(to_value(text))
+
+
+class TestOrdinals:
+    def test_ordinal_parses_as_number(self):
+        value = to_value("3rd")
+        assert isinstance(value, NumberValue)
+        assert value.amount == 3
+
+    @pytest.mark.parametrize("ordinal,number", [
+        ("1st", "1"), ("2nd", "2"), ("3rd", "3"), ("11th", "11"),
+        ("22ND", "22"),
+    ])
+    def test_ordinal_matches_cardinal(self, ordinal, number):
+        assert wikitq_match([ordinal], [number])
+        assert wikitq_match([number], [ordinal])
+
+    def test_ordinal_like_words_stay_strings(self):
+        assert isinstance(to_value("worst"), StringValue)
+        assert isinstance(to_value("1sta"), StringValue)

@@ -1,0 +1,131 @@
+"""Tests for the sandboxed Python executor."""
+
+import pytest
+
+from repro.errors import ModuleNotAllowedError, PythonExecutionError
+from repro.executors import PythonExecutor
+from repro.table import DataFrame
+
+
+@pytest.fixture
+def executor():
+    return PythonExecutor()
+
+
+class TestResultResolution:
+    def test_in_place_mutation_of_latest(self, executor, cyclists):
+        code = "T0['Doubled'] = T0.apply(lambda x: x['Points'] * 2, axis=1)"
+        outcome = executor.execute(code, [cyclists])
+        assert outcome.table["Doubled"].tolist() == [80, 60, 50, 2]
+
+    def test_next_table_variable_wins(self, executor, cyclists):
+        code = "T1 = T0.select(['Cyclist'])"
+        outcome = executor.execute(code, [cyclists])
+        assert outcome.table.columns == ["Cyclist"]
+
+    def test_result_variable(self, executor, cyclists):
+        code = "result = T0[T0['Rank'] <= 2]"
+        outcome = executor.execute(code, [cyclists])
+        assert outcome.table.num_rows == 2
+
+    def test_df_alias_is_latest_table(self, executor, cyclists):
+        t1 = cyclists.select(["Cyclist"]).with_name("T1")
+        code = "df['L'] = df.apply(lambda x: len(x['Cyclist']), axis=1)"
+        outcome = executor.execute(code, [cyclists, t1])
+        assert "L" in outcome.table.columns
+
+    def test_original_tables_not_mutated(self, executor, cyclists):
+        before = cyclists.columns[:]
+        executor.execute("T0['New'] = T0.apply(lambda x: 1, axis=1)",
+                         [cyclists])
+        assert cyclists.columns == before
+
+    def test_no_dataframe_result_raises(self, executor, cyclists):
+        with pytest.raises(PythonExecutionError):
+            executor.execute("T0 = 42", [cyclists])
+
+
+class TestFigureOneExample:
+    def test_regex_country_extraction(self, executor, cyclists):
+        code = (
+            "def get_country(s):\n"
+            "    return re.search(r\"\\((\\w+)\\)\", s).group(1)\n"
+            "T0['Country'] = T0.apply("
+            "lambda x: get_country(x['Cyclist']), axis=1)"
+        )
+        outcome = executor.execute(code, [cyclists])
+        assert outcome.table["Country"].tolist() == \
+            ["ESP", "RUS", "ITA", "FRA"]
+
+
+class TestModuleHandling:
+    def test_preloaded_modules_available(self, executor, cyclists):
+        code = ("T0['x'] = T0.apply("
+                "lambda x: math.floor(x['Points'] / 10), axis=1)")
+        outcome = executor.execute(code, [cyclists])
+        assert outcome.table["x"].tolist() == [4, 3, 2, 0]
+
+    def test_installable_module_installed_and_rerun(self, executor,
+                                                    cyclists):
+        code = ("import statistics\n"
+                "T0['m'] = T0.apply("
+                "lambda x: statistics.mean([1, 3]), axis=1)")
+        outcome = executor.execute(code, [cyclists])
+        assert outcome.recovered
+        assert "statistics" in outcome.handling_notes[0]
+        assert outcome.table["m"].tolist() == [2, 2, 2, 2]
+
+    def test_installed_module_persists(self, executor, cyclists):
+        executor.execute("import statistics\nresult = T0", [cyclists])
+        outcome = executor.execute(
+            "import statistics\nresult = T0", [cyclists])
+        assert not outcome.recovered  # second run needs no install
+
+    def test_install_disabled(self, cyclists):
+        executor = PythonExecutor(allow_runtime_install=False)
+        with pytest.raises(ModuleNotAllowedError):
+            executor.execute("import statistics\nresult = T0",
+                             [cyclists])
+
+    def test_unknown_module_rejected(self, executor, cyclists):
+        with pytest.raises(ModuleNotAllowedError):
+            executor.execute("import requests\nresult = T0", [cyclists])
+
+    def test_os_module_rejected(self, executor, cyclists):
+        with pytest.raises(ModuleNotAllowedError):
+            executor.execute("import os\nresult = T0", [cyclists])
+
+
+class TestErrorPaths:
+    def test_runtime_error_wrapped(self, executor, cyclists):
+        with pytest.raises(PythonExecutionError) as exc_info:
+            executor.execute("T0['x'] = T0.apply("
+                             "lambda x: 1 / 0, axis=1)", [cyclists])
+        assert "ZeroDivisionError" in str(exc_info.value)
+
+    def test_reference_to_missing_table_raises(self, executor, cyclists):
+        with pytest.raises(PythonExecutionError):
+            executor.execute("result = T5", [cyclists])
+
+    def test_no_tables_raises(self, executor):
+        with pytest.raises(PythonExecutionError):
+            executor.execute("result = 1", [])
+
+    def test_step_budget_enforced(self, cyclists):
+        executor = PythonExecutor(max_steps=1000)
+        with pytest.raises(PythonExecutionError):
+            executor.execute(
+                "x = 0\nwhile True:\n    x += 1", [cyclists])
+
+
+class TestDataFrameApiSurface:
+    def test_construct_new_frame(self, executor, cyclists):
+        code = "result = DataFrame({'a': [1, 2]})"
+        outcome = executor.execute(code, [cyclists])
+        assert outcome.table.num_rows == 2
+
+    def test_builtins_available(self, executor, cyclists):
+        code = ("T0['s'] = T0.apply("
+                "lambda x: sum([x['Points'], 1]), axis=1)")
+        outcome = executor.execute(code, [cyclists])
+        assert outcome.table["s"].tolist() == [41, 31, 26, 2]

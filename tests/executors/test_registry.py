@@ -1,0 +1,81 @@
+"""Tests for the executor registry."""
+
+import pytest
+
+from repro.errors import AgentError
+from repro.executors import (
+    CodeExecutor,
+    ExecutionOutcome,
+    ExecutorRegistry,
+    default_registry,
+    sql_only_registry,
+)
+
+
+class FakeExecutor(CodeExecutor):
+    language = "fake"
+
+    def execute(self, code, tables):
+        return ExecutionOutcome(table=tables[-1])
+
+
+class TestRegistry:
+    def test_default_has_sql_and_python(self):
+        registry = default_registry()
+        assert "sql" in registry
+        assert "python" in registry
+        assert len(registry) == 2
+
+    def test_sql_only(self):
+        registry = sql_only_registry()
+        assert "sql" in registry
+        assert "python" not in registry
+
+    def test_lookup_case_insensitive(self):
+        registry = default_registry()
+        assert registry.get("SQL").language == "sql"
+
+    def test_missing_language_raises(self):
+        with pytest.raises(AgentError) as exc_info:
+            default_registry().get("scala")
+        assert "sql" in str(exc_info.value)
+
+    def test_register_custom(self):
+        registry = default_registry()
+        registry.register(FakeExecutor())
+        assert registry.get("fake").language == "fake"
+        assert len(registry) == 3
+
+    def test_register_replaces(self):
+        registry = ExecutorRegistry([FakeExecutor()])
+        replacement = FakeExecutor()
+        registry.register(replacement)
+        assert registry.get("fake") is replacement
+        assert len(registry) == 1
+
+    def test_unregister(self):
+        registry = default_registry()
+        registry.unregister("python")
+        assert "python" not in registry
+        registry.unregister("python")  # idempotent
+
+    def test_empty_language_rejected(self):
+        class Broken(CodeExecutor):
+            language = ""
+
+            def execute(self, code, tables):  # pragma: no cover
+                raise NotImplementedError
+
+        with pytest.raises(AgentError):
+            ExecutorRegistry([Broken()])
+
+    def test_iteration_and_languages(self):
+        registry = default_registry()
+        assert sorted(registry.languages) == ["python", "sql"]
+        assert len(list(registry)) == 2
+
+    def test_config_flags_passed_through(self):
+        registry = default_registry(retry_previous_tables=False,
+                                    allow_runtime_install=False)
+        assert registry.get("sql").retry_previous_tables is False
+        assert registry.get("python").allow_runtime_install is False

@@ -1,0 +1,86 @@
+"""Tests for the Python sandbox policy (AST validation, step limiter)."""
+
+import pytest
+
+from repro.errors import SandboxViolationError
+from repro.executors import StepLimiter, validate_code
+
+
+class TestValidateCode:
+    def test_plain_code_allowed(self):
+        validate_code("x = 1 + 2\ny = [i for i in range(3)]")
+
+    def test_function_definitions_allowed(self):
+        validate_code("def f(a):\n    return a * 2")
+
+    def test_lambdas_allowed(self):
+        validate_code("f = lambda x: x + 1")
+
+    def test_imports_pass_static_check(self):
+        # Import policy is enforced at runtime by the executor's
+        # __import__ hook, not by the AST pass.
+        validate_code("import re")
+
+    def test_star_import_rejected(self):
+        with pytest.raises(SandboxViolationError):
+            validate_code("from math import *")
+
+    @pytest.mark.parametrize("code", [
+        "x.__class__",
+        "().__class__.__bases__",
+        "x.__dict__",
+    ])
+    def test_dunder_attribute_rejected(self, code):
+        with pytest.raises(SandboxViolationError):
+            validate_code(code)
+
+    @pytest.mark.parametrize("name", [
+        "open", "eval", "exec", "compile", "input", "globals",
+        "locals", "vars", "getattr", "setattr", "delattr",
+        "breakpoint", "type",
+    ])
+    def test_forbidden_builtins_rejected(self, name):
+        with pytest.raises(SandboxViolationError):
+            validate_code(f"{name}('x')")
+
+    def test_global_statement_rejected(self):
+        with pytest.raises(SandboxViolationError):
+            validate_code("def f():\n    global x\n    x = 1")
+
+    def test_syntax_error_wrapped(self):
+        with pytest.raises(SandboxViolationError) as exc_info:
+            validate_code("def broken(:")
+        assert "syntax" in str(exc_info.value).lower()
+
+    def test_returns_ast(self):
+        import ast
+        assert isinstance(validate_code("x = 1"), ast.Module)
+
+
+class TestStepLimiter:
+    def test_short_code_passes(self):
+        def work():
+            return sum(range(100))
+
+        with StepLimiter(max_steps=10_000):
+            total = work()
+        assert total == 4950
+
+    def test_budget_exceeded_raises(self):
+        # sys.settrace only traces frames entered *after* it is set, so
+        # the runaway loop must live in a fresh call frame.
+        def runaway():
+            x = 0
+            while True:
+                x += 1
+
+        with pytest.raises(SandboxViolationError):
+            with StepLimiter(max_steps=50):
+                runaway()
+
+    def test_previous_trace_restored(self):
+        import sys
+        before = sys.gettrace()
+        with StepLimiter(max_steps=1000):
+            pass
+        assert sys.gettrace() is before

@@ -1,0 +1,119 @@
+"""Tests for the real-API adapter and retry wrapper."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.llm import (
+    CallableModel,
+    Completion,
+    RetryingModel,
+    ScriptedModel,
+)
+
+
+class TestCallableModel:
+    def test_strings(self):
+        model = CallableModel(lambda p, t, n: ["a"] * n)
+        batch = model.complete("x", n=3)
+        assert [c.text for c in batch] == ["a", "a", "a"]
+
+    def test_pairs_with_logprobs(self):
+        model = CallableModel(lambda p, t, n: [("a", -1.5)])
+        assert model.complete("x")[0].logprob == -1.5
+
+    def test_completion_objects_pass_through(self):
+        completion = Completion("a", -2.0)
+        model = CallableModel(lambda p, t, n: [completion])
+        assert model.complete("x")[0] is completion
+
+    def test_arguments_forwarded(self):
+        seen = {}
+
+        def backend(prompt, temperature, n):
+            seen.update(prompt=prompt, temperature=temperature, n=n)
+            return ["ok"] * n
+
+        CallableModel(backend).complete("the prompt", temperature=0.6,
+                                        n=2)
+        assert seen == {"prompt": "the prompt", "temperature": 0.6,
+                        "n": 2}
+
+    def test_wrong_count_rejected(self):
+        model = CallableModel(lambda p, t, n: ["only one"])
+        with pytest.raises(ModelError):
+            model.complete("x", n=3)
+
+    def test_bad_shape_rejected(self):
+        model = CallableModel(lambda p, t, n: [{"text": "a"}])
+        with pytest.raises(ModelError):
+            model.complete("x")
+
+    def test_drives_the_agent(self, cyclists):
+        answers = iter([
+            "ReAcTable: SQL: ```SELECT Cyclist FROM T0;```.",
+            "ReAcTable: Answer: ```done```.",
+        ])
+        model = CallableModel(lambda p, t, n: [next(answers)])
+        from repro.core import ReActTableAgent
+        result = ReActTableAgent(model).run(cyclists, "q?")
+        assert result.answer == ["done"]
+
+
+class FlakyModel(ScriptedModel):
+    """Fails the first ``failures`` calls, then behaves normally."""
+
+    def __init__(self, outputs, failures):
+        super().__init__(outputs)
+        self._failures = failures
+
+    def complete(self, prompt, *, temperature=0.0, n=1):
+        if self._failures > 0:
+            self._failures -= 1
+            raise ConnectionError("transient API blip")
+        return super().complete(prompt, temperature=temperature, n=n)
+
+
+class TestRetryingModel:
+    def test_recovers_from_transient_failures(self):
+        flaky = FlakyModel(["answer"], failures=2)
+        model = RetryingModel(flaky, max_retries=2)
+        assert model.complete("p")[0].text == "answer"
+        assert model.retries_used == 2
+
+    def test_exhausted_retries_raise_model_error(self):
+        flaky = FlakyModel(["never reached"], failures=5)
+        model = RetryingModel(flaky, max_retries=2)
+        with pytest.raises(ModelError) as exc_info:
+            model.complete("p")
+        assert "3 attempts" in str(exc_info.value)
+
+    def test_retry_filter(self):
+        flaky = FlakyModel(["x"], failures=1)
+        model = RetryingModel(flaky, max_retries=3,
+                              retry_on=(ValueError,))
+        with pytest.raises(ConnectionError):
+            model.complete("p")
+
+    def test_on_retry_hook(self):
+        calls = []
+        flaky = FlakyModel(["x"], failures=1)
+        model = RetryingModel(
+            flaky, max_retries=1,
+            on_retry=lambda attempt, exc: calls.append(attempt))
+        model.complete("p")
+        assert calls == [1]
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            RetryingModel(ScriptedModel([]), max_retries=-1)
+
+    def test_agent_survives_flaky_backend(self, cyclists):
+        from repro.core import ReActTableAgent
+
+        flaky = FlakyModel([
+            "ReAcTable: SQL: ```SELECT Cyclist FROM T0;```.",
+            "ReAcTable: Answer: ```ok```.",
+        ], failures=1)
+        agent = ReActTableAgent(RetryingModel(flaky, max_retries=2))
+        result = agent.run(cyclists, "q?")
+        assert result.answer == ["ok"]

@@ -1,0 +1,87 @@
+"""Tests for the model wrappers (caching, call counting, scripting)."""
+
+import pytest
+
+from repro.llm import CachingModel, CallCounter, ScriptedModel
+
+
+class TestScriptedModel:
+    def test_replays_in_order(self):
+        model = ScriptedModel(["a", "b"])
+        assert model.complete("p1")[0].text == "a"
+        assert model.complete("p2")[0].text == "b"
+
+    def test_records_prompts(self):
+        model = ScriptedModel(["a"])
+        model.complete("the prompt")
+        assert model.prompts == ["the prompt"]
+
+    def test_exhaustion_raises(self):
+        model = ScriptedModel(["a"])
+        model.complete("p")
+        with pytest.raises(IndexError):
+            model.complete("p")
+
+    def test_logprobs(self):
+        model = ScriptedModel(["a"], logprobs=[-1.5])
+        assert model.complete("p")[0].logprob == -1.5
+
+    def test_n_consumes_multiple(self):
+        model = ScriptedModel(["a", "b", "c"])
+        batch = model.complete("p", n=3)
+        assert [c.text for c in batch] == ["a", "b", "c"]
+
+
+class TestCachingModel:
+    def test_greedy_calls_cached(self):
+        inner = ScriptedModel(["only one"])
+        cached = CachingModel(inner)
+        first = cached.complete("p")
+        second = cached.complete("p")
+        assert first == second
+        assert cached.hits == 1
+        assert cached.misses == 1
+
+    def test_different_prompts_not_shared(self):
+        inner = ScriptedModel(["a", "b"])
+        cached = CachingModel(inner)
+        assert cached.complete("p1")[0].text == "a"
+        assert cached.complete("p2")[0].text == "b"
+
+    def test_sampled_calls_not_cached_by_default(self):
+        inner = ScriptedModel(["a", "b"])
+        cached = CachingModel(inner)
+        cached.complete("p", temperature=0.6)
+        cached.complete("p", temperature=0.6)
+        assert cached.hits == 0
+
+    def test_sampled_caching_opt_in(self):
+        inner = ScriptedModel(["a"])
+        cached = CachingModel(inner, cache_sampled=True)
+        cached.complete("p", temperature=0.6)
+        cached.complete("p", temperature=0.6)
+        assert cached.hits == 1
+
+    def test_clear(self):
+        inner = ScriptedModel(["a", "b"])
+        cached = CachingModel(inner)
+        cached.complete("p")
+        cached.clear()
+        assert cached.complete("p")[0].text == "b"
+
+    def test_name_and_logprob_passthrough(self):
+        inner = ScriptedModel(["a"])
+        inner.supports_logprobs = False
+        cached = CachingModel(inner)
+        assert cached.name == "scripted"
+        assert cached.supports_logprobs is False
+
+
+class TestCallCounter:
+    def test_counts_calls_and_completions(self):
+        inner = ScriptedModel(["a", "b", "c"])
+        counter = CallCounter(inner)
+        counter.complete("p1")
+        counter.complete("p2", n=2)
+        assert counter.calls == 2
+        assert counter.completions == 3

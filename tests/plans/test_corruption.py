@@ -1,0 +1,171 @@
+"""Tests for the corruption operators (the simulated model's error modes)."""
+
+import random
+
+import pytest
+
+from repro.executors import PythonExecutor, SQLExecutor
+from repro.errors import SQLExecutionError
+from repro.plans import (
+    DiffStep,
+    ErrorMode,
+    ExtractStep,
+    FilterStep,
+    GroupAggStep,
+    GroupCountStep,
+    SuperlativeStep,
+    apply_corruption,
+    corrupt_code_text,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(7)
+
+
+@pytest.fixture
+def filter_step():
+    return FilterStep(condition="Rank <= 10", columns=("Cyclist",),
+                      reads=("Rank",))
+
+
+class TestWrongColumn:
+    def test_produces_nonexistent_column(self, cyclists, filter_step,
+                                         rng):
+        damaged = apply_corruption(
+            filter_step, ErrorMode.WRONG_COLUMN,
+            current=cyclists, original=cyclists, rng=rng)
+        assert damaged is not None
+        referenced = set(damaged.input_columns())
+        assert not referenced <= set(cyclists.columns)
+
+    def test_execution_fails_everywhere(self, cyclists, filter_step,
+                                        rng):
+        damaged = apply_corruption(
+            filter_step, ErrorMode.WRONG_COLUMN,
+            current=cyclists, original=cyclists, rng=rng)
+        with pytest.raises(SQLExecutionError):
+            SQLExecutor().execute(damaged.render("T0"), [cyclists])
+
+    def test_unrecoverable(self):
+        assert not ErrorMode.WRONG_COLUMN.is_recoverable
+
+
+class TestStaleColumn:
+    def test_references_dropped_column(self, cyclists, rng):
+        current = cyclists.select(["Cyclist"]).with_name("T1")
+        step = FilterStep(condition="Cyclist <> ''",
+                          columns=("Cyclist",), reads=("Cyclist",))
+        damaged = apply_corruption(
+            step, ErrorMode.STALE_COLUMN,
+            current=current, original=cyclists, rng=rng)
+        assert damaged is not None
+        stale = set(damaged.input_columns()) - set(current.columns)
+        assert stale  # at least one column not in the current table
+        assert stale <= set(cyclists.columns)
+
+    def test_retry_mechanism_rescues(self, cyclists, rng):
+        current = cyclists.select(["Cyclist"]).with_name("T1")
+        step = FilterStep(condition="Cyclist <> ''",
+                          columns=("Cyclist",), reads=("Cyclist",))
+        damaged = apply_corruption(
+            step, ErrorMode.STALE_COLUMN,
+            current=current, original=cyclists, rng=rng)
+        outcome = SQLExecutor().execute(damaged.render("T1"),
+                                        [cyclists, current])
+        assert outcome.recovered
+
+    def test_inapplicable_when_no_stale_columns(self, cyclists, rng,
+                                                filter_step):
+        assert apply_corruption(
+            filter_step, ErrorMode.STALE_COLUMN,
+            current=cyclists, original=cyclists, rng=rng) is None
+
+    def test_recoverable(self):
+        assert ErrorMode.STALE_COLUMN.is_recoverable
+
+
+class TestSemanticCorruptions:
+    def test_wrong_constant_changes_number(self, cyclists, filter_step,
+                                           rng):
+        damaged = apply_corruption(
+            filter_step, ErrorMode.WRONG_CONSTANT,
+            current=cyclists, original=cyclists, rng=rng)
+        assert damaged.condition != filter_step.condition
+        # Still executes — just wrong.
+        SQLExecutor().execute(damaged.render("T0"), [cyclists])
+
+    def test_wrong_constant_swaps_diff_sides(self, cyclists, rng):
+        step = DiffStep(key="Cyclist", value="Points", left="A",
+                        right="B")
+        damaged = apply_corruption(
+            step, ErrorMode.WRONG_CONSTANT,
+            current=cyclists, original=cyclists, rng=rng)
+        assert (damaged.left, damaged.right) == ("B", "A")
+
+    def test_wrong_aggregate(self, cyclists, rng):
+        step = GroupAggStep(key="Team", agg="sum", value="Points")
+        damaged = apply_corruption(
+            step, ErrorMode.WRONG_AGGREGATE,
+            current=cyclists, original=cyclists, rng=rng)
+        assert damaged.agg != "sum"
+
+    def test_flipped_order(self, cyclists, rng):
+        step = SuperlativeStep(target="Cyclist", by="Points")
+        damaged = apply_corruption(
+            step, ErrorMode.FLIPPED_ORDER,
+            current=cyclists, original=cyclists, rng=rng)
+        assert damaged.descending is False
+
+    def test_flipped_order_on_group_count(self, cyclists, rng):
+        step = GroupCountStep(key="Team")
+        damaged = apply_corruption(
+            step, ErrorMode.FLIPPED_ORDER,
+            current=cyclists, original=cyclists, rng=rng)
+        assert damaged.descending is False
+
+
+class TestCodeTextCorruptions:
+    def test_syntax_error_breaks_sql(self, cyclists, filter_step, rng):
+        code = corrupt_code_text(filter_step.render("T0"),
+                                 ErrorMode.SYNTAX_ERROR, rng)
+        with pytest.raises(SQLExecutionError):
+            SQLExecutor().execute(code, [cyclists])
+
+    def test_syntax_error_breaks_python(self, rng):
+        step = ExtractStep(source="Cyclist", target="C",
+                           pattern=r"\((\w+)\)")
+        code = corrupt_code_text(step.render("T0"),
+                                 ErrorMode.SYNTAX_ERROR, rng)
+        assert code != step.render("T0")
+
+    def test_module_hallucination_prepends_import(self, rng):
+        code = corrupt_code_text("result = T0",
+                                 ErrorMode.MODULE_HALLUCINATION, rng)
+        assert code.startswith("import ")
+
+    def test_module_hallucination_is_rescued(self, cyclists, rng):
+        code = corrupt_code_text("result = T0.copy()",
+                                 ErrorMode.MODULE_HALLUCINATION, rng)
+        outcome = PythonExecutor().execute(code, [cyclists])
+        assert outcome.recovered
+
+    def test_recoverable_flag(self):
+        assert ErrorMode.MODULE_HALLUCINATION.is_recoverable
+        assert not ErrorMode.SYNTAX_ERROR.is_recoverable
+
+    def test_wrong_mode_for_code_text_raises(self, rng):
+        with pytest.raises(ValueError):
+            corrupt_code_text("x", ErrorMode.WRONG_COLUMN, rng)
+
+
+class TestDeterminism:
+    def test_same_seed_same_corruption(self, cyclists, filter_step):
+        first = apply_corruption(
+            filter_step, ErrorMode.WRONG_CONSTANT, current=cyclists,
+            original=cyclists, rng=random.Random(3))
+        second = apply_corruption(
+            filter_step, ErrorMode.WRONG_CONSTANT, current=cyclists,
+            original=cyclists, rng=random.Random(3))
+        assert first == second

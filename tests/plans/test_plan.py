@@ -1,0 +1,82 @@
+"""Tests for plan construction and execution."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.plans import (
+    AnswerStep,
+    ExtractStep,
+    FilterStep,
+    GroupCountStep,
+    Plan,
+)
+
+
+@pytest.fixture
+def figure1_plan():
+    return Plan([
+        FilterStep(condition="Rank <= 10", columns=("Cyclist",),
+                   reads=("Rank",)),
+        ExtractStep(source="Cyclist", target="Country",
+                    pattern=r"\((\w+)\)"),
+        GroupCountStep(key="Country", limit=1),
+        AnswerStep(kind="cell"),
+    ])
+
+
+class TestPlanConstruction:
+    def test_must_end_with_answer(self):
+        with pytest.raises(DatasetError):
+            Plan([FilterStep(condition="x > 1")])
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(DatasetError):
+            Plan([])
+
+    def test_answer_only_plan_ok(self):
+        plan = Plan([AnswerStep(kind="cell", literal=("x",))])
+        assert plan.num_iterations == 1
+
+    def test_answer_mid_plan_rejected(self):
+        with pytest.raises(DatasetError):
+            Plan([AnswerStep(), FilterStep(condition="x"),
+                  AnswerStep()])
+
+    def test_metadata(self, figure1_plan):
+        assert figure1_plan.num_iterations == 4
+        assert figure1_plan.languages() == ["sql", "python", "sql"]
+        assert len(figure1_plan) == 4
+        assert "filter" in repr(figure1_plan)
+
+
+class TestPlanExecution:
+    def test_figure1_end_to_end(self, figure1_plan, cyclists):
+        trace = figure1_plan.execute(cyclists)
+        # ITA appears once in the fixture; the majority country among the
+        # fixture's four cyclists is a single-count tie broken by count
+        # order — assert structure rather than a specific country.
+        assert len(trace.tables) == 4
+        assert trace.iterations == 4
+        assert len(trace.answer) == 1
+
+    def test_trace_code_matches_steps(self, figure1_plan, cyclists):
+        trace = figure1_plan.execute(cyclists)
+        assert len(trace.code) == 3
+        assert trace.code[0].startswith("SELECT Cyclist")
+        assert "re.search" in trace.code[1]
+
+    def test_tables_named_sequentially(self, figure1_plan, cyclists):
+        trace = figure1_plan.execute(cyclists)
+        assert [t.name for t in trace.tables] == ["T0", "T1", "T2", "T3"]
+
+    def test_broken_plan_raises_dataset_error(self, cyclists):
+        plan = Plan([
+            FilterStep(condition="NoSuchColumn = 1"),
+            AnswerStep(kind="cell"),
+        ])
+        with pytest.raises(DatasetError):
+            plan.execute(cyclists)
+
+    def test_literal_plan_ignores_table(self, cyclists):
+        plan = Plan([AnswerStep(kind="cell", literal=("42",))])
+        assert plan.execute(cyclists).answer == ["42"]

@@ -1,0 +1,204 @@
+"""Tests for plan step rendering and answer derivation."""
+
+import pytest
+
+from repro.plans import (
+    AggregateStep,
+    AnswerStep,
+    CountWhereStep,
+    DiffStep,
+    ExtractStep,
+    FilterStep,
+    GroupAggStep,
+    GroupCountStep,
+    ProjectStep,
+    SuperlativeStep,
+    quote_sql_string,
+)
+from repro.executors import PythonExecutor, SQLExecutor
+from repro.table import DataFrame
+
+
+class TestRenderedSqlExecutes:
+    """Every SQL step's rendering must run on the real executor."""
+
+    @pytest.fixture
+    def run(self, cyclists):
+        executor = SQLExecutor("sqlite")
+
+        def _run(step):
+            return executor.execute(step.render("T0"), [cyclists]).table
+
+        return _run
+
+    def test_filter(self, run):
+        out = run(FilterStep(condition="Rank <= 2",
+                             columns=("Cyclist",), reads=("Rank",)))
+        assert out.num_rows == 2
+
+    def test_filter_select_star(self, run, cyclists):
+        out = run(FilterStep(condition="Points > 20"))
+        assert out.columns == cyclists.columns
+
+    def test_project(self, run):
+        out = run(ProjectStep(columns=("Team", "Rank")))
+        assert out.columns == ["Team", "Rank"]
+
+    def test_project_distinct(self, run):
+        out = run(ProjectStep(columns=("Team",), distinct=True))
+        assert out.num_rows == 4
+
+    def test_group_count(self, run):
+        out = run(GroupCountStep(key="Team", limit=None))
+        assert out.num_rows == 4
+
+    def test_group_agg_with_alias(self, run):
+        out = run(GroupAggStep(key="Team", agg="sum", value="Points",
+                               alias="total"))
+        assert "total" in out.columns
+
+    def test_superlative(self, run):
+        out = run(SuperlativeStep(target="Cyclist", by="Points"))
+        assert out.to_rows() == [("Alejandro Valverde (ESP)",)]
+
+    def test_superlative_ascending(self, run):
+        out = run(SuperlativeStep(target="Cyclist", by="Points",
+                                  descending=False))
+        assert out.to_rows() == [("David Moncoutie (FRA)",)]
+
+    def test_superlative_extra_columns(self, run):
+        out = run(SuperlativeStep(target="Cyclist", by="Points",
+                                  extra_columns=("Points",)))
+        assert out.to_rows() == [("Alejandro Valverde (ESP)", 40)]
+
+    def test_aggregate(self, run):
+        out = run(AggregateStep(agg="sum", column="Points"))
+        assert out.to_rows() == [(96,)]
+
+    def test_aggregate_count_star(self, run):
+        out = run(AggregateStep(agg="count", column="*"))
+        assert out.to_rows() == [(4,)]
+
+    def test_count_where(self, run):
+        out = run(CountWhereStep(condition="Points > 20",
+                                 reads=("Points",)))
+        assert out.to_rows() == [(3,)]
+
+    def test_diff(self, run):
+        out = run(DiffStep(key="Cyclist", value="Points",
+                           left="Alejandro Valverde (ESP)",
+                           right="Alexandr Kolobnev (RUS)"))
+        assert out.to_rows() == [(10,)]
+
+
+class TestExtractStep:
+    def test_renders_executable_python(self, cyclists):
+        step = ExtractStep(source="Cyclist", target="Country",
+                           pattern=r"\((\w+)\)")
+        outcome = PythonExecutor().execute(step.render("T0"), [cyclists])
+        assert outcome.table["Country"].tolist() == \
+            ["ESP", "RUS", "ITA", "FRA"]
+
+    def test_cast_numeric(self):
+        frame = DataFrame({"Film": ["A (1994)", "B (2001)"]}, name="T0")
+        step = ExtractStep(source="Film", target="Year",
+                           pattern=r"\((\d{4})\)", cast_numeric=True)
+        outcome = PythonExecutor().execute(step.render("T0"), [frame])
+        assert outcome.table["Year"].tolist() == [1994.0, 2001.0]
+
+    def test_non_matching_rows_yield_none(self):
+        frame = DataFrame({"x": ["has (Y)", "no code"]}, name="T0")
+        step = ExtractStep(source="x", target="c", pattern=r"\((\w+)\)")
+        outcome = PythonExecutor().execute(step.render("T0"), [frame])
+        assert outcome.table["c"].tolist() == ["Y", None]
+
+
+class TestStepMetadata:
+    def test_languages(self):
+        assert FilterStep(condition="x > 1").language == "sql"
+        assert ExtractStep("a", "b", r"(x)").language == "python"
+        assert AnswerStep().language == "answer"
+
+    def test_input_columns(self):
+        step = FilterStep(condition="Rank <= 2", columns=("Cyclist",),
+                          reads=("Rank",))
+        assert set(step.input_columns()) == {"Cyclist", "Rank"}
+        assert GroupAggStep("k", "sum", "v").input_columns() == ("k", "v")
+        assert AggregateStep("count", "*").input_columns() == ()
+
+    def test_describe_is_informative(self):
+        assert "Rank" in FilterStep(condition="Rank <= 2").describe()
+
+
+class TestQuoting:
+    def test_quote_sql_string(self):
+        assert quote_sql_string("o'brien") == "'o''brien'"
+
+    def test_non_identifier_columns_quoted(self):
+        step = ProjectStep(columns=("My Col",))
+        assert '"My Col"' in step.render("T0")
+
+
+class TestAnswerStep:
+    def test_cell(self):
+        final = DataFrame({"x": ["ITA", "ESP"]})
+        assert AnswerStep(kind="cell").derive(final) == ["ITA"]
+
+    def test_cell_on_empty_table(self):
+        assert AnswerStep(kind="cell").derive(DataFrame({"x": []})) == []
+
+    def test_list(self):
+        final = DataFrame({"x": ["a", "b"]})
+        assert AnswerStep(kind="list").derive(final) == ["a", "b"]
+
+    def test_named_column(self):
+        final = DataFrame({"n": [1], "x": ["yes"]})
+        assert AnswerStep(kind="cell", column="x").derive(final) == ["yes"]
+
+    def test_literal_overrides_table(self):
+        final = DataFrame({"x": ["ignored"]})
+        step = AnswerStep(kind="cell", literal=("the answer",))
+        assert step.derive(final) == ["the answer"]
+
+    def test_integral_floats_rendered_as_ints(self):
+        final = DataFrame({"x": [3.0]})
+        assert AnswerStep(kind="cell").derive(final) == ["3"]
+
+    @pytest.mark.parametrize("op,constant,expected", [
+        (">", 5, "yes"), (">", 50, "no"), ("=", 10, "yes"),
+        ("<>", 10, "no"), ("<=", 10, "yes"), ("<", 10, "no"),
+        (">=", 11, "no"),
+    ])
+    def test_boolean(self, op, constant, expected):
+        final = DataFrame({"x": [10]})
+        step = AnswerStep(kind="boolean", op=op, constant=constant)
+        assert step.derive(final) == [expected]
+
+    def test_boolean_string_comparison(self):
+        final = DataFrame({"x": ["Harvey"]})
+        step = AnswerStep(kind="boolean", op="=", constant="harvey")
+        assert step.derive(final) == ["yes"]
+
+    def test_boolean_on_empty_is_no(self):
+        step = AnswerStep(kind="boolean", op="=", constant=1)
+        assert step.derive(DataFrame({"x": []})) == ["no"]
+
+    def test_boolean_unknown_op_raises(self):
+        step = AnswerStep(kind="boolean", op="~", constant=1)
+        with pytest.raises(ValueError):
+            step.derive(DataFrame({"x": [1]}))
+
+    def test_sentence(self):
+        final = DataFrame({"who": ["Harvey"], "margin": [1463]})
+        step = AnswerStep(kind="sentence",
+                          template="{0} beat Royds by {1} votes.")
+        assert step.derive(final) == ["Harvey beat Royds by 1463 votes."]
+
+    def test_derive_slots(self):
+        final = DataFrame({"a": [1], "b": ["x"]})
+        assert AnswerStep(kind="sentence",
+                          template="").derive_slots(final) == ["1", "x"]
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            AnswerStep(kind="essay").derive(DataFrame({"x": [1]}))

@@ -1,0 +1,141 @@
+"""Tests for SQL expression evaluation semantics (NULLs, coercion)."""
+
+import pytest
+
+from repro.sqlengine import NativeSQLEngine
+from repro.sqlengine.evaluator import compare_values, is_truthy
+from repro.table import DataFrame
+
+
+@pytest.fixture
+def one_row_engine():
+    return NativeSQLEngine({"t": DataFrame({"x": [1]})})
+
+
+def scalar(engine, expression):
+    return engine.query(f"SELECT {expression} FROM t").cell(0, 0)
+
+
+class TestNullPropagation:
+    @pytest.mark.parametrize("expr", [
+        "NULL + 1", "1 - NULL", "NULL * 2", "NULL / 2",
+        "NULL || 'x'", "-NULL", "NOT NULL",
+    ])
+    def test_null_propagates(self, one_row_engine, expr):
+        assert scalar(one_row_engine, expr) is None
+
+    def test_null_comparison_is_null(self, one_row_engine):
+        assert scalar(one_row_engine, "NULL = NULL") is None
+        assert scalar(one_row_engine, "1 > NULL") is None
+
+    def test_is_null_true(self, one_row_engine):
+        assert scalar(one_row_engine, "NULL IS NULL") is True
+
+    def test_in_with_null_candidate(self, one_row_engine):
+        # 1 IN (NULL, 2) is NULL (unknown), not FALSE.
+        assert scalar(one_row_engine, "1 IN (NULL, 2)") is None
+        assert scalar(one_row_engine, "1 IN (NULL, 1)") is True
+
+
+class TestThreeValuedLogic:
+    def test_false_and_null_is_false(self, one_row_engine):
+        assert scalar(one_row_engine, "FALSE AND NULL") is False
+
+    def test_true_and_null_is_null(self, one_row_engine):
+        assert scalar(one_row_engine, "TRUE AND NULL") is None
+
+    def test_true_or_null_is_true(self, one_row_engine):
+        assert scalar(one_row_engine, "TRUE OR NULL") is True
+
+    def test_false_or_null_is_null(self, one_row_engine):
+        assert scalar(one_row_engine, "FALSE OR NULL") is None
+
+
+class TestCoercion:
+    def test_numeric_string_comparison(self, one_row_engine):
+        assert scalar(one_row_engine, "'10' > 9") is True
+
+    def test_string_with_commas_as_number(self, one_row_engine):
+        assert scalar(one_row_engine, "'1,463' + 0") == 1463
+
+    def test_text_orders_after_numbers(self, one_row_engine):
+        assert scalar(one_row_engine, "'abc' > 999999") is True
+
+    def test_integer_division(self, one_row_engine):
+        assert scalar(one_row_engine, "7 / 2") == 3
+
+    def test_real_division(self, one_row_engine):
+        assert scalar(one_row_engine, "7.0 / 2") == 3.5
+
+    def test_modulo(self, one_row_engine):
+        assert scalar(one_row_engine, "7 % 3") == 1
+
+    def test_cast_text_with_prefix(self, one_row_engine):
+        assert scalar(one_row_engine,
+                      "CAST('12abc' AS INTEGER)") == 12
+
+    def test_cast_garbage_to_integer_is_zero(self, one_row_engine):
+        assert scalar(one_row_engine, "CAST('abc' AS INTEGER)") == 0
+
+    def test_cast_real_to_text(self, one_row_engine):
+        assert scalar(one_row_engine, "CAST(3.0 AS TEXT)") == "3"
+
+
+class TestLikeSemantics:
+    @pytest.mark.parametrize("value,pattern,expected", [
+        ("hello", "h%", True),
+        ("hello", "%LLO", True),      # case-insensitive
+        ("hello", "h_llo", True),
+        ("hello", "h_l", False),      # must match the whole string
+        ("a%b", "a\\%b", False),      # no escape support: \\ is literal
+    ])
+    def test_patterns(self, one_row_engine, value, pattern, expected):
+        got = scalar(one_row_engine, f"'{value}' LIKE '{pattern}'")
+        assert got is expected
+
+
+class TestCompareValues:
+    def test_numbers(self):
+        assert compare_values(1, 2) < 0
+        assert compare_values(2, 2) == 0
+
+    def test_null(self):
+        assert compare_values(None, 1) is None
+
+    def test_numeric_strings(self):
+        assert compare_values("10", "9") > 0
+
+    def test_plain_strings(self):
+        assert compare_values("apple", "banana") < 0
+
+    def test_number_before_text(self):
+        assert compare_values(5, "apple") < 0
+        assert compare_values("apple", 5) > 0
+
+
+class TestIsTruthy:
+    @pytest.mark.parametrize("value,expected", [
+        (None, False), (0, False), (1, True), (0.0, False),
+        ("0", False), ("1", True), ("abc", False), (True, True),
+    ])
+    def test_values(self, value, expected):
+        assert is_truthy(value) is expected
+
+
+class TestAggregatesInExpressions:
+    def test_aggregate_outside_group_context_in_where(self, cyclists):
+        from repro.errors import SQLRuntimeError
+        engine = NativeSQLEngine({"T0": cyclists})
+        with pytest.raises(SQLRuntimeError):
+            engine.query("SELECT Rank FROM T0 WHERE COUNT(*) > 1")
+
+    def test_group_concat(self):
+        engine = NativeSQLEngine(
+            {"t": DataFrame({"x": ["a", "b", None]})})
+        assert engine.query(
+            "SELECT GROUP_CONCAT(x) FROM t").to_rows() == [("a,b",)]
+
+    def test_total_alias_for_sum(self):
+        engine = NativeSQLEngine({"t": DataFrame({"x": [1, 2]})})
+        assert engine.query(
+            "SELECT TOTAL(x) FROM t").to_rows() == [(3,)]

@@ -1,0 +1,213 @@
+"""Tests for native SQL query execution over DataFrames."""
+
+import pytest
+
+from repro.errors import SQLRuntimeError
+from repro.sqlengine import NativeSQLEngine
+from repro.table import DataFrame
+
+
+@pytest.fixture
+def engine(cyclists):
+    return NativeSQLEngine({"T0": cyclists})
+
+
+class TestProjectionAndFilter:
+    def test_select_star(self, engine, cyclists):
+        out = engine.query("SELECT * FROM T0")
+        assert out.columns == cyclists.columns
+        assert out.num_rows == cyclists.num_rows
+
+    def test_select_columns(self, engine):
+        out = engine.query("SELECT Cyclist, Rank FROM T0")
+        assert out.columns == ["Cyclist", "Rank"]
+
+    def test_where_comparison(self, engine):
+        out = engine.query("SELECT Cyclist FROM T0 WHERE Rank <= 2")
+        assert out.num_rows == 2
+
+    def test_where_string_equality(self, engine):
+        out = engine.query(
+            "SELECT Rank FROM T0 WHERE Team = 'Cofidis'")
+        assert out.to_rows() == [(10,)]
+
+    def test_where_null_is_filtered(self, engine):
+        out = engine.query(
+            "SELECT Rank FROM T0 WHERE Uci_protour_points > 0")
+        assert out.num_rows == 2  # NULL rows drop out
+
+    def test_is_null(self, engine):
+        out = engine.query(
+            "SELECT Rank FROM T0 WHERE Uci_protour_points IS NULL")
+        assert out["Rank"].tolist() == [1, 10]
+
+    def test_like(self, engine):
+        out = engine.query(
+            "SELECT Cyclist FROM T0 WHERE Cyclist LIKE '%(esp)%'")
+        assert out.num_rows == 1  # LIKE is case-insensitive
+
+    def test_in_list(self, engine):
+        out = engine.query(
+            "SELECT Cyclist FROM T0 WHERE Rank IN (1, 3)")
+        assert out.num_rows == 2
+
+    def test_between(self, engine):
+        out = engine.query(
+            "SELECT Rank FROM T0 WHERE Points BETWEEN 20 AND 35")
+        assert out["Rank"].tolist() == [2, 3]
+
+    def test_expression_items(self, engine):
+        out = engine.query("SELECT Points * 2 AS double FROM T0 "
+                           "WHERE Rank = 1")
+        assert out.to_rows() == [(80,)]
+
+    def test_case_when(self, engine):
+        out = engine.query(
+            "SELECT CASE WHEN Uci_protour_points IS NULL THEN 0 "
+            "ELSE Uci_protour_points END AS p FROM T0")
+        assert out["p"].tolist() == [0, 30.0, 25.0, 0]
+
+    def test_concat(self, engine):
+        out = engine.query(
+            "SELECT Cyclist || ' / ' || Team AS who FROM T0 LIMIT 1")
+        assert out.cell(0, "who").startswith("Alejandro")
+
+
+class TestOrderLimit:
+    def test_order_desc(self, engine):
+        out = engine.query("SELECT Rank FROM T0 ORDER BY Points DESC")
+        assert out["Rank"].tolist() == [1, 2, 3, 10]
+
+    def test_order_by_alias(self, engine):
+        out = engine.query(
+            "SELECT Rank, Points * 1 AS p FROM T0 ORDER BY p ASC")
+        assert out["Rank"].tolist() == [10, 3, 2, 1]
+
+    def test_order_nulls_last_desc(self, engine):
+        out = engine.query(
+            "SELECT Rank FROM T0 ORDER BY Uci_protour_points DESC")
+        assert out["Rank"].tolist()[:2] == [2, 3]
+
+    def test_limit(self, engine):
+        out = engine.query(
+            "SELECT Cyclist FROM T0 ORDER BY Rank LIMIT 2")
+        assert out.num_rows == 2
+
+    def test_limit_offset(self, engine):
+        out = engine.query(
+            "SELECT Rank FROM T0 ORDER BY Rank LIMIT 2 OFFSET 1")
+        assert out["Rank"].tolist() == [2, 3]
+
+
+class TestAggregates:
+    def test_count_star(self, engine):
+        assert engine.query(
+            "SELECT COUNT(*) FROM T0").to_rows() == [(4,)]
+
+    def test_count_column_skips_nulls(self, engine):
+        out = engine.query("SELECT COUNT(Uci_protour_points) FROM T0")
+        assert out.to_rows() == [(2,)]
+
+    def test_count_distinct(self):
+        engine = NativeSQLEngine(
+            {"t": DataFrame({"x": [1, 1, 2, None]})})
+        assert engine.query(
+            "SELECT COUNT(DISTINCT x) FROM t").to_rows() == [(2,)]
+
+    def test_sum_avg_min_max(self, engine):
+        out = engine.query(
+            "SELECT SUM(Points), AVG(Points), MIN(Points), MAX(Points) "
+            "FROM T0")
+        assert out.to_rows() == [(96, 24.0, 1, 40)]
+
+    def test_aggregate_over_empty_filter(self, engine):
+        out = engine.query(
+            "SELECT COUNT(*), SUM(Points) FROM T0 WHERE Rank > 99")
+        assert out.to_rows() == [(0, None)]
+
+    def test_group_by_count(self, engine):
+        out = engine.query(
+            "SELECT Team, COUNT(*) FROM T0 GROUP BY Team "
+            "ORDER BY COUNT(*) DESC, Team LIMIT 1")
+        assert out.num_rows == 1
+
+    def test_group_by_alias(self):
+        frame = DataFrame({"name": ["a (X)", "b (Y)", "c (X)"]})
+        engine = NativeSQLEngine({"t": frame})
+        out = engine.query(
+            "SELECT SUBSTR(name, -2, 1) AS code, COUNT(*) AS n FROM t "
+            "GROUP BY code ORDER BY n DESC LIMIT 1")
+        assert out.to_rows() == [("X", 2)]
+
+    def test_having(self, engine):
+        out = engine.query(
+            "SELECT Team, COUNT(*) FROM T0 GROUP BY Team "
+            "HAVING COUNT(*) > 0")
+        assert out.num_rows == 4
+
+    def test_having_filters(self):
+        engine = NativeSQLEngine(
+            {"t": DataFrame({"g": ["a", "a", "b"]})})
+        out = engine.query(
+            "SELECT g, COUNT(*) FROM t GROUP BY g HAVING COUNT(*) >= 2")
+        assert out.to_rows() == [("a", 2)]
+
+    def test_group_count_order_matches_paper_example(self):
+        frame = DataFrame({
+            "Country": ["ESP", "RUS", "ITA", "ITA", "ITA", "RUS",
+                        "ESP", "FRA", "ESP", "ITA"],
+        })
+        engine = NativeSQLEngine({"T2": frame})
+        out = engine.query(
+            "SELECT Country, COUNT(*) FROM T2 GROUP BY Country "
+            "ORDER BY COUNT(*) DESC LIMIT 1")
+        assert out.to_rows() == [("ITA", 4)]
+
+    def test_conditional_aggregation_diff(self):
+        frame = DataFrame({"k": ["a", "b"], "v": [10, 4]})
+        engine = NativeSQLEngine({"t": frame})
+        out = engine.query(
+            "SELECT MAX(CASE WHEN k = 'a' THEN v END) - "
+            "MAX(CASE WHEN k = 'b' THEN v END) AS diff FROM t")
+        assert out.to_rows() == [(6,)]
+
+
+class TestDistinct:
+    def test_distinct(self):
+        engine = NativeSQLEngine(
+            {"t": DataFrame({"x": [1, 1, 2]})})
+        assert engine.query(
+            "SELECT DISTINCT x FROM t").num_rows == 2
+
+
+class TestErrorsAndCatalog:
+    def test_unknown_table(self, engine):
+        with pytest.raises(SQLRuntimeError):
+            engine.query("SELECT a FROM nope")
+
+    def test_unknown_column_raises_sql_error(self, engine):
+        with pytest.raises(SQLRuntimeError):
+            engine.query("SELECT nope FROM T0")
+
+    def test_table_name_case_insensitive(self, engine):
+        assert engine.query("SELECT Rank FROM t0").num_rows == 4
+
+    def test_register_unregister(self, cyclists):
+        engine = NativeSQLEngine()
+        engine.register("x", cyclists)
+        assert engine.query("SELECT COUNT(*) FROM x").to_rows() == [(4,)]
+        engine.unregister("x")
+        with pytest.raises(SQLRuntimeError):
+            engine.query("SELECT COUNT(*) FROM x")
+
+    def test_division_by_zero_yields_null(self, engine):
+        out = engine.query("SELECT 1 / 0 FROM T0 LIMIT 1")
+        assert out.to_rows() == [(None,)]
+
+    def test_arithmetic_on_text_raises(self, engine):
+        with pytest.raises(SQLRuntimeError):
+            engine.query("SELECT Team + 1 FROM T0")
+
+    def test_duplicate_output_names_deduped(self, engine):
+        out = engine.query("SELECT Rank, Rank FROM T0 LIMIT 1")
+        assert out.columns == ["Rank", "Rank_2"]

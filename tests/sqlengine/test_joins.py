@@ -1,0 +1,165 @@
+"""Tests for JOIN support in the native engine (multi-table building
+block for the paper's future-work direction)."""
+
+import pytest
+
+from repro.errors import SQLRuntimeError, SQLSyntaxError
+from repro.executors.sql_executor import run_sqlite_query
+from repro.sqlengine import NativeSQLEngine, parse_select
+from repro.table import DataFrame, tables_equivalent
+
+
+@pytest.fixture
+def catalog():
+    players = DataFrame({
+        "Name": ["Ann", "Bob", "Cleo", "Dan"],
+        "Team": ["X", "Y", "X", "Z"],
+        "Goals": [3, 5, 2, 7],
+    })
+    teams = DataFrame({
+        "Team": ["X", "Y"],
+        "Country": ["Spain", "Italy"],
+    })
+    return {"players": players, "teams": teams}
+
+
+@pytest.fixture
+def engine(catalog):
+    return NativeSQLEngine(catalog)
+
+
+class TestParsing:
+    def test_inner_join(self):
+        stmt = parse_select(
+            "SELECT a FROM t JOIN u ON t.k = u.k")
+        assert len(stmt.joins) == 1
+        assert stmt.joins[0].kind == "inner"
+
+    def test_inner_keyword_optional(self):
+        stmt = parse_select(
+            "SELECT a FROM t INNER JOIN u ON t.k = u.k")
+        assert stmt.joins[0].kind == "inner"
+
+    def test_left_outer(self):
+        stmt = parse_select(
+            "SELECT a FROM t LEFT OUTER JOIN u AS v ON t.k = v.k")
+        assert stmt.joins[0].kind == "left"
+        assert stmt.joins[0].alias == "v"
+
+    def test_multiple_joins(self):
+        stmt = parse_select(
+            "SELECT a FROM t JOIN u ON t.k = u.k "
+            "LEFT JOIN w ON u.j = w.j")
+        assert [join.kind for join in stmt.joins] == ["inner", "left"]
+
+    def test_join_without_on_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_select("SELECT a FROM t JOIN u")
+
+    def test_to_sql_roundtrip(self):
+        sql = ("SELECT t.a FROM t AS t JOIN u AS u ON t.k = u.k "
+               "WHERE t.a > 1")
+        stmt = parse_select(sql)
+        assert parse_select(stmt.to_sql()).to_sql() == stmt.to_sql()
+
+
+class TestExecution:
+    def test_inner_join_matches(self, engine):
+        out = engine.query(
+            "SELECT p.Name, t.Country FROM players p "
+            "JOIN teams t ON p.Team = t.Team ORDER BY p.Name")
+        assert out.to_rows() == [
+            ("Ann", "Spain"), ("Bob", "Italy"), ("Cleo", "Spain")]
+
+    def test_unmatched_rows_dropped(self, engine):
+        out = engine.query(
+            "SELECT p.Name FROM players p "
+            "JOIN teams t ON p.Team = t.Team")
+        assert "Dan" not in [row[0] for row in out.to_rows()]
+
+    def test_left_join_keeps_unmatched(self, engine):
+        out = engine.query(
+            "SELECT p.Name, t.Country FROM players p "
+            "LEFT JOIN teams t ON p.Team = t.Team ORDER BY p.Name")
+        as_dict = dict(out.to_rows())
+        assert as_dict["Dan"] is None
+
+    def test_bare_columns_resolved_when_unambiguous(self, engine):
+        out = engine.query(
+            "SELECT Name FROM players JOIN teams "
+            "ON players.Team = teams.Team WHERE Country = 'Italy'")
+        assert out.to_rows() == [("Bob",)]
+
+    def test_ambiguous_bare_column_rejected(self, engine):
+        with pytest.raises(SQLRuntimeError) as exc_info:
+            engine.query(
+                "SELECT Team FROM players JOIN teams "
+                "ON players.Team = teams.Team")
+        assert "ambiguous" in str(exc_info.value)
+
+    def test_group_by_joined_column(self, engine):
+        out = engine.query(
+            "SELECT t.Country, SUM(p.Goals) AS g FROM players p "
+            "JOIN teams t ON p.Team = t.Team "
+            "GROUP BY t.Country ORDER BY g DESC, t.Country")
+        assert out.to_rows() == [("Italy", 5), ("Spain", 5)]
+
+    def test_where_on_joined_columns(self, engine):
+        out = engine.query(
+            "SELECT p.Name FROM players p "
+            "JOIN teams t ON p.Team = t.Team "
+            "WHERE t.Country = 'Spain' AND p.Goals >= 3")
+        assert out.to_rows() == [("Ann",)]
+
+    def test_complex_on_condition(self, engine):
+        out = engine.query(
+            "SELECT p.Name FROM players p "
+            "JOIN teams t ON p.Team = t.Team AND p.Goals > 2")
+        assert sorted(row[0] for row in out.to_rows()) == ["Ann", "Bob"]
+
+    def test_select_star_uses_bare_names(self, engine):
+        out = engine.query(
+            "SELECT * FROM players p JOIN teams t "
+            "ON p.Team = t.Team LIMIT 1")
+        assert out.columns[0] == "Name"
+        # Colliding names are deduped, not silently merged.
+        assert "Team" in out.columns and "Team_2" in out.columns
+
+    def test_three_way_join(self, catalog):
+        catalog = dict(catalog)
+        catalog["flags"] = DataFrame({
+            "Country": ["Spain", "Italy"],
+            "Flag": ["red-yellow", "green-white-red"],
+        })
+        engine = NativeSQLEngine(catalog)
+        out = engine.query(
+            "SELECT p.Name, f.Flag FROM players p "
+            "JOIN teams t ON p.Team = t.Team "
+            "JOIN flags f ON t.Country = f.Country "
+            "ORDER BY p.Name")
+        assert out.num_rows == 3
+
+    def test_unknown_qualified_column(self, engine):
+        with pytest.raises(SQLRuntimeError):
+            engine.query("SELECT p.Nope FROM players p "
+                         "JOIN teams t ON p.Team = t.Team")
+
+
+class TestSqliteParity:
+    @pytest.mark.parametrize("sql", [
+        "SELECT p.Name, t.Country FROM players p JOIN teams t "
+        "ON p.Team = t.Team ORDER BY p.Name",
+        "SELECT p.Name, t.Country FROM players p LEFT JOIN teams t "
+        "ON p.Team = t.Team ORDER BY p.Name",
+        "SELECT t.Country, SUM(p.Goals) FROM players p JOIN teams t "
+        "ON p.Team = t.Team GROUP BY t.Country ORDER BY t.Country",
+        "SELECT COUNT(*) FROM players p JOIN teams t "
+        "ON p.Team = t.Team",
+        "SELECT p.Name FROM players p JOIN teams t "
+        "ON p.Team = t.Team WHERE t.Country = 'Spain' ORDER BY p.Name",
+    ])
+    def test_parity(self, catalog, engine, sql):
+        native = engine.query(sql)
+        sqlite = run_sqlite_query(sql, catalog)
+        assert tables_equivalent(native, sqlite,
+                                 ordered="ORDER BY" in sql)

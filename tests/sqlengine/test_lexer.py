@@ -1,0 +1,117 @@
+"""Tests for the SQL tokeniser."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sqlengine import tokenize
+from repro.sqlengine.tokens import TokenKind
+
+
+def kinds(sql):
+    return [token.kind for token in tokenize(sql)]
+
+
+def texts(sql):
+    return [token.text for token in tokenize(sql)[:-1]]  # drop EOF
+
+
+class TestBasics:
+    def test_keywords_recognised(self):
+        tokens = tokenize("SELECT a FROM t")
+        assert tokens[0].kind is TokenKind.KEYWORD
+        assert tokens[0].upper == "SELECT"
+
+    def test_keywords_case_insensitive(self):
+        assert tokenize("select")[0].kind is TokenKind.KEYWORD
+
+    def test_identifiers(self):
+        tokens = tokenize("foo _bar baz2")
+        assert all(token.kind is TokenKind.IDENT for token in tokens[:-1])
+
+    def test_eof_always_last(self):
+        assert tokenize("")[-1].kind is TokenKind.EOF
+        assert tokenize("a")[-1].kind is TokenKind.EOF
+
+    def test_punctuation(self):
+        assert kinds("( ) , ; . *")[:-1] == [
+            TokenKind.LPAREN, TokenKind.RPAREN, TokenKind.COMMA,
+            TokenKind.SEMICOLON, TokenKind.DOT, TokenKind.STAR]
+
+
+class TestStrings:
+    def test_simple_string(self):
+        token = tokenize("'hello'")[0]
+        assert token.kind is TokenKind.STRING
+        assert token.text == "hello"
+
+    def test_escaped_quote(self):
+        assert tokenize("'it''s'")[0].text == "it's"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'oops")
+
+    def test_empty_string(self):
+        assert tokenize("''")[0].text == ""
+
+
+class TestQuotedIdentifiers:
+    def test_double_quoted(self):
+        token = tokenize('"My Column"')[0]
+        assert token.kind is TokenKind.IDENT
+        assert token.text == "My Column"
+
+    def test_backtick(self):
+        assert tokenize("`weird name`")[0].text == "weird name"
+
+    def test_brackets(self):
+        assert tokenize("[col 1]")[0].text == "col 1"
+
+    def test_unterminated_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize('"oops')
+
+
+class TestNumbers:
+    @pytest.mark.parametrize("text", ["1", "42", "3.14", ".5", "1e3",
+                                      "2.5E-2"])
+    def test_number_forms(self, text):
+        token = tokenize(text)[0]
+        assert token.kind is TokenKind.NUMBER
+        assert token.text == text
+
+    def test_number_then_dot_access(self):
+        tokens = tokenize("1.5.")
+        assert tokens[0].text == "1.5"
+        assert tokens[1].kind is TokenKind.DOT
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["<=", ">=", "<>", "!=", "||", "=",
+                                    "<", ">", "+", "-", "/", "%"])
+    def test_operator_forms(self, op):
+        token = tokenize(op)[0]
+        assert token.kind is TokenKind.OPERATOR
+        assert token.text == op
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert texts("a -- comment\n b") == ["a", "b"]
+
+    def test_line_comment_at_end(self):
+        assert texts("a -- trailing") == ["a"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* x */ b") == ["a", "b"]
+
+    def test_unterminated_block_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("a /* oops")
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(SQLSyntaxError) as exc_info:
+            tokenize("a ? b")
+        assert exc_info.value.position is not None

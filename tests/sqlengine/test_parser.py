@@ -1,0 +1,229 @@
+"""Tests for the SQL parser (AST shapes and error reporting)."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sqlengine import (
+    Between,
+    BinaryOp,
+    CaseWhen,
+    Cast,
+    ColumnRef,
+    FunctionCall,
+    InList,
+    IsNull,
+    LikeOp,
+    Literal,
+    Star,
+    UnaryOp,
+    parse_expression,
+    parse_select,
+)
+
+
+class TestSelectShape:
+    def test_minimal(self):
+        stmt = parse_select("SELECT a FROM t")
+        assert stmt.table == "t"
+        assert len(stmt.items) == 1
+        assert stmt.items[0].expression == ColumnRef("a")
+
+    def test_star(self):
+        stmt = parse_select("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expression, Star)
+
+    def test_trailing_semicolons(self):
+        assert parse_select("SELECT a FROM t;;").table == "t"
+
+    def test_multiple_items(self):
+        stmt = parse_select("SELECT a, b, a + b FROM t")
+        assert len(stmt.items) == 3
+
+    def test_alias_with_as(self):
+        stmt = parse_select("SELECT a AS x FROM t")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[0].output_name == "x"
+
+    def test_alias_bare(self):
+        stmt = parse_select("SELECT COUNT(*) n FROM t")
+        assert stmt.items[0].alias == "n"
+
+    def test_output_name_defaults_to_sql(self):
+        stmt = parse_select("SELECT COUNT(*) FROM t")
+        assert stmt.items[0].output_name == "COUNT(*)"
+
+    def test_table_alias(self):
+        stmt = parse_select("SELECT a FROM t AS u WHERE u.a > 0")
+        assert stmt.table_alias == "u"
+
+    def test_distinct(self):
+        assert parse_select("SELECT DISTINCT a FROM t").distinct
+
+    def test_where(self):
+        stmt = parse_select("SELECT a FROM t WHERE a > 1 AND b = 'x'")
+        assert isinstance(stmt.where, BinaryOp)
+        assert stmt.where.op == "AND"
+
+    def test_group_by_multiple(self):
+        stmt = parse_select("SELECT a, b FROM t GROUP BY a, b")
+        assert len(stmt.group_by) == 2
+
+    def test_having(self):
+        stmt = parse_select(
+            "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1")
+        assert stmt.having is not None
+
+    def test_order_by_directions(self):
+        stmt = parse_select("SELECT a FROM t ORDER BY a DESC, b ASC, c")
+        assert [item.descending for item in stmt.order_by] == \
+            [True, False, False]
+
+    def test_limit(self):
+        stmt = parse_select("SELECT a FROM t LIMIT 5")
+        assert stmt.limit == 5
+        assert stmt.offset == 0
+
+    def test_limit_offset(self):
+        stmt = parse_select("SELECT a FROM t LIMIT 5 OFFSET 2")
+        assert (stmt.limit, stmt.offset) == (5, 2)
+
+    def test_limit_comma_form(self):
+        stmt = parse_select("SELECT a FROM t LIMIT 2, 5")
+        assert (stmt.limit, stmt.offset) == (5, 2)
+
+    def test_quoted_table_and_columns(self):
+        stmt = parse_select('SELECT "My Col" FROM "T 0"')
+        assert stmt.table == "T 0"
+        assert stmt.items[0].expression == ColumnRef("My Col")
+
+
+class TestExpressions:
+    def test_literals(self):
+        assert parse_expression("42") == Literal(42)
+        assert parse_expression("2.5") == Literal(2.5)
+        assert parse_expression("'x'") == Literal("x")
+        assert parse_expression("NULL") == Literal(None)
+        assert parse_expression("TRUE") == Literal(True)
+        assert parse_expression("FALSE") == Literal(False)
+
+    def test_precedence_mul_before_add(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, BinaryOp)
+        assert expr.op == "+"
+        assert isinstance(expr.right, BinaryOp)
+        assert expr.right.op == "*"
+
+    def test_parentheses_override(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_comparison_chain_with_and(self):
+        expr = parse_expression("a > 1 AND b < 2 OR c = 3")
+        assert expr.op == "OR"
+
+    def test_not(self):
+        expr = parse_expression("NOT a = 1")
+        assert isinstance(expr, UnaryOp)
+        assert expr.op == "NOT"
+
+    def test_unary_minus(self):
+        expr = parse_expression("-x")
+        assert isinstance(expr, UnaryOp)
+
+    def test_in_list(self):
+        expr = parse_expression("a IN (1, 2, 3)")
+        assert isinstance(expr, InList)
+        assert len(expr.items) == 3
+
+    def test_not_in(self):
+        assert parse_expression("a NOT IN (1)").negated
+
+    def test_between(self):
+        expr = parse_expression("a BETWEEN 1 AND 10")
+        assert isinstance(expr, Between)
+
+    def test_not_between(self):
+        assert parse_expression("a NOT BETWEEN 1 AND 2").negated
+
+    def test_like(self):
+        expr = parse_expression("a LIKE '%x%'")
+        assert isinstance(expr, LikeOp)
+
+    def test_is_null_and_is_not_null(self):
+        assert isinstance(parse_expression("a IS NULL"), IsNull)
+        assert parse_expression("a IS NOT NULL").negated
+
+    def test_function_call(self):
+        expr = parse_expression("LOWER(name)")
+        assert isinstance(expr, FunctionCall)
+        assert expr.name == "lower"
+
+    def test_count_star(self):
+        expr = parse_expression("COUNT(*)")
+        assert isinstance(expr.args[0], Star)
+
+    def test_count_distinct(self):
+        assert parse_expression("COUNT(DISTINCT a)").distinct
+
+    def test_qualified_column(self):
+        expr = parse_expression("t.col")
+        assert expr == ColumnRef("col", table="t")
+
+    def test_case_when(self):
+        expr = parse_expression(
+            "CASE WHEN a > 0 THEN 'pos' ELSE 'neg' END")
+        assert isinstance(expr, CaseWhen)
+        assert expr.default == Literal("neg")
+
+    def test_case_without_else(self):
+        expr = parse_expression("CASE WHEN a THEN 1 END")
+        assert expr.default is None
+
+    def test_cast(self):
+        expr = parse_expression("CAST(a AS INTEGER)")
+        assert isinstance(expr, Cast)
+        assert expr.target == "INTEGER"
+
+    def test_cast_aliases(self):
+        assert parse_expression("CAST(a AS INT)").target == "INTEGER"
+        assert parse_expression("CAST(a AS FLOAT)").target == "REAL"
+        assert parse_expression("CAST(a AS VARCHAR(20))").target == "TEXT"
+
+    def test_concat_operator(self):
+        assert parse_expression("a || b").op == "||"
+
+
+class TestToSql:
+    @pytest.mark.parametrize("sql", [
+        "SELECT a FROM t",
+        "SELECT DISTINCT a, b AS x FROM t WHERE a > 1",
+        "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2 "
+        "ORDER BY a DESC LIMIT 3",
+        "SELECT CASE WHEN a IS NULL THEN 0 ELSE a END FROM t",
+    ])
+    def test_roundtrip_through_to_sql(self, sql):
+        stmt = parse_select(sql)
+        again = parse_select(stmt.to_sql())
+        assert again.to_sql() == stmt.to_sql()
+
+
+class TestErrors:
+    @pytest.mark.parametrize("sql", [
+        "SELECT",
+        "SELECT FROM t",
+        "SELECT a",
+        "SELECT a FROM",
+        "SELECT a FROM t WHERE",
+        "SELECT a FROM t LIMIT x",
+        "SELECT a FROM t GROUP a",
+        "SELECT a FROM t trailing_not_alias extra",
+        "SELECT CASE END FROM t",
+        "SELECT CAST(a AS BLOB) FROM t",
+    ])
+    def test_bad_sql_raises(self, sql):
+        with pytest.raises(SQLSyntaxError):
+            parse_select(sql)
+
+    def test_expression_rejects_trailing(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_expression("1 + 2 extra")

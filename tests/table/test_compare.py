@@ -1,0 +1,82 @@
+"""Tests for table equivalence (execution-based voting's merge rule)."""
+
+from repro.table import (
+    DataFrame,
+    normalize_cell,
+    table_fingerprint,
+    tables_equivalent,
+)
+
+
+class TestNormalizeCell:
+    def test_missing(self):
+        assert normalize_cell(None) == "<null>"
+
+    def test_numbers_unify(self):
+        assert normalize_cell(3) == normalize_cell(3.0)
+        assert normalize_cell("3") == normalize_cell(3)
+
+    def test_numeric_string_with_commas(self):
+        assert normalize_cell("1,463") == normalize_cell(1463)
+
+    def test_case_and_whitespace(self):
+        assert normalize_cell("  Hello  World ") == "hello world"
+
+    def test_bool(self):
+        assert normalize_cell(True) == "true"
+
+    def test_precision(self):
+        assert normalize_cell(1 / 3) == normalize_cell(0.333333333)
+
+
+class TestEquivalence:
+    def test_identical(self):
+        a = DataFrame({"x": [1, 2]})
+        assert tables_equivalent(a, a.copy())
+
+    def test_column_names_ignored(self):
+        a = DataFrame({"x": [1]})
+        b = DataFrame({"totally_different": [1]})
+        assert tables_equivalent(a, b)
+
+    def test_row_order_ignored_by_default(self):
+        a = DataFrame({"x": [1, 2]})
+        b = DataFrame({"x": [2, 1]})
+        assert tables_equivalent(a, b)
+        assert not tables_equivalent(a, b, ordered=True)
+
+    def test_value_normalisation(self):
+        a = DataFrame({"x": ["3", "ITA"]})
+        b = DataFrame({"x": [3, "ita "]})
+        assert tables_equivalent(a, b)
+
+    def test_different_values(self):
+        assert not tables_equivalent(DataFrame({"x": [1]}),
+                                     DataFrame({"x": [2]}))
+
+    def test_different_widths(self):
+        assert not tables_equivalent(DataFrame({"x": [1]}),
+                                     DataFrame({"x": [1], "y": [1]}))
+
+    def test_different_row_counts(self):
+        assert not tables_equivalent(DataFrame({"x": [1]}),
+                                     DataFrame({"x": [1, 1]}))
+
+
+class TestFingerprint:
+    def test_hashable(self):
+        fp = table_fingerprint(DataFrame({"x": [1]}))
+        assert hash(fp) == hash(fp)
+
+    def test_usable_as_dict_key(self):
+        scores = {}
+        a = DataFrame({"x": [1, 2]})
+        b = DataFrame({"renamed": [2, 1]})
+        scores[table_fingerprint(a)] = 1
+        assert table_fingerprint(b) in scores
+
+    def test_ordered_flag_changes_fingerprint(self):
+        frame = DataFrame({"x": [2, 1]})
+        assert (table_fingerprint(frame, ordered=True)
+                != table_fingerprint(
+                    DataFrame({"x": [1, 2]}), ordered=True))

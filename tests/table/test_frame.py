@@ -1,0 +1,293 @@
+"""Tests for the DataFrame substrate (construction, access, mutation)."""
+
+import pytest
+
+from repro.errors import ColumnNotFoundError, SchemaError, TableError
+from repro.table import Column, ColumnType, DataFrame
+
+
+class TestColumn:
+    def test_length_and_iteration(self):
+        col = Column("x", [1, 2, 3])
+        assert len(col) == 3
+        assert list(col) == [1, 2, 3]
+
+    def test_dtype_inferred(self):
+        assert Column("x", [1, 2]).dtype is ColumnType.INTEGER
+        assert Column("x", ["a"]).dtype is ColumnType.TEXT
+
+    def test_indexing_and_slicing(self):
+        col = Column("x", [10, 20, 30])
+        assert col[1] == 20
+        assert col[-1] == 30
+        sliced = col[:2]
+        assert isinstance(sliced, Column)
+        assert sliced.tolist() == [10, 20]
+
+    def test_elementwise_comparison_returns_bool_column(self):
+        col = Column("x", [1, 5, 3])
+        mask = col > 2
+        assert isinstance(mask, Column)
+        assert mask.tolist() == [False, True, True]
+        assert mask.dtype is ColumnType.BOOL
+
+    def test_comparison_with_missing_is_false(self):
+        col = Column("x", [1, None, 3])
+        assert (col > 0).tolist() == [True, False, True]
+
+    def test_comparison_between_columns(self):
+        left = Column("x", [1, 5])
+        right = Column("y", [2, 4])
+        assert (left < right).tolist() == [True, False]
+
+    def test_comparison_length_mismatch_raises(self):
+        with pytest.raises(TableError):
+            Column("x", [1]) == Column("y", [1, 2])  # noqa: B015
+
+    def test_mixed_type_comparison_falls_back_to_text(self):
+        col = Column("x", ["b", "a"])
+        assert (col == "a").tolist() == [False, True]
+
+    def test_map(self):
+        col = Column("x", [1, 2]).map(lambda v: v * 10)
+        assert col.tolist() == [10, 20]
+
+    def test_astype(self):
+        col = Column("x", ["1", "2"]).astype(ColumnType.INTEGER)
+        assert col.tolist() == [1, 2]
+        assert col.dtype is ColumnType.INTEGER
+
+    def test_rename(self):
+        assert Column("x", [1]).rename("y").name == "y"
+
+    def test_unique_preserves_order(self):
+        assert Column("x", [3, 1, 3, 2, 1]).unique() == [3, 1, 2]
+
+    def test_unique_distinguishes_types(self):
+        assert Column("x", [1, "1"]).unique() == [1, "1"]
+
+    def test_non_missing(self):
+        assert Column("x", [1, None, 2]).non_missing() == [1, 2]
+
+    def test_columns_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(Column("x", [1]))
+
+
+class TestDataFrameConstruction:
+    def test_from_mapping(self):
+        frame = DataFrame({"a": [1], "b": ["x"]})
+        assert frame.columns == ["a", "b"]
+        assert frame.num_rows == 1
+
+    def test_from_columns(self):
+        frame = DataFrame([Column("a", [1, 2])])
+        assert frame.shape == (2, 1)
+
+    def test_empty_frame(self):
+        frame = DataFrame()
+        assert frame.num_rows == 0
+        assert frame.columns == []
+        assert not frame
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(SchemaError):
+            DataFrame({"a": [1, 2], "b": [1]})
+
+    def test_duplicate_column_raises(self):
+        with pytest.raises(SchemaError):
+            DataFrame([Column("a", [1]), Column("a", [2])])
+
+    def test_from_rows(self):
+        frame = DataFrame.from_rows([(1, "x"), (2, "y")], ["n", "s"])
+        assert frame.column("s").tolist() == ["x", "y"]
+
+    def test_from_rows_bad_width_raises(self):
+        with pytest.raises(SchemaError):
+            DataFrame.from_rows([(1, 2)], ["only"])
+
+    def test_from_records(self):
+        frame = DataFrame.from_records(
+            [{"a": 1, "b": 2}, {"a": 3}])
+        assert frame.columns == ["a", "b"]
+        assert frame.column("b").tolist() == [2, None]
+
+    def test_from_records_explicit_columns(self):
+        frame = DataFrame.from_records([{"a": 1, "b": 2}],
+                                       columns=["b", "a"])
+        assert frame.columns == ["b", "a"]
+
+    def test_empty_constructor(self):
+        frame = DataFrame.empty(["a", "b"])
+        assert frame.shape == (0, 2)
+
+
+class TestDataFrameAccess:
+    def test_column_by_name(self, tiny_frame):
+        assert tiny_frame.column("a").tolist() == [1, 2, 3]
+
+    def test_column_case_insensitive(self, tiny_frame):
+        assert tiny_frame.column("A").tolist() == [1, 2, 3]
+
+    def test_missing_column_raises_with_alternatives(self, tiny_frame):
+        with pytest.raises(ColumnNotFoundError) as exc_info:
+            tiny_frame.column("zzz")
+        assert "a" in str(exc_info.value)
+
+    def test_getitem_string(self, tiny_frame):
+        assert tiny_frame["b"].tolist() == ["x", "y", "z"]
+
+    def test_getitem_column_list(self, tiny_frame):
+        sub = tiny_frame[["b"]]
+        assert sub.columns == ["b"]
+
+    def test_getitem_boolean_mask(self, tiny_frame):
+        filtered = tiny_frame[tiny_frame["a"] >= 2]
+        assert filtered.column("a").tolist() == [2, 3]
+
+    def test_getitem_plain_mask_list(self, tiny_frame):
+        filtered = tiny_frame[[True, False, True]]
+        assert filtered.column("b").tolist() == ["x", "z"]
+
+    def test_getitem_bad_type_raises(self, tiny_frame):
+        with pytest.raises(TableError):
+            tiny_frame[3.14]
+
+    def test_contains(self, tiny_frame):
+        assert "a" in tiny_frame
+        assert "zzz" not in tiny_frame
+
+    def test_cell(self, tiny_frame):
+        assert tiny_frame.cell(1, "b") == "y"
+
+    def test_dtypes(self, tiny_frame):
+        assert tiny_frame.dtypes == {
+            "a": ColumnType.INTEGER, "b": ColumnType.TEXT}
+
+
+class TestDataFrameMutation:
+    def test_setitem_new_column(self, tiny_frame):
+        tiny_frame["c"] = [True, False, True]
+        assert tiny_frame.columns == ["a", "b", "c"]
+
+    def test_setitem_replace_column(self, tiny_frame):
+        tiny_frame["a"] = [9, 9, 9]
+        assert tiny_frame["a"].tolist() == [9, 9, 9]
+        assert tiny_frame.columns == ["a", "b"]
+
+    def test_setitem_scalar_broadcast(self, tiny_frame):
+        tiny_frame["k"] = 5
+        assert tiny_frame["k"].tolist() == [5, 5, 5]
+
+    def test_setitem_column_object_is_renamed(self, tiny_frame):
+        tiny_frame["c"] = Column("other_name", [1, 2, 3])
+        assert tiny_frame["c"].name == "c"
+
+    def test_setitem_wrong_length_raises(self, tiny_frame):
+        with pytest.raises(SchemaError):
+            tiny_frame["c"] = [1]
+
+
+class TestRowAccess:
+    def test_row_mapping_interface(self, cyclists):
+        row = cyclists.row(0)
+        assert row["Rank"] == 1
+        assert row["Cyclist"].endswith("(ESP)")
+        assert len(row) == 5
+        assert set(row) == set(cyclists.columns)
+
+    def test_row_attribute_access(self, cyclists):
+        assert cyclists.row(1).Rank == 2
+
+    def test_row_attribute_missing_raises(self, cyclists):
+        with pytest.raises(AttributeError):
+            cyclists.row(0).nope
+
+    def test_negative_row_index(self, cyclists):
+        assert cyclists.row(-1)["Rank"] == 10
+
+    def test_row_out_of_range(self, cyclists):
+        with pytest.raises(TableError):
+            cyclists.row(99)
+
+    def test_iter_rows(self, tiny_frame):
+        values = [row["a"] for row in tiny_frame.iter_rows()]
+        assert values == [1, 2, 3]
+
+    def test_to_rows(self, tiny_frame):
+        assert tiny_frame.to_rows() == [(1, "x"), (2, "y"), (3, "z")]
+
+    def test_to_records(self, tiny_frame):
+        assert tiny_frame.to_records()[0] == {"a": 1, "b": "x"}
+
+
+class TestApply:
+    def test_apply_axis1(self, cyclists):
+        codes = cyclists.apply(
+            lambda row: row["Cyclist"][-4:-1], axis=1)
+        assert codes.tolist() == ["ESP", "RUS", "ITA", "FRA"]
+
+    def test_apply_axis0_unsupported(self, tiny_frame):
+        with pytest.raises(TableError):
+            tiny_frame.apply(lambda row: row, axis=0)
+
+    def test_apply_assign_idiom(self, cyclists):
+        cyclists["Country"] = cyclists.apply(
+            lambda x: x["Cyclist"].split("(")[1].rstrip(")"), axis=1)
+        assert cyclists["Country"].tolist() == \
+            ["ESP", "RUS", "ITA", "FRA"]
+
+
+class TestFrameOperations:
+    def test_take_reorders(self, tiny_frame):
+        taken = tiny_frame.take([2, 0])
+        assert taken["a"].tolist() == [3, 1]
+
+    def test_filter_length_mismatch(self, tiny_frame):
+        with pytest.raises(TableError):
+            tiny_frame.filter([True])
+
+    def test_select_reorders_columns(self, tiny_frame):
+        assert tiny_frame.select(["b", "a"]).columns == ["b", "a"]
+
+    def test_drop_single(self, tiny_frame):
+        assert tiny_frame.drop("a").columns == ["b"]
+
+    def test_drop_list(self, cyclists):
+        remaining = cyclists.drop(["Team", "Points"])
+        assert "Team" not in remaining.columns
+
+    def test_rename(self, tiny_frame):
+        renamed = tiny_frame.rename({"a": "alpha"})
+        assert renamed.columns == ["alpha", "b"]
+        assert tiny_frame.columns == ["a", "b"]  # original untouched
+
+    def test_with_name(self, tiny_frame):
+        assert tiny_frame.with_name("T7").name == "T7"
+
+    def test_head(self, tiny_frame):
+        assert tiny_frame.head(2).num_rows == 2
+        assert tiny_frame.head(99).num_rows == 3
+
+    def test_copy_is_independent(self, tiny_frame):
+        clone = tiny_frame.copy()
+        clone["c"] = [0, 0, 0]
+        assert "c" not in tiny_frame.columns
+
+    def test_equality(self, tiny_frame):
+        assert tiny_frame == tiny_frame.copy()
+        other = tiny_frame.copy()
+        other["a"] = [9, 9, 9]
+        assert tiny_frame != other
+
+    def test_equality_column_order_matters(self):
+        left = DataFrame({"a": [1], "b": [2]})
+        right = DataFrame({"b": [2], "a": [1]})
+        assert left != right
+
+    def test_frames_not_hashable(self, tiny_frame):
+        with pytest.raises(TypeError):
+            hash(tiny_frame)
+
+    def test_repr_mentions_shape(self, tiny_frame):
+        assert "3x2" in repr(tiny_frame)

@@ -1,0 +1,168 @@
+"""Tests for the table codecs ([HEAD]/[ROW], CSV, JSON, markdown)."""
+
+import pytest
+
+from repro.errors import TableError
+from repro.table import (
+    DataFrame,
+    decode_head_row,
+    encode_head_row,
+    from_csv,
+    from_json,
+    parse_literal,
+    to_csv,
+    to_json,
+    to_markdown,
+)
+
+
+class TestHeadRowCodec:
+    def test_header_format(self, cyclists):
+        text = encode_head_row(cyclists)
+        assert text.splitlines()[0] == \
+            "[HEAD]:Rank|Cyclist|Team|Points|Uci_protour_points"
+
+    def test_row_format_one_based(self, cyclists):
+        lines = encode_head_row(cyclists).splitlines()
+        assert lines[1].startswith("[ROW] 1: 1|Alejandro Valverde (ESP)")
+
+    def test_null_token(self, cyclists):
+        text = encode_head_row(cyclists)
+        assert "NULL" in text
+
+    def test_roundtrip(self, cyclists):
+        decoded = decode_head_row(encode_head_row(cyclists), name="T0")
+        assert decoded == cyclists
+
+    def test_roundtrip_real_keeps_type(self):
+        frame = DataFrame({"x": [1.0, 2.5]})
+        decoded = decode_head_row(encode_head_row(frame))
+        assert decoded["x"].tolist() == [1.0, 2.5]
+        assert all(isinstance(v, float) for v in decoded["x"])
+
+    def test_pipe_in_value_escaped(self):
+        frame = DataFrame({"x": ["a|b", "plain"]})
+        decoded = decode_head_row(encode_head_row(frame))
+        assert decoded["x"].tolist() == ["a|b", "plain"]
+
+    def test_backslash_in_value(self):
+        frame = DataFrame({"x": ["a\\b"]})
+        decoded = decode_head_row(encode_head_row(frame))
+        assert decoded["x"].tolist() == ["a\\b"]
+
+    def test_newline_in_value_flattened(self):
+        frame = DataFrame({"x": ["a\nb"]})
+        decoded = decode_head_row(encode_head_row(frame))
+        assert decoded["x"].tolist() == ["a b"]
+
+    def test_bool_roundtrip(self):
+        frame = DataFrame({"x": [True, False]})
+        decoded = decode_head_row(encode_head_row(frame))
+        assert decoded["x"].tolist() == [True, False]
+
+    def test_max_rows_truncation(self, cyclists):
+        text = encode_head_row(cyclists, max_rows=2)
+        assert "[...]" in text
+        assert text.count("[ROW]") == 2
+
+    def test_truncated_text_still_decodes(self, cyclists):
+        text = encode_head_row(cyclists, max_rows=2)
+        decoded = decode_head_row(text)
+        assert decoded.num_rows == 2
+
+    def test_decode_without_value_parsing(self):
+        frame = DataFrame({"x": [1]})
+        decoded = decode_head_row(encode_head_row(frame),
+                                  parse_values=False)
+        assert decoded["x"].tolist() == ["1"]
+
+    def test_decode_missing_head_raises(self):
+        with pytest.raises(TableError):
+            decode_head_row("[ROW] 1: x")
+
+    def test_decode_bad_width_raises(self):
+        with pytest.raises(TableError):
+            decode_head_row("[HEAD]:a|b\n[ROW] 1: only_one")
+
+    def test_decode_garbage_line_raises(self):
+        with pytest.raises(TableError):
+            decode_head_row("[HEAD]:a\nnot a row")
+
+    def test_empty_table(self):
+        frame = DataFrame({"a": [], "b": []})
+        decoded = decode_head_row(encode_head_row(frame))
+        assert decoded.columns == ["a", "b"]
+        assert decoded.num_rows == 0
+
+
+class TestParseLiteral:
+    @pytest.mark.parametrize("text,expected", [
+        ("NULL", None),
+        ("true", True),
+        ("False", False),
+        ("42", 42),
+        ("-7", -7),
+        ("2.5", 2.5),
+        ("plain text", "plain text"),
+        ("", ""),
+    ])
+    def test_values(self, text, expected):
+        assert parse_literal(text) == expected
+
+
+class TestCsv:
+    def test_roundtrip(self, cyclists):
+        decoded = from_csv(to_csv(cyclists), name="T0")
+        assert decoded == cyclists
+
+    def test_missing_roundtrips_via_empty_cell(self):
+        frame = DataFrame({"x": [None, 1]})
+        text = to_csv(frame)
+        assert from_csv(text)["x"].tolist() == [None, 1]
+
+    def test_tsv_delimiter(self, tiny_frame):
+        text = to_csv(tiny_frame, delimiter="\t")
+        assert "\t" in text
+        assert from_csv(text, delimiter="\t") == tiny_frame.with_name("")
+
+    def test_comma_in_value_quoted(self):
+        frame = DataFrame({"x": ["a,b"]})
+        assert from_csv(to_csv(frame))["x"].tolist() == ["a,b"]
+
+    def test_empty_text_raises(self):
+        with pytest.raises(TableError):
+            from_csv("")
+
+    def test_file_roundtrip(self, tmp_path, tiny_frame):
+        from repro.table import read_csv, write_csv
+        path = tmp_path / "t.csv"
+        write_csv(tiny_frame, path)
+        assert read_csv(path) == tiny_frame.with_name("")
+
+
+class TestJson:
+    def test_roundtrip(self, cyclists):
+        assert from_json(to_json(cyclists)) == cyclists
+
+    def test_name_preserved(self, cyclists):
+        assert from_json(to_json(cyclists)).name == "T0"
+
+    def test_unicode(self):
+        frame = DataFrame({"x": ["café"]})
+        assert from_json(to_json(frame))["x"].tolist() == ["café"]
+
+
+class TestMarkdown:
+    def test_contains_header_and_rule(self, tiny_frame):
+        text = to_markdown(tiny_frame)
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert set(lines[1]) <= set("|- ")
+
+    def test_truncation_note(self, cyclists):
+        text = to_markdown(cyclists, max_rows=2)
+        assert "more rows" in text
+
+    def test_missing_rendered_empty(self, cyclists):
+        text = to_markdown(cyclists)
+        assert "None" not in text

@@ -1,0 +1,212 @@
+"""Tests for the relational operators in repro.table.ops."""
+
+import pytest
+
+from repro.errors import TableError
+from repro.table import (
+    DataFrame,
+    aggregate_values,
+    concat_rows,
+    distinct,
+    filter_rows,
+    group_by,
+    inner_join,
+    left_join,
+    limit,
+    project,
+    sort_by,
+)
+
+
+@pytest.fixture
+def scores():
+    return DataFrame({
+        "name": ["ann", "bob", "cat", "dan", "eve"],
+        "team": ["red", "blue", "red", "blue", "red"],
+        "score": [10, 7, 10, None, 3],
+    })
+
+
+class TestFilterRows:
+    def test_predicate(self, scores):
+        out = filter_rows(scores, lambda row: row["team"] == "red")
+        assert out.num_rows == 3
+
+    def test_no_matches_keeps_schema(self, scores):
+        out = filter_rows(scores, lambda row: False)
+        assert out.num_rows == 0
+        assert out.columns == scores.columns
+
+
+class TestProject:
+    def test_subset(self, scores):
+        assert project(scores, ["name"]).columns == ["name"]
+
+    def test_reorder(self, scores):
+        assert project(scores, ["score", "name"]).columns == \
+            ["score", "name"]
+
+
+class TestSortBy:
+    def test_ascending(self, scores):
+        out = sort_by(scores, ["name"])
+        assert out["name"].tolist() == ["ann", "bob", "cat", "dan", "eve"]
+
+    def test_descending(self, scores):
+        out = sort_by(scores, ["score"], descending=True)
+        assert out["score"].tolist()[0] == 10
+
+    def test_missing_sort_last(self, scores):
+        out = sort_by(scores, ["score"])
+        assert out["score"].tolist()[-1] is None
+
+    def test_missing_sort_last_even_descending(self, scores):
+        out = sort_by(scores, ["score"], descending=True)
+        # Missing values stay in the "missing" class, which inverts too;
+        # the key property: numbers come before None ascending.
+        asc = sort_by(scores, ["score"])
+        assert asc["score"].tolist()[-1] is None
+
+    def test_multi_key_stable(self):
+        frame = DataFrame({"a": [1, 1, 2], "b": [2, 1, 0]})
+        out = sort_by(frame, ["a", "b"], descending=[False, True])
+        assert out.to_rows() == [(1, 2), (1, 1), (2, 0)]
+
+    def test_mixed_types_numbers_first(self):
+        frame = DataFrame({"x": ["b", 2, "a", 1]})
+        out = sort_by(frame, ["x"])
+        assert out["x"].tolist() == [1, 2, "a", "b"]
+
+    def test_flag_count_mismatch(self, scores):
+        with pytest.raises(TableError):
+            sort_by(scores, ["name"], descending=[True, False])
+
+
+class TestDistinct:
+    def test_removes_duplicates(self):
+        frame = DataFrame({"a": [1, 1, 2], "b": ["x", "x", "y"]})
+        assert distinct(frame).num_rows == 2
+
+    def test_keeps_first_occurrence_order(self):
+        frame = DataFrame({"a": [2, 1, 2]})
+        assert distinct(frame)["a"].tolist() == [2, 1]
+
+    def test_type_sensitive(self):
+        frame = DataFrame({"a": [1, "1"]})
+        assert distinct(frame).num_rows == 2
+
+
+class TestLimit:
+    def test_basic(self, scores):
+        assert limit(scores, 2).num_rows == 2
+
+    def test_offset(self, scores):
+        out = limit(scores, 2, offset=3)
+        assert out["name"].tolist() == ["dan", "eve"]
+
+    def test_beyond_end(self, scores):
+        assert limit(scores, 100, offset=4).num_rows == 1
+
+    def test_negative_raises(self, scores):
+        with pytest.raises(TableError):
+            limit(scores, -1)
+
+
+class TestAggregates:
+    def test_count_skips_missing(self):
+        assert aggregate_values("count", [1, None, 2]) == 2
+
+    def test_sum(self):
+        assert aggregate_values("sum", [1, 2, None]) == 3
+
+    def test_sum_of_nothing_is_none(self):
+        assert aggregate_values("sum", [None]) is None
+
+    def test_sum_numeric_strings(self):
+        assert aggregate_values("sum", ["1", "2.5"]) == 3.5
+
+    def test_avg(self):
+        assert aggregate_values("avg", [2, 4]) == 3.0
+
+    def test_min_max_mixed(self):
+        assert aggregate_values("min", [3, 1, 2]) == 1
+        assert aggregate_values("max", ["a", "b"]) == "b"
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(TableError):
+            aggregate_values("median", [1])
+
+    def test_case_insensitive(self):
+        assert aggregate_values("SUM", [1, 1]) == 2
+
+
+class TestGroupBy:
+    def test_group_count(self, scores):
+        grouped = group_by(scores, ["team"])
+        assert len(grouped) == 2
+        result = grouped.aggregate([("count", "*", "n")])
+        assert result.to_rows() == [("red", 3), ("blue", 2)]
+
+    def test_group_agg_named_column(self, scores):
+        result = group_by(scores, ["team"]).aggregate(
+            [("sum", "score", "total")])
+        as_dict = {row[0]: row[1] for row in result.to_rows()}
+        assert as_dict == {"red": 23, "blue": 7}
+
+    def test_multiple_aggregations(self, scores):
+        result = group_by(scores, ["team"]).aggregate(
+            [("count", "*", "n"), ("max", "score", "best")])
+        assert result.columns == ["team", "n", "best"]
+
+    def test_groups_iteration(self, scores):
+        names = {key[0] for key, _ in group_by(scores,
+                                               ["team"]).groups()}
+        assert names == {"red", "blue"}
+
+    def test_group_by_multiple_keys(self):
+        frame = DataFrame({"a": [1, 1, 2], "b": ["x", "x", "x"]})
+        assert len(group_by(frame, ["a", "b"])) == 2
+
+    def test_group_with_none_key(self):
+        frame = DataFrame({"a": [None, None, 1]})
+        assert len(group_by(frame, ["a"])) == 2
+
+
+class TestJoins:
+    def test_inner_join(self):
+        left = DataFrame({"k": [1, 2, 3], "l": ["a", "b", "c"]})
+        right = DataFrame({"k": [2, 3, 4], "r": ["B", "C", "D"]})
+        out = inner_join(left, right, ["k"])
+        assert out.to_rows() == [(2, "b", "B"), (3, "c", "C")]
+
+    def test_left_join_fills_none(self):
+        left = DataFrame({"k": [1, 2], "l": ["a", "b"]})
+        right = DataFrame({"k": [2], "r": ["B"]})
+        out = left_join(left, right, ["k"])
+        assert out.to_rows() == [(1, "a", None), (2, "b", "B")]
+
+    def test_join_duplicate_right_keys_multiply(self):
+        left = DataFrame({"k": [1]})
+        right = DataFrame({"k": [1, 1], "r": ["x", "y"]})
+        assert inner_join(left, right, ["k"]).num_rows == 2
+
+    def test_join_column_name_collision_suffixed(self):
+        left = DataFrame({"k": [1], "v": ["l"]})
+        right = DataFrame({"k": [1], "v": ["r"]})
+        out = inner_join(left, right, ["k"])
+        assert out.columns == ["k", "v", "v_right"]
+
+
+class TestConcatRows:
+    def test_stacks(self):
+        one = DataFrame({"a": [1]})
+        two = DataFrame({"a": [2, 3]})
+        assert concat_rows([one, two])["a"].tolist() == [1, 2, 3]
+
+    def test_schema_mismatch_raises(self):
+        with pytest.raises(TableError):
+            concat_rows([DataFrame({"a": [1]}), DataFrame({"b": [1]})])
+
+    def test_empty_list_raises(self):
+        with pytest.raises(TableError):
+            concat_rows([])

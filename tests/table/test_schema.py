@@ -1,0 +1,203 @@
+"""Tests for column types, inference, coercion and name normalisation."""
+
+import math
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.table.schema import (
+    ColumnType,
+    coerce_value,
+    dedupe_column_names,
+    infer_column_type,
+    infer_value_type,
+    is_missing,
+    normalize_column_name,
+    widen,
+)
+
+
+class TestIsMissing:
+    def test_none_is_missing(self):
+        assert is_missing(None)
+
+    def test_nan_is_missing(self):
+        assert is_missing(float("nan"))
+
+    def test_zero_is_not_missing(self):
+        assert not is_missing(0)
+
+    def test_empty_string_is_not_missing(self):
+        assert not is_missing("")
+
+    def test_false_is_not_missing(self):
+        assert not is_missing(False)
+
+
+class TestInferValueType:
+    def test_bool(self):
+        assert infer_value_type(True) is ColumnType.BOOL
+
+    def test_int(self):
+        assert infer_value_type(7) is ColumnType.INTEGER
+
+    def test_float(self):
+        assert infer_value_type(2.5) is ColumnType.REAL
+
+    def test_str(self):
+        assert infer_value_type("abc") is ColumnType.TEXT
+
+    def test_none(self):
+        assert infer_value_type(None) is ColumnType.NULL
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(SchemaError):
+            infer_value_type(object())
+
+    def test_date_becomes_text(self):
+        import datetime
+        assert infer_value_type(
+            datetime.date(2020, 1, 1)) is ColumnType.TEXT
+
+
+class TestWiden:
+    def test_same_type(self):
+        assert widen(ColumnType.INTEGER,
+                     ColumnType.INTEGER) is ColumnType.INTEGER
+
+    def test_null_widens_to_other(self):
+        assert widen(ColumnType.NULL, ColumnType.REAL) is ColumnType.REAL
+        assert widen(ColumnType.TEXT, ColumnType.NULL) is ColumnType.TEXT
+
+    def test_int_real(self):
+        assert widen(ColumnType.INTEGER,
+                     ColumnType.REAL) is ColumnType.REAL
+
+    def test_bool_int(self):
+        assert widen(ColumnType.BOOL,
+                     ColumnType.INTEGER) is ColumnType.INTEGER
+
+    def test_mixed_falls_to_text(self):
+        assert widen(ColumnType.INTEGER,
+                     ColumnType.TEXT) is ColumnType.TEXT
+
+
+class TestInferColumnType:
+    def test_all_ints(self):
+        assert infer_column_type([1, 2, 3]) is ColumnType.INTEGER
+
+    def test_ints_with_none(self):
+        assert infer_column_type([1, None, 3]) is ColumnType.INTEGER
+
+    def test_empty(self):
+        assert infer_column_type([]) is ColumnType.NULL
+
+    def test_all_none(self):
+        assert infer_column_type([None, None]) is ColumnType.NULL
+
+    def test_mixed_numeric(self):
+        assert infer_column_type([1, 2.5]) is ColumnType.REAL
+
+    def test_mixed_types_text(self):
+        assert infer_column_type([1, "a"]) is ColumnType.TEXT
+
+
+class TestCoerceValue:
+    def test_missing_stays_none(self):
+        assert coerce_value(None, ColumnType.INTEGER) is None
+
+    def test_string_to_int(self):
+        assert coerce_value("42", ColumnType.INTEGER) == 42
+
+    def test_string_with_commas_to_int(self):
+        assert coerce_value("1,463", ColumnType.INTEGER) == 1463
+
+    def test_float_to_int_when_integral(self):
+        assert coerce_value(3.0, ColumnType.INTEGER) == 3
+
+    def test_fractional_float_to_int_raises(self):
+        with pytest.raises(SchemaError):
+            coerce_value(3.5, ColumnType.INTEGER)
+
+    def test_string_to_real(self):
+        assert coerce_value("2.5", ColumnType.REAL) == 2.5
+
+    def test_int_to_text(self):
+        assert coerce_value(7, ColumnType.TEXT) == "7"
+
+    def test_integral_float_to_text_drops_decimal(self):
+        assert coerce_value(7.0, ColumnType.TEXT) == "7"
+
+    def test_bool_to_text(self):
+        assert coerce_value(True, ColumnType.TEXT) == "true"
+
+    def test_yes_to_bool(self):
+        assert coerce_value("yes", ColumnType.BOOL) is True
+
+    def test_no_to_bool(self):
+        assert coerce_value("No", ColumnType.BOOL) is False
+
+    def test_bad_bool_raises(self):
+        with pytest.raises(SchemaError):
+            coerce_value("maybe", ColumnType.BOOL)
+
+    def test_bad_number_raises(self):
+        with pytest.raises(SchemaError):
+            coerce_value("abc", ColumnType.REAL)
+
+    def test_coerce_to_null_raises(self):
+        with pytest.raises(SchemaError):
+            coerce_value(1, ColumnType.NULL)
+
+
+class TestNormalizeColumnName:
+    def test_spaces_become_underscores(self):
+        assert normalize_column_name("UCI ProTour Points") == \
+            "uci_protour_points"
+
+    def test_leading_digits_stripped(self):
+        assert normalize_column_name("2008 Results") == "results"
+
+    def test_special_characters_stripped(self):
+        assert normalize_column_name("Time (s)!") == "time_s"
+
+    def test_empty_falls_back(self):
+        assert normalize_column_name("###") == "col"
+
+    def test_repeated_separators_collapse(self):
+        assert normalize_column_name("a -- b") == "a_b"
+
+    def test_idempotent(self):
+        once = normalize_column_name("Rank #1")
+        assert normalize_column_name(once) == once
+
+
+class TestDedupeColumnNames:
+    def test_no_duplicates_unchanged(self):
+        assert dedupe_column_names(["a", "b"]) == ["a", "b"]
+
+    def test_duplicates_suffixed(self):
+        assert dedupe_column_names(["a", "a", "a"]) == ["a", "a_2", "a_3"]
+
+    def test_suffix_collision_avoided(self):
+        assert dedupe_column_names(["a", "a_2", "a"]) == \
+            ["a", "a_2", "a_3"]
+
+    def test_empty(self):
+        assert dedupe_column_names([]) == []
+
+
+class TestColumnTypeProperties:
+    def test_numeric_flags(self):
+        assert ColumnType.INTEGER.is_numeric
+        assert ColumnType.REAL.is_numeric
+        assert not ColumnType.TEXT.is_numeric
+        assert not ColumnType.BOOL.is_numeric
+
+    def test_str(self):
+        assert str(ColumnType.TEXT) == "text"
+
+    def test_nan_column_is_null_typed(self):
+        assert infer_column_type(
+            [float("nan"), float("nan")]) is ColumnType.NULL
+        assert math.isnan(float("nan"))

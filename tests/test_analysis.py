@@ -1,0 +1,80 @@
+"""Tests for the error-analysis tooling."""
+
+import pytest
+
+from repro.core import ReActTableAgent
+from repro.llm import SimulatedTQAModel
+from repro.reporting.analysis import (
+    OUTCOMES,
+    AnalysisReport,
+    QuestionOutcome,
+    analyze_agent,
+)
+
+
+@pytest.fixture(scope="module")
+def report(wikitq_small_module):
+    benchmark = wikitq_small_module
+    model = SimulatedTQAModel(benchmark.bank, seed=1)
+    return analyze_agent(ReActTableAgent(model), benchmark)
+
+
+@pytest.fixture(scope="module")
+def wikitq_small_module():
+    from repro.datasets import generate_dataset
+    return generate_dataset("wikitq", size=40, seed=123)
+
+
+class TestAnalyzeAgent:
+    def test_every_question_classified(self, report,
+                                       wikitq_small_module):
+        assert len(report.outcomes) == len(wikitq_small_module)
+        assert all(o.outcome in OUTCOMES for o in report.outcomes)
+
+    def test_accuracy_consistent_with_outcomes(self, report):
+        manual = sum(
+            1 for o in report.outcomes
+            if o.outcome in ("correct", "correct_after_recovery",
+                             "forced_correct"))
+        assert report.accuracy == manual / len(report.outcomes)
+
+    def test_limit(self, wikitq_small_module):
+        model = SimulatedTQAModel(wikitq_small_module.bank, seed=1)
+        limited = analyze_agent(ReActTableAgent(model),
+                                wikitq_small_module, limit=7)
+        assert len(limited.outcomes) == 7
+
+    def test_slices_sum_to_total(self, report):
+        for slicer in (report.by_template, report.by_domain,
+                       report.by_iterations):
+            total = sum(count for count, _ in slicer().values())
+            assert total == len(report.outcomes)
+
+    def test_by_outcome_sums(self, report):
+        assert sum(report.by_outcome().values()) == len(report.outcomes)
+
+    def test_hardest_templates_sorted_by_accuracy(self, report):
+        hardest = report.hardest_templates(k=2)
+        by_template = report.by_template()
+        accuracies = [by_template[name][1] for name in hardest]
+        assert accuracies == sorted(accuracies)
+
+    def test_render(self, report):
+        text = report.render()
+        assert "Error analysis" in text
+        assert "template" in text
+        assert "domain" in text
+
+
+class TestClassification:
+    def test_empty_report(self):
+        report = AnalysisReport(dataset="wikitq")
+        assert report.accuracy == 0.0
+        assert report.by_outcome() == {}
+        assert report.hardest_templates() == []
+
+    def test_outcome_dataclass(self):
+        outcome = QuestionOutcome(
+            uid="x", template_id="t", domain="d", iterations=2,
+            outcome="correct", predicted=["a"], gold=["a"])
+        assert outcome.outcome == "correct"

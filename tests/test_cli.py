@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.model == "codex-sim"
+
+    def test_evaluate_options(self):
+        args = build_parser().parse_args([
+            "evaluate", "tabfact", "--voting", "s-vote", "--size", "10",
+            "--sql-only",
+        ])
+        assert args.dataset == "tabfact"
+        assert args.sql_only
+
+
+class TestDemo:
+    def test_demo_solves_running_example(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "which country had the most cyclists" in out
+        assert "Answer: ITA" in out
+
+
+class TestGenerate:
+    def test_emits_jsonl(self, capsys):
+        assert main(["generate", "wikitq", "--size", "3"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        record = json.loads(lines[0])
+        assert {"uid", "question", "answer", "table"} <= set(record)
+
+
+class TestAnalyze:
+    def test_renders_report(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        assert main(["analyze", "wikitq", "--size", "8",
+                     "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Error analysis" in out
+        assert trace.exists()
+
+
+class TestEvaluate:
+    def test_reports_accuracy(self, capsys):
+        assert main(["evaluate", "wikitq", "--size", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy:" in out
+        assert "iteration histogram:" in out
+
+    def test_fetaqa_reports_rouge(self, capsys):
+        assert main(["evaluate", "fetaqa", "--size", "5"]) == 0
+        assert "ROUGE-1/2/L" in capsys.readouterr().out
+
+    def test_voting_flag(self, capsys):
+        assert main(["evaluate", "wikitq", "--size", "5",
+                     "--voting", "s-vote", "--samples", "3"]) == 0
+        assert "voting=s-vote" in capsys.readouterr().out

@@ -1,0 +1,78 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in errors.__dict__:
+            obj = getattr(errors, name)
+            if (isinstance(obj, type) and issubclass(obj, Exception)
+                    and obj is not errors.ReproError):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_execution_errors_grouped(self):
+        assert issubclass(errors.SQLExecutionError,
+                          errors.ExecutionError)
+        assert issubclass(errors.PythonExecutionError,
+                          errors.ExecutionError)
+        assert issubclass(errors.SandboxViolationError,
+                          errors.PythonExecutionError)
+        assert issubclass(errors.ModuleNotAllowedError,
+                          errors.PythonExecutionError)
+
+    def test_sql_errors_grouped(self):
+        assert issubclass(errors.SQLSyntaxError, errors.SQLError)
+        assert issubclass(errors.SQLRuntimeError, errors.SQLError)
+
+    def test_agent_errors_grouped(self):
+        assert issubclass(errors.ActionParseError, errors.AgentError)
+        assert issubclass(errors.IterationLimitError, errors.AgentError)
+
+    def test_model_errors_grouped(self):
+        assert issubclass(errors.UnknownQuestionError,
+                          errors.ModelError)
+
+
+class TestColumnNotFoundError:
+    def test_is_also_keyerror(self):
+        assert issubclass(errors.ColumnNotFoundError, KeyError)
+
+    def test_message_lists_alternatives(self):
+        error = errors.ColumnNotFoundError("x", ("a", "b"))
+        assert "x" in str(error)
+        assert "a, b" in str(error)
+
+    def test_str_not_repr_quoted(self):
+        # Plain KeyError would repr() the message; this one must not.
+        error = errors.ColumnNotFoundError("x")
+        assert not str(error).startswith('"')
+
+    def test_catchable_both_ways(self):
+        with pytest.raises(KeyError):
+            raise errors.ColumnNotFoundError("x")
+        with pytest.raises(errors.TableError):
+            raise errors.ColumnNotFoundError("x")
+
+
+class TestExecutionError:
+    def test_carries_code(self):
+        error = errors.ExecutionError("boom", code="SELECT 1")
+        assert error.code == "SELECT 1"
+
+    def test_module_not_allowed_message(self):
+        error = errors.ModuleNotAllowedError("requests")
+        assert "requests" in str(error)
+        assert error.module == "requests"
+
+
+class TestSQLSyntaxError:
+    def test_position_in_message(self):
+        error = errors.SQLSyntaxError("bad token", position=17)
+        assert "17" in str(error)
+        assert error.position == 17
+
+    def test_position_optional(self):
+        assert errors.SQLSyntaxError("bad").position is None

@@ -1,0 +1,142 @@
+"""System-level property tests (hypothesis) across module boundaries."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import PromptBuilder, Transcript, get_majority, parse_prompt
+from repro.datasets.serialize import plan_from_dict, plan_to_dict
+from repro.datasets.tablegen import generate_table
+from repro.datasets.templates import WIKITQ_TEMPLATES
+from repro.evalkit import rouge_suite, wikitq_match
+from repro.table import DataFrame
+
+import random
+
+
+# --- prompt codec over generated tables -------------------------------------
+
+questions = st.text(
+    alphabet=st.characters(whitelist_categories=("L", "N", "Zs")),
+    min_size=1, max_size=60,
+).filter(lambda q: q.strip() == q and '"' not in q)
+
+
+@given(seed=st.integers(0, 10_000), question=questions)
+@settings(max_examples=40, deadline=None)
+def test_prompt_roundtrip_over_generated_tables(seed, question):
+    table = generate_table(random.Random(seed)).frame
+    builder = PromptBuilder()
+    prompt = builder.build(Transcript(table, question))
+    parsed = parse_prompt(prompt)
+    assert parsed.question == question
+    assert parsed.t0 == table
+
+
+# --- plan serialisation over every template ---------------------------------
+
+template_indexes = st.integers(0, len(WIKITQ_TEMPLATES) - 1)
+
+
+@given(seed=st.integers(0, 2_000), index=template_indexes)
+@settings(max_examples=40, deadline=None)
+def test_serialised_plans_execute_identically(seed, index):
+    rng = random.Random(seed)
+    template = WIKITQ_TEMPLATES[index][0]
+    table = generate_table(rng)
+    built = template.build(table, rng)
+    if built is None:
+        return
+    loaded = plan_from_dict(plan_to_dict(built.plan))
+    try:
+        original = built.plan.execute(table.frame).answer
+    except Exception:
+        return  # ill-posed sample; the generator would have retried
+    assert loaded.execute(table.frame).answer == original
+
+
+# --- majority voting ----------------------------------------------------------
+
+answers = st.lists(
+    st.lists(st.sampled_from(["a", "b", "c", "42"]), min_size=0,
+             max_size=2),
+    min_size=1, max_size=9,
+)
+
+
+@given(answers)
+@settings(max_examples=60, deadline=None)
+def test_majority_winner_has_maximal_count(all_answers):
+    winner = get_majority(all_answers)
+    def key(values):
+        return "|".join(" ".join(v.split()).strip().lower()
+                        for v in values)
+    counts = {}
+    for answer in all_answers:
+        counts[key(answer)] = counts.get(key(answer), 0) + 1
+    assert counts[key(winner)] == max(counts.values())
+
+
+@given(answers)
+@settings(max_examples=40, deadline=None)
+def test_majority_winner_is_one_of_the_inputs(all_answers):
+    winner = get_majority(all_answers)
+    def key(values):
+        return "|".join(" ".join(v.split()).strip().lower()
+                        for v in values)
+    assert key(winner) in {key(a) for a in all_answers}
+
+
+# --- evaluators ------------------------------------------------------------------
+
+free_text = st.text(
+    alphabet=st.characters(whitelist_categories=("L", "N", "Zs", "P")),
+    min_size=0, max_size=40,
+)
+
+
+@given(free_text)
+@settings(max_examples=60, deadline=None)
+def test_wikitq_match_is_reflexive(value):
+    assert wikitq_match([value], [value])
+
+
+@given(st.lists(free_text, min_size=1, max_size=4))
+@settings(max_examples=40, deadline=None)
+def test_wikitq_match_is_order_insensitive(values):
+    assert wikitq_match(list(reversed(values)), values)
+
+
+@given(free_text, free_text)
+@settings(max_examples=60, deadline=None)
+def test_rouge_bounded_and_symmetric_f1_on_identical(a, b):
+    suite = rouge_suite(a, b)
+    for value in suite.values():
+        assert 0.0 <= value <= 1.0
+    identical = rouge_suite(a, a)
+    if identical["rouge1"] > 0:  # non-empty tokenisation
+        assert identical["rouge1"] == 1.0
+        assert identical["rougeL"] == 1.0
+
+
+# --- frame equality under codec chains --------------------------------------------
+
+
+@given(seed=st.integers(0, 5_000))
+@settings(max_examples=30, deadline=None)
+def test_generated_tables_roundtrip_all_codecs(seed):
+    from repro.table import (decode_head_row, encode_head_row,
+                             from_json, to_json)
+
+    frame = generate_table(random.Random(seed)).frame
+    assert decode_head_row(encode_head_row(frame), name="T0") == frame
+    assert from_json(to_json(frame)) == frame
+
+
+@given(seed=st.integers(0, 5_000))
+@settings(max_examples=20, deadline=None)
+def test_sqlite_load_preserves_row_count(seed):
+    from repro.executors.sql_executor import run_sqlite_query
+
+    frame = generate_table(random.Random(seed)).frame
+    out = run_sqlite_query("SELECT COUNT(*) FROM T0", {"T0": frame})
+    assert out.cell(0, 0) == frame.num_rows

@@ -1,0 +1,55 @@
+"""Tests for the top-level public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    @pytest.mark.parametrize("module_name", [
+        "repro.table", "repro.sqlengine", "repro.executors",
+        "repro.plans", "repro.llm", "repro.datasets", "repro.core",
+        "repro.evalkit", "repro.reporting", "repro.errors",
+        "repro.tracing", "repro.cli",
+    ])
+    def test_subpackages_import_cleanly(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module is not None
+
+    @pytest.mark.parametrize("module_name", [
+        "repro.table", "repro.sqlengine", "repro.executors",
+        "repro.plans", "repro.llm", "repro.datasets", "repro.core",
+        "repro.evalkit", "repro.reporting",
+    ])
+    def test_subpackage_all_resolves(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", ()):
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+    def test_public_items_documented(self):
+        # Every public class/function re-exported at the top level must
+        # carry a docstring.
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if isinstance(obj, type) or callable(obj):
+                assert obj.__doc__, f"{name} lacks a docstring"
+
+    def test_quickstart_from_readme_runs(self):
+        from repro import (ReActTableAgent, SimulatedTQAModel,
+                           generate_dataset)
+
+        benchmark = generate_dataset("wikitq", size=3, seed=42)
+        model = SimulatedTQAModel(benchmark.bank)
+        agent = ReActTableAgent(model)
+        example = benchmark.examples[0]
+        result = agent.run(example.table, example.question)
+        assert isinstance(result.answer, list)

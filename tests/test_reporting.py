@@ -1,0 +1,81 @@
+"""Tests for the reporting helpers and paper constants."""
+
+import pytest
+
+from repro.reporting import (
+    ComparisonTable,
+    format_pct,
+    paper,
+    save_result,
+)
+
+
+class TestFormatPct:
+    def test_basic(self):
+        assert format_pct(0.658) == "65.8%"
+
+    def test_none_is_na(self):
+        assert format_pct(None) == "N.A."
+
+
+class TestComparisonTable:
+    def test_render_contains_rows_and_sections(self):
+        table = ComparisonTable("Demo")
+        table.section("baselines")
+        table.row("Tapex", 0.575)
+        table.section("ours")
+        table.row("ReAcTable", 0.658, 0.66)
+        text = table.render()
+        assert "Demo" in text
+        assert "-- baselines --" in text
+        assert "57.5%" in text
+        assert "66.0%" in text
+
+    def test_missing_measured_blank(self):
+        table = ComparisonTable("T")
+        table.row("x", 0.5)
+        line = table.render().splitlines()[-1]
+        assert line.strip().endswith("50.0%")
+
+    def test_custom_formatter(self):
+        table = ComparisonTable("T", value_formatter=str)
+        table.row("x", 1, 2)
+        assert "1" in table.render()
+
+
+class TestSaveResult:
+    def test_writes_file(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "r"))
+        path = save_result("demo", "content")
+        assert path.read_text(encoding="utf-8") == "content\n"
+
+
+class TestPaperConstants:
+    def test_table1_headline(self):
+        assert paper.TABLE1_WIKITQ["reactable"]["with s-vote"] == 0.680
+        assert paper.TABLE1_WIKITQ["baselines_no_training"][
+            "Dater"] == 0.659
+
+    def test_all_accuracies_are_fractions(self):
+        for table in (paper.TABLE1_WIKITQ["reactable"],
+                      paper.TABLE2_TABFACT["reactable"],
+                      paper.TABLE4_COT_WIKITQ,
+                      paper.TABLE5_COT_TABFACT):
+            for value in table.values():
+                assert 0.0 < value < 1.0
+
+    def test_table6_counts_total(self):
+        total = sum(n for _, n in
+                    paper.TABLE6_ITERATION_BREAKDOWN.values())
+        assert total == 4306  # the paper's per-bucket counts
+
+    def test_model_tables_mark_na(self):
+        assert paper.TABLE10_MODELS_WIKITQ["gpt3.5-turbo"][
+            "with e-vote"] is None
+        assert paper.TABLE11_MODELS_TABFACT["gpt3.5-turbo"][
+            "with e-vote"] is None
+
+    @pytest.mark.parametrize("limit,value", [
+        (1, 0.492), (2, 0.651), (3, 0.673), (None, 0.680)])
+    def test_table7_values(self, limit, value):
+        assert paper.TABLE7_ITERATION_LIMIT[limit] == value

@@ -1,0 +1,101 @@
+"""Tests for the chain tracer and agent instrumentation."""
+
+import json
+
+from repro.core import ReActTableAgent
+from repro.llm import ScriptedModel
+from repro.tracing import ChainTracer
+
+
+QUESTION = "which country had the most cyclists finish in the top 10?"
+
+
+def run_traced(cyclists, outputs):
+    tracer = ChainTracer()
+    agent = ReActTableAgent(ScriptedModel(outputs), tracer=tracer)
+    result = agent.run(cyclists, QUESTION)
+    return tracer, result
+
+
+class TestChainTracer:
+    def test_happy_path_event_sequence(self, cyclists):
+        tracer, _ = run_traced(cyclists, [
+            "ReAcTable: SQL: ```SELECT Cyclist FROM T0;```.",
+            "ReAcTable: Answer: ```done```.",
+        ])
+        kinds = [event.kind for event in tracer.events]
+        assert kinds == ["start", "prompt", "action", "execution",
+                         "prompt", "action", "end"]
+
+    def test_execution_event_details(self, cyclists):
+        tracer, _ = run_traced(cyclists, [
+            "ReAcTable: SQL: ```SELECT Cyclist FROM T0;```.",
+            "ReAcTable: Answer: ```done```.",
+        ])
+        execution = next(e for e in tracer.events
+                         if e.kind == "execution")
+        assert execution.data["language"] == "sql"
+        assert execution.data["failed"] is False
+        assert execution.data["rows"] == 4
+
+    def test_failed_execution_traced(self, cyclists):
+        tracer, _ = run_traced(cyclists, [
+            "ReAcTable: SQL: ```SELECT Nope FROM T0;```.",
+            "ReAcTable: Answer: ```forced```.",
+        ])
+        execution = next(e for e in tracer.events
+                         if e.kind == "execution")
+        assert execution.data["failed"] is True
+        end = tracer.events[-1]
+        assert end.data["forced"] is True
+
+    def test_recovery_event(self, cyclists):
+        tracer, _ = run_traced(cyclists, [
+            "ReAcTable: SQL: ```SELECT Cyclist FROM T0;```.",
+            "ReAcTable: SQL: ```SELECT Cyclist FROM T1 "
+            "WHERE Rank <= 2;```.",
+            "ReAcTable: Answer: ```x```.",
+        ])
+        assert any(e.kind == "recovery" for e in tracer.events)
+
+    def test_multiple_chains_grouped(self, cyclists):
+        tracer = ChainTracer()
+        agent = ReActTableAgent(
+            ScriptedModel(["ReAcTable: Answer: ```a```.",
+                           "ReAcTable: Answer: ```b```."]),
+            tracer=tracer)
+        agent.run(cyclists, QUESTION)
+        agent.run(cyclists, QUESTION)
+        assert set(tracer.chains()) == {1, 2}
+        assert tracer.counts()["start"] == 2
+
+    def test_durations_monotonic(self, cyclists):
+        tracer, _ = run_traced(cyclists,
+                               ["ReAcTable: Answer: ```a```."])
+        durations = tracer.chain_durations()
+        assert durations[1] >= 0.0
+
+    def test_payload_clipping(self, cyclists):
+        tracer = ChainTracer(max_payload_chars=10)
+        agent = ReActTableAgent(
+            ScriptedModel(["ReAcTable: Answer: ```a```."]),
+            tracer=tracer)
+        agent.run(cyclists, "a very long question " * 10)
+        start = tracer.events[0]
+        assert len(start.data["question"]) <= 13  # 10 + "..."
+
+    def test_jsonl_export(self, cyclists, tmp_path):
+        tracer, _ = run_traced(cyclists,
+                               ["ReAcTable: Answer: ```a```."])
+        path = tracer.save(tmp_path / "trace.jsonl")
+        lines = path.read_text(encoding="utf-8").strip().splitlines()
+        assert len(lines) == len(tracer)
+        first = json.loads(lines[0])
+        assert first["kind"] == "start"
+        assert "at" in first
+
+    def test_untraced_agent_unaffected(self, cyclists):
+        agent = ReActTableAgent(
+            ScriptedModel(["ReAcTable: Answer: ```a```."]))
+        result = agent.run(cyclists, QUESTION)
+        assert result.answer == ["a"]

@@ -1,0 +1,107 @@
+"""Serving-layer throughput: sequential runner vs worker pool + cache.
+
+Not a paper experiment — this measures the `repro.serving` subsystem on a
+duplicate-question workload (every question asked three times, the way
+production traffic repeats itself): questions/sec of the sequential agent
+vs a 4-worker pool with a cold answer cache vs the same pool warm, plus
+the measured cache hit rate.  Shape assertions: the pooled cache-cold
+configuration must at least double sequential throughput, the warm cache
+must not be slower than cold, and the duplicate workload must produce a
+strictly positive cache hit rate.
+"""
+
+import time
+
+from harness import MODEL_SEED, benchmark_for, model_for, scale, \
+    serving_spec_for
+
+from repro.core import ReActTableAgent
+from repro.reporting import save_result
+from repro.serving import AnswerCache, ServingMetrics, WorkerPool
+
+#: Unique questions; the workload repeats each three times.
+UNIQUE = max(20, scale(90) // 3)
+DUPLICATION = 3
+WORKERS = 4
+
+
+def _workload(bench):
+    """Unique block first, then the duplicate passes (so duplicates
+    arrive once their originals have mostly completed, as cache traffic
+    does)."""
+    unique = bench.examples[:UNIQUE]
+    return [ex for _ in range(DUPLICATION) for ex in unique]
+
+
+def _sequential_qps(bench, workload) -> float:
+    agent = ReActTableAgent(model_for(bench))
+    started = time.perf_counter()
+    for example in workload:
+        agent.run(example.table, example.question)
+    return len(workload) / (time.perf_counter() - started)
+
+
+def _pooled_qps(bench, workload, cache) -> tuple[float, ServingMetrics]:
+    metrics = ServingMetrics()
+    # A small bounded queue applies backpressure, so duplicates are
+    # submitted after their originals complete (cache hits) rather than
+    # all at once (which would coalesce every duplicate in-flight).
+    with WorkerPool(serving_spec_for(bench), workers=WORKERS,
+                    cache=cache, metrics=metrics,
+                    queue_capacity=2 * WORKERS) as pool:
+        started = time.perf_counter()
+        slots = [pool.submit(ex.table, ex.question, seed=MODEL_SEED,
+                             uid=f"{ex.uid}#{i}")
+                 for i, ex in enumerate(workload)]
+        for slot in slots:
+            slot.result()
+        elapsed = time.perf_counter() - started
+    return len(workload) / elapsed, metrics
+
+
+def run_experiment() -> dict:
+    bench = benchmark_for("wikitq", size=UNIQUE)
+    workload = _workload(bench)
+    sequential = _sequential_qps(bench, workload)
+    cache = AnswerCache(4 * UNIQUE)
+    cold, cold_metrics = _pooled_qps(bench, workload, cache)
+    warm, warm_metrics = _pooled_qps(bench, workload, cache)
+    return {
+        "sequential_qps": sequential,
+        "pooled_cold_qps": cold,
+        "pooled_warm_qps": warm,
+        "cold_hit_rate": cold_metrics.cache_hit_rate,
+        "cold_coalesced": cold_metrics.coalesced,
+        "warm_hit_rate": warm_metrics.cache_hit_rate,
+    }
+
+
+def test_serving_throughput(benchmark):
+    measured = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    lines = [
+        "Serving throughput (duplicate-question workload)",
+        "=" * 48,
+        f"workload: {UNIQUE} unique questions x {DUPLICATION}, "
+        f"{WORKERS} workers",
+        f"{'sequential':<28} {measured['sequential_qps']:>10.1f} q/s",
+        f"{'pool, cache cold':<28} {measured['pooled_cold_qps']:>10.1f}"
+        " q/s",
+        f"{'pool, cache warm':<28} {measured['pooled_warm_qps']:>10.1f}"
+        " q/s",
+        f"{'cold cache hit rate':<28} {measured['cold_hit_rate']:>10.1%}"
+        f"  (+{measured['cold_coalesced']} coalesced)",
+        f"{'warm cache hit rate':<28} {measured['warm_hit_rate']:>10.1%}",
+    ]
+    text = "\n".join(lines)
+    print("\n" + text)
+    save_result("serving_throughput", text)
+
+    assert measured["pooled_cold_qps"] >= 2 * measured["sequential_qps"], \
+        "the pool must at least double sequential throughput on a " \
+        "duplicate-question workload"
+    assert measured["cold_hit_rate"] > 0, \
+        "duplicate questions must produce cache hits"
+    assert measured["pooled_warm_qps"] >= measured["pooled_cold_qps"], \
+        "a warm cache must not be slower than a cold one"
+    assert measured["warm_hit_rate"] > measured["cold_hit_rate"]

@@ -32,6 +32,7 @@ __all__ = [
     "scale",
     "benchmark_for",
     "model_for",
+    "serving_spec_for",
     "accuracy_suite",
     "CoTMajorityAgent",
     "VOTE_SAMPLES",
@@ -62,6 +63,14 @@ def model_for(benchmark: Benchmark, profile_name: str = "codex-sim",
     """A fresh simulated model (fresh draw counter → stable results)."""
     return SimulatedTQAModel(benchmark.bank, get_profile(profile_name),
                              seed=seed)
+
+
+def serving_spec_for(benchmark: Benchmark,
+                     profile_name: str = "codex-sim"):
+    """The serving-layer agent recipe matching :func:`model_for`."""
+    from repro.serving import AgentSpec
+
+    return AgentSpec(bank=benchmark.bank, profile=profile_name)
 
 
 class CoTMajorityAgent:

@@ -44,6 +44,16 @@ from repro.llm import (
     SimulatedTQAModel,
     get_profile,
 )
+from repro.serving import (
+    AgentSpec,
+    AnswerCache,
+    BatchEvaluator,
+    RetryPolicy,
+    ServingMetrics,
+    TQARequest,
+    TQAResponse,
+    WorkerPool,
+)
 from repro.table import DataFrame
 
 __version__ = "1.0.0"
@@ -73,5 +83,13 @@ __all__ = [
     "EvalReport",
     "evaluate_agent",
     "evaluate_answer",
+    "TQARequest",
+    "TQAResponse",
+    "AgentSpec",
+    "AnswerCache",
+    "RetryPolicy",
+    "ServingMetrics",
+    "WorkerPool",
+    "BatchEvaluator",
     "__version__",
 ]

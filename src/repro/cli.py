@@ -9,6 +9,8 @@ Subcommands:
 * ``generate`` — emit a synthetic benchmark as JSON lines.
 * ``evaluate`` — run one configuration over a benchmark and report
   accuracy plus the iteration histogram.
+* ``batch`` — the same evaluation through the concurrent serving layer
+  (worker pool + answer cache), with serving metrics.
 """
 
 from __future__ import annotations
@@ -128,6 +130,53 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _cmd_batch(args) -> int:
+    from repro.serving import (AgentSpec, AnswerCache, BatchEvaluator,
+                               RetryPolicy, ServingMetrics)
+    from repro.tracing import ChainTracer
+
+    benchmark = generate_dataset(args.dataset, size=args.size,
+                                 seed=args.seed)
+    spec = AgentSpec(bank=benchmark.bank, profile=args.model,
+                     voting=args.voting, samples=args.samples,
+                     sql_only=args.sql_only, sql_backend=args.sql_backend)
+    cache = (AnswerCache(args.cache_size) if args.cache_size > 0
+             else None)
+    policy = RetryPolicy(timeout=args.timeout, max_retries=args.retries)
+    metrics = ServingMetrics()
+    tracer = ChainTracer() if args.trace else None
+    evaluator = BatchEvaluator(spec, workers=args.workers,
+                               seed=args.model_seed, cache=cache,
+                               policy=policy, metrics=metrics,
+                               tracer=tracer)
+    report = evaluator.evaluate(benchmark)
+    snapshot = metrics.snapshot()
+    print(f"dataset={args.dataset} model={args.model} "
+          f"voting={args.voting} n={len(benchmark)} "
+          f"workers={args.workers}")
+    print(f"accuracy: {report.accuracy:.3f}")
+    print(f"iteration histogram: {dict(sorted(report.iteration_histogram.items()))}")
+    if args.dataset == "fetaqa":
+        rouge = report.rouge()
+        print("ROUGE-1/2/L: "
+              + " / ".join(f"{rouge[k]:.3f}"
+                           for k in ("rouge1", "rouge2", "rougeL")))
+    print(f"throughput: {snapshot['throughput_qps']:.2f} questions/s  "
+          f"p50/p95 latency: {snapshot['latency_p50']:.4f}s"
+          f"/{snapshot['latency_p95']:.4f}s")
+    print(f"cache hit rate: {snapshot['cache_hit_rate']:.1%}  "
+          f"timeouts: {snapshot['timeouts']}  "
+          f"retries: {snapshot['retries']}  "
+          f"forced answers: {snapshot['forced_answers']}")
+    if args.metrics_out:
+        path = metrics.save(args.metrics_out)
+        print(f"metrics written: {path}")
+    if tracer is not None:
+        path = tracer.save(args.trace)
+        print(f"trace written: {path} ({len(tracer)} events)")
+    return 0
+
+
 def _cmd_analyze(args) -> int:
     from repro.reporting.analysis import analyze_agent
     from repro.tracing import ChainTracer
@@ -175,6 +224,33 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--sql-backend", default="sqlite",
                     choices=("sqlite", "native"))
     ev.set_defaults(func=_cmd_evaluate)
+
+    batch = sub.add_parser(
+        "batch", help="evaluate through the concurrent serving layer")
+    batch.add_argument("dataset", choices=("wikitq", "tabfact", "fetaqa"))
+    batch.add_argument("--size", type=int, default=200)
+    batch.add_argument("--seed", type=int, default=17)
+    batch.add_argument("--model", default="codex-sim")
+    batch.add_argument("--model-seed", type=int, default=1)
+    batch.add_argument("--voting", default="none",
+                       choices=("none", "s-vote", "t-vote", "e-vote"))
+    batch.add_argument("--samples", type=int, default=5)
+    batch.add_argument("--sql-only", action="store_true")
+    batch.add_argument("--sql-backend", default="sqlite",
+                       choices=("sqlite", "native"))
+    batch.add_argument("--workers", type=int, default=4,
+                       help="concurrent agent workers")
+    batch.add_argument("--cache-size", type=int, default=1024,
+                       help="answer-cache entries (0 disables caching)")
+    batch.add_argument("--timeout", type=float, default=None,
+                       help="per-attempt timeout in seconds")
+    batch.add_argument("--retries", type=int, default=1,
+                       help="extra attempts before degrading")
+    batch.add_argument("--metrics-out", metavar="PATH",
+                       help="write serving metrics as JSON to PATH")
+    batch.add_argument("--trace", metavar="PATH",
+                       help="write a serving-lifecycle trace to PATH")
+    batch.set_defaults(func=_cmd_batch)
 
     an = sub.add_parser("analyze",
                         help="error analysis with optional tracing")

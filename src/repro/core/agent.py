@@ -94,8 +94,17 @@ class ReActTableAgent:
             languages=self.prompt_builder.languages,
             max_prompt_rows=self.prompt_builder.max_prompt_rows)
 
-    def run(self, table: DataFrame, question: str) -> AgentResult:
-        """Answer ``question`` over ``table`` with one reasoning chain."""
+    def run(self, table: DataFrame, question: str, *,
+            seed: int | None = None) -> AgentResult:
+        """Answer ``question`` over ``table`` with one reasoning chain.
+
+        ``seed`` makes the run self-contained: the model is forked via
+        :meth:`~repro.llm.base.LanguageModel.fork` so the chain's
+        randomness depends only on the seed and the question, not on any
+        previous run — the hook the serving layer uses for per-request
+        reproducibility.
+        """
+        model = self.model if seed is None else self.model.fork(seed)
         prompt_builder = self._builder_for(question)
         if self.normalize_columns:
             table = _normalize_table_columns(table)
@@ -118,7 +127,7 @@ class ReActTableAgent:
                 self.tracer.emit("prompt", iterations,
                                  chars=len(prompt),
                                  forced=forced or at_limit)
-            completion = self.model.complete(
+            completion = model.complete(
                 prompt, temperature=self.temperature, n=1)[0]
             try:
                 action = parse_action(completion.text)

@@ -113,3 +113,15 @@ class DatasetError(ReproError):
 
 class EvaluationError(ReproError):
     """Errors raised by the evaluation kit."""
+
+
+class ServingError(ReproError):
+    """Errors raised by the serving layer (``repro.serving``)."""
+
+
+class ServingTimeoutError(ServingError):
+    """A request attempt exceeded its serving deadline."""
+
+
+class QueueClosedError(ServingError):
+    """An operation was attempted on a closed request queue."""

@@ -7,7 +7,13 @@ from repro.evalkit.rouge import (
     rouge_suite,
     tokenize,
 )
-from repro.evalkit.runner import EvalReport, evaluate_agent, evaluate_answer
+from repro.evalkit.runner import (
+    EvalReport,
+    evaluate_agent,
+    evaluate_answer,
+    make_report,
+    record_result,
+)
 from repro.evalkit.tabfact import normalize_verdict, tabfact_match
 from repro.evalkit.wikitq import (
     DateValue,
@@ -39,4 +45,6 @@ __all__ = [
     "EvalReport",
     "evaluate_agent",
     "evaluate_answer",
+    "make_report",
+    "record_result",
 ]

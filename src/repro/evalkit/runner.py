@@ -14,7 +14,8 @@ from repro.evalkit.rouge import rouge_suite
 from repro.evalkit.tabfact import tabfact_match
 from repro.evalkit.wikitq import wikitq_match
 
-__all__ = ["evaluate_answer", "EvalReport", "evaluate_agent"]
+__all__ = ["evaluate_answer", "EvalReport", "make_report",
+           "record_result", "evaluate_agent"]
 
 
 def evaluate_answer(dataset: str, predicted: list[str],
@@ -74,6 +75,46 @@ class EvalReport:
         }
 
 
+def make_report(dataset: str, num_questions: int) -> EvalReport:
+    """An empty report ready for :func:`record_result` accumulation."""
+    return EvalReport(dataset=dataset, num_questions=num_questions,
+                      num_correct=0,
+                      rouge_totals={"rouge1": 0.0, "rouge2": 0.0,
+                                    "rougeL": 0.0})
+
+
+def record_result(report: EvalReport, dataset: str, example,
+                  result) -> bool:
+    """Score one ``result`` against ``example`` and accumulate it.
+
+    ``result`` is anything with ``answer`` (list of strings) and
+    optionally ``iterations`` / ``handling_events`` / ``forced`` — agent
+    results, voting results, and serving responses all qualify.  The
+    bookkeeping counters (histogram, handling events, forced answers,
+    ROUGE totals) are recorded *before* the verdict is computed, so a
+    scorer error (e.g. a ``ValueError`` on an unknown dataset) cannot
+    lose this question's partial counters.  Returns the verdict.
+    """
+    iterations = getattr(result, "iterations", 0)
+    report.iteration_histogram[iterations] = (
+        report.iteration_histogram.get(iterations, 0) + 1)
+    report.handling_events += len(
+        getattr(result, "handling_events", ()) or ())
+    if getattr(result, "forced", False):
+        report.forced_answers += 1
+    if dataset == "fetaqa":
+        candidate = result.answer[0] if result.answer else ""
+        reference = example.gold_answer[0] if example.gold_answer else ""
+        for key, value in rouge_suite(candidate, reference).items():
+            report.rouge_totals[key] += value
+    correct = evaluate_answer(dataset, result.answer, example.gold_answer)
+    if correct:
+        report.num_correct += 1
+        report.iteration_correct[iterations] = (
+            report.iteration_correct.get(iterations, 0) + 1)
+    return correct
+
+
 def evaluate_agent(agent, benchmark: Benchmark, *,
                    limit: int | None = None) -> EvalReport:
     """Run ``agent`` over (a prefix of) ``benchmark`` and score it.
@@ -83,28 +124,8 @@ def evaluate_agent(agent, benchmark: Benchmark, *,
     plain agents and the voting wrappers qualify.
     """
     examples = benchmark.examples[:limit] if limit else benchmark.examples
-    report = EvalReport(dataset=benchmark.name,
-                        num_questions=len(examples), num_correct=0,
-                        rouge_totals={"rouge1": 0.0, "rouge2": 0.0,
-                                      "rougeL": 0.0})
+    report = make_report(benchmark.name, len(examples))
     for example in examples:
         result = agent.run(example.table, example.question)
-        iterations = getattr(result, "iterations", 0)
-        report.iteration_histogram[iterations] = (
-            report.iteration_histogram.get(iterations, 0) + 1)
-        correct = evaluate_answer(benchmark.name, result.answer,
-                                  example.gold_answer)
-        if correct:
-            report.num_correct += 1
-            report.iteration_correct[iterations] = (
-                report.iteration_correct.get(iterations, 0) + 1)
-        if benchmark.name == "fetaqa":
-            candidate = result.answer[0] if result.answer else ""
-            reference = example.gold_answer[0] if example.gold_answer else ""
-            for key, value in rouge_suite(candidate, reference).items():
-                report.rouge_totals[key] += value
-        report.handling_events += len(
-            getattr(result, "handling_events", ()) or ())
-        if getattr(result, "forced", False):
-            report.forced_answers += 1
+        record_result(report, benchmark.name, example, result)
     return report

@@ -42,6 +42,16 @@ class LanguageModel(abc.ABC):
                  n: int = 1) -> list[Completion]:
         """Sample ``n`` completions for ``prompt`` at ``temperature``."""
 
+    def fork(self, seed: int) -> "LanguageModel":
+        """A copy of this model reseeded for one independent run.
+
+        Seeded models override this to return a fresh instance whose
+        randomness depends only on ``seed`` (the serving layer's
+        per-request determinism hook).  Stateless models may return
+        ``self`` — the default.
+        """
+        return self
+
 
 class ScriptedModel(LanguageModel):
     """A deterministic model replaying a fixed list of completions.

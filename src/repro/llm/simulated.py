@@ -73,6 +73,15 @@ class SimulatedTQAModel(LanguageModel):
     def supports_logprobs(self) -> bool:
         return self.profile.provides_logprobs
 
+    def fork(self, seed: int) -> "SimulatedTQAModel":
+        """A fresh model over the same corpus, reseeded with ``seed``.
+
+        The fork starts with a zero draw counter, so its behaviour
+        depends only on ``seed`` and the prompts it sees — never on what
+        this instance completed before the fork.
+        """
+        return SimulatedTQAModel(self.bank, self.profile, seed=seed)
+
     # --- public API -----------------------------------------------------------
 
     def complete(self, prompt: str, *, temperature: float = 0.0,

@@ -1,0 +1,41 @@
+"""Concurrent TQA serving: queue → worker pool → cache → batched eval.
+
+This package turns the single-question agent into a servable system:
+bounded request queueing (:mod:`~repro.serving.request`), a pool of
+concurrent per-request agents (:mod:`~repro.serving.pool`), a
+content-fingerprinted LRU/TTL answer cache (:mod:`~repro.serving.cache`),
+per-request timeout/retry with graceful degradation
+(:mod:`~repro.serving.policy`), serving metrics
+(:mod:`~repro.serving.metrics`), and a batched evaluation façade
+(:mod:`~repro.serving.batch`) that reruns any benchmark through the pool.
+"""
+
+from repro.serving.batch import BatchEvaluator
+from repro.serving.cache import AnswerCache, CachedAnswer, request_fingerprint
+from repro.serving.metrics import ServingMetrics, percentile
+from repro.serving.policy import DeadlineModel, RetryPolicy
+from repro.serving.pool import WorkerPool
+from repro.serving.request import (
+    PendingResponse,
+    RequestQueue,
+    TQARequest,
+    TQAResponse,
+)
+from repro.serving.spec import AgentSpec
+
+__all__ = [
+    "TQARequest",
+    "TQAResponse",
+    "PendingResponse",
+    "RequestQueue",
+    "AnswerCache",
+    "CachedAnswer",
+    "request_fingerprint",
+    "RetryPolicy",
+    "DeadlineModel",
+    "ServingMetrics",
+    "percentile",
+    "AgentSpec",
+    "WorkerPool",
+    "BatchEvaluator",
+]

@@ -1,0 +1,153 @@
+"""The serving answer cache: content-fingerprinted, LRU, TTL.
+
+Cache keys are a digest of everything that determines an answer under the
+serving determinism contract: the table (schema, dtypes, and full row
+contents), the question, the agent configuration string, and the request
+seed.  Two requests with equal fingerprints are interchangeable, so a hit
+returns the stored answer without running a chain.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.serving.request import TQARequest, TQAResponse
+from repro.table.frame import DataFrame
+from repro.table.schema import is_missing
+
+__all__ = ["request_fingerprint", "CachedAnswer", "AnswerCache"]
+
+
+def _table_digest(table: DataFrame) -> str:
+    hasher = hashlib.blake2b(digest_size=16)
+    hasher.update("\x1f".join(table.columns).encode("utf-8"))
+    hasher.update("\x1f".join(
+        str(dtype) for dtype in table.dtypes.values()).encode("utf-8"))
+    for row in table.to_rows():
+        encoded = "\x1f".join("\x00" if is_missing(value) else str(value)
+                              for value in row)
+        hasher.update(b"\x1e" + encoded.encode("utf-8"))
+    return hasher.hexdigest()
+
+
+def request_fingerprint(request: TQARequest, *, config: str = "") -> str:
+    """Digest of (table contents, question, agent config, seed).
+
+    Equal fingerprints mean the serving layer may substitute one request's
+    answer for the other's.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(_table_digest(request.table).encode("ascii"))
+    hasher.update(b"\x1d")
+    hasher.update(request.question.encode("utf-8"))
+    hasher.update(b"\x1d")
+    hasher.update(config.encode("utf-8"))
+    hasher.update(b"\x1d")
+    hasher.update(str(request.seed).encode("ascii"))
+    return hasher.hexdigest()
+
+
+@dataclass(frozen=True)
+class CachedAnswer:
+    """The reusable portion of a response (no per-request metadata)."""
+
+    answer: tuple[str, ...]
+    iterations: int
+    forced: bool
+    handling_events: tuple[str, ...] = ()
+
+    @classmethod
+    def from_response(cls, response: TQAResponse) -> "CachedAnswer":
+        return cls(answer=tuple(response.answer),
+                   iterations=response.iterations,
+                   forced=response.forced,
+                   handling_events=tuple(response.handling_events))
+
+    def to_response(self, uid: str, *, latency: float) -> TQAResponse:
+        return TQAResponse(uid=uid, answer=list(self.answer),
+                           iterations=self.iterations, forced=self.forced,
+                           handling_events=list(self.handling_events),
+                           cached=True, attempts=0, latency=latency)
+
+
+class AnswerCache:
+    """Thread-safe LRU answer cache with optional per-entry TTL.
+
+    ``capacity`` bounds the entry count (least-recently-*used* evicted
+    first); ``ttl`` is seconds-to-live per entry (``None`` = no expiry).
+    ``clock`` is injectable for deterministic TTL tests.
+    """
+
+    def __init__(self, capacity: int = 1024, *, ttl: float | None = None,
+                 clock=time.monotonic):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.ttl = ttl
+        self._clock = clock
+        self._entries: OrderedDict[str, tuple[CachedAnswer, float]] = (
+            OrderedDict())
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str) -> CachedAnswer | None:
+        """Look up ``key``; counts a hit or a miss either way."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                answer, expires = entry
+                if expires and self._clock() >= expires:
+                    del self._entries[key]
+                    self.expirations += 1
+                    entry = None
+                else:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    return answer
+            self.misses += 1
+            return None
+
+    def put(self, key: str, answer: CachedAnswer) -> None:
+        with self._lock:
+            expires = self._clock() + self.ttl if self.ttl else 0.0
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = (answer, expires)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before any lookup)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> dict:
+        """Counter snapshot for metrics export."""
+        with self._lock:
+            size = len(self._entries)
+        return {
+            "size": size,
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,155 @@
+"""Serving metrics: throughput, latency percentiles, cache and queue health.
+
+One :class:`ServingMetrics` instance is shared by a pool's workers (it is
+thread-safe) and aggregates everything a deployment dashboard would plot:
+questions/sec, p50/p95 latency, cache hit rate, queue depth high-water
+mark, timeout/retry counts, and the forced-answer (degradation) rate.
+Snapshots export as plain dicts or JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from pathlib import Path
+
+__all__ = ["percentile", "ServingMetrics"]
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 1])."""
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+class ServingMetrics:
+    """Thread-safe aggregator over a serving run."""
+
+    def __init__(self, *, clock=time.monotonic):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.completed = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.coalesced = 0
+        self.timeouts = 0
+        self.retries = 0
+        self.degraded = 0
+        self.forced_answers = 0
+        self.errors = 0
+        self.max_queue_depth = 0
+        self._latencies: list[float] = []
+        self._first_submit: float | None = None
+        self._last_complete: float | None = None
+
+    # --- recording (called by the pool and its workers) --------------------
+
+    def record_submit(self, queue_depth: int) -> None:
+        with self._lock:
+            self.submitted += 1
+            self.max_queue_depth = max(self.max_queue_depth, queue_depth)
+            if self._first_submit is None:
+                self._first_submit = self._clock()
+
+    def record_coalesced(self) -> None:
+        with self._lock:
+            self.submitted += 1
+            self.coalesced += 1
+
+    def record_cache(self, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+
+    def record_timeout(self) -> None:
+        with self._lock:
+            self.timeouts += 1
+
+    def record_retry(self) -> None:
+        with self._lock:
+            self.retries += 1
+
+    def record_response(self, response) -> None:
+        """Account one completed :class:`TQAResponse`."""
+        with self._lock:
+            self.completed += 1
+            self._latencies.append(response.latency)
+            self._last_complete = self._clock()
+            if response.degraded:
+                self.degraded += 1
+            if response.forced:
+                self.forced_answers += 1
+            if response.error:
+                self.errors += 1
+
+    # --- derived rates ------------------------------------------------------
+
+    @property
+    def throughput(self) -> float:
+        """Completed responses per second of wall-clock serving time."""
+        with self._lock:
+            if (self.completed == 0 or self._first_submit is None
+                    or self._last_complete is None):
+                return 0.0
+            elapsed = self._last_complete - self._first_submit
+            if elapsed <= 0:
+                return 0.0
+            return self.completed / elapsed
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def forced_answer_rate(self) -> float:
+        return self.forced_answers / self.completed if self.completed else 0.0
+
+    # --- export -------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """One JSON-ready dict with every counter and derived rate."""
+        with self._lock:
+            latencies = list(self._latencies)
+            counters = {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "coalesced": self.coalesced,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "timeouts": self.timeouts,
+                "retries": self.retries,
+                "degraded": self.degraded,
+                "forced_answers": self.forced_answers,
+                "errors": self.errors,
+                "max_queue_depth": self.max_queue_depth,
+            }
+        return {
+            **counters,
+            "throughput_qps": round(self.throughput, 4),
+            "latency_p50": round(percentile(latencies, 0.50), 6),
+            "latency_p95": round(percentile(latencies, 0.95), 6),
+            "latency_mean": round(sum(latencies) / len(latencies), 6)
+            if latencies else 0.0,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "forced_answer_rate": round(self.forced_answer_rate, 4),
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the snapshot as JSON to ``path``."""
+        path = Path(path)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path

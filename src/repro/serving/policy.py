@@ -1,0 +1,100 @@
+"""Per-request timeout and bounded-retry policy, with degradation.
+
+Chains cannot be preempted mid-executor, so timeouts are enforced at the
+LLM boundary: :class:`DeadlineModel` wraps a request's model and raises
+:class:`~repro.errors.ServingTimeoutError` once the attempt deadline has
+passed — checked both before each completion (cheap refusal) and after it
+returns (catches one slow call).  Since every prompt/response round trips
+through the model, a timed-out chain stops within one completion of its
+deadline.
+
+:class:`RetryPolicy` decides how many attempts a request gets, how each
+attempt's seed is derived (deterministically, so retries are reproducible
+but explore different model randomness), and whether an exhausted request
+degrades to a forced direct answer instead of failing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.errors import ServingTimeoutError
+from repro.llm.base import Completion, LanguageModel
+
+__all__ = ["RetryPolicy", "DeadlineModel"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the pool treats one request's failures.
+
+    ``timeout`` is wall-clock seconds per *attempt* (``None`` disables
+    deadlines); ``max_retries`` is the number of extra attempts after the
+    first.  When every attempt fails and ``degrade_on_exhaustion`` is
+    set, the worker runs a one-iteration forced-direct-answer chain (the
+    paper's Section 3.3 fallback) instead of returning an error.
+    """
+
+    timeout: float | None = None
+    max_retries: int = 1
+    #: Seed offset between attempts; prime so attempt seeds of nearby
+    #: request seeds never collide.
+    retry_seed_stride: int = 7919
+    degrade_on_exhaustion: bool = True
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+
+    @property
+    def max_attempts(self) -> int:
+        return self.max_retries + 1
+
+    def attempt_seed(self, base_seed: int, attempt: int) -> int:
+        """Deterministic seed for attempt ``attempt`` (0-based)."""
+        return base_seed + attempt * self.retry_seed_stride
+
+    def deadline(self, clock=time.monotonic) -> float | None:
+        """Absolute deadline for an attempt starting now, or ``None``."""
+        if self.timeout is None:
+            return None
+        return clock() + self.timeout
+
+
+class DeadlineModel(LanguageModel):
+    """A model wrapper that enforces an absolute completion deadline."""
+
+    def __init__(self, inner: LanguageModel, deadline: float, *,
+                 clock=time.monotonic):
+        self.inner = inner
+        self.deadline = deadline
+        self._clock = clock
+
+    @property
+    def name(self) -> str:
+        return self.inner.name
+
+    @property
+    def supports_logprobs(self) -> bool:
+        return self.inner.supports_logprobs
+
+    def fork(self, seed: int) -> LanguageModel:
+        """Fork the wrapped model; the deadline follows the wrapper."""
+        return DeadlineModel(self.inner.fork(seed), self.deadline,
+                             clock=self._clock)
+
+    def _check(self, moment: str) -> None:
+        if self._clock() >= self.deadline:
+            raise ServingTimeoutError(
+                f"attempt deadline exceeded ({moment} completion)")
+
+    def complete(self, prompt: str, *, temperature: float = 0.0,
+                 n: int = 1) -> list[Completion]:
+        self._check("before")
+        completions = self.inner.complete(prompt, temperature=temperature,
+                                          n=n)
+        self._check("after")
+        return completions

@@ -1,0 +1,248 @@
+"""The worker pool: N concurrent agents behind one bounded queue.
+
+Dataflow of one request::
+
+    submit ──► [coalesce onto identical in-flight request?]
+           ──► RequestQueue ──► worker thread
+                                  ├─ AnswerCache lookup ── hit ──► response
+                                  └─ miss: fresh agent (request seed)
+                                        │  attempt deadline (DeadlineModel)
+                                        │  bounded retries (reseeded)
+                                        │  exhausted → forced direct answer
+                                        ▼
+                                     cache store ──► response
+
+Determinism: each attempt builds a fresh runner from the spec with a seed
+derived only from the request seed and attempt number, so responses do not
+depend on worker count or dispatch order.  Lifecycle events (``enqueue``,
+``dispatch``, ``cache_hit``, ``cache_miss``, ``coalesce``, ``timeout``,
+``retry``, ``degraded``, ``complete``) are emitted to an optional
+:class:`~repro.tracing.ChainTracer`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import QueueClosedError, ServingError, ServingTimeoutError
+from repro.serving.cache import AnswerCache, CachedAnswer, request_fingerprint
+from repro.serving.metrics import ServingMetrics
+from repro.serving.policy import DeadlineModel, RetryPolicy
+from repro.serving.request import (
+    PendingResponse,
+    RequestQueue,
+    TQARequest,
+    TQAResponse,
+)
+from repro.table.frame import DataFrame
+
+__all__ = ["WorkerPool"]
+
+
+class WorkerPool:
+    """Serve TQA requests over ``workers`` concurrent agent threads.
+
+    ``spec`` is an :class:`~repro.serving.spec.AgentSpec` (or any object
+    with ``build(seed)`` / ``build_forced(seed)`` / ``config_key``).
+    Optional collaborators: an :class:`AnswerCache` (enables caching *and*
+    in-flight request coalescing), a :class:`RetryPolicy`, a
+    :class:`ServingMetrics` aggregator, and a
+    :class:`~repro.tracing.ChainTracer`.
+
+    Use as a context manager, or call :meth:`start` / :meth:`shutdown`.
+    """
+
+    def __init__(self, spec, *, workers: int = 4,
+                 cache: AnswerCache | None = None,
+                 policy: RetryPolicy | None = None,
+                 metrics: ServingMetrics | None = None,
+                 tracer=None, queue_capacity: int = 256):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.spec = spec
+        self.workers = workers
+        self.cache = cache
+        self.policy = policy or RetryPolicy()
+        self.metrics = metrics or ServingMetrics()
+        self.tracer = tracer
+        self.queue = RequestQueue(queue_capacity)
+        self._threads: list[threading.Thread] = []
+        self._inflight: dict[str, PendingResponse] = {}
+        self._inflight_lock = threading.Lock()
+        self._request_counter = 0
+        self._started = False
+
+    # --- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "WorkerPool":
+        """Spawn the worker threads (idempotent)."""
+        if self._started:
+            return self
+        self._started = True
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"tqa-worker-{index}",
+                daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def shutdown(self, *, wait: bool = True) -> None:
+        """Close the queue; with ``wait``, join workers after it drains."""
+        self.queue.close()
+        if wait:
+            for thread in self._threads:
+                thread.join()
+        self._threads.clear()
+        self._started = False
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=True)
+
+    # --- submission ---------------------------------------------------------
+
+    def submit(self, table: DataFrame, question: str, *, seed: int = 0,
+               uid: str = "") -> PendingResponse:
+        """Enqueue one question; returns a :class:`PendingResponse`."""
+        return self.submit_request(
+            TQARequest(table=table, question=question, seed=seed, uid=uid))
+
+    def submit_request(self, request: TQARequest) -> PendingResponse:
+        if not self._started:
+            raise ServingError("pool is not running (call start())")
+        with self._inflight_lock:
+            self._request_counter += 1
+            chain = self._request_counter
+        uid = request.uid or f"req-{chain}"
+        key = None
+        if self.cache is not None:
+            key = request_fingerprint(request, config=self.spec.config_key)
+            # Coalesce onto an identical in-flight computation: the
+            # duplicate never reaches the queue.
+            with self._inflight_lock:
+                primary = self._inflight.get(key)
+                if primary is not None:
+                    slot = PendingResponse()
+                    primary.add_listener(slot, uid)
+                    self.metrics.record_coalesced()
+                    self._trace(chain, "coalesce", uid=uid)
+                    return slot
+                slot = PendingResponse()
+                self._inflight[key] = slot
+        else:
+            slot = PendingResponse()
+        self._trace(chain, "enqueue", uid=uid,
+                    question=request.question)
+        try:
+            self.queue.put((chain, uid, key, request, slot))
+        except QueueClosedError:
+            self._forget_inflight(key)
+            raise
+        self.metrics.record_submit(self.queue.depth)
+        return slot
+
+    # --- worker internals ---------------------------------------------------
+
+    def _trace(self, chain: int, kind: str, **data) -> None:
+        if self.tracer is not None:
+            self.tracer.emit_for(chain, f"serving_{kind}", 0, **data)
+
+    def _forget_inflight(self, key: str | None) -> None:
+        if key is None:
+            return
+        with self._inflight_lock:
+            self._inflight.pop(key, None)
+
+    def _worker_loop(self) -> None:
+        while True:
+            try:
+                chain, uid, key, request, slot = self.queue.get()
+            except QueueClosedError:
+                return
+            self._trace(chain, "dispatch", uid=uid,
+                        queue_depth=self.queue.depth)
+            try:
+                response = self._answer(chain, uid, key, request)
+            except Exception as exc:  # last-resort: never drop a slot
+                response = TQAResponse(uid=uid, answer=[],
+                                       error=f"{type(exc).__name__}: {exc}")
+            slot.set(response)
+            self._forget_inflight(key)
+            self.metrics.record_response(response)
+            self._trace(chain, "complete", uid=uid,
+                        answer=response.answer_text,
+                        cached=response.cached,
+                        degraded=response.degraded,
+                        latency=round(response.latency, 6))
+
+    def _answer(self, chain: int, uid: str, key: str | None,
+                request: TQARequest) -> TQAResponse:
+        started = time.perf_counter()
+        if key is not None:
+            cached = self.cache.get(key)
+            hit = cached is not None
+            self.metrics.record_cache(hit)
+            self._trace(chain, "cache_hit" if hit else "cache_miss",
+                        uid=uid)
+            if hit:
+                return cached.to_response(
+                    uid, latency=time.perf_counter() - started)
+        result = None
+        last_error = ""
+        attempts = 0
+        for attempt in range(self.policy.max_attempts):
+            attempts = attempt + 1
+            seed = self.policy.attempt_seed(request.seed, attempt)
+            try:
+                result = self._run_attempt(request, seed)
+                break
+            except ServingTimeoutError as exc:
+                last_error = str(exc)
+                self.metrics.record_timeout()
+                self._trace(chain, "timeout", uid=uid, attempt=attempts)
+            except Exception as exc:
+                last_error = f"{type(exc).__name__}: {exc}"
+                self._trace(chain, "error", uid=uid, attempt=attempts,
+                            error=last_error)
+            if attempt + 1 < self.policy.max_attempts:
+                self.metrics.record_retry()
+                self._trace(chain, "retry", uid=uid,
+                            next_attempt=attempts + 1)
+        degraded = False
+        if result is None and self.policy.degrade_on_exhaustion:
+            degraded = True
+            self._trace(chain, "degraded", uid=uid)
+            try:
+                result = self.spec.build_forced(request.seed).run(
+                    request.table, request.question)
+            except Exception as exc:
+                last_error = f"{type(exc).__name__}: {exc}"
+                result = None
+        if result is None:
+            return TQAResponse(uid=uid, answer=[], degraded=degraded,
+                               attempts=attempts, error=last_error,
+                               latency=time.perf_counter() - started)
+        response = TQAResponse(
+            uid=uid, answer=list(result.answer),
+            iterations=getattr(result, "iterations", 0),
+            forced=bool(getattr(result, "forced", False)) or degraded,
+            handling_events=list(
+                getattr(result, "handling_events", ()) or ()),
+            degraded=degraded, attempts=attempts, error=last_error,
+            latency=time.perf_counter() - started)
+        # Only clean first-class results are reusable; degraded answers
+        # depend on wall-clock luck and must not poison the cache.
+        if key is not None and not degraded:
+            self.cache.put(key, CachedAnswer.from_response(response))
+        return response
+
+    def _run_attempt(self, request: TQARequest, seed: int):
+        runner = self.spec.build(seed)
+        deadline = self.policy.deadline()
+        if deadline is not None and hasattr(runner, "model"):
+            runner.model = DeadlineModel(runner.model, deadline)
+        return runner.run(request.table, request.question)

@@ -4,11 +4,22 @@ A :class:`ChainTracer` attached to :class:`repro.core.ReActTableAgent`
 records one event per prompt, action, execution and recovery, with
 wall-clock timings — the observability layer a production deployment of
 the framework would need.  Traces export to JSONL for offline analysis.
+
+The serving layer (``repro.serving``) emits its lifecycle events
+(``serving_enqueue``, ``serving_dispatch``, ``serving_cache_hit``,
+``serving_cache_miss``, ``serving_coalesce``, ``serving_timeout``,
+``serving_retry``, ``serving_degraded``, ``serving_complete``) through
+:meth:`ChainTracer.emit_for` with the request id as the chain id, so one
+trace covers both the serving envelope and any agent chains.  Event
+recording is thread-safe; the *current-chain* convenience state used by
+:meth:`emit` is not, so concurrent agents should either share no tracer
+or address chains explicitly via :meth:`emit_for`.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -44,29 +55,44 @@ class ChainTracer:
         self._origin = time.perf_counter()
         self.events: list[ChainEvent] = []
         self.max_payload_chars = max_payload_chars
+        self._lock = threading.Lock()
         self._chain_counter = 0
         self._current_chain = 0
 
     # --- emission (called by instrumented agents) --------------------------
 
     def start_chain(self, question: str) -> int:
-        self._chain_counter += 1
-        self._current_chain = self._chain_counter
-        self.emit("start", 0, question=self._clip(question))
-        return self._current_chain
+        with self._lock:
+            self._chain_counter += 1
+            self._current_chain = self._chain_counter
+            chain = self._current_chain
+        self.emit_for(chain, "start", 0, question=self._clip(question))
+        return chain
 
     def emit(self, kind: str, iteration: int, **data) -> None:
+        self.emit_for(self._current_chain, kind, iteration, **data)
+
+    def emit_for(self, chain_id: int, kind: str, iteration: int = 0,
+                 **data) -> None:
+        """Record an event addressed to an explicit chain id.
+
+        This is the thread-safe entry point concurrent emitters (the
+        serving worker pool) use: no shared current-chain state is read,
+        so events from parallel requests interleave without mixing.
+        """
         clipped = {
             key: self._clip(value) if isinstance(value, str) else value
             for key, value in data.items()
         }
-        self.events.append(ChainEvent(
+        event = ChainEvent(
             kind=kind,
-            chain_id=self._current_chain,
+            chain_id=chain_id,
             iteration=iteration,
             at=time.perf_counter() - self._origin,
             data=clipped,
-        ))
+        )
+        with self._lock:
+            self.events.append(event)
 
     def end_chain(self, iteration: int, *, answer: str,
                   forced: bool) -> None:

@@ -152,6 +152,41 @@ class TestIterationLimits:
         assert result.iterations <= HARD_ITERATION_CAP
 
 
+class TestPerRunSeed:
+    class ForkableModel(ScriptedModel):
+        """Scripted model whose forks are observable."""
+
+        def __init__(self, outputs):
+            super().__init__(outputs)
+            self.forked_with = []
+
+        def fork(self, seed):
+            self.forked_with.append(seed)
+            fork = TestPerRunSeed.ForkableModel(list(self._outputs))
+            fork.prompts = self.prompts   # share the prompt log
+            return fork
+
+    def test_run_without_seed_uses_model_directly(self, cyclists):
+        model = self.ForkableModel(["ReAcTable: Answer: ```x```."])
+        ReActTableAgent(model).run(cyclists, QUESTION)
+        assert model.forked_with == []
+
+    def test_run_with_seed_forks_the_model(self, cyclists):
+        model = self.ForkableModel(["ReAcTable: Answer: ```x```."])
+        agent = ReActTableAgent(model)
+        result = agent.run(cyclists, QUESTION, seed=7)
+        assert result.answer == ["x"]
+        assert model.forked_with == [7]
+        # The original model's script was left untouched by the run.
+        assert model._cursor == 0
+
+    def test_default_fork_returns_self(self, cyclists):
+        model = ScriptedModel(["ReAcTable: Answer: ```x```."])
+        assert model.fork(3) is model
+        result = ReActTableAgent(model).run(cyclists, QUESTION, seed=3)
+        assert result.answer == ["x"]
+
+
 class TestColumnNormalization:
     def test_messy_headers_normalised_in_prompt(self):
         from repro.table import DataFrame

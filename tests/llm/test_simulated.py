@@ -172,3 +172,17 @@ class TestSeededReproducibility:
             for example in bench30.examples[:3]:
                 texts.add(model.complete(first_prompt(example))[0].text)
         assert len(texts) > 3
+
+    def test_fork_behaves_like_fresh_model(self, bench30):
+        example = bench30.examples[0]
+        prompt = first_prompt(example)
+        parent = SimulatedTQAModel(bench30.bank, seed=1)
+        # Burn draws on the parent; the fork must not inherit them.
+        for _ in range(3):
+            parent.complete(prompt, temperature=0.7)
+        forked = parent.fork(9)
+        fresh = SimulatedTQAModel(bench30.bank, seed=9)
+        assert (forked.complete(prompt, temperature=0.7)[0].text
+                == fresh.complete(prompt, temperature=0.7)[0].text)
+        assert forked.bank is parent.bank
+        assert forked.profile is parent.profile

@@ -1,0 +1,101 @@
+"""Tests for batched evaluation: determinism, caching, scoring parity."""
+
+import pytest
+
+from repro.core import ReActTableAgent
+from repro.evalkit import evaluate_agent, make_report, record_result
+from repro.llm import SimulatedTQAModel, get_profile
+from repro.serving import (
+    AgentSpec,
+    AnswerCache,
+    BatchEvaluator,
+    ServingMetrics,
+)
+
+
+def _sequential_report(benchmark, *, seed=1):
+    agent = ReActTableAgent(
+        SimulatedTQAModel(benchmark.bank, get_profile("codex-sim"),
+                          seed=seed))
+    return evaluate_agent(agent, benchmark)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("workers", [1, 4, 8])
+    def test_matches_sequential_runner(self, wikitq_small, workers):
+        expected = _sequential_report(wikitq_small)
+        evaluator = BatchEvaluator(AgentSpec(bank=wikitq_small.bank),
+                                   workers=workers, seed=1)
+        assert evaluator.evaluate(wikitq_small) == expected
+
+    def test_matches_sequential_on_tabfact(self, tabfact_small):
+        expected = _sequential_report(tabfact_small)
+        evaluator = BatchEvaluator(AgentSpec(bank=tabfact_small.bank),
+                                   workers=4, seed=1)
+        assert evaluator.evaluate(tabfact_small) == expected
+
+    def test_sampled_config_consistent_across_worker_counts(
+            self, wikitq_small):
+        spec = AgentSpec(bank=wikitq_small.bank, voting="s-vote",
+                         samples=3)
+        reports = [
+            BatchEvaluator(spec, workers=workers,
+                           seed=1).evaluate(wikitq_small, limit=8)
+            for workers in (1, 4)
+        ]
+        assert reports[0] == reports[1]
+
+    def test_repeat_evaluations_identical(self, wikitq_small):
+        evaluator = BatchEvaluator(AgentSpec(bank=wikitq_small.bank),
+                                   workers=4, seed=1)
+        assert (evaluator.evaluate(wikitq_small)
+                == evaluator.evaluate(wikitq_small))
+
+
+class TestCachedEvaluation:
+    def test_warm_cache_preserves_report(self, wikitq_small):
+        metrics = ServingMetrics()
+        evaluator = BatchEvaluator(AgentSpec(bank=wikitq_small.bank),
+                                   workers=4, seed=1,
+                                   cache_size=256, metrics=metrics)
+        cold = evaluator.evaluate(wikitq_small)
+        warm = evaluator.evaluate(wikitq_small)
+        assert warm == cold
+        assert cold == _sequential_report(wikitq_small)
+        assert metrics.cache_hits >= len(wikitq_small)
+        assert all(response.cached
+                   for response in evaluator.last_responses)
+
+    def test_limit_prefix(self, wikitq_small):
+        evaluator = BatchEvaluator(AgentSpec(bank=wikitq_small.bank),
+                                   workers=2, seed=1)
+        report = evaluator.evaluate(wikitq_small, limit=5)
+        assert report.num_questions == 5
+        assert len(evaluator.last_responses) == 5
+
+    def test_last_responses_expose_serving_metadata(self, wikitq_small):
+        evaluator = BatchEvaluator(AgentSpec(bank=wikitq_small.bank),
+                                   workers=2, seed=1)
+        evaluator.evaluate(wikitq_small, limit=4)
+        for response in evaluator.last_responses:
+            assert response.latency >= 0.0
+            assert response.attempts == 1
+
+
+class TestScoringParity:
+    def test_record_result_keeps_counters_before_scorer_raises(
+            self, wikitq_small):
+        """A scorer ValueError must not lose the question's counters."""
+        example = wikitq_small.examples[0]
+        agent = ReActTableAgent(
+            SimulatedTQAModel(wikitq_small.bank,
+                              get_profile("codex-sim"), seed=1))
+        result = agent.run(example.table, example.question)
+        result.handling_events = ["synthetic handling event"]
+        result.forced = True
+        report = make_report("bogus-dataset", 1)
+        with pytest.raises(ValueError):
+            record_result(report, "bogus-dataset", example, result)
+        assert report.iteration_histogram == {result.iterations: 1}
+        assert report.handling_events == 1
+        assert report.forced_answers == 1

@@ -1,0 +1,113 @@
+"""Tests for the answer cache: fingerprints, LRU eviction, TTL."""
+
+import pytest
+
+from repro.serving import AnswerCache, CachedAnswer, TQARequest, TQAResponse
+from repro.serving.cache import request_fingerprint
+from repro.table import DataFrame
+
+
+def _table(values=(1, 2, 3), name="T0"):
+    return DataFrame({"a": list(values), "b": ["x", "y", "z"]}, name=name)
+
+
+def _answer(text="42"):
+    return CachedAnswer(answer=(text,), iterations=2, forced=False)
+
+
+class TestRequestFingerprint:
+    def test_equal_requests_equal_keys(self):
+        first = TQARequest(_table(), "how many rows?", seed=3)
+        second = TQARequest(_table(), "how many rows?", seed=3)
+        assert (request_fingerprint(first, config="c")
+                == request_fingerprint(second, config="c"))
+
+    @pytest.mark.parametrize("variant", [
+        TQARequest(_table(), "how many columns?", seed=3),
+        TQARequest(_table((1, 2, 4)), "how many rows?", seed=3),
+        TQARequest(_table(), "how many rows?", seed=4),
+    ])
+    def test_content_sensitive(self, variant):
+        base = TQARequest(_table(), "how many rows?", seed=3)
+        assert (request_fingerprint(base, config="c")
+                != request_fingerprint(variant, config="c"))
+
+    def test_config_sensitive(self):
+        request = TQARequest(_table(), "how many rows?", seed=3)
+        assert (request_fingerprint(request, config="greedy")
+                != request_fingerprint(request, config="s-vote"))
+
+    def test_table_name_is_irrelevant(self):
+        first = TQARequest(_table(name="T0"), "q", seed=0)
+        second = TQARequest(_table(name="renamed"), "q", seed=0)
+        assert request_fingerprint(first) == request_fingerprint(second)
+
+
+class TestAnswerCache:
+    def test_miss_then_hit(self):
+        cache = AnswerCache(4)
+        assert cache.get("k") is None
+        cache.put("k", _answer())
+        assert cache.get("k").answer == ("42",)
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = AnswerCache(2)
+        cache.put("a", _answer("a"))
+        cache.put("b", _answer("b"))
+        assert cache.get("a") is not None   # refresh "a"
+        cache.put("c", _answer("c"))        # evicts "b", the LRU entry
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+        assert cache.evictions == 1
+
+    def test_ttl_expiry_with_fake_clock(self):
+        now = [0.0]
+        cache = AnswerCache(4, ttl=10.0, clock=lambda: now[0])
+        cache.put("k", _answer())
+        now[0] = 9.9
+        assert cache.get("k") is not None
+        now[0] = 10.0
+        assert cache.get("k") is None
+        assert cache.expirations == 1
+        assert len(cache) == 0
+
+    def test_no_ttl_never_expires(self):
+        now = [0.0]
+        cache = AnswerCache(4, clock=lambda: now[0])
+        cache.put("k", _answer())
+        now[0] = 1e9
+        assert cache.get("k") is not None
+
+    def test_put_overwrites_in_place(self):
+        cache = AnswerCache(2)
+        cache.put("k", _answer("old"))
+        cache.put("k", _answer("new"))
+        assert len(cache) == 1
+        assert cache.get("k").answer == ("new",)
+
+    def test_stats_snapshot(self):
+        cache = AnswerCache(4)
+        cache.put("k", _answer())
+        cache.get("k")
+        cache.get("absent")
+        stats = cache.stats()
+        assert stats["size"] == 1
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            AnswerCache(0)
+
+    def test_round_trip_through_response(self):
+        response = TQAResponse(uid="r", answer=["7"], iterations=3,
+                               forced=True, handling_events=["note"])
+        cached = CachedAnswer.from_response(response)
+        revived = cached.to_response("other", latency=0.5)
+        assert revived.answer == ["7"]
+        assert revived.iterations == 3 and revived.forced
+        assert revived.handling_events == ["note"]
+        assert revived.cached and revived.attempts == 0

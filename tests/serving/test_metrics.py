@@ -1,0 +1,90 @@
+"""Tests for the serving metrics aggregator."""
+
+import json
+import threading
+
+import pytest
+
+from repro.serving import ServingMetrics, TQAResponse
+from repro.serving.metrics import percentile
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_median_and_tail(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 0.50) == 50.0
+        assert percentile(values, 0.95) == 95.0
+        assert percentile(values, 1.0) == 100.0
+        assert percentile(values, 0.0) == 1.0
+
+    def test_unsorted_input(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_validates_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestServingMetrics:
+    def test_counters_and_rates(self):
+        now = [0.0]
+        metrics = ServingMetrics(clock=lambda: now[0])
+        metrics.record_submit(queue_depth=3)
+        metrics.record_submit(queue_depth=1)
+        metrics.record_cache(hit=True)
+        metrics.record_cache(hit=False)
+        metrics.record_timeout()
+        metrics.record_retry()
+        now[0] = 2.0
+        metrics.record_response(TQAResponse(uid="a", answer=["1"],
+                                            latency=0.5, forced=True))
+        metrics.record_response(TQAResponse(uid="b", answer=["2"],
+                                            latency=1.5, degraded=True,
+                                            error="boom"))
+        snapshot = metrics.snapshot()
+        assert snapshot["submitted"] == 2
+        assert snapshot["completed"] == 2
+        assert snapshot["max_queue_depth"] == 3
+        assert snapshot["cache_hit_rate"] == 0.5
+        assert snapshot["timeouts"] == 1 and snapshot["retries"] == 1
+        assert snapshot["degraded"] == 1 and snapshot["errors"] == 1
+        assert snapshot["forced_answer_rate"] == 0.5
+        assert snapshot["latency_p50"] == 0.5
+        assert snapshot["latency_p95"] == 1.5
+        # 2 completions over 2 seconds of serving wall clock.
+        assert snapshot["throughput_qps"] == 1.0
+
+    def test_zero_state(self):
+        snapshot = ServingMetrics().snapshot()
+        assert snapshot["throughput_qps"] == 0.0
+        assert snapshot["cache_hit_rate"] == 0.0
+        assert snapshot["latency_p95"] == 0.0
+
+    def test_json_round_trip(self, tmp_path):
+        metrics = ServingMetrics()
+        metrics.record_submit(queue_depth=0)
+        metrics.record_response(TQAResponse(uid="a", answer=[]))
+        path = metrics.save(tmp_path / "metrics.json")
+        loaded = json.loads(path.read_text())
+        assert loaded == metrics.snapshot()
+
+    def test_thread_safety_smoke(self):
+        metrics = ServingMetrics()
+
+        def hammer():
+            for _ in range(200):
+                metrics.record_submit(queue_depth=1)
+                metrics.record_cache(hit=True)
+                metrics.record_response(TQAResponse(uid="x", answer=[]))
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert metrics.submitted == 800
+        assert metrics.completed == 800
+        assert metrics.cache_hits == 800

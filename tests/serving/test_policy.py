@@ -1,0 +1,86 @@
+"""Tests for the retry policy and the deadline-enforcing model wrapper."""
+
+import pytest
+
+from repro.errors import ServingTimeoutError
+from repro.llm.base import Completion, LanguageModel
+from repro.serving import DeadlineModel, RetryPolicy
+
+
+class InstantModel(LanguageModel):
+    """Answers immediately; records how often it was called."""
+
+    name = "instant"
+    supports_logprobs = False
+
+    def __init__(self):
+        self.calls = 0
+
+    def complete(self, prompt, *, temperature=0.0, n=1):
+        self.calls += 1
+        return [Completion("ReAcTable: Answer: ```ok```.")] * n
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        policy = RetryPolicy()
+        assert policy.timeout is None
+        assert policy.max_attempts == 2
+        assert policy.degrade_on_exhaustion
+
+    def test_attempt_seeds_deterministic_and_distinct(self):
+        policy = RetryPolicy(max_retries=2)
+        seeds = [policy.attempt_seed(5, attempt) for attempt in range(3)]
+        assert seeds[0] == 5
+        assert len(set(seeds)) == 3
+        assert seeds == [policy.attempt_seed(5, a) for a in range(3)]
+
+    def test_deadline_from_timeout(self):
+        now = [100.0]
+        policy = RetryPolicy(timeout=2.0)
+        assert policy.deadline(clock=lambda: now[0]) == 102.0
+        assert RetryPolicy().deadline(clock=lambda: now[0]) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=0.0)
+
+
+class TestDeadlineModel:
+    def test_passes_through_before_deadline(self):
+        inner = InstantModel()
+        now = [0.0]
+        model = DeadlineModel(inner, 10.0, clock=lambda: now[0])
+        assert model.complete("p")[0].text.endswith("```ok```.")
+        assert inner.calls == 1
+
+    def test_refuses_after_deadline(self):
+        inner = InstantModel()
+        now = [11.0]
+        model = DeadlineModel(inner, 10.0, clock=lambda: now[0])
+        with pytest.raises(ServingTimeoutError):
+            model.complete("p")
+        assert inner.calls == 0   # refused before calling the model
+
+    def test_catches_slow_completion(self):
+        inner = InstantModel()
+        ticks = iter([9.0, 12.0])   # before-check passes, after-check fails
+        model = DeadlineModel(inner, 10.0, clock=lambda: next(ticks))
+        with pytest.raises(ServingTimeoutError):
+            model.complete("p")
+        assert inner.calls == 1
+
+    def test_delegates_identity(self):
+        inner = InstantModel()
+        model = DeadlineModel(inner, 10.0)
+        assert model.name == "instant"
+        assert model.supports_logprobs is False
+
+    def test_fork_keeps_deadline(self):
+        inner = InstantModel()
+        now = [11.0]
+        fork = DeadlineModel(inner, 10.0, clock=lambda: now[0]).fork(7)
+        with pytest.raises(ServingTimeoutError):
+            fork.complete("p")

@@ -1,0 +1,231 @@
+"""Tests for the worker pool: correctness, caching, coalescing, policy."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import ReActTableAgent
+from repro.errors import ServingError
+from repro.llm import SimulatedTQAModel, get_profile
+from repro.llm.base import Completion, LanguageModel, ScriptedModel
+from repro.serving import (
+    AgentSpec,
+    AnswerCache,
+    RetryPolicy,
+    ServingMetrics,
+    WorkerPool,
+)
+from repro.tracing import ChainTracer
+
+ANSWER = "ReAcTable: Answer: ```ok```."
+
+
+class BlockingModel(LanguageModel):
+    """Blocks inside ``complete`` until released; flags when entered."""
+
+    name = "blocking"
+    supports_logprobs = False
+
+    def __init__(self, entered: threading.Event,
+                 release: threading.Event):
+        self.entered = entered
+        self.release = release
+
+    def complete(self, prompt, *, temperature=0.0, n=1):
+        self.entered.set()
+        assert self.release.wait(10)
+        return [Completion(ANSWER)] * n
+
+
+class SleepyModel(LanguageModel):
+    """Sleeps longer than any test deadline before answering."""
+
+    name = "sleepy"
+    supports_logprobs = False
+
+    def complete(self, prompt, *, temperature=0.0, n=1):
+        time.sleep(0.05)
+        return [Completion(ANSWER)] * n
+
+
+class StubSpec:
+    """Spec stub whose agents run a caller-provided model factory."""
+
+    def __init__(self, model_factory, config_key="stub"):
+        self.model_factory = model_factory
+        self.config_key = config_key
+        self.built_seeds = []
+
+    def build(self, seed):
+        self.built_seeds.append(seed)
+        return ReActTableAgent(self.model_factory())
+
+    def build_forced(self, seed):
+        return ReActTableAgent(
+            ScriptedModel(["ReAcTable: Answer: ```degraded```."]),
+            max_iterations=1)
+
+
+class FailingSpec(StubSpec):
+    def build(self, seed):
+        raise RuntimeError("cannot build agent")
+
+
+@pytest.fixture()
+def spec(wikitq_small):
+    return AgentSpec(bank=wikitq_small.bank)
+
+
+class TestPoolCorrectness:
+    def test_matches_sequential_agent(self, wikitq_small, spec):
+        examples = wikitq_small.examples[:8]
+        sequential = ReActTableAgent(
+            SimulatedTQAModel(wikitq_small.bank,
+                              get_profile("codex-sim"), seed=1))
+        expected = [sequential.run(ex.table, ex.question)
+                    for ex in examples]
+        with WorkerPool(spec, workers=4) as pool:
+            slots = [pool.submit(ex.table, ex.question, seed=1,
+                                 uid=ex.uid) for ex in examples]
+            responses = [slot.result(timeout=30) for slot in slots]
+        for result, response in zip(expected, responses):
+            assert response.answer == result.answer
+            assert response.iterations == result.iterations
+            assert response.forced == result.forced
+            assert response.handling_events == result.handling_events
+
+    def test_responses_keep_request_uids(self, wikitq_small, spec):
+        example = wikitq_small.examples[0]
+        with WorkerPool(spec, workers=2) as pool:
+            slot = pool.submit(example.table, example.question,
+                               uid="my-uid")
+            assert slot.result(timeout=30).uid == "my-uid"
+
+    def test_submit_before_start_raises(self, wikitq_small, spec):
+        pool = WorkerPool(spec, workers=1)
+        example = wikitq_small.examples[0]
+        with pytest.raises(ServingError):
+            pool.submit(example.table, example.question)
+
+
+class TestPoolCaching:
+    def test_resubmission_hits_cache(self, wikitq_small, spec):
+        example = wikitq_small.examples[0]
+        cache = AnswerCache(16)
+        metrics = ServingMetrics()
+        with WorkerPool(spec, workers=1, cache=cache,
+                        metrics=metrics) as pool:
+            first = pool.submit(example.table, example.question,
+                                seed=1).result(timeout=30)
+            second = pool.submit(example.table, example.question,
+                                 seed=1).result(timeout=30)
+        assert not first.cached and second.cached
+        assert second.answer == first.answer
+        assert second.iterations == first.iterations
+        assert cache.hits == 1 and cache.misses == 1
+        assert metrics.cache_hits == 1
+
+    def test_different_seeds_do_not_share_entries(self, wikitq_small,
+                                                  spec):
+        example = wikitq_small.examples[0]
+        cache = AnswerCache(16)
+        with WorkerPool(spec, workers=1, cache=cache) as pool:
+            pool.submit(example.table, example.question,
+                        seed=1).result(timeout=30)
+            second = pool.submit(example.table, example.question,
+                                 seed=2).result(timeout=30)
+        assert not second.cached
+        assert len(cache) == 2
+
+    def test_inflight_duplicates_coalesce(self, tiny_frame):
+        entered = threading.Event()
+        release = threading.Event()
+        spec = StubSpec(lambda: BlockingModel(entered, release))
+        metrics = ServingMetrics()
+        with WorkerPool(spec, workers=1, cache=AnswerCache(16),
+                        metrics=metrics) as pool:
+            primary = pool.submit(tiny_frame, "same question?", seed=0)
+            assert entered.wait(10)   # worker is inside the chain
+            duplicate = pool.submit(tiny_frame, "same question?", seed=0)
+            release.set()
+            first = primary.result(timeout=30)
+            second = duplicate.result(timeout=30)
+        assert not first.coalesced
+        assert second.coalesced and second.cached
+        assert second.answer == first.answer
+        assert metrics.coalesced == 1
+        # The duplicate never ran a chain of its own.
+        assert len(spec.built_seeds) == 1
+
+
+class TestPoolPolicy:
+    def test_timeout_retries_then_degrades(self, tiny_frame):
+        spec = StubSpec(SleepyModel)
+        metrics = ServingMetrics()
+        policy = RetryPolicy(timeout=0.005, max_retries=2)
+        with WorkerPool(spec, workers=1, policy=policy,
+                        metrics=metrics) as pool:
+            response = pool.submit(tiny_frame,
+                                   "slow?").result(timeout=30)
+        assert response.degraded and response.forced
+        assert response.answer == ["degraded"]
+        assert response.attempts == 3
+        assert metrics.timeouts == 3
+        assert metrics.retries == 2
+        assert metrics.degraded == 1
+        # Each attempt reseeded deterministically.
+        assert spec.built_seeds == [policy.attempt_seed(0, a)
+                                    for a in range(3)]
+
+    def test_degraded_answers_are_not_cached(self, tiny_frame):
+        spec = StubSpec(SleepyModel)
+        cache = AnswerCache(16)
+        policy = RetryPolicy(timeout=0.005, max_retries=0)
+        with WorkerPool(spec, workers=1, cache=cache,
+                        policy=policy) as pool:
+            pool.submit(tiny_frame, "slow?").result(timeout=30)
+        assert len(cache) == 0
+
+    def test_exhaustion_without_degradation_reports_error(self,
+                                                          tiny_frame):
+        spec = FailingSpec(SleepyModel)
+        policy = RetryPolicy(max_retries=1, degrade_on_exhaustion=False)
+        metrics = ServingMetrics()
+        with WorkerPool(spec, workers=1, policy=policy,
+                        metrics=metrics) as pool:
+            response = pool.submit(tiny_frame, "q?").result(timeout=30)
+        assert response.answer == []
+        assert "cannot build agent" in response.error
+        assert not response.degraded
+        assert metrics.errors == 1
+
+
+class TestPoolTracing:
+    def test_lifecycle_events(self, wikitq_small, spec):
+        example = wikitq_small.examples[0]
+        tracer = ChainTracer()
+        with WorkerPool(spec, workers=1, cache=AnswerCache(16),
+                        tracer=tracer) as pool:
+            pool.submit(example.table, example.question,
+                        seed=1).result(timeout=30)
+            pool.submit(example.table, example.question,
+                        seed=1).result(timeout=30)
+        kinds = tracer.counts()
+        assert kinds["serving_enqueue"] == 2
+        assert kinds["serving_dispatch"] == 2
+        assert kinds["serving_cache_miss"] == 1
+        assert kinds["serving_cache_hit"] == 1
+        assert kinds["serving_complete"] == 2
+
+    def test_timeout_and_retry_events(self, tiny_frame):
+        tracer = ChainTracer()
+        spec = StubSpec(SleepyModel)
+        policy = RetryPolicy(timeout=0.005, max_retries=1)
+        with WorkerPool(spec, workers=1, policy=policy,
+                        tracer=tracer) as pool:
+            pool.submit(tiny_frame, "slow?").result(timeout=30)
+        kinds = tracer.counts()
+        assert kinds["serving_timeout"] == 2
+        assert kinds["serving_retry"] == 1
+        assert kinds["serving_degraded"] == 1

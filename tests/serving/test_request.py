@@ -1,0 +1,123 @@
+"""Tests for serving requests, pending responses, and the bounded queue."""
+
+import threading
+
+import pytest
+
+from repro.errors import QueueClosedError
+from repro.serving import PendingResponse, RequestQueue, TQAResponse
+
+
+class TestRequestQueue:
+    def test_fifo_order(self):
+        queue = RequestQueue(8)
+        for item in ("a", "b", "c"):
+            queue.put(item)
+        assert [queue.get(), queue.get(), queue.get()] == ["a", "b", "c"]
+
+    def test_depth_and_high_water(self):
+        queue = RequestQueue(8)
+        queue.put(1)
+        queue.put(2)
+        assert queue.depth == 2
+        queue.get()
+        assert queue.depth == 1
+        assert queue.high_water == 2
+
+    def test_put_times_out_when_full(self):
+        queue = RequestQueue(1)
+        queue.put("x")
+        with pytest.raises(TimeoutError):
+            queue.put("y", timeout=0.01)
+
+    def test_get_times_out_when_empty(self):
+        queue = RequestQueue(1)
+        with pytest.raises(TimeoutError):
+            queue.get(timeout=0.01)
+
+    def test_blocked_put_wakes_on_get(self):
+        queue = RequestQueue(1)
+        queue.put("first")
+        done = threading.Event()
+
+        def producer():
+            queue.put("second", timeout=5)
+            done.set()
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        assert queue.get(timeout=5) == "first"
+        assert done.wait(5)
+        assert queue.get(timeout=5) == "second"
+
+    def test_put_after_close_raises(self):
+        queue = RequestQueue(4)
+        queue.close()
+        with pytest.raises(QueueClosedError):
+            queue.put("x")
+
+    def test_get_drains_backlog_then_raises(self):
+        queue = RequestQueue(4)
+        queue.put("x")
+        queue.close()
+        assert queue.get() == "x"
+        with pytest.raises(QueueClosedError):
+            queue.get()
+
+    def test_close_wakes_blocked_getter(self):
+        queue = RequestQueue(4)
+        raised = threading.Event()
+
+        def consumer():
+            with pytest.raises(QueueClosedError):
+                queue.get(timeout=5)
+            raised.set()
+
+        thread = threading.Thread(target=consumer, daemon=True)
+        thread.start()
+        queue.close()
+        assert raised.wait(5)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            RequestQueue(0)
+
+
+class TestPendingResponse:
+    def test_result_blocks_until_set(self):
+        slot = PendingResponse()
+        response = TQAResponse(uid="r1", answer=["42"])
+        threading.Timer(0.01, slot.set, args=(response,)).start()
+        assert slot.result(timeout=5).answer == ["42"]
+        assert slot.done()
+
+    def test_result_timeout(self):
+        with pytest.raises(TimeoutError):
+            PendingResponse().result(timeout=0.01)
+
+    def test_listener_gets_coalesced_replica(self):
+        primary = PendingResponse()
+        dependent = PendingResponse()
+        primary.add_listener(dependent, "dup-1")
+        primary.set(TQAResponse(uid="orig", answer=["7"], iterations=3))
+        replica = dependent.result(timeout=5)
+        assert replica.uid == "dup-1"
+        assert replica.answer == ["7"]
+        assert replica.coalesced and replica.cached
+        assert replica.attempts == 0
+
+    def test_listener_added_after_resolution(self):
+        primary = PendingResponse()
+        primary.set(TQAResponse(uid="orig", answer=["7"]))
+        late = PendingResponse()
+        primary.add_listener(late, "dup-2")
+        assert late.result(timeout=5).uid == "dup-2"
+
+    def test_replica_is_independent_copy(self):
+        original = TQAResponse(uid="a", answer=["x"],
+                               handling_events=["note"])
+        replica = original.replica("b")
+        replica.answer.append("y")
+        replica.handling_events.append("other")
+        assert original.answer == ["x"]
+        assert original.handling_events == ["note"]

@@ -24,6 +24,23 @@ class TestParser:
         assert args.dataset == "tabfact"
         assert args.sql_only
 
+    def test_batch_options(self):
+        args = build_parser().parse_args([
+            "batch", "wikitq", "--workers", "8", "--cache-size", "64",
+            "--timeout", "2.5", "--metrics-out", "m.json",
+        ])
+        assert args.workers == 8
+        assert args.cache_size == 64
+        assert args.timeout == 2.5
+        assert args.metrics_out == "m.json"
+
+    def test_batch_defaults(self):
+        args = build_parser().parse_args(["batch", "wikitq"])
+        assert args.workers == 4
+        assert args.cache_size == 1024
+        assert args.timeout is None
+        assert args.metrics_out is None
+
 
 class TestDemo:
     def test_demo_solves_running_example(self, capsys):
@@ -67,3 +84,42 @@ class TestEvaluate:
         assert main(["evaluate", "wikitq", "--size", "5",
                      "--voting", "s-vote", "--samples", "3"]) == 0
         assert "voting=s-vote" in capsys.readouterr().out
+
+
+class TestBatch:
+    def test_reports_accuracy_and_serving_stats(self, capsys):
+        assert main(["batch", "wikitq", "--size", "10",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "workers=2" in out
+        assert "accuracy:" in out
+        assert "throughput:" in out
+        assert "cache hit rate:" in out
+
+    def test_matches_sequential_accuracy(self, capsys):
+        assert main(["evaluate", "wikitq", "--size", "12"]) == 0
+        sequential = capsys.readouterr().out
+        assert main(["batch", "wikitq", "--size", "12",
+                     "--workers", "4"]) == 0
+        batched = capsys.readouterr().out
+        pick = lambda text, label: next(  # noqa: E731
+            line for line in text.splitlines()
+            if line.startswith(label))
+        assert (pick(batched, "accuracy:")
+                == pick(sequential, "accuracy:"))
+        assert (pick(batched, "iteration histogram:")
+                == pick(sequential, "iteration histogram:"))
+
+    def test_writes_metrics_and_trace(self, capsys, tmp_path):
+        metrics_path = tmp_path / "metrics.json"
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(["batch", "wikitq", "--size", "6",
+                     "--workers", "2",
+                     "--metrics-out", str(metrics_path),
+                     "--trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "metrics written:" in out
+        assert "trace written:" in out
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["completed"] == 6
+        assert trace_path.exists()

@@ -19,7 +19,7 @@ class TestTopLevelExports:
         "repro.table", "repro.sqlengine", "repro.executors",
         "repro.plans", "repro.llm", "repro.datasets", "repro.core",
         "repro.evalkit", "repro.reporting", "repro.errors",
-        "repro.tracing", "repro.cli",
+        "repro.tracing", "repro.cli", "repro.serving",
     ])
     def test_subpackages_import_cleanly(self, module_name):
         module = importlib.import_module(module_name)
@@ -28,7 +28,7 @@ class TestTopLevelExports:
     @pytest.mark.parametrize("module_name", [
         "repro.table", "repro.sqlengine", "repro.executors",
         "repro.plans", "repro.llm", "repro.datasets", "repro.core",
-        "repro.evalkit", "repro.reporting",
+        "repro.evalkit", "repro.reporting", "repro.serving",
     ])
     def test_subpackage_all_resolves(self, module_name):
         module = importlib.import_module(module_name)

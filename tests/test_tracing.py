@@ -99,3 +99,33 @@ class TestChainTracer:
             ScriptedModel(["ReAcTable: Answer: ```a```."]))
         result = agent.run(cyclists, QUESTION)
         assert result.answer == ["a"]
+
+
+class TestExplicitChainEmission:
+    def test_emit_for_addresses_an_explicit_chain(self):
+        tracer = ChainTracer()
+        tracer.emit_for(42, "serving_enqueue", uid="req-1")
+        event = tracer.events[0]
+        assert event.chain_id == 42
+        assert event.kind == "serving_enqueue"
+        assert event.iteration == 0
+        assert event.data["uid"] == "req-1"
+
+    def test_emit_for_is_thread_safe(self):
+        import threading
+
+        tracer = ChainTracer()
+
+        def emitter(chain_id):
+            for index in range(200):
+                tracer.emit_for(chain_id, "serving_dispatch", index)
+
+        threads = [threading.Thread(target=emitter, args=(cid,))
+                   for cid in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(tracer) == 800
+        chains = tracer.chains()
+        assert {len(events) for events in chains.values()} == {200}

@@ -11,6 +11,9 @@ Subcommands:
   accuracy plus the iteration histogram.
 * ``batch`` — the same evaluation through the concurrent serving layer
   (worker pool + answer cache), with serving metrics.
+* ``chaos`` — sweep deterministic fault-injection rates over a benchmark
+  through the hardened serving stack and report the degradation curve
+  (accuracy, answer rate, classified outcomes, breaker/retry activity).
 """
 
 from __future__ import annotations
@@ -177,6 +180,101 @@ def _cmd_batch(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.faults import FaultConfig, FaultyAgentSpec
+    from repro.retry import ExponentialBackoff
+    from repro.serving import (AgentSpec, BatchEvaluator, BreakerConfig,
+                               OUTCOMES, RetryPolicy, ServingMetrics)
+    from repro.tracing import ChainTracer
+
+    try:
+        rates = [float(rate) for rate in args.rates.split(",") if rate]
+    except ValueError:
+        print(f"bad --rates value {args.rates!r} "
+              f"(expected e.g. 0,0.05,0.2)", file=sys.stderr)
+        return 2
+    benchmark = generate_dataset(args.dataset, size=args.size,
+                                 seed=args.seed)
+    spec = AgentSpec(bank=benchmark.bank, profile=args.model,
+                     voting=args.voting, samples=args.samples,
+                     sql_only=args.sql_only, sql_backend=args.sql_backend)
+    backoff = (ExponentialBackoff(base=args.backoff)
+               if args.backoff > 0 else None)
+    breakers = (BreakerConfig(failure_threshold=args.breaker_threshold,
+                              cooldown=args.breaker_cooldown)
+                if args.breaker_threshold > 0 else None)
+    policy = RetryPolicy(timeout=args.timeout, max_retries=args.retries,
+                         backoff=backoff)
+    tracer = ChainTracer() if args.trace else None
+    print(f"dataset={args.dataset} model={args.model} n={len(benchmark)} "
+          f"workers={args.workers} retries={args.retries} "
+          f"model_retries={args.model_retries}")
+    header = (f"{'rate':>6}  {'accuracy':>8}  {'answered':>8}  "
+              f"{'degraded':>8}  {'errors':>6}  {'faults':>6}  "
+              f"{'retries':>7}  {'breaker':>7}")
+    print(header)
+    print("-" * len(header))
+    last_metrics = None
+    exit_code = 0
+    for rate in rates:
+        metrics = ServingMetrics()
+
+        def on_fault(site, kind, index, _metrics=metrics):
+            _metrics.record_fault(site, kind)
+            if tracer is not None:
+                tracer.emit_for(0, "fault", 0, site=site, kind=kind,
+                                index=index)
+
+        faulty = FaultyAgentSpec(spec, FaultConfig.uniform(
+                                     rate, latency_seconds=args.fault_latency),
+                                 model_retries=args.model_retries,
+                                 backoff=backoff, on_fault=on_fault)
+        evaluator = BatchEvaluator(faulty, workers=args.workers,
+                                   seed=args.model_seed, policy=policy,
+                                   metrics=metrics, tracer=tracer,
+                                   breakers=breakers)
+        report = evaluator.evaluate(benchmark)
+        responses = evaluator.last_responses
+        unclassified = [r.uid for r in responses
+                        if r.outcome not in OUTCOMES]
+        answered = sum(1 for r in responses
+                       if not r.outcome.startswith("error"))
+        snapshot = metrics.snapshot()
+        print(f"{rate:>6.2f}  {report.accuracy:>8.3f}  "
+              f"{answered / len(responses):>8.1%}  "
+              f"{snapshot['degraded']:>8}  {snapshot['errors']:>6}  "
+              f"{snapshot['faults_injected']:>6}  "
+              f"{snapshot['retries']:>7}  "
+              f"{snapshot['breaker_opened']:>7}")
+        if unclassified:
+            print(f"  !! {len(unclassified)} responses without a "
+                  f"classified outcome: {unclassified[:5]}")
+            exit_code = 1
+        if rate == 0.0 and args.verify_passthrough:
+            plain = BatchEvaluator(spec, workers=args.workers,
+                                   seed=args.model_seed, policy=policy,
+                                   breakers=breakers)
+            plain_report = plain.evaluate(benchmark)
+            identical = (
+                plain_report == report
+                and [(r.uid, r.answer, r.iterations, r.forced)
+                     for r in plain.last_responses]
+                == [(r.uid, r.answer, r.iterations, r.forced)
+                    for r in responses])
+            print(f"  0% fault run bit-identical to uninjected run: "
+                  f"{identical}")
+            if not identical:
+                exit_code = 1
+        last_metrics = metrics
+    if args.metrics_out and last_metrics is not None:
+        path = last_metrics.save(args.metrics_out)
+        print(f"metrics written (last rate): {path}")
+    if tracer is not None:
+        path = tracer.save(args.trace)
+        print(f"trace written: {path} ({len(tracer)} events)")
+    return exit_code
+
+
 def _cmd_analyze(args) -> int:
     from repro.reporting.analysis import analyze_agent
     from repro.tracing import ChainTracer
@@ -251,6 +349,46 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--trace", metavar="PATH",
                        help="write a serving-lifecycle trace to PATH")
     batch.set_defaults(func=_cmd_batch)
+
+    chaos = sub.add_parser(
+        "chaos", help="fault-injection sweep through the hardened stack")
+    chaos.add_argument("dataset", choices=("wikitq", "tabfact", "fetaqa"))
+    chaos.add_argument("--size", type=int, default=50)
+    chaos.add_argument("--seed", type=int, default=17)
+    chaos.add_argument("--model", default="codex-sim")
+    chaos.add_argument("--model-seed", type=int, default=1)
+    chaos.add_argument("--voting", default="none",
+                       choices=("none", "s-vote", "t-vote", "e-vote"))
+    chaos.add_argument("--samples", type=int, default=5)
+    chaos.add_argument("--sql-only", action="store_true")
+    chaos.add_argument("--sql-backend", default="sqlite",
+                       choices=("sqlite", "native"))
+    chaos.add_argument("--workers", type=int, default=4)
+    chaos.add_argument("--rates", default="0,0.05,0.2",
+                       help="comma-separated per-call fault rates")
+    chaos.add_argument("--fault-latency", type=float, default=0.02,
+                       help="injected latency-spike duration (seconds)")
+    chaos.add_argument("--timeout", type=float, default=None,
+                       help="per-attempt serving deadline (seconds)")
+    chaos.add_argument("--retries", type=int, default=2,
+                       help="pool-level extra attempts before degrading")
+    chaos.add_argument("--model-retries", type=int, default=2,
+                       help="in-stack RetryingModel retries (0 disables)")
+    chaos.add_argument("--backoff", type=float, default=0.0,
+                       help="base backoff delay in seconds (0 disables)")
+    chaos.add_argument("--breaker-threshold", type=int, default=5,
+                       help="breaker consecutive-failure threshold "
+                            "(0 disables the breaker)")
+    chaos.add_argument("--breaker-cooldown", type=float, default=0.25,
+                       help="breaker cooldown before half-open (seconds)")
+    chaos.add_argument("--no-verify-passthrough", dest="verify_passthrough",
+                       action="store_false",
+                       help="skip the rate-0 bit-identical verification")
+    chaos.add_argument("--metrics-out", metavar="PATH",
+                       help="write last rate's serving metrics to PATH")
+    chaos.add_argument("--trace", metavar="PATH",
+                       help="write a fault/serving trace to PATH")
+    chaos.set_defaults(func=_cmd_chaos)
 
     an = sub.add_parser("analyze",
                         help="error analysis with optional tracing")

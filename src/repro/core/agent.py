@@ -10,6 +10,14 @@ executor exceptions per the paper:
 * any other failure **forces** the model to answer by appending the leading
   word ``Answer`` to the prompt.
 
+The same forcing path also absorbs a malformed model response: a backend
+that returns an empty completion batch (a mis-sized API response, or the
+chaos harness's ``wrong_n`` fault) is treated like an unparseable
+completion rather than crashing the chain.  Model *exceptions* propagate —
+retrying them is the job of :class:`repro.llm.RetryingModel` and the
+serving pool's attempt ladder, which classify them via the failure
+taxonomy.
+
 An optional ``max_iterations`` cap reproduces the Table 7 experiment: at
 the limit the model is forced to answer the same way.
 """
@@ -127,8 +135,21 @@ class ReActTableAgent:
                 self.tracer.emit("prompt", iterations,
                                  chars=len(prompt),
                                  forced=forced or at_limit)
-            completion = model.complete(
-                prompt, temperature=self.temperature, n=1)[0]
+            completions = model.complete(
+                prompt, temperature=self.temperature, n=1)
+            if not completions:
+                if self.tracer is not None:
+                    self.tracer.emit("model_fault", iterations,
+                                     error="empty completion batch")
+                if forced or at_limit:
+                    # Even the forced answer came back empty: give up.
+                    return AgentResult([], transcript, iterations,
+                                       forced=True,
+                                       handling_events=events)
+                events.append("empty completion batch; forcing answer")
+                forced = True
+                continue
+            completion = completions[0]
             try:
                 action = parse_action(completion.text)
                 if self.tracer is not None:

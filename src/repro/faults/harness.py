@@ -1,0 +1,101 @@
+"""The chaos harness: install fault injectors behind any agent spec.
+
+:class:`FaultyAgentSpec` wraps any object with the
+``build(seed)`` / ``build_forced(seed)`` / ``config_key`` surface (see
+:class:`~repro.serving.spec.AgentSpec`) so every runner the serving pool
+builds comes out instrumented:
+
+* the runner's model is wrapped in a
+  :class:`~repro.faults.injectors.FaultyModel` whose
+  :class:`~repro.faults.plan.FaultPlan` is seeded from the attempt seed —
+  injections are deterministic per attempt and independent of worker
+  count or dispatch order;
+* every executor in the runner's registry is wrapped in a
+  :class:`~repro.faults.injectors.FaultyExecutor` sharing the same plan;
+* with ``model_retries`` > 0, the faulty model is additionally wrapped in
+  a :class:`~repro.llm.RetryingModel` (taxonomy-filtered, deterministic
+  backoff) — the first rung of the recovery ladder, absorbing transient
+  faults *without* burning a pool-level attempt.
+
+The degradation runner (``build_forced``) is instrumented too, under a
+distinct plan seed: the last rung of the ladder must survive the same
+weather as the first.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+from repro.executors.registry import ExecutorRegistry
+from repro.faults.injectors import FaultHook, FaultyExecutor, FaultyModel
+from repro.faults.plan import FaultConfig, FaultPlan
+from repro.llm.api import RetryingModel
+from repro.retry import ExponentialBackoff
+
+__all__ = ["FaultyAgentSpec"]
+
+#: Offset mixed into forced-runner plan seeds so the degradation chain
+#: sees an independent schedule from the attempt that just failed.
+FORCED_SEED_SALT = 0x0F0C
+
+
+class FaultyAgentSpec:
+    """Wrap an agent spec so built runners carry fault injectors.
+
+    ``config`` sets the injection rates; ``model_retries`` enables the
+    in-stack :class:`~repro.llm.RetryingModel` rung with ``backoff``
+    (``None`` → no sleeping, the test default); ``on_fault`` observes
+    every injection; ``sleep`` is the latency-fault sleeper (injectable
+    for instant tests).
+    """
+
+    def __init__(self, inner, config: FaultConfig, *,
+                 model_retries: int = 0,
+                 backoff: ExponentialBackoff | None = None,
+                 on_fault: FaultHook | None = None,
+                 sleep: Callable = time.sleep):
+        self.inner = inner
+        self.config = config
+        self.model_retries = model_retries
+        self.backoff = backoff
+        self.on_fault = on_fault
+        self._sleep = sleep
+
+    @property
+    def profile(self) -> str:
+        """The inner spec's backend name (circuit-breaker identity)."""
+        return getattr(self.inner, "profile", "default")
+
+    @property
+    def config_key(self) -> str:
+        """Extends the inner key so fault runs never share cache entries
+        with clean runs (or with runs at other rates)."""
+        return (f"{self.inner.config_key};faults={self.config.key};"
+                f"model_retries={self.model_retries}")
+
+    def _instrument(self, runner, seed: int):
+        plan = FaultPlan(self.config, seed=seed)
+        if hasattr(runner, "model"):
+            model = FaultyModel(runner.model, plan, sleep=self._sleep,
+                                on_fault=self.on_fault)
+            if self.model_retries > 0:
+                model = RetryingModel(model,
+                                      max_retries=self.model_retries,
+                                      backoff=self.backoff, seed=seed)
+            runner.model = model
+        if hasattr(runner, "registry"):
+            runner.registry = ExecutorRegistry([
+                FaultyExecutor(executor, plan, on_fault=self.on_fault)
+                for executor in runner.registry
+            ])
+        return runner
+
+    def build(self, seed: int):
+        """A fresh instrumented runner for one attempt."""
+        return self._instrument(self.inner.build(seed), seed)
+
+    def build_forced(self, seed: int):
+        """The instrumented degradation runner (independent schedule)."""
+        return self._instrument(self.inner.build_forced(seed),
+                                seed ^ FORCED_SEED_SALT)

@@ -1,0 +1,148 @@
+"""Injector wrappers: drop scheduled faults into the system's boundaries.
+
+:class:`FaultyModel` wraps any :class:`~repro.llm.base.LanguageModel`;
+:class:`FaultyExecutor` wraps any
+:class:`~repro.executors.base.CodeExecutor`.  Each keeps a per-instance
+call counter and asks its :class:`~repro.faults.plan.FaultPlan` whether
+the current call faults.  When the plan says ``None`` (always, at rate
+zero) the call is delegated untouched — same objects in, same objects
+out — so an installed-but-idle injector cannot perturb results.
+
+Injected faults are *real* failures of the types the production stack
+must classify: transient backend errors, latency spikes, truncated or
+garbage completions, wrong-sized batches, executor exceptions, sandbox
+violations, and silently corrupted intermediate tables.  An optional
+``on_fault(site, kind, index)`` hook reports every injection (the chaos
+CLI wires it into :class:`~repro.serving.metrics.ServingMetrics` and
+:class:`~repro.tracing.ChainTracer`).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+
+from repro.errors import (
+    PythonExecutionError,
+    SandboxViolationError,
+    SQLExecutionError,
+    TransientModelError,
+)
+from repro.executors.base import CodeExecutor, ExecutionOutcome
+from repro.faults.plan import FaultPlan
+from repro.llm.base import Completion, LanguageModel
+from repro.table.frame import DataFrame
+
+__all__ = ["FaultyModel", "FaultyExecutor"]
+
+#: Signature of the fault-observation hook: ``(site, kind, index)``.
+FaultHook = Callable[[str, str, int], None]
+
+
+class FaultyModel(LanguageModel):
+    """Inject model-boundary faults on a deterministic schedule."""
+
+    def __init__(self, inner: LanguageModel, plan: FaultPlan, *,
+                 site: str = "model", sleep: Callable = time.sleep,
+                 on_fault: FaultHook | None = None):
+        self.inner = inner
+        self.plan = plan
+        self.site = site
+        self._sleep = sleep
+        self.on_fault = on_fault
+        self._calls = 0
+
+    @property
+    def name(self) -> str:
+        return self.inner.name
+
+    @property
+    def supports_logprobs(self) -> bool:
+        return self.inner.supports_logprobs
+
+    def fork(self, seed: int) -> "FaultyModel":
+        """Fork the inner model *and* the fault schedule from ``seed``."""
+        return FaultyModel(self.inner.fork(seed), self.plan.fork(seed),
+                           site=self.site, sleep=self._sleep,
+                           on_fault=self.on_fault)
+
+    def _notify(self, kind: str, index: int) -> None:
+        if self.on_fault is not None:
+            self.on_fault(self.site, kind, index)
+
+    def complete(self, prompt: str, *, temperature: float = 0.0,
+                 n: int = 1) -> list[Completion]:
+        index = self._calls
+        self._calls += 1
+        kind = self.plan.decide(self.site, index, salt=prompt)
+        if kind is None:
+            return self.inner.complete(prompt, temperature=temperature,
+                                       n=n)
+        self._notify(kind, index)
+        if kind == "transient":
+            raise TransientModelError(
+                f"injected transient backend failure (call {index})")
+        if kind == "latency":
+            self._sleep(self.plan.config.latency_seconds)
+            return self.inner.complete(prompt, temperature=temperature,
+                                       n=n)
+        completions = self.inner.complete(prompt,
+                                          temperature=temperature, n=n)
+        if kind == "truncate":
+            return [Completion(c.text[:max(1, len(c.text) // 2)],
+                               c.logprob) for c in completions]
+        if kind == "garbage":
+            noise = self.plan.garbage_text(self.site, index, salt=prompt)
+            return [Completion(noise, c.logprob) for c in completions]
+        # wrong_n: the backend mis-sized the batch (one short).
+        return completions[:-1]
+
+
+class FaultyExecutor(CodeExecutor):
+    """Inject executor-boundary faults on a deterministic schedule."""
+
+    def __init__(self, inner: CodeExecutor, plan: FaultPlan, *,
+                 on_fault: FaultHook | None = None):
+        self.inner = inner
+        self.plan = plan
+        self.language = inner.language
+        self.on_fault = on_fault
+        self._calls = 0
+
+    @property
+    def site(self) -> str:
+        return f"executor:{self.language}"
+
+    def describe(self) -> str:
+        return self.inner.describe()
+
+    def _notify(self, kind: str, index: int) -> None:
+        if self.on_fault is not None:
+            self.on_fault(self.site, kind, index)
+
+    def execute(self, code: str,
+                tables: Sequence[DataFrame]) -> ExecutionOutcome:
+        index = self._calls
+        self._calls += 1
+        kind = self.plan.decide(self.site, index, salt=code)
+        if kind is None:
+            return self.inner.execute(code, tables)
+        self._notify(kind, index)
+        if kind == "error":
+            error_type = (SQLExecutionError if self.language == "sql"
+                          else PythonExecutionError)
+            raise error_type(
+                f"injected {self.language} executor failure "
+                f"(call {index})", code=code)
+        if kind == "sandbox":
+            raise SandboxViolationError(
+                f"injected sandbox violation (call {index})", code=code)
+        # corrupt: execute for real, then silently damage the result.
+        outcome = self.inner.execute(code, tables)
+        table = outcome.table
+        if table.num_rows > 0:
+            table = table.take(range(table.num_rows - 1))
+        return ExecutionOutcome(
+            table=table,
+            handling_notes=list(outcome.handling_notes),
+            executed_against=outcome.executed_against)

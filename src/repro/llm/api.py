@@ -15,17 +15,26 @@ real LLM into the framework is one lambda::
     model = CallableModel(call_api, name="code-davinci-002")
     agent = ReActTableAgent(model)
 
-:class:`RetryingModel` adds bounded retries with deterministic backoff
-hooks around any model — transient API failures should not kill a
-benchmark run.
+:class:`RetryingModel` adds bounded retries around any model — transient
+API failures should not kill a benchmark run.  By default it retries only
+failures the taxonomy classifies as transient (:func:`repro.errors
+.is_retryable`): retrying an :class:`~repro.errors.ActionParseError` or a
+programming bug would waste attempts and mask the bug.  Retries back off
+with the deterministic seeded schedule of
+:class:`repro.retry.ExponentialBackoff`, and the wrapper is thread-safe,
+so one instance can sit under the serving worker pool.
 """
 
 from __future__ import annotations
 
+import math
+import threading
+import time
 from collections.abc import Callable
 
-from repro.errors import ModelError
+from repro.errors import ModelError, is_retryable
 from repro.llm.base import Completion, LanguageModel
+from repro.retry import ExponentialBackoff
 
 __all__ = ["CallableModel", "RetryingModel"]
 
@@ -34,7 +43,11 @@ class CallableModel(LanguageModel):
     """Wrap ``fn(prompt, temperature, n)`` as a :class:`LanguageModel`.
 
     ``fn`` may return a list of strings, of ``(text, logprob)`` pairs, or
-    of :class:`Completion` objects.
+    of :class:`Completion` objects.  Malformed backend output — wrong
+    batch size, unsupported shapes, non-finite log-probabilities — is
+    rejected with :class:`~repro.errors.ModelError` at this boundary
+    rather than propagating into execution-based voting, where a ``NaN``
+    score would silently poison every ``max()`` comparison.
     """
 
     def __init__(self, fn: Callable, *, name: str = "callable",
@@ -55,30 +68,52 @@ class CallableModel(LanguageModel):
 
     def _coerce(self, item) -> Completion:
         if isinstance(item, Completion):
-            return item
+            return self._check_logprob(item)
         if isinstance(item, str):
             return Completion(item)
         if isinstance(item, (tuple, list)) and len(item) == 2:
             text, logprob = item
-            return Completion(str(text),
-                              None if logprob is None else float(logprob))
+            return self._check_logprob(Completion(
+                str(text), None if logprob is None else float(logprob)))
         raise ModelError(
             f"backend returned an unsupported completion shape: "
             f"{type(item).__name__}")
+
+    @staticmethod
+    def _check_logprob(completion: Completion) -> Completion:
+        logprob = completion.logprob
+        if logprob is not None and not math.isfinite(logprob):
+            raise ModelError(
+                f"backend returned a non-finite log-probability "
+                f"({logprob!r}); refusing to score completions with it")
+        return completion
 
 
 class RetryingModel(LanguageModel):
     """Retry transient model failures a bounded number of times.
 
-    Exceptions of the types in ``retry_on`` are retried up to
-    ``max_retries`` times; the last failure is re-raised wrapped in
-    :class:`ModelError`.  ``on_retry`` (if given) is called with
-    ``(attempt, exception)`` — hook in sleeps or logging there.
+    Failures are retried up to ``max_retries`` times when they are
+    retryable: by default per the failure taxonomy
+    (:func:`repro.errors.is_retryable`), or — when ``retry_on`` is given —
+    when they match those exception types.  Non-retryable failures
+    propagate unwrapped on the first occurrence; an exhausted retry
+    budget re-raises the last failure wrapped in
+    :class:`~repro.errors.ModelError`.
+
+    ``backoff`` (a :class:`~repro.retry.ExponentialBackoff`) sleeps
+    deterministically between attempts, jittered from ``seed``; ``None``
+    never sleeps.  ``on_retry`` (if given) is called with
+    ``(attempt, exception)`` before the backoff sleep.
+
+    The wrapper is thread-safe: concurrent ``complete`` calls retry
+    independently and :attr:`retries_used` aggregates across threads.
     """
 
     def __init__(self, inner: LanguageModel, *, max_retries: int = 2,
-                 retry_on: tuple[type[Exception], ...] = (Exception,),
-                 on_retry: Callable | None = None):
+                 retry_on: tuple[type[Exception], ...] | None = None,
+                 on_retry: Callable | None = None,
+                 backoff: ExponentialBackoff | None = None,
+                 seed: int = 0, sleep: Callable = time.sleep):
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
         self.inner = inner
@@ -86,11 +121,35 @@ class RetryingModel(LanguageModel):
         self.max_retries = max_retries
         self.retry_on = retry_on
         self.on_retry = on_retry
-        self.retries_used = 0
+        self.backoff = backoff
+        self.seed = seed
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._retries_used = 0
 
     @property
     def supports_logprobs(self) -> bool:
         return self.inner.supports_logprobs
+
+    @property
+    def retries_used(self) -> int:
+        """Total retries across all calls and threads."""
+        with self._lock:
+            return self._retries_used
+
+    def fork(self, seed: int) -> "RetryingModel":
+        """Fork the wrapped model; retry config (reseeded) follows."""
+        return RetryingModel(self.inner.fork(seed),
+                             max_retries=self.max_retries,
+                             retry_on=self.retry_on,
+                             on_retry=self.on_retry,
+                             backoff=self.backoff, seed=seed,
+                             sleep=self._sleep)
+
+    def _should_retry(self, exc: Exception) -> bool:
+        if self.retry_on is not None:
+            return isinstance(exc, self.retry_on)
+        return is_retryable(exc)
 
     def complete(self, prompt: str, *, temperature: float = 0.0,
                  n: int = 1) -> list[Completion]:
@@ -99,12 +158,20 @@ class RetryingModel(LanguageModel):
             try:
                 return self.inner.complete(prompt,
                                            temperature=temperature, n=n)
-            except self.retry_on as exc:
+            except Exception as exc:
+                if not self._should_retry(exc):
+                    raise
                 last_error = exc
                 if attempt < self.max_retries:
-                    self.retries_used += 1
+                    with self._lock:
+                        self._retries_used += 1
                     if self.on_retry is not None:
                         self.on_retry(attempt + 1, exc)
+                    if self.backoff is not None:
+                        delay = self.backoff.delay(attempt,
+                                                   seed=self.seed)
+                        if delay > 0:
+                            self._sleep(delay)
         raise ModelError(
             f"model {self.name!r} failed after "
             f"{self.max_retries + 1} attempts: {last_error}"

@@ -1,0 +1,70 @@
+"""Deterministic retry backoff: exponential delays with seeded jitter.
+
+Both retry layers — :class:`repro.llm.RetryingModel` at the model boundary
+and the serving pool's :class:`~repro.serving.policy.RetryPolicy` between
+attempts — share this schedule.  Delays grow exponentially and are
+jittered, but the jitter is *seeded*: the same ``(seed, attempt)`` always
+produces the same delay, so a chaos run replays bit-identically while a
+fleet of requests still de-synchronises (each request seed lands on a
+different point of the jitter window, which is what jitter is for).
+
+:func:`seeded_uniform` is the underlying hash-to-[0,1) helper; the fault
+injection subsystem (``repro.faults``) reuses it for its schedules.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+__all__ = ["seeded_uniform", "ExponentialBackoff"]
+
+
+def seeded_uniform(*parts) -> float:
+    """A deterministic uniform draw in ``[0, 1)`` from hashable parts.
+
+    Hashes the ``":"``-joined string forms of ``parts`` with SHA-256 and
+    maps the first 8 bytes onto ``[0, 1)``.  Stable across processes and
+    platforms (unlike ``hash()``), and free of shared-RNG state.
+    """
+    digest = hashlib.sha256(
+        ":".join(str(part) for part in parts).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2 ** 64
+
+
+@dataclass(frozen=True)
+class ExponentialBackoff:
+    """``base * factor**attempt`` capped at ``max_delay``, seeded jitter.
+
+    ``attempt`` is 0-based (the delay before the first *retry*).  With
+    ``jitter`` > 0 the delay is scaled by a factor in
+    ``[1 - jitter/2, 1 + jitter/2)`` drawn deterministically from
+    ``(seed, attempt)``.  ``base = 0`` disables sleeping entirely — the
+    default for unit-test-speed configurations.
+    """
+
+    base: float = 0.0
+    factor: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self):
+        if self.base < 0:
+            raise ValueError("base must be non-negative")
+        if self.factor < 1:
+            raise ValueError("factor must be >= 1")
+        if self.max_delay < 0:
+            raise ValueError("max_delay must be non-negative")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay(self, attempt: int, *, seed: int = 0) -> float:
+        """Deterministic delay in seconds before retry ``attempt``."""
+        if self.base == 0:
+            return 0.0
+        raw = min(self.max_delay, self.base * self.factor ** attempt)
+        if self.jitter == 0:
+            return raw
+        swing = self.jitter * (seeded_uniform(seed, "backoff", attempt)
+                               - 0.5)
+        return raw * (1.0 + swing)

@@ -4,18 +4,26 @@ This package turns the single-question agent into a servable system:
 bounded request queueing (:mod:`~repro.serving.request`), a pool of
 concurrent per-request agents (:mod:`~repro.serving.pool`), a
 content-fingerprinted LRU/TTL answer cache (:mod:`~repro.serving.cache`),
-per-request timeout/retry with graceful degradation
-(:mod:`~repro.serving.policy`), serving metrics
+per-request timeout/retry with graceful degradation and deterministic
+backoff (:mod:`~repro.serving.policy`), a per-backend circuit breaker
+(:mod:`~repro.serving.breaker`), serving metrics
 (:mod:`~repro.serving.metrics`), and a batched evaluation façade
 (:mod:`~repro.serving.batch`) that reruns any benchmark through the pool.
+
+Every request terminates with a classified outcome on the degradation
+ladder (see :data:`~repro.serving.request.OUTCOMES`); the chaos harness
+(:mod:`repro.faults`) injects deterministic faults against each of these
+boundaries to prove it.
 """
 
 from repro.serving.batch import BatchEvaluator
+from repro.serving.breaker import BreakerConfig, CircuitBreaker
 from repro.serving.cache import AnswerCache, CachedAnswer, request_fingerprint
 from repro.serving.metrics import ServingMetrics, percentile
 from repro.serving.policy import DeadlineModel, RetryPolicy
 from repro.serving.pool import WorkerPool
 from repro.serving.request import (
+    OUTCOMES,
     PendingResponse,
     RequestQueue,
     TQARequest,
@@ -26,6 +34,7 @@ from repro.serving.spec import AgentSpec
 __all__ = [
     "TQARequest",
     "TQAResponse",
+    "OUTCOMES",
     "PendingResponse",
     "RequestQueue",
     "AnswerCache",
@@ -33,6 +42,8 @@ __all__ = [
     "request_fingerprint",
     "RetryPolicy",
     "DeadlineModel",
+    "BreakerConfig",
+    "CircuitBreaker",
     "ServingMetrics",
     "percentile",
     "AgentSpec",

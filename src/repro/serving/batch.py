@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from repro.datasets.generators import Benchmark
 from repro.evalkit.runner import EvalReport, make_report, record_result
+from repro.serving.breaker import BreakerConfig
 from repro.serving.cache import AnswerCache
 from repro.serving.metrics import ServingMetrics
 from repro.serving.policy import RetryPolicy
@@ -44,7 +45,8 @@ class BatchEvaluator:
                  cache_ttl: float | None = None,
                  policy: RetryPolicy | None = None,
                  metrics: ServingMetrics | None = None,
-                 tracer=None, queue_capacity: int = 256):
+                 tracer=None, queue_capacity: int = 256,
+                 breakers: BreakerConfig | None = None):
         self.spec = spec
         self.workers = workers
         self.seed = seed
@@ -55,6 +57,7 @@ class BatchEvaluator:
         self.metrics = metrics or ServingMetrics()
         self.tracer = tracer
         self.queue_capacity = queue_capacity
+        self.breakers = breakers
         #: Responses of the most recent :meth:`evaluate`, in benchmark
         #: order (serving metadata: latency, cached, attempts, ...).
         self.last_responses = []
@@ -68,7 +71,8 @@ class BatchEvaluator:
         with WorkerPool(self.spec, workers=self.workers, cache=self.cache,
                         policy=self.policy, metrics=self.metrics,
                         tracer=self.tracer,
-                        queue_capacity=self.queue_capacity) as pool:
+                        queue_capacity=self.queue_capacity,
+                        breakers=self.breakers) as pool:
             slots = [
                 pool.submit(example.table, example.question,
                             seed=self.seed, uid=example.uid)

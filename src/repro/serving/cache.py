@@ -71,7 +71,8 @@ class CachedAnswer:
         return TQAResponse(uid=uid, answer=list(self.answer),
                            iterations=self.iterations, forced=self.forced,
                            handling_events=list(self.handling_events),
-                           cached=True, attempts=0, latency=latency)
+                           cached=True, attempts=0, latency=latency,
+                           outcome="cached")
 
 
 class AnswerCache:

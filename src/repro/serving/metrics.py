@@ -3,7 +3,10 @@
 One :class:`ServingMetrics` instance is shared by a pool's workers (it is
 thread-safe) and aggregates everything a deployment dashboard would plot:
 questions/sec, p50/p95 latency, cache hit rate, queue depth high-water
-mark, timeout/retry counts, and the forced-answer (degradation) rate.
+mark, timeout/retry counts, and the forced-answer (degradation) rate —
+plus the fault-tolerance counters: injected faults by kind, circuit
+breaker transitions and rejections, backoff time, and terminal outcome
+classifications (see :data:`repro.serving.request.OUTCOMES`).
 Snapshots export as plain dicts or JSON.
 """
 
@@ -46,6 +49,14 @@ class ServingMetrics:
         self.forced_answers = 0
         self.errors = 0
         self.max_queue_depth = 0
+        self.faults_injected = 0
+        self.fault_kinds: dict[str, int] = {}
+        self.breaker_opened = 0
+        self.breaker_closed = 0
+        self.breaker_rejections = 0
+        self.backoffs = 0
+        self.backoff_seconds = 0.0
+        self.outcomes: dict[str, int] = {}
         self._latencies: list[float] = []
         self._first_submit: float | None = None
         self._last_complete: float | None = None
@@ -79,6 +90,32 @@ class ServingMetrics:
         with self._lock:
             self.retries += 1
 
+    def record_fault(self, site: str, kind: str) -> None:
+        """Account one injected fault (the chaos harness's hook)."""
+        with self._lock:
+            self.faults_injected += 1
+            key = f"{site}:{kind}"
+            self.fault_kinds[key] = self.fault_kinds.get(key, 0) + 1
+
+    def record_breaker_transition(self, old_state: str,
+                                  new_state: str) -> None:
+        """Account one circuit-breaker state change."""
+        with self._lock:
+            if new_state == "open":
+                self.breaker_opened += 1
+            elif new_state == "closed" and old_state != "closed":
+                self.breaker_closed += 1
+
+    def record_breaker_rejection(self) -> None:
+        with self._lock:
+            self.breaker_rejections += 1
+
+    def record_backoff(self, seconds: float) -> None:
+        """Account one between-attempt backoff sleep."""
+        with self._lock:
+            self.backoffs += 1
+            self.backoff_seconds += seconds
+
     def record_response(self, response) -> None:
         """Account one completed :class:`TQAResponse`."""
         with self._lock:
@@ -91,6 +128,8 @@ class ServingMetrics:
                 self.forced_answers += 1
             if response.error:
                 self.errors += 1
+            outcome = response.outcome or "unclassified"
+            self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
 
     # --- derived rates ------------------------------------------------------
 
@@ -133,6 +172,14 @@ class ServingMetrics:
                 "forced_answers": self.forced_answers,
                 "errors": self.errors,
                 "max_queue_depth": self.max_queue_depth,
+                "faults_injected": self.faults_injected,
+                "fault_kinds": dict(sorted(self.fault_kinds.items())),
+                "breaker_opened": self.breaker_opened,
+                "breaker_closed": self.breaker_closed,
+                "breaker_rejections": self.breaker_rejections,
+                "backoffs": self.backoffs,
+                "backoff_seconds": round(self.backoff_seconds, 6),
+                "outcomes": dict(sorted(self.outcomes.items())),
             }
         return {
             **counters,

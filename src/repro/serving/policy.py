@@ -10,8 +10,10 @@ deadline.
 
 :class:`RetryPolicy` decides how many attempts a request gets, how each
 attempt's seed is derived (deterministically, so retries are reproducible
-but explore different model randomness), and whether an exhausted request
-degrades to a forced direct answer instead of failing.
+but explore different model randomness), how long the pool backs off
+between attempts (deterministic exponential schedule with seeded jitter —
+see :class:`repro.retry.ExponentialBackoff`), and whether an exhausted
+request degrades to a forced direct answer instead of failing.
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ from dataclasses import dataclass
 
 from repro.errors import ServingTimeoutError
 from repro.llm.base import Completion, LanguageModel
+from repro.retry import ExponentialBackoff
 
 __all__ = ["RetryPolicy", "DeadlineModel"]
 
@@ -42,6 +45,9 @@ class RetryPolicy:
     #: request seeds never collide.
     retry_seed_stride: int = 7919
     degrade_on_exhaustion: bool = True
+    #: Deterministic between-attempt backoff; ``None`` retries
+    #: immediately (the historical behaviour and the test default).
+    backoff: ExponentialBackoff | None = None
 
     def __post_init__(self):
         if self.max_retries < 0:
@@ -56,6 +62,13 @@ class RetryPolicy:
     def attempt_seed(self, base_seed: int, attempt: int) -> int:
         """Deterministic seed for attempt ``attempt`` (0-based)."""
         return base_seed + attempt * self.retry_seed_stride
+
+    def backoff_delay(self, base_seed: int, attempt: int) -> float:
+        """Seconds to wait before retry ``attempt`` (0-based), jittered
+        deterministically from the request's base seed."""
+        if self.backoff is None:
+            return 0.0
+        return self.backoff.delay(attempt, seed=base_seed)
 
     def deadline(self, clock=time.monotonic) -> float | None:
         """Absolute deadline for an attempt starting now, or ``None``."""

@@ -5,18 +5,33 @@ Dataflow of one request::
     submit ──► [coalesce onto identical in-flight request?]
            ──► RequestQueue ──► worker thread
                                   ├─ AnswerCache lookup ── hit ──► response
-                                  └─ miss: fresh agent (request seed)
+                                  └─ miss: circuit breaker allow?
+                                        │  fresh agent (request seed)
                                         │  attempt deadline (DeadlineModel)
-                                        │  bounded retries (reseeded)
+                                        │  bounded retries (reseeded,
+                                        │    deterministic backoff)
                                         │  exhausted → forced direct answer
+                                        │  even that failed → classified
+                                        │    error (taxonomy)
                                         ▼
                                      cache store ──► response
 
 Determinism: each attempt builds a fresh runner from the spec with a seed
 derived only from the request seed and attempt number, so responses do not
-depend on worker count or dispatch order.  Lifecycle events (``enqueue``,
-``dispatch``, ``cache_hit``, ``cache_miss``, ``coalesce``, ``timeout``,
-``retry``, ``degraded``, ``complete``) are emitted to an optional
+depend on worker count or dispatch order.
+
+Every request terminates with a **classified outcome** on the degradation
+ladder (``ok`` → ``retried`` → ``degraded`` → ``error_transient`` /
+``error_permanent``; see :data:`repro.serving.request.OUTCOMES`) — no
+exception escapes a worker.  A per-backend
+:class:`~repro.serving.breaker.CircuitBreaker` (enabled via
+``breakers=BreakerConfig(...)``) fails requests fast while the backend is
+down instead of queueing retries behind it.
+
+Lifecycle events (``enqueue``, ``dispatch``, ``cache_hit``,
+``cache_miss``, ``coalesce``, ``timeout``, ``retry``, ``backoff``,
+``breaker_reject``, ``breaker_transition``, ``degraded``, ``error``,
+``complete``) are emitted to an optional
 :class:`~repro.tracing.ChainTracer`.
 """
 
@@ -25,7 +40,14 @@ from __future__ import annotations
 import threading
 import time
 
-from repro.errors import QueueClosedError, ServingError, ServingTimeoutError
+from repro.errors import (
+    CircuitOpenError,
+    QueueClosedError,
+    ServingError,
+    ServingTimeoutError,
+    is_retryable,
+)
+from repro.serving.breaker import BreakerConfig, CircuitBreaker
 from repro.serving.cache import AnswerCache, CachedAnswer, request_fingerprint
 from repro.serving.metrics import ServingMetrics
 from repro.serving.policy import DeadlineModel, RetryPolicy
@@ -47,8 +69,10 @@ class WorkerPool:
     with ``build(seed)`` / ``build_forced(seed)`` / ``config_key``).
     Optional collaborators: an :class:`AnswerCache` (enables caching *and*
     in-flight request coalescing), a :class:`RetryPolicy`, a
-    :class:`ServingMetrics` aggregator, and a
-    :class:`~repro.tracing.ChainTracer`.
+    :class:`ServingMetrics` aggregator, a
+    :class:`~repro.tracing.ChainTracer`, and a
+    :class:`~repro.serving.breaker.BreakerConfig` (``breakers=``) that
+    arms a circuit breaker for the spec's backend.
 
     Use as a context manager, or call :meth:`start` / :meth:`shutdown`.
     """
@@ -57,7 +81,9 @@ class WorkerPool:
                  cache: AnswerCache | None = None,
                  policy: RetryPolicy | None = None,
                  metrics: ServingMetrics | None = None,
-                 tracer=None, queue_capacity: int = 256):
+                 tracer=None, queue_capacity: int = 256,
+                 breakers: BreakerConfig | None = None,
+                 sleep=time.sleep):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.spec = spec
@@ -67,11 +93,23 @@ class WorkerPool:
         self.metrics = metrics or ServingMetrics()
         self.tracer = tracer
         self.queue = RequestQueue(queue_capacity)
+        self._sleep = sleep
         self._threads: list[threading.Thread] = []
         self._inflight: dict[str, PendingResponse] = {}
         self._inflight_lock = threading.Lock()
         self._request_counter = 0
         self._started = False
+        self._breaker: CircuitBreaker | None = None
+        if breakers is not None:
+            backend = getattr(spec, "profile", None) or "default"
+            self._breaker = CircuitBreaker(
+                backend, config=breakers,
+                on_transition=self._on_breaker_transition)
+
+    @property
+    def breaker(self) -> CircuitBreaker | None:
+        """The spec backend's circuit breaker (``None`` when disabled)."""
+        return self._breaker
 
     # --- lifecycle ----------------------------------------------------------
 
@@ -151,6 +189,12 @@ class WorkerPool:
         if self.tracer is not None:
             self.tracer.emit_for(chain, f"serving_{kind}", 0, **data)
 
+    def _on_breaker_transition(self, backend: str, old_state: str,
+                               new_state: str) -> None:
+        self.metrics.record_breaker_transition(old_state, new_state)
+        self._trace(0, "breaker_transition", backend=backend,
+                    old_state=old_state, new_state=new_state)
+
     def _forget_inflight(self, key: str | None) -> None:
         if key is None:
             return
@@ -168,8 +212,10 @@ class WorkerPool:
             try:
                 response = self._answer(chain, uid, key, request)
             except Exception as exc:  # last-resort: never drop a slot
-                response = TQAResponse(uid=uid, answer=[],
-                                       error=f"{type(exc).__name__}: {exc}")
+                response = TQAResponse(
+                    uid=uid, answer=[],
+                    error=f"{type(exc).__name__}: {exc}",
+                    outcome=self._classify_failure(exc))
             slot.set(response)
             self._forget_inflight(key)
             self.metrics.record_response(response)
@@ -177,7 +223,15 @@ class WorkerPool:
                         answer=response.answer_text,
                         cached=response.cached,
                         degraded=response.degraded,
+                        outcome=response.outcome,
                         latency=round(response.latency, 6))
+
+    @staticmethod
+    def _classify_failure(exc: Exception | None) -> str:
+        """Terminal-error rung of the ladder, per the failure taxonomy."""
+        if exc is not None and is_retryable(exc):
+            return "error_transient"
+        return "error_permanent"
 
     def _answer(self, chain: int, uid: str, key: str | None,
                 request: TQARequest) -> TQAResponse:
@@ -193,39 +247,71 @@ class WorkerPool:
                     uid, latency=time.perf_counter() - started)
         result = None
         last_error = ""
+        last_exc: Exception | None = None
         attempts = 0
+        breaker = self._breaker
         for attempt in range(self.policy.max_attempts):
+            if breaker is not None and not breaker.allow():
+                # Fail fast: no point burning reseeded attempts against
+                # an open circuit — drop to the degradation rung.
+                last_exc = CircuitOpenError(
+                    f"backend {breaker.backend!r} circuit is open")
+                last_error = str(last_exc)
+                self.metrics.record_breaker_rejection()
+                self._trace(chain, "breaker_reject", uid=uid,
+                            attempt=attempt + 1,
+                            backend=breaker.backend)
+                break
             attempts = attempt + 1
             seed = self.policy.attempt_seed(request.seed, attempt)
             try:
                 result = self._run_attempt(request, seed)
+                if breaker is not None:
+                    breaker.record_success()
                 break
             except ServingTimeoutError as exc:
+                last_exc = exc
                 last_error = str(exc)
                 self.metrics.record_timeout()
                 self._trace(chain, "timeout", uid=uid, attempt=attempts)
             except Exception as exc:
+                last_exc = exc
                 last_error = f"{type(exc).__name__}: {exc}"
                 self._trace(chain, "error", uid=uid, attempt=attempts,
-                            error=last_error)
+                            error=last_error,
+                            retryable=is_retryable(exc))
+            if breaker is not None:
+                breaker.record_failure()
             if attempt + 1 < self.policy.max_attempts:
                 self.metrics.record_retry()
                 self._trace(chain, "retry", uid=uid,
                             next_attempt=attempts + 1)
+                delay = self.policy.backoff_delay(request.seed, attempt)
+                if delay > 0:
+                    self.metrics.record_backoff(delay)
+                    self._trace(chain, "backoff", uid=uid,
+                                delay=round(delay, 6))
+                    self._sleep(delay)
         degraded = False
         if result is None and self.policy.degrade_on_exhaustion:
+            # The §3.3 fallback rung: one-iteration forced direct answer.
             degraded = True
             self._trace(chain, "degraded", uid=uid)
             try:
                 result = self.spec.build_forced(request.seed).run(
                     request.table, request.question)
             except Exception as exc:
+                last_exc = exc
                 last_error = f"{type(exc).__name__}: {exc}"
                 result = None
         if result is None:
+            # The final rung: a terminal error, classified.
             return TQAResponse(uid=uid, answer=[], degraded=degraded,
                                attempts=attempts, error=last_error,
-                               latency=time.perf_counter() - started)
+                               latency=time.perf_counter() - started,
+                               outcome=self._classify_failure(last_exc))
+        outcome = ("degraded" if degraded
+                   else "retried" if attempts > 1 else "ok")
         response = TQAResponse(
             uid=uid, answer=list(result.answer),
             iterations=getattr(result, "iterations", 0),
@@ -233,7 +319,7 @@ class WorkerPool:
             handling_events=list(
                 getattr(result, "handling_events", ()) or ()),
             degraded=degraded, attempts=attempts, error=last_error,
-            latency=time.perf_counter() - started)
+            latency=time.perf_counter() - started, outcome=outcome)
         # Only clean first-class results are reusable; degraded answers
         # depend on wall-clock luck and must not poison the cache.
         if key is not None and not degraded:

@@ -21,7 +21,18 @@ from dataclasses import dataclass, field
 from repro.errors import QueueClosedError
 from repro.table.frame import DataFrame
 
-__all__ = ["TQARequest", "TQAResponse", "PendingResponse", "RequestQueue"]
+__all__ = ["TQARequest", "TQAResponse", "PendingResponse", "RequestQueue",
+           "OUTCOMES"]
+
+#: The degradation ladder's terminal classifications, in ladder order.
+#: Every response carries exactly one: ``ok`` (first attempt succeeded),
+#: ``retried`` (a re-seeded attempt succeeded), ``degraded`` (all
+#: attempts failed; the answer is the forced-direct fallback),
+#: ``error_transient`` / ``error_permanent`` (even the fallback failed;
+#: classification per the failure taxonomy), plus ``cached`` for answers
+#: served from the :class:`~repro.serving.cache.AnswerCache`.
+OUTCOMES = ("ok", "retried", "degraded", "error_transient",
+            "error_permanent", "cached")
 
 
 @dataclass(frozen=True)
@@ -65,6 +76,9 @@ class TQAResponse:
     latency: float = 0.0
     #: Description of the last attempt failure, if any.
     error: str = ""
+    #: Terminal classification on the degradation ladder (one of
+    #: :data:`OUTCOMES`; ``""`` only for hand-built responses).
+    outcome: str = ""
 
     @property
     def answer_text(self) -> str:
@@ -79,7 +93,8 @@ class TQAResponse:
             handling_events=list(self.handling_events),
             cached=self.cached or coalesced, coalesced=coalesced,
             degraded=self.degraded, attempts=0 if coalesced
-            else self.attempts, latency=latency, error=self.error)
+            else self.attempts, latency=latency, error=self.error,
+            outcome=self.outcome)
 
 
 class PendingResponse:

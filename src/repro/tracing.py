@@ -10,7 +10,13 @@ The serving layer (``repro.serving``) emits its lifecycle events
 ``serving_cache_miss``, ``serving_coalesce``, ``serving_timeout``,
 ``serving_retry``, ``serving_degraded``, ``serving_complete``) through
 :meth:`ChainTracer.emit_for` with the request id as the chain id, so one
-trace covers both the serving envelope and any agent chains.  Event
+trace covers both the serving envelope and any agent chains.  The
+hardened recovery stack adds its own kinds: ``serving_error`` (one
+attempt failed, with its taxonomy classification), ``serving_backoff``
+(between-attempt sleep), ``serving_breaker_reject`` /
+``serving_breaker_transition`` (circuit breaker activity, chain id 0),
+``fault`` (an injected fault from the chaos harness), and the agent's
+``model_fault`` (an empty completion batch absorbed by forcing).  Event
 recording is thread-safe; the *current-chain* convenience state used by
 :meth:`emit` is not, so concurrent agents should either share no tracer
 or address chains explicitly via :meth:`emit_for`.
@@ -121,6 +127,10 @@ class ChainTracer:
         for event in self.events:
             result[event.kind] = result.get(event.kind, 0) + 1
         return result
+
+    def of_kind(self, kind: str) -> list[ChainEvent]:
+        """Every event of one kind, in emission order."""
+        return [event for event in self.events if event.kind == kind]
 
     def chain_durations(self) -> dict[int, float]:
         """Wall-clock seconds per chain (start to last event)."""

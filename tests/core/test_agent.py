@@ -107,6 +107,36 @@ class TestExceptionHandling:
         result = ReActTableAgent(model).run(cyclists, QUESTION)
         assert result.forced
 
+    def test_empty_completion_batch_forces_answer(self, cyclists):
+        # A mis-sized backend response (the chaos harness's ``wrong_n``
+        # fault) is absorbed like an unparseable completion.
+        class WrongNModel(ScriptedModel):
+            def complete(self, prompt, *, temperature=0.0, n=1):
+                if not self.prompts:
+                    self.prompts.append(prompt)
+                    return []
+                return super().complete(prompt, temperature=temperature,
+                                        n=n)
+
+        model = WrongNModel(["ReAcTable: Answer: ```recovered```."])
+        result = ReActTableAgent(model).run(cyclists, QUESTION)
+        assert result.answer == ["recovered"]
+        assert result.forced
+        assert "empty completion batch; forcing answer" \
+            in result.handling_events
+
+    def test_empty_batch_on_forced_prompt_gives_empty_answer(
+            self, cyclists):
+        class AlwaysEmptyModel(ScriptedModel):
+            def complete(self, prompt, *, temperature=0.0, n=1):
+                self.prompts.append(prompt)
+                return []
+
+        result = ReActTableAgent(AlwaysEmptyModel([])).run(cyclists,
+                                                           QUESTION)
+        assert result.answer == []
+        assert result.forced
+
     def test_doubly_unparseable_gives_empty_answer(self, cyclists):
         model = ScriptedModel(["garbage one", "garbage two"])
         result = ReActTableAgent(model).run(cyclists, QUESTION)

@@ -1,0 +1,63 @@
+"""Tier-1 chaos smoke test: the recovery stack must terminate everything.
+
+A small benchmark is served through the worker pool under a heavy (20%)
+per-call fault rate.  The acceptance bar of the robustness story:
+
+* **every** request terminates with a classified outcome — faults never
+  escape the degradation ladder as unhandled exceptions;
+* the zero-rate injected run is bit-identical to the same evaluation
+  without the fault wrappers installed.
+"""
+
+from repro.faults import FaultConfig, FaultyAgentSpec
+from repro.serving import (
+    OUTCOMES,
+    BatchEvaluator,
+    BreakerConfig,
+    RetryPolicy,
+    ServingMetrics,
+)
+
+
+def evaluate(benchmark, spec, **kwargs):
+    evaluator = BatchEvaluator(
+        spec, workers=4, seed=1,
+        policy=RetryPolicy(max_retries=2),
+        breakers=BreakerConfig(failure_threshold=5, cooldown=0.05),
+        **kwargs)
+    report = evaluator.evaluate(benchmark, limit=15)
+    return report, evaluator.last_responses
+
+
+def test_heavy_faults_all_requests_terminate_classified(wikitq_small):
+    from repro.serving import AgentSpec
+
+    metrics = ServingMetrics()
+    spec = FaultyAgentSpec(
+        AgentSpec(bank=wikitq_small.bank),
+        FaultConfig.uniform(0.2, latency_seconds=0.001),
+        model_retries=2,
+        on_fault=lambda site, kind, index: metrics.record_fault(site,
+                                                                kind))
+    report, responses = evaluate(wikitq_small, spec, metrics=metrics)
+    assert len(responses) == 15
+    assert all(response.outcome in OUTCOMES for response in responses)
+    assert metrics.snapshot()["faults_injected"] > 0
+    # The ladder resolves every request: an answer (possibly degraded)
+    # or a classified terminal error — never a hang or an escape.
+    assert report.num_questions == 15
+
+
+def test_rate_zero_bit_identical_to_uninjected(wikitq_small):
+    from repro.serving import AgentSpec
+
+    plain = AgentSpec(bank=wikitq_small.bank)
+    wrapped = FaultyAgentSpec(plain, FaultConfig.uniform(0.0),
+                              model_retries=2)
+    plain_report, plain_responses = evaluate(wikitq_small, plain)
+    faulty_report, faulty_responses = evaluate(wikitq_small, wrapped)
+    assert plain_report == faulty_report
+    assert ([(r.uid, r.answer, r.iterations, r.forced)
+             for r in plain_responses]
+            == [(r.uid, r.answer, r.iterations, r.forced)
+                for r in faulty_responses])

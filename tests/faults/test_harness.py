@@ -1,0 +1,73 @@
+"""Tests for the chaos harness wrapping agent specs."""
+
+from repro.faults import FaultConfig, FaultyAgentSpec, FaultyExecutor, \
+    FaultyModel
+from repro.faults.harness import FORCED_SEED_SALT
+from repro.llm import RetryingModel
+from repro.serving import AgentSpec
+
+
+def spec_for(wikitq_small, **kwargs) -> FaultyAgentSpec:
+    return FaultyAgentSpec(AgentSpec(bank=wikitq_small.bank),
+                           FaultConfig.uniform(0.2), **kwargs)
+
+
+class TestSurface:
+    def test_profile_delegates(self, wikitq_small):
+        assert spec_for(wikitq_small).profile == "codex-sim"
+
+    def test_config_key_extends_inner(self, wikitq_small):
+        inner = AgentSpec(bank=wikitq_small.bank)
+        faulty = FaultyAgentSpec(inner, FaultConfig.uniform(0.2))
+        assert faulty.config_key.startswith(inner.config_key)
+        assert "faults=" in faulty.config_key
+
+    def test_config_key_distinguishes_rates(self, wikitq_small):
+        inner = AgentSpec(bank=wikitq_small.bank)
+        one = FaultyAgentSpec(inner, FaultConfig.uniform(0.1))
+        two = FaultyAgentSpec(inner, FaultConfig.uniform(0.2))
+        assert one.config_key != two.config_key
+        # ... and a fault run never shares cache entries with clean runs.
+        assert one.config_key != inner.config_key
+
+
+class TestInstrumentation:
+    def test_build_wraps_model_and_executors(self, wikitq_small):
+        runner = spec_for(wikitq_small).build(seed=5)
+        assert isinstance(runner.model, FaultyModel)
+        assert runner.model.plan.seed == 5
+        executors = list(runner.registry)
+        assert executors
+        assert all(isinstance(executor, FaultyExecutor)
+                   for executor in executors)
+        # Model and executors share one plan (one schedule per attempt).
+        assert all(executor.plan is runner.model.plan
+                   for executor in executors)
+
+    def test_model_retries_add_retrying_rung(self, wikitq_small):
+        runner = spec_for(wikitq_small, model_retries=2).build(seed=5)
+        assert isinstance(runner.model, RetryingModel)
+        assert runner.model.max_retries == 2
+        assert isinstance(runner.model.inner, FaultyModel)
+
+    def test_build_forced_uses_salted_plan_seed(self, wikitq_small):
+        spec = spec_for(wikitq_small)
+        attempt = spec.build(seed=5)
+        forced = spec.build_forced(seed=5)
+        assert forced.model.plan.seed == 5 ^ FORCED_SEED_SALT
+        assert forced.model.plan.seed != attempt.model.plan.seed
+
+    def test_on_fault_hook_reaches_injectors(self, wikitq_small):
+        seen = []
+        runner = spec_for(
+            wikitq_small,
+            on_fault=lambda *a: seen.append(a)).build(seed=5)
+        assert runner.model.on_fault is not None
+        example = wikitq_small.examples[0]
+        for index in range(40):     # enough calls to hit the 20% rate
+            try:
+                runner.model.complete(f"{example.question} #{index}")
+            except Exception:
+                pass
+        assert seen
+        assert all(site == "model" for site, _, _ in seen)

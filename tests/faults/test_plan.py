@@ -1,0 +1,126 @@
+"""Tests for fault configs and the deterministic fault schedule."""
+
+import pytest
+
+from repro.faults import (
+    EXECUTOR_FAULT_KINDS,
+    MODEL_FAULT_KINDS,
+    FaultConfig,
+    FaultPlan,
+)
+
+
+class TestFaultConfig:
+    def test_defaults_are_all_zero(self):
+        config = FaultConfig()
+        assert config.model_rate == 0.0
+        assert config.executor_rate == 0.0
+
+    def test_rate_bounds_validated(self):
+        with pytest.raises(ValueError):
+            FaultConfig(model_transient=-0.1)
+        with pytest.raises(ValueError):
+            FaultConfig(executor_error=1.5)
+        with pytest.raises(ValueError):
+            FaultConfig(latency_seconds=-1.0)
+
+    def test_boundary_sums_validated(self):
+        with pytest.raises(ValueError):
+            FaultConfig(model_transient=0.6, model_garbage=0.6)
+        with pytest.raises(ValueError):
+            FaultConfig(executor_error=0.5, executor_sandbox=0.3,
+                        executor_corrupt=0.3)
+
+    def test_uniform_splits_evenly(self):
+        config = FaultConfig.uniform(0.2)
+        assert config.model_rate == pytest.approx(0.2)
+        assert config.executor_rate == pytest.approx(0.2)
+        assert config.model_transient == pytest.approx(
+            0.2 / len(MODEL_FAULT_KINDS))
+        assert config.executor_error == pytest.approx(
+            0.2 / len(EXECUTOR_FAULT_KINDS))
+
+    def test_uniform_validates_rate(self):
+        with pytest.raises(ValueError):
+            FaultConfig.uniform(1.1)
+
+    def test_key_distinguishes_configs(self):
+        assert FaultConfig.uniform(0.1).key != FaultConfig.uniform(0.2).key
+        assert FaultConfig.uniform(0.1).key == FaultConfig.uniform(0.1).key
+
+
+class TestFaultPlan:
+    def test_deterministic_across_instances(self):
+        config = FaultConfig.uniform(0.5)
+        first = FaultPlan(config, seed=3)
+        second = FaultPlan(config, seed=3)
+        verdicts = [(first.decide("model", i, salt="q"),
+                     second.decide("model", i, salt="q"))
+                    for i in range(50)]
+        assert all(a == b for a, b in verdicts)
+
+    def test_seed_changes_the_schedule(self):
+        config = FaultConfig.uniform(0.5)
+        a = [FaultPlan(config, seed=1).decide("model", i)
+             for i in range(50)]
+        b = [FaultPlan(config, seed=2).decide("model", i)
+             for i in range(50)]
+        assert a != b
+
+    def test_salt_decorrelates_same_seed(self):
+        # Two requests sharing a seed must not share a fault schedule:
+        # the call content (salt) drives independent draws.
+        config = FaultConfig.uniform(0.5)
+        plan = FaultPlan(config, seed=1)
+        a = [plan.decide("model", i, salt="question one")
+             for i in range(50)]
+        b = [plan.decide("model", i, salt="question two")
+             for i in range(50)]
+        assert a != b
+
+    def test_rate_zero_never_hashes(self, monkeypatch):
+        import repro.faults.plan as plan_module
+
+        def explode(*parts):
+            raise AssertionError("rate-0 plans must not draw")
+
+        monkeypatch.setattr(plan_module, "seeded_uniform", explode)
+        plan = FaultPlan(FaultConfig(), seed=1)
+        assert plan.decide("model", 0, salt="q") is None
+        assert plan.decide("executor:sql", 0, salt="c") is None
+
+    def test_rate_one_always_faults_with_valid_kinds(self):
+        plan = FaultPlan(FaultConfig.uniform(1.0), seed=5)
+        for i in range(30):
+            assert plan.decide("model", i, salt="q") in MODEL_FAULT_KINDS
+            assert plan.decide("executor:sql", i,
+                               salt="c") in EXECUTOR_FAULT_KINDS
+
+    def test_observed_rate_tracks_configured_rate(self):
+        plan = FaultPlan(FaultConfig.uniform(0.2), seed=9)
+        faults = sum(plan.decide("model", i, salt=f"q{i}") is not None
+                     for i in range(1000))
+        assert 140 <= faults <= 260   # 0.2 +/- generous sampling noise
+
+    def test_single_kind_config_only_injects_that_kind(self):
+        plan = FaultPlan(FaultConfig(model_transient=1.0), seed=2)
+        assert all(plan.decide("model", i) == "transient"
+                   for i in range(20))
+
+    def test_fork_keeps_config_changes_seed(self):
+        config = FaultConfig.uniform(0.3)
+        plan = FaultPlan(config, seed=1)
+        forked = plan.fork(99)
+        assert forked.config is config
+        assert forked.seed == 99
+
+    def test_garbage_text_deterministic_and_unparseable(self):
+        plan = FaultPlan(FaultConfig.uniform(1.0), seed=4)
+        noise = plan.garbage_text("model", 3, salt="q")
+        assert noise == plan.garbage_text("model", 3, salt="q")
+        assert noise != plan.garbage_text("model", 4, salt="q")
+        assert "\x00" in noise
+
+    def test_repr_mentions_rates(self):
+        plan = FaultPlan(FaultConfig.uniform(0.2), seed=7)
+        assert "0.2" in repr(plan)

@@ -1,14 +1,17 @@
 """Tests for the real-API adapter and retry wrapper."""
 
+import threading
+
 import pytest
 
-from repro.errors import ModelError
+from repro.errors import ActionParseError, ModelError, TransientModelError
 from repro.llm import (
     CallableModel,
     Completion,
     RetryingModel,
     ScriptedModel,
 )
+from repro.retry import ExponentialBackoff
 
 
 class TestCallableModel:
@@ -47,6 +50,24 @@ class TestCallableModel:
         model = CallableModel(lambda p, t, n: [{"text": "a"}])
         with pytest.raises(ModelError):
             model.complete("x")
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf")])
+    def test_non_finite_logprob_pair_rejected(self, bad):
+        # A NaN score would silently poison every max() in e-vote.
+        model = CallableModel(lambda p, t, n: [("a", bad)])
+        with pytest.raises(ModelError):
+            model.complete("x")
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_logprob_completion_rejected(self, bad):
+        model = CallableModel(lambda p, t, n: [Completion("a", bad)])
+        with pytest.raises(ModelError):
+            model.complete("x")
+
+    def test_none_logprob_still_allowed(self):
+        model = CallableModel(lambda p, t, n: [("a", None)])
+        assert model.complete("x")[0].logprob is None
 
     def test_drives_the_agent(self, cyclists):
         answers = iter([
@@ -106,6 +127,78 @@ class TestRetryingModel:
     def test_negative_retries_rejected(self):
         with pytest.raises(ValueError):
             RetryingModel(ScriptedModel([]), max_retries=-1)
+
+    def test_default_filter_follows_taxonomy(self):
+        # TransientModelError is retryable by classification...
+        calls = {"n": 0}
+
+        def flaky(p, t, n):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise TransientModelError("injected blip")
+            return ["fine"] * n
+
+        model = RetryingModel(CallableModel(flaky), max_retries=2)
+        assert model.complete("p")[0].text == "fine"
+        assert model.retries_used == 1
+
+    def test_default_filter_refuses_permanent_errors(self):
+        # ...while a permanent error propagates unwrapped on first raise.
+        def broken(p, t, n):
+            raise ActionParseError("the same completion never parses")
+
+        model = RetryingModel(CallableModel(broken), max_retries=5)
+        with pytest.raises(ActionParseError):
+            model.complete("p")
+        assert model.retries_used == 0
+
+    def test_retries_used_thread_safe(self):
+        lock = threading.Lock()
+        failures = {"left": 64}
+
+        def flaky(p, t, n):
+            with lock:
+                if failures["left"] > 0:
+                    failures["left"] -= 1
+                    raise TransientModelError("blip")
+            return ["ok"] * n
+
+        model = RetryingModel(CallableModel(flaky), max_retries=100)
+        threads = [threading.Thread(target=model.complete, args=("p",))
+                   for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert model.retries_used == 64
+
+    def test_backoff_sleeps_deterministically(self):
+        slept = []
+        flaky = FlakyModel(["answer"], failures=2)
+        backoff = ExponentialBackoff(base=0.1, factor=2.0, jitter=0.0)
+        model = RetryingModel(flaky, max_retries=2, backoff=backoff,
+                              seed=7, sleep=slept.append)
+        model.complete("p")
+        assert slept == [0.1, 0.2]
+
+    def test_no_backoff_never_sleeps(self):
+        slept = []
+        flaky = FlakyModel(["answer"], failures=2)
+        model = RetryingModel(flaky, max_retries=2, sleep=slept.append)
+        model.complete("p")
+        assert slept == []
+
+    def test_fork_rebuilds_around_forked_inner(self):
+        model = RetryingModel(ScriptedModel(["a", "b"]), max_retries=3,
+                              seed=1)
+        fork = model.fork(9)
+        assert isinstance(fork, RetryingModel)
+        assert fork is not model
+        assert fork.max_retries == 3
+        assert fork.seed == 9
+        # The inner model is forked through its own hook (stateless
+        # ScriptedModel forks to itself).
+        assert fork.inner is model.inner.fork(9)
 
     def test_agent_survives_flaky_backend(self, cyclists):
         from repro.core import ReActTableAgent

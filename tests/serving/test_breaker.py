@@ -1,0 +1,128 @@
+"""Tests for the per-backend circuit breaker."""
+
+import threading
+
+import pytest
+
+from repro.serving import BreakerConfig, CircuitBreaker
+
+
+def make_breaker(**kwargs):
+    now = [0.0]
+    breaker = CircuitBreaker(
+        "backend-a",
+        config=BreakerConfig(failure_threshold=kwargs.pop("threshold", 3),
+                             cooldown=kwargs.pop("cooldown", 10.0)),
+        clock=lambda: now[0], **kwargs)
+    return breaker, now
+
+
+class TestBreakerConfig:
+    def test_defaults(self):
+        config = BreakerConfig()
+        assert config.failure_threshold == 5
+        assert config.cooldown == 30.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BreakerConfig(failure_threshold=0)
+        with pytest.raises(ValueError):
+            BreakerConfig(cooldown=-1.0)
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows(self):
+        breaker, _ = make_breaker()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+        assert breaker.rejections == 0
+
+    def test_opens_after_consecutive_failures(self):
+        breaker, _ = make_breaker(threshold=3)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.rejections == 1
+        assert breaker.times_opened == 1
+
+    def test_success_resets_the_count(self):
+        breaker, _ = make_breaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_after_cooldown_then_closes_on_success(self):
+        breaker, now = make_breaker(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        now[0] = 9.9
+        assert not breaker.allow()
+        now[0] = 10.0
+        assert breaker.state == "half_open"
+        assert breaker.allow()          # the probe is admitted
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_failed_probe_reopens_with_fresh_cooldown(self):
+        breaker, now = make_breaker(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        now[0] = 10.0
+        assert breaker.state == "half_open"
+        breaker.record_failure()        # the probe fails
+        assert breaker.state == "open"
+        assert breaker.times_opened == 2
+        now[0] = 19.9                   # old cooldown would have expired
+        assert not breaker.allow()
+        now[0] = 20.0
+        assert breaker.allow()
+
+    def test_transitions_reported(self):
+        seen = []
+        now = [0.0]
+        breaker = CircuitBreaker(
+            "backend-a",
+            config=BreakerConfig(failure_threshold=1, cooldown=5.0),
+            clock=lambda: now[0],
+            on_transition=lambda backend, old, new: seen.append(
+                (backend, old, new)))
+        breaker.record_failure()
+        now[0] = 5.0
+        breaker.allow()
+        breaker.record_success()
+        assert seen == [
+            ("backend-a", "closed", "open"),
+            ("backend-a", "open", "half_open"),
+            ("backend-a", "half_open", "closed"),
+        ]
+
+    def test_snapshot(self):
+        breaker, _ = make_breaker(threshold=2)
+        breaker.record_failure()
+        snapshot = breaker.snapshot()
+        assert snapshot["backend"] == "backend-a"
+        assert snapshot["state"] == "closed"
+        assert snapshot["consecutive_failures"] == 1
+        assert snapshot["times_opened"] == 0
+        assert snapshot["rejections"] == 0
+
+    def test_thread_safety_under_concurrent_failures(self):
+        breaker, _ = make_breaker(threshold=1000)
+
+        def hammer():
+            for _ in range(100):
+                breaker.record_failure()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # 800 failures against threshold 1000: still closed, count exact.
+        assert breaker.state == "closed"
+        assert breaker.snapshot()["consecutive_failures"] == 800

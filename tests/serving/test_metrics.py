@@ -63,6 +63,48 @@ class TestServingMetrics:
         assert snapshot["cache_hit_rate"] == 0.0
         assert snapshot["latency_p95"] == 0.0
 
+    def test_fault_recording(self):
+        metrics = ServingMetrics()
+        metrics.record_fault("model", "transient")
+        metrics.record_fault("model", "transient")
+        metrics.record_fault("executor:sql", "corrupt")
+        snapshot = metrics.snapshot()
+        assert snapshot["faults_injected"] == 3
+        assert snapshot["fault_kinds"] == {"executor:sql:corrupt": 1,
+                                           "model:transient": 2}
+
+    def test_breaker_recording(self):
+        metrics = ServingMetrics()
+        metrics.record_breaker_transition("closed", "open")
+        metrics.record_breaker_transition("open", "half_open")
+        metrics.record_breaker_transition("half_open", "closed")
+        metrics.record_breaker_rejection()
+        snapshot = metrics.snapshot()
+        assert snapshot["breaker_opened"] == 1
+        assert snapshot["breaker_closed"] == 1
+        assert snapshot["breaker_rejections"] == 1
+
+    def test_backoff_recording(self):
+        metrics = ServingMetrics()
+        metrics.record_backoff(0.25)
+        metrics.record_backoff(0.5)
+        snapshot = metrics.snapshot()
+        assert snapshot["backoffs"] == 2
+        assert snapshot["backoff_seconds"] == 0.75
+
+    def test_outcomes_counted_per_response(self):
+        metrics = ServingMetrics()
+        metrics.record_response(TQAResponse(uid="a", answer=["1"],
+                                            outcome="ok"))
+        metrics.record_response(TQAResponse(uid="b", answer=["2"],
+                                            outcome="ok"))
+        metrics.record_response(TQAResponse(uid="c", answer=[],
+                                            outcome="error_permanent",
+                                            error="x"))
+        metrics.record_response(TQAResponse(uid="d", answer=[]))
+        assert metrics.snapshot()["outcomes"] == {
+            "error_permanent": 1, "ok": 2, "unclassified": 1}
+
     def test_json_round_trip(self, tmp_path):
         metrics = ServingMetrics()
         metrics.record_submit(queue_depth=0)

@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import ServingTimeoutError
 from repro.llm.base import Completion, LanguageModel
+from repro.retry import ExponentialBackoff
 from repro.serving import DeadlineModel, RetryPolicy
 
 
@@ -40,6 +41,36 @@ class TestRetryPolicy:
         policy = RetryPolicy(timeout=2.0)
         assert policy.deadline(clock=lambda: now[0]) == 102.0
         assert RetryPolicy().deadline(clock=lambda: now[0]) is None
+
+    def test_attempt_seeds_collision_free_across_requests(self):
+        # A batch of adjacent request seeds retrying a few times must
+        # never land two attempts on the same effective seed — that
+        # would make two "independent" retries identical.
+        policy = RetryPolicy(max_retries=3)
+        seeds = [policy.attempt_seed(base, attempt)
+                 for base in range(64)
+                 for attempt in range(policy.max_attempts)]
+        assert len(seeds) == len(set(seeds))
+
+    def test_backoff_delay_none_is_zero(self):
+        policy = RetryPolicy(max_retries=2)
+        assert policy.backoff_delay(5, 0) == 0.0
+        assert policy.backoff_delay(5, 1) == 0.0
+
+    def test_backoff_delay_deterministic_and_growing(self):
+        backoff = ExponentialBackoff(base=0.1, factor=2.0,
+                                     max_delay=10.0, jitter=0.0)
+        policy = RetryPolicy(max_retries=3, backoff=backoff)
+        delays = [policy.backoff_delay(5, a) for a in range(3)]
+        assert delays == [0.1, 0.2, 0.4]
+        assert delays == [policy.backoff_delay(5, a) for a in range(3)]
+
+    def test_backoff_delay_jitter_seeded_by_request(self):
+        backoff = ExponentialBackoff(base=0.1, jitter=0.5)
+        policy = RetryPolicy(max_retries=2, backoff=backoff)
+        # Same request seed → same delay; different seeds de-synchronise.
+        assert policy.backoff_delay(5, 1) == policy.backoff_delay(5, 1)
+        assert policy.backoff_delay(5, 1) != policy.backoff_delay(6, 1)
 
     def test_validation(self):
         with pytest.raises(ValueError):

@@ -6,12 +6,14 @@ import time
 import pytest
 
 from repro.core import ReActTableAgent
-from repro.errors import ServingError
+from repro.errors import ServingError, TransientModelError
 from repro.llm import SimulatedTQAModel, get_profile
 from repro.llm.base import Completion, LanguageModel, ScriptedModel
+from repro.retry import ExponentialBackoff
 from repro.serving import (
     AgentSpec,
     AnswerCache,
+    BreakerConfig,
     RetryPolicy,
     ServingMetrics,
     WorkerPool,
@@ -199,6 +201,154 @@ class TestPoolPolicy:
         assert "cannot build agent" in response.error
         assert not response.degraded
         assert metrics.errors == 1
+
+
+class CrashingModel(LanguageModel):
+    """Raises a transient error on every completion."""
+
+    name = "crashing"
+    supports_logprobs = False
+
+    def complete(self, prompt, *, temperature=0.0, n=1):
+        raise TransientModelError("backend down")
+
+
+class TestPoolOutcomes:
+    def test_clean_request_is_ok(self, tiny_frame):
+        spec = StubSpec(lambda: ScriptedModel([ANSWER]))
+        with WorkerPool(spec, workers=1) as pool:
+            response = pool.submit(tiny_frame, "q?").result(timeout=30)
+        assert response.outcome == "ok"
+
+    def test_recovered_request_is_retried(self, tiny_frame):
+        calls = {"n": 0}
+
+        def factory():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                return CrashingModel()
+            return ScriptedModel([ANSWER])
+
+        spec = StubSpec(factory)
+        with WorkerPool(spec, workers=1,
+                        policy=RetryPolicy(max_retries=2)) as pool:
+            response = pool.submit(tiny_frame, "q?").result(timeout=30)
+        assert response.outcome == "retried"
+        assert response.attempts == 2
+
+    def test_degraded_request_is_degraded(self, tiny_frame):
+        spec = StubSpec(SleepyModel)
+        policy = RetryPolicy(timeout=0.005, max_retries=0)
+        with WorkerPool(spec, workers=1, policy=policy) as pool:
+            response = pool.submit(tiny_frame, "q?").result(timeout=30)
+        assert response.outcome == "degraded"
+
+    def test_terminal_failure_classified_by_taxonomy(self, tiny_frame):
+        spec = StubSpec(CrashingModel)
+        policy = RetryPolicy(max_retries=0,
+                             degrade_on_exhaustion=False)
+        with WorkerPool(spec, workers=1, policy=policy) as pool:
+            response = pool.submit(tiny_frame, "q?").result(timeout=30)
+        assert response.outcome == "error_transient"
+        permanent = FailingSpec(SleepyModel)   # RuntimeError: permanent
+        with WorkerPool(permanent, workers=1, policy=policy) as pool:
+            response = pool.submit(tiny_frame, "q?").result(timeout=30)
+        assert response.outcome == "error_permanent"
+
+    def test_cached_response_outcome(self, wikitq_small):
+        spec = AgentSpec(bank=wikitq_small.bank)
+        example = wikitq_small.examples[0]
+        with WorkerPool(spec, workers=1, cache=AnswerCache(4)) as pool:
+            first = pool.submit(example.table, example.question,
+                                seed=1).result(timeout=30)
+            second = pool.submit(example.table, example.question,
+                                 seed=1).result(timeout=30)
+        assert first.outcome == "ok"
+        assert second.outcome == "cached"
+
+
+class TestPoolBackoff:
+    def test_backoff_sleeps_between_attempts(self, tiny_frame):
+        slept = []
+        metrics = ServingMetrics()
+        spec = StubSpec(CrashingModel)
+        policy = RetryPolicy(
+            max_retries=2,
+            backoff=ExponentialBackoff(base=0.1, factor=2.0, jitter=0.0))
+        with WorkerPool(spec, workers=1, policy=policy, metrics=metrics,
+                        sleep=slept.append) as pool:
+            pool.submit(tiny_frame, "q?").result(timeout=30)
+        assert slept == [0.1, 0.2]
+        snapshot = metrics.snapshot()
+        assert snapshot["backoffs"] == 2
+        assert snapshot["backoff_seconds"] == pytest.approx(0.3)
+
+    def test_no_backoff_config_never_sleeps(self, tiny_frame):
+        slept = []
+        spec = StubSpec(CrashingModel)
+        with WorkerPool(spec, workers=1,
+                        policy=RetryPolicy(max_retries=2),
+                        sleep=slept.append) as pool:
+            pool.submit(tiny_frame, "q?").result(timeout=30)
+        assert slept == []
+
+
+class TestPoolBreaker:
+    def test_disabled_by_default(self, tiny_frame):
+        assert WorkerPool(StubSpec(SleepyModel)).breaker is None
+
+    def test_opens_after_consecutive_failures_then_fails_fast(
+            self, tiny_frame):
+        metrics = ServingMetrics()
+        spec = StubSpec(CrashingModel)
+        policy = RetryPolicy(max_retries=0)
+        with WorkerPool(spec, workers=1, policy=policy, metrics=metrics,
+                        breakers=BreakerConfig(failure_threshold=2,
+                                               cooldown=60.0)) as pool:
+            for _ in range(2):   # two failures open the circuit
+                pool.submit(tiny_frame, "q?").result(timeout=30)
+            built_before = len(spec.built_seeds)
+            rejected = pool.submit(tiny_frame, "q?").result(timeout=30)
+        assert pool.breaker.state == "open"
+        # The rejected request never built an agent: it fell straight
+        # through to the degradation rung.
+        assert len(spec.built_seeds) == built_before
+        assert rejected.degraded
+        assert rejected.attempts == 0
+        assert "circuit is open" in rejected.error
+        snapshot = metrics.snapshot()
+        assert snapshot["breaker_opened"] == 1
+        assert snapshot["breaker_rejections"] == 1
+
+    def test_successes_keep_the_circuit_closed(self, tiny_frame):
+        spec = StubSpec(lambda: ScriptedModel([ANSWER]))
+        with WorkerPool(spec, workers=1,
+                        breakers=BreakerConfig(failure_threshold=1,
+                                               cooldown=60.0)) as pool:
+            for _ in range(3):
+                pool.submit(tiny_frame, "q?").result(timeout=30)
+            assert pool.breaker.state == "closed"
+        assert pool.breaker.snapshot()["times_opened"] == 0
+
+    def test_breaker_uses_spec_profile_as_backend(self, wikitq_small):
+        pool = WorkerPool(AgentSpec(bank=wikitq_small.bank),
+                          breakers=BreakerConfig())
+        assert pool.breaker.backend == "codex-sim"
+
+    def test_breaker_events_traced(self, tiny_frame):
+        tracer = ChainTracer()
+        spec = StubSpec(CrashingModel)
+        policy = RetryPolicy(max_retries=0)
+        with WorkerPool(spec, workers=1, policy=policy, tracer=tracer,
+                        breakers=BreakerConfig(failure_threshold=1,
+                                               cooldown=60.0)) as pool:
+            pool.submit(tiny_frame, "q?").result(timeout=30)
+            pool.submit(tiny_frame, "q?").result(timeout=30)
+        kinds = tracer.counts()
+        assert kinds["serving_breaker_transition"] == 1
+        assert kinds["serving_breaker_reject"] == 1
+        transition = tracer.of_kind("serving_breaker_transition")[0]
+        assert transition.data["new_state"] == "open"
 
 
 class TestPoolTracing:

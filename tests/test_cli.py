@@ -41,6 +41,23 @@ class TestParser:
         assert args.timeout is None
         assert args.metrics_out is None
 
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos", "wikitq"])
+        assert args.rates == "0,0.05,0.2"
+        assert args.retries == 2
+        assert args.model_retries == 2
+        assert args.breaker_threshold == 5
+        assert args.verify_passthrough
+
+    def test_chaos_options(self):
+        args = build_parser().parse_args([
+            "chaos", "tabfact", "--rates", "0,0.5", "--size", "10",
+            "--breaker-threshold", "0", "--no-verify-passthrough",
+        ])
+        assert args.rates == "0,0.5"
+        assert args.breaker_threshold == 0
+        assert not args.verify_passthrough
+
 
 class TestDemo:
     def test_demo_solves_running_example(self, capsys):
@@ -123,3 +140,33 @@ class TestBatch:
         metrics = json.loads(metrics_path.read_text())
         assert metrics["completed"] == 6
         assert trace_path.exists()
+
+
+class TestChaos:
+    def test_sweep_reports_degradation_curve(self, capsys):
+        assert main(["chaos", "wikitq", "--size", "8", "--workers", "2",
+                     "--rates", "0,0.3",
+                     "--fault-latency", "0.001"]) == 0
+        out = capsys.readouterr().out
+        assert "rate" in out and "accuracy" in out
+        assert "0.00" in out and "0.30" in out
+        assert "bit-identical to uninjected run: True" in out
+
+    def test_writes_metrics_and_trace(self, capsys, tmp_path):
+        metrics_path = tmp_path / "metrics.json"
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(["chaos", "wikitq", "--size", "6", "--workers", "2",
+                     "--rates", "0.3", "--fault-latency", "0.001",
+                     "--metrics-out", str(metrics_path),
+                     "--trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "metrics written" in out
+        assert "trace written" in out
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["completed"] == 6
+        assert metrics["faults_injected"] > 0
+        assert sum(metrics["outcomes"].values()) == 6
+        assert trace_path.exists()
+
+    def test_bad_rates_rejected(self, capsys):
+        assert main(["chaos", "wikitq", "--rates", "nope"]) == 2

@@ -36,6 +36,46 @@ class TestHierarchy:
                           errors.ModelError)
 
 
+class TestTaxonomy:
+    def test_every_class_classified_explicitly(self):
+        for name in errors.__dict__:
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, errors.ReproError):
+                assert isinstance(obj.__dict__.get("retryable"), bool), \
+                    f"{name} must restate 'retryable' in its own body"
+
+    def test_transient_marker_implies_retryable(self):
+        assert errors.TransientError.retryable is True
+        assert errors.TransientModelError.retryable is True
+        assert errors.ServingTimeoutError.retryable is True
+
+    def test_transient_subclasses_catchable_by_marker(self):
+        with pytest.raises(errors.TransientError):
+            raise errors.TransientModelError("blip")
+        with pytest.raises(errors.ModelError):
+            raise errors.TransientModelError("blip")
+        with pytest.raises(errors.TransientError):
+            raise errors.ServingTimeoutError("slow")
+
+    def test_circuit_open_not_retryable(self):
+        # Fail fast: retrying an open circuit defeats load shedding.
+        assert errors.CircuitOpenError.retryable is False
+        assert issubclass(errors.CircuitOpenError, errors.ServingError)
+
+    def test_is_retryable_on_repro_errors(self):
+        assert errors.is_retryable(errors.TransientModelError("x"))
+        assert errors.is_retryable(errors.ServingTimeoutError("x"))
+        assert not errors.is_retryable(errors.ActionParseError("x"))
+        assert not errors.is_retryable(errors.SQLExecutionError("x"))
+        assert not errors.is_retryable(errors.CircuitOpenError("x"))
+
+    def test_is_retryable_on_builtins(self):
+        assert errors.is_retryable(ConnectionError("reset"))
+        assert errors.is_retryable(TimeoutError("slow"))
+        assert not errors.is_retryable(ValueError("bug"))
+        assert not errors.is_retryable(KeyError("bug"))
+
+
 class TestColumnNotFoundError:
     def test_is_also_keyerror(self):
         assert issubclass(errors.ColumnNotFoundError, KeyError)

@@ -1,0 +1,53 @@
+"""Tier-1 wiring for the failure-taxonomy lint (``tools/lint_errors.py``).
+
+Every :class:`~repro.errors.ReproError` subclass anywhere in the package
+must restate its ``retryable`` classification explicitly — the recovery
+stack dispatches on it, so a silently-inherited flag is a latent
+misclassification.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+TOOL = Path(__file__).resolve().parent.parent / "tools" / "lint_errors.py"
+
+
+def load_lint():
+    spec = importlib.util.spec_from_file_location("lint_errors", TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_taxonomy_has_no_violations():
+    lint = load_lint()
+    assert lint.find_violations() == []
+
+
+def test_lint_detects_an_unclassified_error():
+    lint = load_lint()
+    from repro.errors import ReproError
+
+    class Sneaky(ReproError):  # inherits retryable instead of restating
+        pass
+
+    try:
+        violations = lint.find_violations()
+        assert any("Sneaky" in line for line in violations)
+    finally:
+        # Unregister so other tests (and re-runs) see a clean hierarchy.
+        del Sneaky
+        import gc
+        gc.collect()
+
+
+def test_lint_runs_standalone():
+    import subprocess
+
+    result = subprocess.run(
+        [sys.executable, str(TOOL)], capture_output=True, text=True,
+        env={"PYTHONPATH": str(TOOL.parent.parent / "src"),
+             "PATH": "/usr/bin:/bin"})
+    assert result.returncode == 0, result.stderr
+    assert "explicit retryable classification" in result.stdout

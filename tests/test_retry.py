@@ -1,0 +1,55 @@
+"""Tests for the deterministic backoff schedule and seeded draws."""
+
+import pytest
+
+from repro.retry import ExponentialBackoff, seeded_uniform
+
+
+class TestSeededUniform:
+    def test_in_unit_interval(self):
+        for i in range(100):
+            assert 0.0 <= seeded_uniform("site", i) < 1.0
+
+    def test_deterministic(self):
+        assert seeded_uniform(1, "model", 3) == seeded_uniform(1, "model",
+                                                               3)
+
+    def test_sensitive_to_every_part(self):
+        base = seeded_uniform(1, "model", 3)
+        assert base != seeded_uniform(2, "model", 3)
+        assert base != seeded_uniform(1, "executor", 3)
+        assert base != seeded_uniform(1, "model", 4)
+
+    def test_roughly_uniform(self):
+        draws = [seeded_uniform("u", i) for i in range(2000)]
+        assert 0.45 < sum(draws) / len(draws) < 0.55
+
+
+class TestExponentialBackoff:
+    def test_default_base_zero_never_sleeps(self):
+        backoff = ExponentialBackoff()
+        assert backoff.delay(0) == 0.0
+        assert backoff.delay(5, seed=9) == 0.0
+
+    def test_exponential_growth_capped(self):
+        backoff = ExponentialBackoff(base=0.1, factor=2.0, max_delay=0.3,
+                                     jitter=0.0)
+        assert [backoff.delay(a) for a in range(4)] == [0.1, 0.2, 0.3,
+                                                        0.3]
+
+    def test_jitter_window_and_determinism(self):
+        backoff = ExponentialBackoff(base=1.0, factor=1.0, jitter=0.5)
+        delays = [backoff.delay(0, seed=s) for s in range(50)]
+        assert all(0.75 <= d < 1.25 for d in delays)
+        assert len(set(delays)) > 1
+        assert delays == [backoff.delay(0, seed=s) for s in range(50)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialBackoff(base=-1.0)
+        with pytest.raises(ValueError):
+            ExponentialBackoff(factor=0.5)
+        with pytest.raises(ValueError):
+            ExponentialBackoff(max_delay=-0.1)
+        with pytest.raises(ValueError):
+            ExponentialBackoff(jitter=2.0)

@@ -1,0 +1,76 @@
+"""Lint the failure taxonomy: every error must classify itself.
+
+The recovery stack (``repro.llm.RetryingModel``, the serving pool's
+attempt ladder) dispatches on ``ReproError.retryable``.  An error class
+that silently *inherits* the flag is a latent misclassification: moving
+it in the hierarchy, or changing a parent's default, flips its recovery
+behaviour without anyone noticing.  This lint imports every module under
+``repro`` and asserts each :class:`~repro.errors.ReproError` subclass
+restates ``retryable`` as a literal ``bool`` in its own class body.
+
+Runs standalone (``python tools/lint_errors.py``, exits non-zero on a
+violation) and as a tier-1 test via ``tests/test_lint_errors.py``.
+"""
+
+from __future__ import annotations
+
+import pkgutil
+import sys
+from importlib import import_module
+
+
+def _import_all(package_name: str = "repro") -> None:
+    """Import every submodule so all error classes are registered."""
+    package = import_module(package_name)
+    for info in pkgutil.walk_packages(package.__path__,
+                                      prefix=f"{package_name}."):
+        import_module(info.name)
+
+
+def _all_subclasses(cls: type) -> set[type]:
+    found: set[type] = set()
+    pending = [cls]
+    while pending:
+        current = pending.pop()
+        for sub in current.__subclasses__():
+            if sub not in found:
+                found.add(sub)
+                pending.append(sub)
+    return found
+
+
+def find_violations() -> list[str]:
+    """Taxonomy violations, one human-readable line each."""
+    _import_all()
+    from repro.errors import ReproError
+
+    violations = []
+    for cls in sorted(_all_subclasses(ReproError) | {ReproError},
+                      key=lambda c: (c.__module__, c.__qualname__)):
+        label = f"{cls.__module__}.{cls.__qualname__}"
+        if "retryable" not in cls.__dict__:
+            violations.append(
+                f"{label}: does not restate 'retryable' in its own "
+                f"body (inheriting the flag hides misclassification)")
+        elif not isinstance(cls.__dict__["retryable"], bool):
+            violations.append(
+                f"{label}: 'retryable' must be a literal bool, got "
+                f"{type(cls.__dict__['retryable']).__name__}")
+    return violations
+
+
+def main() -> int:
+    violations = find_violations()
+    for line in violations:
+        print(f"lint_errors: {line}", file=sys.stderr)
+    if violations:
+        print(f"lint_errors: {len(violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print("lint_errors: every ReproError subclass carries an explicit "
+          "retryable classification")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

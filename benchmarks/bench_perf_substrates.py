@@ -44,6 +44,30 @@ def test_perf_native_engine_group_query(benchmark, frame):
     assert result.num_rows == 8
 
 
+def test_perf_native_engine_interpreted(benchmark, frame, monkeypatch):
+    """The tree-walking oracle path (REPRO_SQL_COMPILE=0) for comparison."""
+    monkeypatch.setenv("REPRO_SQL_COMPILE", "0")
+    catalog = {"T0": frame}
+    result = benchmark(lambda: execute_sql(GROUP_SQL, catalog))
+    assert result.num_rows == 8
+
+
+def test_perf_plan_parse_uncached(benchmark, monkeypatch):
+    from repro.sqlengine import parse_select_cached
+
+    monkeypatch.setenv("REPRO_SQL_PLAN_CACHE", "0")
+    stmt = benchmark(lambda: parse_select_cached(GROUP_SQL))
+    assert stmt.group_by
+
+
+def test_perf_plan_parse_cached(benchmark):
+    from repro.sqlengine import parse_select_cached
+
+    parse_select_cached(GROUP_SQL)  # warm
+    stmt = benchmark(lambda: parse_select_cached(GROUP_SQL))
+    assert stmt.group_by
+
+
 def test_perf_sqlite_backend_group_query(benchmark, frame):
     catalog = {"T0": frame}
     result = benchmark(lambda: run_sqlite_query(GROUP_SQL, catalog))
@@ -77,6 +101,26 @@ def test_perf_codec_roundtrip(benchmark, frame):
 
     result = benchmark(roundtrip)
     assert result.num_rows == 200
+
+
+def test_perf_prompt_encode_uncached(benchmark, frame, monkeypatch):
+    from repro.perf import encode_head_row_cached
+
+    monkeypatch.setenv("REPRO_ENCODE_CACHE", "0")
+    rendered = benchmark(
+        lambda: encode_head_row_cached(frame, max_rows=200))
+    assert rendered.startswith("[HEAD]")
+
+
+def test_perf_prompt_encode_cached(benchmark, frame):
+    from repro.perf import DEFAULT_ENCODE_CACHE, encode_head_row_cached
+
+    DEFAULT_ENCODE_CACHE.clear()
+    encode_head_row_cached(frame, max_rows=200)  # warm
+    rendered = benchmark(
+        lambda: encode_head_row_cached(frame, max_rows=200))
+    assert rendered.startswith("[HEAD]")
+    assert DEFAULT_ENCODE_CACHE.stats()["hits"] > 0
 
 
 def test_perf_full_agent_chain(benchmark):

@@ -5,3 +5,24 @@ from pathlib import Path
 
 # Make the sibling ``harness`` module importable regardless of rootdir.
 sys.path.insert(0, str(Path(__file__).parent))
+
+import pytest
+
+
+class _FallbackBenchmarkPlugin:
+    """Provides ``benchmark`` when the pytest-benchmark plugin is absent."""
+
+    @pytest.fixture
+    def benchmark(self):
+        from harness import FallbackBenchmark
+
+        return FallbackBenchmark()
+
+
+def pytest_configure(config):
+    # Degrade gracefully: if pytest-benchmark is not installed (or was
+    # disabled with -p no:benchmark), register a perf_counter-based
+    # ``benchmark`` fixture so the bench suites still run.
+    if not config.pluginmanager.hasplugin("benchmark"):
+        config.pluginmanager.register(_FallbackBenchmarkPlugin(),
+                                      "fallback-benchmark")

@@ -13,6 +13,7 @@ Scale is controlled with ``REPRO_SCALE`` (questions per dataset; default
 from __future__ import annotations
 
 import os
+import time
 from functools import lru_cache
 
 from repro.core import (
@@ -35,9 +36,37 @@ __all__ = [
     "serving_spec_for",
     "accuracy_suite",
     "CoTMajorityAgent",
+    "FallbackBenchmark",
     "VOTE_SAMPLES",
     "VOTE_TEMPERATURE",
 ]
+
+
+class FallbackBenchmark:
+    """``time.perf_counter`` stand-in for pytest-benchmark's fixture.
+
+    Registered by ``conftest.py`` when pytest-benchmark is not installed,
+    so the ``bench_*`` suites still run (best-of-N wall time, recorded in
+    ``.stats``) instead of erroring on the missing ``benchmark`` fixture.
+    """
+
+    def __init__(self, rounds: int = 5):
+        self.rounds = rounds
+        self.stats: dict[str, float] = {}
+
+    def __call__(self, fn, *args, **kwargs):
+        best = float("inf")
+        total = 0.0
+        result = None
+        for _ in range(self.rounds):
+            start = time.perf_counter()
+            result = fn(*args, **kwargs)
+            elapsed = time.perf_counter() - start
+            total += elapsed
+            best = min(best, elapsed)
+        self.stats = {"min": best, "mean": total / self.rounds,
+                      "rounds": self.rounds}
+        return result
 
 VOTE_SAMPLES = 5
 VOTE_TEMPERATURE = 0.6

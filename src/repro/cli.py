@@ -14,6 +14,9 @@ Subcommands:
 * ``chaos`` — sweep deterministic fault-injection rates over a benchmark
   through the hardened serving stack and report the degradation curve
   (accuracy, answer rate, classified outcomes, breaker/retry activity).
+* ``perf`` — the performance-layer smoke: optimisations disabled must
+  produce identical results (compiled vs interpreted SQL, caches on vs
+  off); ``--timings`` additionally runs the benchmark regression gate.
 """
 
 from __future__ import annotations
@@ -275,6 +278,19 @@ def _cmd_chaos(args) -> int:
     return exit_code
 
 
+def _cmd_perf(args) -> int:
+    from repro.perf import gate as perf_gate
+
+    gate_args: list[str] = []
+    if not args.timings:
+        gate_args.append("--check-only")
+    if args.update_baseline:
+        gate_args.append("--update-baseline")
+    if args.baseline:
+        gate_args.extend(["--baseline", args.baseline])
+    return perf_gate.main(gate_args)
+
+
 def _cmd_analyze(args) -> int:
     from repro.reporting.analysis import analyze_agent
     from repro.tracing import ChainTracer
@@ -389,6 +405,16 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--trace", metavar="PATH",
                        help="write a fault/serving trace to PATH")
     chaos.set_defaults(func=_cmd_chaos)
+
+    perf = sub.add_parser(
+        "perf", help="performance-layer smoke / benchmark gate")
+    perf.add_argument("--timings", action="store_true",
+                      help="also run the timing suite and regression gate")
+    perf.add_argument("--update-baseline", action="store_true",
+                      help="rewrite results/BENCH_perf_substrates.json")
+    perf.add_argument("--baseline", metavar="PATH", default=None,
+                      help="alternate baseline JSON path")
+    perf.set_defaults(func=_cmd_perf)
 
     an = sub.add_parser("analyze",
                         help="error analysis with optional tracing")

@@ -23,7 +23,7 @@ from repro.core.actions import Action, ActionKind, format_action
 from repro.core.prompt import _QUESTION_MARKER, _TABLE_MARKER
 from repro.datasets.spec import TQAExample
 from repro.executors.registry import ExecutorRegistry
-from repro.table.io import encode_head_row
+from repro.perf.encode_cache import encode_head_row_cached
 
 __all__ = [
     "question_similarity",
@@ -65,7 +65,7 @@ def render_demonstration(example: TQAExample, *,
     trace = example.plan.execute(example.table, registry)
     lines = [
         _TABLE_MARKER,
-        encode_head_row(trace.tables[0], max_rows=max_rows),
+        encode_head_row_cached(trace.tables[0], max_rows=max_rows),
         f'{_QUESTION_MARKER}{example.question}". '
         "Generate SQL or Python code step-by-step given the question "
         "and table to answer the question correctly.",
@@ -76,8 +76,8 @@ def render_demonstration(example: TQAExample, *,
                 else ActionKind.PYTHON)
         lines.append(format_action(Action(kind, code)))
         lines.append(f"Intermediate table (T{index + 1}):")
-        lines.append(encode_head_row(trace.tables[index + 1],
-                                     max_rows=max_rows))
+        lines.append(encode_head_row_cached(trace.tables[index + 1],
+                                            max_rows=max_rows))
     answer = "|".join(trace.answer)
     lines.append(format_action(Action(ActionKind.ANSWER, answer)))
     return "\n".join(lines)

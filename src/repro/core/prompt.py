@@ -16,8 +16,9 @@ from dataclasses import dataclass, field
 
 from repro.core.actions import Action, format_action
 from repro.errors import PromptError
+from repro.perf.encode_cache import encode_head_row_cached
 from repro.table.frame import DataFrame
-from repro.table.io import decode_head_row, encode_head_row
+from repro.table.io import decode_head_row
 
 __all__ = [
     "TranscriptStep",
@@ -142,8 +143,10 @@ class PromptBuilder:
             parts.append(self.few_shot.rstrip())
             parts.append("")
         parts.append(_TABLE_MARKER)
-        parts.append(encode_head_row(transcript.t0,
-                                     max_rows=self.max_prompt_rows))
+        # Cached: T0 (and every unchanged T1..Tk below) renders once per
+        # chain instead of once per iteration.
+        parts.append(encode_head_row_cached(transcript.t0,
+                                            max_rows=self.max_prompt_rows))
         parts.append(
             f'{_QUESTION_MARKER}{transcript.question}". '
             f"{self._instruction()}")
@@ -153,7 +156,7 @@ class PromptBuilder:
             if step.table is not None:
                 table_index += 1
                 parts.append(f"Intermediate table (T{table_index}):")
-                parts.append(encode_head_row(
+                parts.append(encode_head_row_cached(
                     step.table, max_rows=self.max_prompt_rows))
         prompt = "\n".join(parts)
         if force_answer:
@@ -174,7 +177,7 @@ def build_cot_prompt(t0: DataFrame, question: str, *,
         names.get(lang, lang.capitalize()) for lang in languages)
     return (
         f"{_TABLE_MARKER}\n"
-        f"{encode_head_row(t0, max_rows=max_prompt_rows)}\n"
+        f"{encode_head_row_cached(t0, max_rows=max_prompt_rows)}\n"
         f'{_QUESTION_MARKER}{question}". '
         f"Generate all the {rendered} code needed to answer the question "
         f"in a single response, thinking step by step, then state the "

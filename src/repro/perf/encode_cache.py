@@ -1,0 +1,99 @@
+"""Memoised ``encode_head_row``: render each table once per content state.
+
+ReAcTable re-serialises ``T0..Tk`` into the prompt on *every* iteration
+(PAPER.md §3), so a chain with n iterations renders T0 n times, T1 n-1
+times, and so on — all of them identical.  This cache keys the rendered
+string on ``(table content digest, max_rows)`` so each distinct table
+state is encoded exactly once per process.
+
+``REPRO_ENCODE_CACHE=0`` disables the cache (every call re-encodes);
+the rate-0 check in ``repro perf`` verifies disabled ⇒ identical output.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+
+from repro.perf.fingerprint import table_digest
+from repro.table.frame import DataFrame
+from repro.table.io import encode_head_row
+
+__all__ = [
+    "EncodedTableCache",
+    "DEFAULT_ENCODE_CACHE",
+    "encode_cache_enabled",
+    "encode_head_row_cached",
+]
+
+
+def encode_cache_enabled() -> bool:
+    """True unless ``REPRO_ENCODE_CACHE=0`` disables encode caching."""
+    return os.environ.get("REPRO_ENCODE_CACHE", "1") != "0"
+
+
+class EncodedTableCache:
+    """Thread-safe LRU of rendered [HEAD]/[ROW] table encodings."""
+
+    def __init__(self, capacity: int = 512):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple[str, int], str] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def encode(self, frame: DataFrame, *, max_rows: int | None) -> str:
+        key = (table_digest(frame), max_rows)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return cached
+            self.misses += 1
+        rendered = encode_head_row(frame, max_rows=max_rows)
+        with self._lock:
+            self._entries[key] = rendered
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return rendered
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, int | float]:
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hits / total if total else 0.0,
+            }
+
+
+#: Process-wide cache used by the prompt builders.
+DEFAULT_ENCODE_CACHE = EncodedTableCache()
+
+
+def encode_head_row_cached(frame: DataFrame, *, max_rows: int | None) -> str:
+    """``encode_head_row`` memoised through :data:`DEFAULT_ENCODE_CACHE`."""
+    if not encode_cache_enabled():
+        return encode_head_row(frame, max_rows=max_rows)
+    return DEFAULT_ENCODE_CACHE.encode(frame, max_rows=max_rows)

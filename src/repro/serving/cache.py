@@ -9,46 +9,31 @@ returns the stored answer without running a chain.
 
 from __future__ import annotations
 
-import hashlib
 import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro.perf.fingerprint import combined_fingerprint, table_digest
 from repro.serving.request import TQARequest, TQAResponse
-from repro.table.frame import DataFrame
-from repro.table.schema import is_missing
 
 __all__ = ["request_fingerprint", "CachedAnswer", "AnswerCache"]
-
-
-def _table_digest(table: DataFrame) -> str:
-    hasher = hashlib.blake2b(digest_size=16)
-    hasher.update("\x1f".join(table.columns).encode("utf-8"))
-    hasher.update("\x1f".join(
-        str(dtype) for dtype in table.dtypes.values()).encode("utf-8"))
-    for row in table.to_rows():
-        encoded = "\x1f".join("\x00" if is_missing(value) else str(value)
-                              for value in row)
-        hasher.update(b"\x1e" + encoded.encode("utf-8"))
-    return hasher.hexdigest()
 
 
 def request_fingerprint(request: TQARequest, *, config: str = "") -> str:
     """Digest of (table contents, question, agent config, seed).
 
     Equal fingerprints mean the serving layer may substitute one request's
-    answer for the other's.
+    answer for the other's.  Content hashing goes through the shared
+    :mod:`repro.perf.fingerprint` scheme — the same digest the
+    prompt-encoding cache keys on.
     """
-    hasher = hashlib.sha256()
-    hasher.update(_table_digest(request.table).encode("ascii"))
-    hasher.update(b"\x1d")
-    hasher.update(request.question.encode("utf-8"))
-    hasher.update(b"\x1d")
-    hasher.update(config.encode("utf-8"))
-    hasher.update(b"\x1d")
-    hasher.update(str(request.seed).encode("ascii"))
-    return hasher.hexdigest()
+    return combined_fingerprint([
+        table_digest(request.table),
+        request.question,
+        config,
+        str(request.seed),
+    ])
 
 
 @dataclass(frozen=True)

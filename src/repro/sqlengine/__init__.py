@@ -32,6 +32,12 @@ from repro.sqlengine.ast_nodes import (
     Star,
     UnaryOp,
 )
+from repro.sqlengine.compiler import (
+    Layout,
+    compile_enabled,
+    compile_group,
+    compile_row,
+)
 from repro.sqlengine.executor import (
     NativeSQLEngine,
     execute_select,
@@ -39,6 +45,12 @@ from repro.sqlengine.executor import (
 )
 from repro.sqlengine.lexer import tokenize
 from repro.sqlengine.parser import parse_expression, parse_select
+from repro.sqlengine.plancache import (
+    DEFAULT_PLAN_CACHE,
+    PlanCache,
+    parse_select_cached,
+    plan_cache_enabled,
+)
 
 __all__ = [
     "NativeSQLEngine",
@@ -46,6 +58,14 @@ __all__ = [
     "execute_sql",
     "parse_select",
     "parse_expression",
+    "parse_select_cached",
+    "plan_cache_enabled",
+    "PlanCache",
+    "DEFAULT_PLAN_CACHE",
+    "Layout",
+    "compile_enabled",
+    "compile_row",
+    "compile_group",
     "tokenize",
     "Expression",
     "Literal",

@@ -36,7 +36,8 @@ from repro.table.ops import aggregate_values
 from repro.table.schema import is_missing
 
 __all__ = ["RowContext", "GroupContext", "evaluate", "is_truthy",
-           "expression_uses_aggregate", "resolve_joined_name"]
+           "expression_uses_aggregate", "resolve_joined_name",
+           "resolve_joined_ref"]
 
 
 def resolve_joined_name(columns, ref: ColumnRef) -> str:
@@ -45,7 +46,13 @@ def resolve_joined_name(columns, ref: ColumnRef) -> str:
     Joined frames name their columns ``alias.column``.  Qualified
     references resolve exactly; bare references resolve by suffix and
     must be unambiguous, matching SQL semantics.
+
+    This is the uncached generic form over a plain column list; hot paths
+    pass a frame to :func:`resolve_joined_ref`, which memoises the lowered
+    and suffix maps on the frame itself.
     """
+    if isinstance(columns, DataFrame):
+        return resolve_joined_ref(columns, ref)
     if ref.table:
         target = f"{ref.table}.{ref.name}".lower()
         for column in columns:
@@ -58,6 +65,34 @@ def resolve_joined_name(columns, ref: ColumnRef) -> str:
     if exact:
         return exact[0]
     suffix = [c for c in columns if c.lower().endswith("." + lowered)]
+    if len(suffix) == 1:
+        return suffix[0]
+    if len(suffix) > 1:
+        raise SQLRuntimeError(
+            f"ambiguous column name: {ref.name} "
+            f"(candidates: {', '.join(suffix)})")
+    raise SQLRuntimeError(f"no such column: {ref.name}")
+
+
+def resolve_joined_ref(frame: DataFrame, ref: ColumnRef) -> str:
+    """Cached resolution of ``ref`` over a joined frame's prefixed columns.
+
+    Uses the frame's lazily-built lowered-name and dot-suffix maps, so
+    resolving the same reference across many rows costs two dict lookups
+    instead of lowercasing every column each time.
+    """
+    lowered_map = frame.lowered_names()
+    if ref.table:
+        found = lowered_map.get(f"{ref.table}.{ref.name}".lower())
+        if found is not None:
+            return found
+        raise SQLRuntimeError(
+            f"no such column: {ref.table}.{ref.name}")
+    lowered = ref.name.lower()
+    found = lowered_map.get(lowered)
+    if found is not None:
+        return found
+    suffix = frame.suffix_names().get(lowered, ())
     if len(suffix) == 1:
         return suffix[0]
     if len(suffix) > 1:
@@ -82,7 +117,7 @@ class RowContext:
 
     def column_value(self, ref: ColumnRef):
         if self.joined:
-            name = resolve_joined_name(self.row._frame.columns, ref)
+            name = resolve_joined_ref(self.row._frame, ref)
             return self.row[name]
         if ref.table and self.table_alias and ref.table != self.table_alias:
             # A qualified reference to an unknown table (e.g. a stale alias)
@@ -242,8 +277,12 @@ def evaluate(expr: Expression, context):
 
 
 def _unary(expr: UnaryOp, context):
-    value = evaluate(expr.operand, context)
-    if expr.op == "NOT":
+    return unary_value(expr.op, evaluate(expr.operand, context))
+
+
+def unary_value(op: str, value):
+    """Value-level unary kernel (shared with the expression compiler)."""
+    if op == "NOT":
         if is_missing(value):
             return None
         return not is_truthy(value)
@@ -252,7 +291,7 @@ def _unary(expr: UnaryOp, context):
     number = _to_number(value)
     if number is None:
         raise SQLRuntimeError(f"cannot negate {value!r}")
-    return -number if expr.op == "-" else number
+    return -number if op == "-" else number
 
 
 def _to_number(value):
@@ -316,24 +355,38 @@ def _binary(expr: BinaryOp, context):
             return None
         return False
 
-    left = evaluate(expr.left, context)
-    right = evaluate(expr.right, context)
+    return binary_values(op, evaluate(expr.left, context),
+                         evaluate(expr.right, context))
+
+
+#: Comparison operators as order-sign predicates (order is -1/0/+1).
+COMPARISONS = {
+    "=": lambda order: order == 0,
+    "<>": lambda order: order != 0,
+    "<": lambda order: order < 0,
+    "<=": lambda order: order <= 0,
+    ">": lambda order: order > 0,
+    ">=": lambda order: order >= 0,
+}
+
+
+def binary_values(op: str, left, right):
+    """Value-level binary kernel for every non-logical operator.
+
+    Shared between the recursive interpreter and the expression compiler so
+    the two paths cannot drift.  AND/OR are *not* handled here — they
+    short-circuit, so both callers implement them structurally.
+    """
     if op == "||":
         if is_missing(left) or is_missing(right):
             return None
         return _concat_text(left) + _concat_text(right)
-    if op in ("=", "<>", "<", "<=", ">", ">="):
+    comparison = COMPARISONS.get(op)
+    if comparison is not None:
         order = compare_values(left, right)
         if order is None:
             return None
-        return {
-            "=": order == 0,
-            "<>": order != 0,
-            "<": order < 0,
-            "<=": order <= 0,
-            ">": order > 0,
-            ">=": order >= 0,
-        }[op]
+        return comparison(order)
     if is_missing(left) or is_missing(right):
         return None
     left_num, right_num = _to_number(left), _to_number(right)
@@ -420,21 +473,25 @@ def _like_to_regex(pattern: str) -> re.Pattern:
 
 
 def _cast(expr: Cast, context):
-    value = evaluate(expr.operand, context)
+    return cast_value(evaluate(expr.operand, context), expr.target)
+
+
+def cast_value(value, target: str):
+    """Value-level CAST kernel (shared with the expression compiler)."""
     if is_missing(value):
         return None
-    if expr.target == "TEXT":
+    if target == "TEXT":
         return _concat_text(value)
     number = _to_number(value)
-    if expr.target == "INTEGER":
+    if target == "INTEGER":
         if number is None:
             # SQLite parses a numeric prefix; fall back to 0.
             match = re.match(r"\s*[+-]?\d+", str(value))
             return int(match.group()) if match else 0
         return int(number)
-    if expr.target == "REAL":
+    if target == "REAL":
         if number is None:
             match = re.match(r"\s*[+-]?\d+(\.\d+)?", str(value))
             return float(match.group()) if match else 0.0
         return float(number)
-    raise SQLRuntimeError(f"unsupported CAST target {expr.target!r}")
+    raise SQLRuntimeError(f"unsupported CAST target {target!r}")

@@ -4,6 +4,13 @@
 returns a new :class:`repro.table.DataFrame`.  The pipeline mirrors the
 logical order of SQL: FROM → WHERE → GROUP BY/aggregates → HAVING →
 select-list → DISTINCT → ORDER BY → LIMIT/OFFSET.
+
+Each stage has two implementations: a compiled fast path that lowers
+expressions once per query (:mod:`repro.sqlengine.compiler`) and the
+original per-row tree-walking interpreter.  ``REPRO_SQL_COMPILE=0``
+forces the interpreter everywhere; the two must produce bit-identical
+results (enforced by the differential tests).  ``execute_sql`` also
+memoises parsing through :mod:`repro.sqlengine.plancache`.
 """
 
 from __future__ import annotations
@@ -18,6 +25,12 @@ from repro.sqlengine.ast_nodes import (
     SelectStatement,
     Star,
 )
+from repro.sqlengine.compiler import (
+    Layout,
+    compile_enabled,
+    compile_group,
+    compile_row,
+)
 from repro.sqlengine.evaluator import (
     GroupContext,
     RowContext,
@@ -25,11 +38,17 @@ from repro.sqlengine.evaluator import (
     expression_uses_aggregate,
     is_truthy,
     resolve_joined_name,
+    resolve_joined_ref,
 )
 from repro.sqlengine.ast_nodes import JoinClause
-from repro.sqlengine.parser import parse_select
+from repro.sqlengine.plancache import parse_select_cached
 from repro.table.frame import DataFrame
-from repro.table.ops import _sort_key_for, distinct as distinct_rows, group_by
+from repro.table.ops import (
+    _hashable,
+    _sort_key_for,
+    distinct as distinct_rows,
+    group_by,
+)
 from repro.table.schema import dedupe_column_names
 from repro.table.schema import is_missing as is_missing_value
 
@@ -37,8 +56,8 @@ __all__ = ["execute_select", "execute_sql", "NativeSQLEngine"]
 
 
 def execute_sql(sql: str, tables: Mapping[str, DataFrame]) -> DataFrame:
-    """Parse and execute ``sql`` against the catalog ``tables``."""
-    return execute_select(parse_select(sql), tables)
+    """Parse (with plan caching) and execute ``sql`` against ``tables``."""
+    return execute_select(parse_select_cached(sql), tables)
 
 
 def execute_select(stmt: SelectStatement,
@@ -55,6 +74,7 @@ def execute_select(stmt: SelectStatement,
 def _execute_select(stmt: SelectStatement,
                     tables: Mapping[str, DataFrame]) -> DataFrame:
     joined = bool(stmt.joins)
+    compiled = compile_enabled()
     if joined:
         frame = _materialize_joins(stmt, tables)
         alias = None
@@ -63,12 +83,20 @@ def _execute_select(stmt: SelectStatement,
         alias = stmt.table_alias or stmt.table
 
     if stmt.where is not None:
-        keep = [
-            row.index for row in frame.iter_rows()
-            if is_truthy(evaluate(stmt.where,
-                                  RowContext(row, alias,
-                                             joined=joined)))
-        ]
+        if compiled:
+            predicate = compile_row(
+                stmt.where, Layout(frame, alias, joined=joined))
+            keep = [
+                index for index, values in enumerate(frame.to_rows())
+                if is_truthy(predicate(values))
+            ]
+        else:
+            keep = [
+                row.index for row in frame.iter_rows()
+                if is_truthy(evaluate(stmt.where,
+                                      RowContext(row, alias,
+                                                 joined=joined)))
+            ]
         frame = frame.take(keep)
 
     is_aggregate_query = bool(stmt.group_by) or any(
@@ -79,17 +107,18 @@ def _execute_select(stmt: SelectStatement,
           and expression_uses_aggregate(stmt.having))
 
     if is_aggregate_query:
-        result = _execute_aggregate(stmt, frame, alias, joined=joined)
+        if compiled:
+            result = _execute_aggregate_compiled(stmt, frame, alias,
+                                                 joined=joined)
+        else:
+            result = _execute_aggregate(stmt, frame, alias, joined=joined)
+    elif compiled:
+        result = _execute_plain_compiled(stmt, frame, alias, joined=joined)
     else:
         result = _execute_plain(stmt, frame, alias, joined=joined)
 
     if stmt.distinct:
         result = distinct_rows(result)
-
-    if stmt.order_by and not is_aggregate_query:
-        # Plain queries order over source rows; but the select list may have
-        # dropped the sort columns, so we ordered eagerly in _execute_plain.
-        pass
 
     if stmt.limit is not None:
         start = min(stmt.offset, result.num_rows)
@@ -121,7 +150,21 @@ def _join_frames(left: DataFrame, right: DataFrame,
     columns = left.columns + right.columns
     rows: list[tuple] = []
     right_rows = right.to_rows()
-    scratch = DataFrame.empty(columns)
+    if compile_enabled():
+        # Compile the ON predicate once against the combined column shape
+        # and probe with plain tuples — no per-pair frame construction.
+        shape = DataFrame.empty(columns)
+        predicate = compile_row(join.on, Layout(shape, None, joined=True))
+        for left_values in left.to_rows():
+            matched = False
+            for right_values in right_rows:
+                candidate = left_values + right_values
+                if is_truthy(predicate(candidate)):
+                    matched = True
+                    rows.append(candidate)
+            if not matched and join.kind == "left":
+                rows.append(left_values + (None,) * right.num_columns)
+        return DataFrame.from_rows(rows, columns)
     for left_values in left.to_rows():
         matched = False
         for right_values in right_rows:
@@ -133,7 +176,6 @@ def _join_frames(left: DataFrame, right: DataFrame,
                 rows.append(candidate)
         if not matched and join.kind == "left":
             rows.append(left_values + (None,) * right.num_columns)
-    del scratch
     return DataFrame.from_rows(rows, columns)
 
 
@@ -168,6 +210,65 @@ def _expand_star(stmt: SelectStatement, frame: DataFrame, *,
     return items
 
 
+def _alias_positions(items: list[SelectItem]) -> dict[str, int]:
+    return {
+        item.alias: position
+        for position, item in enumerate(items) if item.alias
+    }
+
+
+def _compile_order_specs(order_by, items, layout: Layout, *, group: bool):
+    """Lower ORDER BY items to (output position | compiled fn, desc) pairs.
+
+    Select-list aliases resolve against the computed output row (position),
+    everything else compiles against the source layout — the same
+    resolution order as the interpreter's ``_order_key``.
+    """
+    alias_index = _alias_positions(items)
+    lower = compile_group if group else compile_row
+    specs = []
+    for order in order_by:
+        expr = order.expression
+        if (isinstance(expr, ColumnRef) and expr.table is None
+                and expr.name in alias_index):
+            specs.append((alias_index[expr.name], None, order.descending))
+        else:
+            specs.append((None, lower(expr, layout), order.descending))
+    return specs
+
+
+def _order_key_compiled(specs, ctx, out_row) -> tuple:
+    return tuple(
+        _wrap_order_value(out_row[position] if fn is None else fn(ctx),
+                          descending)
+        for position, fn, descending in specs
+    )
+
+
+def _execute_plain_compiled(stmt: SelectStatement, frame: DataFrame,
+                            alias: str | None, *,
+                            joined: bool = False) -> DataFrame:
+    items = _expand_star(stmt, frame, joined=joined)
+    names = _output_names(items)
+    layout = Layout(frame, alias, joined=joined)
+    item_fns = [compile_row(item.expression, layout) for item in items]
+    order_specs = None
+    if stmt.order_by:
+        order_specs = _compile_order_specs(stmt.order_by, items, layout,
+                                           group=False)
+    rows = []
+    order_keys = []
+    for values in frame.to_rows():
+        out = tuple(fn(values) for fn in item_fns)
+        rows.append(out)
+        if order_specs is not None:
+            order_keys.append(_order_key_compiled(order_specs, values, out))
+    if order_specs is not None:
+        indexes = sorted(range(len(rows)), key=order_keys.__getitem__)
+        rows = [rows[i] for i in indexes]
+    return DataFrame.from_rows(rows, names)
+
+
 def _execute_plain(stmt: SelectStatement, frame: DataFrame,
                    alias: str | None, *, joined: bool = False) -> DataFrame:
     items = _expand_star(stmt, frame, joined=joined)
@@ -183,6 +284,79 @@ def _execute_plain(stmt: SelectStatement, frame: DataFrame,
                                          rows[-1], items))
     if stmt.order_by:
         indexes = sorted(range(len(rows)), key=lambda i: order_keys[i])
+        rows = [rows[i] for i in indexes]
+    return DataFrame.from_rows(rows, names)
+
+
+def _execute_aggregate_compiled(stmt: SelectStatement, frame: DataFrame,
+                                alias: str | None, *,
+                                joined: bool = False) -> DataFrame:
+    items = _expand_star(stmt, frame, joined=joined)
+    names = _output_names(items)
+    alias_map = {
+        item.alias: item.expression for item in items if item.alias}
+    layout = Layout(frame, alias, joined=joined)
+    row_tuples = frame.to_rows()
+
+    # Hash-based grouping: one pass over the rows, buckets in first-seen
+    # order, groups held as lists of source row tuples (no sub-frames).
+    groups: list[list[tuple]] = []
+    if stmt.group_by:
+        key_columns = []
+        for expr in stmt.group_by:
+            # GROUP BY may reference a select-list alias (SQLite allows it).
+            if (isinstance(expr, ColumnRef) and expr.table is None
+                    and expr.name not in frame
+                    and expr.name in alias_map):
+                expr = alias_map[expr.name]
+            if isinstance(expr, ColumnRef):
+                if joined:
+                    name = resolve_joined_ref(frame, expr)
+                else:
+                    name = frame.column(expr.name).name
+                key_columns.append(frame.column(name).values)
+            else:
+                fn = compile_row(expr, layout)
+                key_columns.append([fn(values) for values in row_tuples])
+        # Hash every key column in one pass; single-key queries use the
+        # per-value key directly (no wrapping tuple per row).
+        hashed = [[_hashable(value) for value in column]
+                  for column in key_columns]
+        keys = hashed[0] if len(hashed) == 1 else list(zip(*hashed))
+        buckets: dict = {}
+        for group_key, values in zip(keys, row_tuples):
+            bucket = buckets.get(group_key)
+            if bucket is None:
+                buckets[group_key] = bucket = []
+                groups.append(bucket)
+            bucket.append(values)
+    else:
+        if frame.num_rows == 0:
+            return _aggregate_over_empty(items, names, frame, alias)
+        groups.append(row_tuples)
+
+    having_fn = None
+    if stmt.having is not None:
+        having_fn = compile_group(
+            _resolve_aliases(stmt.having, alias_map), layout)
+    item_fns = [compile_group(item.expression, layout) for item in items]
+
+    rows = []
+    kept_groups = []
+    for group_rows in groups:
+        if having_fn is not None and not is_truthy(having_fn(group_rows)):
+            continue
+        rows.append(tuple(fn(group_rows) for fn in item_fns))
+        kept_groups.append(group_rows)
+
+    if stmt.order_by:
+        order_specs = _compile_order_specs(stmt.order_by, items, layout,
+                                           group=True)
+        keys = [
+            _order_key_compiled(order_specs, group_rows, out)
+            for group_rows, out in zip(kept_groups, rows)
+        ]
+        indexes = sorted(range(len(rows)), key=keys.__getitem__)
         rows = [rows[i] for i in indexes]
     return DataFrame.from_rows(rows, names)
 
@@ -335,6 +509,14 @@ def _eval_aggregate_empty(item: SelectItem, frame: DataFrame):
     return None
 
 
+def _wrap_order_value(value, descending: bool) -> tuple:
+    """One ORDER BY key part: NULLs last in both directions (SQLite)."""
+    base = _sort_key_for([value])(value)
+    if descending:
+        base = _Reversed(base)
+    return (is_missing_value(value), base)
+
+
 def _order_key(order_by: tuple[OrderItem, ...], context, row_values,
                items) -> tuple:
     """Build a sort key for one output row.
@@ -343,10 +525,7 @@ def _order_key(order_by: tuple[OrderItem, ...], context, row_values,
     resolved against the computed output row first, then evaluated in the
     row/group context.
     """
-    alias_index = {
-        item.alias: position
-        for position, item in enumerate(items) if item.alias
-    }
+    alias_index = _alias_positions(items)
     key_parts = []
     for order in order_by:
         expr = order.expression
@@ -355,11 +534,7 @@ def _order_key(order_by: tuple[OrderItem, ...], context, row_values,
             value = row_values[alias_index[expr.name]]
         else:
             value = evaluate(expr, context)
-        base = _sort_key_for([value])(value)
-        if order.descending:
-            base = _Reversed(base)
-        # NULLs sort last in both directions (SQLite DESC behaviour).
-        key_parts.append((is_missing_value(value), base))
+        key_parts.append(_wrap_order_value(value, order.descending))
     return tuple(key_parts)
 
 

@@ -1,0 +1,105 @@
+"""LRU parse/plan cache for the native SQL engine.
+
+The agent loop and the serving layer execute many textually identical
+queries (few-shot exemplars, retried chains, majority-vote samples), and
+lexing + parsing dominates the cost of small-table queries.  Parsed
+``SelectStatement`` trees are frozen dataclasses, so one plan can be
+shared freely across threads; this module memoises ``parse_select`` by
+SQL text behind a bounded, thread-safe LRU.
+
+Set ``REPRO_SQL_PLAN_CACHE=0`` to bypass the cache (every call re-parses).
+Parse errors are never cached — a bad query costs a re-parse, not a
+poisoned entry.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+
+from repro.sqlengine.ast_nodes import SelectStatement
+from repro.sqlengine.parser import parse_select
+
+__all__ = [
+    "PlanCache",
+    "DEFAULT_PLAN_CACHE",
+    "plan_cache_enabled",
+    "parse_select_cached",
+]
+
+
+def plan_cache_enabled() -> bool:
+    """True unless ``REPRO_SQL_PLAN_CACHE=0`` disables plan caching."""
+    return os.environ.get("REPRO_SQL_PLAN_CACHE", "1") != "0"
+
+
+class PlanCache:
+    """Thread-safe LRU mapping SQL text to parsed ``SelectStatement``."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: OrderedDict[str, SelectStatement] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, sql: str) -> SelectStatement | None:
+        with self._lock:
+            plan = self._entries.get(sql)
+            if plan is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(sql)
+            self.hits += 1
+            return plan
+
+    def put(self, sql: str, plan: SelectStatement) -> None:
+        with self._lock:
+            if sql in self._entries:
+                self._entries.move_to_end(sql)
+            self._entries[sql] = plan
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict[str, int | float]:
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hits / total if total else 0.0,
+            }
+
+
+#: Process-wide cache used by ``execute_sql``.
+DEFAULT_PLAN_CACHE = PlanCache()
+
+
+def parse_select_cached(sql: str) -> SelectStatement:
+    """``parse_select`` memoised through :data:`DEFAULT_PLAN_CACHE`."""
+    if not plan_cache_enabled():
+        return parse_select(sql)
+    plan = DEFAULT_PLAN_CACHE.get(sql)
+    if plan is None:
+        plan = parse_select(sql)
+        DEFAULT_PLAN_CACHE.put(sql, plan)
+    return plan

@@ -47,7 +47,10 @@ class Column(Sequence):
     def __init__(self, name: str, values: Iterable, dtype: ColumnType | None = None):
         self.name = name
         self._values = tuple(values)
-        self._dtype = dtype if dtype is not None else infer_column_type(self._values)
+        #: Inference is lazy: slicing/filtering a typed column propagates the
+        #: known dtype, and untyped intermediates never pay for inference
+        #: unless something actually asks for it.
+        self._dtype = dtype
 
     @property
     def values(self) -> tuple:
@@ -55,6 +58,8 @@ class Column(Sequence):
 
     @property
     def dtype(self) -> ColumnType:
+        if self._dtype is None:
+            self._dtype = infer_column_type(self._values)
         return self._dtype
 
     def __len__(self) -> int:
@@ -190,7 +195,8 @@ class Row(Mapping):
 class DataFrame:
     """A small relational frame with named, typed columns of equal length."""
 
-    __slots__ = ("_columns", "_order", "name")
+    __slots__ = ("_columns", "_order", "name", "_lowered", "_suffixes",
+                 "_digest")
 
     def __init__(self, columns=None, *, name: str = ""):
         """Create a frame.
@@ -202,6 +208,10 @@ class DataFrame:
         self._columns: dict[str, Column] = {}
         self._order: list[str] = []
         self.name = name
+        # Lazily-built lookup/digest caches; __setitem__ invalidates them.
+        self._lowered: dict[str, str] | None = None
+        self._suffixes: dict[str, list[str]] | None = None
+        self._digest: str | None = None
         if columns is None:
             return
         if isinstance(columns, Mapping):
@@ -313,15 +323,77 @@ class DataFrame:
 
     def column(self, name: str) -> Column:
         """Return the column named ``name`` (exact, then normalised match)."""
-        if name in self._columns:
-            return self._columns[name]
+        found = self._columns.get(name)
+        if found is not None:
+            return found
         # Forgiving lookup: case-insensitive match, the way SQLite resolves
         # identifiers. Distinct from the agent's *normalisation* handler.
-        lowered = name.lower()
-        for key in self._order:
-            if key.lower() == lowered:
-                return self._columns[key]
+        key = self.lowered_names().get(name.lower())
+        if key is not None:
+            return self._columns[key]
         raise ColumnNotFoundError(name, tuple(self._order))
+
+    def lowered_names(self) -> dict[str, str]:
+        """Cached ``lowercase -> first matching column name`` map.
+
+        Both the SQL interpreter and the expression compiler resolve
+        identifiers through this map instead of re-lowercasing every column
+        on every row.
+        """
+        if self._lowered is None:
+            lowered: dict[str, str] = {}
+            for key in self._order:
+                lowered.setdefault(key.lower(), key)
+            self._lowered = lowered
+        return self._lowered
+
+    def suffix_names(self) -> dict[str, list[str]]:
+        """Cached map of dot-suffixes over alias-prefixed column names.
+
+        For a column ``t.a.b`` the entries are ``"a.b"`` and ``"b"`` — i.e.
+        every tail that follows a ``.`` — so bare references over joined
+        frames resolve without scanning all columns per row.
+        """
+        if self._suffixes is None:
+            suffixes: dict[str, list[str]] = {}
+            for key in self._order:
+                lowered = key.lower()
+                position = lowered.find(".")
+                while position != -1:
+                    suffixes.setdefault(lowered[position + 1:],
+                                        []).append(key)
+                    position = lowered.find(".", position + 1)
+            self._suffixes = suffixes
+        return self._suffixes
+
+    def content_digest(self) -> str:
+        """Stable digest of (columns, dtypes, rows); cached per frame.
+
+        This is the shared fingerprint the serving answer cache and the
+        prompt-encoding cache key on (see :mod:`repro.perf.fingerprint`).
+        The frame name is deliberately excluded: two frames with equal
+        contents are interchangeable.
+        """
+        if self._digest is None:
+            import hashlib
+
+            hasher = hashlib.blake2b(digest_size=16)
+            hasher.update("\x1f".join(self._order).encode("utf-8"))
+            hasher.update("\x1f".join(
+                str(self._columns[name].dtype)
+                for name in self._order).encode("utf-8"))
+            for row in self.to_rows():
+                encoded = "\x1f".join(
+                    "\x00" if is_missing(value) else
+                    f"{type(value).__name__}\x01{value}" for value in row)
+                hasher.update(b"\x1e" + encoded.encode("utf-8"))
+            self._digest = hasher.hexdigest()
+        return self._digest
+
+    def _invalidate_caches(self) -> None:
+        self._lowered = None
+        self._suffixes = None
+        self._digest = None
 
     def __getitem__(self, key):
         if isinstance(key, str):
@@ -346,9 +418,13 @@ class DataFrame:
             raise SchemaError(
                 f"cannot assign {len(column)} values to column {name!r} "
                 f"in a frame of {self.num_rows} rows")
+        # Force inference so unsupported value types fail *here*, inside
+        # whatever executed the assignment, not at some later render.
+        column.dtype
         if name not in self._columns:
             self._order.append(name)
         self._columns[name] = column
+        self._invalidate_caches()
 
     def cell(self, row_index: int, column: str | int):
         """Value at (row, column); the column may be a name or position."""
@@ -371,7 +447,9 @@ class DataFrame:
 
     def to_rows(self) -> list[tuple]:
         cols = [self._columns[name].values for name in self._order]
-        return [tuple(col[i] for col in cols) for i in range(self.num_rows)]
+        if not cols:
+            return [() for _ in range(self.num_rows)]
+        return list(zip(*cols))
 
     def to_records(self) -> list[dict]:
         return [row.as_dict() for row in self.iter_rows()]

@@ -90,17 +90,19 @@ def sort_by(frame: DataFrame, columns: Sequence[str],
     if len(descending) != len(columns):
         raise TableError("descending flags must match sort columns")
     indexes = list(range(frame.num_rows))
-    # Stable sort from the least-significant key outward.
+    # Stable sort from the least-significant key outward.  Sort keys are
+    # precomputed once per column (one pass over the values) so the sort
+    # itself is a plain list lookup per element.
     for name, desc in reversed(list(zip(columns, descending))):
         values = frame.column(name).values
         key = _sort_key_for(values)
-
-        def sort_key(i, values=values, key=key, desc=desc):
-            missing = is_missing(values[i])
-            base = key(values[i])
-            return (missing, DescendingKey(base) if desc else base)
-
-        indexes.sort(key=sort_key)
+        if desc:
+            decorated = [(is_missing(value), DescendingKey(key(value)))
+                         for value in values]
+        else:
+            decorated = [(is_missing(value), key(value))
+                         for value in values]
+        indexes.sort(key=decorated.__getitem__)
     return frame.take(indexes)
 
 
@@ -232,17 +234,27 @@ class GroupedFrame:
         ``aggregations`` is a sequence of ``(agg_name, column, out_name)``
         triples; ``column`` may be ``"*"`` for ``COUNT(*)``.  The result has
         the group keys followed by one column per aggregation.
+
+        Works directly off the grouped row indexes — no per-group sub-frame
+        is materialised.
         """
         out_columns = self.keys + [out for _, _, out in aggregations]
+        key_columns = [self.frame.column(name).values for name in self.keys]
+        agg_columns = [
+            None if column == "*" else self.frame.column(column).values
+            for _, column, _ in aggregations
+        ]
         rows = []
-        for key_values, sub in self.groups():
-            row = list(key_values)
-            for agg_name, column, _ in aggregations:
-                if column == "*":
-                    row.append(sub.num_rows)
+        for group_key in self._order:
+            indexes = self._groups[group_key]
+            first = indexes[0]
+            row = [col[first] for col in key_columns]
+            for (agg_name, _, _), values in zip(aggregations, agg_columns):
+                if values is None:
+                    row.append(len(indexes))
                 else:
                     row.append(aggregate_values(
-                        agg_name, sub.column(column).tolist()))
+                        agg_name, [values[i] for i in indexes]))
             rows.append(tuple(row))
         return DataFrame.from_rows(rows, out_columns)
 

@@ -1,0 +1,87 @@
+"""The prompt-encoding cache must be invisible except for speed."""
+
+import pytest
+
+from repro.perf import (
+    EncodedTableCache,
+    encode_cache_enabled,
+    encode_head_row_cached,
+)
+from repro.table import DataFrame, encode_head_row
+
+
+def _frame() -> DataFrame:
+    return DataFrame({
+        "city": ["Oslo", "Lima", "Pune"],
+        "pop": [709, 9752, 3124],
+    }, name="T0")
+
+
+class TestEncodeHeadRowCached:
+    def test_matches_direct_encoding(self):
+        frame = _frame()
+        assert (encode_head_row_cached(frame, max_rows=None)
+                == encode_head_row(frame, max_rows=None))
+
+    def test_disabled_bypasses_cache(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENCODE_CACHE", "0")
+        assert not encode_cache_enabled()
+        frame = _frame()
+        assert (encode_head_row_cached(frame, max_rows=2)
+                == encode_head_row(frame, max_rows=2))
+
+    def test_mutation_is_never_stale(self):
+        frame = _frame()
+        before = encode_head_row_cached(frame, max_rows=None)
+        frame["pop"] = [1, 2, 3]
+        after = encode_head_row_cached(frame, max_rows=None)
+        assert after != before
+        assert after == encode_head_row(frame, max_rows=None)
+
+    def test_max_rows_is_part_of_the_key(self):
+        frame = _frame()
+        assert (encode_head_row_cached(frame, max_rows=1)
+                != encode_head_row_cached(frame, max_rows=2))
+
+
+class TestEncodedTableCache:
+    def test_hit_and_miss_counters(self):
+        cache = EncodedTableCache()
+        frame = _frame()
+        cache.encode(frame, max_rows=None)
+        cache.encode(frame, max_rows=None)
+        stats = cache.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_equal_content_shares_an_entry(self):
+        cache = EncodedTableCache()
+        cache.encode(_frame(), max_rows=None)
+        rendered = cache.encode(_frame(), max_rows=None)
+        assert len(cache) == 1
+        assert cache.stats()["hits"] == 1
+        assert rendered == encode_head_row(_frame(), max_rows=None)
+
+    def test_lru_eviction(self):
+        cache = EncodedTableCache(capacity=2)
+        frames = [DataFrame({"a": [i]}, name="T") for i in range(3)]
+        for frame in frames:
+            cache.encode(frame, max_rows=None)
+        assert len(cache) == 2
+        assert cache.stats()["evictions"] == 1
+        # frames[0] was evicted: encoding it again is a miss.
+        misses = cache.stats()["misses"]
+        cache.encode(frames[0], max_rows=None)
+        assert cache.stats()["misses"] == misses + 1
+
+    def test_clear(self):
+        cache = EncodedTableCache()
+        cache.encode(_frame(), max_rows=None)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["misses"] == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EncodedTableCache(capacity=0)

@@ -1,0 +1,51 @@
+"""Content fingerprinting: digests must track content, not identity."""
+
+from repro.perf import combined_fingerprint, table_digest
+from repro.table import DataFrame
+
+
+def _frame() -> DataFrame:
+    return DataFrame({"a": [1, 2], "b": ["x", "y"]}, name="T0")
+
+
+class TestTableDigest:
+    def test_stable_across_equal_frames(self):
+        assert table_digest(_frame()) == table_digest(_frame())
+
+    def test_type_tagged_cells(self):
+        # 1 and "1" must not collide — the codec renders them the same,
+        # but SQL semantics differ, so the digest is type-aware.
+        ints = DataFrame({"a": [1]}, name="T")
+        strs = DataFrame({"a": ["1"]}, name="T")
+        assert table_digest(ints) != table_digest(strs)
+
+    def test_changes_with_values(self):
+        frame = _frame()
+        other = _frame()
+        other["a"] = [1, 3]
+        assert table_digest(frame) != table_digest(other)
+
+    def test_changes_with_column_names(self):
+        left = DataFrame({"a": [1]}, name="T")
+        right = DataFrame({"b": [1]}, name="T")
+        assert table_digest(left) != table_digest(right)
+
+    def test_setitem_invalidates_cached_digest(self):
+        frame = _frame()
+        before = table_digest(frame)
+        frame["a"] = [9, 9]
+        assert table_digest(frame) != before
+
+
+class TestCombinedFingerprint:
+    def test_deterministic(self):
+        parts = ["q", "cfg", "42"]
+        assert combined_fingerprint(parts) == combined_fingerprint(parts)
+
+    def test_order_sensitive(self):
+        assert (combined_fingerprint(["a", "b"])
+                != combined_fingerprint(["b", "a"]))
+
+    def test_separator_prevents_concatenation_collisions(self):
+        assert (combined_fingerprint(["ab", "c"])
+                != combined_fingerprint(["a", "bc"]))

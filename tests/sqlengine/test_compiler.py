@@ -1,0 +1,122 @@
+"""Unit tests for the expression compiler (Layout, closures, aggregates)."""
+
+import pytest
+
+from repro.errors import SQLRuntimeError
+from repro.sqlengine import (
+    Layout,
+    compile_enabled,
+    compile_group,
+    compile_row,
+)
+from repro.sqlengine.ast_nodes import ColumnRef
+from repro.sqlengine.parser import parse_select
+from repro.table import DataFrame
+
+
+def _frame() -> DataFrame:
+    return DataFrame({
+        "Name": ["a", "b", "c"],
+        "score": [10, None, 30],
+    }, name="T0")
+
+
+def _expr(fragment: str):
+    """Parse ``SELECT <fragment> FROM T`` and return the item expression."""
+    return parse_select(f"SELECT {fragment} FROM T").items[0].expression
+
+
+class TestLayout:
+    def test_exact_name(self):
+        layout = Layout(_frame())
+        assert layout.index_of(ColumnRef(name="score")) == 1
+
+    def test_case_insensitive_fallback(self):
+        layout = Layout(_frame())
+        assert layout.index_of(ColumnRef(name="name")) == 0
+        assert layout.index_of(ColumnRef(name="SCORE")) == 1
+
+    def test_missing_column_raises_interpreter_error(self):
+        layout = Layout(_frame())
+        with pytest.raises(SQLRuntimeError, match="no such column: nope"):
+            layout.index_of(ColumnRef(name="nope"))
+
+    def test_joined_qualified_and_suffix(self):
+        joined = DataFrame({
+            "a.k": ["x"], "a.v": [1], "b.k": ["x"], "b.w": [2],
+        }, name="J")
+        layout = Layout(joined, joined=True)
+        assert layout.index_of(ColumnRef(name="v", table="a")) == 1
+        # unique suffix resolves without a qualifier
+        assert layout.index_of(ColumnRef(name="w")) == 3
+        with pytest.raises(SQLRuntimeError, match="ambiguous column"):
+            layout.index_of(ColumnRef(name="k"))
+
+
+class TestCompileRow:
+    def test_arithmetic_over_row(self):
+        fn = compile_row(_expr("score * 2 + 1"), Layout(_frame()))
+        assert fn(("a", 10)) == 21
+        assert fn(("b", None)) is None
+
+    def test_short_circuit_and(self):
+        fn = compile_row(_expr("score > 5 AND Name = 'a'"),
+                         Layout(_frame()))
+        assert fn(("a", 10)) is True
+        assert fn(("b", 2)) is False
+        assert fn(("a", None)) is None
+
+    def test_raiser_defers_until_called(self):
+        # Compilation of an unknown column must succeed; the error fires
+        # only when a row is evaluated (interpreter parity on empty input).
+        fn = compile_row(_expr("nope + 1"), Layout(_frame()))
+        with pytest.raises(SQLRuntimeError, match="no such column: nope"):
+            fn(("a", 10))
+
+    def test_aggregate_in_row_context_raises_on_call(self):
+        fn = compile_row(_expr("SUM(score)"), Layout(_frame()))
+        with pytest.raises(SQLRuntimeError, match="outside GROUP BY"):
+            fn(("a", 10))
+
+    def test_scalar_function(self):
+        fn = compile_row(_expr("UPPER(Name)"), Layout(_frame()))
+        assert fn(("abc", 1)) == "ABC"
+
+
+class TestCompileGroup:
+    ROWS = [("a", 10), ("b", None), ("a", 30)]
+
+    def test_count_star(self):
+        fn = compile_group(_expr("COUNT(*)"), Layout(_frame()))
+        assert fn(self.ROWS) == 3
+
+    def test_sum_skips_nulls(self):
+        fn = compile_group(_expr("SUM(score)"), Layout(_frame()))
+        assert fn(self.ROWS) == 40
+
+    def test_count_distinct(self):
+        fn = compile_group(_expr("COUNT(DISTINCT Name)"),
+                           Layout(_frame()))
+        assert fn(self.ROWS) == 2
+
+    def test_group_concat(self):
+        fn = compile_group(_expr("GROUP_CONCAT(Name)"), Layout(_frame()))
+        assert fn(self.ROWS) == "a,b,a"
+
+    def test_bare_column_reads_first_row(self):
+        fn = compile_group(_expr("Name"), Layout(_frame()))
+        assert fn(self.ROWS) == "a"
+
+    def test_aggregate_over_expression_argument(self):
+        fn = compile_group(_expr("SUM(score * 2)"), Layout(_frame()))
+        assert fn(self.ROWS) == 80
+
+
+class TestCompileEnabled:
+    def test_default_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SQL_COMPILE", raising=False)
+        assert compile_enabled() is True
+
+    def test_zero_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SQL_COMPILE", "0")
+        assert compile_enabled() is False

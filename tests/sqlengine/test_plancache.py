@@ -1,0 +1,84 @@
+"""Unit tests for the SQL parse/plan cache."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sqlengine import (
+    DEFAULT_PLAN_CACHE,
+    PlanCache,
+    parse_select_cached,
+    plan_cache_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_default_cache():
+    DEFAULT_PLAN_CACHE.clear()
+    yield
+    DEFAULT_PLAN_CACHE.clear()
+
+
+class TestParseSelectCached:
+    SQL = "SELECT a, COUNT(*) FROM T GROUP BY a"
+
+    def test_repeat_returns_same_plan_object(self):
+        first = parse_select_cached(self.SQL)
+        second = parse_select_cached(self.SQL)
+        assert first is second
+
+    def test_disabled_reparses(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SQL_PLAN_CACHE", "0")
+        assert not plan_cache_enabled()
+        first = parse_select_cached(self.SQL)
+        second = parse_select_cached(self.SQL)
+        assert first is not second
+        assert first == second
+
+    def test_parse_errors_are_not_cached(self):
+        for _ in range(2):
+            with pytest.raises(SQLSyntaxError):
+                parse_select_cached("SELEC nonsense FROM")
+        assert len(DEFAULT_PLAN_CACHE) == 0
+
+
+class TestPlanCache:
+    def test_lru_eviction_at_capacity(self):
+        cache = PlanCache(capacity=2)
+        for sql in ("SELECT 1", "SELECT 2", "SELECT 3"):
+            cache.put(sql, object())
+        assert len(cache) == 2
+        assert cache.get("SELECT 1") is None  # oldest evicted
+        assert cache.get("SELECT 3") is not None
+        assert cache.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = PlanCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")           # 'a' is now most recent
+        cache.put("c", 3)        # evicts 'b'
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+
+    def test_stats_counters(self):
+        cache = PlanCache(capacity=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("missing")
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["size"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_clear_resets(self):
+        cache = PlanCache()
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["hits"] == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)

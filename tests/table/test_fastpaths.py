@@ -1,0 +1,86 @@
+"""Columnar fast paths: lazy dtypes, cached lookups, cache invalidation."""
+
+from repro.table import DataFrame
+from repro.table.frame import Column
+from repro.table.schema import ColumnType
+
+
+class TestLazyDtype:
+    def test_inference_is_deferred(self):
+        column = Column("a", [1, 2, 3])
+        assert column._dtype is None
+        assert column.dtype is ColumnType.INTEGER
+        assert column._dtype is ColumnType.INTEGER  # memoised
+
+    def test_slice_propagates_known_dtype(self):
+        column = Column("a", [1, 2, 3])
+        _ = column.dtype
+        assert column[:2]._dtype is ColumnType.INTEGER
+
+    def test_slice_of_unknown_dtype_stays_lazy(self):
+        column = Column("a", [1, 2, 3])
+        assert column[:2]._dtype is None
+
+    def test_take_propagates_dtype_without_reinference(self):
+        frame = DataFrame({"a": [1, 2, 3], "b": ["x", "y", "z"]})
+        _ = frame.column("a").dtype
+        taken = frame.take([0, 2])
+        assert taken.column("a")._dtype is ColumnType.INTEGER
+
+    def test_select_reuses_column_objects(self):
+        frame = DataFrame({"a": [1], "b": [2]})
+        assert frame.select(["b"]).column("b") is frame.column("b")
+
+
+class TestLookupCaches:
+    def test_lowered_names_cached(self):
+        frame = DataFrame({"Name": ["x"], "Score": [1]})
+        lowered = frame.lowered_names()
+        assert lowered == {"name": "Name", "score": "Score"}
+        assert frame.lowered_names() is lowered
+
+    def test_lowered_names_first_match_wins(self):
+        frame = DataFrame({"a": [1], "A": [2]})
+        assert frame.lowered_names()["a"] == "a"
+
+    def test_suffix_names(self):
+        frame = DataFrame({"t.a": [1], "u.a": [2], "u.b": [3]})
+        suffixes = frame.suffix_names()
+        assert suffixes["a"] == ["t.a", "u.a"]
+        assert suffixes["b"] == ["u.b"]
+        assert frame.suffix_names() is suffixes
+
+    def test_setitem_invalidates_lookup_caches(self):
+        frame = DataFrame({"A": [1]})
+        frame.lowered_names()
+        frame.suffix_names()
+        frame["t.B"] = [2]
+        assert "t.b" in frame.lowered_names()
+        assert frame.suffix_names()["b"] == ["t.B"]
+
+    def test_case_insensitive_column_lookup(self):
+        frame = DataFrame({"Name": ["x"]})
+        assert frame.column("name").name == "Name"
+
+
+class TestDigestCache:
+    def test_digest_cached_until_mutation(self):
+        frame = DataFrame({"a": [1, 2]})
+        first = frame.content_digest()
+        assert frame.content_digest() == first
+        frame["a"] = [3, 4]
+        assert frame.content_digest() != first
+
+    def test_name_excluded_from_digest(self):
+        left = DataFrame({"a": [1]}, name="T0")
+        right = DataFrame({"a": [1]}, name="T9")
+        assert left.content_digest() == right.content_digest()
+
+
+class TestToRows:
+    def test_zero_copy_tuples(self):
+        frame = DataFrame({"a": [1, 2], "b": ["x", "y"]})
+        assert frame.to_rows() == [(1, "x"), (2, "y")]
+
+    def test_no_columns(self):
+        assert DataFrame().to_rows() == []

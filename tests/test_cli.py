@@ -49,6 +49,19 @@ class TestParser:
         assert args.breaker_threshold == 5
         assert args.verify_passthrough
 
+    def test_perf_defaults(self):
+        args = build_parser().parse_args(["perf"])
+        assert not args.timings
+        assert not args.update_baseline
+        assert args.baseline is None
+
+    def test_perf_options(self):
+        args = build_parser().parse_args([
+            "perf", "--timings", "--baseline", "b.json",
+        ])
+        assert args.timings
+        assert args.baseline == "b.json"
+
     def test_chaos_options(self):
         args = build_parser().parse_args([
             "chaos", "tabfact", "--rates", "0,0.5", "--size", "10",
@@ -140,6 +153,19 @@ class TestBatch:
         metrics = json.loads(metrics_path.read_text())
         assert metrics["completed"] == 6
         assert trace_path.exists()
+
+
+class TestPerf:
+    def test_smoke_passes(self, capsys):
+        assert main(["perf"]) == 0
+        assert "perf checks: ok" in capsys.readouterr().out
+
+    def test_timings_with_fresh_baseline(self, capsys, tmp_path):
+        baseline = tmp_path / "b.json"
+        assert main(["perf", "--timings",
+                     "--baseline", str(baseline)]) == 0
+        assert baseline.exists()
+        assert "native_group_aggregate" in capsys.readouterr().out
 
 
 class TestChaos:

@@ -17,6 +17,11 @@ Subcommands:
 * ``perf`` — the performance-layer smoke: optimisations disabled must
   produce identical results (compiled vs interpreted SQL, caches on vs
   off); ``--timings`` additionally runs the benchmark regression gate.
+* ``trace`` — inspect a telemetry trace file written by ``batch``,
+  ``chaos``, or ``analyze``: ``summary`` (per-request span depth,
+  per-stage wall time, token totals), ``critical-path``, ``flame``
+  (text flamegraph), and ``export --format chrome`` (Perfetto /
+  ``chrome://tracing``).
 """
 
 from __future__ import annotations
@@ -178,8 +183,10 @@ def _cmd_batch(args) -> int:
         path = metrics.save(args.metrics_out)
         print(f"metrics written: {path}")
     if tracer is not None:
-        path = tracer.save(args.trace)
-        print(f"trace written: {path} ({len(tracer)} events)")
+        path = tracer.telemetry.save(args.trace)
+        print(f"trace written: {path} "
+              f"({len(tracer.telemetry.spans)} spans, "
+              f"{len(tracer)} events)")
     return 0
 
 
@@ -273,8 +280,10 @@ def _cmd_chaos(args) -> int:
         path = last_metrics.save(args.metrics_out)
         print(f"metrics written (last rate): {path}")
     if tracer is not None:
-        path = tracer.save(args.trace)
-        print(f"trace written: {path} ({len(tracer)} events)")
+        path = tracer.telemetry.save(args.trace)
+        print(f"trace written: {path} "
+              f"({len(tracer.telemetry.spans)} spans, "
+              f"{len(tracer)} events)")
     return exit_code
 
 
@@ -304,8 +313,51 @@ def _cmd_analyze(args) -> int:
     report = analyze_agent(agent, benchmark)
     print(report.render())
     if tracer is not None:
-        path = tracer.save(args.trace)
-        print(f"\ntrace written: {path} ({len(tracer)} events)")
+        from repro.telemetry import TraceAnalyzer, load_trace
+
+        path = tracer.telemetry.save(args.trace)
+        print(f"\ntrace written: {path} "
+              f"({len(tracer.telemetry.spans)} spans, "
+              f"{len(tracer)} events)")
+        # The same per-stage view `repro trace summary <path>` gives.
+        analyzer = TraceAnalyzer(load_trace(path))
+        summary = analyzer.summary()
+        print(f"traced: {summary['total_requests']} chains, "
+              f"{summary['prompt_tokens']} prompt + "
+              f"{summary['completion_tokens']} completion tokens over "
+              f"{summary['model_calls']} model calls")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.telemetry import (TraceAnalyzer, load_trace,
+                                 write_chrome_trace)
+
+    try:
+        trace = load_trace(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load trace {args.path!r}: {exc}", file=sys.stderr)
+        return 2
+    analyzer = TraceAnalyzer(trace)
+    if args.trace_command == "summary":
+        print(analyzer.summary_text())
+    elif args.trace_command == "critical-path":
+        print(analyzer.critical_path_text())
+    elif args.trace_command == "flame":
+        print(analyzer.flamegraph_text(width=args.width))
+    elif args.trace_command == "export":
+        out = args.output
+        if args.format == "chrome":
+            out = out or "trace.chrome.json"
+            path = write_chrome_trace(trace, out)
+            print(f"chrome trace written: {path} "
+                  f"(open in Perfetto / chrome://tracing)")
+        else:
+            out = out or "trace.copy.jsonl"
+            from pathlib import Path
+            from shutil import copyfile
+            copyfile(args.path, out)
+            print(f"trace copied: {Path(out)}")
     return 0
 
 
@@ -415,6 +467,33 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--baseline", metavar="PATH", default=None,
                       help="alternate baseline JSON path")
     perf.set_defaults(func=_cmd_perf)
+
+    trace = sub.add_parser(
+        "trace", help="inspect a telemetry trace file")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    t_summary = trace_sub.add_parser(
+        "summary", help="per-request span/time/token breakdown")
+    t_summary.add_argument("path", help="trace JSONL file")
+    t_summary.set_defaults(func=_cmd_trace)
+    t_crit = trace_sub.add_parser(
+        "critical-path", help="longest span chain per request")
+    t_crit.add_argument("path", help="trace JSONL file")
+    t_crit.set_defaults(func=_cmd_trace)
+    t_flame = trace_sub.add_parser(
+        "flame", help="text flamegraph per request")
+    t_flame.add_argument("path", help="trace JSONL file")
+    t_flame.add_argument("--width", type=int, default=60,
+                         help="bar width in characters")
+    t_flame.set_defaults(func=_cmd_trace)
+    t_export = trace_sub.add_parser(
+        "export", help="convert the trace for external viewers")
+    t_export.add_argument("path", help="trace JSONL file")
+    t_export.add_argument("--format", default="chrome",
+                          choices=("chrome", "jsonl"),
+                          help="chrome trace_event JSON or raw JSONL")
+    t_export.add_argument("-o", "--output", metavar="PATH", default=None,
+                          help="output path (defaults beside the input)")
+    t_export.set_defaults(func=_cmd_trace)
 
     an = sub.add_parser("analyze",
                         help="error analysis with optional tracing")

@@ -32,6 +32,8 @@ from repro.errors import ActionParseError, ExecutionError, IterationLimitError
 from repro.executors.registry import ExecutorRegistry, default_registry
 from repro.llm.base import LanguageModel
 from repro.table.frame import DataFrame
+from repro.telemetry.cost import estimate_tokens
+from repro.telemetry.spans import activate, span
 
 __all__ = ["AgentResult", "ReActTableAgent"]
 
@@ -117,8 +119,20 @@ class ReActTableAgent:
         if self.normalize_columns:
             table = _normalize_table_columns(table)
         transcript = Transcript(table.with_name("T0"), question)
+        chain = None
         if self.tracer is not None:
-            self.tracer.start_chain(question)
+            chain = self.tracer.start_chain(question)
+        # With a tracer, its telemetry store becomes ambient for the
+        # chain; without one, activate(None) leaves any enclosing store
+        # (the serving pool's request span) in place.
+        telemetry = self.tracer.telemetry if self.tracer is not None else None
+        with activate(telemetry), span("agent_run", trace_id=chain) as root:
+            if root is not None:
+                root.set(question=question[:120])
+            return self._run_chain(model, prompt_builder, transcript)
+
+    def _run_chain(self, model: LanguageModel, prompt_builder: PromptBuilder,
+                   transcript: Transcript) -> AgentResult:
         events: list[str] = []
         iterations = 0
         forced = False
@@ -129,86 +143,98 @@ class ReActTableAgent:
                  and iterations >= self.max_iterations)
                 or iterations >= HARD_ITERATION_CAP
             )
-            prompt = prompt_builder.build(
-                transcript, force_answer=forced or at_limit)
-            if self.tracer is not None:
-                self.tracer.emit("prompt", iterations,
-                                 chars=len(prompt),
-                                 forced=forced or at_limit)
-            completions = model.complete(
-                prompt, temperature=self.temperature, n=1)
-            if not completions:
+            with span("iteration", index=iterations):
+                prompt = prompt_builder.build(
+                    transcript, force_answer=forced or at_limit)
                 if self.tracer is not None:
-                    self.tracer.emit("model_fault", iterations,
-                                     error="empty completion batch")
-                if forced or at_limit:
-                    # Even the forced answer came back empty: give up.
-                    return AgentResult([], transcript, iterations,
-                                       forced=True,
+                    self.tracer.emit("prompt", iterations,
+                                     chars=len(prompt),
+                                     forced=forced or at_limit)
+                with span("model_call") as call:
+                    completions = model.complete(
+                        prompt, temperature=self.temperature, n=1)
+                    if call is not None:
+                        call.add_tokens(
+                            prompt=estimate_tokens(prompt),
+                            completion=sum(estimate_tokens(c.text)
+                                           for c in completions),
+                            calls=1)
+                if not completions:
+                    if self.tracer is not None:
+                        self.tracer.emit("model_fault", iterations,
+                                         error="empty completion batch")
+                    if forced or at_limit:
+                        # Even the forced answer came back empty: give up.
+                        return AgentResult([], transcript, iterations,
+                                           forced=True,
+                                           handling_events=events)
+                    events.append("empty completion batch; forcing answer")
+                    forced = True
+                    continue
+                completion = completions[0]
+                try:
+                    action = parse_action(completion.text)
+                    if self.tracer is not None:
+                        self.tracer.emit("action", iterations,
+                                         action=action.kind,
+                                         payload=action.payload)
+                except ActionParseError:
+                    if forced or at_limit:
+                        # Even the forced answer is unparseable: give up
+                        # empty.
+                        return AgentResult([], transcript, iterations,
+                                           forced=True,
+                                           handling_events=events)
+                    events.append("unparseable completion; forcing answer")
+                    forced = True
+                    continue
+                if action.kind == ActionKind.ANSWER or forced or at_limit:
+                    answer = (action.answer_values
+                              if action.kind == ActionKind.ANSWER else [])
+                    transcript.steps.append(TranscriptStep(action))
+                    if self.tracer is not None:
+                        self.tracer.end_chain(
+                            iterations, answer="|".join(answer),
+                            forced=forced or at_limit)
+                    return AgentResult(answer, transcript, iterations,
+                                       forced=forced or at_limit,
                                        handling_events=events)
-                events.append("empty completion batch; forcing answer")
-                forced = True
-                continue
-            completion = completions[0]
-            try:
-                action = parse_action(completion.text)
-                if self.tracer is not None:
-                    self.tracer.emit("action", iterations,
-                                     action=action.kind,
-                                     payload=action.payload)
-            except ActionParseError:
-                if forced or at_limit:
-                    # Even the forced answer is unparseable: give up empty.
-                    return AgentResult([], transcript, iterations,
-                                       forced=True,
-                                       handling_events=events)
-                events.append("unparseable completion; forcing answer")
-                forced = True
-                continue
-            if action.kind == ActionKind.ANSWER or forced or at_limit:
-                answer = (action.answer_values
-                          if action.kind == ActionKind.ANSWER else [])
-                transcript.steps.append(TranscriptStep(action))
-                if self.tracer is not None:
-                    self.tracer.end_chain(
-                        iterations, answer="|".join(answer),
-                        forced=forced or at_limit)
-                return AgentResult(answer, transcript, iterations,
-                                   forced=forced or at_limit,
-                                   handling_events=events)
-            # Code action: run the matching executor over the history.
-            try:
-                executor = self.registry.get(action.kind)
-            except Exception:
-                events.append(
-                    f"no executor for {action.kind!r}; forcing answer")
-                forced = True
-                continue
-            try:
-                outcome = executor.execute(action.payload,
-                                           transcript.tables)
-            except ExecutionError as exc:
-                # The paper's "other exceptions" path: force an answer.
-                events.append(
-                    f"{action.kind} execution failed "
-                    f"({type(exc).__name__}); forcing answer")
+                # Code action: run the matching executor over the history.
+                try:
+                    executor = self.registry.get(action.kind)
+                except Exception:
+                    events.append(
+                        f"no executor for {action.kind!r}; forcing answer")
+                    forced = True
+                    continue
+                try:
+                    # The executor opens its own stage span
+                    # (``sql_execute`` / ``python_exec``), so no extra
+                    # wrapper span is paid here.
+                    outcome = executor.execute(action.payload,
+                                               transcript.tables)
+                except ExecutionError as exc:
+                    # The paper's "other exceptions" path: force an answer.
+                    events.append(
+                        f"{action.kind} execution failed "
+                        f"({type(exc).__name__}); forcing answer")
+                    if self.tracer is not None:
+                        self.tracer.emit("execution", iterations,
+                                         language=action.kind,
+                                         failed=True,
+                                         error=type(exc).__name__)
+                    forced = True
+                    continue
+                events.extend(outcome.handling_notes)
                 if self.tracer is not None:
                     self.tracer.emit("execution", iterations,
-                                     language=action.kind,
-                                     failed=True,
-                                     error=type(exc).__name__)
-                forced = True
-                continue
-            events.extend(outcome.handling_notes)
-            if self.tracer is not None:
-                self.tracer.emit("execution", iterations,
-                                 language=action.kind, failed=False,
-                                 rows=outcome.table.num_rows,
-                                 recovered=outcome.recovered)
-                for note in outcome.handling_notes:
-                    self.tracer.emit("recovery", iterations, note=note)
-            new_table = outcome.table.with_name(
-                f"T{transcript.num_code_steps + 1}")
-            transcript.steps.append(
-                TranscriptStep(action, new_table,
-                               list(outcome.handling_notes)))
+                                     language=action.kind, failed=False,
+                                     rows=outcome.table.num_rows,
+                                     recovered=outcome.recovered)
+                    for note in outcome.handling_notes:
+                        self.tracer.emit("recovery", iterations, note=note)
+                new_table = outcome.table.with_name(
+                    f"T{transcript.num_code_steps + 1}")
+                transcript.steps.append(
+                    TranscriptStep(action, new_table,
+                                   list(outcome.handling_notes)))

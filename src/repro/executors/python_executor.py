@@ -29,6 +29,7 @@ from repro.errors import (
 from repro.executors.base import CodeExecutor, ExecutionOutcome
 from repro.executors.sandbox import SAFE_BUILTINS, StepLimiter, validate_code
 from repro.table.frame import Column, DataFrame
+from repro.telemetry.spans import span
 
 __all__ = ["PythonExecutor", "PRELOADED_MODULES", "INSTALLABLE_MODULES"]
 
@@ -77,7 +78,8 @@ class PythonExecutor(CodeExecutor):
         # One retry per newly installed module, as in the paper.
         for _ in range(1 + len(INSTALLABLE_MODULES)):
             try:
-                table = self._run(code, tables)
+                with span("python_exec", chars=len(code)):
+                    table = self._run(code, tables)
             except _MissingModule as missing:
                 if not self.allow_runtime_install:
                     raise ModuleNotAllowedError(missing.name, code=code)

@@ -25,6 +25,7 @@ from repro.executors.base import CodeExecutor, ExecutionOutcome
 from repro.sqlengine.executor import execute_sql
 from repro.table.frame import DataFrame
 from repro.table.schema import ColumnType, is_missing
+from repro.telemetry.spans import span
 
 __all__ = ["SQLExecutor", "run_sqlite_query", "rewrite_from_table"]
 
@@ -152,7 +153,10 @@ class SQLExecutor(CodeExecutor):
 
     def _run(self, sql: str, catalog: dict[str, DataFrame]) -> DataFrame:
         if self.backend == "sqlite":
-            return run_sqlite_query(sql, catalog)
+            # The native backend opens its own sql_execute span (with
+            # parse/compile children) inside execute_sql.
+            with span("sql_execute", backend="sqlite"):
+                return run_sqlite_query(sql, catalog)
         return execute_sql(sql, catalog)
 
     @staticmethod

@@ -35,6 +35,7 @@ from collections.abc import Callable
 from repro.errors import ModelError, is_retryable
 from repro.llm.base import Completion, LanguageModel
 from repro.retry import ExponentialBackoff
+from repro.telemetry.metrics import GLOBAL_REGISTRY
 
 __all__ = ["CallableModel", "RetryingModel"]
 
@@ -165,6 +166,10 @@ class RetryingModel(LanguageModel):
                 if attempt < self.max_retries:
                     with self._lock:
                         self._retries_used += 1
+                    GLOBAL_REGISTRY.counter(
+                        "llm.model_retries",
+                        "model calls retried after a retryable error",
+                    ).inc(model=self.name, error=type(exc).__name__)
                     if self.on_retry is not None:
                         self.on_retry(attempt + 1, exc)
                     if self.backoff is not None:

@@ -13,13 +13,12 @@ default because their whole point is variation.
 from __future__ import annotations
 
 from repro.llm.base import Completion, LanguageModel
+# The canonical estimator lives in repro.telemetry.cost so the span layer
+# and the counters always agree token-for-token; re-exported here because
+# this module has always been its public home.
+from repro.telemetry.cost import estimate_tokens
 
 __all__ = ["CachingModel", "CallCounter", "estimate_tokens"]
-
-
-def estimate_tokens(text: str) -> int:
-    """Crude GPT-style token estimate (≈4 characters per token)."""
-    return max(1, len(text) // 4)
 
 
 class CachingModel(LanguageModel):

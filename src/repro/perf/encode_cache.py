@@ -19,6 +19,7 @@ from collections import OrderedDict
 from repro.perf.fingerprint import table_digest
 from repro.table.frame import DataFrame
 from repro.table.io import encode_head_row
+from repro.telemetry.metrics import GLOBAL_REGISTRY
 
 __all__ = [
     "EncodedTableCache",
@@ -48,13 +49,19 @@ class EncodedTableCache:
 
     def encode(self, frame: DataFrame, *, max_rows: int | None) -> str:
         key = (table_digest(frame), max_rows)
+        lookups = GLOBAL_REGISTRY.counter(
+            "cache.lookups", "cache lookups by cache name and result")
         with self._lock:
             cached = self._entries.get(key)
             if cached is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
-                return cached
-            self.misses += 1
+            else:
+                self.misses += 1
+        if cached is not None:
+            lookups.inc(cache="encode", result="hit")
+            return cached
+        lookups.inc(cache="encode", result="miss")
         rendered = encode_head_row(frame, max_rows=max_rows)
         with self._lock:
             self._entries[key] = rendered

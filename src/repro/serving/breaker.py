@@ -20,6 +20,8 @@ import threading
 import time
 from dataclasses import dataclass
 
+from repro.telemetry.metrics import GLOBAL_REGISTRY
+
 __all__ = ["BreakerConfig", "CircuitBreaker"]
 
 CLOSED = "closed"
@@ -74,6 +76,9 @@ class CircuitBreaker:
         if new_state == OPEN:
             self.times_opened += 1
             self._opened_at = self._clock()
+        GLOBAL_REGISTRY.counter(
+            "breaker.transitions", "circuit breaker state changes",
+        ).inc(backend=self.backend, to=new_state)
         if self.on_transition is not None:
             self.on_transition(self.backend, old_state, new_state)
 
@@ -94,6 +99,9 @@ class CircuitBreaker:
             self._maybe_half_open()
             if self._state == OPEN:
                 self.rejections += 1
+                GLOBAL_REGISTRY.counter(
+                    "breaker.rejections", "calls refused by an open circuit",
+                ).inc(backend=self.backend)
                 return False
             return True
 

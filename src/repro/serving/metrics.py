@@ -2,190 +2,258 @@
 
 One :class:`ServingMetrics` instance is shared by a pool's workers (it is
 thread-safe) and aggregates everything a deployment dashboard would plot:
-questions/sec, p50/p95 latency, cache hit rate, queue depth high-water
-mark, timeout/retry counts, and the forced-answer (degradation) rate —
-plus the fault-tolerance counters: injected faults by kind, circuit
-breaker transitions and rejections, backoff time, and terminal outcome
-classifications (see :data:`repro.serving.request.OUTCOMES`).
+questions/sec, p50/p95/p99 latency, cache hit rate, queue depth
+high-water mark, timeout/retry counts, and the forced-answer
+(degradation) rate — plus the fault-tolerance counters: injected faults
+by kind, circuit breaker transitions and rejections, backoff time, and
+terminal outcome classifications (see
+:data:`repro.serving.request.OUTCOMES`).
+
+Since the telemetry refactor the class is a facade over a per-instance
+:class:`repro.telemetry.MetricsRegistry` (exposed as ``.registry``):
+every count lives in a named Counter/Gauge/Histogram instrument, the
+legacy attribute surface (``metrics.submitted`` ...) reads through to
+the instruments, and :meth:`snapshot` keeps its historical dict shape.
 Snapshots export as plain dicts or JSON.
 """
 
 from __future__ import annotations
 
 import json
-import math
 import threading
 import time
 from pathlib import Path
 
+from repro.telemetry.metrics import MetricsRegistry, percentile
+
 __all__ = ["percentile", "ServingMetrics"]
-
-
-def percentile(values: list[float], q: float) -> float:
-    """Nearest-rank percentile of ``values`` (``q`` in [0, 1])."""
-    if not values:
-        return 0.0
-    if not 0.0 <= q <= 1.0:
-        raise ValueError("q must be in [0, 1]")
-    ordered = sorted(values)
-    rank = max(1, math.ceil(q * len(ordered)))
-    return ordered[rank - 1]
 
 
 class ServingMetrics:
     """Thread-safe aggregator over a serving run."""
 
-    def __init__(self, *, clock=time.monotonic):
+    def __init__(self, *, clock=time.monotonic,
+                 registry: MetricsRegistry | None = None):
         self._clock = clock
         self._lock = threading.Lock()
-        self.submitted = 0
-        self.completed = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.coalesced = 0
-        self.timeouts = 0
-        self.retries = 0
-        self.degraded = 0
-        self.forced_answers = 0
-        self.errors = 0
-        self.max_queue_depth = 0
-        self.faults_injected = 0
-        self.fault_kinds: dict[str, int] = {}
-        self.breaker_opened = 0
-        self.breaker_closed = 0
-        self.breaker_rejections = 0
-        self.backoffs = 0
-        self.backoff_seconds = 0.0
-        self.outcomes: dict[str, int] = {}
-        self._latencies: list[float] = []
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        self._submitted = r.counter("serving.submitted")
+        self._completed = r.counter("serving.completed")
+        self._coalesced = r.counter("serving.coalesced")
+        self._cache = r.counter("serving.cache_lookups")
+        self._timeouts = r.counter("serving.timeouts")
+        self._retries = r.counter("serving.retries")
+        self._degraded = r.counter("serving.degraded")
+        self._forced = r.counter("serving.forced_answers")
+        self._errors = r.counter("serving.errors")
+        self._queue_depth = r.gauge("serving.max_queue_depth")
+        self._faults = r.counter("serving.faults_injected")
+        self._breaker = r.counter("serving.breaker_events")
+        self._backoffs = r.counter("serving.backoffs")
+        self._backoff_seconds = r.counter("serving.backoff_seconds")
+        self._outcomes = r.counter("serving.outcomes")
+        self._latency = r.histogram("serving.latency_seconds")
         self._first_submit: float | None = None
         self._last_complete: float | None = None
 
     # --- recording (called by the pool and its workers) --------------------
 
     def record_submit(self, queue_depth: int) -> None:
+        self._submitted.inc()
+        self._queue_depth.set_max(queue_depth)
         with self._lock:
-            self.submitted += 1
-            self.max_queue_depth = max(self.max_queue_depth, queue_depth)
             if self._first_submit is None:
                 self._first_submit = self._clock()
 
     def record_coalesced(self) -> None:
-        with self._lock:
-            self.submitted += 1
-            self.coalesced += 1
+        self._submitted.inc()
+        self._coalesced.inc()
 
     def record_cache(self, hit: bool) -> None:
-        with self._lock:
-            if hit:
-                self.cache_hits += 1
-            else:
-                self.cache_misses += 1
+        self._cache.inc(result="hit" if hit else "miss")
 
     def record_timeout(self) -> None:
-        with self._lock:
-            self.timeouts += 1
+        self._timeouts.inc()
 
     def record_retry(self) -> None:
-        with self._lock:
-            self.retries += 1
+        self._retries.inc()
 
     def record_fault(self, site: str, kind: str) -> None:
         """Account one injected fault (the chaos harness's hook)."""
-        with self._lock:
-            self.faults_injected += 1
-            key = f"{site}:{kind}"
-            self.fault_kinds[key] = self.fault_kinds.get(key, 0) + 1
+        self._faults.inc(site=site, kind=kind)
 
     def record_breaker_transition(self, old_state: str,
                                   new_state: str) -> None:
         """Account one circuit-breaker state change."""
-        with self._lock:
-            if new_state == "open":
-                self.breaker_opened += 1
-            elif new_state == "closed" and old_state != "closed":
-                self.breaker_closed += 1
+        if new_state == "open":
+            self._breaker.inc(event="opened")
+        elif new_state == "closed" and old_state != "closed":
+            self._breaker.inc(event="closed")
 
     def record_breaker_rejection(self) -> None:
-        with self._lock:
-            self.breaker_rejections += 1
+        self._breaker.inc(event="rejected")
 
     def record_backoff(self, seconds: float) -> None:
         """Account one between-attempt backoff sleep."""
-        with self._lock:
-            self.backoffs += 1
-            self.backoff_seconds += seconds
+        self._backoffs.inc()
+        self._backoff_seconds.inc(seconds)
 
     def record_response(self, response) -> None:
         """Account one completed :class:`TQAResponse`."""
+        self._completed.inc()
+        self._latency.observe(response.latency)
+        if response.degraded:
+            self._degraded.inc()
+        if response.forced:
+            self._forced.inc()
+        if response.error:
+            self._errors.inc()
+        self._outcomes.inc(outcome=response.outcome or "unclassified")
         with self._lock:
-            self.completed += 1
-            self._latencies.append(response.latency)
             self._last_complete = self._clock()
-            if response.degraded:
-                self.degraded += 1
-            if response.forced:
-                self.forced_answers += 1
-            if response.error:
-                self.errors += 1
-            outcome = response.outcome or "unclassified"
-            self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
+
+    # --- the legacy attribute surface ---------------------------------------
+
+    @property
+    def submitted(self) -> int:
+        return int(self._submitted.total())
+
+    @property
+    def completed(self) -> int:
+        return int(self._completed.total())
+
+    @property
+    def coalesced(self) -> int:
+        return int(self._coalesced.total())
+
+    @property
+    def cache_hits(self) -> int:
+        return int(self._cache.value(result="hit"))
+
+    @property
+    def cache_misses(self) -> int:
+        return int(self._cache.value(result="miss"))
+
+    @property
+    def timeouts(self) -> int:
+        return int(self._timeouts.total())
+
+    @property
+    def retries(self) -> int:
+        return int(self._retries.total())
+
+    @property
+    def degraded(self) -> int:
+        return int(self._degraded.total())
+
+    @property
+    def forced_answers(self) -> int:
+        return int(self._forced.total())
+
+    @property
+    def errors(self) -> int:
+        return int(self._errors.total())
+
+    @property
+    def max_queue_depth(self) -> int:
+        return int(self._queue_depth.value())
+
+    @property
+    def faults_injected(self) -> int:
+        return int(self._faults.total())
+
+    @property
+    def fault_kinds(self) -> dict[str, int]:
+        """``"site:kind" -> count`` (the historical shape)."""
+        result = {}
+        for key, count in self._faults.values().items():
+            labels = dict(key)
+            result[f"{labels['site']}:{labels['kind']}"] = int(count)
+        return result
+
+    @property
+    def breaker_opened(self) -> int:
+        return int(self._breaker.value(event="opened"))
+
+    @property
+    def breaker_closed(self) -> int:
+        return int(self._breaker.value(event="closed"))
+
+    @property
+    def breaker_rejections(self) -> int:
+        return int(self._breaker.value(event="rejected"))
+
+    @property
+    def backoffs(self) -> int:
+        return int(self._backoffs.total())
+
+    @property
+    def backoff_seconds(self) -> float:
+        return self._backoff_seconds.total()
+
+    @property
+    def outcomes(self) -> dict[str, int]:
+        result = {}
+        for key, count in self._outcomes.values().items():
+            result[dict(key)["outcome"]] = int(count)
+        return result
 
     # --- derived rates ------------------------------------------------------
 
     @property
     def throughput(self) -> float:
         """Completed responses per second of wall-clock serving time."""
+        completed = self.completed
         with self._lock:
-            if (self.completed == 0 or self._first_submit is None
+            if (completed == 0 or self._first_submit is None
                     or self._last_complete is None):
                 return 0.0
             elapsed = self._last_complete - self._first_submit
-            if elapsed <= 0:
-                return 0.0
-            return self.completed / elapsed
+        if elapsed <= 0:
+            return 0.0
+        return completed / elapsed
 
     @property
     def cache_hit_rate(self) -> float:
-        lookups = self.cache_hits + self.cache_misses
-        return self.cache_hits / lookups if lookups else 0.0
+        hits = self.cache_hits
+        lookups = hits + self.cache_misses
+        return hits / lookups if lookups else 0.0
 
     @property
     def forced_answer_rate(self) -> float:
-        return self.forced_answers / self.completed if self.completed else 0.0
+        completed = self.completed
+        return self.forced_answers / completed if completed else 0.0
 
     # --- export -------------------------------------------------------------
 
     def snapshot(self) -> dict:
         """One JSON-ready dict with every counter and derived rate."""
-        with self._lock:
-            latencies = list(self._latencies)
-            counters = {
-                "submitted": self.submitted,
-                "completed": self.completed,
-                "coalesced": self.coalesced,
-                "cache_hits": self.cache_hits,
-                "cache_misses": self.cache_misses,
-                "timeouts": self.timeouts,
-                "retries": self.retries,
-                "degraded": self.degraded,
-                "forced_answers": self.forced_answers,
-                "errors": self.errors,
-                "max_queue_depth": self.max_queue_depth,
-                "faults_injected": self.faults_injected,
-                "fault_kinds": dict(sorted(self.fault_kinds.items())),
-                "breaker_opened": self.breaker_opened,
-                "breaker_closed": self.breaker_closed,
-                "breaker_rejections": self.breaker_rejections,
-                "backoffs": self.backoffs,
-                "backoff_seconds": round(self.backoff_seconds, 6),
-                "outcomes": dict(sorted(self.outcomes.items())),
-            }
+        latencies = self._latency.values()
         return {
-            **counters,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "coalesced": self.coalesced,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "degraded": self.degraded,
+            "forced_answers": self.forced_answers,
+            "errors": self.errors,
+            "max_queue_depth": self.max_queue_depth,
+            "faults_injected": self.faults_injected,
+            "fault_kinds": dict(sorted(self.fault_kinds.items())),
+            "breaker_opened": self.breaker_opened,
+            "breaker_closed": self.breaker_closed,
+            "breaker_rejections": self.breaker_rejections,
+            "backoffs": self.backoffs,
+            "backoff_seconds": round(self.backoff_seconds, 6),
+            "outcomes": dict(sorted(self.outcomes.items())),
             "throughput_qps": round(self.throughput, 4),
             "latency_p50": round(percentile(latencies, 0.50), 6),
             "latency_p95": round(percentile(latencies, 0.95), 6),
+            "latency_p99": round(percentile(latencies, 0.99), 6),
             "latency_mean": round(sum(latencies) / len(latencies), 6)
             if latencies else 0.0,
             "cache_hit_rate": round(self.cache_hit_rate, 4),

@@ -58,6 +58,7 @@ from repro.serving.request import (
     TQAResponse,
 )
 from repro.table.frame import DataFrame
+from repro.telemetry.spans import Telemetry, activate, span
 
 __all__ = ["WorkerPool"]
 
@@ -83,6 +84,7 @@ class WorkerPool:
                  metrics: ServingMetrics | None = None,
                  tracer=None, queue_capacity: int = 256,
                  breakers: BreakerConfig | None = None,
+                 telemetry: Telemetry | None = None,
                  sleep=time.sleep):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -92,6 +94,12 @@ class WorkerPool:
         self.policy = policy or RetryPolicy()
         self.metrics = metrics or ServingMetrics()
         self.tracer = tracer
+        # Span store for the request/attempt/agent tree.  Defaults to the
+        # tracer's store so flat serving events and hierarchical spans
+        # land in one trace file.
+        if telemetry is None and tracer is not None:
+            telemetry = getattr(tracer, "telemetry", None)
+        self.telemetry = telemetry
         self.queue = RequestQueue(queue_capacity)
         self._sleep = sleep
         self._threads: list[threading.Thread] = []
@@ -235,6 +243,21 @@ class WorkerPool:
 
     def _answer(self, chain: int, uid: str, key: str | None,
                 request: TQARequest) -> TQAResponse:
+        # One span per request roots the tree: the attempt ladder, the
+        # agent run inside it, and the SQL/Python stages below all nest
+        # under this span (and their token totals fold into it).
+        with activate(self.telemetry), \
+                span("request", trace_id=chain, uid=uid) as request_span:
+            response = self._answer_inner(chain, uid, key, request)
+            if request_span is not None:
+                request_span.set(outcome=response.outcome,
+                                 cached=response.cached,
+                                 degraded=response.degraded,
+                                 attempts=response.attempts)
+            return response
+
+    def _answer_inner(self, chain: int, uid: str, key: str | None,
+                      request: TQARequest) -> TQAResponse:
         started = time.perf_counter()
         if key is not None:
             cached = self.cache.get(key)
@@ -265,7 +288,8 @@ class WorkerPool:
             attempts = attempt + 1
             seed = self.policy.attempt_seed(request.seed, attempt)
             try:
-                result = self._run_attempt(request, seed)
+                with span("attempt", index=attempts):
+                    result = self._run_attempt(request, seed)
                 if breaker is not None:
                     breaker.record_success()
                 break
@@ -298,8 +322,9 @@ class WorkerPool:
             degraded = True
             self._trace(chain, "degraded", uid=uid)
             try:
-                result = self.spec.build_forced(request.seed).run(
-                    request.table, request.question)
+                with span("degraded_attempt"):
+                    result = self.spec.build_forced(request.seed).run(
+                        request.table, request.question)
             except Exception as exc:
                 last_exc = exc
                 last_error = f"{type(exc).__name__}: {exc}"

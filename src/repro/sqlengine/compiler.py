@@ -35,6 +35,7 @@ from __future__ import annotations
 import os
 
 from repro.errors import SQLRuntimeError
+from repro.telemetry.metrics import GLOBAL_REGISTRY
 from repro.sqlengine.ast_nodes import (
     Between,
     BinaryOp,
@@ -109,11 +110,17 @@ class Layout:
 
 def compile_row(expr: Expression, layout: Layout):
     """Compile ``expr`` to ``fn(row_values: tuple) -> value``."""
+    GLOBAL_REGISTRY.counter(
+        "sqlengine.compiled_expressions",
+        "expressions lowered to closures").inc(mode="row")
     return _compile(expr, layout, group=False)
 
 
 def compile_group(expr: Expression, layout: Layout):
     """Compile ``expr`` to ``fn(group_rows: list[tuple]) -> value``."""
+    GLOBAL_REGISTRY.counter(
+        "sqlengine.compiled_expressions",
+        "expressions lowered to closures").inc(mode="group")
     return _compile(expr, layout, group=True)
 
 

@@ -43,6 +43,7 @@ from repro.sqlengine.evaluator import (
 from repro.sqlengine.ast_nodes import JoinClause
 from repro.sqlengine.plancache import parse_select_cached
 from repro.table.frame import DataFrame
+from repro.telemetry.spans import span
 from repro.table.ops import (
     _hashable,
     _sort_key_for,
@@ -63,12 +64,14 @@ def execute_sql(sql: str, tables: Mapping[str, DataFrame]) -> DataFrame:
 def execute_select(stmt: SelectStatement,
                    tables: Mapping[str, DataFrame]) -> DataFrame:
     from repro.errors import TableError
-    try:
-        return _execute_select(stmt, tables)
-    except TableError as exc:
-        # Column/shape errors surface as SQL runtime errors, matching what
-        # SQLite reports for the same query.
-        raise SQLRuntimeError(str(exc)) from exc
+    with span("sql_execute", joined=bool(stmt.joins),
+              compiled=compile_enabled()):
+        try:
+            return _execute_select(stmt, tables)
+        except TableError as exc:
+            # Column/shape errors surface as SQL runtime errors, matching
+            # what SQLite reports for the same query.
+            raise SQLRuntimeError(str(exc)) from exc
 
 
 def _execute_select(stmt: SelectStatement,
@@ -84,8 +87,9 @@ def _execute_select(stmt: SelectStatement,
 
     if stmt.where is not None:
         if compiled:
-            predicate = compile_row(
-                stmt.where, Layout(frame, alias, joined=joined))
+            with span("sql_compile", stage="where"):
+                predicate = compile_row(
+                    stmt.where, Layout(frame, alias, joined=joined))
             keep = [
                 index for index, values in enumerate(frame.to_rows())
                 if is_truthy(predicate(values))
@@ -251,11 +255,13 @@ def _execute_plain_compiled(stmt: SelectStatement, frame: DataFrame,
     items = _expand_star(stmt, frame, joined=joined)
     names = _output_names(items)
     layout = Layout(frame, alias, joined=joined)
-    item_fns = [compile_row(item.expression, layout) for item in items]
-    order_specs = None
-    if stmt.order_by:
-        order_specs = _compile_order_specs(stmt.order_by, items, layout,
-                                           group=False)
+    with span("sql_compile", stage="select"):
+        item_fns = [compile_row(item.expression, layout)
+                    for item in items]
+        order_specs = None
+        if stmt.order_by:
+            order_specs = _compile_order_specs(stmt.order_by, items,
+                                               layout, group=False)
     rows = []
     order_keys = []
     for values in frame.to_rows():
@@ -336,10 +342,12 @@ def _execute_aggregate_compiled(stmt: SelectStatement, frame: DataFrame,
         groups.append(row_tuples)
 
     having_fn = None
-    if stmt.having is not None:
-        having_fn = compile_group(
-            _resolve_aliases(stmt.having, alias_map), layout)
-    item_fns = [compile_group(item.expression, layout) for item in items]
+    with span("sql_compile", stage="aggregate"):
+        if stmt.having is not None:
+            having_fn = compile_group(
+                _resolve_aliases(stmt.having, alias_map), layout)
+        item_fns = [compile_group(item.expression, layout)
+                    for item in items]
 
     rows = []
     kept_groups = []

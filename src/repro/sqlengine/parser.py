@@ -37,6 +37,7 @@ from repro.sqlengine.ast_nodes import (
 )
 from repro.sqlengine.lexer import tokenize
 from repro.sqlengine.tokens import Token, TokenKind
+from repro.telemetry.spans import span
 
 __all__ = ["parse_select", "parse_expression"]
 
@@ -47,10 +48,11 @@ _CAST_TARGETS = ("INTEGER", "INT", "REAL", "FLOAT", "DOUBLE", "TEXT",
 
 def parse_select(sql: str) -> SelectStatement:
     """Parse a single SELECT statement."""
-    parser = _Parser(tokenize(sql))
-    statement = parser.select_statement()
-    parser.expect_end()
-    return statement
+    with span("sql_parse", chars=len(sql)):
+        parser = _Parser(tokenize(sql))
+        statement = parser.select_statement()
+        parser.expect_end()
+        return statement
 
 
 def parse_expression(sql: str) -> Expression:

@@ -20,6 +20,7 @@ from collections import OrderedDict
 
 from repro.sqlengine.ast_nodes import SelectStatement
 from repro.sqlengine.parser import parse_select
+from repro.telemetry.metrics import GLOBAL_REGISTRY
 
 __all__ = [
     "PlanCache",
@@ -98,8 +99,13 @@ def parse_select_cached(sql: str) -> SelectStatement:
     """``parse_select`` memoised through :data:`DEFAULT_PLAN_CACHE`."""
     if not plan_cache_enabled():
         return parse_select(sql)
+    lookups = GLOBAL_REGISTRY.counter(
+        "cache.lookups", "cache lookups by cache name and result")
     plan = DEFAULT_PLAN_CACHE.get(sql)
     if plan is None:
+        lookups.inc(cache="sql_plan", result="miss")
         plan = parse_select(sql)
         DEFAULT_PLAN_CACHE.put(sql, plan)
+    else:
+        lookups.inc(cache="sql_plan", result="hit")
     return plan

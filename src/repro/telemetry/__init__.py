@@ -1,0 +1,83 @@
+"""Repo-wide observability: spans, metrics, cost, export, and analysis.
+
+``repro.telemetry`` is the one place where every layer of the stack
+reports what it did: the serving pool opens a ``request`` span per TQA
+request, the agent nests ``iteration``/``model_call``/``execute`` spans
+inside it, the SQL engine and the Python sandbox add their own stages,
+and caches/breakers/retries count into a :class:`MetricsRegistry`.  The
+legacy :class:`repro.tracing.ChainTracer` is a thin facade over a
+:class:`Telemetry` store, so flat chain events and hierarchical spans
+land in the same trace file.
+
+Everything is stdlib-only, thread-safe, deterministic in content (ids
+are sequential, times are monotonic offsets — no wall clock), and cheap
+enough to leave on: with no active store, the ambient :func:`span`
+helper is a single ``ContextVar`` read.
+"""
+
+from repro.telemetry.analyze import TraceAnalyzer
+from repro.telemetry.cost import cost_summary, estimate_tokens, per_trace_cost
+from repro.telemetry.export import (
+    FORMAT_VERSION,
+    load_trace,
+    to_chrome_trace,
+    trace_to_jsonl,
+    write_chrome_trace,
+)
+from repro.telemetry.kinds import EVENT_KINDS, KINDS, SPAN_KINDS
+from repro.telemetry.metrics import (
+    GLOBAL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    percentile,
+)
+from repro.telemetry.spans import (
+    Span,
+    SpanContext,
+    Telemetry,
+    TraceEvent,
+    activate,
+    add_tokens,
+    current_span,
+    current_telemetry,
+    span,
+)
+
+__all__ = [
+    # spans
+    "Span",
+    "SpanContext",
+    "TraceEvent",
+    "Telemetry",
+    "span",
+    "activate",
+    "add_tokens",
+    "current_span",
+    "current_telemetry",
+    # kinds
+    "SPAN_KINDS",
+    "EVENT_KINDS",
+    "KINDS",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "GLOBAL_REGISTRY",
+    "global_registry",
+    "percentile",
+    # cost
+    "estimate_tokens",
+    "cost_summary",
+    "per_trace_cost",
+    # export + analysis
+    "FORMAT_VERSION",
+    "trace_to_jsonl",
+    "load_trace",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "TraceAnalyzer",
+]

@@ -1,0 +1,197 @@
+"""Trace analysis: per-request summaries, critical paths, flamegraphs.
+
+:class:`TraceAnalyzer` consumes a *loaded* trace (the dict that
+``repro.telemetry.export.load_trace`` returns), so it works on files
+written by this process, an earlier run, or a legacy events-only
+``ChainTracer`` dump (where it degrades to event counting).  All output
+is plain data or plain text — this module backs the ``repro trace``
+CLI and ``repro analyze --trace``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TraceAnalyzer"]
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1000:.2f}ms"
+
+
+class TraceAnalyzer:
+    """Structural queries over one loaded trace."""
+
+    def __init__(self, trace: dict):
+        self.meta = trace.get("meta", {})
+        self.spans = trace.get("spans", [])
+        self.events = trace.get("events", [])
+        self._children: dict[int | None, list[dict]] = {}
+        self._by_id: dict[int, dict] = {}
+        for span in self.spans:
+            self._by_id[span["span_id"]] = span
+            self._children.setdefault(span.get("parent_id"), []).append(span)
+        for children in self._children.values():
+            children.sort(key=lambda s: (s.get("start") or 0.0,
+                                         s["span_id"]))
+
+    # --- tree structure -----------------------------------------------------
+
+    def roots(self) -> list[dict]:
+        """Root spans (one per request), in start order."""
+        return list(self._children.get(None, []))
+
+    def children(self, span: dict) -> list[dict]:
+        return list(self._children.get(span["span_id"], []))
+
+    def depth(self, span: dict) -> int:
+        """Depth of the subtree under ``span`` (a leaf has depth 1)."""
+        kids = self._children.get(span["span_id"], [])
+        if not kids:
+            return 1
+        return 1 + max(self.depth(child) for child in kids)
+
+    @staticmethod
+    def duration(span: dict) -> float:
+        start = span.get("start") or 0.0
+        end = span.get("end")
+        return (end - start) if end is not None else 0.0
+
+    def self_time(self, span: dict) -> float:
+        """Span duration minus time covered by its direct children."""
+        own = self.duration(span)
+        covered = sum(self.duration(child) for child in self.children(span))
+        return max(0.0, own - covered)
+
+    # --- per-request summaries ----------------------------------------------
+
+    def stage_breakdown(self, root: dict) -> dict[str, dict]:
+        """``kind -> {count, total, self}`` over ``root``'s subtree."""
+        stages: dict[str, dict] = {}
+        stack = [root]
+        while stack:
+            span = stack.pop()
+            entry = stages.setdefault(
+                span["kind"], {"count": 0, "total": 0.0, "self": 0.0})
+            entry["count"] += 1
+            entry["total"] += self.duration(span)
+            entry["self"] += self.self_time(span)
+            stack.extend(self.children(span))
+        for entry in stages.values():
+            entry["total"] = round(entry["total"], 6)
+            entry["self"] = round(entry["self"], 6)
+        return stages
+
+    def request_summary(self, root: dict) -> dict:
+        """Everything ``repro trace summary`` reports for one request."""
+        return {
+            "trace_id": root["trace_id"],
+            "kind": root["kind"],
+            "attrs": dict(root.get("attrs") or {}),
+            "status": root.get("status", "ok"),
+            "duration": round(self.duration(root), 6),
+            "depth": self.depth(root),
+            "spans": self._subtree_size(root),
+            "prompt_tokens": root.get("prompt_tokens", 0),
+            "completion_tokens": root.get("completion_tokens", 0),
+            "total_tokens": (root.get("prompt_tokens", 0)
+                             + root.get("completion_tokens", 0)),
+            "model_calls": root.get("model_calls", 0),
+            "stages": self.stage_breakdown(root),
+        }
+
+    def _subtree_size(self, root: dict) -> int:
+        size, stack = 0, [root]
+        while stack:
+            span = stack.pop()
+            size += 1
+            stack.extend(self.children(span))
+        return size
+
+    def summary(self) -> dict:
+        """Per-request summaries plus trace-level totals."""
+        requests = [self.request_summary(root) for root in self.roots()]
+        return {
+            "requests": requests,
+            "total_requests": len(requests),
+            "total_spans": len(self.spans),
+            "total_events": len(self.events),
+            "prompt_tokens": sum(r["prompt_tokens"] for r in requests),
+            "completion_tokens": sum(
+                r["completion_tokens"] for r in requests),
+            "model_calls": sum(r["model_calls"] for r in requests),
+        }
+
+    # --- critical path ------------------------------------------------------
+
+    def critical_path(self, root: dict) -> list[dict]:
+        """Follow the longest-duration child from ``root`` to a leaf."""
+        path = [root]
+        span = root
+        while True:
+            kids = self.children(span)
+            if not kids:
+                return path
+            span = max(kids, key=lambda s: (self.duration(s),
+                                            -s["span_id"]))
+            path.append(span)
+
+    # --- text rendering -----------------------------------------------------
+
+    def summary_text(self) -> str:
+        summary = self.summary()
+        lines = [
+            f"trace: {summary['total_requests']} request(s), "
+            f"{summary['total_spans']} spans, "
+            f"{summary['total_events']} events",
+            f"tokens: {summary['prompt_tokens']} prompt + "
+            f"{summary['completion_tokens']} completion "
+            f"({summary['model_calls']} model calls)",
+        ]
+        for request in summary["requests"]:
+            label = request["attrs"].get("uid", request["trace_id"])
+            lines.append(
+                f"\nrequest {label} [{request['kind']}] "
+                f"status={request['status']} "
+                f"duration={_fmt_ms(request['duration'])} "
+                f"depth={request['depth']} spans={request['spans']}")
+            lines.append(
+                f"  tokens: {request['prompt_tokens']}p + "
+                f"{request['completion_tokens']}c "
+                f"/ {request['model_calls']} call(s)")
+            for kind, stage in sorted(request["stages"].items(),
+                                      key=lambda kv: -kv[1]["total"]):
+                lines.append(
+                    f"  {kind:<16} x{stage['count']:<3} "
+                    f"total={_fmt_ms(stage['total'])} "
+                    f"self={_fmt_ms(stage['self'])}")
+        return "\n".join(lines)
+
+    def critical_path_text(self) -> str:
+        lines = []
+        for root in self.roots():
+            label = (root.get("attrs") or {}).get("uid", root["trace_id"])
+            lines.append(f"request {label}:")
+            for hop, span in enumerate(self.critical_path(root)):
+                lines.append(
+                    f"  {'  ' * hop}-> {span['kind']} "
+                    f"({_fmt_ms(self.duration(span))}, "
+                    f"self {_fmt_ms(self.self_time(span))})")
+        return "\n".join(lines) if lines else "no spans in trace"
+
+    def flamegraph_text(self, width: int = 60) -> str:
+        """An indented text flamegraph, bars scaled per request."""
+        lines = []
+        for root in self.roots():
+            total = self.duration(root) or 1e-9
+            label = (root.get("attrs") or {}).get("uid", root["trace_id"])
+            lines.append(f"request {label} ({_fmt_ms(self.duration(root))})")
+            stack = [(root, 0)]
+            while stack:
+                span, indent = stack.pop()
+                share = min(1.0, self.duration(span) / total)
+                bar = "#" * max(1, int(round(share * width)))
+                lines.append(
+                    f"{'  ' * indent}{span['kind']:<16} "
+                    f"{_fmt_ms(self.duration(span)):>10} |{bar}")
+                for child in reversed(self.children(span)):
+                    stack.append((child, indent + 1))
+        return "\n".join(lines) if lines else "no spans in trace"

@@ -1,0 +1,129 @@
+"""Trace serialisation: JSONL on disk, Chrome ``trace_event`` for viewers.
+
+The on-disk format is JSON Lines — one ``{"type": "meta"}`` header, then
+one line per span (``"type": "span"``) and per event
+(``"type": "event"``).  JSONL keeps writes append-friendly and lets
+``repro trace`` stream arbitrarily large traces.  The loader also
+accepts the legacy ``ChainTracer.save`` format (bare event dicts with no
+``type`` field), so old trace files keep working.
+
+``to_chrome_trace`` converts a trace to the Chrome/Perfetto
+``trace_event`` JSON object format: spans become ``ph: "X"`` complete
+events (timestamps and durations in microseconds), flat events become
+``ph: "i"`` instants, and each trace id maps to a ``pid`` so one request
+renders as one process track in the viewer.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.telemetry.spans import Telemetry
+
+__all__ = [
+    "trace_to_jsonl",
+    "load_trace",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]
+
+FORMAT_VERSION = 1
+
+
+def trace_to_jsonl(telemetry: Telemetry) -> str:
+    """Serialise a full trace (meta + spans + events) to JSONL."""
+    with telemetry._lock:
+        spans = list(telemetry.spans)
+        events = list(telemetry.events)
+    meta = {
+        "type": "meta",
+        "format": "repro-trace",
+        "version": FORMAT_VERSION,
+        "spans": len(spans),
+        "events": len(events),
+    }
+    lines = [json.dumps(meta, sort_keys=True)]
+    lines.extend(json.dumps(span.to_dict(), sort_keys=True, default=str)
+                 for span in spans)
+    for event in events:
+        record = dict(event.to_dict())
+        record["type"] = "event"
+        lines.append(json.dumps(record, sort_keys=True, default=str))
+    return "\n".join(lines)
+
+
+def load_trace(path: str | Path) -> dict:
+    """Load a trace file into ``{"meta", "spans", "events"}`` dicts.
+
+    Tolerates the legacy events-only format: a line with no ``type``
+    field is an event record.
+    """
+    meta: dict = {}
+    spans: list[dict] = []
+    events: list[dict] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        record_type = record.get("type", "event")
+        if record_type == "meta":
+            meta = record
+        elif record_type == "span":
+            spans.append(record)
+        else:
+            events.append(record)
+    return {"meta": meta, "spans": spans, "events": events}
+
+
+def _micros(seconds: float) -> int:
+    return int(round(seconds * 1_000_000))
+
+
+def to_chrome_trace(trace: dict) -> dict:
+    """Convert a loaded trace to Chrome ``trace_event`` object format."""
+    trace_events: list[dict] = []
+    for span in trace["spans"]:
+        start = span.get("start") or 0.0
+        end = span.get("end")
+        duration = (end - start) if end is not None else 0.0
+        args = dict(span.get("attrs") or {})
+        args["status"] = span.get("status", "ok")
+        if span.get("model_calls"):
+            args["model_calls"] = span["model_calls"]
+            args["prompt_tokens"] = span.get("prompt_tokens", 0)
+            args["completion_tokens"] = span.get("completion_tokens", 0)
+        trace_events.append({
+            "name": span.get("kind", "span"),
+            "ph": "X",
+            "ts": _micros(start),
+            "dur": max(1, _micros(duration)),
+            "pid": span.get("trace_id", 0),
+            "tid": 1,
+            "cat": "span",
+            "args": args,
+        })
+    for event in trace["events"]:
+        trace_events.append({
+            "name": event.get("kind", "event"),
+            "ph": "i",
+            "ts": _micros(event.get("at") or 0.0),
+            "pid": event.get("chain_id", 0),
+            "tid": 1,
+            "cat": "event",
+            "s": "t",
+            "args": {k: v for k, v in event.items()
+                     if k not in ("kind", "chain_id", "iteration",
+                                  "at", "type")},
+        })
+    trace_events.sort(key=lambda e: (e["pid"], e["ts"]))
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(trace: dict, path: str | Path) -> Path:
+    """Write ``trace`` (a loaded trace dict) as a Chrome trace file."""
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(trace), indent=2),
+                    encoding="utf-8")
+    return path

@@ -1,0 +1,454 @@
+"""Hierarchical spans with ``contextvars`` propagation.
+
+A :class:`Span` is one timed stage of a request; spans nest into a tree
+via parent links, so a serving request, the agent iterations inside it,
+and the model/SQL/Python stages inside those all roll up into one
+structure per request.  Propagation is ambient: entering a span sets two
+context variables — the active :class:`Telemetry` store and the current
+span — so deeply nested layers (the SQL parser, the sandbox) can
+instrument themselves with the module-level :func:`span` helper without
+any plumbing, and a worker thread's spans can never leak into another
+thread's tree.
+
+Design constraints, in force throughout:
+
+* **zero-dependency** — stdlib only;
+* **deterministic content** — ids are sequential, times are
+  ``perf_counter`` offsets from the store's origin; no wall-clock
+  timestamps, hostnames or randomness ever enter a span;
+* **thread-safe** — the store locks its lists/counters; context
+  variables give each thread its own current-span chain;
+* **cheap when off** — with no active store, :func:`span` returns a
+  shared no-op context after a single ``ContextVar.get``.
+
+Token accounting: :meth:`Span.add_tokens` charges prompt/completion
+token estimates and model-call counts to a span; when a span closes, its
+totals fold into its parent, so a closed root span carries the whole
+subtree's cost (the per-request view ``repro trace summary`` reports).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass
+from itertools import count
+from pathlib import Path
+
+__all__ = [
+    "SpanContext",
+    "Span",
+    "TraceEvent",
+    "Telemetry",
+    "span",
+    "activate",
+    "current_span",
+    "current_telemetry",
+    "add_tokens",
+]
+
+#: The envelope fields of an exported event; payload keys must not
+#: shadow them (see :meth:`TraceEvent.to_dict`).
+_EVENT_ENVELOPE = ("kind", "chain_id", "iteration", "at")
+
+_ACTIVE: ContextVar["Telemetry | None"] = ContextVar(
+    "repro_telemetry_active", default=None)
+_CURRENT: ContextVar["Span | None"] = ContextVar(
+    "repro_telemetry_span", default=None)
+
+# Bound once: saves a module-attribute lookup on every span open/close
+# and event record (the hot path runs twice per span).
+_perf = time.perf_counter
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The identity of one span: trace, span, and parent ids.
+
+    ``trace_id`` groups every span of one request (it doubles as the
+    ``ChainTracer`` chain id where both exist); ``parent_id`` is ``None``
+    for a root span.
+    """
+
+    trace_id: int
+    span_id: int
+    parent_id: int | None = None
+
+
+class Span:
+    """One timed, attributed stage of a request.
+
+    A span is its own context manager (``with telemetry.span(...) as s``)
+    — entering binds it as the current span, exiting stamps the end time,
+    folds token totals into the parent, and records it.  Ids are stored
+    flat (not as a :class:`SpanContext`) and no intermediate scope object
+    is allocated, keeping the instrumented hot path cheap enough to leave
+    tracing on in production.
+    """
+
+    __slots__ = ("kind", "trace_id", "span_id", "parent_id", "start",
+                 "end", "status", "attributes", "prompt_tokens",
+                 "completion_tokens", "model_calls", "_telemetry",
+                 "_parent", "_active_token", "_span_token")
+
+    def __init__(self, kind: str, trace_id: int, span_id: int,
+                 parent_id: int | None, start: float,
+                 attributes: dict, telemetry: "Telemetry",
+                 parent: "Span | None"):
+        self.kind = kind
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end: float | None = None
+        self.status = "ok"
+        self.attributes = attributes
+        self.prompt_tokens = 0
+        self.completion_tokens = 0
+        self.model_calls = 0
+        self._telemetry = telemetry
+        self._parent = parent
+
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(trace_id=self.trace_id, span_id=self.span_id,
+                           parent_id=self.parent_id)
+
+    def __enter__(self) -> "Span":
+        # Nested spans of one store are the common case: skip the
+        # redundant _ACTIVE set/reset churn when it is already bound.
+        if _ACTIVE.get() is self._telemetry:
+            self._active_token = None
+        else:
+            self._active_token = _ACTIVE.set(self._telemetry)
+        self._span_token = _CURRENT.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.status = "error"
+            self.attributes.setdefault("error", exc_type.__name__)
+        telemetry = self._telemetry
+        self.end = _perf() - telemetry._origin
+        _CURRENT.reset(self._span_token)
+        if self._active_token is not None:
+            _ACTIVE.reset(self._active_token)
+        parent = self._parent
+        if parent is not None and (self.model_calls or self.prompt_tokens
+                                   or self.completion_tokens):
+            parent.prompt_tokens += self.prompt_tokens
+            parent.completion_tokens += self.completion_tokens
+            parent.model_calls += self.model_calls
+        # list.append is atomic under the GIL: no lock on the hot path.
+        telemetry.spans.append(self)
+        return False
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def set(self, **attributes) -> None:
+        """Attach or overwrite attributes."""
+        self.attributes.update(attributes)
+
+    def add_tokens(self, *, prompt: int = 0, completion: int = 0,
+                   calls: int = 0) -> None:
+        """Charge model cost to this span (folds into the parent on close)."""
+        self.prompt_tokens += prompt
+        self.completion_tokens += completion
+        self.model_calls += calls
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "span",
+            "kind": self.kind,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": round(self.start, 6),
+            "end": round(self.end, 6) if self.end is not None else None,
+            "status": self.status,
+            "prompt_tokens": self.prompt_tokens,
+            "completion_tokens": self.completion_tokens,
+            "model_calls": self.model_calls,
+            "attrs": dict(self.attributes),
+        }
+
+
+class TraceEvent:
+    """One flat traced event (the ``ChainTracer`` record type)."""
+
+    __slots__ = ("kind", "chain_id", "iteration", "at", "data")
+
+    def __init__(self, kind: str, chain_id: int, iteration: int,
+                 at: float, data: dict | None = None):
+        self.kind = kind          # one of telemetry.kinds.EVENT_KINDS
+        self.chain_id = chain_id
+        self.iteration = iteration
+        self.at = at              # seconds since the store's origin
+        self.data = data if data is not None else {}
+
+    def __repr__(self) -> str:
+        return (f"TraceEvent(kind={self.kind!r}, "
+                f"chain_id={self.chain_id}, iteration={self.iteration}, "
+                f"at={self.at:.6f}, data={self.data!r})")
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, TraceEvent):
+            return NotImplemented
+        return (self.kind == other.kind
+                and self.chain_id == other.chain_id
+                and self.iteration == other.iteration
+                and self.at == other.at
+                and self.data == other.data)
+
+    def to_dict(self) -> dict:
+        # The envelope always wins: a payload key that collides with an
+        # envelope field is preserved under a ``data_`` prefix instead of
+        # silently overwriting the field (or being dropped).
+        record = {
+            "kind": self.kind,
+            "chain_id": self.chain_id,
+            "iteration": self.iteration,
+            "at": round(self.at, 6),
+        }
+        for key, value in self.data.items():
+            record[f"data_{key}" if key in _EVENT_ENVELOPE else key] = value
+        return record
+
+
+class _NullSpanScope:
+    """Reusable no-op context: what :func:`span` returns when inactive."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+_NULL_SCOPE = _NullSpanScope()
+
+
+class _ActivationScope:
+    """Context manager binding a store as ambient without opening a span."""
+
+    __slots__ = ("_telemetry", "_token")
+
+    def __init__(self, telemetry: "Telemetry | None"):
+        self._telemetry = telemetry
+
+    def __enter__(self) -> "Telemetry | None":
+        if self._telemetry is not None:
+            self._token = _ACTIVE.set(self._telemetry)
+        return self._telemetry
+
+    def __exit__(self, *exc_info) -> bool:
+        if self._telemetry is not None:
+            _ACTIVE.reset(self._token)
+        return False
+
+
+class Telemetry:
+    """One trace store: spans, flat events, and id allocation.
+
+    A store is shared by everything observing one run — the
+    ``ChainTracer`` compatibility facade wraps one, the serving pool and
+    the agents emit into the same instance — and is fully thread-safe.
+    """
+
+    def __init__(self):
+        self._origin = time.perf_counter()
+        self._lock = threading.Lock()
+        self.spans: list[Span] = []
+        # Event storage is lazily materialized: hot emitters append raw
+        # ``(kind, chain_id, iteration, at, data)`` tuples and the
+        # :attr:`events` property converts them to :class:`TraceEvent`
+        # in place on first read, so the recording path never pays for
+        # object construction.
+        self._events: list = []
+        # itertools.count.__next__ is atomic under the GIL, so span ids
+        # are allocated without taking the lock on the hot path.
+        self._next_span_id = count(1).__next__
+        self._trace_counter = 0
+
+    # --- time and ids -------------------------------------------------------
+
+    def now(self) -> float:
+        """Seconds since this store was created (monotonic)."""
+        return time.perf_counter() - self._origin
+
+    def new_trace_id(self) -> int:
+        with self._lock:
+            self._trace_counter += 1
+            return self._trace_counter
+
+    def reserve_trace_id(self, trace_id: int) -> None:
+        """Keep allocated trace ids ahead of an externally chosen one."""
+        with self._lock:
+            self._trace_counter = max(self._trace_counter, trace_id)
+
+    # --- spans --------------------------------------------------------------
+
+    def span(self, kind: str, *, trace_id: int | None = None,
+             **attributes) -> Span:
+        """Open a child of the current span (or a new root) on entry.
+
+        ``trace_id`` pins a root span to an externally allocated id (the
+        serving pool uses the request's chain id); children always
+        inherit their parent's trace id.
+        """
+        parent = _CURRENT.get()
+        if parent is not None and parent._telemetry is not self:
+            parent = None  # never graft onto another store's tree
+        if parent is not None:
+            resolved_trace = parent.trace_id
+            parent_id = parent.span_id
+        else:
+            parent_id = None
+            with self._lock:
+                if trace_id is not None:
+                    resolved_trace = trace_id
+                    self._trace_counter = max(self._trace_counter,
+                                              trace_id)
+                else:
+                    self._trace_counter += 1
+                    resolved_trace = self._trace_counter
+        return Span(kind, resolved_trace, self._next_span_id(),
+                    parent_id, _perf() - self._origin,
+                    attributes, self, parent)
+
+    def activate(self) -> _ActivationScope:
+        """Bind this store as the ambient one without opening a span."""
+        return _ActivationScope(self)
+
+    # --- events -------------------------------------------------------------
+
+    @property
+    def events(self) -> list:
+        """Every recorded :class:`TraceEvent`, in emission order.
+
+        Raw tuples appended by the hot emit path are materialized in
+        place on access; the same list object is always returned, so
+        facade invariants like ``tracer.events is telemetry.events``
+        hold.  In-place slot assignment is atomic under the GIL, and
+        materialization is idempotent, so concurrent readers are safe.
+        """
+        records = self._events
+        for index in range(len(records)):
+            record = records[index]
+            if record.__class__ is tuple:
+                records[index] = TraceEvent(*record)
+        return records
+
+    def event(self, kind: str, chain_id: int, iteration: int = 0,
+              **data) -> TraceEvent:
+        """Record one flat event at the current offset."""
+        event = TraceEvent(kind, chain_id, iteration,
+                           _perf() - self._origin, data)
+        self._events.append(event)
+        return event
+
+    def record_event(self, event: TraceEvent) -> None:
+        # list.append is atomic under the GIL.
+        self._events.append(event)
+
+    # --- export -------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """The full trace: meta line, then spans, then events."""
+        from repro.telemetry.export import trace_to_jsonl
+        return trace_to_jsonl(self)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the full trace (spans + events) as JSONL to ``path``."""
+        path = Path(path)
+        path.write_text(self.to_jsonl() + "\n", encoding="utf-8")
+        return path
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.spans) + len(self._events)
+
+    def cost_summary(self) -> dict:
+        """Aggregate model cost over closed root spans (see cost module)."""
+        from repro.telemetry.cost import cost_summary
+        return cost_summary(self.spans)
+
+
+# --- ambient helpers (the instrumentation surface) --------------------------
+
+
+def current_telemetry() -> Telemetry | None:
+    """The ambient store, or None when tracing is off in this context."""
+    return _ACTIVE.get()
+
+
+def current_span() -> Span | None:
+    """The innermost open span in this context, or None."""
+    return _CURRENT.get()
+
+
+def span(kind: str, *, trace_id: int | None = None, **attributes):
+    """Open ``kind`` under the ambient store; a shared no-op when off.
+
+    This is the one-liner every instrumented layer uses::
+
+        with span("sql_parse") as s:
+            ...                      # s is None when tracing is off
+    """
+    telemetry = _ACTIVE.get()
+    if telemetry is None:
+        return _NULL_SCOPE
+    # Inlined copy of Telemetry.span: this helper runs on every
+    # instrumented hot path, and going through the method would repack
+    # ``attributes`` into a second dict and add a call frame per span.
+    parent = _CURRENT.get()
+    if parent is not None and parent._telemetry is not telemetry:
+        parent = None  # never graft onto another store's tree
+    if parent is not None:
+        resolved_trace = parent.trace_id
+        parent_id = parent.span_id
+    else:
+        parent_id = None
+        with telemetry._lock:
+            if trace_id is not None:
+                resolved_trace = trace_id
+                telemetry._trace_counter = max(telemetry._trace_counter,
+                                               trace_id)
+            else:
+                telemetry._trace_counter += 1
+                resolved_trace = telemetry._trace_counter
+    return Span(kind, resolved_trace, telemetry._next_span_id(),
+                parent_id, _perf() - telemetry._origin,
+                attributes, telemetry, parent)
+
+
+def activate(telemetry: Telemetry | None) -> _ActivationScope:
+    """Bind ``telemetry`` as ambient for a block; no-op when ``None``.
+
+    Passing ``None`` deliberately leaves any *existing* ambient store in
+    place, so an uninstrumented call path nested under a traced one keeps
+    tracing.
+    """
+    return _ActivationScope(telemetry)
+
+
+def add_tokens(*, prompt: int = 0, completion: int = 0,
+               calls: int = 0) -> None:
+    """Charge cost to the innermost open span, if any."""
+    current = _CURRENT.get()
+    if current is not None:
+        current.add_tokens(prompt=prompt, completion=completion,
+                           calls=calls)
+
+
+# json imported for re-export convenience of callers embedding traces.
+_ = json

@@ -1,9 +1,14 @@
-"""Structured tracing of reasoning chains.
+"""Structured tracing of reasoning chains (facade over ``repro.telemetry``).
 
 A :class:`ChainTracer` attached to :class:`repro.core.ReActTableAgent`
 records one event per prompt, action, execution and recovery, with
-wall-clock timings — the observability layer a production deployment of
-the framework would need.  Traces export to JSONL for offline analysis.
+monotonic timings — the flat-event half of the observability layer.
+Since the telemetry refactor, the tracer is a thin compatibility facade
+over a :class:`repro.telemetry.Telemetry` store (exposed as
+``tracer.telemetry``): events and hierarchical spans land in the same
+store, so ``tracer.telemetry.save(path)`` writes one file covering the
+serving envelope, agent iterations, model calls, and SQL/Python stages.
+:meth:`ChainTracer.save` keeps the legacy events-only JSONL format.
 
 The serving layer (``repro.serving``) emits its lifecycle events
 (``serving_enqueue``, ``serving_dispatch``, ``serving_cache_hit``,
@@ -16,89 +21,111 @@ attempt failed, with its taxonomy classification), ``serving_backoff``
 (between-attempt sleep), ``serving_breaker_reject`` /
 ``serving_breaker_transition`` (circuit breaker activity, chain id 0),
 ``fault`` (an injected fault from the chaos harness), and the agent's
-``model_fault`` (an empty completion batch absorbed by forcing).  Event
-recording is thread-safe; the *current-chain* convenience state used by
-:meth:`emit` is not, so concurrent agents should either share no tracer
-or address chains explicitly via :meth:`emit_for`.
+``model_fault`` (an empty completion batch absorbed by forcing).  The
+full vocabulary is declared in :mod:`repro.telemetry.kinds` and
+enforced by ``tools/lint_events.py``.
+
+Event recording is thread-safe, and — since the ``contextvars`` fix —
+so is the *current-chain* convenience state behind :meth:`emit`: the
+current chain id lives in a ``ContextVar``, so concurrent agents
+sharing one tracer each see the chain their own context started, and
+events from parallel chains never mix.
 """
 
 from __future__ import annotations
 
-import json
-import threading
 import time
-from dataclasses import dataclass, field
+from contextvars import ContextVar
 from pathlib import Path
+
+from repro.telemetry.spans import Telemetry, TraceEvent
+
+_perf = time.perf_counter
+
+#: Context-local current chain id, shared by every tracer instance.  A
+#: module-level ``ContextVar`` (rather than one per tracer) keeps the
+#: thread's context HAMT from growing without bound when tracers are
+#: created per batch, while still giving each thread/task its own
+#: current-chain value.
+_CHAIN: ContextVar[int] = ContextVar("repro_tracer_chain", default=0)
 
 __all__ = ["ChainEvent", "ChainTracer"]
 
-
-@dataclass(frozen=True)
-class ChainEvent:
-    """One traced event."""
-
-    kind: str            # "start" | "prompt" | "action" | "execution"
-    #                    # | "recovery" | "answer" | "end"
-    chain_id: int
-    iteration: int
-    at: float            # seconds since tracer creation
-    data: dict = field(default_factory=dict)
-
-    def to_dict(self) -> dict:
-        return {
-            "kind": self.kind,
-            "chain_id": self.chain_id,
-            "iteration": self.iteration,
-            "at": round(self.at, 6),
-            **self.data,
-        }
+# The event record type now lives in repro.telemetry (with envelope-field
+# shadow guarding in to_dict); the old name stays importable.
+ChainEvent = TraceEvent
 
 
 class ChainTracer:
     """Collects :class:`ChainEvent` records across agent runs."""
 
-    def __init__(self, *, max_payload_chars: int = 200):
-        self._origin = time.perf_counter()
-        self.events: list[ChainEvent] = []
+    def __init__(self, *, max_payload_chars: int = 200,
+                 telemetry: Telemetry | None = None):
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.max_payload_chars = max_payload_chars
-        self._lock = threading.Lock()
         self._chain_counter = 0
-        self._current_chain = 0
+        # Current chain is context-local: each thread (or task) that
+        # starts a chain sees its own value, never a sibling's.
+        self._chain_var = _CHAIN
+
+    @property
+    def events(self) -> list[ChainEvent]:
+        return self.telemetry.events
+
+    @property
+    def _current_chain(self) -> int:
+        return self._chain_var.get()
 
     # --- emission (called by instrumented agents) --------------------------
 
     def start_chain(self, question: str) -> int:
-        with self._lock:
+        telemetry = self.telemetry
+        with telemetry._lock:
             self._chain_counter += 1
-            self._current_chain = self._chain_counter
-            chain = self._current_chain
+            chain = self._chain_counter
+            # Reserve the matching trace id under the same lock so the
+            # root span opened next reuses the chain id.
+            if telemetry._trace_counter < chain:
+                telemetry._trace_counter = chain
+        self._chain_var.set(chain)
         self.emit_for(chain, "start", 0, question=self._clip(question))
         return chain
 
     def emit(self, kind: str, iteration: int, **data) -> None:
-        self.emit_for(self._current_chain, kind, iteration, **data)
+        # Inlined emit_for (minus the chain argument): this runs several
+        # times per agent iteration, so the extra frame and the kwargs
+        # repack are worth skipping.
+        limit = self.max_payload_chars
+        for key, value in data.items():
+            if value.__class__ is str and len(value) > limit:
+                data[key] = value[:limit] + "..."
+        telemetry = self.telemetry
+        # Raw tuple append (GIL-atomic, no lock): the store materializes
+        # TraceEvent objects lazily on first read of ``events``.
+        telemetry._events.append((
+            kind, self._chain_var.get(), iteration,
+            _perf() - telemetry._origin, data))
 
     def emit_for(self, chain_id: int, kind: str, iteration: int = 0,
                  **data) -> None:
         """Record an event addressed to an explicit chain id.
 
-        This is the thread-safe entry point concurrent emitters (the
-        serving worker pool) use: no shared current-chain state is read,
-        so events from parallel requests interleave without mixing.
+        This is the entry point concurrent emitters (the serving worker
+        pool) use: no shared current-chain state is read, so events from
+        parallel requests interleave without mixing.
         """
-        clipped = {
-            key: self._clip(value) if isinstance(value, str) else value
-            for key, value in data.items()
-        }
-        event = ChainEvent(
-            kind=kind,
-            chain_id=chain_id,
-            iteration=iteration,
-            at=time.perf_counter() - self._origin,
-            data=clipped,
-        )
-        with self._lock:
-            self.events.append(event)
+        limit = self.max_payload_chars
+        # ``data`` is a fresh dict (built from the keyword arguments), so
+        # clipping may mutate it in place; most payloads are short and
+        # need no copy at all.
+        for key, value in data.items():
+            if value.__class__ is str and len(value) > limit:
+                data[key] = value[:limit] + "..."
+        telemetry = self.telemetry
+        # Raw tuple append (GIL-atomic, no lock); see ``Telemetry.events``.
+        telemetry._events.append((
+            kind, chain_id, iteration,
+            _perf() - telemetry._origin, data))
 
     def end_chain(self, iteration: int, *, answer: str,
                   forced: bool) -> None:
@@ -142,6 +169,11 @@ class ChainTracer:
     # --- export ----------------------------------------------------------------
 
     def to_jsonl(self) -> str:
+        """Events-only JSONL (the legacy ``ChainTracer`` trace format).
+
+        The full trace — spans included — is ``self.telemetry.to_jsonl()``.
+        """
+        import json
         return "\n".join(json.dumps(event.to_dict())
                          for event in self.events)
 

@@ -23,9 +23,15 @@ class TestPercentile:
     def test_unsorted_input(self):
         assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
 
+    def test_single_element_every_q(self):
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert percentile([4.2], q) == 4.2
+
     def test_validates_q(self):
         with pytest.raises(ValueError):
             percentile([1.0], 1.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.01)
 
 
 class TestServingMetrics:
@@ -104,6 +110,33 @@ class TestServingMetrics:
         metrics.record_response(TQAResponse(uid="d", answer=[]))
         assert metrics.snapshot()["outcomes"] == {
             "error_permanent": 1, "ok": 2, "unclassified": 1}
+
+    def test_latency_percentiles_in_snapshot(self):
+        metrics = ServingMetrics()
+        for n in range(1, 101):
+            metrics.record_response(
+                TQAResponse(uid=f"u{n}", answer=[], outcome="ok",
+                            latency=n / 100.0))
+        snapshot = metrics.snapshot()
+        assert snapshot["latency_p50"] == 0.5
+        assert snapshot["latency_p95"] == 0.95
+        assert snapshot["latency_p99"] == 0.99
+
+    def test_latency_p99_on_a_single_observation(self):
+        metrics = ServingMetrics()
+        metrics.record_response(
+            TQAResponse(uid="only", answer=[], outcome="ok",
+                        latency=0.123))
+        snapshot = metrics.snapshot()
+        assert snapshot["latency_p99"] == 0.123
+        assert snapshot["latency_p50"] == 0.123
+
+    def test_backing_registry_is_exposed(self):
+        metrics = ServingMetrics()
+        metrics.record_submit(queue_depth=2)
+        registry_view = metrics.registry.snapshot()
+        assert registry_view["serving.submitted"] == 1
+        assert registry_view["serving.max_queue_depth"] == 2
 
     def test_json_round_trip(self, tmp_path):
         metrics = ServingMetrics()

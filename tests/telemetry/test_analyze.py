@@ -1,0 +1,128 @@
+"""Tests for TraceAnalyzer: tree queries, breakdowns, text rendering."""
+
+import pytest
+
+from repro.telemetry import TraceAnalyzer
+
+
+def span(span_id, *, kind, trace_id=1, parent_id=None, start=0.0,
+         end=0.0, attrs=None, prompt=0, completion=0, calls=0):
+    return {
+        "type": "span", "span_id": span_id, "trace_id": trace_id,
+        "parent_id": parent_id, "kind": kind, "start": start, "end": end,
+        "status": "ok", "attrs": attrs or {},
+        "prompt_tokens": prompt, "completion_tokens": completion,
+        "model_calls": calls,
+    }
+
+
+def make_trace():
+    """Two requests; request 1 has a deep tree with known timings."""
+    spans = [
+        span(1, kind="request", trace_id=1, start=0.0, end=1.0,
+             attrs={"uid": "q0"}, prompt=200, completion=20, calls=2),
+        span(2, kind="iteration", trace_id=1, parent_id=1,
+             start=0.0, end=0.6),
+        span(3, kind="model_call", trace_id=1, parent_id=2,
+             start=0.0, end=0.5, prompt=200, completion=20, calls=2),
+        span(4, kind="execute", trace_id=1, parent_id=2,
+             start=0.5, end=0.6),
+        span(5, kind="iteration", trace_id=1, parent_id=1,
+             start=0.6, end=0.9),
+        span(6, kind="request", trace_id=2, start=0.0, end=0.2,
+             attrs={"uid": "q1"}, prompt=50, completion=5, calls=1),
+    ]
+    events = [{"kind": "start", "chain_id": 1, "iteration": 0, "at": 0.0}]
+    return {"meta": {}, "spans": spans, "events": events}
+
+
+class TestTreeQueries:
+    def test_roots_in_start_order(self):
+        analyzer = TraceAnalyzer(make_trace())
+        assert [r["trace_id"] for r in analyzer.roots()] == [1, 2]
+
+    def test_children_sorted_by_start(self):
+        analyzer = TraceAnalyzer(make_trace())
+        root = analyzer.roots()[0]
+        assert [c["span_id"] for c in analyzer.children(root)] == [2, 5]
+
+    def test_depth_counts_levels(self):
+        analyzer = TraceAnalyzer(make_trace())
+        roots = analyzer.roots()
+        assert analyzer.depth(roots[0]) == 3
+        assert analyzer.depth(roots[1]) == 1
+
+    def test_self_time_subtracts_direct_children(self):
+        analyzer = TraceAnalyzer(make_trace())
+        root = analyzer.roots()[0]
+        # 1.0s total, children cover 0.6 + 0.3.
+        assert analyzer.self_time(root) == pytest.approx(0.1)
+
+
+class TestBreakdownsAndSummaries:
+    def test_stage_breakdown_counts_and_totals(self):
+        analyzer = TraceAnalyzer(make_trace())
+        stages = analyzer.stage_breakdown(analyzer.roots()[0])
+        assert stages["iteration"]["count"] == 2
+        assert stages["iteration"]["total"] == 0.9
+        assert stages["model_call"]["total"] == 0.5
+        assert stages["execute"]["count"] == 1
+
+    def test_request_summary_fields(self):
+        analyzer = TraceAnalyzer(make_trace())
+        summary = analyzer.request_summary(analyzer.roots()[0])
+        assert summary["trace_id"] == 1
+        assert summary["depth"] == 3
+        assert summary["spans"] == 5
+        assert summary["prompt_tokens"] == 200
+        assert summary["total_tokens"] == 220
+        assert summary["model_calls"] == 2
+        assert summary["attrs"]["uid"] == "q0"
+
+    def test_trace_summary_totals(self):
+        analyzer = TraceAnalyzer(make_trace())
+        summary = analyzer.summary()
+        assert summary["total_requests"] == 2
+        assert summary["total_spans"] == 6
+        assert summary["total_events"] == 1
+        assert summary["prompt_tokens"] == 250
+        assert summary["completion_tokens"] == 25
+        assert summary["model_calls"] == 3
+
+    def test_critical_path_follows_longest_child(self):
+        analyzer = TraceAnalyzer(make_trace())
+        path = analyzer.critical_path(analyzer.roots()[0])
+        assert [s["kind"] for s in path] == \
+            ["request", "iteration", "model_call"]
+
+    def test_empty_trace_degrades_gracefully(self):
+        analyzer = TraceAnalyzer({"meta": {}, "spans": [], "events": []})
+        assert analyzer.roots() == []
+        assert analyzer.summary()["total_requests"] == 0
+        assert analyzer.critical_path_text() == "no spans in trace"
+        assert analyzer.flamegraph_text() == "no spans in trace"
+
+
+class TestTextRendering:
+    def test_summary_text_mentions_requests_and_tokens(self):
+        text = TraceAnalyzer(make_trace()).summary_text()
+        assert "trace: 2 request(s), 6 spans, 1 events" in text
+        assert "tokens: 250 prompt + 25 completion (3 model calls)" in text
+        assert "request q0 [request]" in text
+        assert "depth=3" in text
+
+    def test_critical_path_text_renders_hops(self):
+        text = TraceAnalyzer(make_trace()).critical_path_text()
+        assert "request q0:" in text
+        assert "-> request" in text
+        assert "-> model_call" in text
+
+    def test_flamegraph_bars_scale_with_duration(self):
+        text = TraceAnalyzer(make_trace()).flamegraph_text(width=10)
+        lines = text.splitlines()
+        root_line = next(l for l in lines if l.startswith("request q0"))
+        assert "1000.00ms" in root_line
+        bar_of = {l.split()[0]: l.split("|")[1] for l in lines if "|" in l}
+        # model_call is half the request: about half the bar width.
+        assert len(bar_of["request"]) == 10
+        assert len(bar_of["model_call"]) == 5

@@ -1,0 +1,126 @@
+"""Tests for trace export: JSONL round-trip and Chrome trace_event."""
+
+import json
+
+from repro.telemetry import (
+    FORMAT_VERSION,
+    Telemetry,
+    load_trace,
+    to_chrome_trace,
+    trace_to_jsonl,
+    write_chrome_trace,
+)
+
+
+def make_telemetry() -> Telemetry:
+    telemetry = Telemetry()
+    with telemetry.span("request", trace_id=1, uid="q0") as root:
+        with telemetry.span("iteration", index=0):
+            with telemetry.span("model_call") as call:
+                call.add_tokens(prompt=100, completion=10, calls=1)
+    root.set(outcome="ok")
+    telemetry.event("start", 1, 0, question="who?")
+    telemetry.event("answer", 1, 2, value="42")
+    return telemetry
+
+
+class TestJsonl:
+    def test_first_line_is_the_meta_header(self):
+        lines = trace_to_jsonl(make_telemetry()).splitlines()
+        meta = json.loads(lines[0])
+        assert meta["type"] == "meta"
+        assert meta["format"] == "repro-trace"
+        assert meta["version"] == FORMAT_VERSION
+        assert meta["spans"] == 3
+        assert meta["events"] == 2
+
+    def test_every_line_is_valid_json_with_a_type(self):
+        lines = trace_to_jsonl(make_telemetry()).splitlines()
+        records = [json.loads(line) for line in lines]
+        assert all(r["type"] in {"meta", "span", "event"}
+                   for r in records)
+        assert sum(r["type"] == "span" for r in records) == 3
+        assert sum(r["type"] == "event" for r in records) == 2
+
+    def test_save_load_round_trip(self, tmp_path):
+        telemetry = make_telemetry()
+        path = telemetry.save(tmp_path / "trace.jsonl")
+        trace = load_trace(path)
+        assert trace["meta"]["version"] == FORMAT_VERSION
+        assert len(trace["spans"]) == 3
+        assert len(trace["events"]) == 2
+        root = next(s for s in trace["spans"] if s["parent_id"] is None)
+        assert root["kind"] == "request"
+        assert root["attrs"] == {"uid": "q0", "outcome": "ok"}
+        assert root["prompt_tokens"] == 100
+
+    def test_load_tolerates_legacy_events_only_files(self, tmp_path):
+        # ChainTracer.save() historically wrote bare event dicts with no
+        # "type" field; those must still load as events.
+        path = tmp_path / "legacy.jsonl"
+        path.write_text(
+            json.dumps({"kind": "start", "chain_id": 1,
+                        "iteration": 0, "at": 0.0}) + "\n",
+            encoding="utf-8")
+        trace = load_trace(path)
+        assert trace["spans"] == []
+        assert len(trace["events"]) == 1
+        assert trace["events"][0]["kind"] == "start"
+
+
+class TestChromeTrace:
+    """Structural assertions on the trace_event JSON (acceptance criterion)."""
+
+    def chrome(self):
+        telemetry = make_telemetry()
+        return to_chrome_trace(
+            {"meta": {}, "spans": [s.to_dict() for s in telemetry.spans],
+             "events": [e.to_dict() for e in telemetry.events]})
+
+    def test_top_level_shape(self):
+        chrome = self.chrome()
+        assert set(chrome) == {"traceEvents", "displayTimeUnit"}
+        assert chrome["displayTimeUnit"] == "ms"
+        assert isinstance(chrome["traceEvents"], list)
+
+    def test_spans_become_complete_events(self):
+        complete = [e for e in self.chrome()["traceEvents"]
+                    if e["ph"] == "X"]
+        assert len(complete) == 3
+        for entry in complete:
+            assert set(entry) >= {"name", "ph", "ts", "dur", "pid",
+                                  "tid", "cat", "args"}
+            assert entry["cat"] == "span"
+            assert isinstance(entry["ts"], int)
+            assert isinstance(entry["dur"], int)
+            assert entry["dur"] >= 1  # zero-width spans stay visible
+            assert entry["pid"] == 1  # pid is the trace id
+
+    def test_events_become_instants(self):
+        instants = [e for e in self.chrome()["traceEvents"]
+                    if e["ph"] == "i"]
+        assert len(instants) == 2
+        for entry in instants:
+            assert entry["cat"] == "event"
+            assert entry["s"] == "t"
+            assert "dur" not in entry
+
+    def test_model_call_args_carry_token_cost(self):
+        call = next(e for e in self.chrome()["traceEvents"]
+                    if e.get("name") == "model_call")
+        assert call["args"]["prompt_tokens"] == 100
+        assert call["args"]["completion_tokens"] == 10
+        assert call["args"]["model_calls"] == 1
+
+    def test_events_sorted_by_pid_then_ts(self):
+        entries = self.chrome()["traceEvents"]
+        keys = [(e["pid"], e["ts"]) for e in entries]
+        assert keys == sorted(keys)
+
+    def test_write_chrome_trace_emits_valid_json(self, tmp_path):
+        telemetry = make_telemetry()
+        trace_path = telemetry.save(tmp_path / "trace.jsonl")
+        out = tmp_path / "trace.chrome.json"
+        write_chrome_trace(load_trace(trace_path), out)
+        parsed = json.loads(out.read_text(encoding="utf-8"))
+        assert len(parsed["traceEvents"]) == 5

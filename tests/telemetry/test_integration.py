@@ -1,0 +1,84 @@
+"""Cross-cutting guarantees: token parity with CallCounter, determinism.
+
+Acceptance criteria of the telemetry PR: per-request span token totals
+match :class:`repro.llm.CallCounter` within rounding, and enabling
+tracing changes no answer.
+"""
+
+from repro.core import ReActTableAgent
+from repro.llm import CallCounter, SimulatedTQAModel, get_profile
+from repro.llm.base import ScriptedModel
+from repro.serving import AgentSpec, AnswerCache, WorkerPool
+from repro.tracing import ChainTracer
+
+SCRIPT = [
+    "ReAcTable: SQL: ```SELECT a FROM T0;```.",
+    "ReAcTable: Answer: ```1|2|3```.",
+]
+
+
+class TestTokenParityWithCallCounter:
+    def test_root_span_totals_match_the_counter(self, tiny_frame):
+        tracer = ChainTracer()
+        counter = CallCounter(ScriptedModel(SCRIPT))
+        agent = ReActTableAgent(counter, tracer=tracer)
+        agent.run(tiny_frame, "list a")
+
+        root = next(s for s in tracer.telemetry.spans
+                    if s.parent_id is None)
+        assert root.kind == "agent_run"
+        assert root.prompt_tokens == counter.prompt_tokens
+        assert root.completion_tokens == counter.completion_tokens
+        assert root.model_calls == counter.calls == 2
+
+    def test_cost_summary_matches_counter_across_requests(self, wikitq_small):
+        from repro.telemetry import cost_summary
+
+        tracer = ChainTracer()
+        totals = {"prompt": 0, "completion": 0, "calls": 0}
+        for i, example in enumerate(wikitq_small.examples[:4]):
+            counter = CallCounter(SimulatedTQAModel(
+                wikitq_small.bank, get_profile("codex-sim"), seed=i))
+            agent = ReActTableAgent(counter, tracer=tracer)
+            agent.run(example.table, example.question)
+            totals["prompt"] += counter.prompt_tokens
+            totals["completion"] += counter.completion_tokens
+            totals["calls"] += counter.calls
+
+        summary = cost_summary(tracer.telemetry.spans)
+        assert summary["prompt_tokens"] == totals["prompt"]
+        assert summary["completion_tokens"] == totals["completion"]
+        assert summary["model_calls"] == totals["calls"]
+        assert len(summary["traces"]) == 4
+
+
+class TestTracingChangesNoAnswer:
+    def test_agent_answers_identical_with_and_without_tracer(
+            self, wikitq_small):
+        for i, example in enumerate(wikitq_small.examples[:6]):
+            plain = ReActTableAgent(SimulatedTQAModel(
+                wikitq_small.bank, get_profile("codex-sim"), seed=i))
+            traced = ReActTableAgent(
+                SimulatedTQAModel(wikitq_small.bank,
+                                  get_profile("codex-sim"), seed=i),
+                tracer=ChainTracer())
+            a = plain.run(example.table, example.question)
+            b = traced.run(example.table, example.question)
+            assert a.answer == b.answer
+            assert a.iterations == b.iterations
+            assert a.forced == b.forced
+
+    def test_pool_answers_identical_with_and_without_tracer(
+            self, wikitq_small):
+        spec = AgentSpec(bank=wikitq_small.bank)
+        examples = wikitq_small.examples[:6]
+
+        def serve(tracer):
+            with WorkerPool(spec, workers=3, cache=AnswerCache(),
+                            tracer=tracer) as pool:
+                slots = [pool.submit(ex.table, ex.question, seed=i,
+                                     uid=f"q{i}")
+                         for i, ex in enumerate(examples)]
+                return [slot.result(timeout=30).answer for slot in slots]
+
+        assert serve(None) == serve(ChainTracer())

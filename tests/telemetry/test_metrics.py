@@ -1,0 +1,225 @@
+"""Tests for the unified metrics registry (Counter/Gauge/Histogram)."""
+
+import threading
+
+import pytest
+
+from repro.telemetry.metrics import (
+    GLOBAL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    percentile,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("requests")
+        assert counter.total() == 0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.total() == 3.5
+
+    def test_labels_partition_the_count(self):
+        counter = Counter("cache.lookups")
+        counter.inc(result="hit")
+        counter.inc(result="hit")
+        counter.inc(result="miss")
+        assert counter.value(result="hit") == 2
+        assert counter.value(result="miss") == 1
+        assert counter.value(result="absent") == 0
+        assert counter.total() == 3
+
+    def test_label_order_does_not_matter(self):
+        counter = Counter("faults")
+        counter.inc(site="model", kind="timeout")
+        assert counter.value(kind="timeout", site="model") == 1
+
+    def test_rejects_negative_increments(self):
+        counter = Counter("requests")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_values_returns_labelled_breakdown(self):
+        counter = Counter("outcomes")
+        counter.inc(outcome="ok")
+        counter.inc(outcome="timeout")
+        breakdown = counter.values()
+        assert sum(breakdown.values()) == 2
+        assert len(breakdown) == 2
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("depth")
+        gauge.set(3)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value() == 2
+
+    def test_set_max_keeps_high_water_mark(self):
+        gauge = Gauge("max_depth")
+        gauge.set_max(5)
+        gauge.set_max(3)
+        assert gauge.value() == 5
+        gauge.set_max(9)
+        assert gauge.value() == 9
+
+
+class TestHistogram:
+    def test_snapshot_has_count_sum_and_percentiles(self):
+        histogram = Histogram("latency")
+        for v in [0.1, 0.2, 0.3, 0.4]:
+            histogram.observe(v)
+        snap = histogram.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(1.0)
+        assert snap["p50"] == pytest.approx(0.2)
+        assert snap["p95"] == pytest.approx(0.4)
+        assert snap["p99"] == pytest.approx(0.4)
+
+    def test_empty_histogram_snapshot(self):
+        snap = Histogram("latency").snapshot()
+        assert snap == {"count": 0, "sum": 0.0,
+                        "p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_quantile_and_values(self):
+        histogram = Histogram("latency")
+        histogram.observe(0.5)
+        histogram.observe(1.5)
+        assert histogram.count() == 2
+        assert histogram.total() == pytest.approx(2.0)
+        assert histogram.quantile(1.0) == 1.5
+
+
+class TestPercentileBoundaries:
+    """Satellite 3: nearest-rank percentile boundary behaviour."""
+
+    def test_empty_is_zero(self):
+        assert percentile([], 0.99) == 0.0
+
+    def test_q_zero_is_minimum(self):
+        assert percentile([5.0, 1.0, 3.0], 0.0) == 1.0
+
+    def test_q_one_is_maximum(self):
+        assert percentile([5.0, 1.0, 3.0], 1.0) == 5.0
+
+    def test_single_element_any_q(self):
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert percentile([7.0], q) == 7.0
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.1)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("requests")
+        b = registry.counter("requests")
+        assert a is b
+
+    def test_kind_mismatch_is_a_type_error(self):
+        registry = MetricsRegistry()
+        registry.counter("requests")
+        with pytest.raises(TypeError):
+            registry.gauge("requests")
+        with pytest.raises(TypeError):
+            registry.histogram("requests")
+
+    def test_snapshot_covers_all_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("requests").inc(3)
+        registry.gauge("depth").set(2)
+        registry.histogram("latency").observe(0.5)
+        registry.counter("lookups").inc(result="hit")
+        snap = registry.snapshot()
+        # Unlabelled instruments snapshot as scalars, labelled ones as
+        # "label=value"-keyed dicts, histograms as summary dicts.
+        assert snap["requests"] == 3
+        assert snap["depth"] == 2
+        assert snap["latency"]["count"] == 1
+        assert snap["lookups"] == {"result=hit": 1}
+
+    def test_reset_clears_values_but_keeps_names(self):
+        registry = MetricsRegistry()
+        registry.counter("requests").inc()
+        registry.reset()
+        assert registry.counter("requests").total() == 0
+        assert "requests" in registry.names()
+
+    def test_global_registry_is_a_singleton(self):
+        assert global_registry() is GLOBAL_REGISTRY
+
+    def test_concurrent_increments_are_not_lost(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+
+        def hammer():
+            for _ in range(1000):
+                counter.inc(result="hit")
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value(result="hit") == 8000
+
+
+class TestInstrumentationHooks:
+    """The shared caches/breaker/retry stack report into GLOBAL_REGISTRY."""
+
+    def test_plan_cache_reports_lookups(self):
+        from repro.sqlengine.plancache import parse_select_cached
+
+        lookups = GLOBAL_REGISTRY.counter("cache.lookups")
+        before_miss = lookups.value(cache="sql_plan", result="miss")
+        before_hit = lookups.value(cache="sql_plan", result="hit")
+        sql = "SELECT a FROM telemetry_metrics_probe"
+        parse_select_cached(sql)
+        parse_select_cached(sql)
+        assert lookups.value(cache="sql_plan",
+                             result="miss") >= before_miss + 1
+        assert lookups.value(cache="sql_plan",
+                             result="hit") >= before_hit + 1
+
+    def test_encode_cache_reports_lookups(self):
+        from repro.perf.encode_cache import EncodedTableCache
+        from repro.table.frame import DataFrame
+
+        lookups = GLOBAL_REGISTRY.counter("cache.lookups")
+        before_miss = lookups.value(cache="encode", result="miss")
+        before_hit = lookups.value(cache="encode", result="hit")
+        cache = EncodedTableCache()
+        frame = DataFrame({"a": [1, 2]}, name="T0")
+        cache.encode(frame, max_rows=None)
+        cache.encode(frame, max_rows=None)
+        assert lookups.value(cache="encode",
+                             result="miss") == before_miss + 1
+        assert lookups.value(cache="encode",
+                             result="hit") == before_hit + 1
+
+    def test_breaker_reports_transitions_and_rejections(self):
+        from repro.serving.breaker import BreakerConfig, CircuitBreaker
+
+        transitions = GLOBAL_REGISTRY.counter("breaker.transitions")
+        rejections = GLOBAL_REGISTRY.counter("breaker.rejections")
+        before_open = transitions.value(backend="test-be", to="open")
+        before_reject = rejections.value(backend="test-be")
+        breaker = CircuitBreaker(
+            "test-be",
+            config=BreakerConfig(failure_threshold=1, cooldown=60.0),
+            clock=lambda: 0.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert not breaker.allow()
+        assert transitions.value(backend="test-be",
+                                 to="open") == before_open + 1
+        assert rejections.value(backend="test-be") == before_reject + 1

@@ -1,0 +1,208 @@
+"""Tests for hierarchical spans and ambient context propagation."""
+
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    Telemetry,
+    TraceEvent,
+    activate,
+    add_tokens,
+    current_span,
+    current_telemetry,
+    span,
+)
+
+
+class TestSpanTree:
+    def test_nesting_records_parent_links(self):
+        telemetry = Telemetry()
+        with telemetry.span("request") as root:
+            with telemetry.span("iteration") as mid:
+                with telemetry.span("model_call") as leaf:
+                    assert leaf.parent_id == mid.span_id
+                assert mid.parent_id == root.span_id
+            assert root.parent_id is None
+        kinds = [s.kind for s in telemetry.spans]
+        # Spans close inside-out.
+        assert kinds == ["model_call", "iteration", "request"]
+        assert {s.trace_id for s in telemetry.spans} == {root.trace_id}
+
+    def test_sibling_spans_share_parent(self):
+        telemetry = Telemetry()
+        with telemetry.span("request") as root:
+            with telemetry.span("attempt"):
+                pass
+            with telemetry.span("attempt"):
+                pass
+        attempts = [s for s in telemetry.spans if s.kind == "attempt"]
+        assert [s.parent_id for s in attempts] == [root.span_id] * 2
+
+    def test_root_spans_get_distinct_trace_ids(self):
+        telemetry = Telemetry()
+        with telemetry.span("request"):
+            pass
+        with telemetry.span("request"):
+            pass
+        assert [s.trace_id for s in telemetry.spans] == [1, 2]
+
+    def test_explicit_trace_id_pins_root(self):
+        telemetry = Telemetry()
+        with telemetry.span("request", trace_id=7) as root:
+            with telemetry.span("iteration") as child:
+                assert child.trace_id == 7
+        assert root.trace_id == 7
+        # Later auto-allocated ids stay ahead of the pinned one.
+        with telemetry.span("request") as other:
+            assert other.trace_id == 8
+
+    def test_exception_marks_error_status_and_propagates(self):
+        telemetry = Telemetry()
+        with pytest.raises(ValueError):
+            with telemetry.span("execute"):
+                raise ValueError("boom")
+        (recorded,) = telemetry.spans
+        assert recorded.status == "error"
+        assert recorded.attributes["error"] == "ValueError"
+        assert recorded.end is not None
+
+    def test_durations_are_monotonic_offsets(self):
+        telemetry = Telemetry()
+        with telemetry.span("request") as root:
+            with telemetry.span("iteration") as child:
+                pass
+        assert 0 <= root.start <= child.start
+        assert child.end <= root.end
+        assert root.duration >= child.duration >= 0
+
+    def test_attributes_via_set(self):
+        telemetry = Telemetry()
+        with telemetry.span("request", uid="q1") as s:
+            s.set(outcome="ok", cached=False)
+        assert telemetry.spans[0].attributes == {
+            "uid": "q1", "outcome": "ok", "cached": False}
+
+
+class TestTokenFoldUp:
+    def test_child_totals_fold_into_parent(self):
+        telemetry = Telemetry()
+        with telemetry.span("request") as root:
+            with telemetry.span("iteration"):
+                with telemetry.span("model_call") as call:
+                    call.add_tokens(prompt=100, completion=10, calls=1)
+                with telemetry.span("model_call") as call:
+                    call.add_tokens(prompt=150, completion=5, calls=1)
+        assert root.prompt_tokens == 250
+        assert root.completion_tokens == 15
+        assert root.model_calls == 2
+        iteration = next(s for s in telemetry.spans
+                         if s.kind == "iteration")
+        assert iteration.prompt_tokens == 250
+
+    def test_add_tokens_helper_targets_innermost_span(self):
+        telemetry = Telemetry()
+        with activate(telemetry):
+            with span("request") as root:
+                with span("model_call"):
+                    add_tokens(prompt=40, completion=4, calls=1)
+        assert root.prompt_tokens == 40
+        assert root.model_calls == 1
+
+    def test_add_tokens_without_span_is_a_no_op(self):
+        add_tokens(prompt=1_000_000)  # nothing active: must not raise
+
+
+class TestAmbientHelpers:
+    def test_span_helper_is_noop_without_active_store(self):
+        assert current_telemetry() is None
+        with span("request") as s:
+            assert s is None
+        assert current_span() is None
+
+    def test_activate_binds_and_unbinds(self):
+        telemetry = Telemetry()
+        with activate(telemetry):
+            assert current_telemetry() is telemetry
+            with span("request") as s:
+                assert s is not None
+                assert current_span() is s
+        assert current_telemetry() is None
+        assert len(telemetry.spans) == 1
+
+    def test_activate_none_keeps_enclosing_store(self):
+        telemetry = Telemetry()
+        with activate(telemetry):
+            # An uninstrumented layer (no tracer) must not sever the
+            # ambient chain of its caller.
+            with activate(None):
+                assert current_telemetry() is telemetry
+                with span("iteration"):
+                    pass
+        assert [s.kind for s in telemetry.spans] == ["iteration"]
+
+    def test_foreign_current_span_is_not_grafted(self):
+        ours = Telemetry()
+        theirs = Telemetry()
+        with ours.span("request"):
+            with theirs.span("iteration") as child:
+                # Another store's span cannot adopt ours as parent.
+                assert child.parent_id is None
+
+
+class TestThreadIsolation:
+    def test_threads_build_independent_trees(self):
+        telemetry = Telemetry()
+        errors = []
+
+        def work(worker):
+            try:
+                with activate(telemetry):
+                    with span("request", trace_id=worker + 1) as root:
+                        for _ in range(5):
+                            with span("iteration") as it:
+                                assert it.parent_id == root.span_id
+                                assert it.trace_id == worker + 1
+            except AssertionError as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(i,))
+                   for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(telemetry.spans) == 8 * 6
+        span_ids = [s.span_id for s in telemetry.spans]
+        assert len(set(span_ids)) == len(span_ids)
+        # Each trace holds exactly one root and five children of it.
+        by_trace = {}
+        for s in telemetry.spans:
+            by_trace.setdefault(s.trace_id, []).append(s)
+        for members in by_trace.values():
+            roots = [s for s in members if s.parent_id is None]
+            assert len(roots) == 1
+            assert all(s.parent_id == roots[0].span_id
+                       for s in members if s is not roots[0])
+
+
+class TestTraceEvent:
+    def test_to_dict_round_trips_payload(self):
+        event = TraceEvent("action", 3, 2, 0.5, {"payload": "SELECT 1"})
+        record = event.to_dict()
+        assert record["kind"] == "action"
+        assert record["chain_id"] == 3
+        assert record["payload"] == "SELECT 1"
+
+    def test_payload_cannot_shadow_envelope_fields(self):
+        event = TraceEvent("action", 3, 2, 0.5,
+                           {"kind": "evil", "at": 999.0, "note": "x"})
+        record = event.to_dict()
+        # The envelope always wins; colliding keys are preserved with a
+        # data_ prefix instead of silently overwriting.
+        assert record["kind"] == "action"
+        assert record["at"] == 0.5
+        assert record["data_kind"] == "evil"
+        assert record["data_at"] == 999.0
+        assert record["note"] == "x"

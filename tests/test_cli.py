@@ -155,6 +155,87 @@ class TestBatch:
         assert trace_path.exists()
 
 
+class TestTrace:
+    @pytest.fixture()
+    def trace_path(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert main(["batch", "wikitq", "--size", "6", "--workers", "2",
+                     "--trace", str(path)]) == 0
+        return path
+
+    def test_parser_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_summary_reports_depth_and_tokens(self, capsys, trace_path):
+        capsys.readouterr()
+        assert main(["trace", "summary", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace: 6 request(s)" in out
+        assert "tokens:" in out
+        assert "model calls" in out
+        # Acceptance criterion: request span depth >= 3 over the
+        # serving envelope -> agent -> iteration nesting.
+        depths = [int(part.split("=")[1])
+                  for line in out.splitlines() if "depth=" in line
+                  for part in line.split() if part.startswith("depth=")]
+        assert depths and all(depth >= 3 for depth in depths)
+
+    def test_summary_tokens_match_trace_cost(self, capsys, trace_path):
+        from repro.telemetry import TraceAnalyzer, cost_summary, load_trace
+
+        capsys.readouterr()
+        trace = load_trace(trace_path)
+        analyzer = TraceAnalyzer(trace)
+        summary = analyzer.summary()
+        # The analyzer's totals are the span-tree fold-up; cost_summary
+        # recomputes them from the raw roots — they must agree.
+        spans_cost = {
+            "prompt": sum(s.get("prompt_tokens", 0)
+                          for s in trace["spans"]
+                          if s.get("parent_id") is None),
+            "completion": sum(s.get("completion_tokens", 0)
+                              for s in trace["spans"]
+                              if s.get("parent_id") is None),
+        }
+        assert summary["prompt_tokens"] == spans_cost["prompt"]
+        assert summary["completion_tokens"] == spans_cost["completion"]
+        assert cost_summary.__module__ == "repro.telemetry.cost"
+
+    def test_critical_path(self, capsys, trace_path):
+        capsys.readouterr()
+        assert main(["trace", "critical-path", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "-> request" in out
+        assert "-> agent_run" in out
+
+    def test_flame(self, capsys, trace_path):
+        capsys.readouterr()
+        assert main(["trace", "flame", str(trace_path),
+                     "--width", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "|#" in out
+        assert "request wikitq-" in out
+
+    def test_export_chrome_is_valid_trace_event_json(
+            self, capsys, trace_path, tmp_path):
+        capsys.readouterr()
+        out_path = tmp_path / "chrome.json"
+        assert main(["trace", "export", str(trace_path),
+                     "--format", "chrome", "-o", str(out_path)]) == 0
+        chrome = json.loads(out_path.read_text(encoding="utf-8"))
+        assert set(chrome) == {"traceEvents", "displayTimeUnit"}
+        phases = {entry["ph"] for entry in chrome["traceEvents"]}
+        assert phases == {"X", "i"}
+        for entry in chrome["traceEvents"]:
+            assert {"name", "ph", "ts", "pid", "tid", "cat"} <= set(entry)
+
+    def test_missing_file_fails_cleanly(self, capsys, tmp_path):
+        assert main(["trace", "summary",
+                     str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot load trace" in capsys.readouterr().err
+
+
 class TestPerf:
     def test_smoke_passes(self, capsys):
         assert main(["perf"]) == 0

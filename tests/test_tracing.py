@@ -129,3 +129,60 @@ class TestExplicitChainEmission:
         assert len(tracer) == 800
         chains = tracer.chains()
         assert {len(events) for events in chains.values()} == {200}
+
+
+class TestContextLocalCurrentChain:
+    def test_concurrent_emit_stays_on_the_starting_thread_chain(self):
+        """The historical race: ``emit`` read a shared current-chain id.
+
+        Each thread starts its own chain, then emits events tagged with
+        the chain it *believes* it is on; with the ``ContextVar`` fix the
+        recorded chain id must match the one that thread started even
+        while siblings start chains concurrently.
+        """
+        import threading
+
+        tracer = ChainTracer()
+        barrier = threading.Barrier(6)
+        mismatches = []
+
+        def work():
+            chain = tracer.start_chain("q")
+            barrier.wait()  # every thread now races the others
+            for index in range(50):
+                tracer.emit("action", index, expected=chain)
+
+        threads = [threading.Thread(target=work) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for event in tracer.of_kind("action"):
+            if event.chain_id != event.data["expected"]:
+                mismatches.append(event)
+        assert mismatches == []
+
+    def test_tracer_exposes_its_telemetry_store(self, cyclists):
+        tracer, _ = run_traced(cyclists,
+                               ["ReAcTable: Answer: ```a```."])
+        # Facade invariant: events live in the shared store, spans too.
+        assert tracer.events is tracer.telemetry.events
+        assert any(s.kind == "agent_run" for s in tracer.telemetry.spans)
+
+
+class TestEnvelopeShadowGuard:
+    def test_payload_keys_cannot_overwrite_envelope(self):
+        from repro.tracing import ChainEvent
+
+        tracer = ChainTracer()
+        event = ChainEvent("fault", 7, 2, 0.25,
+                           {"kind": "injected", "at": "model",
+                            "site": "complete"})
+        tracer.telemetry.record_event(event)
+        record = tracer.events[0].to_dict()
+        assert record["kind"] == "fault"
+        assert record["chain_id"] == 7
+        assert record["at"] == 0.25
+        assert record["data_kind"] == "injected"
+        assert record["data_at"] == "model"
+        assert record["site"] == "complete"

@@ -28,6 +28,7 @@ from repro.core import (
     make_voter,
 )
 from repro.datasets import Benchmark, generate_dataset
+from repro.engine import BatchScheduler, ChainEngine, EffectHandler
 from repro.evalkit import EvalReport, evaluate_agent, evaluate_answer
 from repro.executors import (
     ExecutorRegistry,
@@ -67,6 +68,9 @@ __all__ = [
     "TreeExplorationVoting",
     "ExecutionBasedVoting",
     "make_voter",
+    "ChainEngine",
+    "EffectHandler",
+    "BatchScheduler",
     "SQLExecutor",
     "PythonExecutor",
     "ExecutorRegistry",

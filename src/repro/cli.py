@@ -159,7 +159,9 @@ def _cmd_batch(args) -> int:
     evaluator = BatchEvaluator(spec, workers=args.workers,
                                seed=args.model_seed, cache=cache,
                                policy=policy, metrics=metrics,
-                               tracer=tracer)
+                               tracer=tracer,
+                               batch_scheduler=(True if args.batch_scheduler
+                                                else None))
     report = evaluator.evaluate(benchmark)
     snapshot = metrics.snapshot()
     print(f"dataset={args.dataset} model={args.model} "
@@ -412,6 +414,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-attempt timeout in seconds")
     batch.add_argument("--retries", type=int, default=1,
                        help="extra attempts before degrading")
+    batch.add_argument("--batch-scheduler", action="store_true",
+                       help="drive voted runners through the sans-IO "
+                            "BatchScheduler (coalesced model calls; also "
+                            "enabled by REPRO_BATCH_SCHEDULER=1)")
     batch.add_argument("--metrics-out", metavar="PATH",
                        help="write serving metrics as JSON to PATH")
     batch.add_argument("--trace", metavar="PATH",

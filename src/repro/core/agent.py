@@ -20,25 +20,27 @@ taxonomy.
 
 An optional ``max_iterations`` cap reproduces the Table 7 experiment: at
 the limit the model is forced to answer the same way.
+
+Since the sans-IO refactor the loop itself lives in
+:class:`repro.engine.ChainEngine`; this class is the trivial synchronous
+driver over it (prompt-builder selection, model forking, telemetry
+activation).  :data:`HARD_ITERATION_CAP` and :class:`AgentResult` are
+re-exported from :mod:`repro.engine` for back-compat.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from repro.core.actions import Action, ActionKind, parse_action
-from repro.core.prompt import PromptBuilder, Transcript, TranscriptStep
-from repro.errors import ActionParseError, ExecutionError, IterationLimitError
+from repro.core.prompt import PromptBuilder, Transcript
+from repro.engine.core import HARD_ITERATION_CAP, ChainEngine
+from repro.engine.driver import EffectHandler, run_chain
+from repro.engine.result import AgentResult
+from repro.errors import IterationLimitError
 from repro.executors.registry import ExecutorRegistry, default_registry
 from repro.llm.base import LanguageModel
 from repro.table.frame import DataFrame
-from repro.telemetry.cost import estimate_tokens
 from repro.telemetry.spans import activate, span
 
-__all__ = ["AgentResult", "ReActTableAgent"]
-
-#: Safety net against non-terminating chains, above any realistic limit.
-HARD_ITERATION_CAP = 24
+__all__ = ["AgentResult", "HARD_ITERATION_CAP", "ReActTableAgent"]
 
 
 def _normalize_table_columns(table: DataFrame) -> DataFrame:
@@ -47,21 +49,6 @@ def _normalize_table_columns(table: DataFrame) -> DataFrame:
     normalized = dedupe_column_names(
         [normalize_column_name(name) for name in table.columns])
     return table.rename(dict(zip(table.columns, normalized)))
-
-
-@dataclass
-class AgentResult:
-    """Everything one chain produced."""
-
-    answer: list[str]                 # predicted answer values
-    transcript: Transcript
-    iterations: int                   # LLM calls made (code steps + answer)
-    forced: bool = False              # answer was forced by error/limit
-    handling_events: list[str] = field(default_factory=list)
-
-    @property
-    def answer_text(self) -> str:
-        return "|".join(self.answer)
 
 
 class ReActTableAgent:
@@ -104,6 +91,22 @@ class ReActTableAgent:
             languages=self.prompt_builder.languages,
             max_prompt_rows=self.prompt_builder.max_prompt_rows)
 
+    def engine_for(self, table: DataFrame, question: str) -> ChainEngine:
+        """A fresh :class:`ChainEngine` for one question, agent-configured.
+
+        The hook batched drivers use: the returned engine carries this
+        agent's prompt builder, temperature and iteration caps, ready to
+        be driven by a :class:`repro.engine.BatchScheduler` alongside
+        other chains.
+        """
+        if self.normalize_columns:
+            table = _normalize_table_columns(table)
+        return ChainEngine(
+            Transcript(table.with_name("T0"), question),
+            prompt_builder=self._builder_for(question),
+            temperature=self.temperature,
+            max_iterations=self.max_iterations)
+
     def run(self, table: DataFrame, question: str, *,
             seed: int | None = None) -> AgentResult:
         """Answer ``question`` over ``table`` with one reasoning chain.
@@ -115,10 +118,7 @@ class ReActTableAgent:
         reproducibility.
         """
         model = self.model if seed is None else self.model.fork(seed)
-        prompt_builder = self._builder_for(question)
-        if self.normalize_columns:
-            table = _normalize_table_columns(table)
-        transcript = Transcript(table.with_name("T0"), question)
+        engine = self.engine_for(table, question)
         chain = None
         if self.tracer is not None:
             chain = self.tracer.start_chain(question)
@@ -129,112 +129,5 @@ class ReActTableAgent:
         with activate(telemetry), span("agent_run", trace_id=chain) as root:
             if root is not None:
                 root.set(question=question[:120])
-            return self._run_chain(model, prompt_builder, transcript)
-
-    def _run_chain(self, model: LanguageModel, prompt_builder: PromptBuilder,
-                   transcript: Transcript) -> AgentResult:
-        events: list[str] = []
-        iterations = 0
-        forced = False
-        while True:
-            iterations += 1
-            at_limit = (
-                (self.max_iterations is not None
-                 and iterations >= self.max_iterations)
-                or iterations >= HARD_ITERATION_CAP
-            )
-            with span("iteration", index=iterations):
-                prompt = prompt_builder.build(
-                    transcript, force_answer=forced or at_limit)
-                if self.tracer is not None:
-                    self.tracer.emit("prompt", iterations,
-                                     chars=len(prompt),
-                                     forced=forced or at_limit)
-                with span("model_call") as call:
-                    completions = model.complete(
-                        prompt, temperature=self.temperature, n=1)
-                    if call is not None:
-                        call.add_tokens(
-                            prompt=estimate_tokens(prompt),
-                            completion=sum(estimate_tokens(c.text)
-                                           for c in completions),
-                            calls=1)
-                if not completions:
-                    if self.tracer is not None:
-                        self.tracer.emit("model_fault", iterations,
-                                         error="empty completion batch")
-                    if forced or at_limit:
-                        # Even the forced answer came back empty: give up.
-                        return AgentResult([], transcript, iterations,
-                                           forced=True,
-                                           handling_events=events)
-                    events.append("empty completion batch; forcing answer")
-                    forced = True
-                    continue
-                completion = completions[0]
-                try:
-                    action = parse_action(completion.text)
-                    if self.tracer is not None:
-                        self.tracer.emit("action", iterations,
-                                         action=action.kind,
-                                         payload=action.payload)
-                except ActionParseError:
-                    if forced or at_limit:
-                        # Even the forced answer is unparseable: give up
-                        # empty.
-                        return AgentResult([], transcript, iterations,
-                                           forced=True,
-                                           handling_events=events)
-                    events.append("unparseable completion; forcing answer")
-                    forced = True
-                    continue
-                if action.kind == ActionKind.ANSWER or forced or at_limit:
-                    answer = (action.answer_values
-                              if action.kind == ActionKind.ANSWER else [])
-                    transcript.steps.append(TranscriptStep(action))
-                    if self.tracer is not None:
-                        self.tracer.end_chain(
-                            iterations, answer="|".join(answer),
-                            forced=forced or at_limit)
-                    return AgentResult(answer, transcript, iterations,
-                                       forced=forced or at_limit,
-                                       handling_events=events)
-                # Code action: run the matching executor over the history.
-                try:
-                    executor = self.registry.get(action.kind)
-                except Exception:
-                    events.append(
-                        f"no executor for {action.kind!r}; forcing answer")
-                    forced = True
-                    continue
-                try:
-                    # The executor opens its own stage span
-                    # (``sql_execute`` / ``python_exec``), so no extra
-                    # wrapper span is paid here.
-                    outcome = executor.execute(action.payload,
-                                               transcript.tables)
-                except ExecutionError as exc:
-                    # The paper's "other exceptions" path: force an answer.
-                    events.append(
-                        f"{action.kind} execution failed "
-                        f"({type(exc).__name__}); forcing answer")
-                    if self.tracer is not None:
-                        self.tracer.emit("execution", iterations,
-                                         language=action.kind,
-                                         failed=True,
-                                         error=type(exc).__name__)
-                    forced = True
-                    continue
-                events.extend(outcome.handling_notes)
-                if self.tracer is not None:
-                    self.tracer.emit("execution", iterations,
-                                     language=action.kind, failed=False,
-                                     rows=outcome.table.num_rows,
-                                     recovered=outcome.recovered)
-                    for note in outcome.handling_notes:
-                        self.tracer.emit("recovery", iterations, note=note)
-                new_table = outcome.table.with_name(
-                    f"T{transcript.num_code_steps + 1}")
-                transcript.steps.append(
-                    TranscriptStep(action, new_table,
-                                   list(outcome.handling_notes)))
+            handler = EffectHandler(model, self.registry)
+            return run_chain(engine, handler, tracer=self.tracer)

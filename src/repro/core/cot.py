@@ -6,14 +6,19 @@ completion.  The agent still executes the generated code blocks through
 the real executors (the paper: "the generated code is executed to obtain
 the final answer"); when every block runs, the answer is read from the
 final table, otherwise the model's own stated answer line is used.
+
+Since the sans-IO refactor the single-completion loop lives in
+:class:`repro.engine.CoTEngine`; this class is its synchronous driver
+(and its model call now runs inside a ``model_call`` telemetry span via
+the shared :class:`repro.engine.EffectHandler`).
 """
 
 from __future__ import annotations
 
-from repro.core.actions import ActionKind, parse_action
 from repro.core.agent import AgentResult
-from repro.core.prompt import Transcript, TranscriptStep, build_cot_prompt
-from repro.errors import ActionParseError, ExecutionError
+from repro.core.prompt import Transcript
+from repro.engine.cot import CoTEngine
+from repro.engine.driver import EffectHandler, drive
 from repro.executors.registry import ExecutorRegistry, default_registry
 from repro.llm.base import LanguageModel
 from repro.table.frame import DataFrame
@@ -33,47 +38,11 @@ class CodexCoTAgent:
 
     def run(self, table: DataFrame, question: str) -> AgentResult:
         t0 = table.with_name("T0")
-        transcript = Transcript(t0, question)
-        prompt = build_cot_prompt(
-            t0, question, languages=tuple(self.registry.languages))
-        completion = self.model.complete(
-            prompt, temperature=self.temperature, n=1)[0]
-
-        events: list[str] = []
-        answer: list[str] = []
-        # The completion contains one action per line: code blocks then the
-        # final answer.  Execute the code blocks in order.
-        for line in completion.text.splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                action = parse_action(line)
-            except ActionParseError:
-                continue
-            if action.kind == ActionKind.ANSWER:
-                answer = action.answer_values
-                transcript.steps.append(TranscriptStep(action))
-                break
-            try:
-                executor = self.registry.get(action.kind)
-                outcome = executor.execute(action.payload,
-                                           transcript.tables)
-            except (ExecutionError, Exception) as exc:
-                events.append(
-                    f"{action.kind} block failed "
-                    f"({type(exc).__name__}); continuing")
-                transcript.steps.append(TranscriptStep(action))
-                continue
-            events.extend(outcome.handling_notes)
-            new_table = outcome.table.with_name(
-                f"T{transcript.num_code_steps + 1}")
-            transcript.steps.append(
-                TranscriptStep(action, new_table,
-                               list(outcome.handling_notes)))
-        return AgentResult(
-            answer=answer,
-            transcript=transcript,
-            iterations=1,   # one LLM call, by construction
-            handling_events=events,
-        )
+        engine = CoTEngine(Transcript(t0, question),
+                           languages=tuple(self.registry.languages),
+                           temperature=self.temperature)
+        # Any block failure — executor error, missing executor, sandbox
+        # refusal — is noted and skipped, hence the blanket envelope.
+        handler = EffectHandler(self.model, self.registry,
+                                catch=(Exception,))
+        return drive(engine, handler)

@@ -11,21 +11,43 @@
 
 All three return an :class:`AgentResult`-compatible summary via
 :class:`VotingResult`.
+
+Since the sans-IO refactor the voters are *branch-forking drivers* over
+:class:`repro.engine.ChainEngine`: step logic (prompt assembly, action
+execution, ``T<k>`` table naming) comes from the engine's branch
+primitives and forked branches are engine :meth:`clone`\\ s, while the
+voting policy — who votes, what merges, which branch is committed — stays
+here.  Every model call now runs through the
+:class:`repro.engine.EffectHandler`'s ``model_call`` telemetry span, so
+voted runs get the same token attribution and cost fold-up as single
+chains (they used to bypass the spans and under-report).  Each ``run``
+is wrapped in a ``vote_run`` span carrying the method name.
+
+:class:`SimpleMajorityVoting` additionally supports the batched driver:
+with ``use_scheduler=True`` (the serving pool sets it under
+``REPRO_BATCH_SCHEDULER=1``) its *n* chains run concurrently through a
+:class:`repro.engine.BatchScheduler`, which coalesces identical pending
+prompts across chains into single batched completions.
 """
 
 from __future__ import annotations
 
 from collections import deque
+
 from dataclasses import dataclass, field
 
 from repro.core.actions import ActionKind, parse_action
 from repro.core.agent import HARD_ITERATION_CAP, ReActTableAgent
-from repro.core.prompt import PromptBuilder, Transcript, TranscriptStep
-from repro.errors import ActionParseError, ExecutionError, ModelError
+from repro.core.prompt import PromptBuilder, Transcript
+from repro.engine.core import ChainEngine
+from repro.engine.driver import EffectHandler
+from repro.engine.scheduler import BatchScheduler
+from repro.errors import ActionParseError, ModelError
 from repro.executors.registry import ExecutorRegistry, default_registry
 from repro.llm.base import LanguageModel
 from repro.table.compare import table_fingerprint
 from repro.table.frame import DataFrame
+from repro.telemetry.spans import span
 
 __all__ = [
     "VotingResult",
@@ -78,32 +100,56 @@ def get_majority(answers: list[list[str]]) -> list[str]:
 
 
 class SimpleMajorityVoting:
-    """Algorithm 1: n independent chains, majority answer."""
+    """Algorithm 1: n independent chains, majority answer.
+
+    ``use_scheduler=True`` switches from n sequential agent runs to one
+    :class:`repro.engine.BatchScheduler` pass driving all n chains
+    concurrently with coalesced model calls.  Same voting policy, one
+    batched round-trip per tree level instead of one call per step.
+    """
 
     def __init__(self, model: LanguageModel, *,
                  registry: ExecutorRegistry | None = None,
                  temperature: float = DEFAULT_VOTE_TEMPERATURE,
                  n: int = DEFAULT_VOTE_SAMPLES,
-                 max_iterations: int | None = None):
+                 max_iterations: int | None = None,
+                 use_scheduler: bool = False):
         self.model = model
         self.registry = registry or default_registry()
         self.temperature = temperature
         self.n = n
         self.max_iterations = max_iterations
+        self.use_scheduler = use_scheduler
 
     def run(self, table: DataFrame, question: str) -> VotingResult:
-        answers: list[list[str]] = []
-        votes: dict[str, int] = {}
-        iterations: list[int] = []
+        with span("vote_run", method="s-vote", n=self.n):
+            if self.use_scheduler:
+                results = self._run_scheduled(table, question)
+            else:
+                agent = ReActTableAgent(
+                    self.model, registry=self.registry,
+                    temperature=self.temperature,
+                    max_iterations=self.max_iterations)
+                results = [agent.run(table, question)
+                           for _ in range(self.n)]
+        return self._tally([r.answer for r in results],
+                           [r.iterations for r in results])
+
+    def _run_scheduled(self, table: DataFrame, question: str):
         agent = ReActTableAgent(
             self.model, registry=self.registry,
             temperature=self.temperature,
             max_iterations=self.max_iterations)
-        for _ in range(self.n):
-            result = agent.run(table, question)
-            answers.append(result.answer)
-            iterations.append(result.iterations)
-            key = _normalize_answer_key(result.answer)
+        engines = [agent.engine_for(table, question)
+                   for _ in range(self.n)]
+        scheduler = BatchScheduler(self.model, self.registry)
+        return scheduler.run(engines)
+
+    def _tally(self, answers: list[list[str]],
+               iterations: list[int]) -> VotingResult:
+        votes: dict[str, int] = {}
+        for answer in answers:
+            key = _normalize_answer_key(answer)
             votes[key] = votes.get(key, 0) + 1
         winner = get_majority(answers)
         winner_key = _normalize_answer_key(winner)
@@ -142,53 +188,54 @@ class TreeExplorationVoting:
         self.max_depth = max_depth
 
     def run(self, table: DataFrame, question: str) -> VotingResult:
-        root = Transcript(table.with_name("T0"), question)
-        queue: deque[Transcript] = deque([root])
+        # Branches prune (rather than force) on any execution failure, so
+        # the handler swallows every exception class.
+        handler = EffectHandler(self.model, self.registry,
+                                catch=(Exception,))
+        root = ChainEngine(Transcript(table.with_name("T0"), question),
+                           prompt_builder=self.prompt_builder,
+                           temperature=self.temperature, n=self.n)
+        queue: deque[ChainEngine] = deque([root])
         answers: list[list[str]] = []
         votes: dict[str, int] = {}
         expanded = 0
         first_depths: dict[str, int] = {}
-        while queue:
-            branch = queue.popleft()
-            depth = len(branch.steps)
-            # Force an answer at the depth cap, and also once the branch
-            # budget is spent — a pruned branch should still vote rather
-            # than vanish.
-            force = (depth + 1 >= self.max_depth
-                     or expanded >= self.max_branches)
-            prompt = self.prompt_builder.build(branch, force_answer=force)
-            completions = self.model.complete(
-                prompt, temperature=self.temperature, n=self.n)
-            for completion in completions:
-                try:
-                    action = parse_action(completion.text)
-                except ActionParseError:
-                    continue
-                if action.kind == ActionKind.ANSWER or force:
-                    answer = (action.answer_values
-                              if action.kind == ActionKind.ANSWER else [])
-                    answers.append(answer)
-                    key = _normalize_answer_key(answer)
-                    votes[key] = votes.get(key, 0) + 1
-                    first_depths.setdefault(key, depth + 1)
-                    continue
-                if expanded >= self.max_branches:
-                    continue
-                try:
-                    executor = self.registry.get(action.kind)
-                    outcome = executor.execute(action.payload,
-                                               branch.tables)
-                except Exception:
-                    # A failed branch contributes nothing (the single-chain
-                    # agent would force an answer; the tree simply prunes).
-                    continue
-                child = branch.fork()
-                child.steps.append(TranscriptStep(
-                    action,
-                    outcome.table.with_name(
-                        f"T{child.num_code_steps + 1}")))
-                queue.append(child)
-                expanded += 1
+        with span("vote_run", method="t-vote", n=self.n):
+            while queue:
+                branch = queue.popleft()
+                depth = branch.depth
+                # Force an answer at the depth cap, and also once the
+                # branch budget is spent — a pruned branch should still
+                # vote rather than vanish.
+                force = (depth + 1 >= self.max_depth
+                         or expanded >= self.max_branches)
+                reply = handler.model_call(branch.prompt_effect(force=force))
+                for completion in reply.completions:
+                    try:
+                        action = parse_action(completion.text)
+                    except ActionParseError:
+                        continue
+                    if action.kind == ActionKind.ANSWER or force:
+                        answer = (action.answer_values
+                                  if action.kind == ActionKind.ANSWER
+                                  else [])
+                        answers.append(answer)
+                        key = _normalize_answer_key(answer)
+                        votes[key] = votes.get(key, 0) + 1
+                        first_depths.setdefault(key, depth + 1)
+                        continue
+                    if expanded >= self.max_branches:
+                        continue
+                    result = handler.execute(branch.execute_effect(action))
+                    if result.outcome is None:
+                        # A failed branch contributes nothing (the
+                        # single-chain agent would force an answer; the
+                        # tree simply prunes).
+                        continue
+                    child = branch.clone()
+                    child.apply(action, result.outcome.table)
+                    queue.append(child)
+                    expanded += 1
         winner = get_majority(answers)
         return VotingResult(
             answer=winner, votes=votes, num_chains=len(answers),
@@ -216,60 +263,62 @@ class ExecutionBasedVoting:
         self.max_depth = max_depth
 
     def run(self, table: DataFrame, question: str) -> VotingResult:
-        transcript = Transcript(table.with_name("T0"), question)
+        # Non-executing code never wins a vote: swallow everything.
+        handler = EffectHandler(self.model, self.registry,
+                                catch=(Exception,))
+        engine = ChainEngine(Transcript(table.with_name("T0"), question),
+                             prompt_builder=self.prompt_builder,
+                             temperature=self.temperature, n=self.n)
         iterations = 0
-        while True:
-            iterations += 1
-            force = iterations >= self.max_depth
-            prompt = self.prompt_builder.build(transcript,
-                                               force_answer=force)
-            completions = self.model.complete(
-                prompt, temperature=self.temperature, n=self.n)
-            # Score log: group key -> (score, representative prediction).
-            groups: dict[object, dict] = {}
-            for completion in completions:
-                try:
-                    action = parse_action(completion.text)
-                except ActionParseError:
-                    continue
-                logprob = (completion.logprob
-                           if completion.logprob is not None else -1e9)
-                if action.kind == ActionKind.ANSWER:
-                    key = ("answer",
-                           _normalize_answer_key(action.answer_values))
-                    entry = groups.setdefault(
-                        key, {"score": logprob, "action": action,
-                              "table": None})
-                elif force:
-                    continue
-                else:
+        with span("vote_run", method="e-vote", n=self.n):
+            while True:
+                iterations += 1
+                force = iterations >= self.max_depth
+                reply = handler.model_call(
+                    engine.prompt_effect(force=force))
+                # Score log: group key -> (score, representative
+                # prediction).
+                groups: dict[object, dict] = {}
+                for completion in reply.completions:
                     try:
-                        executor = self.registry.get(action.kind)
-                        outcome = executor.execute(action.payload,
-                                                   transcript.tables)
-                    except Exception:
-                        continue  # non-executing code never wins
-                    key = ("table", table_fingerprint(outcome.table))
-                    entry = groups.setdefault(
-                        key, {"score": logprob, "action": action,
-                              "table": outcome.table})
-                # Merge equivalent predictions by max log-probability.
-                entry["score"] = max(entry["score"], logprob)
-            if not groups:
-                return VotingResult(answer=[], num_chains=self.n,
-                                    iterations=iterations)
-            best = max(groups.values(), key=lambda entry: entry["score"])
-            action = best["action"]
-            if action.kind == ActionKind.ANSWER:
-                return VotingResult(
-                    answer=action.answer_values,
-                    votes={str(key): 1 for key in groups},
-                    num_chains=self.n,
-                    iterations=iterations)
-            transcript.steps.append(TranscriptStep(
-                action,
-                best["table"].with_name(
-                    f"T{transcript.num_code_steps + 1}")))
+                        action = parse_action(completion.text)
+                    except ActionParseError:
+                        continue
+                    logprob = (completion.logprob
+                               if completion.logprob is not None else -1e9)
+                    if action.kind == ActionKind.ANSWER:
+                        key = ("answer",
+                               _normalize_answer_key(action.answer_values))
+                        entry = groups.setdefault(
+                            key, {"score": logprob, "action": action,
+                                  "table": None})
+                    elif force:
+                        continue
+                    else:
+                        result = handler.execute(
+                            engine.execute_effect(action))
+                        if result.outcome is None:
+                            continue  # non-executing code never wins
+                        key = ("table",
+                               table_fingerprint(result.outcome.table))
+                        entry = groups.setdefault(
+                            key, {"score": logprob, "action": action,
+                                  "table": result.outcome.table})
+                    # Merge equivalent predictions by max log-probability.
+                    entry["score"] = max(entry["score"], logprob)
+                if not groups:
+                    return VotingResult(answer=[], num_chains=self.n,
+                                        iterations=iterations)
+                best = max(groups.values(),
+                           key=lambda entry: entry["score"])
+                action = best["action"]
+                if action.kind == ActionKind.ANSWER:
+                    return VotingResult(
+                        answer=action.answer_values,
+                        votes={str(key): 1 for key in groups},
+                        num_chains=self.n,
+                        iterations=iterations)
+                engine.apply(action, best["table"])
 
 
 def make_voter(kind: str, model: LanguageModel, **kwargs):
@@ -280,13 +329,16 @@ def make_voter(kind: str, model: LanguageModel, **kwargs):
     if kind in ("none", "greedy"):
         kwargs.pop("temperature", None)
         kwargs.pop("n", None)
+        kwargs.pop("use_scheduler", None)
         return ReActTableAgent(model, temperature=0.0, **kwargs)
     if kind in ("s-vote", "simple"):
         return SimpleMajorityVoting(model, **kwargs)
     if kind in ("t-vote", "tree"):
         kwargs.pop("max_iterations", None)
+        kwargs.pop("use_scheduler", None)
         return TreeExplorationVoting(model, **kwargs)
     if kind in ("e-vote", "execution"):
         kwargs.pop("max_iterations", None)
+        kwargs.pop("use_scheduler", None)
         return ExecutionBasedVoting(model, **kwargs)
     raise ValueError(f"unknown voting kind {kind!r}")

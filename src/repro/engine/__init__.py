@@ -1,0 +1,42 @@
+"""The sans-IO chain engine and its drivers.
+
+One step core — :class:`ChainEngine` — owns the paper's reasoning loop
+(prompt assembly, action parsing, the Section 3.3 error-forcing ladder,
+iteration caps, transcript bookkeeping) as a pure state machine that
+yields typed effects instead of performing I/O.  Everything that used to
+re-implement the loop is now a driver over this core:
+
+* :class:`repro.core.ReActTableAgent` — the trivial sync driver
+  (:func:`run_chain`);
+* the three voting schemes — branch-forking drivers that
+  :meth:`ChainEngine.clone` engine state;
+* the Codex-CoT baseline — :func:`drive` over :class:`CoTEngine`;
+* the chaos harness — injects at the effect boundary
+  (:class:`repro.faults.FaultyEffectHandler`);
+* :class:`BatchScheduler` — runs many engines concurrently, coalescing
+  pending model calls into batched ``complete_batch`` round-trips.
+
+See ``docs/architecture.md`` §10 for the effect-flow diagram.
+"""
+
+from repro.engine.core import HARD_ITERATION_CAP, ChainEngine
+from repro.engine.cot import CoTEngine
+from repro.engine.driver import EffectHandler, drive, run_chain
+from repro.engine.effects import Execute, ExecResult, ModelCall, ModelResult
+from repro.engine.result import AgentResult
+from repro.engine.scheduler import BatchScheduler
+
+__all__ = [
+    "HARD_ITERATION_CAP",
+    "AgentResult",
+    "ChainEngine",
+    "CoTEngine",
+    "ModelCall",
+    "Execute",
+    "ModelResult",
+    "ExecResult",
+    "EffectHandler",
+    "run_chain",
+    "drive",
+    "BatchScheduler",
+]

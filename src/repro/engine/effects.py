@@ -1,0 +1,84 @@
+"""Typed effects — the sans-IO boundary between chain logic and I/O.
+
+The :class:`~repro.engine.core.ChainEngine` decides *what* should happen
+next in a reasoning chain (which prompt to send, which code block to run)
+but never performs the I/O itself.  Instead it hands the driver a frozen
+effect value describing the operation:
+
+* :class:`ModelCall` — sample ``n`` completions for ``prompt`` at
+  ``temperature`` (the paper's LLM step);
+* :class:`Execute` — run ``code`` in the ``language`` executor over the
+  chain's table history (the paper's code step).
+
+The driver performs the operation however it likes — synchronously, in a
+batch coalesced across chains, through a chaos injector — and feeds the
+observation back as a :class:`ModelResult` or :class:`ExecResult`.
+Because effects are plain data, every policy that used to live inside the
+agent loop (retries, fault injection, batching, telemetry attribution)
+now composes *around* the loop instead of being rewritten inside each
+consumer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.executors.base import ExecutionOutcome
+from repro.llm.base import Completion
+from repro.table.frame import DataFrame
+
+__all__ = ["ModelCall", "Execute", "ModelResult", "ExecResult"]
+
+
+@dataclass(frozen=True)
+class ModelCall:
+    """Request ``n`` completions for ``prompt`` at ``temperature``."""
+
+    prompt: str
+    temperature: float = 0.0
+    n: int = 1
+    #: 1-based iteration (chain engines) or step depth (branch drivers);
+    #: informational, for logging and span labelling.
+    iteration: int = 0
+    #: Whether the prompt carries the forced-``Answer`` suffix.
+    forced: bool = False
+
+
+@dataclass(frozen=True)
+class Execute:
+    """Run ``code`` in the ``language`` executor over ``tables``."""
+
+    language: str
+    code: str
+    #: Table history [T0, T1, ...] the executor may reference.
+    tables: tuple[DataFrame, ...]
+    iteration: int = 0
+
+
+@dataclass(frozen=True)
+class ModelResult:
+    """The completions a :class:`ModelCall` produced."""
+
+    completions: tuple[Completion, ...]
+
+
+@dataclass(frozen=True)
+class ExecResult:
+    """What an :class:`Execute` effect produced.
+
+    Exactly one of three shapes:
+
+    * success — ``outcome`` is set;
+    * executor failure — ``error`` holds the raised exception;
+    * no executor registered for the language — ``missing_executor`` is
+      True (``error`` additionally carries the registry's exception, for
+      drivers whose messages name the exception type).
+    """
+
+    outcome: ExecutionOutcome | None = None
+    error: BaseException | None = None
+    missing_executor: bool = False
+
+    @property
+    def failed(self) -> bool:
+        return self.outcome is None

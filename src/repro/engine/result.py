@@ -1,0 +1,30 @@
+"""The result record one chain produces.
+
+Historically this lived in ``repro.core.agent``; it moved here with the
+sans-IO refactor because every driver (sync agent, CoT baseline, batch
+scheduler) finishes a chain by reading the same record off the engine.
+``repro.core.agent`` re-exports it, so existing imports keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.prompt import Transcript
+
+__all__ = ["AgentResult"]
+
+
+@dataclass
+class AgentResult:
+    """Everything one chain produced."""
+
+    answer: list[str]                 # predicted answer values
+    transcript: Transcript
+    iterations: int                   # LLM calls made (code steps + answer)
+    forced: bool = False              # answer was forced by error/limit
+    handling_events: list[str] = field(default_factory=list)
+
+    @property
+    def answer_text(self) -> str:
+        return "|".join(self.answer)

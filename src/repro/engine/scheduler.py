@@ -1,0 +1,103 @@
+"""Continuous-batching driver: many chain engines, coalesced model calls.
+
+The sequential drivers perform one ``complete()`` round-trip per chain
+per iteration — n voting chains at depth d cost n×d calls even though,
+at any instant, many chains are waiting on the *same* prompt (every
+simple-vote chain starts from an identical T0 prompt) or could at least
+share one batched round-trip.  :class:`BatchScheduler` exploits the
+sans-IO split: because engines *describe* their pending
+:class:`~repro.engine.effects.ModelCall` instead of performing it, the
+scheduler can run any number of engines in lock-step ticks:
+
+1. collect the pending model call of every unfinished engine;
+2. **coalesce** — identical ``(prompt, temperature)`` pairs merge into a
+   single :class:`~repro.llm.base.CompletionRequest` with a summed ``n``
+   (first-seen order preserved);
+3. submit the whole tick through ``LanguageModel.complete_batch`` (one
+   batched round-trip);
+4. slice the completions back out to the engines in collection order and
+   run their (local, cheap) execute effects synchronously.
+
+With the offline simulated model the saving is call *count*; against a
+real API with per-call latency it is wall-clock — see
+``benchmarks/bench_batch_scheduler.py``.  ``serving/pool.py`` enables
+this path for voted specs when ``REPRO_BATCH_SCHEDULER=1``.
+
+Determinism: coalescing changes how many ``complete`` calls the backend
+sees, so sampled (temperature > 0) chains draw from a different stream
+than the sequential driver — same contract as changing worker count.
+Greedy chains are draw-free and bit-identical either way (pinned by
+``tests/engine/test_scheduler.py``).
+"""
+
+from __future__ import annotations
+
+from repro.engine.core import ChainEngine
+from repro.engine.driver import EffectHandler
+from repro.engine.effects import ModelResult
+from repro.engine.result import AgentResult
+from repro.errors import ExecutionError
+from repro.llm.base import CompletionRequest
+
+__all__ = ["BatchScheduler"]
+
+
+class BatchScheduler:
+    """Drive many :class:`ChainEngine` instances with batched model calls."""
+
+    def __init__(self, model=None, registry=None, *,
+                 handler: EffectHandler | None = None,
+                 catch: tuple = (ExecutionError,)):
+        if handler is None:
+            if model is None or registry is None:
+                raise ValueError(
+                    "BatchScheduler needs model+registry or a handler")
+            handler = EffectHandler(model, registry, catch=catch)
+        self.handler = handler
+        #: Batched round-trips performed by the last :meth:`run` (one per
+        #: tick) and logical completion requests inside them — the
+        #: benchmark's coalescing evidence.
+        self.ticks = 0
+        self.requests = 0
+
+    def run(self, engines) -> list[AgentResult]:
+        """Run every engine to completion; results in input order."""
+        engines = list(engines)
+        self.ticks = 0
+        self.requests = 0
+        active = [e for e in engines if e.state != "done"]
+        while active:
+            # 1-2. Collect + coalesce this tick's model calls.  Every
+            # active engine is in the "model" state here (execute effects
+            # are drained within the tick below).
+            groups: dict[tuple[str, float], list] = {}
+            for engine in active:
+                effect = engine.next_effect()
+                groups.setdefault(
+                    (effect.prompt, effect.temperature), []).append(
+                        (engine, effect))
+            requests = [CompletionRequest(prompt=prompt,
+                                          temperature=temperature,
+                                          n=sum(e.n for _, e in members))
+                        for (prompt, temperature), members in groups.items()]
+            # 3. One batched round-trip for the whole tick.
+            batches = self.handler.model_batch(requests)
+            self.ticks += 1
+            self.requests += len(requests)
+            # 4. Slice completions back out in collection order.  A
+            # mis-sized batch (the chaos harness's wrong_n fault) starves
+            # the tail members, which absorb it via the forcing ladder —
+            # the same contract as the sequential driver.
+            for members, batch in zip(groups.values(), batches):
+                offset = 0
+                for engine, effect in members:
+                    engine.send(ModelResult(
+                        tuple(batch[offset:offset + effect.n])))
+                    offset += effect.n
+            # Execute effects are local and cheap: drain them inline.
+            for engine in active:
+                while engine.state == "exec":
+                    engine.send(self.handler.execute(engine.next_effect()))
+                engine.drain_notes()
+            active = [e for e in active if e.state != "done"]
+        return [engine.result for engine in engines]

@@ -47,6 +47,7 @@ __all__ = [
     "AgentError",
     "ActionParseError",
     "IterationLimitError",
+    "EngineProtocolError",
     "PromptError",
     "ModelError",
     "TransientModelError",
@@ -187,6 +188,19 @@ class ActionParseError(AgentError):
 
 class IterationLimitError(AgentError):
     """The agent exceeded its hard iteration budget without answering."""
+
+    retryable = False
+
+
+class EngineProtocolError(AgentError):
+    """A driver violated the sans-IO engine protocol.
+
+    Raised when a driver sends a reply the engine is not waiting for
+    (an :class:`~repro.engine.effects.ExecResult` while a model call is
+    pending, a reply to a finished engine, ...).  Always a programming
+    bug in the driver, never a runtime condition — repeating the call
+    cannot help.
+    """
 
     retryable = False
 

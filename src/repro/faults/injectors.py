@@ -33,10 +33,53 @@ from repro.faults.plan import FaultPlan
 from repro.llm.base import Completion, LanguageModel
 from repro.table.frame import DataFrame
 
-__all__ = ["FaultyModel", "FaultyExecutor"]
+__all__ = ["FaultyModel", "FaultyExecutor", "apply_completion_fault",
+           "executor_fault_error", "corrupt_outcome"]
 
 #: Signature of the fault-observation hook: ``(site, kind, index)``.
 FaultHook = Callable[[str, str, int], None]
+
+
+# --- shared fault-application core -------------------------------------------
+# One implementation of each fault's *effect*, used both by the wrapper
+# classes below and by the effect-boundary injector in
+# :mod:`repro.faults.effects`, so the two injection styles cannot drift.
+
+def apply_completion_fault(kind: str, completions: Sequence[Completion],
+                           plan: FaultPlan, site: str, index: int, *,
+                           salt: str) -> list[Completion]:
+    """Damage a completion batch per a post-call model fault kind."""
+    if kind == "truncate":
+        return [Completion(c.text[:max(1, len(c.text) // 2)],
+                           c.logprob) for c in completions]
+    if kind == "garbage":
+        noise = plan.garbage_text(site, index, salt=salt)
+        return [Completion(noise, c.logprob) for c in completions]
+    # wrong_n: the backend mis-sized the batch (one short).
+    return list(completions[:-1])
+
+
+def executor_fault_error(kind: str, language: str, code: str,
+                         index: int) -> Exception:
+    """The exception an injected executor fault raises."""
+    if kind == "sandbox":
+        return SandboxViolationError(
+            f"injected sandbox violation (call {index})", code=code)
+    error_type = (SQLExecutionError if language == "sql"
+                  else PythonExecutionError)
+    return error_type(
+        f"injected {language} executor failure (call {index})", code=code)
+
+
+def corrupt_outcome(outcome: ExecutionOutcome) -> ExecutionOutcome:
+    """Silently damage a real execution result (drop the last row)."""
+    table = outcome.table
+    if table.num_rows > 0:
+        table = table.take(range(table.num_rows - 1))
+    return ExecutionOutcome(
+        table=table,
+        handling_notes=list(outcome.handling_notes),
+        executed_against=outcome.executed_against)
 
 
 class FaultyModel(LanguageModel):
@@ -88,14 +131,8 @@ class FaultyModel(LanguageModel):
                                        n=n)
         completions = self.inner.complete(prompt,
                                           temperature=temperature, n=n)
-        if kind == "truncate":
-            return [Completion(c.text[:max(1, len(c.text) // 2)],
-                               c.logprob) for c in completions]
-        if kind == "garbage":
-            noise = self.plan.garbage_text(self.site, index, salt=prompt)
-            return [Completion(noise, c.logprob) for c in completions]
-        # wrong_n: the backend mis-sized the batch (one short).
-        return completions[:-1]
+        return apply_completion_fault(kind, completions, self.plan,
+                                      self.site, index, salt=prompt)
 
 
 class FaultyExecutor(CodeExecutor):
@@ -128,21 +165,7 @@ class FaultyExecutor(CodeExecutor):
         if kind is None:
             return self.inner.execute(code, tables)
         self._notify(kind, index)
-        if kind == "error":
-            error_type = (SQLExecutionError if self.language == "sql"
-                          else PythonExecutionError)
-            raise error_type(
-                f"injected {self.language} executor failure "
-                f"(call {index})", code=code)
-        if kind == "sandbox":
-            raise SandboxViolationError(
-                f"injected sandbox violation (call {index})", code=code)
+        if kind in ("error", "sandbox"):
+            raise executor_fault_error(kind, self.language, code, index)
         # corrupt: execute for real, then silently damage the result.
-        outcome = self.inner.execute(code, tables)
-        table = outcome.table
-        if table.num_rows > 0:
-            table = table.take(range(table.num_rows - 1))
-        return ExecutionOutcome(
-            table=table,
-            handling_notes=list(outcome.handling_notes),
-            executed_against=outcome.executed_against)
+        return corrupt_outcome(self.inner.execute(code, tables))

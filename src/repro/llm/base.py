@@ -11,7 +11,8 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass
 
-__all__ = ["Completion", "LanguageModel", "ScriptedModel"]
+__all__ = ["Completion", "CompletionRequest", "LanguageModel",
+           "ScriptedModel"]
 
 
 @dataclass(frozen=True)
@@ -28,6 +29,22 @@ class Completion:
     logprob: float | None = None
 
 
+@dataclass(frozen=True)
+class CompletionRequest:
+    """One logical completion request inside a coalesced batch.
+
+    The :class:`repro.engine.scheduler.BatchScheduler` collects the
+    pending model calls of many concurrent chains into a list of these
+    and submits them through :meth:`LanguageModel.complete_batch` —
+    identical prompts are merged into a single request with a summed
+    ``n`` (continuous-batching style).
+    """
+
+    prompt: str
+    temperature: float = 0.0
+    n: int = 1
+
+
 class LanguageModel(abc.ABC):
     """Completion-style language model interface."""
 
@@ -41,6 +58,20 @@ class LanguageModel(abc.ABC):
     def complete(self, prompt: str, *, temperature: float = 0.0,
                  n: int = 1) -> list[Completion]:
         """Sample ``n`` completions for ``prompt`` at ``temperature``."""
+
+    def complete_batch(self, requests) -> "list[list[Completion]]":
+        """Sample completions for a batch of requests in one call.
+
+        The batched-serving hook: the default performs the requests
+        sequentially (so every model is batch-capable), while backends
+        with a real batch endpoint — or latency models simulating one —
+        override it to amortise per-call overhead across the batch.
+        Returns one completion list per request, in request order.
+        """
+        return [self.complete(request.prompt,
+                              temperature=request.temperature,
+                              n=request.n)
+                for request in requests]
 
     def fork(self, seed: int) -> "LanguageModel":
         """A copy of this model reseeded for one independent run.

@@ -46,7 +46,8 @@ class BatchEvaluator:
                  policy: RetryPolicy | None = None,
                  metrics: ServingMetrics | None = None,
                  tracer=None, queue_capacity: int = 256,
-                 breakers: BreakerConfig | None = None):
+                 breakers: BreakerConfig | None = None,
+                 batch_scheduler: bool | None = None):
         self.spec = spec
         self.workers = workers
         self.seed = seed
@@ -58,6 +59,8 @@ class BatchEvaluator:
         self.tracer = tracer
         self.queue_capacity = queue_capacity
         self.breakers = breakers
+        # None defers to the pool's REPRO_BATCH_SCHEDULER env switch.
+        self.batch_scheduler = batch_scheduler
         #: Responses of the most recent :meth:`evaluate`, in benchmark
         #: order (serving metadata: latency, cached, attempts, ...).
         self.last_responses = []
@@ -72,7 +75,8 @@ class BatchEvaluator:
                         policy=self.policy, metrics=self.metrics,
                         tracer=self.tracer,
                         queue_capacity=self.queue_capacity,
-                        breakers=self.breakers) as pool:
+                        breakers=self.breakers,
+                        batch_scheduler=self.batch_scheduler) as pool:
             slots = [
                 pool.submit(example.table, example.question,
                             seed=self.seed, uid=example.uid)

@@ -37,6 +37,7 @@ Lifecycle events (``enqueue``, ``dispatch``, ``cache_hit``,
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 
@@ -85,6 +86,7 @@ class WorkerPool:
                  tracer=None, queue_capacity: int = 256,
                  breakers: BreakerConfig | None = None,
                  telemetry: Telemetry | None = None,
+                 batch_scheduler: bool | None = None,
                  sleep=time.sleep):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -100,6 +102,14 @@ class WorkerPool:
         if telemetry is None and tracer is not None:
             telemetry = getattr(tracer, "telemetry", None)
         self.telemetry = telemetry
+        # Batched-driver flag: voted runners that support the sans-IO
+        # BatchScheduler (``use_scheduler``) coalesce their per-chain
+        # model calls into batched completions.  ``None`` defers to the
+        # ``REPRO_BATCH_SCHEDULER=1`` environment switch.
+        if batch_scheduler is None:
+            batch_scheduler = (
+                os.environ.get("REPRO_BATCH_SCHEDULER", "0") == "1")
+        self.batch_scheduler = batch_scheduler
         self.queue = RequestQueue(queue_capacity)
         self._sleep = sleep
         self._threads: list[threading.Thread] = []
@@ -353,6 +363,8 @@ class WorkerPool:
 
     def _run_attempt(self, request: TQARequest, seed: int):
         runner = self.spec.build(seed)
+        if self.batch_scheduler and hasattr(runner, "use_scheduler"):
+            runner.use_scheduler = True
         deadline = self.policy.deadline()
         if deadline is not None and hasattr(runner, "model"):
             runner.model = DeadlineModel(runner.model, deadline)

@@ -19,7 +19,8 @@ SPAN_KINDS = frozenset({
     "request",            # one TQA request inside a worker thread
     "attempt",            # one retry-ladder attempt against the spec
     "degraded_attempt",   # the forced-direct-answer degradation rung
-    # Agent loop (repro.core.agent).
+    # Agent loop (repro.core.agent / repro.core.voting).
+    "vote_run",           # one voted run (s-vote/t-vote/e-vote)
     "agent_run",          # one reasoning chain
     "iteration",          # one prompt->model->action->execute pass
     "model_call",         # one LanguageModel.complete call

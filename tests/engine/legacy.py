@@ -1,0 +1,286 @@
+"""Vendored pre-refactor implementations (the differential oracles).
+
+These are the agent chain loop and the three voting drivers exactly as
+they existed before the sans-IO engine refactor, copied verbatim (minus
+the tracer/telemetry plumbing, which is inert without a store and does
+not influence answers).  ``tests/engine/test_differential.py`` runs both
+generations over hundreds of seeded questions and asserts bit-identical
+answers, transcripts, handling events and vote tallies.
+
+Do not "improve" this module: its value is being frozen history.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.actions import ActionKind, parse_action
+from repro.core.agent import HARD_ITERATION_CAP, AgentResult
+from repro.core.prompt import PromptBuilder, Transcript, TranscriptStep
+from repro.core.voting import (
+    DEFAULT_VOTE_SAMPLES,
+    DEFAULT_VOTE_TEMPERATURE,
+    VotingResult,
+    _normalize_answer_key,
+    get_majority,
+)
+from repro.errors import ActionParseError, ExecutionError, ModelError
+from repro.executors.registry import default_registry
+from repro.table.compare import table_fingerprint
+
+
+class LegacyAgent:
+    """The pre-refactor ``ReActTableAgent`` chain loop."""
+
+    def __init__(self, model, *, registry=None, max_iterations=None,
+                 temperature=0.0):
+        self.model = model
+        self.registry = registry or default_registry()
+        self.prompt_builder = PromptBuilder(
+            languages=tuple(self.registry.languages))
+        self.max_iterations = max_iterations
+        self.temperature = temperature
+
+    def run(self, table, question, *, seed=None):
+        model = self.model if seed is None else self.model.fork(seed)
+        transcript = Transcript(table.with_name("T0"), question)
+        return self._run_chain(model, self.prompt_builder, transcript)
+
+    def _run_chain(self, model, prompt_builder, transcript):
+        events: list[str] = []
+        iterations = 0
+        forced = False
+        while True:
+            iterations += 1
+            at_limit = (
+                (self.max_iterations is not None
+                 and iterations >= self.max_iterations)
+                or iterations >= HARD_ITERATION_CAP
+            )
+            prompt = prompt_builder.build(
+                transcript, force_answer=forced or at_limit)
+            completions = model.complete(
+                prompt, temperature=self.temperature, n=1)
+            if not completions:
+                if forced or at_limit:
+                    return AgentResult([], transcript, iterations,
+                                       forced=True,
+                                       handling_events=events)
+                events.append("empty completion batch; forcing answer")
+                forced = True
+                continue
+            completion = completions[0]
+            try:
+                action = parse_action(completion.text)
+            except ActionParseError:
+                if forced or at_limit:
+                    return AgentResult([], transcript, iterations,
+                                       forced=True,
+                                       handling_events=events)
+                events.append("unparseable completion; forcing answer")
+                forced = True
+                continue
+            if action.kind == ActionKind.ANSWER or forced or at_limit:
+                answer = (action.answer_values
+                          if action.kind == ActionKind.ANSWER else [])
+                transcript.steps.append(TranscriptStep(action))
+                return AgentResult(answer, transcript, iterations,
+                                   forced=forced or at_limit,
+                                   handling_events=events)
+            try:
+                executor = self.registry.get(action.kind)
+            except Exception:
+                events.append(
+                    f"no executor for {action.kind!r}; forcing answer")
+                forced = True
+                continue
+            try:
+                outcome = executor.execute(action.payload,
+                                           transcript.tables)
+            except ExecutionError as exc:
+                events.append(
+                    f"{action.kind} execution failed "
+                    f"({type(exc).__name__}); forcing answer")
+                forced = True
+                continue
+            events.extend(outcome.handling_notes)
+            new_table = outcome.table.with_name(
+                f"T{transcript.num_code_steps + 1}")
+            transcript.steps.append(
+                TranscriptStep(action, new_table,
+                               list(outcome.handling_notes)))
+
+
+class LegacySimpleMajorityVoting:
+    """The pre-refactor Algorithm 1 driver."""
+
+    def __init__(self, model, *, registry=None,
+                 temperature=DEFAULT_VOTE_TEMPERATURE,
+                 n=DEFAULT_VOTE_SAMPLES, max_iterations=None):
+        self.model = model
+        self.registry = registry or default_registry()
+        self.temperature = temperature
+        self.n = n
+        self.max_iterations = max_iterations
+
+    def run(self, table, question):
+        answers = []
+        votes = {}
+        iterations = []
+        agent = LegacyAgent(
+            self.model, registry=self.registry,
+            temperature=self.temperature,
+            max_iterations=self.max_iterations)
+        for _ in range(self.n):
+            result = agent.run(table, question)
+            answers.append(result.answer)
+            iterations.append(result.iterations)
+            key = _normalize_answer_key(result.answer)
+            votes[key] = votes.get(key, 0) + 1
+        winner = get_majority(answers)
+        winner_key = _normalize_answer_key(winner)
+        winner_iterations = next(
+            (it for it, ans in zip(iterations, answers)
+             if _normalize_answer_key(ans) == winner_key),
+            iterations[0] if iterations else 0)
+        return VotingResult(answer=winner, votes=votes,
+                            num_chains=self.n,
+                            iterations=winner_iterations)
+
+
+class LegacyTreeExplorationVoting:
+    """The pre-refactor Algorithm 2 driver."""
+
+    def __init__(self, model, *, registry=None,
+                 temperature=DEFAULT_VOTE_TEMPERATURE,
+                 n=DEFAULT_VOTE_SAMPLES, max_branches=256,
+                 max_depth=HARD_ITERATION_CAP):
+        self.model = model
+        self.registry = registry or default_registry()
+        self.prompt_builder = PromptBuilder(
+            languages=tuple(self.registry.languages))
+        self.temperature = temperature
+        self.n = n
+        self.max_branches = max_branches
+        self.max_depth = max_depth
+
+    def run(self, table, question):
+        root = Transcript(table.with_name("T0"), question)
+        queue = deque([root])
+        answers = []
+        votes = {}
+        expanded = 0
+        first_depths = {}
+        while queue:
+            branch = queue.popleft()
+            depth = len(branch.steps)
+            force = (depth + 1 >= self.max_depth
+                     or expanded >= self.max_branches)
+            prompt = self.prompt_builder.build(branch, force_answer=force)
+            completions = self.model.complete(
+                prompt, temperature=self.temperature, n=self.n)
+            for completion in completions:
+                try:
+                    action = parse_action(completion.text)
+                except ActionParseError:
+                    continue
+                if action.kind == ActionKind.ANSWER or force:
+                    answer = (action.answer_values
+                              if action.kind == ActionKind.ANSWER else [])
+                    answers.append(answer)
+                    key = _normalize_answer_key(answer)
+                    votes[key] = votes.get(key, 0) + 1
+                    first_depths.setdefault(key, depth + 1)
+                    continue
+                if expanded >= self.max_branches:
+                    continue
+                try:
+                    executor = self.registry.get(action.kind)
+                    outcome = executor.execute(action.payload,
+                                               branch.tables)
+                except Exception:
+                    continue
+                child = branch.fork()
+                child.steps.append(TranscriptStep(
+                    action,
+                    outcome.table.with_name(
+                        f"T{child.num_code_steps + 1}")))
+                queue.append(child)
+                expanded += 1
+        winner = get_majority(answers)
+        return VotingResult(
+            answer=winner, votes=votes, num_chains=len(answers),
+            iterations=first_depths.get(_normalize_answer_key(winner), 1))
+
+
+class LegacyExecutionBasedVoting:
+    """The pre-refactor Algorithm 3 driver."""
+
+    def __init__(self, model, *, registry=None,
+                 temperature=DEFAULT_VOTE_TEMPERATURE,
+                 n=DEFAULT_VOTE_SAMPLES, max_depth=HARD_ITERATION_CAP):
+        if not model.supports_logprobs:
+            raise ModelError(
+                f"execution-based voting needs log-probabilities, which "
+                f"{model.name} does not provide")
+        self.model = model
+        self.registry = registry or default_registry()
+        self.prompt_builder = PromptBuilder(
+            languages=tuple(self.registry.languages))
+        self.temperature = temperature
+        self.n = n
+        self.max_depth = max_depth
+
+    def run(self, table, question):
+        transcript = Transcript(table.with_name("T0"), question)
+        iterations = 0
+        while True:
+            iterations += 1
+            force = iterations >= self.max_depth
+            prompt = self.prompt_builder.build(transcript,
+                                               force_answer=force)
+            completions = self.model.complete(
+                prompt, temperature=self.temperature, n=self.n)
+            groups = {}
+            for completion in completions:
+                try:
+                    action = parse_action(completion.text)
+                except ActionParseError:
+                    continue
+                logprob = (completion.logprob
+                           if completion.logprob is not None else -1e9)
+                if action.kind == ActionKind.ANSWER:
+                    key = ("answer",
+                           _normalize_answer_key(action.answer_values))
+                    entry = groups.setdefault(
+                        key, {"score": logprob, "action": action,
+                              "table": None})
+                elif force:
+                    continue
+                else:
+                    try:
+                        executor = self.registry.get(action.kind)
+                        outcome = executor.execute(action.payload,
+                                                   transcript.tables)
+                    except Exception:
+                        continue
+                    key = ("table", table_fingerprint(outcome.table))
+                    entry = groups.setdefault(
+                        key, {"score": logprob, "action": action,
+                              "table": outcome.table})
+                entry["score"] = max(entry["score"], logprob)
+            if not groups:
+                return VotingResult(answer=[], num_chains=self.n,
+                                    iterations=iterations)
+            best = max(groups.values(), key=lambda entry: entry["score"])
+            action = best["action"]
+            if action.kind == ActionKind.ANSWER:
+                return VotingResult(
+                    answer=action.answer_values,
+                    votes={str(key): 1 for key in groups},
+                    num_chains=self.n,
+                    iterations=iterations)
+            transcript.steps.append(TranscriptStep(
+                action,
+                best["table"].with_name(
+                    f"T{transcript.num_code_steps + 1}")))

@@ -1,0 +1,112 @@
+"""Engine state cloning: forked branches must not share mutable state.
+
+The regression this pins: a voting driver forks a branch, the child
+appends a transcript step (or a handling event), and the mutation shows
+up in the sibling/parent because the clone shared the underlying list.
+The tree-exploration driver forks at every expansion, so any aliasing
+here silently corrupts whole vote tallies.
+"""
+
+import pytest
+
+from repro.core.actions import Action, ActionKind
+from repro.core.prompt import PromptBuilder, Transcript
+from repro.engine import ChainEngine, ModelCall
+from repro.engine.effects import ModelResult
+from repro.errors import EngineProtocolError
+from repro.llm.base import Completion
+
+
+def make_engine(cyclists, **kwargs):
+    return ChainEngine(
+        Transcript(cyclists.with_name("T0"), "who ranked first?"),
+        prompt_builder=PromptBuilder(languages=("sql", "python")),
+        **kwargs)
+
+
+def sql_action(payload="SELECT * FROM T0;"):
+    return Action(ActionKind.SQL, payload)
+
+
+class TestCloneIsolation:
+    def test_child_step_invisible_to_parent(self, cyclists):
+        parent = make_engine(cyclists)
+        child = parent.clone()
+        child.apply(sql_action(), cyclists)
+        assert len(child.transcript.steps) == 1
+        assert parent.transcript.steps == []
+        assert parent.depth == 0 and child.depth == 1
+
+    def test_sibling_branches_diverge_independently(self, cyclists):
+        root = make_engine(cyclists)
+        left = root.clone()
+        right = root.clone()
+        left.apply(sql_action("SELECT Cyclist FROM T0;"), cyclists)
+        right.apply(sql_action("SELECT Team FROM T0;"), cyclists)
+        right.apply(sql_action("SELECT Rank FROM T0;"), cyclists)
+        assert len(left.transcript.steps) == 1
+        assert len(right.transcript.steps) == 2
+        assert root.transcript.steps == []
+        # Table naming is per-branch: both children named their first
+        # intermediate table T1.
+        assert left.transcript.steps[0].table.name == "T1"
+        assert right.transcript.steps[0].table.name == "T1"
+
+    def test_events_are_not_shared(self, cyclists):
+        parent = make_engine(cyclists)
+        parent.events.append("parent event")
+        child = parent.clone()
+        child.events.append("child event")
+        assert parent.events == ["parent event"]
+        assert child.events == ["parent event", "child event"]
+
+    def test_trace_notes_are_not_shared(self, cyclists):
+        parent = make_engine(cyclists)
+        parent._note("prompt", 1, chars=10)
+        child = parent.clone()
+        child._note("action", 1, action="sql")
+        assert len(parent.drain_notes()) == 1
+        assert len(child.drain_notes()) == 2
+
+    def test_clone_prompts_reflect_own_branch_only(self, cyclists):
+        root = make_engine(cyclists)
+        child = root.clone()
+        child.apply(sql_action(), cyclists)
+        root_prompt = root.prompt_effect().prompt
+        child_prompt = child.prompt_effect().prompt
+        # The few-shot prefix already mentions intermediate tables, so
+        # compare counts: only the child's prompt gained a new one.
+        marker = "Intermediate table (T1):"
+        assert child_prompt.count(marker) == root_prompt.count(marker) + 1
+
+    def test_clone_copies_forcing_ladder_state(self, cyclists):
+        engine = make_engine(cyclists)
+        engine.next_effect()
+        engine.send(ModelResult(()))   # empty batch → forcing
+        clone = engine.clone()
+        effect = clone.next_effect()
+        assert isinstance(effect, ModelCall)
+        assert effect.forced
+        # The clone rebuilt its own pending prompt without double
+        # counting the iteration.
+        assert effect.iteration == engine.next_effect().iteration
+
+    def test_clone_mid_execution_is_rejected(self, cyclists):
+        engine = make_engine(cyclists)
+        engine.next_effect()
+        engine.send(ModelResult((
+            Completion("ReAcTable: SQL: ```SELECT * FROM T0;```."),)))
+        assert engine.state == "exec"
+        with pytest.raises(EngineProtocolError):
+            engine.clone()
+
+    def test_shared_history_tables_are_safe(self, cyclists):
+        # Completed steps ARE shared (tables are immutable history);
+        # what must not be shared is the steps list itself.
+        parent = make_engine(cyclists)
+        parent.apply(sql_action(), cyclists)
+        child = parent.clone()
+        child.apply(sql_action("SELECT Team FROM T0;"), cyclists)
+        assert parent.transcript.steps[0] is child.transcript.steps[0]
+        assert len(parent.transcript.steps) == 1
+        assert len(child.transcript.steps) == 2

@@ -18,7 +18,7 @@ class TestTopLevelExports:
     @pytest.mark.parametrize("module_name", [
         "repro.table", "repro.sqlengine", "repro.executors",
         "repro.plans", "repro.llm", "repro.datasets", "repro.core",
-        "repro.evalkit", "repro.reporting", "repro.errors",
+        "repro.engine", "repro.evalkit", "repro.reporting", "repro.errors",
         "repro.tracing", "repro.cli", "repro.serving",
         "repro.faults", "repro.retry",
     ])
@@ -29,7 +29,7 @@ class TestTopLevelExports:
     @pytest.mark.parametrize("module_name", [
         "repro.table", "repro.sqlengine", "repro.executors",
         "repro.plans", "repro.llm", "repro.datasets", "repro.core",
-        "repro.evalkit", "repro.reporting", "repro.serving",
+        "repro.engine", "repro.evalkit", "repro.reporting", "repro.serving",
         "repro.faults", "repro.retry",
     ])
     def test_subpackage_all_resolves(self, module_name):

@@ -55,6 +55,7 @@ from repro.serving import (
     TQAResponse,
     WorkerPool,
 )
+from repro.aio import AsyncBatchEvaluator, AsyncServer
 from repro.table import DataFrame
 
 __version__ = "1.0.0"
@@ -95,5 +96,7 @@ __all__ = [
     "ServingMetrics",
     "WorkerPool",
     "BatchEvaluator",
+    "AsyncServer",
+    "AsyncBatchEvaluator",
     "__version__",
 ]

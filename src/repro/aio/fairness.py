@@ -1,0 +1,90 @@
+"""Per-tenant weighted fair queueing for admission under backlog.
+
+A plain FIFO admission queue lets one chatty tenant starve everyone
+behind it.  :class:`WeightedFairQueue` implements self-clocked fair
+queueing (SCFQ): each queued item gets a *virtual finish time*
+
+    ``finish = max(virtual_time, tenant_last_finish) + cost / weight``
+
+and :meth:`pop` always serves the smallest finish tag.  Tenants with
+weight 2 drain twice as fast as weight 1; a tenant idle for a while
+re-enters at the current virtual time (no banked credit — fairness is
+over *backlogged* tenants, the classic WFQ contract).  Virtual time
+advances to the finish tag of each served item.
+
+Everything is deterministic: ties break by tenant arrival order (dict
+insertion order), and no wall clock is involved — the virtual clock only
+moves when items are served, so tests can pin exact interleavings.
+
+The structure is loop-agnostic (no asyncio imports): the async server
+queues parked waiter futures in it, but any scheduler could reuse it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+__all__ = ["WeightedFairQueue"]
+
+
+class WeightedFairQueue:
+    """A deterministic SCFQ queue of ``(tenant, item)`` entries."""
+
+    def __init__(self, *, weights: dict[str, float] | None = None,
+                 default_weight: float = 1.0):
+        if default_weight <= 0:
+            raise ValueError("default_weight must be positive")
+        for tenant, weight in (weights or {}).items():
+            if weight <= 0:
+                raise ValueError(
+                    f"weight for tenant {tenant!r} must be positive")
+        self.weights = dict(weights or {})
+        self.default_weight = default_weight
+        self._queues: dict[str, deque] = {}
+        self._last_finish: dict[str, float] = {}
+        self._virtual = 0.0
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    @property
+    def virtual_time(self) -> float:
+        """The SCFQ virtual clock (finish tag of the last served item)."""
+        return self._virtual
+
+    def weight_of(self, tenant: str) -> float:
+        return self.weights.get(tenant, self.default_weight)
+
+    def depths(self) -> dict[str, int]:
+        """Backlog per tenant (empty tenants omitted)."""
+        return {tenant: len(queue)
+                for tenant, queue in self._queues.items() if queue}
+
+    def push(self, tenant: str, item, *, cost: float = 1.0) -> None:
+        """Queue ``item`` for ``tenant``; ``cost`` scales its share use."""
+        start = max(self._virtual, self._last_finish.get(tenant, 0.0))
+        finish = start + cost / self.weight_of(tenant)
+        self._last_finish[tenant] = finish
+        self._queues.setdefault(tenant, deque()).append((finish, item))
+        self._size += 1
+
+    def pop(self):
+        """Serve the smallest-finish-tag item; raises ``IndexError`` empty."""
+        if not self._size:
+            raise IndexError("pop from an empty WeightedFairQueue")
+        best_tenant = None
+        best_finish = 0.0
+        # Dict insertion order makes ties deterministic: the first-seen
+        # tenant wins (strict <).
+        for tenant, queue in self._queues.items():
+            if queue and (best_tenant is None or queue[0][0] < best_finish):
+                best_tenant = tenant
+                best_finish = queue[0][0]
+        finish, item = self._queues[best_tenant].popleft()
+        self._virtual = finish
+        self._size -= 1
+        return item

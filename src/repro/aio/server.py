@@ -1,0 +1,468 @@
+"""The async server: the WorkerPool's ladder as a coroutine, with admission.
+
+Dataflow of one request::
+
+    submit ──► [coalesce onto identical in-flight request?]
+           ──► admission control
+                 ├─ in-flight budget free ──────────────► dispatch
+                 ├─ budget full, queue room ── WFQ park ─► dispatch
+                 └─ budget full, queue full ──► typed rejection
+                                                (AdmissionRejectedError,
+                                                 outcome="rejected")
+    dispatch ──► cache lookup ── hit ──► response
+             └─ miss: circuit breaker allow?
+                   │  per-attempt deadline (handler seam)
+                   │  bounded retries (reseeded, async backoff)
+                   │  exhausted → forced direct answer
+                   │  even that failed → classified error
+                   ▼
+                cache store ──► response
+
+The retry/breaker/degradation ladder is a line-for-line mirror of
+:meth:`repro.serving.pool.WorkerPool._answer_inner` — same attempt
+seeds, same breaker protocol, same degraded rung (no deadline, request
+seed), same :func:`~repro.serving.policy.classify_failure` taxonomy —
+so the two paths return bit-identical responses for the same requests
+(``tests/aio/test_parity.py``).  What changes is the execution substrate:
+
+* a request is a *coroutine*, not a thread — the in-flight budget
+  (``max_inflight``) can be hundreds without hundreds of stacks;
+* chain runners (greedy and s-vote) are driven through a per-attempt
+  :class:`~repro.aio.batcher.ContinuousBatcher` (voted chains coalesce
+  their ticks, the ``REPRO_BATCH_SCHEDULER`` contract); blocking
+  tree/execution voters run in worker threads via ``asyncio.to_thread``;
+* admission order under backlog is per-tenant weighted fair queueing
+  (:class:`~repro.aio.fairness.WeightedFairQueue`), not FIFO: one chatty
+  tenant cannot starve the rest;
+* overload is *shed*, not buffered without bound: a full queue raises
+  :class:`~repro.errors.AdmissionRejectedError` immediately (retryable —
+  the client's signal to back off), and :meth:`answer` folds it into an
+  ``outcome="rejected"`` response.
+
+Deadlines ride the :class:`~repro.aio.handler.AsyncEffectHandler` seam
+(checked at every model boundary), so they bind to *every* chain runner —
+no ``runner.model`` monkey-patching; the thread-dispatched voters keep
+the pool's :class:`~repro.serving.policy.DeadlineModel` wrap with the
+same loud ``deadline_unattached`` metric when a runner can't carry one.
+
+Telemetry: each request's span tree (``request`` → ``attempt`` →
+``agent_run``/``vote_run`` → ``model_call``) lives in its own asyncio
+task context, so trees stay correctly nested while hundreds of requests
+interleave on one loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.aio.batcher import ContinuousBatcher
+from repro.aio.driver import drive_chain
+from repro.aio.fairness import WeightedFairQueue
+from repro.aio.handler import AsyncEffectHandler
+from repro.errors import (
+    AdmissionRejectedError,
+    CircuitOpenError,
+    QueueClosedError,
+    ServingError,
+    ServingTimeoutError,
+    is_retryable,
+)
+from repro.serving.breaker import BreakerConfig, CircuitBreaker
+from repro.serving.cache import AnswerCache, CachedAnswer, request_fingerprint
+from repro.serving.metrics import ServingMetrics
+from repro.serving.policy import DeadlineModel, RetryPolicy, classify_failure
+from repro.serving.request import TQARequest, TQAResponse
+from repro.table.frame import DataFrame
+from repro.telemetry.spans import Telemetry, activate, span
+
+__all__ = ["AsyncServer"]
+
+
+class AsyncServer:
+    """Serve TQA requests as coroutines behind admission control.
+
+    ``spec`` is an :class:`~repro.serving.spec.AgentSpec`-shaped object.
+    ``max_inflight`` bounds concurrently *running* requests;
+    ``max_queued`` bounds requests parked in the fair queue behind them
+    (``None`` = unbounded queue, never reject).  ``tenant_weights`` maps
+    :attr:`TQARequest.tenant` names to WFQ weights.  The remaining
+    collaborators (cache, policy, metrics, tracer, breakers, telemetry)
+    have :class:`~repro.serving.pool.WorkerPool` semantics.
+
+    Use as an async context manager, or call :meth:`close` when done.
+    """
+
+    def __init__(self, spec, *, max_inflight: int = 64,
+                 max_queued: int | None = 256,
+                 cache: AnswerCache | None = None,
+                 policy: RetryPolicy | None = None,
+                 metrics: ServingMetrics | None = None,
+                 tracer=None,
+                 breakers: BreakerConfig | None = None,
+                 telemetry: Telemetry | None = None,
+                 tenant_weights: dict[str, float] | None = None,
+                 sleep=asyncio.sleep):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if max_queued is not None and max_queued < 0:
+            raise ValueError("max_queued must be >= 0 (or None)")
+        self.spec = spec
+        self.max_inflight = max_inflight
+        self.max_queued = max_queued
+        self.cache = cache
+        self.policy = policy or RetryPolicy()
+        self.metrics = metrics or ServingMetrics()
+        self.tracer = tracer
+        if telemetry is None and tracer is not None:
+            telemetry = getattr(tracer, "telemetry", None)
+        self.telemetry = telemetry
+        self.queue = WeightedFairQueue(weights=tenant_weights)
+        self._sleep = sleep
+        self._active = 0
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._request_counter = 0
+        self._closed = False
+        self._breaker: CircuitBreaker | None = None
+        if breakers is not None:
+            backend = getattr(spec, "profile", None) or "default"
+            self._breaker = CircuitBreaker(
+                backend, config=breakers,
+                on_transition=self._on_breaker_transition)
+
+    @property
+    def breaker(self) -> CircuitBreaker | None:
+        """The spec backend's circuit breaker (``None`` when disabled)."""
+        return self._breaker
+
+    @property
+    def active(self) -> int:
+        """Requests currently running (admitted, not finished)."""
+        return self._active
+
+    # --- lifecycle ----------------------------------------------------------
+
+    async def __aenter__(self) -> "AsyncServer":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        """Refuse new submissions and fail every parked waiter."""
+        self._closed = True
+        while self.queue:
+            gate = self.queue.pop()
+            if not gate.done():
+                gate.set_exception(QueueClosedError("server is closed"))
+        # Let the woken waiters run their cleanup before we return.
+        await asyncio.sleep(0)
+
+    # --- submission ---------------------------------------------------------
+
+    async def submit(self, table: DataFrame, question: str, *,
+                     seed: int = 0, uid: str = "",
+                     tenant: str = "default") -> TQAResponse:
+        """Answer one question; raises on admission rejection."""
+        return await self.submit_request(TQARequest(
+            table=table, question=question, seed=seed, uid=uid,
+            tenant=tenant))
+
+    async def answer(self, request: TQARequest) -> TQAResponse:
+        """:meth:`submit_request`, with rejection folded into the response.
+
+        The evaluation surface: every request yields a classified
+        :class:`TQAResponse` (``outcome="rejected"`` for shed ones), so
+        batch callers see the full outcome distribution instead of
+        exceptions.
+        """
+        try:
+            return await self.submit_request(request)
+        except AdmissionRejectedError as exc:
+            return exc.response
+
+    async def submit_request(self, request: TQARequest) -> TQAResponse:
+        """Admit, run and answer ``request``.
+
+        Raises :class:`AdmissionRejectedError` (carrying a ``.response``
+        with ``outcome="rejected"``) when both the in-flight budget and
+        the fair queue are full — the typed backpressure signal.
+        """
+        if self._closed:
+            raise ServingError("server is closed")
+        self._request_counter += 1
+        chain = self._request_counter
+        uid = request.uid or f"req-{chain}"
+        key = None
+        if self.cache is not None:
+            key = request_fingerprint(request, config=self.spec.config_key)
+            # Coalesce onto an identical in-flight computation.  shield():
+            # one cancelled duplicate must not cancel the shared primary.
+            primary = self._inflight.get(key)
+            if primary is not None:
+                self.metrics.record_coalesced()
+                self._trace(chain, "coalesce", uid=uid)
+                response = await asyncio.shield(primary)
+                return response.replica(uid, coalesced=True)
+            self._inflight[key] = asyncio.get_running_loop().create_future()
+        self._trace(chain, "enqueue", uid=uid, question=request.question)
+        # Admission: run now, park fairly, or shed.  All bookkeeping up
+        # to an ``await`` is atomic (single event loop, no locks).
+        if self._active >= self.max_inflight:
+            if (self.max_queued is not None
+                    and len(self.queue) >= self.max_queued):
+                self.metrics.record_submit(len(self.queue))
+                raise self._reject(chain, uid, key, request)
+            gate = asyncio.get_running_loop().create_future()
+            self.queue.push(request.tenant, gate)
+            self.metrics.record_submit(len(self.queue))
+            try:
+                # Resolved by _pump() once a slot frees (the slot is
+                # charged to us before the wake-up).
+                await gate
+            except BaseException:
+                if (gate.done() and not gate.cancelled()
+                        and gate.exception() is None):
+                    self._release_slot()
+                self._drop_inflight(key)
+                raise
+            self._trace(chain, "admit", uid=uid, tenant=request.tenant,
+                        queue_depth=len(self.queue))
+        else:
+            self._active += 1
+            self.metrics.record_submit(len(self.queue))
+        self._trace(chain, "dispatch", uid=uid, queue_depth=len(self.queue))
+        response: TQAResponse | None = None
+        try:
+            try:
+                response = await self._answer(chain, uid, key, request)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # last-resort: always classify
+                response = TQAResponse(
+                    uid=uid, answer=[],
+                    error=f"{type(exc).__name__}: {exc}",
+                    outcome=classify_failure(exc))
+        finally:
+            if key is not None:
+                future = self._inflight.pop(key, None)
+                if future is not None and not future.done():
+                    if response is not None:
+                        future.set_result(response)
+                    else:
+                        future.cancel()
+            self._release_slot()
+        self.metrics.record_response(response)
+        self._trace(chain, "complete", uid=uid,
+                    answer=response.answer_text,
+                    cached=response.cached,
+                    degraded=response.degraded,
+                    outcome=response.outcome,
+                    latency=round(response.latency, 6))
+        return response
+
+    # --- admission internals ------------------------------------------------
+
+    def _reject(self, chain: int, uid: str, key: str | None,
+                request: TQARequest) -> AdmissionRejectedError:
+        self._drop_inflight(key)
+        message = (f"admission rejected: {self._active} in flight, "
+                   f"{len(self.queue)} queued (tenant {request.tenant!r})")
+        response = TQAResponse(uid=uid, answer=[], attempts=0,
+                               error=message, outcome="rejected")
+        self.metrics.record_rejection()
+        self.metrics.record_response(response)
+        self._trace(chain, "rejected", uid=uid, tenant=request.tenant,
+                    queue_depth=len(self.queue))
+        error = AdmissionRejectedError(message)
+        error.response = response
+        return error
+
+    def _release_slot(self) -> None:
+        self._active -= 1
+        self._pump()
+
+    def _pump(self) -> None:
+        """Hand freed slots to parked waiters in fair-queue order."""
+        while self._active < self.max_inflight and self.queue:
+            gate = self.queue.pop()
+            if gate.done():        # cancelled while parked: skip
+                continue
+            self._active += 1      # charge the slot before the wake-up
+            gate.set_result(None)
+
+    def _drop_inflight(self, key: str | None) -> None:
+        if key is None:
+            return
+        future = self._inflight.pop(key, None)
+        if future is not None and not future.done():
+            future.cancel()
+
+    # --- tracing ------------------------------------------------------------
+
+    def _trace(self, chain: int, kind: str, **data) -> None:
+        if self.tracer is not None:
+            self.tracer.emit_for(chain, f"serving_{kind}", 0, **data)
+
+    def _on_breaker_transition(self, backend: str, old_state: str,
+                               new_state: str) -> None:
+        self.metrics.record_breaker_transition(old_state, new_state)
+        self._trace(0, "breaker_transition", backend=backend,
+                    old_state=old_state, new_state=new_state)
+
+    # --- the ladder (mirrors WorkerPool._answer_inner) ----------------------
+
+    async def _answer(self, chain: int, uid: str, key: str | None,
+                      request: TQARequest) -> TQAResponse:
+        with activate(self.telemetry), \
+                span("request", trace_id=chain, uid=uid) as request_span:
+            response = await self._answer_inner(chain, uid, key, request)
+            if request_span is not None:
+                request_span.set(outcome=response.outcome,
+                                 cached=response.cached,
+                                 degraded=response.degraded,
+                                 attempts=response.attempts)
+            return response
+
+    async def _answer_inner(self, chain: int, uid: str, key: str | None,
+                            request: TQARequest) -> TQAResponse:
+        started = time.perf_counter()
+        if key is not None:
+            cached = self.cache.get(key)
+            hit = cached is not None
+            self.metrics.record_cache(hit)
+            self._trace(chain, "cache_hit" if hit else "cache_miss",
+                        uid=uid)
+            if hit:
+                return cached.to_response(
+                    uid, latency=time.perf_counter() - started)
+        result = None
+        last_error = ""
+        last_exc: Exception | None = None
+        attempts = 0
+        breaker = self._breaker
+        for attempt in range(self.policy.max_attempts):
+            if breaker is not None and not breaker.allow():
+                last_exc = CircuitOpenError(
+                    f"backend {breaker.backend!r} circuit is open")
+                last_error = str(last_exc)
+                self.metrics.record_breaker_rejection()
+                self._trace(chain, "breaker_reject", uid=uid,
+                            attempt=attempt + 1,
+                            backend=breaker.backend)
+                break
+            attempts = attempt + 1
+            seed = self.policy.attempt_seed(request.seed, attempt)
+            try:
+                with span("attempt", index=attempts):
+                    result = await self._run_attempt(request, seed)
+                if breaker is not None:
+                    breaker.record_success()
+                break
+            except ServingTimeoutError as exc:
+                last_exc = exc
+                last_error = str(exc)
+                self.metrics.record_timeout()
+                self._trace(chain, "timeout", uid=uid, attempt=attempts)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                last_exc = exc
+                last_error = f"{type(exc).__name__}: {exc}"
+                self._trace(chain, "error", uid=uid, attempt=attempts,
+                            error=last_error,
+                            retryable=is_retryable(exc))
+            if breaker is not None:
+                breaker.record_failure()
+            if attempt + 1 < self.policy.max_attempts:
+                self.metrics.record_retry()
+                self._trace(chain, "retry", uid=uid,
+                            next_attempt=attempts + 1)
+                delay = self.policy.backoff_delay(request.seed, attempt)
+                if delay > 0:
+                    self.metrics.record_backoff(delay)
+                    self._trace(chain, "backoff", uid=uid,
+                                delay=round(delay, 6))
+                    await self._sleep(delay)
+        degraded = False
+        if result is None and self.policy.degrade_on_exhaustion:
+            # The §3.3 fallback rung: forced direct answer, request seed,
+            # no deadline — exactly the pool's degraded contract.
+            degraded = True
+            self._trace(chain, "degraded", uid=uid)
+            try:
+                with span("degraded_attempt"):
+                    runner = self.spec.build_forced(request.seed)
+                    result = await asyncio.to_thread(
+                        runner.run, request.table, request.question)
+            except Exception as exc:
+                last_exc = exc
+                last_error = f"{type(exc).__name__}: {exc}"
+                result = None
+        if result is None:
+            return TQAResponse(uid=uid, answer=[], degraded=degraded,
+                               attempts=attempts, error=last_error,
+                               latency=time.perf_counter() - started,
+                               outcome=classify_failure(last_exc))
+        outcome = ("degraded" if degraded
+                   else "retried" if attempts > 1 else "ok")
+        response = TQAResponse(
+            uid=uid, answer=list(result.answer),
+            iterations=getattr(result, "iterations", 0),
+            forced=bool(getattr(result, "forced", False)) or degraded,
+            handling_events=list(
+                getattr(result, "handling_events", ()) or ()),
+            degraded=degraded, attempts=attempts, error=last_error,
+            latency=time.perf_counter() - started, outcome=outcome)
+        if key is not None and not degraded:
+            self.cache.put(key, CachedAnswer.from_response(response))
+        return response
+
+    # --- attempt dispatch ---------------------------------------------------
+
+    async def _run_attempt(self, request: TQARequest, seed: int):
+        """One seeded attempt, dispatched by runner capability.
+
+        Chain runners (``engine_for`` / ``chain_engines``) are driven as
+        coroutines through a per-attempt continuous batcher with the
+        deadline on the handler seam; blocking voters (tree/execution)
+        keep the pool's thread-side path via ``asyncio.to_thread``.
+        """
+        runner = self.spec.build(seed)
+        deadline = self.policy.deadline()
+        table, question = request.table, request.question
+        if hasattr(runner, "chain_engines"):
+            # s-vote: n chains coalescing their ticks (the
+            # REPRO_BATCH_SCHEDULER contract, always on here).
+            batcher = ContinuousBatcher(AsyncEffectHandler(
+                runner.model, runner.registry, deadline=deadline))
+            engines = runner.chain_engines(table, question)
+            for _ in engines:
+                batcher.admit()    # whole population before the first tick
+            with span("vote_run", method="s-vote", n=runner.n):
+                results = await asyncio.gather(
+                    *(drive_chain(engine, batcher, pre_admitted=True)
+                      for engine in engines))
+            return runner.tally(results)
+        if hasattr(runner, "engine_for"):
+            # Greedy single chain.
+            batcher = ContinuousBatcher(AsyncEffectHandler(
+                runner.model, runner.registry, deadline=deadline))
+            with span("agent_run", trace_id=None) as root:
+                if root is not None:
+                    root.set(question=question[:120])
+                return await drive_chain(
+                    runner.engine_for(table, question), batcher)
+        return await asyncio.to_thread(
+            self._run_blocking, runner, request, deadline)
+
+    def _run_blocking(self, runner, request: TQARequest, deadline):
+        """The pool's thread-side attempt for non-chain runners."""
+        if deadline is not None:
+            if hasattr(runner, "model"):
+                runner.model = DeadlineModel(runner.model, deadline)
+            else:
+                self.metrics.record_deadline_unattached()
+                self._trace(0, "deadline_unattached", uid=request.uid,
+                            runner=type(runner).__name__)
+        return runner.run(request.table, request.question)

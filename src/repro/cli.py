@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.core import ReActTableAgent, make_voter
@@ -156,17 +157,31 @@ def _cmd_batch(args) -> int:
     policy = RetryPolicy(timeout=args.timeout, max_retries=args.retries)
     metrics = ServingMetrics()
     tracer = ChainTracer() if args.trace else None
-    evaluator = BatchEvaluator(spec, workers=args.workers,
-                               seed=args.model_seed, cache=cache,
-                               policy=policy, metrics=metrics,
-                               tracer=tracer,
-                               batch_scheduler=(True if args.batch_scheduler
-                                                else None))
+    # --async (or REPRO_ASYNC_SERVER=1) swaps the thread pool for the
+    # asyncio serving core: same ladder, coroutine concurrency.
+    use_async = args.use_async or (
+        os.environ.get("REPRO_ASYNC_SERVER", "0") == "1")
+    if use_async:
+        from repro.aio import AsyncBatchEvaluator
+
+        evaluator = AsyncBatchEvaluator(
+            spec, max_inflight=args.max_inflight, seed=args.model_seed,
+            cache=cache, policy=policy, metrics=metrics, tracer=tracer)
+        concurrency = f"async max_inflight={args.max_inflight}"
+    else:
+        evaluator = BatchEvaluator(spec, workers=args.workers,
+                                   seed=args.model_seed, cache=cache,
+                                   policy=policy, metrics=metrics,
+                                   tracer=tracer,
+                                   batch_scheduler=(
+                                       True if args.batch_scheduler
+                                       else None))
+        concurrency = f"workers={args.workers}"
     report = evaluator.evaluate(benchmark)
     snapshot = metrics.snapshot()
     print(f"dataset={args.dataset} model={args.model} "
           f"voting={args.voting} n={len(benchmark)} "
-          f"workers={args.workers}")
+          f"{concurrency}")
     print(f"accuracy: {report.accuracy:.3f}")
     print(f"iteration histogram: {dict(sorted(report.iteration_histogram.items()))}")
     if args.dataset == "fetaqa":
@@ -414,6 +429,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-attempt timeout in seconds")
     batch.add_argument("--retries", type=int, default=1,
                        help="extra attempts before degrading")
+    batch.add_argument("--async", dest="use_async", action="store_true",
+                       help="serve through the asyncio core (continuous "
+                            "batching + admission control; also enabled "
+                            "by REPRO_ASYNC_SERVER=1)")
+    batch.add_argument("--max-inflight", type=int, default=64,
+                       help="async mode: concurrent in-flight request "
+                            "budget")
     batch.add_argument("--batch-scheduler", action="store_true",
                        help="drive voted runners through the sans-IO "
                             "BatchScheduler (coalesced model calls; also "

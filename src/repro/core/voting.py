@@ -132,18 +132,31 @@ class SimpleMajorityVoting:
                     max_iterations=self.max_iterations)
                 results = [agent.run(table, question)
                            for _ in range(self.n)]
-        return self._tally([r.answer for r in results],
-                           [r.iterations for r in results])
+        return self.tally(results)
 
-    def _run_scheduled(self, table: DataFrame, question: str):
+    def chain_engines(self, table: DataFrame,
+                      question: str) -> list[ChainEngine]:
+        """The voter's *n* independent chains as sans-IO engines.
+
+        The seam for external drivers (the batched scheduler here, the
+        async server's continuous batcher): drive these however you like,
+        then combine the results with :meth:`tally` — same voting policy,
+        any sequencing.
+        """
         agent = ReActTableAgent(
             self.model, registry=self.registry,
             temperature=self.temperature,
             max_iterations=self.max_iterations)
-        engines = [agent.engine_for(table, question)
-                   for _ in range(self.n)]
+        return [agent.engine_for(table, question) for _ in range(self.n)]
+
+    def tally(self, results) -> VotingResult:
+        """Combine per-chain :class:`AgentResult`\\ s into the vote."""
+        return self._tally([r.answer for r in results],
+                           [r.iterations for r in results])
+
+    def _run_scheduled(self, table: DataFrame, question: str):
         scheduler = BatchScheduler(self.model, self.registry)
-        return scheduler.run(engines)
+        return scheduler.run(self.chain_engines(table, question))
 
     def _tally(self, answers: list[list[str]],
                iterations: list[int]) -> VotingResult:

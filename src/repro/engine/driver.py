@@ -19,10 +19,12 @@ spans and under-report tokens).
 
 from __future__ import annotations
 
+import time
+
 from repro.engine.core import ChainEngine
 from repro.engine.effects import Execute, ExecResult, ModelCall, ModelResult
 from repro.engine.result import AgentResult
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, ServingTimeoutError
 from repro.llm.base import Completion, CompletionRequest, LanguageModel
 from repro.telemetry.cost import estimate_tokens
 from repro.telemetry.spans import span
@@ -38,18 +40,38 @@ class EffectHandler:
     a crash the serving ladder classifies), while the voting drivers
     historically swallowed every exception when pruning a branch — they
     pass ``catch=(Exception,)``.
+
+    ``deadline`` (absolute, on ``clock``'s timeline) enforces a request
+    timeout at the effect seam itself: every model boundary crossing —
+    single call or batched tick — checks it before the round-trip (cheap
+    refusal) and after it returns (catches one slow call), raising
+    :class:`~repro.errors.ServingTimeoutError`.  This is the same
+    contract as :class:`repro.serving.policy.DeadlineModel`, but it works
+    for *any* driver holding the handler — scheduler ticks and async
+    chains included — without needing a mutable ``runner.model`` to wrap.
     """
 
     def __init__(self, model: LanguageModel, registry, *,
-                 catch: tuple = (ExecutionError,)):
+                 catch: tuple = (ExecutionError,),
+                 deadline: float | None = None,
+                 clock=time.monotonic):
         self.model = model
         self.registry = registry
         self.catch = tuple(catch)
+        self.deadline = deadline
+        self._clock = clock
+
+    def check_deadline(self, moment: str) -> None:
+        """Raise :class:`ServingTimeoutError` once the deadline passed."""
+        if self.deadline is not None and self._clock() >= self.deadline:
+            raise ServingTimeoutError(
+                f"attempt deadline exceeded ({moment} completion)")
 
     # --- model boundary ------------------------------------------------------
 
     def model_call(self, effect: ModelCall) -> ModelResult:
         """Perform one :class:`ModelCall` inside a ``model_call`` span."""
+        self.check_deadline("before")
         with span("model_call") as call:
             completions = self.model.complete(
                 effect.prompt, temperature=effect.temperature, n=effect.n)
@@ -59,6 +81,7 @@ class EffectHandler:
                     completion=sum(estimate_tokens(c.text)
                                    for c in completions),
                     calls=1)
+        self.check_deadline("after")
         return ModelResult(tuple(completions))
 
     def model_batch(self,
@@ -70,6 +93,7 @@ class EffectHandler:
         logical completion requests so cost summaries stay comparable
         with the sequential path.
         """
+        self.check_deadline("before")
         with span("model_call", batched=len(requests)) as call:
             batches = self.model.complete_batch(requests)
             if call is not None:
@@ -78,6 +102,7 @@ class EffectHandler:
                     completion=sum(estimate_tokens(c.text)
                                    for batch in batches for c in batch),
                     calls=len(requests))
+        self.check_deadline("after")
         return batches
 
     # --- executor boundary ----------------------------------------------------

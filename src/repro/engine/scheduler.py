@@ -59,14 +59,39 @@ class BatchScheduler:
         #: benchmark's coalescing evidence.
         self.ticks = 0
         self.requests = 0
+        #: Engines admitted mid-run (:meth:`admit`), joining at the next
+        #: tick boundary.
+        self._admitted: list[ChainEngine] = []
+
+    def admit(self, engine: ChainEngine) -> None:
+        """Admit ``engine`` into a run already in progress.
+
+        The engine joins the *next* tick (a tick's membership is frozen
+        once its calls are collected — admitting mid-``complete_batch``
+        cannot retroactively join the round-trip in flight).  Outside a
+        run, admitted engines are picked up by the next :meth:`run` and
+        their results appended after the input engines'.
+        """
+        self._admitted.append(engine)
 
     def run(self, engines) -> list[AgentResult]:
-        """Run every engine to completion; results in input order."""
+        """Run every engine to completion; results in input order.
+
+        Engines :meth:`admit`-ted during the run are driven to completion
+        too, their results appended in admission order.
+        """
         engines = list(engines)
         self.ticks = 0
         self.requests = 0
         active = [e for e in engines if e.state != "done"]
-        while active:
+        while active or self._admitted:
+            # Tick boundary: mid-flight admissions join here.
+            if self._admitted:
+                joined, self._admitted = self._admitted, []
+                engines.extend(joined)
+                active.extend(e for e in joined if e.state != "done")
+                if not active:
+                    continue
             # 1-2. Collect + coalesce this tick's model calls.  Every
             # active engine is in the "model" state here (execute effects
             # are drained within the tick below).

@@ -58,6 +58,7 @@ __all__ = [
     "ServingTimeoutError",
     "CircuitOpenError",
     "QueueClosedError",
+    "AdmissionRejectedError",
     "RETRYABLE_BUILTINS",
     "is_retryable",
 ]
@@ -275,6 +276,20 @@ class QueueClosedError(ServingError):
     """An operation was attempted on a closed request queue."""
 
     retryable = False
+
+
+class AdmissionRejectedError(TransientError, ServingError):
+    """A request was shed by admission control before any work began.
+
+    Raised by the async server when the inflight budget is exhausted and
+    the fair queue is full — backpressure made typed.  Transient by
+    classification: the overload that caused the shed drains, so the same
+    request may succeed if re-submitted later (with client-side backoff).
+    Unlike :class:`CircuitOpenError` it never enters the pool's attempt
+    ladder — it is raised *to the submitter*, who decides when to retry.
+    """
+
+    retryable = True
 
 
 #: Builtin exception types treated as transient by :func:`is_retryable` —

@@ -53,6 +53,8 @@ class ServingMetrics:
         self._backoffs = r.counter("serving.backoffs")
         self._backoff_seconds = r.counter("serving.backoff_seconds")
         self._outcomes = r.counter("serving.outcomes")
+        self._rejections = r.counter("serving.rejections")
+        self._deadline_unattached = r.counter("serving.deadline_unattached")
         self._latency = r.histogram("serving.latency_seconds")
         self._first_submit: float | None = None
         self._last_complete: float | None = None
@@ -98,6 +100,18 @@ class ServingMetrics:
         """Account one between-attempt backoff sleep."""
         self._backoffs.inc()
         self._backoff_seconds.inc(seconds)
+
+    def record_rejection(self) -> None:
+        """Account one request shed by admission control."""
+        self._rejections.inc()
+
+    def record_deadline_unattached(self) -> None:
+        """Account one attempt whose runner could not carry a deadline.
+
+        A non-zero count means requests are running without their
+        configured timeout — loud enough to alarm on.
+        """
+        self._deadline_unattached.inc()
 
     def record_response(self, response) -> None:
         """Account one completed :class:`TQAResponse`."""
@@ -185,6 +199,14 @@ class ServingMetrics:
         return int(self._breaker.value(event="rejected"))
 
     @property
+    def rejections(self) -> int:
+        return int(self._rejections.total())
+
+    @property
+    def deadline_unattached(self) -> int:
+        return int(self._deadline_unattached.total())
+
+    @property
     def backoffs(self) -> int:
         return int(self._backoffs.total())
 
@@ -247,6 +269,8 @@ class ServingMetrics:
             "breaker_opened": self.breaker_opened,
             "breaker_closed": self.breaker_closed,
             "breaker_rejections": self.breaker_rejections,
+            "rejections": self.rejections,
+            "deadline_unattached": self.deadline_unattached,
             "backoffs": self.backoffs,
             "backoff_seconds": round(self.backoff_seconds, 6),
             "outcomes": dict(sorted(self.outcomes.items())),

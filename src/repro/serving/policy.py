@@ -21,11 +21,27 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from repro.errors import ServingTimeoutError
+from repro.errors import ServingTimeoutError, is_retryable
 from repro.llm.base import Completion, LanguageModel
 from repro.retry import ExponentialBackoff
 
-__all__ = ["RetryPolicy", "DeadlineModel"]
+__all__ = ["RetryPolicy", "DeadlineModel", "classify_failure"]
+
+
+def classify_failure(exc: Exception | None) -> str:
+    """Terminal-error rung of the ladder, per the failure taxonomy.
+
+    Deadline expiry gets its own classification (rather than the generic
+    transient bucket): a ``deadline_exceeded`` response means the ladder
+    ran out of *time*, not out of attempts, which callers treat
+    differently (resubmit with a longer budget, not a retry).  Shared by
+    the thread pool and the async server so both classify identically.
+    """
+    if isinstance(exc, ServingTimeoutError):
+        return "deadline_exceeded"
+    if exc is not None and is_retryable(exc):
+        return "error_transient"
+    return "error_permanent"
 
 
 @dataclass(frozen=True)
@@ -111,3 +127,17 @@ class DeadlineModel(LanguageModel):
                                           n=n)
         self._check("after")
         return completions
+
+    def complete_batch(self, requests) -> list[list[Completion]]:
+        """Deadline-checked batching that keeps the inner batch endpoint.
+
+        The default ``LanguageModel.complete_batch`` would loop this
+        wrapper's ``complete`` per request — correct, but it degrades a
+        real batch endpoint (one round-trip per tick) into per-request
+        round-trips.  Scheduler-driven chains therefore check once before
+        and once after the whole tick instead.
+        """
+        self._check("before")
+        batches = self.inner.complete_batch(requests)
+        self._check("after")
+        return batches

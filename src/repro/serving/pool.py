@@ -21,8 +21,9 @@ derived only from the request seed and attempt number, so responses do not
 depend on worker count or dispatch order.
 
 Every request terminates with a **classified outcome** on the degradation
-ladder (``ok`` → ``retried`` → ``degraded`` → ``error_transient`` /
-``error_permanent``; see :data:`repro.serving.request.OUTCOMES`) — no
+ladder (``ok`` → ``retried`` → ``degraded`` → ``deadline_exceeded`` /
+``error_transient`` / ``error_permanent``;
+see :data:`repro.serving.request.OUTCOMES`) — no
 exception escapes a worker.  A per-backend
 :class:`~repro.serving.breaker.CircuitBreaker` (enabled via
 ``breakers=BreakerConfig(...)``) fails requests fast while the backend is
@@ -51,7 +52,7 @@ from repro.errors import (
 from repro.serving.breaker import BreakerConfig, CircuitBreaker
 from repro.serving.cache import AnswerCache, CachedAnswer, request_fingerprint
 from repro.serving.metrics import ServingMetrics
-from repro.serving.policy import DeadlineModel, RetryPolicy
+from repro.serving.policy import DeadlineModel, RetryPolicy, classify_failure
 from repro.serving.request import (
     PendingResponse,
     RequestQueue,
@@ -244,12 +245,9 @@ class WorkerPool:
                         outcome=response.outcome,
                         latency=round(response.latency, 6))
 
-    @staticmethod
-    def _classify_failure(exc: Exception | None) -> str:
-        """Terminal-error rung of the ladder, per the failure taxonomy."""
-        if exc is not None and is_retryable(exc):
-            return "error_transient"
-        return "error_permanent"
+    #: Terminal-error classification, shared with the async server so
+    #: both paths classify identically (differential parity contract).
+    _classify_failure = staticmethod(classify_failure)
 
     def _answer(self, chain: int, uid: str, key: str | None,
                 request: TQARequest) -> TQAResponse:
@@ -366,6 +364,15 @@ class WorkerPool:
         if self.batch_scheduler and hasattr(runner, "use_scheduler"):
             runner.use_scheduler = True
         deadline = self.policy.deadline()
-        if deadline is not None and hasattr(runner, "model"):
-            runner.model = DeadlineModel(runner.model, deadline)
+        if deadline is not None:
+            if hasattr(runner, "model"):
+                runner.model = DeadlineModel(runner.model, deadline)
+            else:
+                # A configured timeout that cannot be enforced must not
+                # pass silently: the request would run unbounded.  Count
+                # it (alarmable) and trace it, then run anyway — shedding
+                # the request entirely would be worse than running it.
+                self.metrics.record_deadline_unattached()
+                self._trace(0, "deadline_unattached", uid=request.uid,
+                            runner=type(runner).__name__)
         return runner.run(request.table, request.question)

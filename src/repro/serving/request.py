@@ -28,11 +28,14 @@ __all__ = ["TQARequest", "TQAResponse", "PendingResponse", "RequestQueue",
 #: Every response carries exactly one: ``ok`` (first attempt succeeded),
 #: ``retried`` (a re-seeded attempt succeeded), ``degraded`` (all
 #: attempts failed; the answer is the forced-direct fallback),
-#: ``error_transient`` / ``error_permanent`` (even the fallback failed;
-#: classification per the failure taxonomy), plus ``cached`` for answers
+#: ``deadline_exceeded`` (every rung, including degradation, was cut off
+#: by the request deadline), ``error_transient`` / ``error_permanent``
+#: (even the fallback failed; classification per the failure taxonomy),
+#: ``rejected`` (admission control shed the request before any work —
+#: the async server's backpressure answer), plus ``cached`` for answers
 #: served from the :class:`~repro.serving.cache.AnswerCache`.
-OUTCOMES = ("ok", "retried", "degraded", "error_transient",
-            "error_permanent", "cached")
+OUTCOMES = ("ok", "retried", "degraded", "deadline_exceeded",
+            "error_transient", "error_permanent", "rejected", "cached")
 
 
 @dataclass(frozen=True)
@@ -41,12 +44,16 @@ class TQARequest:
 
     ``seed`` selects the model randomness for this request; two requests
     with equal content and equal seeds must produce equal responses.
+    ``tenant`` names the submitting party for the async server's
+    weighted-fair queueing; it never enters the cache fingerprint (the
+    answer does not depend on who asked).
     """
 
     table: DataFrame
     question: str
     seed: int = 0
     uid: str = ""
+    tenant: str = "default"
 
 
 @dataclass

@@ -59,6 +59,11 @@ EVENT_KINDS = frozenset({
     "serving_breaker_reject",
     "serving_breaker_transition",
     "serving_complete",
+    # Async serving core events (repro.aio.server) and the deadline-seam
+    # alarm shared with the pool.
+    "serving_admit",
+    "serving_rejected",
+    "serving_deadline_unattached",
 })
 
 #: Every legal kind, span or event.

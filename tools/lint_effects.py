@@ -14,7 +14,10 @@ for such call sites outside the allowed homes:
 * ``repro/faults/`` — injector wrappers delegating to wrapped objects;
 * ``repro/serving/policy.py`` — the ``DeadlineModel`` wrapper;
 * ``repro/plans/`` — the gold-plan infrastructure (its ``plan.execute``
-  pipeline is not agent I/O, but its helpers drive executors directly).
+  pipeline is not agent I/O, but its helpers drive executors directly);
+* ``repro/aio/adapter.py`` / ``repro/aio/handler.py`` — the async model
+  boundary (the adapter bridges sync models; the handler is the async
+  ``EffectHandler``).  The rest of ``repro/aio/`` must go through them.
 
 Heuristics, deliberately simple (like ``lint_events.py``): a
 ``.complete(`` / ``.complete_batch(`` attribute call marks the model
@@ -43,6 +46,8 @@ ALLOWED_PREFIXES = (
     "faults/",
     "plans/",
     "serving/policy.py",
+    "aio/adapter.py",
+    "aio/handler.py",
 )
 
 _MODEL_CALL = re.compile(r"\.complete(?:_batch)?\(")

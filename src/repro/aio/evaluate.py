@@ -50,7 +50,7 @@ class AsyncBatchEvaluator:
                  tracer=None,
                  breakers: BreakerConfig | None = None,
                  tenant_weights: dict[str, float] | None = None,
-                 tenant: str = "default"):
+                 tenant: str = "default", reflect=None):
         self.spec = spec
         self.max_inflight = max_inflight
         self.max_queued = max_queued
@@ -64,6 +64,8 @@ class AsyncBatchEvaluator:
         self.breakers = breakers
         self.tenant_weights = tenant_weights
         self.tenant = tenant
+        # None defers to the server's REPRO_REFLECT env switch.
+        self.reflect = reflect
         #: Responses of the most recent evaluation, in benchmark order.
         self.last_responses = []
 
@@ -82,7 +84,8 @@ class AsyncBatchEvaluator:
                 max_queued=self.max_queued, cache=self.cache,
                 policy=self.policy, metrics=self.metrics,
                 tracer=self.tracer, breakers=self.breakers,
-                tenant_weights=self.tenant_weights) as server:
+                tenant_weights=self.tenant_weights,
+                reflect=self.reflect) as server:
             tasks = [
                 asyncio.create_task(server.answer(TQARequest(
                     table=example.table, question=example.question,

@@ -20,8 +20,10 @@ Dataflow of one request::
 
 The retry/breaker/degradation ladder is a line-for-line mirror of
 :meth:`repro.serving.pool.WorkerPool._answer_inner` — same attempt
-seeds, same breaker protocol, same degraded rung (no deadline, request
-seed), same :func:`~repro.serving.policy.classify_failure` taxonomy —
+seeds, same breaker protocol, same optional reflexion rung (the shared
+:class:`~repro.serving.policy.ReflectionRung`, run thread-side), same
+degraded rung (no deadline, request seed), same
+:func:`~repro.serving.policy.classify_failure` taxonomy —
 so the two paths return bit-identical responses for the same requests
 (``tests/aio/test_parity.py``).  What changes is the execution substrate:
 
@@ -71,7 +73,13 @@ from repro.errors import (
 from repro.serving.breaker import BreakerConfig, CircuitBreaker
 from repro.serving.cache import AnswerCache, CachedAnswer, request_fingerprint
 from repro.serving.metrics import ServingMetrics
-from repro.serving.policy import DeadlineModel, RetryPolicy, classify_failure
+from repro.serving.policy import (
+    DeadlineModel,
+    ReflectionRung,
+    ReflectPolicy,
+    RetryPolicy,
+    classify_failure,
+)
 from repro.serving.request import TQARequest, TQAResponse
 from repro.table.frame import DataFrame
 from repro.telemetry.spans import Telemetry, activate, span
@@ -102,6 +110,7 @@ class AsyncServer:
                  breakers: BreakerConfig | None = None,
                  telemetry: Telemetry | None = None,
                  tenant_weights: dict[str, float] | None = None,
+                 reflect: ReflectPolicy | bool | None = None,
                  sleep=asyncio.sleep):
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
@@ -118,6 +127,19 @@ class AsyncServer:
             telemetry = getattr(tracer, "telemetry", None)
         self.telemetry = telemetry
         self.queue = WeightedFairQueue(weights=tenant_weights)
+        # The reflexion rung, shared-policy with the pool (``None``
+        # defers to ``REPRO_REFLECT=1``).
+        if reflect is None:
+            reflect = ReflectPolicy.from_env()
+        elif reflect is True:
+            reflect = ReflectPolicy()
+        elif reflect is False:
+            reflect = None
+        self.reflect_policy = reflect
+        self._reflect_rung: ReflectionRung | None = None
+        if reflect is not None:
+            self._reflect_rung = ReflectionRung(
+                spec, self.policy, reflect, metrics=self.metrics)
         self._sleep = sleep
         self._active = 0
         self._inflight: dict[str, asyncio.Future] = {}
@@ -366,6 +388,16 @@ class AsyncServer:
                 self._trace(chain, "timeout", uid=uid, attempt=attempts)
             except asyncio.CancelledError:
                 raise
+            except CircuitOpenError as exc:
+                # A circuit opened *mid-attempt*: account it as a
+                # rejection, not a fresh backend failure, and stop
+                # burning attempts — exactly the pool's treatment.
+                last_exc = exc
+                last_error = str(exc)
+                self.metrics.record_breaker_rejection()
+                self._trace(chain, "breaker_reject", uid=uid,
+                            attempt=attempts, mid_attempt=True)
+                break
             except Exception as exc:
                 last_exc = exc
                 last_error = f"{type(exc).__name__}: {exc}"
@@ -384,6 +416,18 @@ class AsyncServer:
                     self._trace(chain, "backoff", uid=uid,
                                 delay=round(delay, 6))
                     await self._sleep(delay)
+        reflections = 0
+        reflected = False
+        if self._reflect_rung is not None:
+            # The reflexion rung (thread-side: it drives the sync chain
+            # engines), sharing the pool's policy and accounting.
+            rung = self._reflect_rung
+            (result, reflections, reflected, last_exc,
+             last_error) = await asyncio.to_thread(
+                rung.attempt, request, result, last_exc,
+                last_error=last_error, attempts=attempts, breaker=breaker,
+                trace=lambda kind, **data: self._trace(
+                    chain, kind, uid=uid, **data))
         degraded = False
         if result is None and self.policy.degrade_on_exhaustion:
             # The §3.3 fallback rung: forced direct answer, request seed,
@@ -401,10 +445,12 @@ class AsyncServer:
                 result = None
         if result is None:
             return TQAResponse(uid=uid, answer=[], degraded=degraded,
-                               attempts=attempts, error=last_error,
+                               attempts=attempts, reflections=reflections,
+                               error=last_error,
                                latency=time.perf_counter() - started,
                                outcome=classify_failure(last_exc))
         outcome = ("degraded" if degraded
+                   else "reflected" if reflected
                    else "retried" if attempts > 1 else "ok")
         response = TQAResponse(
             uid=uid, answer=list(result.answer),
@@ -412,7 +458,8 @@ class AsyncServer:
             forced=bool(getattr(result, "forced", False)) or degraded,
             handling_events=list(
                 getattr(result, "handling_events", ()) or ()),
-            degraded=degraded, attempts=attempts, error=last_error,
+            degraded=degraded, attempts=attempts, reflections=reflections,
+            error=last_error,
             latency=time.perf_counter() - started, outcome=outcome)
         if key is not None and not degraded:
             self.cache.put(key, CachedAnswer.from_response(response))

@@ -161,12 +161,16 @@ def _cmd_batch(args) -> int:
     # asyncio serving core: same ladder, coroutine concurrency.
     use_async = args.use_async or (
         os.environ.get("REPRO_ASYNC_SERVER", "0") == "1")
+    # --reflect (or REPRO_REFLECT=1) arms the reflexion rung; None
+    # leaves the decision to the serving layer's env switch.
+    reflect = True if args.reflect else None
     if use_async:
         from repro.aio import AsyncBatchEvaluator
 
         evaluator = AsyncBatchEvaluator(
             spec, max_inflight=args.max_inflight, seed=args.model_seed,
-            cache=cache, policy=policy, metrics=metrics, tracer=tracer)
+            cache=cache, policy=policy, metrics=metrics, tracer=tracer,
+            reflect=reflect)
         concurrency = f"async max_inflight={args.max_inflight}"
     else:
         evaluator = BatchEvaluator(spec, workers=args.workers,
@@ -175,7 +179,8 @@ def _cmd_batch(args) -> int:
                                    tracer=tracer,
                                    batch_scheduler=(
                                        True if args.batch_scheduler
-                                       else None))
+                                       else None),
+                                   reflect=reflect)
         concurrency = f"workers={args.workers}"
     report = evaluator.evaluate(benchmark)
     snapshot = metrics.snapshot()
@@ -196,6 +201,10 @@ def _cmd_batch(args) -> int:
           f"timeouts: {snapshot['timeouts']}  "
           f"retries: {snapshot['retries']}  "
           f"forced answers: {snapshot['forced_answers']}")
+    if reflect or snapshot["reflections"]:
+        outcomes = snapshot["outcomes"]
+        print(f"reflections: {snapshot['reflections']}  "
+              f"reflected outcomes: {outcomes.get('reflected', 0)}")
     if args.metrics_out:
         path = metrics.save(args.metrics_out)
         print(f"metrics written: {path}")
@@ -233,8 +242,30 @@ def _cmd_chaos(args) -> int:
     policy = RetryPolicy(timeout=args.timeout, max_retries=args.retries,
                          backoff=backoff)
     tracer = ChainTracer() if args.trace else None
+    # --async runs the sweep through the asyncio serving core instead of
+    # the thread pool — the rate-0 verification then proves *that*
+    # ladder's fault-path passthrough is bit-identical too.
+    use_async = args.use_async or (
+        os.environ.get("REPRO_ASYNC_SERVER", "0") == "1")
+
+    def build_evaluator(eval_spec, eval_metrics=None, eval_tracer=None):
+        if use_async:
+            from repro.aio import AsyncBatchEvaluator
+
+            return AsyncBatchEvaluator(
+                eval_spec, max_inflight=args.workers,
+                seed=args.model_seed, policy=policy,
+                metrics=eval_metrics, tracer=eval_tracer,
+                breakers=breakers)
+        return BatchEvaluator(eval_spec, workers=args.workers,
+                              seed=args.model_seed, policy=policy,
+                              metrics=eval_metrics, tracer=eval_tracer,
+                              breakers=breakers)
+
+    concurrency = (f"async max_inflight={args.workers}" if use_async
+                   else f"workers={args.workers}")
     print(f"dataset={args.dataset} model={args.model} n={len(benchmark)} "
-          f"workers={args.workers} retries={args.retries} "
+          f"{concurrency} retries={args.retries} "
           f"model_retries={args.model_retries}")
     header = (f"{'rate':>6}  {'accuracy':>8}  {'answered':>8}  "
               f"{'degraded':>8}  {'errors':>6}  {'faults':>6}  "
@@ -256,10 +287,8 @@ def _cmd_chaos(args) -> int:
                                      rate, latency_seconds=args.fault_latency),
                                  model_retries=args.model_retries,
                                  backoff=backoff, on_fault=on_fault)
-        evaluator = BatchEvaluator(faulty, workers=args.workers,
-                                   seed=args.model_seed, policy=policy,
-                                   metrics=metrics, tracer=tracer,
-                                   breakers=breakers)
+        evaluator = build_evaluator(faulty, eval_metrics=metrics,
+                                    eval_tracer=tracer)
         report = evaluator.evaluate(benchmark)
         responses = evaluator.last_responses
         unclassified = [r.uid for r in responses
@@ -278,9 +307,7 @@ def _cmd_chaos(args) -> int:
                   f"classified outcome: {unclassified[:5]}")
             exit_code = 1
         if rate == 0.0 and args.verify_passthrough:
-            plain = BatchEvaluator(spec, workers=args.workers,
-                                   seed=args.model_seed, policy=policy,
-                                   breakers=breakers)
+            plain = build_evaluator(spec)
             plain_report = plain.evaluate(benchmark)
             identical = (
                 plain_report == report
@@ -440,6 +467,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="drive voted runners through the sans-IO "
                             "BatchScheduler (coalesced model calls; also "
                             "enabled by REPRO_BATCH_SCHEDULER=1)")
+    batch.add_argument("--reflect", action="store_true",
+                       help="arm the reflexion rung: failed attempts "
+                            "harvest a failure report, generate a verbal "
+                            "reflection, and re-run with it injected "
+                            "(also enabled by REPRO_REFLECT=1)")
     batch.add_argument("--metrics-out", metavar="PATH",
                        help="write serving metrics as JSON to PATH")
     batch.add_argument("--trace", metavar="PATH",
@@ -460,6 +492,11 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--sql-backend", default="sqlite",
                        choices=("sqlite", "native"))
     chaos.add_argument("--workers", type=int, default=4)
+    chaos.add_argument("--async", dest="use_async", action="store_true",
+                       help="sweep through the asyncio serving core "
+                            "instead of the thread pool (also enabled by "
+                            "REPRO_ASYNC_SERVER=1); the rate-0 check then "
+                            "verifies that ladder's passthrough")
     chaos.add_argument("--rates", default="0,0.05,0.2",
                        help="comma-separated per-call fault rates")
     chaos.add_argument("--fault-latency", type=float, default=0.02,

@@ -12,6 +12,7 @@ many steps have been taken.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 
 from repro.core.actions import Action, format_action
@@ -35,6 +36,15 @@ _QUESTION_MARKER = 'Answer the following question based on the data above: "'
 _INTERMEDIATE_MARKER = "Intermediate table ("
 _FORCED_ANSWER_SUFFIX = "ReAcTable: Answer:"
 _COT_INSTRUCTION_HINT = "in a single response"
+# The reflexion tier's template extensions (repro.reflect).  A prompt
+# ending with the reflection suffix asks the model to *write* a verbal
+# reflection about a failed run; a prompt whose preamble carries
+# "Reflection k:" lines under the header is a chain re-run that should
+# *use* those reflections.
+_REFLECTION_SUFFIX = "ReAcTable: Reflection:"
+_REFLECTION_HEADER = "Reflections from previous failed attempts:"
+_REFLECTION_LINE = re.compile(r"^Reflection \d+:", re.MULTILINE)
+_FAILURE_CATEGORY = re.compile(r"previous attempt failed \(([a-z_]+)\)")
 
 
 @dataclass
@@ -198,6 +208,13 @@ class ParsedPrompt:
     cot: bool = False
     #: Questions of the few-shot demonstrations preceding the live one.
     demo_questions: tuple[str, ...] = ()
+    #: The prompt asks for a verbal reflection, not the next action.
+    reflect: bool = False
+    #: Verbal reflections prepended to a chain re-run (0 = plain chain).
+    num_reflections: int = 0
+    #: Failure category quoted in a reflection-request prompt ("" outside
+    #: reflection requests).
+    failure_category: str = ""
 
 
 def parse_prompt(prompt: str) -> ParsedPrompt:
@@ -248,6 +265,15 @@ def parse_prompt(prompt: str) -> ParsedPrompt:
             "\n".join(table_lines), name=f"T{num_code_steps}")
 
     force_answer = prompt.rstrip().endswith(_FORCED_ANSWER_SUFFIX)
+    reflect = prompt.rstrip().endswith(_REFLECTION_SUFFIX)
+    failure_category = ""
+    if reflect:
+        category_match = _FAILURE_CATEGORY.search(body)
+        if category_match:
+            failure_category = category_match.group(1)
+    # Reflections are prepended *before* the few-shot block, so they land
+    # in the pre-marker text alongside the demonstrations.
+    num_reflections = len(_REFLECTION_LINE.findall(prompt[:marker_at]))
     return ParsedPrompt(
         question=question,
         t0=t0,
@@ -257,6 +283,9 @@ def parse_prompt(prompt: str) -> ParsedPrompt:
         languages=tuple(languages),
         cot=_COT_INSTRUCTION_HINT in instruction_line,
         demo_questions=demo_questions,
+        reflect=reflect,
+        num_reflections=num_reflections,
+        failure_category=failure_category,
     )
 
 

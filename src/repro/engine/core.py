@@ -59,13 +59,19 @@ class ChainEngine:
                  temperature: float = 0.0,
                  n: int = 1,
                  max_iterations: int | None = None,
-                 hard_cap: int = HARD_ITERATION_CAP):
+                 hard_cap: int = HARD_ITERATION_CAP,
+                 prompt_hook=None):
         self.transcript = transcript
         self.prompt_builder = prompt_builder
         self.temperature = temperature
         self.n = n
         self.max_iterations = max_iterations
         self.hard_cap = hard_cap
+        #: Optional ``str -> str`` transform applied to every assembled
+        #: prompt (ladder and branch mode alike).  The seam the reflexion
+        #: tier uses to prepend verbal reflections without the engine
+        #: knowing about them; must be deterministic for a given chain.
+        self.prompt_hook = prompt_hook
         #: LLM calls made so far (code steps + the final answer call).
         self.iterations = 0
         #: The Section 3.3 handling log (becomes
@@ -156,6 +162,8 @@ class ChainEngine:
         self._forcing = self._forced or at_limit
         prompt = self.prompt_builder.build(
             self.transcript, force_answer=self._forcing)
+        if self.prompt_hook is not None:
+            prompt = self.prompt_hook(prompt)
         self._note("prompt", self.iterations,
                    chars=len(prompt), forced=self._forcing)
         return ModelCall(prompt=prompt, temperature=self.temperature,
@@ -246,6 +254,8 @@ class ChainEngine:
         """A model call for the chain's current prompt (no state change)."""
         prompt = self.prompt_builder.build(self.transcript,
                                            force_answer=force)
+        if self.prompt_hook is not None:
+            prompt = self.prompt_hook(prompt)
         return ModelCall(prompt=prompt, temperature=self.temperature,
                          n=self.n if n is None else n,
                          iteration=self.depth + 1, forced=force)
@@ -279,7 +289,8 @@ class ChainEngine:
             self.transcript.fork(),
             prompt_builder=self.prompt_builder,
             temperature=self.temperature, n=self.n,
-            max_iterations=self.max_iterations, hard_cap=self.hard_cap)
+            max_iterations=self.max_iterations, hard_cap=self.hard_cap,
+            prompt_hook=self.prompt_hook)
         twin.iterations = self.iterations
         twin.events = list(self.events)
         twin._forced = self._forced

@@ -59,6 +59,8 @@ __all__ = [
     "CircuitOpenError",
     "QueueClosedError",
     "AdmissionRejectedError",
+    "ReflectionError",
+    "ReflectionUnsupportedError",
     "RETRYABLE_BUILTINS",
     "is_retryable",
 ]
@@ -290,6 +292,31 @@ class AdmissionRejectedError(TransientError, ServingError):
     """
 
     retryable = True
+
+
+class ReflectionError(ReproError):
+    """Errors raised by the reflexion tier (``repro.reflect``).
+
+    Permanent by classification: a reflection failure is handled
+    structurally by the serving ladder (skip the rung, fall through to
+    degradation), never by re-running the identical reflection.  The
+    *model call* inside a reflection can still fail transiently — that
+    surfaces as a :class:`TransientModelError`, not as this class.
+    """
+
+    retryable = False
+
+
+class ReflectionUnsupportedError(ReflectionError):
+    """The spec's runner cannot be driven through the reflect engine.
+
+    Raised when a runner exposes neither ``engine_for`` nor
+    ``chain_engines`` (tree/execution voters re-sample per step, so a
+    chain-level reflection re-run has no seam to inject into).  The
+    ladder treats it as "this rung does not apply", not as a failure.
+    """
+
+    retryable = False
 
 
 #: Builtin exception types treated as transient by :func:`is_retryable` —

@@ -92,6 +92,12 @@ class ModelProfile:
     #: profiles (their demonstrations are static); the few-shot-selection
     #: extension (core.fewshot) raises it via dataclasses.replace.
     demo_affinity: float = 0.0
+    #: Logit bonus per verbal reflection prepended to the prompt (capped
+    #: at 2) — the Reflexion mechanism: a diagnosis of the previous
+    #: failure steers the re-run away from the same mistake.  Inert on
+    #: every plain chain (no reflections -> no term), so the stock
+    #: differential suites are unaffected by its presence.
+    reflection_bonus: float = 0.9
 
     # --- error modes ---------------------------------------------------------
     error_mode_weights: dict = field(default_factory=lambda: {

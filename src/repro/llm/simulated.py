@@ -87,6 +87,10 @@ class SimulatedTQAModel(LanguageModel):
     def complete(self, prompt: str, *, temperature: float = 0.0,
                  n: int = 1) -> list[Completion]:
         parsed = parse_prompt(prompt)
+        if parsed.reflect:
+            # A reflection request (repro.reflect): write a short verbal
+            # diagnosis instead of the next action.
+            return self._complete_reflection(parsed, temperature, n)
         try:
             example = self.bank.lookup(parsed.question, parsed.t0)
         except UnknownQuestionError:
@@ -138,12 +142,14 @@ class SimulatedTQAModel(LanguageModel):
                           grounding: int, cot: bool, temperature: float,
                           sql_fallback: bool,
                           mental: bool = False,
-                          demo_similarity: float = 0.0) -> float:
+                          demo_similarity: float = 0.0,
+                          reflections: int = 0) -> float:
         profile = self.profile
         z = profile.skill
         z -= profile.difficulty_scale * example.difficulty
         z -= self._question_noise(example)
         z += profile.demo_affinity * demo_similarity
+        z += profile.reflection_bonus * min(reflections, 2)
         if cot:
             z -= profile.cot_penalty
             z -= profile.cot_temperature_sensitivity * temperature
@@ -157,11 +163,13 @@ class SimulatedTQAModel(LanguageModel):
         return _sigmoid(z / profile.sample_noise)
 
     def _answer_probability(self, example: TQAExample, *,
-                            temperature: float, cot: bool) -> float:
+                            temperature: float, cot: bool,
+                            reflections: int = 0) -> float:
         profile = self.profile
         z = profile.answer_skill
         z -= profile.difficulty_scale * example.difficulty * 0.55
         z -= self._question_noise(example) * 0.6
+        z += profile.reflection_bonus * min(reflections, 2) * 0.5
         if cot:
             z -= profile.cot_penalty * 0.5
             z -= profile.cot_temperature_sensitivity * temperature * 0.5
@@ -214,7 +222,8 @@ class SimulatedTQAModel(LanguageModel):
         probability = self._step_probability(
             example, step_index, grounding=parsed.num_code_steps,
             cot=False, temperature=temperature, sql_fallback=sql_fallback,
-            demo_similarity=self._demo_similarity(example, parsed))
+            demo_similarity=self._demo_similarity(example, parsed),
+            reflections=parsed.num_reflections)
         roll = self._rng("roll", example.uid, step_index, draw)
         correct = roll.random() < probability
         text, language = self._render_step(
@@ -311,7 +320,8 @@ class SimulatedTQAModel(LanguageModel):
             reading_table = self._mental_execute(
                 example, parsed, temperature, draw)
         probability = self._answer_probability(
-            example, temperature=temperature, cot=False)
+            example, temperature=temperature, cot=False,
+            reflections=parsed.num_reflections)
         roll = self._rng("aroll", example.uid, draw)
         correct = roll.random() < probability
         values = self._derive_answer(example, reading_table)
@@ -455,6 +465,72 @@ class SimulatedTQAModel(LanguageModel):
             return filler.format(*padded)
         except (IndexError, KeyError):
             return values[0]
+
+    # --- reflection-mode completion ------------------------------------------------
+
+    #: Category-specific diagnosis templates; the tail advice is shared.
+    _REFLECTION_TEMPLATES = {
+        "vote_minority": (
+            "The sampled chains disagreed and the winning answer held "
+            "only a minority of the votes.",
+            "Most chains diverged early, so the majority answer was "
+            "weakly supported.",
+        ),
+        "iteration_cap": (
+            "The chain hit its iteration limit before reaching a "
+            "final answer.",
+            "Too many intermediate steps were spent without converging "
+            "on an answer.",
+        ),
+        "forced_answer": (
+            "An execution error forced a direct answer before the plan "
+            "finished.",
+            "The generated code failed and the chain had to answer "
+            "without its intermediate tables.",
+        ),
+        "executor_error": (
+            "The generated code crashed in the executor.",
+            "A code step raised instead of producing an intermediate "
+            "table.",
+        ),
+        "empty_answer": (
+            "The chain finished without producing any answer values.",
+            "No answer could be read off the final table.",
+        ),
+    }
+
+    def _complete_reflection(self, parsed: ParsedPrompt,
+                             temperature: float, n: int) -> list[Completion]:
+        """Write a short verbal reflection about a failed run.
+
+        Deterministic per (seed, question, failure category, draw): the
+        reflect engine's re-run depends on this text, so the whole
+        reflexion cycle stays reproducible.
+        """
+        try:
+            uid = self.bank.lookup(parsed.question, parsed.t0).uid
+        except UnknownQuestionError:
+            uid = "oob"
+        draw = self._next_draw(temperature)
+        # Keyed by the number of reflections already prepended so a second
+        # reflection on the same failure reads differently from the first.
+        rng = self._rng("reflection", uid, parsed.failure_category,
+                        parsed.num_reflections, draw)
+        diagnoses = self._REFLECTION_TEMPLATES.get(
+            parsed.failure_category,
+            ("The previous attempt failed before producing a reliable "
+             "answer.",))
+        advice = rng.choice((
+            "Re-check the column names against the table header and "
+            "prefer one simple SQL filter per step.",
+            "Take smaller steps: filter first, aggregate second, and "
+            "verify the intermediate table before answering.",
+            "Ground the final answer in the last intermediate table "
+            "instead of recalling values from memory.",
+        ))
+        text = f"{rng.choice(diagnoses)} {advice}"
+        logprob = self._logprob_value(True, rng)
+        return [Completion(text, logprob) for _ in range(n)]
 
     # --- CoT-mode completion -------------------------------------------------------
 

@@ -1,0 +1,175 @@
+"""Failure harvesting: turn a failed chain run into a typed report.
+
+The Reflexion loop starts from evidence.  :func:`harvest_result` and
+:func:`harvest_exception` inspect what the attempt ladder is left holding
+— an :class:`~repro.engine.result.AgentResult` that was forced, a
+:class:`~repro.core.voting.VotingResult` whose winner held only a
+minority, or the exception that exhausted the retries — and compress it
+into a :class:`FailureReport`: the category, the offending action, a
+truncated transcript tail, the executor's error text, and the vote
+distribution.  :func:`describe` renders the report as the evidence block
+of the reflection-request prompt.
+
+A report is *evidence for a model*, so everything in it is text-safe for
+prompt embedding: newlines are folded, lengths are capped, and no prompt
+template marker can appear in the rendered block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.actions import format_action
+from repro.engine.core import HARD_ITERATION_CAP
+from repro.errors import ExecutionError, ServingTimeoutError, is_retryable
+
+__all__ = ["CATEGORIES", "FailureReport", "harvest_exception",
+           "harvest_result", "describe"]
+
+#: The closed vocabulary of failure categories a report can carry.
+CATEGORIES = (
+    "vote_minority",        # voted winner held <= half the votes
+    "iteration_cap",        # chain hit the hard iteration cap
+    "forced_answer",        # execution failure forced a direct answer
+    "empty_answer",         # chain finished with no answer values
+    "deadline",             # the attempt deadline expired
+    "executor_error",       # an executor exception escaped the chain
+    "transient_exhausted",  # retryable failures exhausted the attempts
+    "exception",            # any other exception
+)
+
+#: Rendering caps — reports are prompt payload, not logs.
+_MAX_DETAIL = 300
+_MAX_TAIL_STEPS = 3
+_MAX_TAIL = 400
+
+
+@dataclass(frozen=True)
+class FailureReport:
+    """Everything a reflection needs to know about one failed run."""
+
+    #: One of :data:`CATEGORIES`.
+    category: str
+    question: str = ""
+    #: Error text (exception message) or a one-line symptom description.
+    detail: str = ""
+    #: The last action of the failed chain, formatted as it appeared.
+    offending_action: str = ""
+    #: The last few action lines of the transcript (no tables).
+    transcript_tail: str = ""
+    #: Vote distribution ``(answer_key, count)`` for voted runs.
+    votes: tuple[tuple[str, int], ...] = ()
+    iterations: int = 0
+    attempts: int = 0
+
+
+def _clean(text: str, limit: int) -> str:
+    """Fold newlines and cap length so the text embeds safely."""
+    folded = " / ".join(part.strip() for part in str(text).splitlines()
+                        if part.strip())
+    if len(folded) > limit:
+        folded = folded[:limit - 3] + "..."
+    return folded
+
+
+def harvest_exception(exc: BaseException, *, question: str = "",
+                      attempts: int = 0) -> FailureReport:
+    """Report for an attempt ladder that ended in an exception."""
+    if isinstance(exc, ServingTimeoutError):
+        category = "deadline"
+    elif isinstance(exc, ExecutionError):
+        category = "executor_error"
+    elif is_retryable(exc):
+        category = "transient_exhausted"
+    else:
+        category = "exception"
+    return FailureReport(
+        category=category, question=question,
+        detail=_clean(f"{type(exc).__name__}: {exc}", _MAX_DETAIL),
+        attempts=attempts)
+
+
+def harvest_result(result, *, question: str = "",
+                   attempts: int = 0,
+                   hard_cap: int = HARD_ITERATION_CAP) -> FailureReport | None:
+    """Report for a *completed* run that still looks like a failure.
+
+    Returns ``None`` when the result is clean — the rung's "nothing to
+    reflect on" signal.  Duck-typed over :class:`AgentResult` (``forced``
+    / ``transcript``) and :class:`VotingResult` (``votes`` /
+    ``num_chains``), mirroring the evalkit's result handling.
+    """
+    if result is None:
+        return None
+    answer = list(getattr(result, "answer", ()) or ())
+    iterations = int(getattr(result, "iterations", 0) or 0)
+    votes = getattr(result, "votes", None)
+    num_chains = int(getattr(result, "num_chains", 0) or 0)
+    if votes and num_chains > 1:
+        winner = max(votes.values())
+        total = sum(votes.values())
+        if winner * 2 <= total:
+            return FailureReport(
+                category="vote_minority", question=question,
+                detail=_clean(
+                    f"winning answer held {winner} of {total} votes",
+                    _MAX_DETAIL),
+                votes=tuple(sorted(votes.items())),
+                iterations=iterations, attempts=attempts)
+    if bool(getattr(result, "forced", False)):
+        category = ("iteration_cap" if iterations >= hard_cap
+                    else "forced_answer")
+        events = list(getattr(result, "handling_events", ()) or ())
+        return FailureReport(
+            category=category, question=question,
+            detail=_clean(events[-1] if events
+                          else "chain was forced to answer directly",
+                          _MAX_DETAIL),
+            offending_action=_last_action(result),
+            transcript_tail=_tail(result),
+            iterations=iterations, attempts=attempts)
+    if not any(value.strip() for value in answer):
+        return FailureReport(
+            category="empty_answer", question=question,
+            detail="chain finished without answer values",
+            offending_action=_last_action(result),
+            transcript_tail=_tail(result),
+            iterations=iterations, attempts=attempts)
+    return None
+
+
+def _last_action(result) -> str:
+    transcript = getattr(result, "transcript", None)
+    steps = getattr(transcript, "steps", None) or []
+    if not steps:
+        return ""
+    return _clean(format_action(steps[-1].action), _MAX_DETAIL)
+
+
+def _tail(result) -> str:
+    transcript = getattr(result, "transcript", None)
+    steps = getattr(transcript, "steps", None) or []
+    lines = [_clean(format_action(step.action), _MAX_DETAIL)
+             for step in steps[-_MAX_TAIL_STEPS:]]
+    return _clean(" | ".join(lines), _MAX_TAIL)
+
+
+def describe(report: FailureReport) -> str:
+    """Render the report as the evidence block of a reflection prompt.
+
+    The first line carries the ``previous attempt failed (<category>)``
+    phrase the simulated model keys its diagnosis on.
+    """
+    lines = [f"The previous attempt failed ({report.category}): "
+             f"{report.detail or 'no further detail'}"]
+    if report.offending_action:
+        lines.append(f"Last action: {report.offending_action}")
+    if report.transcript_tail:
+        lines.append(f"Transcript tail: {report.transcript_tail}")
+    if report.votes:
+        rendered = ", ".join(f"{key or '(empty)'}={count}"
+                             for key, count in report.votes)
+        lines.append(f"Vote distribution: {rendered}")
+    if report.attempts:
+        lines.append(f"Attempts already spent: {report.attempts}")
+    return "\n".join(lines)

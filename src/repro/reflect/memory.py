@@ -1,0 +1,82 @@
+"""The verbal-memory store: reflections keyed by (table digest, question).
+
+Reflexion's episodic memory, sized for serving: a thread-safe LRU over
+``(table_digest, question)`` keys, each holding the most recent
+``per_key`` reflections.  Keys use the same content-digest scheme as the
+answer cache (:func:`repro.perf.fingerprint.table_digest`), so two
+requests over equal table contents share their reflections even when the
+frames are distinct objects.
+
+Scoping note: the serving rung builds a *fresh* memory per request by
+default, because recalling another request's reflections would make a
+response depend on arrival order — breaking the serving determinism
+contract.  A process-shared memory (``ReflectPolicy.shared_memory``) is
+the opt-in for long-lived deployments that prefer adaptation over
+bit-reproducibility.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.perf.fingerprint import table_digest
+from repro.table.frame import DataFrame
+
+__all__ = ["ReflectionMemory"]
+
+
+class ReflectionMemory:
+    """Bounded verbal memory: newest ``per_key`` reflections per key."""
+
+    def __init__(self, *, per_key: int = 3, capacity: int = 512):
+        if per_key < 1:
+            raise ValueError("per_key must be >= 1")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.per_key = per_key
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple[str, str], list[str]] = (
+            OrderedDict())
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def key(table: DataFrame, question: str) -> tuple[str, str]:
+        """The episodic key: table *contents* digest plus the question."""
+        return (table_digest(table), question)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def recall(self, table: DataFrame, question: str) -> tuple[str, ...]:
+        """Prior reflections for this episode, oldest first."""
+        key = self.key(table, question)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return ()
+            self._entries.move_to_end(key)
+            return tuple(entry)
+
+    def remember(self, table: DataFrame, question: str,
+                 reflection: str) -> None:
+        """Append one reflection, keeping the newest ``per_key``."""
+        text = reflection.strip()
+        if not text:
+            return
+        key = self.key(table, question)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = []
+                self._entries[key] = entry
+            self._entries.move_to_end(key)
+            entry.append(text)
+            del entry[:-self.per_key]
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

@@ -5,7 +5,9 @@ bounded request queueing (:mod:`~repro.serving.request`), a pool of
 concurrent per-request agents (:mod:`~repro.serving.pool`), a
 content-fingerprinted LRU/TTL answer cache (:mod:`~repro.serving.cache`),
 per-request timeout/retry with graceful degradation and deterministic
-backoff (:mod:`~repro.serving.policy`), a per-backend circuit breaker
+backoff (:mod:`~repro.serving.policy`), an optional reflexion rung
+(:class:`~repro.serving.policy.ReflectionRung` over :mod:`repro.reflect`,
+enabled with ``REPRO_REFLECT=1``), a per-backend circuit breaker
 (:mod:`~repro.serving.breaker`), serving metrics
 (:mod:`~repro.serving.metrics`), and a batched evaluation façade
 (:mod:`~repro.serving.batch`) that reruns any benchmark through the pool.
@@ -20,7 +22,13 @@ from repro.serving.batch import BatchEvaluator
 from repro.serving.breaker import BreakerConfig, CircuitBreaker
 from repro.serving.cache import AnswerCache, CachedAnswer, request_fingerprint
 from repro.serving.metrics import ServingMetrics, percentile
-from repro.serving.policy import DeadlineModel, RetryPolicy
+from repro.serving.policy import (
+    DeadlineModel,
+    ReflectionRung,
+    ReflectPolicy,
+    RetryPolicy,
+    classify_failure,
+)
 from repro.serving.pool import WorkerPool
 from repro.serving.request import (
     OUTCOMES,
@@ -42,6 +50,9 @@ __all__ = [
     "request_fingerprint",
     "RetryPolicy",
     "DeadlineModel",
+    "ReflectPolicy",
+    "ReflectionRung",
+    "classify_failure",
     "BreakerConfig",
     "CircuitBreaker",
     "ServingMetrics",

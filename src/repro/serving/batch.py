@@ -47,7 +47,8 @@ class BatchEvaluator:
                  metrics: ServingMetrics | None = None,
                  tracer=None, queue_capacity: int = 256,
                  breakers: BreakerConfig | None = None,
-                 batch_scheduler: bool | None = None):
+                 batch_scheduler: bool | None = None,
+                 reflect=None):
         self.spec = spec
         self.workers = workers
         self.seed = seed
@@ -61,6 +62,8 @@ class BatchEvaluator:
         self.breakers = breakers
         # None defers to the pool's REPRO_BATCH_SCHEDULER env switch.
         self.batch_scheduler = batch_scheduler
+        # None defers to the pool's REPRO_REFLECT env switch.
+        self.reflect = reflect
         #: Responses of the most recent :meth:`evaluate`, in benchmark
         #: order (serving metadata: latency, cached, attempts, ...).
         self.last_responses = []
@@ -76,7 +79,8 @@ class BatchEvaluator:
                         tracer=self.tracer,
                         queue_capacity=self.queue_capacity,
                         breakers=self.breakers,
-                        batch_scheduler=self.batch_scheduler) as pool:
+                        batch_scheduler=self.batch_scheduler,
+                        reflect=self.reflect) as pool:
             slots = [
                 pool.submit(example.table, example.question,
                             seed=self.seed, uid=example.uid)

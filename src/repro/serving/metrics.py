@@ -44,6 +44,7 @@ class ServingMetrics:
         self._cache = r.counter("serving.cache_lookups")
         self._timeouts = r.counter("serving.timeouts")
         self._retries = r.counter("serving.retries")
+        self._reflections = r.counter("serving.reflections")
         self._degraded = r.counter("serving.degraded")
         self._forced = r.counter("serving.forced_answers")
         self._errors = r.counter("serving.errors")
@@ -80,6 +81,10 @@ class ServingMetrics:
 
     def record_retry(self) -> None:
         self._retries.inc()
+
+    def record_reflection(self) -> None:
+        """Account one reflexion cycle spent by the reflect rung."""
+        self._reflections.inc()
 
     def record_fault(self, site: str, kind: str) -> None:
         """Account one injected fault (the chaos harness's hook)."""
@@ -156,6 +161,10 @@ class ServingMetrics:
     @property
     def retries(self) -> int:
         return int(self._retries.total())
+
+    @property
+    def reflections(self) -> int:
+        return int(self._reflections.total())
 
     @property
     def degraded(self) -> int:
@@ -260,6 +269,7 @@ class ServingMetrics:
             "cache_misses": self.cache_misses,
             "timeouts": self.timeouts,
             "retries": self.retries,
+            "reflections": self.reflections,
             "degraded": self.degraded,
             "forced_answers": self.forced_answers,
             "errors": self.errors,

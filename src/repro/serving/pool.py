@@ -21,10 +21,15 @@ derived only from the request seed and attempt number, so responses do not
 depend on worker count or dispatch order.
 
 Every request terminates with a **classified outcome** on the degradation
-ladder (``ok`` → ``retried`` → ``degraded`` → ``deadline_exceeded`` /
-``error_transient`` / ``error_permanent``;
+ladder (``ok`` → ``retried`` → ``reflected`` → ``degraded`` →
+``deadline_exceeded`` / ``error_transient`` / ``error_permanent``;
 see :data:`repro.serving.request.OUTCOMES`) — no
-exception escapes a worker.  A per-backend
+exception escapes a worker.  The optional reflexion rung
+(``reflect=ReflectPolicy(...)`` or ``REPRO_REFLECT=1``; see
+:class:`~repro.serving.policy.ReflectionRung`) sits between the retry
+ladder and degradation: it harvests the failure, generates a verbal
+reflection through the effect seam, and re-runs the chains with the
+reflection injected into every prompt.  A per-backend
 :class:`~repro.serving.breaker.CircuitBreaker` (enabled via
 ``breakers=BreakerConfig(...)``) fails requests fast while the backend is
 down instead of queueing retries behind it.
@@ -52,7 +57,13 @@ from repro.errors import (
 from repro.serving.breaker import BreakerConfig, CircuitBreaker
 from repro.serving.cache import AnswerCache, CachedAnswer, request_fingerprint
 from repro.serving.metrics import ServingMetrics
-from repro.serving.policy import DeadlineModel, RetryPolicy, classify_failure
+from repro.serving.policy import (
+    DeadlineModel,
+    ReflectionRung,
+    ReflectPolicy,
+    RetryPolicy,
+    classify_failure,
+)
 from repro.serving.request import (
     PendingResponse,
     RequestQueue,
@@ -88,6 +99,7 @@ class WorkerPool:
                  breakers: BreakerConfig | None = None,
                  telemetry: Telemetry | None = None,
                  batch_scheduler: bool | None = None,
+                 reflect: ReflectPolicy | bool | None = None,
                  sleep=time.sleep):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -111,6 +123,19 @@ class WorkerPool:
             batch_scheduler = (
                 os.environ.get("REPRO_BATCH_SCHEDULER", "0") == "1")
         self.batch_scheduler = batch_scheduler
+        # The reflexion rung: ``None`` defers to ``REPRO_REFLECT=1``,
+        # ``True`` arms the default policy, ``False`` forces it off.
+        if reflect is None:
+            reflect = ReflectPolicy.from_env()
+        elif reflect is True:
+            reflect = ReflectPolicy()
+        elif reflect is False:
+            reflect = None
+        self.reflect_policy = reflect
+        self._reflect_rung: ReflectionRung | None = None
+        if reflect is not None:
+            self._reflect_rung = ReflectionRung(
+                spec, self.policy, reflect, metrics=self.metrics)
         self.queue = RequestQueue(queue_capacity)
         self._sleep = sleep
         self._threads: list[threading.Thread] = []
@@ -306,6 +331,17 @@ class WorkerPool:
                 last_error = str(exc)
                 self.metrics.record_timeout()
                 self._trace(chain, "timeout", uid=uid, attempt=attempts)
+            except CircuitOpenError as exc:
+                # A circuit opened *mid-attempt* (e.g. a nested serving
+                # layer): account it as a rejection, not a fresh backend
+                # failure, and stop burning attempts — same treatment as
+                # the pre-attempt allow() refusal above.
+                last_exc = exc
+                last_error = str(exc)
+                self.metrics.record_breaker_rejection()
+                self._trace(chain, "breaker_reject", uid=uid,
+                            attempt=attempts, mid_attempt=True)
+                break
             except Exception as exc:
                 last_exc = exc
                 last_error = f"{type(exc).__name__}: {exc}"
@@ -324,6 +360,17 @@ class WorkerPool:
                     self._trace(chain, "backoff", uid=uid,
                                 delay=round(delay, 6))
                     self._sleep(delay)
+        reflections = 0
+        reflected = False
+        if self._reflect_rung is not None:
+            # The reflexion rung: harvest the failure, reflect verbally,
+            # re-run the chains with the reflection injected.
+            result, reflections, reflected, last_exc, last_error = (
+                self._reflect_rung.attempt(
+                    request, result, last_exc, last_error=last_error,
+                    attempts=attempts, breaker=breaker,
+                    trace=lambda kind, **data: self._trace(
+                        chain, kind, uid=uid, **data)))
         degraded = False
         if result is None and self.policy.degrade_on_exhaustion:
             # The §3.3 fallback rung: one-iteration forced direct answer.
@@ -340,10 +387,12 @@ class WorkerPool:
         if result is None:
             # The final rung: a terminal error, classified.
             return TQAResponse(uid=uid, answer=[], degraded=degraded,
-                               attempts=attempts, error=last_error,
+                               attempts=attempts, reflections=reflections,
+                               error=last_error,
                                latency=time.perf_counter() - started,
                                outcome=self._classify_failure(last_exc))
         outcome = ("degraded" if degraded
+                   else "reflected" if reflected
                    else "retried" if attempts > 1 else "ok")
         response = TQAResponse(
             uid=uid, answer=list(result.answer),
@@ -351,7 +400,8 @@ class WorkerPool:
             forced=bool(getattr(result, "forced", False)) or degraded,
             handling_events=list(
                 getattr(result, "handling_events", ()) or ()),
-            degraded=degraded, attempts=attempts, error=last_error,
+            degraded=degraded, attempts=attempts, reflections=reflections,
+            error=last_error,
             latency=time.perf_counter() - started, outcome=outcome)
         # Only clean first-class results are reusable; degraded answers
         # depend on wall-clock luck and must not poison the cache.

@@ -26,7 +26,9 @@ __all__ = ["TQARequest", "TQAResponse", "PendingResponse", "RequestQueue",
 
 #: The degradation ladder's terminal classifications, in ladder order.
 #: Every response carries exactly one: ``ok`` (first attempt succeeded),
-#: ``retried`` (a re-seeded attempt succeeded), ``degraded`` (all
+#: ``retried`` (a re-seeded attempt succeeded), ``reflected`` (the
+#: reflexion rung improved on what the attempts produced — see
+#: :class:`repro.serving.policy.ReflectionRung`), ``degraded`` (all
 #: attempts failed; the answer is the forced-direct fallback),
 #: ``deadline_exceeded`` (every rung, including degradation, was cut off
 #: by the request deadline), ``error_transient`` / ``error_permanent``
@@ -34,7 +36,7 @@ __all__ = ["TQARequest", "TQAResponse", "PendingResponse", "RequestQueue",
 #: ``rejected`` (admission control shed the request before any work —
 #: the async server's backpressure answer), plus ``cached`` for answers
 #: served from the :class:`~repro.serving.cache.AnswerCache`.
-OUTCOMES = ("ok", "retried", "degraded", "deadline_exceeded",
+OUTCOMES = ("ok", "retried", "reflected", "degraded", "deadline_exceeded",
             "error_transient", "error_permanent", "rejected", "cached")
 
 
@@ -78,6 +80,8 @@ class TQAResponse:
     degraded: bool = False
     #: Attempts actually run (1 = first try succeeded; 0 = cache hit).
     attempts: int = 1
+    #: Reflexion cycles spent by the reflect rung (0 when disabled).
+    reflections: int = 0
     #: Wall-clock seconds from dispatch (or submit, for coalesced
     #: requests) to completion.
     latency: float = 0.0
@@ -100,7 +104,9 @@ class TQAResponse:
             handling_events=list(self.handling_events),
             cached=self.cached or coalesced, coalesced=coalesced,
             degraded=self.degraded, attempts=0 if coalesced
-            else self.attempts, latency=latency, error=self.error,
+            else self.attempts,
+            reflections=0 if coalesced else self.reflections,
+            latency=latency, error=self.error,
             outcome=self.outcome)
 
 

@@ -19,6 +19,9 @@ SPAN_KINDS = frozenset({
     "request",            # one TQA request inside a worker thread
     "attempt",            # one retry-ladder attempt against the spec
     "degraded_attempt",   # the forced-direct-answer degradation rung
+    # Reflexion tier (repro.reflect).
+    "reflect_run",        # one reflexion cycle: reflect + chain re-run
+    "reflection",         # the reflection-generation model call
     # Agent loop (repro.core.agent / repro.core.voting).
     "vote_run",           # one voted run (s-vote/t-vote/e-vote)
     "agent_run",          # one reasoning chain
@@ -64,6 +67,8 @@ EVENT_KINDS = frozenset({
     "serving_admit",
     "serving_rejected",
     "serving_deadline_unattached",
+    # Reflexion rung (repro.serving.policy.ReflectionRung, both ladders).
+    "serving_reflect",
 })
 
 #: Every legal kind, span or event.

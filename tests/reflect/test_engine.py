@@ -1,0 +1,202 @@
+"""Tests for the reflect engine (``repro.reflect.engine``)."""
+
+import pytest
+
+from repro.core import ReActTableAgent
+from repro.core.prompt import parse_prompt
+from repro.errors import ReflectionUnsupportedError, ServingTimeoutError
+from repro.llm.base import ScriptedModel
+from repro.reflect import (
+    FailureReport,
+    ReflectEngine,
+    ReflectionMemory,
+    inject_reflections,
+    reflection_prompt,
+)
+from repro.serving import AgentSpec
+from repro.table import DataFrame
+from repro.telemetry.spans import Telemetry, activate
+
+ANSWER = "ReAcTable: Answer: ```ok```."
+REPORT = FailureReport(category="forced_answer", question="q",
+                       detail="execution failed")
+
+
+class ScriptedSpec:
+    """Spec whose runners replay scripted completions (greedy chains)."""
+
+    config_key = "scripted"
+
+    def __init__(self, outputs):
+        self.outputs = outputs
+        self.models = []
+
+    def build(self, seed):
+        model = ScriptedModel(list(self.outputs))
+        self.models.append(model)
+        return ReActTableAgent(model)
+
+    def build_forced(self, seed):
+        return ReActTableAgent(ScriptedModel([ANSWER]), max_iterations=1)
+
+
+class OpaqueSpec:
+    """Spec whose runner exposes no chain-engine seam."""
+
+    config_key = "opaque"
+
+    def build(self, seed):
+        class Opaque:
+            def run(self, table, question):
+                raise AssertionError("must not be called")
+        return Opaque()
+
+
+@pytest.fixture()
+def table():
+    return DataFrame({"a": [1, 2]}, name="T0")
+
+
+class TestInjectReflections:
+    def test_empty_is_identity(self):
+        assert inject_reflections("prompt", ()) == "prompt"
+
+    def test_block_is_prepended_and_numbered(self):
+        out = inject_reflections("body", ("first", "second"))
+        assert out.startswith("Reflections from previous failed attempts:")
+        assert "Reflection 1: first" in out
+        assert "Reflection 2: second" in out
+        assert out.endswith("\n\nbody")
+
+    def test_parse_prompt_counts_injected_reflections(self, table):
+        agent = ReActTableAgent(ScriptedModel([ANSWER]))
+        engine = agent.engine_for(table, "what is a?")
+        prompt = engine.prompt_effect().prompt
+        parsed = parse_prompt(inject_reflections(
+            prompt, ("r1", "r2")))
+        assert parsed.num_reflections == 2
+        assert parsed.reflect is False
+        assert parsed.question == "what is a?"
+
+    def test_plain_prompt_has_no_reflections(self, table):
+        agent = ReActTableAgent(ScriptedModel([ANSWER]))
+        engine = agent.engine_for(table, "what is a?")
+        parsed = parse_prompt(engine.prompt_effect().prompt)
+        assert parsed.num_reflections == 0
+        assert parsed.reflect is False
+
+
+class TestReflectionPrompt:
+    def test_parses_as_reflection_request(self, table):
+        prompt = reflection_prompt(table, "what is a?", REPORT)
+        parsed = parse_prompt(prompt)
+        assert parsed.reflect is True
+        assert parsed.failure_category == "forced_answer"
+        assert parsed.question == "what is a?"
+
+    def test_prior_reflections_ride_along(self, table):
+        prompt = reflection_prompt(table, "q", REPORT, ("earlier",))
+        parsed = parse_prompt(prompt)
+        assert parsed.reflect is True
+        assert parsed.num_reflections == 1
+
+
+class TestChainEnginePromptHook:
+    def test_hook_applies_to_every_prompt(self, table):
+        agent = ReActTableAgent(ScriptedModel([ANSWER]))
+        engine = agent.engine_for(table, "q")
+        engine.prompt_hook = lambda p: "HOOKED\n" + p
+        assert engine.prompt_effect().prompt.startswith("HOOKED\n")
+
+    def test_clone_carries_the_hook(self, table):
+        agent = ReActTableAgent(ScriptedModel([ANSWER]))
+        engine = agent.engine_for(table, "q")
+        hook = lambda p: "X" + p
+        engine.prompt_hook = hook
+        assert engine.clone().prompt_hook is hook
+
+
+class TestReflectEngine:
+    def test_reflection_is_injected_into_rerun_prompts(self, table):
+        spec = ScriptedSpec(["a plan: read column a", ANSWER])
+        engine = ReflectEngine(spec)
+        result = engine.run(table, "q", seed=1, report=REPORT)
+        assert result.answer == ["ok"]
+        model = spec.models[0]
+        # First prompt: the reflection request, carrying the evidence.
+        assert "previous attempt failed (forced_answer)" in model.prompts[0]
+        assert model.prompts[0].rstrip().endswith("ReAcTable: Reflection:")
+        # Second prompt: the re-run, with the reflection block injected.
+        assert model.prompts[1].startswith(
+            "Reflections from previous failed attempts:")
+        assert "Reflection 1: a plan: read column a" in model.prompts[1]
+
+    def test_reflection_committed_to_memory(self, table):
+        memory = ReflectionMemory()
+        spec = ScriptedSpec(["diagnosis", ANSWER])
+        ReflectEngine(spec, memory=memory).run(
+            table, "q", seed=1, report=REPORT)
+        assert memory.recall(table, "q") == ("diagnosis",)
+
+    def test_prior_reflections_accumulate(self, table):
+        memory = ReflectionMemory()
+        memory.remember(table, "q", "older insight")
+        spec = ScriptedSpec(["newer insight", ANSWER])
+        ReflectEngine(spec, memory=memory).run(
+            table, "q", seed=1, report=REPORT)
+        prompt = spec.models[0].prompts[1]
+        assert "Reflection 1: older insight" in prompt
+        assert "Reflection 2: newer insight" in prompt
+
+    def test_blank_reflection_falls_back_to_category_text(self, table):
+        spec = ScriptedSpec(["   ", ANSWER])
+        ReflectEngine(spec).run(table, "q", seed=1, report=REPORT)
+        rerun_prompt = spec.models[0].prompts[1]
+        assert "forced_answer" in rerun_prompt
+
+    def test_unsupported_runner_raises_before_any_model_call(self, table):
+        with pytest.raises(ReflectionUnsupportedError):
+            ReflectEngine(OpaqueSpec()).run(
+                table, "q", seed=1, report=REPORT)
+
+    def test_deadline_rides_the_handler_seam(self, table):
+        spec = ScriptedSpec(["never reached", ANSWER])
+        with pytest.raises(ServingTimeoutError):
+            ReflectEngine(spec).run(table, "q", seed=1, report=REPORT,
+                                    deadline=0.0)
+
+    def test_svote_rerun_retallies_all_chains(self, wikitq_small):
+        spec = AgentSpec(bank=wikitq_small.bank, voting="s-vote",
+                         samples=3)
+        example = wikitq_small.examples[0]
+        result = ReflectEngine(spec).run(
+            example.table, example.question, seed=5, report=REPORT)
+        assert result.num_chains == 3
+        assert sum(result.votes.values()) == 3
+
+    def test_deterministic_under_fixed_seed(self, wikitq_small):
+        spec = AgentSpec(bank=wikitq_small.bank)
+        example = wikitq_small.examples[0]
+        runs = [ReflectEngine(spec).run(example.table, example.question,
+                                        seed=7, report=REPORT)
+                for _ in range(2)]
+        assert runs[0].answer == runs[1].answer
+        assert runs[0].iterations == runs[1].iterations
+
+    def test_spans_attribute_reflection_tokens(self, table):
+        spec = ScriptedSpec(["think harder", ANSWER])
+        telemetry = Telemetry()
+        with activate(telemetry):
+            ReflectEngine(spec).run(table, "q", seed=1, report=REPORT)
+        kinds = [span.kind for span in telemetry.spans]
+        assert "reflect_run" in kinds
+        assert "reflection" in kinds
+        reflection = next(span for span in telemetry.spans
+                          if span.kind == "reflection")
+        assert reflection.prompt_tokens > 0
+        assert reflection.completion_tokens > 0
+        root = next(span for span in telemetry.spans
+                    if span.kind == "reflect_run")
+        # The reflection call's tokens fold into the cycle's root span.
+        assert root.prompt_tokens >= reflection.prompt_tokens
+        assert root.attributes["category"] == "forced_answer"

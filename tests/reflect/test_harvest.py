@@ -1,0 +1,136 @@
+"""Tests for failure harvesting (``repro.reflect.harvest``)."""
+
+import pytest
+
+from repro.core.actions import Action, ActionKind
+from repro.core.prompt import Transcript, TranscriptStep
+from repro.core.voting import VotingResult
+from repro.engine.core import HARD_ITERATION_CAP
+from repro.engine.result import AgentResult
+from repro.errors import (
+    ExecutionError,
+    ServingTimeoutError,
+    TransientModelError,
+)
+from repro.reflect import (
+    CATEGORIES,
+    FailureReport,
+    describe,
+    harvest_exception,
+    harvest_result,
+)
+from repro.table import DataFrame
+
+
+def make_result(*, answer=("42",), forced=False, iterations=2,
+                handling_events=(), steps=()):
+    table = DataFrame({"a": [1]}, name="T0")
+    transcript = Transcript(t0=table, question="q")
+    transcript.steps = list(steps)
+    return AgentResult(answer=list(answer), transcript=transcript,
+                       iterations=iterations, forced=forced,
+                       handling_events=list(handling_events))
+
+
+class TestHarvestException:
+    def test_deadline(self):
+        report = harvest_exception(
+            ServingTimeoutError("attempt deadline exceeded"),
+            question="q", attempts=3)
+        assert report.category == "deadline"
+        assert report.attempts == 3
+        assert "deadline" in report.detail
+
+    def test_executor_error(self):
+        report = harvest_exception(ExecutionError("bad SQL"))
+        assert report.category == "executor_error"
+        assert "ExecutionError" in report.detail
+
+    def test_transient_exhausted(self):
+        report = harvest_exception(TransientModelError("flaky"))
+        assert report.category == "transient_exhausted"
+
+    def test_unknown_exception(self):
+        report = harvest_exception(RuntimeError("boom"))
+        assert report.category == "exception"
+        assert "RuntimeError: boom" in report.detail
+
+    def test_every_category_is_declared(self):
+        for exc in (ServingTimeoutError("t"), ExecutionError("e"),
+                    TransientModelError("m"), RuntimeError("r")):
+            assert harvest_exception(exc).category in CATEGORIES
+
+
+class TestHarvestResult:
+    def test_clean_result_returns_none(self):
+        assert harvest_result(make_result()) is None
+
+    def test_none_result_returns_none(self):
+        assert harvest_result(None) is None
+
+    def test_forced_answer(self):
+        step = TranscriptStep(Action(ActionKind.SQL, "SELECT 1"))
+        report = harvest_result(make_result(
+            forced=True, handling_events=["gave up after error"],
+            steps=[step]))
+        assert report.category == "forced_answer"
+        assert report.detail == "gave up after error"
+        assert "SELECT 1" in report.offending_action
+        assert "SELECT 1" in report.transcript_tail
+
+    def test_iteration_cap(self):
+        report = harvest_result(make_result(
+            forced=True, iterations=HARD_ITERATION_CAP))
+        assert report.category == "iteration_cap"
+
+    def test_empty_answer(self):
+        report = harvest_result(make_result(answer=("",)))
+        assert report.category == "empty_answer"
+
+    def test_minority_vote(self):
+        result = VotingResult(answer=["a"], votes={"a": 2, "b": 2, "c": 1},
+                              num_chains=5, iterations=2)
+        report = harvest_result(result, question="q")
+        assert report.category == "vote_minority"
+        assert report.votes == (("a", 2), ("b", 2), ("c", 1))
+        assert "2 of 5" in report.detail
+
+    def test_majority_vote_is_clean(self):
+        result = VotingResult(answer=["a"], votes={"a": 3, "b": 1},
+                              num_chains=4, iterations=2)
+        assert harvest_result(result) is None
+
+    def test_transcript_tail_keeps_last_steps_only(self):
+        steps = [TranscriptStep(Action(ActionKind.SQL, f"SELECT {i}"))
+                 for i in range(6)]
+        report = harvest_result(make_result(forced=True, steps=steps))
+        assert "SELECT 5" in report.transcript_tail
+        assert "SELECT 0" not in report.transcript_tail
+
+    def test_detail_is_truncated_and_single_line(self):
+        report = harvest_exception(RuntimeError("x\n" * 500))
+        assert "\n" not in report.detail
+        assert len(report.detail) <= 300
+
+
+class TestDescribe:
+    def test_first_line_carries_the_category_phrase(self):
+        report = FailureReport(category="forced_answer", detail="bad step")
+        first = describe(report).splitlines()[0]
+        assert "previous attempt failed (forced_answer)" in first
+        assert "bad step" in first
+
+    def test_votes_and_attempts_render(self):
+        report = FailureReport(category="vote_minority",
+                               votes=(("", 1), ("x", 2)), attempts=2)
+        text = describe(report)
+        assert "(empty)=1" in text and "x=2" in text
+        assert "Attempts already spent: 2" in text
+
+    @pytest.mark.parametrize("category", CATEGORIES)
+    def test_category_roundtrips_through_prompt_parsing(self, category):
+        from repro.core.prompt import _FAILURE_CATEGORY
+
+        text = describe(FailureReport(category=category, detail="d"))
+        match = _FAILURE_CATEGORY.search(text)
+        assert match is not None and match.group(1) == category

@@ -1,0 +1,67 @@
+"""Tests for the verbal-memory store (``repro.reflect.memory``)."""
+
+import pytest
+
+from repro.reflect import ReflectionMemory
+from repro.table import DataFrame
+
+
+def frame(name="T0", values=(1, 2)):
+    return DataFrame({"a": list(values)}, name=name)
+
+
+class TestReflectionMemory:
+    def test_recall_empty(self):
+        memory = ReflectionMemory()
+        assert memory.recall(frame(), "q") == ()
+
+    def test_remember_and_recall_oldest_first(self):
+        memory = ReflectionMemory()
+        table = frame()
+        memory.remember(table, "q", "first")
+        memory.remember(table, "q", "second")
+        assert memory.recall(table, "q") == ("first", "second")
+
+    def test_per_key_cap_keeps_newest(self):
+        memory = ReflectionMemory(per_key=2)
+        table = frame()
+        for text in ("one", "two", "three"):
+            memory.remember(table, "q", text)
+        assert memory.recall(table, "q") == ("two", "three")
+
+    def test_key_is_content_digest_not_identity(self):
+        memory = ReflectionMemory()
+        memory.remember(frame(), "q", "shared")
+        # A distinct frame object with equal contents hits the same key.
+        assert memory.recall(frame(), "q") == ("shared",)
+        # Different contents or question miss.
+        assert memory.recall(frame(values=(9,)), "q") == ()
+        assert memory.recall(frame(), "other") == ()
+
+    def test_blank_reflections_are_dropped(self):
+        memory = ReflectionMemory()
+        memory.remember(frame(), "q", "   ")
+        assert len(memory) == 0
+
+    def test_capacity_evicts_least_recently_used(self):
+        memory = ReflectionMemory(capacity=2)
+        memory.remember(frame(), "a", "ra")
+        memory.remember(frame(), "b", "rb")
+        memory.recall(frame(), "a")          # touch "a" so "b" is LRU
+        memory.remember(frame(), "c", "rc")
+        assert memory.recall(frame(), "a") == ("ra",)
+        assert memory.recall(frame(), "b") == ()
+        assert memory.recall(frame(), "c") == ("rc",)
+
+    def test_clear(self):
+        memory = ReflectionMemory()
+        memory.remember(frame(), "q", "r")
+        memory.clear()
+        assert len(memory) == 0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"per_key": 0}, {"capacity": 0},
+    ])
+    def test_bad_bounds_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            ReflectionMemory(**kwargs)

@@ -70,6 +70,17 @@ class TestParser:
         assert args.rates == "0,0.5"
         assert args.breaker_threshold == 0
         assert not args.verify_passthrough
+        assert not args.use_async
+
+    def test_chaos_async_flag(self):
+        args = build_parser().parse_args(["chaos", "wikitq", "--async"])
+        assert args.use_async
+
+    def test_batch_reflect_flag(self):
+        assert not build_parser().parse_args(
+            ["batch", "wikitq"]).reflect
+        assert build_parser().parse_args(
+            ["batch", "wikitq", "--reflect"]).reflect
 
 
 class TestDemo:
@@ -125,6 +136,13 @@ class TestBatch:
         assert "accuracy:" in out
         assert "throughput:" in out
         assert "cache hit rate:" in out
+
+    def test_reflect_flag_reports_reflections(self, capsys):
+        assert main(["batch", "wikitq", "--size", "12",
+                     "--workers", "2", "--reflect"]) == 0
+        out = capsys.readouterr().out
+        assert "reflections:" in out
+        assert "reflected outcomes:" in out
 
     def test_matches_sequential_accuracy(self, capsys):
         assert main(["evaluate", "wikitq", "--size", "12"]) == 0
@@ -257,6 +275,16 @@ class TestChaos:
         out = capsys.readouterr().out
         assert "rate" in out and "accuracy" in out
         assert "0.00" in out and "0.30" in out
+        assert "bit-identical to uninjected run: True" in out
+
+    def test_async_sweep_verifies_rate_zero_passthrough(self, capsys):
+        # The satellite bar: the async ladder, like the pool, must be
+        # bit-identical at rate zero with the fault wrappers installed.
+        assert main(["chaos", "wikitq", "--size", "6", "--workers", "2",
+                     "--rates", "0", "--fault-latency", "0.001",
+                     "--async"]) == 0
+        out = capsys.readouterr().out
+        assert "async" in out
         assert "bit-identical to uninjected run: True" in out
 
     def test_writes_metrics_and_trace(self, capsys, tmp_path):

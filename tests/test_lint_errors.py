@@ -42,6 +42,42 @@ def test_lint_detects_an_unclassified_error():
         gc.collect()
 
 
+def test_lint_detects_flag_hierarchy_disagreement():
+    # retryable=True outside the TransientError branch: is_retryable()
+    # and isinstance() dispatch would disagree about this class.
+    lint = load_lint()
+    from repro.errors import ReproError
+
+    class Liar(ReproError):
+        retryable = True
+
+    try:
+        violations = lint.find_violations()
+        assert any("Liar" in line and "TransientError" in line
+                   for line in violations)
+    finally:
+        del Liar
+        import gc
+        gc.collect()
+
+
+def test_lint_detects_transient_marked_unretryable():
+    lint = load_lint()
+    from repro.errors import TransientError
+
+    class Denier(TransientError):
+        retryable = False
+
+    try:
+        violations = lint.find_violations()
+        assert any("Denier" in line and "TransientError" in line
+                   for line in violations)
+    finally:
+        del Denier
+        import gc
+        gc.collect()
+
+
 def test_lint_runs_standalone():
     import subprocess
 

@@ -44,6 +44,26 @@ def test_lint_detects_an_undeclared_kind(tmp_path, monkeypatch):
     assert any("serving_novel_lifecycle" in line for line in violations)
 
 
+def test_lint_covers_the_reflect_rung_trace_callback(tmp_path, monkeypatch):
+    # The ReflectionRung emits through an injected ``trace(...)``
+    # callback that both ladders bind to their serving_-prefixing
+    # helper; the lint must see those sites too.
+    lint = load_lint()
+    fake_src = tmp_path / "src" / "repro"
+    fake_src.mkdir(parents=True)
+    (fake_src / "rogue.py").write_text(
+        'def f(trace):\n'
+        '    trace("unregistered_rung_event", index=1)\n'
+        '    load_trace("not_an_event_kind")\n',
+        encoding="utf-8")
+    monkeypatch.setattr(lint, "SRC", fake_src)
+    violations = lint.find_violations()
+    assert any("serving_unregistered_rung_event" in line
+               for line in violations)
+    # ...without false-positiving on unrelated *_trace( call sites.
+    assert not any("not_an_event_kind" in line for line in violations)
+
+
 def test_span_kinds_cannot_be_emitted_as_events(tmp_path, monkeypatch):
     lint = load_lint()
     fake_src = tmp_path / "src" / "repro"

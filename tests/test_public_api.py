@@ -20,7 +20,7 @@ class TestTopLevelExports:
         "repro.plans", "repro.llm", "repro.datasets", "repro.core",
         "repro.engine", "repro.evalkit", "repro.reporting", "repro.errors",
         "repro.tracing", "repro.cli", "repro.serving",
-        "repro.faults", "repro.retry", "repro.aio",
+        "repro.faults", "repro.retry", "repro.aio", "repro.reflect",
     ])
     def test_subpackages_import_cleanly(self, module_name):
         module = importlib.import_module(module_name)
@@ -30,7 +30,7 @@ class TestTopLevelExports:
         "repro.table", "repro.sqlengine", "repro.executors",
         "repro.plans", "repro.llm", "repro.datasets", "repro.core",
         "repro.engine", "repro.evalkit", "repro.reporting", "repro.serving",
-        "repro.faults", "repro.retry", "repro.aio",
+        "repro.faults", "repro.retry", "repro.aio", "repro.reflect",
     ])
     def test_subpackage_all_resolves(self, module_name):
         module = importlib.import_module(module_name)

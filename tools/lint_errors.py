@@ -6,7 +6,11 @@ that silently *inherits* the flag is a latent misclassification: moving
 it in the hierarchy, or changing a parent's default, flips its recovery
 behaviour without anyone noticing.  This lint imports every module under
 ``repro`` and asserts each :class:`~repro.errors.ReproError` subclass
-restates ``retryable`` as a literal ``bool`` in its own class body.
+restates ``retryable`` as a literal ``bool`` in its own class body, and
+that the flag agrees with the hierarchy: ``retryable=True`` if and only
+if the class descends from :class:`~repro.errors.TransientError` (the
+serving ladder dispatches on the flag, the chaos harness on the
+hierarchy — they must never disagree).
 
 Runs standalone (``python tools/lint_errors.py``, exits non-zero on a
 violation) and as a tier-1 test via ``tests/test_lint_errors.py``.
@@ -42,7 +46,7 @@ def _all_subclasses(cls: type) -> set[type]:
 def find_violations() -> list[str]:
     """Taxonomy violations, one human-readable line each."""
     _import_all()
-    from repro.errors import ReproError
+    from repro.errors import ReproError, TransientError
 
     violations = []
     for cls in sorted(_all_subclasses(ReproError) | {ReproError},
@@ -52,10 +56,23 @@ def find_violations() -> list[str]:
             violations.append(
                 f"{label}: does not restate 'retryable' in its own "
                 f"body (inheriting the flag hides misclassification)")
-        elif not isinstance(cls.__dict__["retryable"], bool):
+            continue
+        if not isinstance(cls.__dict__["retryable"], bool):
             violations.append(
                 f"{label}: 'retryable' must be a literal bool, got "
                 f"{type(cls.__dict__['retryable']).__name__}")
+            continue
+        # The flag and the hierarchy must agree: ``retryable=True``
+        # exactly for TransientError branches.  A retryable class
+        # outside TransientError (or vice versa) would make
+        # ``is_retryable`` and ``isinstance`` dispatch disagree —
+        # the serving ladder uses one, the chaos harness the other.
+        is_transient = issubclass(cls, TransientError)
+        if cls.__dict__["retryable"] != is_transient:
+            violations.append(
+                f"{label}: retryable={cls.__dict__['retryable']} but "
+                f"{'is' if is_transient else 'is not'} a TransientError "
+                f"subclass (the flag and the hierarchy must agree)")
     return violations
 
 
@@ -68,7 +85,8 @@ def main() -> int:
               file=sys.stderr)
         return 1
     print("lint_errors: every ReproError subclass carries an explicit "
-          "retryable classification")
+          "retryable classification consistent with the TransientError "
+          "hierarchy")
     return 0
 
 

@@ -32,6 +32,27 @@ GROUP_SQL = ("SELECT bucket, COUNT(*), SUM(value) FROM T0 "
              "WHERE value > 5000 GROUP BY bucket "
              "ORDER BY COUNT(*) DESC")
 
+FILTER_SQL = ("SELECT id, value FROM T0 "
+              "WHERE value > 2500 AND value < 7500 AND bucket <> 'c'")
+
+JOIN_SQL = "SELECT a.id, b.weight FROM L a JOIN R b ON a.key = b.key"
+
+LIMIT_SQL = "SELECT id FROM T0 WHERE value > 10 LIMIT 5"
+
+
+def _join_catalog(left_rows: int = 600, right_rows: int = 100) -> dict:
+    rng = random.Random(7)
+    left = DataFrame({
+        "id": list(range(left_rows)),
+        "key": [f"k{rng.randrange(right_rows)}"
+                for _ in range(left_rows)],
+    }, name="L")
+    right = DataFrame({
+        "key": [f"k{i}" for i in range(right_rows)],
+        "weight": [rng.randint(0, 100) for i in range(right_rows)],
+    }, name="R")
+    return {"L": left, "R": right}
+
 
 @pytest.fixture(scope="module")
 def frame():
@@ -50,6 +71,57 @@ def test_perf_native_engine_interpreted(benchmark, frame, monkeypatch):
     catalog = {"T0": frame}
     result = benchmark(lambda: execute_sql(GROUP_SQL, catalog))
     assert result.num_rows == 8
+
+
+def test_perf_native_engine_row_compiled(benchmark, frame, monkeypatch):
+    """The row-compiled tier (REPRO_SQL_VECTOR=0) — the vector baseline."""
+    monkeypatch.setenv("REPRO_SQL_VECTOR", "0")
+    catalog = {"T0": frame}
+    result = benchmark(lambda: execute_sql(GROUP_SQL, catalog))
+    assert result.num_rows == 8
+
+
+def test_perf_vector_filter_scan(benchmark, frame):
+    catalog = {"T0": frame}
+    execute_sql(FILTER_SQL, catalog)  # warm plan + kernel caches
+    result = benchmark(lambda: execute_sql(FILTER_SQL, catalog))
+    assert result.num_rows > 0
+
+
+def test_perf_vector_filter_scan_row_compiled(benchmark, frame,
+                                              monkeypatch):
+    monkeypatch.setenv("REPRO_SQL_VECTOR", "0")
+    catalog = {"T0": frame}
+    result = benchmark(lambda: execute_sql(FILTER_SQL, catalog))
+    assert result.num_rows > 0
+
+
+def test_perf_vector_hash_join(benchmark):
+    catalog = _join_catalog()
+    execute_sql(JOIN_SQL, catalog)  # warm
+    result = benchmark(lambda: execute_sql(JOIN_SQL, catalog))
+    assert result.num_rows >= 600
+
+
+def test_perf_vector_hash_join_row_compiled(benchmark, monkeypatch):
+    monkeypatch.setenv("REPRO_SQL_VECTOR", "0")
+    catalog = _join_catalog()
+    result = benchmark(lambda: execute_sql(JOIN_SQL, catalog))
+    assert result.num_rows >= 600
+
+
+def test_perf_vector_limit_scan(benchmark):
+    catalog = {"T0": _large_frame(30_000)}
+    execute_sql(LIMIT_SQL, catalog)  # warm
+    result = benchmark(lambda: execute_sql(LIMIT_SQL, catalog))
+    assert result.num_rows == 5
+
+
+def test_perf_vector_limit_scan_row_compiled(benchmark, monkeypatch):
+    monkeypatch.setenv("REPRO_SQL_VECTOR", "0")
+    catalog = {"T0": _large_frame(30_000)}
+    result = benchmark(lambda: execute_sql(LIMIT_SQL, catalog))
+    assert result.num_rows == 5
 
 
 def test_perf_plan_parse_uncached(benchmark, monkeypatch):

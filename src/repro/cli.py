@@ -335,7 +335,9 @@ def _cmd_perf(args) -> int:
     from repro.perf import gate as perf_gate
 
     gate_args: list[str] = []
-    if not args.timings:
+    if args.case:
+        gate_args.extend(["--case", args.case])
+    elif not args.timings:
         gate_args.append("--check-only")
     if args.update_baseline:
         gate_args.append("--update-baseline")
@@ -527,6 +529,8 @@ def build_parser() -> argparse.ArgumentParser:
         "perf", help="performance-layer smoke / benchmark gate")
     perf.add_argument("--timings", action="store_true",
                       help="also run the timing suite and regression gate")
+    perf.add_argument("--case", metavar="NAME", default=None,
+                      help="run a single timing case by name")
     perf.add_argument("--update-baseline", action="store_true",
                       help="rewrite results/BENCH_perf_substrates.json")
     perf.add_argument("--baseline", metavar="PATH", default=None,

@@ -48,10 +48,34 @@ GROUP_SQL = ("SELECT bucket, COUNT(*), SUM(value) FROM T0 "
              "WHERE value > 5000 GROUP BY bucket "
              "ORDER BY COUNT(*) DESC")
 
+#: Vectorized-engine workloads, timed against ``REPRO_SQL_VECTOR=0``
+#: (the row-compiled engine — same parser, same plan cache, no kernels).
+FILTER_SQL = ("SELECT id, value FROM T0 "
+              "WHERE value > 2500 AND value < 7500 AND bucket <> 'c'")
+JOIN_SQL = ("SELECT a.id, b.weight FROM L a JOIN R b "
+            "ON a.key = b.key")
+LIMIT_SQL = "SELECT id FROM T0 WHERE value > 10 LIMIT 5"
+
+#: Every timing case ``run_timings`` knows (for ``--case`` validation).
+CASE_NAMES = (
+    "native_group_aggregate",
+    "vector_filter_scan",
+    "vector_group_aggregate",
+    "vector_hash_join",
+    "vector_limit_scan",
+    "prompt_encode_repeat",
+    "plan_cache_parse",
+    "dataframe_sort",
+    "dataframe_group_aggregate",
+)
+
 #: Hard speedup floors from the PR acceptance criteria.
 FLOORS = {
     "native_group_aggregate": 2.0,
     "prompt_encode_repeat": 3.0,
+    "vector_filter_scan": 3.0,
+    "vector_group_aggregate": 3.0,
+    "vector_hash_join": 3.0,
 }
 
 #: Fixed query list for the compiled-vs-interpreted smoke (the full
@@ -85,6 +109,20 @@ def _large_frame(rows: int = 2000) -> DataFrame:
         "label": [f"row {i} ({rng.choice('XYZ')})"
                   for i in range(rows)],
     }, name="T0")
+
+
+def _join_catalog(left_rows: int = 600, right_rows: int = 100) -> dict:
+    rng = random.Random(7)
+    left = DataFrame({
+        "id": list(range(left_rows)),
+        "key": [f"k{rng.randrange(right_rows)}"
+                for _ in range(left_rows)],
+    }, name="L")
+    right = DataFrame({
+        "key": [f"k{i}" for i in range(right_rows)],
+        "weight": [rng.randint(0, 100) for i in range(right_rows)],
+    }, name="R")
+    return {"L": left, "R": right}
 
 
 @contextmanager
@@ -134,13 +172,19 @@ def run_checks() -> list[str]:
     catalog = {"T0": frame}
 
     for sql in SMOKE_QUERIES:
-        compiled = _run_or_error(sql, catalog)
+        vectorized = _run_or_error(sql, catalog)
         with _env("REPRO_SQL_COMPILE", "0"):
             interpreted = _run_or_error(sql, catalog)
-        if compiled != interpreted:
+        if vectorized != interpreted:
             failures.append(
-                f"compiled != interpreted for {sql!r}: "
-                f"{compiled[:2]} vs {interpreted[:2]}")
+                f"vectorized != interpreted for {sql!r}: "
+                f"{vectorized[:2]} vs {interpreted[:2]}")
+        with _env("REPRO_SQL_VECTOR", "0"):
+            compiled = _run_or_error(sql, catalog)
+        if vectorized != compiled:
+            failures.append(
+                f"vectorized != row-compiled for {sql!r}: "
+                f"{vectorized[:2]} vs {compiled[:2]}")
 
     with _env("REPRO_SQL_PLAN_CACHE", "0"):
         uncached_plan = _run_or_error(GROUP_SQL, catalog)
@@ -167,11 +211,18 @@ def run_checks() -> list[str]:
 # --- timings ----------------------------------------------------------------
 
 
-def run_timings(*, repeats: int = 3) -> dict:
-    """Time each optimisation against its disabled counterpart."""
+def run_timings(*, repeats: int = 3, only: str | None = None) -> dict:
+    """Time each optimisation against its disabled counterpart.
+
+    ``only`` restricts the run to a single named case (``repro perf
+    --case <name>``); unknown names yield an empty ``cases`` dict.
+    """
     frame = _large_frame()
     catalog = {"T0": frame}
     cases: dict[str, dict] = {}
+
+    def wanted(name: str) -> bool:
+        return only is None or name == only
 
     def case(name: str, slow_s: float, fast_s: float) -> None:
         cases[name] = {
@@ -181,46 +232,89 @@ def run_timings(*, repeats: int = 3) -> dict:
             "floor": FLOORS.get(name),
         }
 
-    run_query = lambda: execute_sql(GROUP_SQL, catalog)  # noqa: E731
-    run_query()  # warm the plan cache for both sides
-    with _env("REPRO_SQL_COMPILE", "0"):
-        interpreted = _best_of(run_query, repeats=repeats)
-    compiled = _best_of(run_query, repeats=repeats)
-    case("native_group_aggregate", interpreted, compiled)
+    if wanted("native_group_aggregate"):
+        run_query = lambda: execute_sql(GROUP_SQL, catalog)  # noqa: E731
+        run_query()  # warm the plan cache for both sides
+        with _env("REPRO_SQL_COMPILE", "0"):
+            interpreted = _best_of(run_query, repeats=repeats)
+        compiled = _best_of(run_query, repeats=repeats)
+        case("native_group_aggregate", interpreted, compiled)
 
-    def encode_many():
-        for _ in range(20):
-            encode_head_row_cached(frame, max_rows=200)
+    # Vectorized engine vs the row-compiled baseline (REPRO_SQL_VECTOR=0):
+    # same parser and plan cache on both sides, so the ratio isolates the
+    # columnar kernels, plan rewrites, and hash join.
+    if wanted("vector_filter_scan"):
+        run_filter = lambda: execute_sql(FILTER_SQL, catalog)  # noqa: E731
+        run_filter()  # warm plan + kernel caches (steady-state serving)
+        with _env("REPRO_SQL_VECTOR", "0"):
+            row_compiled = _best_of(run_filter, repeats=repeats)
+        vectorized = _best_of(run_filter, repeats=repeats)
+        case("vector_filter_scan", row_compiled, vectorized)
 
-    with _env("REPRO_ENCODE_CACHE", "0"):
-        uncached = _best_of(encode_many, repeats=repeats, number=1)
-    DEFAULT_ENCODE_CACHE.clear()
-    encode_many()  # warm
-    cached = _best_of(encode_many, repeats=repeats, number=1)
-    case("prompt_encode_repeat", uncached, cached)
+    if wanted("vector_group_aggregate"):
+        run_group = lambda: execute_sql(GROUP_SQL, catalog)  # noqa: E731
+        run_group()
+        with _env("REPRO_SQL_VECTOR", "0"):
+            row_compiled = _best_of(run_group, repeats=repeats)
+        vectorized = _best_of(run_group, repeats=repeats)
+        case("vector_group_aggregate", row_compiled, vectorized)
 
-    def parse_many():
-        for _ in range(50):
-            parse_select_cached(GROUP_SQL)
+    if wanted("vector_hash_join"):
+        join_catalog = _join_catalog()
+        run_join = lambda: execute_sql(JOIN_SQL, join_catalog)  # noqa: E731
+        run_join()
+        with _env("REPRO_SQL_VECTOR", "0"):
+            nested_loop = _best_of(run_join, repeats=repeats, number=1)
+        hashed = _best_of(run_join, repeats=repeats, number=1)
+        case("vector_hash_join", nested_loop, hashed)
 
-    with _env("REPRO_SQL_PLAN_CACHE", "0"):
-        unplanned = _best_of(parse_many, repeats=repeats, number=1)
-    parse_many()  # warm
-    planned = _best_of(parse_many, repeats=repeats, number=1)
-    case("plan_cache_parse", unplanned, planned)
+    if wanted("vector_limit_scan"):
+        tall = _large_frame(30_000)
+        tall_catalog = {"T0": tall}
+        run_limit = lambda: execute_sql(LIMIT_SQL, tall_catalog)  # noqa: E731
+        run_limit()
+        with _env("REPRO_SQL_VECTOR", "0"):
+            full_scan = _best_of(run_limit, repeats=repeats)
+        short_circuit = _best_of(run_limit, repeats=repeats)
+        case("vector_limit_scan", full_scan, short_circuit)
+
+    if wanted("prompt_encode_repeat"):
+        def encode_many():
+            for _ in range(20):
+                encode_head_row_cached(frame, max_rows=200)
+
+        with _env("REPRO_ENCODE_CACHE", "0"):
+            uncached = _best_of(encode_many, repeats=repeats, number=1)
+        DEFAULT_ENCODE_CACHE.clear()
+        encode_many()  # warm
+        cached = _best_of(encode_many, repeats=repeats, number=1)
+        case("prompt_encode_repeat", uncached, cached)
+
+    if wanted("plan_cache_parse"):
+        def parse_many():
+            for _ in range(50):
+                parse_select_cached(GROUP_SQL)
+
+        with _env("REPRO_SQL_PLAN_CACHE", "0"):
+            unplanned = _best_of(parse_many, repeats=repeats, number=1)
+        parse_many()  # warm
+        planned = _best_of(parse_many, repeats=repeats, number=1)
+        case("plan_cache_parse", unplanned, planned)
 
     # Informational substrate timings (no disabled counterpart).
-    cases["dataframe_sort"] = {
-        "fast_s": _best_of(
-            lambda: sort_by(frame, ["value"], descending=True),
-            repeats=repeats),
-    }
-    cases["dataframe_group_aggregate"] = {
-        "fast_s": _best_of(
-            lambda: group_by(frame, ["bucket"]).aggregate(
-                [("sum", "value", "total")]),
-            repeats=repeats),
-    }
+    if wanted("dataframe_sort"):
+        cases["dataframe_sort"] = {
+            "fast_s": _best_of(
+                lambda: sort_by(frame, ["value"], descending=True),
+                repeats=repeats),
+        }
+    if wanted("dataframe_group_aggregate"):
+        cases["dataframe_group_aggregate"] = {
+            "fast_s": _best_of(
+                lambda: group_by(frame, ["bucket"]).aggregate(
+                    [("sum", "value", "total")]),
+                repeats=repeats),
+        }
     return {
         "suite": "perf_substrates",
         "rows": frame.num_rows,
@@ -272,7 +366,33 @@ def main(argv: list[str] | None = None) -> int:
                         help="baseline JSON path")
     parser.add_argument("--repeats", type=int, default=3,
                         help="best-of repeats per timing case")
+    parser.add_argument("--case", metavar="NAME", default=None,
+                        help="run a single timing case (skips the "
+                             "baseline comparison)")
     args = parser.parse_args(argv)
+
+    if args.case:
+        if args.case not in CASE_NAMES:
+            print(f"unknown case {args.case!r}; known cases: "
+                  f"{', '.join(CASE_NAMES)}", file=sys.stderr)
+            return 2
+        report = run_timings(repeats=args.repeats, only=args.case)
+        failures = []
+        for name, entry in report["cases"].items():
+            floor = FLOORS.get(name)
+            if "speedup" in entry:
+                print(f"  {name:28s} {entry['slow_s'] * 1e3:9.3f} ms -> "
+                      f"{entry['fast_s'] * 1e3:9.3f} ms  "
+                      f"({entry['speedup']:.2f}x)")
+                if floor is not None and entry["speedup"] < floor:
+                    failures.append(
+                        f"{name}: speedup {entry['speedup']:.2f}x below "
+                        f"the {floor:.1f}x floor")
+            else:
+                print(f"  {name:28s} {entry['fast_s'] * 1e3:9.3f} ms")
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
 
     if args.check_only:
         failures = run_checks()

@@ -12,6 +12,7 @@ Follows SQLite semantics where they matter for TQA queries:
 
 from __future__ import annotations
 
+import functools
 import re
 
 from repro.errors import SQLRuntimeError
@@ -460,6 +461,7 @@ def _like(expr: LikeOp, context):
     return (not matched) if expr.negated else matched
 
 
+@functools.lru_cache(maxsize=512)
 def _like_to_regex(pattern: str) -> re.Pattern:
     parts = []
     for char in pattern:

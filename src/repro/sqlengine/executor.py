@@ -5,12 +5,23 @@ returns a new :class:`repro.table.DataFrame`.  The pipeline mirrors the
 logical order of SQL: FROM → WHERE → GROUP BY/aggregates → HAVING →
 select-list → DISTINCT → ORDER BY → LIMIT/OFFSET.
 
-Each stage has two implementations: a compiled fast path that lowers
-expressions once per query (:mod:`repro.sqlengine.compiler`) and the
-original per-row tree-walking interpreter.  ``REPRO_SQL_COMPILE=0``
-forces the interpreter everywhere; the two must produce bit-identical
-results (enforced by the differential tests).  ``execute_sql`` also
-memoises parsing through :mod:`repro.sqlengine.plancache`.
+Each stage has three implementations, tried fastest-first:
+
+1. **vectorized** — whole-column kernels (:mod:`repro.sqlengine.vector`)
+   over statements rewritten by the planner
+   (:mod:`repro.sqlengine.planner`: predicate pushdown below joins,
+   HAVING pushdown below GROUP BY, LIMIT short-circuit into the scan,
+   hash equi-joins).  Only provably total expressions qualify; a stage
+   that cannot be proven safe falls back wholesale to
+2. **row-compiled** — expressions lowered once per query to closures
+   over row tuples (:mod:`repro.sqlengine.compiler`), and
+3. the original per-row tree-walking **interpreter**.
+
+``REPRO_SQL_VECTOR=0`` disables tier 1 (and all plan rewrites);
+``REPRO_SQL_COMPILE=0`` forces the interpreter everywhere.  All three
+must produce bit-identical results — values *and* errors — enforced by
+the seeded differential suite.  ``execute_sql`` also memoises parsing
+through :mod:`repro.sqlengine.plancache`.
 """
 
 from __future__ import annotations
@@ -19,7 +30,9 @@ from collections.abc import Mapping
 
 from repro.errors import SQLRuntimeError
 from repro.sqlengine.ast_nodes import (
+    BinaryOp,
     ColumnRef,
+    JoinClause,
     OrderItem,
     SelectItem,
     SelectStatement,
@@ -34,16 +47,29 @@ from repro.sqlengine.compiler import (
 from repro.sqlengine.evaluator import (
     GroupContext,
     RowContext,
+    _to_number,
     evaluate,
     expression_uses_aggregate,
     is_truthy,
     resolve_joined_name,
     resolve_joined_ref,
 )
-from repro.sqlengine.ast_nodes import JoinClause
 from repro.sqlengine.plancache import parse_select_cached
-from repro.table.frame import DataFrame
-from repro.telemetry.spans import span
+from repro.sqlengine.planner import (
+    FrameShape,
+    conjoin,
+    plan_select,
+    resolve_aliases as _resolve_aliases,
+    resolve_table as _resolve_table,
+)
+from repro.sqlengine.vector import (
+    VectorContext,
+    compile_group_vector,
+    compile_vector,
+    truthy_indexes,
+    vector_enabled,
+)
+from repro.table.frame import Column, DataFrame
 from repro.table.ops import (
     _hashable,
     _sort_key_for,
@@ -52,6 +78,7 @@ from repro.table.ops import (
 )
 from repro.table.schema import dedupe_column_names
 from repro.table.schema import is_missing as is_missing_value
+from repro.telemetry.spans import span
 
 __all__ = ["execute_select", "execute_sql", "NativeSQLEngine"]
 
@@ -65,7 +92,8 @@ def execute_select(stmt: SelectStatement,
                    tables: Mapping[str, DataFrame]) -> DataFrame:
     from repro.errors import TableError
     with span("sql_execute", joined=bool(stmt.joins),
-              compiled=compile_enabled()):
+              compiled=compile_enabled(),
+              vectorized=compile_enabled() and vector_enabled()):
         try:
             return _execute_select(stmt, tables)
         except TableError as exc:
@@ -78,30 +106,54 @@ def _execute_select(stmt: SelectStatement,
                     tables: Mapping[str, DataFrame]) -> DataFrame:
     joined = bool(stmt.joins)
     compiled = compile_enabled()
+    vectorized = compiled and vector_enabled()
+
+    planned = None
+    if vectorized:
+        # Plan rewrites ride the vector flag: REPRO_SQL_VECTOR=0 is the
+        # untouched row-compiled engine, the perf baseline and second
+        # oracle.  plan_select memoises by (statement, schema signature).
+        planned = plan_select(stmt, tables)
+        if planned.rewrites:
+            with span("sql_plan_rewrite",
+                      rewrites=",".join(planned.rewrites)):
+                stmt = planned.stmt
+        else:
+            stmt = planned.stmt
+
     if joined:
-        frame = _materialize_joins(stmt, tables)
+        frame = _materialize_joins(stmt, tables,
+                                   planned.pushed if planned else ())
         alias = None
     else:
         frame = _resolve_table(stmt.table, tables)
         alias = stmt.table_alias or stmt.table
 
+    scan_limit = planned.scan_limit if planned else None
     if stmt.where is not None:
-        if compiled:
-            with span("sql_compile", stage="where"):
-                predicate = compile_row(
-                    stmt.where, Layout(frame, alias, joined=joined))
-            keep = [
-                index for index, values in enumerate(frame.to_rows())
-                if is_truthy(predicate(values))
-            ]
-        else:
-            keep = [
-                row.index for row in frame.iter_rows()
-                if is_truthy(evaluate(stmt.where,
-                                      RowContext(row, alias,
-                                                 joined=joined)))
-            ]
+        keep = None
+        if vectorized:
+            keep = _vector_where(frame, stmt.where, joined=joined,
+                                 scan_limit=scan_limit)
+        if keep is None:
+            if compiled:
+                with span("sql_compile", stage="where"):
+                    predicate = compile_row(
+                        stmt.where, Layout(frame, alias, joined=joined))
+                keep = [
+                    index for index, values in enumerate(frame.to_rows())
+                    if is_truthy(predicate(values))
+                ]
+            else:
+                keep = [
+                    row.index for row in frame.iter_rows()
+                    if is_truthy(evaluate(stmt.where,
+                                          RowContext(row, alias,
+                                                     joined=joined)))
+                ]
         frame = frame.take(keep)
+    elif scan_limit is not None:
+        frame = frame.take(range(min(scan_limit, frame.num_rows)))
 
     is_aggregate_query = bool(stmt.group_by) or any(
         expression_uses_aggregate(item.expression)
@@ -110,16 +162,25 @@ def _execute_select(stmt: SelectStatement,
     ) or (stmt.having is not None
           and expression_uses_aggregate(stmt.having))
 
+    result = None
     if is_aggregate_query:
-        if compiled:
+        if vectorized:
+            result = _execute_aggregate_vector(stmt, frame, alias,
+                                               joined=joined)
+        if result is None and compiled:
             result = _execute_aggregate_compiled(stmt, frame, alias,
                                                  joined=joined)
-        else:
+        if result is None:
             result = _execute_aggregate(stmt, frame, alias, joined=joined)
-    elif compiled:
-        result = _execute_plain_compiled(stmt, frame, alias, joined=joined)
     else:
-        result = _execute_plain(stmt, frame, alias, joined=joined)
+        if vectorized:
+            result = _execute_plain_vector(stmt, frame, alias,
+                                           joined=joined)
+        if result is None and compiled:
+            result = _execute_plain_compiled(stmt, frame, alias,
+                                             joined=joined)
+        if result is None:
+            result = _execute_plain(stmt, frame, alias, joined=joined)
 
     if stmt.distinct:
         result = distinct_rows(result)
@@ -131,22 +192,85 @@ def _execute_select(stmt: SelectStatement,
     return result
 
 
+def _vector_where(frame: DataFrame, where, *, joined: bool,
+                  scan_limit: int | None) -> list[int] | None:
+    """Evaluate WHERE as a whole-column mask; None = not vectorizable.
+
+    With a planner-approved ``scan_limit`` the mask evaluates in chunks
+    and stops as soon as enough rows survive — the LIMIT short-circuit.
+    """
+    fn = compile_vector(where, FrameShape(frame, joined=joined))
+    if fn is None:
+        return None
+    if scan_limit is None:
+        # The mask kernel is memoized on the frame, but collapsing the
+        # mask to surviving indexes is a full-column pass too — cache
+        # the keep list alongside it (same __setitem__ invalidation).
+        # Callers only read the list (frame.take), never mutate it.
+        cache = frame.kernel_cache()
+        key = ("where", joined, repr(where))
+        keep = cache.get(key)
+        if keep is None:
+            keep = truthy_indexes(fn(VectorContext(frame)))
+            cache[key] = keep
+        return keep
+    keep: list[int] = []
+    total = frame.num_rows
+    for start in range(0, total, _SCAN_CHUNK):
+        stop = min(start + _SCAN_CHUNK, total)
+        keep.extend(truthy_indexes(
+            fn(VectorContext(frame, start, stop)), base=start))
+        if len(keep) >= scan_limit:
+            return keep[:scan_limit]
+    return keep
+
+
+#: Chunk size for LIMIT-short-circuit scans: big enough to amortise the
+#: per-chunk kernel dispatch, small enough that tiny LIMITs stop early.
+_SCAN_CHUNK = 1024
+
+
 def _prefix_columns(frame: DataFrame, alias: str) -> DataFrame:
     return frame.rename({name: f"{alias}.{name}"
                          for name in frame.columns})
 
 
 def _materialize_joins(stmt: SelectStatement,
-                       tables: Mapping[str, DataFrame]) -> DataFrame:
-    """Materialise FROM + JOIN clauses into one alias-prefixed frame."""
+                       tables: Mapping[str, DataFrame],
+                       pushed: tuple = ()) -> DataFrame:
+    """Materialise FROM + JOIN clauses into one alias-prefixed frame.
+
+    ``pushed`` holds planner-approved pre-join filters keyed by join
+    position (-1 = the FROM table); each is applied to its source frame
+    *before* prefixing and joining, shrinking the join inputs.
+    """
     base = _resolve_table(stmt.table, tables)
+    base = _apply_pushed(base, [e for p, e in pushed if p == -1])
     combined = _prefix_columns(base, stmt.table_alias or stmt.table)
-    for join in stmt.joins:
+    for position, join in enumerate(stmt.joins):
         right = _resolve_table(join.table, tables)
+        right = _apply_pushed(
+            right, [e for p, e in pushed if p == position])
         right_prefixed = _prefix_columns(right,
                                          join.alias or join.table)
         combined = _join_frames(combined, right_prefixed, join)
     return combined
+
+
+def _apply_pushed(frame: DataFrame, conjuncts: list) -> DataFrame:
+    """Filter a source frame by pushed-down (planner-verified) conjuncts."""
+    if not conjuncts:
+        return frame
+    predicate = conjoin(conjuncts)
+    keep = _vector_where(frame, predicate, joined=False, scan_limit=None)
+    if keep is None:
+        # Pushed predicates are proven total, so this fallback should
+        # never fire; keep it anyway so a planner bug degrades to slow
+        # rather than wrong.
+        fn = compile_row(predicate, Layout(frame, None, joined=False))
+        keep = [index for index, values in enumerate(frame.to_rows())
+                if is_truthy(fn(values))]
+    return frame.take(keep)
 
 
 def _join_frames(left: DataFrame, right: DataFrame,
@@ -155,6 +279,10 @@ def _join_frames(left: DataFrame, right: DataFrame,
     rows: list[tuple] = []
     right_rows = right.to_rows()
     if compile_enabled():
+        if vector_enabled():
+            hashed = _hash_equi_join(left, right, join, columns)
+            if hashed is not None:
+                return hashed
         # Compile the ON predicate once against the combined column shape
         # and probe with plain tuples — no per-pair frame construction.
         shape = DataFrame.empty(columns)
@@ -183,15 +311,77 @@ def _join_frames(left: DataFrame, right: DataFrame,
     return DataFrame.from_rows(rows, columns)
 
 
-def _resolve_table(name: str, tables: Mapping[str, DataFrame]) -> DataFrame:
-    if name in tables:
-        return tables[name]
-    lowered = name.lower()
-    for key, frame in tables.items():
-        if key.lower() == lowered:
-            return frame
-    raise SQLRuntimeError(
-        f"no such table: {name} (available: {', '.join(tables)})")
+class _NanJoinKey(Exception):
+    """A join key parsed to NaN — equality is not hashable, fall back."""
+
+
+def _join_key(value):
+    """Canonical equi-join key, or None when the value can never match.
+
+    Mirrors ``compare_values`` equality exactly: values with a numeric
+    view compare numerically (so ``7``, ``7.0``, ``True`` and ``"7"``
+    all collide — Python's cross-type ``==``/``hash`` give the same
+    classes), everything else compares as text.  NULL/NaN cells match
+    nothing.  A *string* that parses to NaN compares equal to every
+    number under ``compare_values``; that is not representable in a
+    hash table, so it aborts the fast path.
+    """
+    if value is None or value != value:
+        return None
+    number = _to_number(value)
+    if number is None:
+        return ("t", str(value))
+    if number != number:
+        raise _NanJoinKey
+    return ("n", number)
+
+
+def _hash_equi_join(left: DataFrame, right: DataFrame, join: JoinClause,
+                    columns: list[str]) -> DataFrame | None:
+    """O(n+m) hash join for ``ON a.x = b.y``; None = not applicable.
+
+    Emits rows in exactly the nested-loop order (left-major, right rows
+    in table order within each match set), so results are bit-identical
+    to the generic path.
+    """
+    on = join.on
+    if not (isinstance(on, BinaryOp) and on.op == "="
+            and isinstance(on.left, ColumnRef)
+            and isinstance(on.right, ColumnRef)):
+        return None
+    layout = Layout(DataFrame.empty(columns), None, joined=True)
+    try:
+        first = layout.index_of(on.left)
+        second = layout.index_of(on.right)
+    except SQLRuntimeError:
+        # Unresolvable/ambiguous ref: let the generic compiled path
+        # raise the identical error.
+        return None
+    left_index, right_index = min(first, second), max(first, second)
+    if not (left_index < left.num_columns <= right_index):
+        return None  # both sides of = live in the same frame
+    right_index -= left.num_columns
+
+    right_rows = right.to_rows()
+    try:
+        table: dict = {}
+        for position, values in enumerate(right_rows):
+            key = _join_key(values[right_index])
+            if key is not None:
+                table.setdefault(key, []).append(position)
+        rows: list[tuple] = []
+        pad = (None,) * right.num_columns
+        for left_values in left.to_rows():
+            key = _join_key(left_values[left_index])
+            matches = table.get(key) if key is not None else None
+            if matches:
+                for position in matches:
+                    rows.append(left_values + right_rows[position])
+            elif join.kind == "left":
+                rows.append(left_values + pad)
+    except _NanJoinKey:
+        return None
+    return DataFrame.from_rows(rows, columns)
 
 
 def _output_names(items: list[SelectItem]) -> list[str]:
@@ -247,6 +437,195 @@ def _order_key_compiled(specs, ctx, out_row) -> tuple:
                           descending)
         for position, fn, descending in specs
     )
+
+
+def _vector_order_specs(order_by, items, shape: FrameShape, *, group: bool):
+    """Vector analogue of ``_compile_order_specs``; None = fall back.
+
+    Alias references resolve to output positions, everything else must
+    compile to a whole-column (or group) kernel.
+    """
+    alias_index = _alias_positions(items)
+    lower = compile_group_vector if group else compile_vector
+    specs = []
+    for order in order_by:
+        expr = order.expression
+        if (isinstance(expr, ColumnRef) and expr.table is None
+                and expr.name in alias_index):
+            specs.append((alias_index[expr.name], None, order.descending))
+        else:
+            fn = lower(expr, shape)
+            if fn is None:
+                return None
+            specs.append((None, fn, order.descending))
+    return specs
+
+
+def _execute_plain_vector(stmt: SelectStatement, frame: DataFrame,
+                          alias: str | None, *,
+                          joined: bool = False) -> DataFrame | None:
+    """Column-at-a-time select list + ORDER BY; None = fall back.
+
+    All-or-nothing per stage: every select item and every non-alias
+    ORDER BY expression must compile to a total whole-column kernel,
+    otherwise the row-compiled path runs instead (same results, and it
+    raises errors in the exact row order the interpreter would).
+    """
+    items = _expand_star(stmt, frame, joined=joined)
+    shape = FrameShape(frame, joined=joined)
+    item_fns = []
+    for item in items:
+        fn = compile_vector(item.expression, shape)
+        if fn is None:
+            return None
+        item_fns.append(fn)
+    order_specs = None
+    if stmt.order_by:
+        order_specs = _vector_order_specs(stmt.order_by, items, shape,
+                                          group=False)
+        if order_specs is None:
+            return None
+
+    names = _output_names(items)
+    ctx = VectorContext(frame)
+    columns = [fn(ctx) for fn in item_fns]
+    result = DataFrame([Column(name, values)
+                        for name, values in zip(names, columns)])
+    if order_specs is not None:
+        key_columns = []
+        for position, fn, descending in order_specs:
+            values = columns[position] if fn is None else fn(ctx)
+            key_columns.append([_wrap_order_value(value, descending)
+                                for value in values])
+        indexes = sorted(
+            range(result.num_rows),
+            key=lambda i: tuple(column[i] for column in key_columns))
+        result = result.take(indexes)
+    return result
+
+
+def _execute_aggregate_vector(stmt: SelectStatement, frame: DataFrame,
+                              alias: str | None, *,
+                              joined: bool = False) -> DataFrame | None:
+    """Single-pass vectorized GROUP BY/aggregates; None = fall back.
+
+    Grouping buckets row *indexes* (first-seen order, hash keyed the
+    same way as the compiled path), aggregates reduce gathered column
+    slices, and HAVING/items/ORDER BY all run as two-phase group
+    kernels.  Any stage that fails to compile aborts the whole path.
+    """
+    items = _expand_star(stmt, frame, joined=joined)
+    alias_map = {
+        item.alias: item.expression for item in items if item.alias}
+    shape = FrameShape(frame, joined=joined)
+
+    # Compile everything before touching data, so fallback is clean.
+    having_fn = None
+    if stmt.having is not None:
+        having_fn = compile_group_vector(
+            _resolve_aliases(stmt.having, alias_map), shape)
+        if having_fn is None:
+            return None
+    item_fns = []
+    for item in items:
+        fn = compile_group_vector(item.expression, shape)
+        if fn is None:
+            return None
+        item_fns.append(fn)
+    order_specs = None
+    if stmt.order_by:
+        order_specs = _vector_order_specs(stmt.order_by, items, shape,
+                                          group=True)
+        if order_specs is None:
+            return None
+
+    key_plan = []
+    if stmt.group_by:
+        for expr in stmt.group_by:
+            # GROUP BY may reference a select-list alias (SQLite allows it).
+            if (isinstance(expr, ColumnRef) and expr.table is None
+                    and expr.name not in frame
+                    and expr.name in alias_map):
+                expr = alias_map[expr.name]
+            if isinstance(expr, ColumnRef):
+                key_plan.append(expr)
+            else:
+                fn = compile_vector(expr, shape)
+                if fn is None:
+                    return None
+                key_plan.append(fn)
+
+    names = _output_names(items)
+    groups: list[list[int]] = []
+    ctx = VectorContext(frame)
+    if stmt.group_by:
+        key_columns = []
+        for planned_key in key_plan:
+            if isinstance(planned_key, ColumnRef):
+                # Resolve exactly as the compiled path does, so a bad
+                # key raises the identical error instead of falling back.
+                if joined:
+                    name = resolve_joined_ref(frame, planned_key)
+                else:
+                    name = frame.column(planned_key.name).name
+                key_columns.append(frame.column(name).values)
+            else:
+                key_columns.append(planned_key(ctx))
+        def _bucket(keys) -> list[list[int]]:
+            buckets: dict = {}
+            grouped: list[list[int]] = []
+            for index, group_key in enumerate(keys):
+                bucket = buckets.get(group_key)
+                if bucket is None:
+                    buckets[group_key] = bucket = []
+                    grouped.append(bucket)
+                bucket.append(index)
+            return grouped
+
+        # _hashable() inlined column-at-a-time: the tagged tuple below
+        # is exactly its result for every non-container value.  A rare
+        # container cell makes the tuple unhashable, so the bucket
+        # insert raises TypeError and we redo with the real _hashable.
+        hashed = [[(type(value).__name__, value) for value in column]
+                  for column in key_columns]
+        try:
+            groups = _bucket(
+                hashed[0] if len(hashed) == 1 else list(zip(*hashed)))
+        except TypeError:
+            hashed = [[_hashable(value) for value in column]
+                      for column in key_columns]
+            groups = _bucket(
+                hashed[0] if len(hashed) == 1 else list(zip(*hashed)))
+    else:
+        if frame.num_rows == 0:
+            return _aggregate_over_empty(items, names, frame, alias)
+        groups.append(list(range(frame.num_rows)))
+
+    having_pg = having_fn(ctx) if having_fn is not None else None
+    item_pgs = [fn(ctx) for fn in item_fns]
+    order_pgs = None
+    if order_specs is not None:
+        order_pgs = [(position, None if fn is None else fn(ctx), desc)
+                     for position, fn, desc in order_specs]
+
+    rows = []
+    kept_groups = []
+    for indexes in groups:
+        if having_pg is not None and not is_truthy(having_pg(indexes)):
+            continue
+        rows.append(tuple(pg(indexes) for pg in item_pgs))
+        kept_groups.append(indexes)
+
+    if order_pgs is not None:
+        keys = [
+            tuple(_wrap_order_value(
+                out[position] if pg is None else pg(indexes), descending)
+                for position, pg, descending in order_pgs)
+            for indexes, out in zip(kept_groups, rows)
+        ]
+        order = sorted(range(len(rows)), key=keys.__getitem__)
+        rows = [rows[i] for i in order]
+    return DataFrame.from_rows(rows, names)
 
 
 def _execute_plain_compiled(stmt: SelectStatement, frame: DataFrame,
@@ -439,55 +818,6 @@ def _execute_aggregate(stmt: SelectStatement, frame: DataFrame,
         indexes = sorted(range(len(rows)), key=lambda i: keys[i])
         rows = [rows[i] for i in indexes]
     return DataFrame.from_rows(rows, names)
-
-
-def _resolve_aliases(expr, alias_map):
-    """Substitute select-list aliases in HAVING (SQLite allows them)."""
-    import dataclasses
-
-    from repro.sqlengine.ast_nodes import (
-        Between as _Between, BinaryOp as _BinaryOp,
-        CaseWhen as _CaseWhen, Cast as _Cast,
-        FunctionCall as _FunctionCall, InList as _InList,
-        IsNull as _IsNull, LikeOp as _LikeOp, UnaryOp as _UnaryOp,
-    )
-
-    def walk(node):
-        if isinstance(node, ColumnRef):
-            if node.table is None and node.name in alias_map:
-                return alias_map[node.name]
-            return node
-        if isinstance(node, _UnaryOp):
-            return dataclasses.replace(node, operand=walk(node.operand))
-        if isinstance(node, _BinaryOp):
-            return dataclasses.replace(node, left=walk(node.left),
-                                       right=walk(node.right))
-        if isinstance(node, _FunctionCall):
-            return dataclasses.replace(
-                node, args=tuple(walk(a) for a in node.args))
-        if isinstance(node, _InList):
-            return dataclasses.replace(
-                node, operand=walk(node.operand),
-                items=tuple(walk(i) for i in node.items))
-        if isinstance(node, _Between):
-            return dataclasses.replace(
-                node, operand=walk(node.operand), low=walk(node.low),
-                high=walk(node.high))
-        if isinstance(node, _IsNull):
-            return dataclasses.replace(node, operand=walk(node.operand))
-        if isinstance(node, _LikeOp):
-            return dataclasses.replace(
-                node, operand=walk(node.operand),
-                pattern=walk(node.pattern))
-        if isinstance(node, _CaseWhen):
-            whens = tuple((walk(c), walk(r)) for c, r in node.whens)
-            default = walk(node.default) if node.default else None
-            return dataclasses.replace(node, whens=whens, default=default)
-        if isinstance(node, _Cast):
-            return dataclasses.replace(node, operand=walk(node.operand))
-        return node
-
-    return walk(expr)
 
 
 def _aggregate_over_empty(items, names, frame: DataFrame,

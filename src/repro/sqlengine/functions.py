@@ -11,7 +11,8 @@ import math
 from repro.errors import SQLRuntimeError
 from repro.table.schema import is_missing
 
-__all__ = ["SCALAR_FUNCTIONS", "call_scalar", "is_aggregate_name"]
+__all__ = ["SCALAR_FUNCTIONS", "call_scalar", "is_aggregate_name",
+           "TOTAL_TEXT_FUNCTIONS", "NUMERIC_SAFE_FUNCTIONS"]
 
 #: Names the engine treats as aggregates (dispatched by the executor).
 _AGGREGATE_NAMES = frozenset({"count", "sum", "avg", "min", "max",
@@ -220,6 +221,37 @@ SCALAR_FUNCTIONS = {
     "floor": _fn_floor,
     "ceil": _fn_ceil,
     "ceiling": _fn_ceil,
+}
+
+
+#: Functions that can never raise once called with an in-range number of
+#: arguments of *any* value: they view arguments through :func:`_as_text`
+#: (which is total) or plain equality.  Values are ``(min, max)`` arity.
+#: The planner's totality analysis (:mod:`repro.sqlengine.planner`) uses
+#: this to license eager column-at-a-time evaluation and plan rewrites.
+TOTAL_TEXT_FUNCTIONS: dict[str, tuple[int, int]] = {
+    "lower": (1, 1),
+    "upper": (1, 1),
+    "length": (1, 1),
+    "replace": (3, 3),
+    "trim": (1, 2),
+    "ltrim": (1, 2),
+    "rtrim": (1, 2),
+    "coalesce": (0, 255),
+    "nullif": (2, 2),
+    "ifnull": (2, 2),
+    "instr": (2, 2),
+}
+
+#: Functions total when every argument is provably numeric-or-NULL
+#: (``_as_number`` cannot fail): abs/round/floor/ceil.  ``sqrt`` is
+#: deliberately absent — it raises on negative input.
+NUMERIC_SAFE_FUNCTIONS: dict[str, tuple[int, int]] = {
+    "abs": (1, 1),
+    "round": (1, 2),
+    "floor": (1, 1),
+    "ceil": (1, 1),
+    "ceiling": (1, 1),
 }
 
 

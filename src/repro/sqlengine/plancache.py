@@ -25,6 +25,7 @@ from repro.telemetry.metrics import GLOBAL_REGISTRY
 __all__ = [
     "PlanCache",
     "DEFAULT_PLAN_CACHE",
+    "DEFAULT_REWRITE_CACHE",
     "plan_cache_enabled",
     "parse_select_cached",
 ]
@@ -36,33 +37,38 @@ def plan_cache_enabled() -> bool:
 
 
 class PlanCache:
-    """Thread-safe LRU mapping SQL text to parsed ``SelectStatement``."""
+    """Thread-safe LRU over hashable plan keys.
+
+    The parse cache keys on SQL text; the rewrite cache
+    (:data:`DEFAULT_REWRITE_CACHE`) keys on ``(statement, schema
+    signature)`` tuples — any hashable key works, values are opaque.
+    """
 
     def __init__(self, capacity: int = 256):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
-        self._entries: OrderedDict[str, SelectStatement] = OrderedDict()
+        self._entries: OrderedDict = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
-    def get(self, sql: str) -> SelectStatement | None:
+    def get(self, key):
         with self._lock:
-            plan = self._entries.get(sql)
+            plan = self._entries.get(key)
             if plan is None:
                 self.misses += 1
                 return None
-            self._entries.move_to_end(sql)
+            self._entries.move_to_end(key)
             self.hits += 1
             return plan
 
-    def put(self, sql: str, plan: SelectStatement) -> None:
+    def put(self, key, plan) -> None:
         with self._lock:
-            if sql in self._entries:
-                self._entries.move_to_end(sql)
-            self._entries[sql] = plan
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = plan
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
@@ -93,6 +99,12 @@ class PlanCache:
 
 #: Process-wide cache used by ``execute_sql``.
 DEFAULT_PLAN_CACHE = PlanCache()
+
+#: Process-wide cache of planned (rewritten) statements, keyed by
+#: ``(SelectStatement, schema signature)`` — rewrites are dtype-aware,
+#: so the catalog schema is part of the identity.  Populated by
+#: :func:`repro.sqlengine.planner.plan_select`.
+DEFAULT_REWRITE_CACHE = PlanCache()
 
 
 def parse_select_cached(sql: str) -> SelectStatement:

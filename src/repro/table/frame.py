@@ -196,7 +196,7 @@ class DataFrame:
     """A small relational frame with named, typed columns of equal length."""
 
     __slots__ = ("_columns", "_order", "name", "_lowered", "_suffixes",
-                 "_digest")
+                 "_digest", "_kernels")
 
     def __init__(self, columns=None, *, name: str = ""):
         """Create a frame.
@@ -212,6 +212,7 @@ class DataFrame:
         self._lowered: dict[str, str] | None = None
         self._suffixes: dict[str, list[str]] | None = None
         self._digest: str | None = None
+        self._kernels: dict | None = None
         if columns is None:
             return
         if isinstance(columns, Mapping):
@@ -390,10 +391,24 @@ class DataFrame:
             self._digest = hasher.hexdigest()
         return self._digest
 
+    def kernel_cache(self) -> dict:
+        """Per-frame cache of vectorized kernel results and numpy mirrors.
+
+        The SQL engine's column kernels (:mod:`repro.sqlengine.vector`)
+        store computed whole-column results here keyed by expression
+        node, so repeated queries over the same frame skip recomputation.
+        Like every derived cache on the frame, ``__setitem__`` drops it —
+        a mutated column must never serve a stale kernel result.
+        """
+        if self._kernels is None:
+            self._kernels = {}
+        return self._kernels
+
     def _invalidate_caches(self) -> None:
         self._lowered = None
         self._suffixes = None
         self._digest = None
+        self._kernels = None
 
     def __getitem__(self, key):
         if isinstance(key, str):

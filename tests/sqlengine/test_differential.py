@@ -1,11 +1,22 @@
-"""Randomized differential test: compiled vs interpreted execution.
+"""Randomized differential test: vectorized vs compiled vs interpreted.
 
 A seeded query generator builds hundreds of SELECTs over
-:mod:`repro.datasets.tablegen` frames — filters, grouped aggregates,
-HAVING, ORDER BY, scalar functions, CASE, self-joins, and deliberately
-broken references — and asserts the compiled engine and the tree-walking
-interpreter agree *exactly*: same columns, same rows, and for failing
-queries the same error class and message.
+:mod:`repro.datasets.tablegen` frames — filters, grouped aggregates
+(single- and multi-key), HAVING (including pushable key conjuncts),
+ORDER BY, LIMIT/OFFSET, scalar functions, CASE, self-joins, inner and
+LEFT joins against a second table, and deliberately broken references —
+and asserts all three execution tiers agree *exactly*: same columns,
+same rows, and for failing queries the same error class and message.
+
+The three tiers:
+
+* default            — vectorized kernels + plan rewrites
+* REPRO_SQL_VECTOR=0 — the row-compiled engine (perf baseline)
+* REPRO_SQL_COMPILE=0 — the tree-walking interpreter (ground truth)
+
+Each frame also runs as a NULL-heavy variant (~30% of cells nulled) so
+NULL propagation through masks, join keys, and group keys is exercised
+everywhere, not just where the generator happens to place a NULL.
 """
 
 import os
@@ -18,7 +29,14 @@ from repro.sqlengine import execute_sql
 from repro.table import DataFrame
 
 QUERIES_PER_FRAME = 80
-FRAME_SEEDS = (101, 202, 303)
+FRAME_SEEDS = (101, 202, 303, 404)
+
+#: Env-var overlays for the three execution tiers.
+MODES = (
+    ("vector", {}),
+    ("compiled", {"REPRO_SQL_VECTOR": "0"}),
+    ("interpreted", {"REPRO_SQL_COMPILE": "0"}),
+)
 
 
 def _numeric_columns(frame: DataFrame) -> list[str]:
@@ -80,7 +98,8 @@ def _random_query(rng: random.Random, frame: DataFrame) -> str:
     text = _text_columns(frame)
     cat = rng.choice(text)
     num = rng.choice(numeric)
-    shape = rng.randrange(10)
+    key = text[0]  # T1.Key is built from the first text column
+    shape = rng.randrange(14)
     if shape == 0:
         return (f"SELECT * FROM T0 "
                 f"WHERE {_predicate(rng, frame, numeric, text)}")
@@ -117,6 +136,38 @@ def _random_query(rng: random.Random, frame: DataFrame) -> str:
         return (f"SELECT a.{cat}, b.{num} FROM T0 a JOIN T0 b "
                 f"ON a.{cat} = b.{cat} ORDER BY b.{num}, a.{cat} "
                 f"LIMIT 8")
+    if shape == 9:
+        # LEFT JOIN against the derived lookup table: NULL-extended
+        # right sides must survive projection and filters identically.
+        return (f"SELECT a.{key}, b.Idx FROM T0 a LEFT JOIN T1 b "
+                f"ON a.{key} = b.Key "
+                f"WHERE a.{num} IS NOT NULL "
+                f"ORDER BY a.{num} LIMIT {rng.randint(3, 10)}")
+    if shape == 10:
+        # Inner join with single-owner WHERE conjuncts on both sides —
+        # the planner's join-pushdown shape.
+        return (f"SELECT a.{key}, a.{num}, b.Idx FROM T0 a JOIN T1 b "
+                f"ON a.{key} = b.Key "
+                f"WHERE a.{num} > {rng.randint(0, 60)} "
+                f"AND b.Idx < {rng.randint(1, 8)} "
+                f"ORDER BY a.{num}, b.Idx")
+    if shape == 11:
+        # Multi-key GROUP BY over mixed dtypes (text + numeric keys).
+        return (f"SELECT {cat}, {num}, COUNT(*) AS n FROM T0 "
+                f"GROUP BY {cat}, {num} ORDER BY n DESC, {cat}, {num}")
+    if shape == 12:
+        # HAVING mixing a pushable key-only conjunct with an aggregate
+        # one — the planner's having-pushdown shape.
+        return (f"SELECT {cat}, SUM({num}) AS s FROM T0 "
+                f"GROUP BY {cat} "
+                f"HAVING {cat} IS NOT NULL AND s > {rng.randint(0, 60)} "
+                f"ORDER BY {cat}")
+    if shape == 13:
+        # LIMIT/OFFSET over a filter with no ORDER BY — the planner's
+        # scan short-circuit shape.
+        return (f"SELECT {num}, {cat} FROM T0 "
+                f"WHERE {_predicate(rng, frame, numeric, text)} "
+                f"LIMIT {rng.randint(1, 6)} OFFSET {rng.randint(0, 3)}")
     # Deliberately broken references: error parity matters too.
     return rng.choice([
         "SELECT missing_col FROM T0",
@@ -127,30 +178,64 @@ def _random_query(rng: random.Random, frame: DataFrame) -> str:
     ])
 
 
-def _outcome(sql: str, catalog) -> tuple:
+def _lookup_table(frame: DataFrame) -> DataFrame:
+    """A small T1 keyed on T0's first text column (plus one miss row)."""
+    key = _text_columns(frame)[0]
+    distinct: list[str] = []
+    seen: set[str] = set()
+    for value in frame.column(key).values:
+        if isinstance(value, str) and value not in seen:
+            seen.add(value)
+            distinct.append(value)
+    return DataFrame({
+        "Key": distinct + ["__no_such_key__"],
+        "Idx": list(range(len(distinct))) + [None],
+    }, name="T1")
+
+
+def _null_heavy(frame: DataFrame, seed: int) -> DataFrame:
+    rng = random.Random(seed)
+    return DataFrame({
+        name: [None if rng.random() < 0.3 else value
+               for value in frame.column(name).values]
+        for name in frame.columns
+    }, name=frame.name)
+
+
+def _outcome(sql: str, catalog, env: dict) -> tuple:
+    saved = {key: os.environ.pop(key, None)
+             for key in ("REPRO_SQL_VECTOR", "REPRO_SQL_COMPILE")}
+    os.environ.update(env)
     try:
         result = execute_sql(sql, catalog)
         return ("ok", result.columns, result.to_rows())
     except Exception as exc:  # noqa: BLE001 - error parity is the point
         return ("error", type(exc).__name__, str(exc))
+    finally:
+        for key, value in saved.items():
+            os.environ.pop(key, None)
+            if value is not None:
+                os.environ[key] = value
 
 
+@pytest.mark.parametrize("nulled", [False, True],
+                         ids=["dense", "null_heavy"])
 @pytest.mark.parametrize("frame_seed", FRAME_SEEDS)
-def test_compiled_matches_interpreted(frame_seed):
+def test_three_tiers_agree(frame_seed, nulled):
     frame = generate_table(random.Random(frame_seed), num_rows=14).frame
-    catalog = {"T0": frame}
+    if nulled:
+        frame = _null_heavy(frame, frame_seed + 11)
+    catalog = {"T0": frame, "T1": _lookup_table(frame)}
     rng = random.Random(frame_seed * 7 + 1)
     succeeded = 0
     for _ in range(QUERIES_PER_FRAME):
         sql = _random_query(rng, frame)
-        compiled = _outcome(sql, catalog)
-        os.environ["REPRO_SQL_COMPILE"] = "0"
-        try:
-            interpreted = _outcome(sql, catalog)
-        finally:
-            del os.environ["REPRO_SQL_COMPILE"]
-        assert compiled == interpreted, sql
-        if compiled[0] == "ok":
+        outcomes = [(name, _outcome(sql, catalog, env))
+                    for name, env in MODES]
+        baseline = outcomes[0][1]
+        for name, outcome in outcomes[1:]:
+            assert outcome == baseline, f"{name} diverged on: {sql}"
+        if baseline[0] == "ok":
             succeeded += 1
     # The generator must mostly produce *valid* queries, or the
     # equivalence claim is hollow.
@@ -158,4 +243,4 @@ def test_compiled_matches_interpreted(frame_seed):
 
 
 def test_total_query_count_meets_floor():
-    assert QUERIES_PER_FRAME * len(FRAME_SEEDS) >= 200
+    assert QUERIES_PER_FRAME * len(FRAME_SEEDS) >= 240

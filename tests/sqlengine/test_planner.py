@@ -1,0 +1,170 @@
+"""Unit tests for totality analysis and plan-level rewrites."""
+
+import pytest
+
+from repro.sqlengine import parse_expression, parse_select
+from repro.sqlengine.plancache import DEFAULT_REWRITE_CACHE
+from repro.sqlengine.planner import (
+    FrameShape,
+    is_total,
+    numeric_kind,
+    plan_select,
+    split_conjuncts,
+)
+from repro.table import DataFrame
+
+
+@pytest.fixture
+def frame() -> DataFrame:
+    return DataFrame({
+        "a": [1, 2, 3],
+        "b": [1.5, None, 3.5],
+        "s": ["x", "y", "z"],
+    }, name="T0")
+
+
+@pytest.fixture
+def shape(frame) -> FrameShape:
+    return FrameShape(frame)
+
+
+def _total(shape, text: str) -> bool:
+    return is_total(parse_expression(text), shape)
+
+
+class TestIsTotal:
+    @pytest.mark.parametrize("text", [
+        "1", "'x'", "NULL", "a", "a + 1", "a * b", "a / 0", "a % 2",
+        "a > 1 AND s = 'x'", "NOT (a > 1)", "a IS NULL",
+        "a BETWEEN 1 AND 3", "a IN (1, 2, NULL)", "s LIKE '%x%'",
+        "CASE WHEN a > 1 THEN 'hi' ELSE 'lo' END",
+        "UPPER(s)", "LENGTH(s)", "COALESCE(b, 0)", "ABS(a)",
+        "ROUND(b, 1)", "CAST(a AS TEXT)", "CAST(a AS INTEGER)",
+        "s || '!'",
+    ])
+    def test_total_expressions(self, shape, text):
+        assert _total(shape, text)
+
+    @pytest.mark.parametrize("text", [
+        "missing",              # unresolvable column
+        "missing + 1",
+        "s + 1",                # text has no numeric kind
+        "SQRT(a)",              # raises on negative input
+        "SUM(a)",               # aggregates need a group context
+        "CAST(s AS INTEGER)",   # text-to-int can raise
+        "a / s",
+    ])
+    def test_unprovable_expressions(self, shape, text):
+        assert not _total(shape, text)
+
+    def test_aggregates_total_in_group_context(self, shape):
+        assert is_total(parse_expression("SUM(a)"), shape, group=True)
+        # SUM over text filters non-numeric values (never raises).
+        assert is_total(parse_expression("SUM(s)"), shape, group=True)
+        assert is_total(parse_expression("COUNT(*)"), shape, group=True)
+        assert not is_total(parse_expression("SUM(missing)"), shape,
+                            group=True)
+
+
+class TestNumericKind:
+    @pytest.mark.parametrize("text,kind", [
+        ("1", "int"), ("1.5", "float"), ("NULL", "int"), ("a", "int"),
+        ("b", "float"), ("a + 1", "int"), ("a + b", "float"),
+        ("a > 1", "int"), ("LENGTH(s)", "int"), ("ABS(a)", "int"),
+        ("'7'", "int"), ("'7.5'", "float"), ("'x'", None), ("s", None),
+        ("'nan'", None), ("'inf'", None),
+    ])
+    def test_kinds(self, shape, text, kind):
+        assert numeric_kind(parse_expression(text), shape) == kind
+
+
+class TestSplitConjuncts:
+    def test_flattens_left_associated_and(self):
+        parts = split_conjuncts(parse_expression("a > 1 AND b > 2 AND c = 3"))
+        assert len(parts) == 3
+
+
+class TestRewrites:
+    def setup_method(self):
+        DEFAULT_REWRITE_CACHE.clear()
+
+    def _catalog(self):
+        left = DataFrame({"k": ["a", "b", "c"], "v": [1, 2, 3]})
+        right = DataFrame({"k": ["a", "b", "d"], "w": [10, 20, 30]})
+        return {"L": left, "R": right}
+
+    def test_join_pushdown_splits_single_owner_conjuncts(self):
+        stmt = parse_select(
+            "SELECT l.k FROM L l JOIN R r ON l.k = r.k "
+            "WHERE l.v > 1 AND r.w < 30")
+        planned = plan_select(stmt, self._catalog())
+        assert "join_pushdown" in planned.rewrites
+        positions = sorted(position for position, _ in planned.pushed)
+        assert positions == [-1, 0]
+        assert planned.stmt.where is None
+
+    def test_left_join_blocks_right_side_pushdown(self):
+        stmt = parse_select(
+            "SELECT l.k FROM L l LEFT JOIN R r ON l.k = r.k "
+            "WHERE l.v > 1 AND r.w < 30")
+        planned = plan_select(stmt, self._catalog())
+        # Only the left-owned conjunct may move; r.w < 30 must stay in
+        # WHERE (it filters NULL-extended rows *after* the join).
+        assert all(position == -1 for position, _ in planned.pushed)
+        assert planned.stmt.where is not None
+
+    def test_having_pushdown_moves_key_conjunct(self):
+        frame = DataFrame({"k": ["a", "b"], "v": [1, 2]})
+        stmt = parse_select(
+            "SELECT k, SUM(v) AS s FROM T GROUP BY k "
+            "HAVING k <> 'a' AND s > 0")
+        planned = plan_select(stmt, {"T": frame})
+        assert "having_pushdown" in planned.rewrites
+        assert planned.stmt.where is not None
+        # The aggregate conjunct stays behind.
+        assert planned.stmt.having is not None
+
+    def test_limit_scan_budget(self):
+        frame = DataFrame({"v": list(range(100))})
+        stmt = parse_select("SELECT v FROM T WHERE v > 4 LIMIT 5 OFFSET 2")
+        planned = plan_select(stmt, {"T": frame})
+        assert "limit_scan" in planned.rewrites
+        assert planned.scan_limit == 7
+
+    def test_order_by_blocks_limit_scan(self):
+        frame = DataFrame({"v": list(range(100))})
+        stmt = parse_select("SELECT v FROM T ORDER BY v LIMIT 5")
+        planned = plan_select(stmt, {"T": frame})
+        assert planned.scan_limit is None
+
+    def test_non_total_where_blocks_rewrites(self):
+        stmt = parse_select(
+            "SELECT l.k FROM L l JOIN R r ON l.k = r.k "
+            "WHERE l.v > 1 AND SQRT(r.w) < 6")
+        planned = plan_select(stmt, self._catalog())
+        assert planned.pushed == ()
+        assert planned.stmt.where is not None
+
+    def test_rewrite_cache_hits_on_identical_statement(self):
+        frame = DataFrame({"v": [1, 2, 3]})
+        stmt = parse_select("SELECT v FROM T WHERE v > 1 LIMIT 2")
+        first = plan_select(stmt, {"T": frame})
+        second = plan_select(parse_select(
+            "SELECT v FROM T WHERE v > 1 LIMIT 2"), {"T": frame})
+        assert second is first
+
+    def test_rewrite_cache_distinguishes_literal_types(self):
+        # Literal(2) == Literal(2.0) under dataclass equality; the
+        # cache key must not conflate the two statements.
+        frame = DataFrame({"v": [1, 2, 3]})
+        int_plan = plan_select(
+            parse_select("SELECT v / 2 FROM T"), {"T": frame})
+        float_plan = plan_select(
+            parse_select("SELECT v / 2.0 FROM T"), {"T": frame})
+        assert repr(int_plan.stmt) != repr(float_plan.stmt)
+
+    def test_schema_change_misses_cache(self):
+        stmt = parse_select("SELECT v FROM T WHERE v > 1 LIMIT 2")
+        first = plan_select(stmt, {"T": DataFrame({"v": [1, 2]})})
+        second = plan_select(stmt, {"T": DataFrame({"v": [1.5, 2.5]})})
+        assert first is not second

@@ -94,9 +94,14 @@ class AsyncServer:
     ``max_inflight`` bounds concurrently *running* requests;
     ``max_queued`` bounds requests parked in the fair queue behind them
     (``None`` = unbounded queue, never reject).  ``tenant_weights`` maps
-    :attr:`TQARequest.tenant` names to WFQ weights.  The remaining
-    collaborators (cache, policy, metrics, tracer, breakers, telemetry)
-    have :class:`~repro.serving.pool.WorkerPool` semantics.
+    :attr:`TQARequest.tenant` names to WFQ weights.  ``on_complete`` is
+    an optional observer called as ``on_complete(chain, request,
+    response)`` once per settled primary request (rejections included,
+    coalesced replicas excluded) — the seam the observability daemon
+    uses to drive SLO accounting and tail sampling with the request's
+    chain/trace id in hand.  The remaining collaborators (cache,
+    policy, metrics, tracer, breakers, telemetry) have
+    :class:`~repro.serving.pool.WorkerPool` semantics.
 
     Use as an async context manager, or call :meth:`close` when done.
     """
@@ -111,6 +116,7 @@ class AsyncServer:
                  telemetry: Telemetry | None = None,
                  tenant_weights: dict[str, float] | None = None,
                  reflect: ReflectPolicy | bool | None = None,
+                 on_complete=None,
                  sleep=asyncio.sleep):
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
@@ -140,6 +146,7 @@ class AsyncServer:
         if reflect is not None:
             self._reflect_rung = ReflectionRung(
                 spec, self.policy, reflect, metrics=self.metrics)
+        self.on_complete = on_complete
         self._sleep = sleep
         self._active = 0
         self._inflight: dict[str, asyncio.Future] = {}
@@ -281,6 +288,7 @@ class AsyncServer:
                     degraded=response.degraded,
                     outcome=response.outcome,
                     latency=round(response.latency, 6))
+        self._notify_complete(chain, request, response)
         return response
 
     # --- admission internals ------------------------------------------------
@@ -296,9 +304,20 @@ class AsyncServer:
         self.metrics.record_response(response)
         self._trace(chain, "rejected", uid=uid, tenant=request.tenant,
                     queue_depth=len(self.queue))
+        self._notify_complete(chain, request, response)
         error = AdmissionRejectedError(message)
         error.response = response
         return error
+
+    def _notify_complete(self, chain: int, request: TQARequest,
+                         response: TQAResponse) -> None:
+        """Tell the observer; a broken observer never fails a request."""
+        if self.on_complete is None:
+            return
+        try:
+            self.on_complete(chain, request, response)
+        except Exception:
+            self.metrics.record_observer_error()
 
     def _release_slot(self) -> None:
         self._active -= 1

@@ -216,6 +216,101 @@ def _cmd_batch(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.aio import AsyncServer
+    from repro.serving import (AgentSpec, AnswerCache, BreakerConfig,
+                               RetryPolicy, ServingMetrics, TQARequest)
+    from repro.serving.daemon import ServeDaemon, http_get
+    from repro.telemetry import SLOConfig, SLOTracker, TailSampler
+    from repro.tracing import ChainTracer
+
+    benchmark = generate_dataset(args.dataset, size=args.size,
+                                 seed=args.seed)
+    spec = AgentSpec(bank=benchmark.bank, profile=args.model,
+                     voting=args.voting, samples=args.samples,
+                     sql_only=args.sql_only, sql_backend=args.sql_backend)
+    tenants = [name for name in args.tenants.split(",") if name]
+
+    async def run() -> int:
+        server = AsyncServer(
+            spec, max_inflight=args.max_inflight,
+            max_queued=args.max_queued,
+            cache=(AnswerCache(args.cache_size)
+                   if args.cache_size > 0 else None),
+            policy=RetryPolicy(timeout=args.timeout,
+                               max_retries=args.retries),
+            metrics=ServingMetrics(), tracer=ChainTracer(),
+            breakers=(BreakerConfig(
+                failure_threshold=args.breaker_threshold)
+                if args.breaker_threshold > 0 else None))
+        slo = SLOTracker(SLOConfig(
+            availability_target=args.slo_availability,
+            latency_target=args.slo_latency_target,
+            latency_threshold=args.slo_latency,
+            budget_window=args.slo_window))
+        sampler = TailSampler(ok_rate=args.sample_rate,
+                              capacity=args.trace_capacity,
+                              seed=args.seed)
+        daemon = ServeDaemon(server, host=args.host, port=args.port,
+                             slo=slo, sampler=sampler)
+        await daemon.start()
+        host, port = daemon.address
+        print(f"serving on http://{host}:{port}  "
+              f"(/metrics /healthz /readyz /slo /traces)")
+        try:
+            if args.requests > 0:
+                examples = benchmark.examples
+                responses = await asyncio.gather(*(
+                    asyncio.ensure_future(server.answer(TQARequest(
+                        table=examples[i % len(examples)].table,
+                        question=examples[i % len(examples)].question,
+                        seed=i,
+                        uid=f"{examples[i % len(examples)].uid}#{i}",
+                        tenant=tenants[i % len(tenants)])))
+                    for i in range(args.requests)))
+                outcomes: dict[str, int] = {}
+                for response in responses:
+                    outcomes[response.outcome] = (
+                        outcomes.get(response.outcome, 0) + 1)
+                snapshot = server.metrics.snapshot()
+                print(f"replayed {len(responses)} requests over "
+                      f"{len(tenants)} tenants  outcomes: "
+                      f"{dict(sorted(outcomes.items()))}")
+                print(f"p50/p95 latency: "
+                      f"{snapshot['latency_p50']:.4f}s"
+                      f"/{snapshot['latency_p95']:.4f}s  "
+                      f"cache hit rate: "
+                      f"{snapshot['cache_hit_rate']:.1%}")
+                if args.scrape:
+                    _, _, text = await http_get(host, port, "/metrics")
+                    shown = [line for line in text.splitlines()
+                             if line.startswith(("serving_outcomes",
+                                                 "daemon_", "slo_",
+                                                 "sampling_"))]
+                    print("--- /metrics (excerpt) ---")
+                    print("\n".join(shown[:20]))
+                    _, _, slo_text = await http_get(host, port, "/slo")
+                    print("--- /slo ---")
+                    print(slo_text.rstrip())
+            else:
+                print("press Ctrl-C to drain and stop")
+                while True:
+                    await asyncio.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            await daemon.stop()
+            print("drained and stopped")
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+
+
 def _cmd_chaos(args) -> int:
     from repro.faults import FaultConfig, FaultyAgentSpec
     from repro.retry import ExponentialBackoff
@@ -479,6 +574,52 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--trace", metavar="PATH",
                        help="write a serving-lifecycle trace to PATH")
     batch.set_defaults(func=_cmd_batch)
+
+    serve = sub.add_parser(
+        "serve", help="long-running daemon: async serving core + "
+                      "scrapeable observability endpoints")
+    serve.add_argument("dataset", choices=("wikitq", "tabfact", "fetaqa"))
+    serve.add_argument("--size", type=int, default=50)
+    serve.add_argument("--seed", type=int, default=17)
+    serve.add_argument("--model", default="codex-sim")
+    serve.add_argument("--voting", default="none",
+                       choices=("none", "s-vote", "t-vote", "e-vote"))
+    serve.add_argument("--samples", type=int, default=5)
+    serve.add_argument("--sql-only", action="store_true")
+    serve.add_argument("--sql-backend", default="sqlite",
+                       choices=("sqlite", "native"))
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="control-plane port (0 = ephemeral)")
+    serve.add_argument("--max-inflight", type=int, default=16)
+    serve.add_argument("--max-queued", type=int, default=256)
+    serve.add_argument("--cache-size", type=int, default=1024,
+                       help="answer-cache entries (0 disables caching)")
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="per-attempt timeout in seconds")
+    serve.add_argument("--retries", type=int, default=1)
+    serve.add_argument("--breaker-threshold", type=int, default=5,
+                       help="0 disables the circuit breaker")
+    serve.add_argument("--tenants", default="gold,silver,bronze,default",
+                       help="comma-separated tenant rotation for "
+                            "replayed traffic")
+    serve.add_argument("--requests", type=int, default=0,
+                       help="replay N benchmark requests then drain and "
+                            "exit (0 = serve until Ctrl-C)")
+    serve.add_argument("--scrape", action="store_true",
+                       help="after a replay, self-scrape /metrics and "
+                            "/slo and print them")
+    serve.add_argument("--slo-availability", type=float, default=0.995)
+    serve.add_argument("--slo-latency-target", type=float, default=0.99)
+    serve.add_argument("--slo-latency", type=float, default=1.0,
+                       help="latency objective threshold in seconds")
+    serve.add_argument("--slo-window", type=float, default=3600.0,
+                       help="error-budget window in seconds")
+    serve.add_argument("--sample-rate", type=float, default=0.1,
+                       help="tail-sampling keep rate for OK traces")
+    serve.add_argument("--trace-capacity", type=int, default=256,
+                       help="ring-buffer capacity per trace class")
+    serve.set_defaults(func=_cmd_serve)
 
     chaos = sub.add_parser(
         "chaos", help="fault-injection sweep through the hardened stack")

@@ -21,6 +21,7 @@ boundaries to prove it.
 from repro.serving.batch import BatchEvaluator
 from repro.serving.breaker import BreakerConfig, CircuitBreaker
 from repro.serving.cache import AnswerCache, CachedAnswer, request_fingerprint
+from repro.serving.daemon import ServeDaemon
 from repro.serving.metrics import ServingMetrics, percentile
 from repro.serving.policy import (
     DeadlineModel,
@@ -60,4 +61,5 @@ __all__ = [
     "AgentSpec",
     "WorkerPool",
     "BatchEvaluator",
+    "ServeDaemon",
 ]

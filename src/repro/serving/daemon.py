@@ -1,0 +1,299 @@
+"""The ``repro serve`` daemon: AsyncServer + a scrapeable control plane.
+
+:class:`ServeDaemon` wraps a running
+:class:`~repro.aio.server.AsyncServer` with a tiny stdlib-only
+HTTP/1.1 endpoint (hand-rolled over ``asyncio.start_server`` — no
+``http.server`` thread, so scrapes share the event loop with live
+request traffic and always see the current in-flight state):
+
+======================  =================================================
+``GET /metrics``        Prometheus text exposition (v0.0.4) of the
+                        serving registry, ``GLOBAL_REGISTRY``, and the
+                        daemon's own gauges (in-flight, queue depth,
+                        drain state, SLO budgets, sampler occupancy).
+``GET /healthz``        liveness: 200 while running, 503 once draining.
+``GET /readyz``         readiness: 200 only when new work would be
+                        admitted — not draining, breaker not open,
+                        fair queue not full.  JSON body lists checks.
+``GET /slo``            per-tenant error budgets and burn-rate alert
+                        states as JSON (:meth:`SLOTracker.snapshot`).
+``GET /traces``         the tail sampler's kept traces as NDJSON
+                        (``?limit=N`` for the newest N).
+======================  =================================================
+
+The daemon observes the server through the ``on_complete`` seam: every
+settled primary request feeds the SLO tracker and the tail sampler,
+with spans/events claimed incrementally from the shared telemetry
+store (each completion only scans records appended since the last
+claim, so observation stays O(new work), not O(trace history)).
+
+Shutdown is a graceful drain: :meth:`stop` flips ``/healthz`` to 503
+(load balancers stop sending), waits for in-flight and queued work to
+finish (bounded by ``drain_timeout``), then closes the server and the
+listener.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from urllib.parse import parse_qs, urlsplit
+
+from repro.telemetry.metrics import GLOBAL_REGISTRY, MetricsRegistry
+from repro.telemetry.prom import render
+from repro.telemetry.sampling import TailSampler
+from repro.telemetry.slo import SLOConfig, SLOTracker
+
+__all__ = ["ServeDaemon", "http_get"]
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 503: "Service Unavailable"}
+
+#: Default ``/traces`` tail length when the query says nothing.
+_DEFAULT_TRACE_LIMIT = 100
+
+
+class ServeDaemon:
+    """Expose one ``AsyncServer``'s observability over HTTP."""
+
+    def __init__(self, server, *, host: str = "127.0.0.1", port: int = 0,
+                 slo: SLOTracker | None = None,
+                 sampler: TailSampler | None = None,
+                 registries=()):
+        self.server = server
+        self.host = host
+        self.port = port
+        self.registry = MetricsRegistry()
+        self.slo = slo if slo is not None else SLOTracker(SLOConfig())
+        self.sampler = (sampler if sampler is not None
+                        else TailSampler(registry=self.registry))
+        self._extra_registries = tuple(registries)
+        self._http: asyncio.AbstractServer | None = None
+        self._draining = False
+        # Incremental span/event claim state (see _claim_trace).
+        self._span_cursor = 0
+        self._event_cursor = 0
+        self._pending_spans: dict[int, list[dict]] = {}
+        self._pending_events: dict[int, list[dict]] = {}
+        self._scrapes = self.registry.counter(
+            "daemon.requests", "control-plane HTTP requests by endpoint")
+        # Observe completions; chain any observer the caller installed.
+        self._chained = getattr(server, "on_complete", None)
+        server.on_complete = self._observe
+
+    # --- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> "ServeDaemon":
+        """Bind the control-plane listener (port 0 = ephemeral)."""
+        self._http = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._http.sockets[0].getsockname()[1]
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def stop(self, *, drain_timeout: float = 10.0) -> None:
+        """Drain gracefully: stop admitting, finish work, close."""
+        self._draining = True
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + drain_timeout
+        while ((self.server.active > 0 or len(self.server.queue) > 0)
+               and loop.time() < deadline):
+            await asyncio.sleep(0.005)
+        await self.server.close()
+        if self._http is not None:
+            self._http.close()
+            await self._http.wait_closed()
+
+    async def __aenter__(self) -> "ServeDaemon":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # --- completion observation ---------------------------------------------
+
+    def _observe(self, chain: int, request, response) -> None:
+        slo_violation = (response.latency
+                         > self.slo.config.latency_threshold)
+        self.slo.record(request.tenant, outcome=response.outcome,
+                        latency=response.latency)
+        spans, events = self._claim_trace(chain)
+        self.sampler.record_trace(
+            chain, outcome=response.outcome, tenant=request.tenant,
+            latency=response.latency, slo_violation=slo_violation,
+            spans=spans, events=events, uid=response.uid)
+        if self._chained is not None:
+            self._chained(chain, request, response)
+
+    def _claim_trace(self, chain: int) -> tuple[list[dict], list[dict]]:
+        """Claim ``chain``'s spans/events from the shared stores.
+
+        New records (any trace) are bucketed by trace id as they are
+        discovered; completing a chain pops its bucket.  Cursors only
+        move forward, so each span/event is converted exactly once.
+        """
+        telemetry = self.server.telemetry
+        if telemetry is not None:
+            spans = telemetry.spans
+            while self._span_cursor < len(spans):
+                span = spans[self._span_cursor]
+                self._span_cursor += 1
+                self._pending_spans.setdefault(
+                    span.trace_id, []).append(span.to_dict())
+        tracer = self.server.tracer
+        if tracer is not None:
+            events = tracer.telemetry.events
+            while self._event_cursor < len(events):
+                event = events[self._event_cursor]
+                self._event_cursor += 1
+                if event.chain_id == 0:
+                    continue  # serverwide events (breaker...) — no trace
+                self._pending_events.setdefault(
+                    event.chain_id, []).append(event.to_dict())
+        return (self._pending_spans.pop(chain, []),
+                self._pending_events.pop(chain, []))
+
+    # --- rendering ----------------------------------------------------------
+
+    def render_metrics(self) -> str:
+        """The ``/metrics`` payload: live gauges + every registry."""
+        gauges = self.registry
+        inflight = gauges.gauge(
+            "daemon.inflight_requests", "requests currently running")
+        inflight.set(float(self.server.active))
+        queued = gauges.gauge(
+            "daemon.queue_depth", "requests parked in the fair queue")
+        queued.set(float(len(self.server.queue)))
+        drain = gauges.gauge(
+            "daemon.draining", "1 while a graceful drain is underway")
+        drain.set(1.0 if self._draining else 0.0)
+        self.slo.publish(gauges)
+        self.sampler.publish(gauges)
+        seen: list[MetricsRegistry] = []
+        for registry in (self.server.metrics.registry, GLOBAL_REGISTRY,
+                         *self._extra_registries, gauges):
+            if all(registry is not other for other in seen):
+                seen.append(registry)
+        return render(seen)
+
+    def readiness(self) -> dict:
+        """The ``/readyz`` checks (all must hold to admit work)."""
+        breaker = self.server.breaker
+        queue_free = (self.server.max_queued is None
+                      or len(self.server.queue) < self.server.max_queued)
+        checks = {
+            "not_draining": not self._draining,
+            "breaker_closed": breaker is None or breaker.state != "open",
+            "queue_has_room": queue_free,
+        }
+        return {"ready": all(checks.values()), "checks": checks}
+
+    # --- HTTP plumbing ------------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            request_line = await reader.readline()
+            if not request_line:
+                return
+            parts = request_line.decode("latin-1").split()
+            while True:  # drain headers; the control plane ignores them
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            if len(parts) < 2:
+                status, ctype, body = 400, "text/plain", "bad request\n"
+            else:
+                status, ctype, body = self._route(parts[0], parts[1])
+            payload = body.encode("utf-8")
+            head = (f"HTTP/1.1 {status} {_REASONS[status]}\r\n"
+                    f"Content-Type: {ctype}\r\n"
+                    f"Content-Length: {len(payload)}\r\n"
+                    "Connection: close\r\n\r\n")
+            writer.write(head.encode("latin-1") + payload)
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    def _route(self, method: str, target: str) -> tuple[int, str, str]:
+        split = urlsplit(target)
+        path = split.path.rstrip("/") or "/"
+        if method != "GET":
+            return 405, "text/plain", "only GET is supported\n"
+        if path == "/metrics":
+            self._scrapes.inc(endpoint="metrics")
+            return (200, "text/plain; version=0.0.4; charset=utf-8",
+                    self.render_metrics())
+        if path == "/healthz":
+            self._scrapes.inc(endpoint="healthz")
+            if self._draining:
+                return 503, "text/plain", "draining\n"
+            return 200, "text/plain", "ok\n"
+        if path == "/readyz":
+            self._scrapes.inc(endpoint="readyz")
+            state = self.readiness()
+            body = json.dumps(state, sort_keys=True) + "\n"
+            return (200 if state["ready"] else 503,
+                    "application/json", body)
+        if path == "/slo":
+            self._scrapes.inc(endpoint="slo")
+            body = json.dumps(self.slo.snapshot(), sort_keys=True) + "\n"
+            return 200, "application/json", body
+        if path == "/traces":
+            self._scrapes.inc(endpoint="traces")
+            limit = _DEFAULT_TRACE_LIMIT
+            raw = parse_qs(split.query).get("limit", [None])[0]
+            if raw is not None:
+                try:
+                    limit = max(0, int(raw))
+                except ValueError:
+                    return 400, "text/plain", f"bad limit {raw!r}\n"
+            body = self.sampler.to_ndjson(limit)
+            return (200, "application/x-ndjson",
+                    body + "\n" if body else "")
+        self._scrapes.inc(endpoint="other")
+        return 404, "text/plain", f"no route for {path}\n"
+
+
+async def http_get(host: str, port: int,
+                   path: str) -> tuple[int, str, str]:
+    """Minimal stdlib HTTP GET: ``(status, content_type, body)``.
+
+    Used by the CLI's self-scrape and the tests — both run on the same
+    event loop as the daemon, which is the point: a successful scrape
+    mid-burst proves the control plane shares the loop with traffic.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write((f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
+                      "Connection: close\r\n\r\n").encode("latin-1"))
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    ctype = ""
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        if name.strip().lower() == "content-type":
+            ctype = value.strip()
+    return status, ctype, body.decode("utf-8")

@@ -56,6 +56,7 @@ class ServingMetrics:
         self._outcomes = r.counter("serving.outcomes")
         self._rejections = r.counter("serving.rejections")
         self._deadline_unattached = r.counter("serving.deadline_unattached")
+        self._observer_errors = r.counter("serving.observer_errors")
         self._latency = r.histogram("serving.latency_seconds")
         self._first_submit: float | None = None
         self._last_complete: float | None = None
@@ -117,6 +118,10 @@ class ServingMetrics:
         configured timeout — loud enough to alarm on.
         """
         self._deadline_unattached.inc()
+
+    def record_observer_error(self) -> None:
+        """Account one exception swallowed from an on_complete observer."""
+        self._observer_errors.inc()
 
     def record_response(self, response) -> None:
         """Account one completed :class:`TQAResponse`."""
@@ -216,6 +221,10 @@ class ServingMetrics:
         return int(self._deadline_unattached.total())
 
     @property
+    def observer_errors(self) -> int:
+        return int(self._observer_errors.total())
+
+    @property
     def backoffs(self) -> int:
         return int(self._backoffs.total())
 
@@ -281,6 +290,7 @@ class ServingMetrics:
             "breaker_rejections": self.breaker_rejections,
             "rejections": self.rejections,
             "deadline_unattached": self.deadline_unattached,
+            "observer_errors": self.observer_errors,
             "backoffs": self.backoffs,
             "backoff_seconds": round(self.backoff_seconds, 6),
             "outcomes": dict(sorted(self.outcomes.items())),

@@ -78,9 +78,26 @@ from repro.table.ops import (
 )
 from repro.table.schema import dedupe_column_names
 from repro.table.schema import is_missing as is_missing_value
+from repro.telemetry.metrics import GLOBAL_REGISTRY
 from repro.telemetry.spans import span
 
 __all__ = ["execute_select", "execute_sql", "NativeSQLEngine"]
+
+
+def _record_tier(stage: str, tier: str) -> None:
+    """Count which tier (vector|compiled|interpreted) ran ``stage``."""
+    GLOBAL_REGISTRY.counter(
+        "sql.tier_dispatch",
+        "SELECT stages executed, by stage and tier").inc(
+        stage=stage, tier=tier)
+
+
+def _record_fallback(stage: str, reason: str) -> None:
+    """Count one all-or-nothing fallback to the next tier down."""
+    GLOBAL_REGISTRY.counter(
+        "sql.tier_fallback",
+        "stage fallbacks to a lower tier, by reason").inc(
+        stage=stage, reason=reason)
 
 
 def execute_sql(sql: str, tables: Mapping[str, DataFrame]) -> DataFrame:
@@ -135,8 +152,11 @@ def _execute_select(stmt: SelectStatement,
         if vectorized:
             keep = _vector_where(frame, stmt.where, joined=joined,
                                  scan_limit=scan_limit)
+            if keep is None:
+                _record_fallback("where", "vector_unsupported")
         if keep is None:
             if compiled:
+                _record_tier("where", "compiled")
                 with span("sql_compile", stage="where"):
                     predicate = compile_row(
                         stmt.where, Layout(frame, alias, joined=joined))
@@ -145,12 +165,15 @@ def _execute_select(stmt: SelectStatement,
                     if is_truthy(predicate(values))
                 ]
             else:
+                _record_tier("where", "interpreted")
                 keep = [
                     row.index for row in frame.iter_rows()
                     if is_truthy(evaluate(stmt.where,
                                           RowContext(row, alias,
                                                      joined=joined)))
                 ]
+        else:
+            _record_tier("where", "vector")
         frame = frame.take(keep)
     elif scan_limit is not None:
         frame = frame.take(range(min(scan_limit, frame.num_rows)))
@@ -167,19 +190,37 @@ def _execute_select(stmt: SelectStatement,
         if vectorized:
             result = _execute_aggregate_vector(stmt, frame, alias,
                                                joined=joined)
+            if result is None:
+                _record_fallback("aggregate", "vector_unsupported")
+            else:
+                _record_tier("aggregate", "vector")
         if result is None and compiled:
             result = _execute_aggregate_compiled(stmt, frame, alias,
                                                  joined=joined)
+            if result is None:
+                _record_fallback("aggregate", "compile_unsupported")
+            else:
+                _record_tier("aggregate", "compiled")
         if result is None:
+            _record_tier("aggregate", "interpreted")
             result = _execute_aggregate(stmt, frame, alias, joined=joined)
     else:
         if vectorized:
             result = _execute_plain_vector(stmt, frame, alias,
                                            joined=joined)
+            if result is None:
+                _record_fallback("plain", "vector_unsupported")
+            else:
+                _record_tier("plain", "vector")
         if result is None and compiled:
             result = _execute_plain_compiled(stmt, frame, alias,
                                              joined=joined)
+            if result is None:
+                _record_fallback("plain", "compile_unsupported")
+            else:
+                _record_tier("plain", "compiled")
         if result is None:
+            _record_tier("plain", "interpreted")
             result = _execute_plain(stmt, frame, alias, joined=joined)
 
     if stmt.distinct:
@@ -282,7 +323,10 @@ def _join_frames(left: DataFrame, right: DataFrame,
         if vector_enabled():
             hashed = _hash_equi_join(left, right, join, columns)
             if hashed is not None:
+                _record_tier("join", "vector")
                 return hashed
+            _record_fallback("join", "hash_join_bailed")
+        _record_tier("join", "compiled")
         # Compile the ON predicate once against the combined column shape
         # and probe with plain tuples — no per-pair frame construction.
         shape = DataFrame.empty(columns)
@@ -297,6 +341,7 @@ def _join_frames(left: DataFrame, right: DataFrame,
             if not matched and join.kind == "left":
                 rows.append(left_values + (None,) * right.num_columns)
         return DataFrame.from_rows(rows, columns)
+    _record_tier("join", "interpreted")
     for left_values in left.to_rows():
         matched = False
         for right_values in right_rows:

@@ -34,6 +34,9 @@ from repro.telemetry.metrics import (
     global_registry,
     percentile,
 )
+from repro.telemetry.prom import parse_exposition, render
+from repro.telemetry.sampling import TailSampler
+from repro.telemetry.slo import GOOD_OUTCOMES, BurnRule, SLOConfig, SLOTracker
 from repro.telemetry.spans import (
     Span,
     SpanContext,
@@ -73,6 +76,14 @@ __all__ = [
     "estimate_tokens",
     "cost_summary",
     "per_trace_cost",
+    # exposition + slo + sampling
+    "render",
+    "parse_exposition",
+    "SLOConfig",
+    "SLOTracker",
+    "BurnRule",
+    "GOOD_OUTCOMES",
+    "TailSampler",
     # export + analysis
     "FORMAT_VERSION",
     "trace_to_jsonl",

@@ -231,6 +231,18 @@ class MetricsRegistry:
         with self._lock:
             return sorted(self._instruments)
 
+    def instruments(self) -> list[_Instrument]:
+        """Every registered instrument, sorted by name.
+
+        The exposition layer (:mod:`repro.telemetry.prom`) iterates
+        this instead of :meth:`snapshot` because rendering needs the
+        per-label-set cells and raw histogram observations, not the
+        summarised dict.
+        """
+        with self._lock:
+            return [self._instruments[name]
+                    for name in sorted(self._instruments)]
+
     def snapshot(self) -> dict:
         """``name -> value`` (scalar, labelled dict, or histogram summary)."""
         with self._lock:

@@ -1,0 +1,348 @@
+"""Prometheus text exposition (v0.0.4) over :class:`MetricsRegistry`.
+
+``render`` turns one or more registries into the plain-text format every
+Prometheus-compatible scraper understands — the ``repro serve`` daemon
+mounts it at ``/metrics`` so the existing instruments (``serving.*``,
+``cache.*``, ``sqlengine.*``, ``breaker.*``, ``llm.*``, ``sql.*``)
+become live scrape targets instead of post-hoc JSON dumps.
+
+Mapping rules, chosen so nothing about the in-process model leaks into
+an invalid exposition:
+
+* **names** — dotted instrument names become underscore-joined metric
+  names (``serving.latency_seconds`` → ``serving_latency_seconds``);
+  any character outside ``[a-zA-Z0-9_:]`` is replaced by ``_`` and a
+  leading digit is prefixed.  Counters gain the conventional ``_total``
+  suffix (unless already present).
+* **labels** — label names are sanitised the same way; label *values*
+  are escaped per the spec (``\\`` → ``\\\\``, ``"`` → ``\\"``, newline
+  → ``\\n``) so arbitrary strings survive the round trip.  HELP text
+  escapes ``\\`` and newline.
+* **histograms** — the registry keeps raw observations (that is what
+  makes exact percentiles possible); exposition buckets them into the
+  cumulative ``_bucket{le="..."}`` series Prometheus expects, with a
+  ``+Inf`` bucket always equal to ``_count``, plus ``_sum``.  Bucket
+  bounds are deterministic (:data:`DEFAULT_BUCKETS`, overridable per
+  call) — no wall clock, no randomness.
+* **merging** — rendering several registries (a per-run
+  ``ServingMetrics`` registry plus :data:`~repro.telemetry.metrics.
+  GLOBAL_REGISTRY`) concatenates their families; a family name that
+  appears in more than one registry keeps one ``HELP``/``TYPE`` header
+  and pools the sample lines, so the output never declares a metric
+  twice (which scrapers reject).
+
+:func:`parse_exposition` is the matching validating parser — tests and
+the daemon's self-checks use it to prove a scrape is well-formed without
+needing a real Prometheus binary in the container.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "render",
+    "render_registry",
+    "parse_exposition",
+]
+
+#: Deterministic histogram bounds: latency-shaped, 100 µs to 60 s.
+DEFAULT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def metric_name(name: str) -> str:
+    """Sanitise a dotted instrument name into a legal metric name."""
+    sanitised = _NAME_BAD_CHARS.sub("_", name)
+    if not sanitised or not _NAME_OK.match(sanitised):
+        sanitised = "_" + sanitised
+    return sanitised
+
+
+def label_name(name: str) -> str:
+    """Sanitise a label name (no colons allowed, unlike metric names)."""
+    sanitised = _LABEL_BAD_CHARS.sub("_", name)
+    if not sanitised or sanitised[0].isdigit():
+        sanitised = "_" + sanitised
+    return sanitised
+
+
+def escape_label_value(value) -> str:
+    """Escape a label value per the text-format spec."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def escape_help(text: str) -> str:
+    """Escape HELP text (backslash and newline only, per the spec)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def format_value(value: float) -> str:
+    """Format a sample value: integral floats print without the dot."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if value != value:
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_text(pairs: list[tuple[str, object]]) -> str:
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{label_name(name)}="{escape_label_value(value)}"'
+        for name, value in pairs)
+    return "{" + body + "}"
+
+
+def _counter_samples(exposed: str, instrument: Counter) -> list[str]:
+    lines = []
+    for key, value in sorted(instrument.values().items()):
+        lines.append(f"{exposed}{_label_text(list(key))} "
+                     f"{format_value(value)}")
+    if not lines:
+        lines.append(f"{exposed} 0")
+    return lines
+
+
+def _gauge_samples(exposed: str, instrument: Gauge) -> list[str]:
+    with instrument._lock:
+        cells = dict(instrument._cells)
+    lines = []
+    for key, value in sorted(cells.items()):
+        lines.append(f"{exposed}{_label_text(list(key))} "
+                     f"{format_value(value)}")
+    if not lines:
+        lines.append(f"{exposed} 0")
+    return lines
+
+
+def _histogram_samples(exposed: str, instrument: Histogram,
+                       buckets: tuple[float, ...]) -> list[str]:
+    with instrument._lock:
+        cells = {key: list(values)
+                 for key, values in instrument._cells.items()}
+    if not cells:
+        cells = {(): []}
+    lines = []
+    for key, values in sorted(cells.items()):
+        pairs = list(key)
+        ordered = sorted(values)
+        position = 0
+        for bound in buckets:
+            while position < len(ordered) and ordered[position] <= bound:
+                position += 1
+            le = _label_text(pairs + [("le", format_value(bound))])
+            lines.append(f"{exposed}_bucket{le} {position}")
+        le = _label_text(pairs + [("le", "+Inf")])
+        lines.append(f"{exposed}_bucket{le} {len(ordered)}")
+        lines.append(f"{exposed}_sum{_label_text(pairs)} "
+                     f"{format_value(sum(ordered))}")
+        lines.append(f"{exposed}_count{_label_text(pairs)} "
+                     f"{len(ordered)}")
+    return lines
+
+
+def _family(instrument, buckets: tuple[float, ...]):
+    """``(exposed_name, type, help, sample_lines)`` for one instrument."""
+    base = metric_name(instrument.name)
+    if isinstance(instrument, Counter):
+        exposed = base if base.endswith("_total") else base + "_total"
+        return exposed, "counter", instrument.help, \
+            _counter_samples(exposed, instrument)
+    if isinstance(instrument, Histogram):
+        return base, "histogram", instrument.help, \
+            _histogram_samples(base, instrument, buckets)
+    return base, "gauge", instrument.help, \
+        _gauge_samples(base, instrument)
+
+
+def render(registries, *,
+           buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> str:
+    """Render one registry (or an iterable of them) to exposition text.
+
+    Families are emitted in sorted-name order; a family present in
+    several registries keeps the first non-empty HELP and pools its
+    samples.  The result always ends with a newline (scrapers require
+    it) — an input with no instruments renders as the empty string,
+    which is also a valid (empty) exposition.
+    """
+    if isinstance(registries, MetricsRegistry):
+        registries = (registries,)
+    families: dict[str, dict] = {}
+    order: list[str] = []
+    for registry in registries:
+        for instrument in registry.instruments():
+            exposed, kind, help_text, samples = _family(instrument,
+                                                        buckets)
+            family = families.get(exposed)
+            if family is None:
+                families[exposed] = {"type": kind, "help": help_text,
+                                     "samples": list(samples)}
+                order.append(exposed)
+            else:
+                if family["type"] != kind:
+                    raise ValueError(
+                        f"metric {exposed!r} exposed as both "
+                        f"{family['type']} and {kind}")
+                if not family["help"]:
+                    family["help"] = help_text
+                family["samples"].extend(samples)
+    lines: list[str] = []
+    for exposed in sorted(order):
+        family = families[exposed]
+        if family["help"]:
+            lines.append(f"# HELP {exposed} "
+                         f"{escape_help(family['help'])}")
+        lines.append(f"# TYPE {exposed} {family['type']}")
+        lines.extend(family["samples"])
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_registry(registry: MetricsRegistry, *,
+                    buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> str:
+    """Render a single registry (convenience alias of :func:`render`)."""
+    return render(registry, buckets=buckets)
+
+
+# --- validating parser (tests and daemon self-checks) ------------------------
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$")
+_LABEL_PAIR = re.compile(
+    r'\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)\s*='
+    r'\s*"(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)')
+
+
+def _unescape_label(value: str) -> str:
+    out = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            follower = value[index + 1]
+            if follower == "n":
+                out.append("\n")
+            elif follower in ('"', "\\"):
+                out.append(follower)
+            else:
+                raise ValueError(
+                    f"invalid escape \\{follower} in label value")
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)  # raises ValueError on garbage
+
+
+def parse_exposition(text: str) -> dict:
+    """Parse (and thereby validate) Prometheus text exposition.
+
+    Returns ``{family: {"type": ..., "help": ..., "samples": [
+    (name, labels_dict, value), ...]}}``.  Raises :class:`ValueError`
+    on any malformed line, an undeclared sample's family mismatch, or a
+    duplicate ``TYPE`` declaration — the checks a real scraper applies.
+    """
+    families: dict[str, dict] = {}
+    current: str | None = None
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP "):].split(" ", 1)
+            name = parts[0]
+            families.setdefault(name, {"type": None, "help": "",
+                                       "samples": []})
+            families[name]["help"] = parts[1] if len(parts) > 1 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split()
+            if len(parts) != 2:
+                raise ValueError(f"line {line_number}: bad TYPE line")
+            name, kind = parts
+            if kind not in ("counter", "gauge", "histogram", "summary",
+                            "untyped"):
+                raise ValueError(
+                    f"line {line_number}: unknown type {kind!r}")
+            family = families.setdefault(
+                name, {"type": None, "help": "", "samples": []})
+            if family["type"] is not None:
+                raise ValueError(
+                    f"line {line_number}: duplicate TYPE for {name!r}")
+            family["type"] = kind
+            current = name
+            continue
+        if line.startswith("#"):
+            continue  # comment
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(
+                f"line {line_number}: malformed sample {line!r}")
+        name = match.group("name")
+        labels: dict[str, str] = {}
+        raw = match.group("labels")
+        if raw is not None:
+            consumed = 0
+            for pair in _LABEL_PAIR.finditer(raw):
+                if pair.start() != consumed:
+                    raise ValueError(
+                        f"line {line_number}: malformed labels {raw!r}")
+                labels[pair.group("name")] = _unescape_label(
+                    pair.group("value"))
+                consumed = pair.end()
+            if consumed != len(raw):
+                raise ValueError(
+                    f"line {line_number}: malformed labels {raw!r}")
+        try:
+            value = _parse_value(match.group("value"))
+        except ValueError:
+            raise ValueError(
+                f"line {line_number}: bad sample value "
+                f"{match.group('value')!r}") from None
+        # A histogram's samples belong to the family declared by the
+        # preceding TYPE line (name_bucket/_sum/_count); others must
+        # match the family name exactly.
+        family_name = name
+        if current is not None and name.startswith(current):
+            suffix = name[len(current):]
+            if suffix in ("", "_bucket", "_sum", "_count"):
+                family_name = current
+        family = families.setdefault(
+            family_name, {"type": None, "help": "", "samples": []})
+        family["samples"].append((name, labels, value))
+    return families

@@ -1,0 +1,234 @@
+"""Tail-based trace sampling: keep what matters, bound what doesn't.
+
+Head sampling (decide at request start) throws away exactly the traces
+an operator needs — the rare failures.  Tail sampling decides *after*
+the request completes, when the outcome is known:
+
+* every **error** trace (a response outcome outside the SLO-good set),
+* every **deadline** trace (``deadline_exceeded``), and
+* every **SLO-violating** trace (the caller judged it against a latency
+  objective)
+
+is retained in full, unconditionally.  OK traces are sampled at a
+seeded-deterministic rate so the retained set stays representative
+without wall-clock randomness: the keep/drop decision is a pure
+function of ``(trace_id, seed)``, immune to ``PYTHONHASHSEED`` and
+reproducible across runs.
+
+Memory is bounded by two independent ring buffers (one for retained
+failure traces, one for sampled OK traces), each capped at
+``capacity``.  Separate rings mean a flood of sampled OK traffic can
+never evict a failure trace — the retention guarantee survives the
+cap; only *older* failures roll off once more than ``capacity``
+failures have been kept.
+
+Stored trace records carry their spans and events in the exact dict
+forms :mod:`repro.telemetry.export` writes, so a sampled trace can be
+re-serialised as JSONL or converted with ``to_chrome_trace`` without a
+round-trip through disk.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from itertools import count
+
+from repro.telemetry.slo import GOOD_OUTCOMES
+
+__all__ = [
+    "TailSampler",
+    "RETAIN_ERROR",
+    "RETAIN_DEADLINE",
+    "RETAIN_SLO",
+    "SAMPLED",
+    "DROPPED",
+]
+
+#: Decision labels (also the ``sampling.decisions`` counter label values).
+RETAIN_ERROR = "retain_error"
+RETAIN_DEADLINE = "retain_deadline"
+RETAIN_SLO = "retain_slo"
+SAMPLED = "sampled"
+DROPPED = "dropped"
+
+_RETAIN = (RETAIN_ERROR, RETAIN_DEADLINE, RETAIN_SLO)
+
+# Knuth multiplicative-hash constants: spread sequential trace ids over
+# [0, 2^32) without Python's seed-dependent hash().
+_MIX_A = 2654435761
+_MIX_B = 40503
+_MIX_C = 0x9E3779B9
+_SPACE = 2 ** 32
+
+
+def _unit(trace_id: int, seed: int) -> float:
+    """Deterministic value in [0, 1) from ``(trace_id, seed)``."""
+    mixed = (trace_id * _MIX_A + seed * _MIX_B + _MIX_C) % _SPACE
+    mixed = (mixed ^ (mixed >> 16)) * _MIX_A % _SPACE
+    return (mixed ^ (mixed >> 13)) % _SPACE / _SPACE
+
+
+def _record_dicts(items) -> list[dict]:
+    """Normalise Span/TraceEvent objects (or ready dicts) to dicts."""
+    records = []
+    for item in items or ():
+        records.append(item if isinstance(item, dict) else item.to_dict())
+    return records
+
+
+class TailSampler:
+    """Outcome-aware trace retention with dual ring buffers."""
+
+    def __init__(self, *, ok_rate: float = 0.1, capacity: int = 256,
+                 seed: int = 0, registry=None):
+        if not 0.0 <= ok_rate <= 1.0:
+            raise ValueError("ok_rate must be in [0, 1]")
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.ok_rate = ok_rate
+        self.capacity = capacity
+        self.seed = seed
+        self._lock = threading.Lock()
+        self._seq = count(1).__next__
+        # Failure traces and sampled-OK traces never compete for slots.
+        self._retained: deque[dict] = deque(maxlen=capacity)
+        self._sampled: deque[dict] = deque(maxlen=capacity)
+        self._counts = {decision: 0 for decision in
+                        (*_RETAIN, SAMPLED, DROPPED)}
+        self._decisions = None
+        if registry is not None:
+            self._decisions = registry.counter(
+                "sampling.decisions",
+                "tail-sampling decisions by kind")
+
+    # --- decisions ----------------------------------------------------------
+
+    def decide(self, trace_id: int, *, outcome: str,
+               slo_violation: bool = False) -> str:
+        """The decision alone (pure; no state is touched)."""
+        if outcome == "deadline_exceeded":
+            return RETAIN_DEADLINE
+        if outcome not in GOOD_OUTCOMES:
+            return RETAIN_ERROR
+        if slo_violation:
+            return RETAIN_SLO
+        if _unit(trace_id, self.seed) < self.ok_rate:
+            return SAMPLED
+        return DROPPED
+
+    def record_trace(self, trace_id: int, *, outcome: str,
+                     tenant: str = "default", latency: float = 0.0,
+                     slo_violation: bool = False, spans=(),
+                     events=(), **extra) -> str:
+        """Judge one completed trace; keep it if the decision says so.
+
+        ``spans`` and ``events`` accept live ``Span``/``TraceEvent``
+        objects or their exported dict forms.  Returns the decision
+        label.  Dropped traces cost nothing beyond the counter bump —
+        span/event conversion only happens for kept traces.
+        """
+        decision = self.decide(trace_id, outcome=outcome,
+                               slo_violation=slo_violation)
+        if self._decisions is not None:
+            self._decisions.inc(decision=decision)
+        keep = decision != DROPPED
+        record = None
+        if keep:
+            record = {
+                "trace_id": trace_id,
+                "decision": decision,
+                "outcome": outcome,
+                "tenant": tenant,
+                "latency": round(latency, 6),
+                "spans": _record_dicts(spans),
+                "events": _record_dicts(events),
+            }
+            record.update(extra)
+        with self._lock:
+            self._counts[decision] += 1
+            if keep:
+                record["seq"] = self._seq()
+                ring = (self._retained if decision in _RETAIN
+                        else self._sampled)
+                ring.append(record)
+        return decision
+
+    # --- reads --------------------------------------------------------------
+
+    @property
+    def counts(self) -> dict[str, int]:
+        """Lifetime decision counts (includes rolled-off traces)."""
+        with self._lock:
+            return dict(self._counts)
+
+    def retained(self) -> list[dict]:
+        """Currently held failure traces, oldest first."""
+        with self._lock:
+            return list(self._retained)
+
+    def sampled_ok(self) -> list[dict]:
+        """Currently held sampled-OK traces, oldest first."""
+        with self._lock:
+            return list(self._sampled)
+
+    def tail(self, limit: int | None = None) -> list[dict]:
+        """The most recent kept traces across both rings, by arrival.
+
+        This is the ``/traces`` payload: failure and OK traces
+        interleaved in completion order, newest last.
+        """
+        with self._lock:
+            merged = sorted((*self._retained, *self._sampled),
+                            key=lambda record: record["seq"])
+        if limit is not None and limit >= 0:
+            merged = merged[len(merged) - min(limit, len(merged)):]
+        return merged
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._retained) + len(self._sampled)
+
+    # --- export -------------------------------------------------------------
+
+    def to_ndjson(self, limit: int | None = None) -> str:
+        """Kept traces as NDJSON, one trace object per line."""
+        return "\n".join(json.dumps(record, sort_keys=True, default=str)
+                         for record in self.tail(limit))
+
+    @staticmethod
+    def as_trace(record: dict) -> dict:
+        """One kept record in the loaded-trace shape exporters accept.
+
+        The result plugs straight into
+        :func:`repro.telemetry.export.to_chrome_trace` (events gain the
+        ``"type": "event"`` marker the JSONL loader would add).
+        """
+        events = []
+        for event in record["events"]:
+            tagged = dict(event)
+            tagged.setdefault("type", "event")
+            events.append(tagged)
+        meta = {
+            "type": "meta",
+            "format": "repro-trace",
+            "version": 1,
+            "spans": len(record["spans"]),
+            "events": len(events),
+            "trace_id": record["trace_id"],
+            "decision": record["decision"],
+            "outcome": record["outcome"],
+            "tenant": record["tenant"],
+        }
+        return {"meta": meta,
+                "spans": [dict(span) for span in record["spans"]],
+                "events": events}
+
+    def publish(self, registry) -> None:
+        """Mirror ring occupancy into gauges for ``/metrics``."""
+        held = registry.gauge(
+            "sampling.ring_occupancy",
+            "kept traces currently held, by ring")
+        held.set(float(len(self._retained)), ring="retained")
+        held.set(float(len(self._sampled)), ring="sampled")

@@ -1,0 +1,335 @@
+"""Per-tenant SLO tracking: error budgets and multi-window burn rates.
+
+An SLO ("99.5% of requests succeed", "99% answer within 500 ms") turns
+raw counters into an *actionable* signal: how much of the failure budget
+is left, and how fast is it burning right now?  The ``repro serve``
+daemon records every completed response here and serves the state at
+``/slo``; the alert policy is the standard SRE multi-window burn-rate
+scheme — an alert fires only when both a long window (is this real?)
+and a short window (is it still happening?) burn faster than the
+threshold, which pages quickly on hard outages without flapping on
+single slow requests.
+
+Everything is driven by an injected monotonic clock (``clock=``), so
+seeded-deterministic tests advance time explicitly and never read wall
+time.  Events are held in per-tenant deques pruned to the longest
+configured window — memory is bounded by traffic in that horizon, and
+recording is O(1) amortised.
+
+Vocabulary:
+
+* **objective** — one of ``availability`` (the response outcome is a
+  good one) or ``latency`` (the response finished within
+  ``latency_threshold`` seconds).  Both are tracked per tenant.
+* **error budget** — over ``budget_window``, a target of ``t`` allows
+  ``(1 - t)`` of requests to be bad; ``budget_remaining`` is the
+  unconsumed fraction of that allowance (1.0 = untouched, 0.0 =
+  exhausted or overspent).
+* **burn rate** — observed bad fraction divided by the allowed bad
+  fraction over a window.  Burning at exactly 1.0 spends the budget in
+  one budget window; 14.4 spends a 30-day budget in 2 days (the classic
+  page threshold).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = [
+    "BurnRule",
+    "SLOConfig",
+    "SLOTracker",
+    "GOOD_OUTCOMES",
+]
+
+#: Response outcomes that count as *available* for the SLO: the request
+#: got a genuine answer (including via retry/reflexion/cache).  The
+#: degraded rung, deadline misses, errors and shed requests all consume
+#: availability budget.
+GOOD_OUTCOMES = frozenset({"ok", "retried", "reflected", "cached"})
+
+#: Alert severity order (index = rank; higher is worse).
+_SEVERITY = ("ok", "warn", "page")
+
+
+@dataclass(frozen=True)
+class BurnRule:
+    """One multi-window alert rule.
+
+    Fires (contributes ``state``) when the burn rate over *both*
+    ``long_window`` and ``short_window`` seconds is at least
+    ``threshold``.  The short window makes alerts stop as soon as the
+    burn does; the long window keeps one-request blips from paging.
+    """
+
+    state: str                 # "page" or "warn"
+    long_window: float
+    short_window: float
+    threshold: float
+
+    def __post_init__(self):
+        if self.state not in ("page", "warn"):
+            raise ValueError("state must be 'page' or 'warn'")
+        if self.short_window > self.long_window:
+            raise ValueError("short_window must not exceed long_window")
+        if self.threshold <= 0:
+            raise ValueError("threshold must be positive")
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """Objectives plus the windows that judge them.
+
+    The default burn rules are the SRE-workbook pair scaled to the
+    1-hour default budget window: page at 14.4× (long 1/12 of the
+    budget window, short 1/144) and warn at 6× (long 1/4, short 1/24).
+    Windows are expressed in seconds of the injected clock, so tests
+    with a fake clock can use any scale they like.
+    """
+
+    availability_target: float = 0.995
+    latency_target: float = 0.99
+    #: A response slower than this consumes latency budget (seconds).
+    latency_threshold: float = 1.0
+    #: The budget accounting horizon (seconds).
+    budget_window: float = 3600.0
+    burn_rules: tuple[BurnRule, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        for target in (self.availability_target, self.latency_target):
+            if not 0.0 < target <= 1.0:
+                raise ValueError("targets must be in (0, 1]")
+        if self.latency_threshold <= 0:
+            raise ValueError("latency_threshold must be positive")
+        if self.budget_window <= 0:
+            raise ValueError("budget_window must be positive")
+        if not self.burn_rules:
+            window = self.budget_window
+            object.__setattr__(self, "burn_rules", (
+                BurnRule("page", window / 12, window / 144, 14.4),
+                BurnRule("warn", window / 4, window / 24, 6.0),
+            ))
+
+    @property
+    def horizon(self) -> float:
+        """Longest window any consumer looks back over (prune bound)."""
+        return max([self.budget_window]
+                   + [rule.long_window for rule in self.burn_rules])
+
+
+class _TenantWindow:
+    """One tenant's rolling event log: ``(at, avail_good, latency_good)``."""
+
+    __slots__ = ("events", "total", "avail_bad", "latency_bad")
+
+    def __init__(self):
+        self.events: deque[tuple[float, bool, bool]] = deque()
+        # Lifetime totals (never pruned) for the snapshot.
+        self.total = 0
+        self.avail_bad = 0
+        self.latency_bad = 0
+
+    def prune(self, cutoff: float) -> None:
+        events = self.events
+        while events and events[0][0] < cutoff:
+            events.popleft()
+
+    def window_counts(self, since: float,
+                      objective: str) -> tuple[int, int]:
+        """``(total, bad)`` for one objective over ``[since, now]``."""
+        good_index = 1 if objective == "availability" else 2
+        total = 0
+        bad = 0
+        # Newest events live at the right; walk backwards and stop at
+        # the window edge so short windows stay cheap under backlog.
+        for event in reversed(self.events):
+            if event[0] < since:
+                break
+            total += 1
+            if not event[good_index]:
+                bad += 1
+        return total, bad
+
+
+class SLOTracker:
+    """Thread-safe per-tenant SLO accountant with burn-rate alerting."""
+
+    def __init__(self, config: SLOConfig | None = None, *,
+                 clock=time.monotonic):
+        self.config = config or SLOConfig()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tenants: dict[str, _TenantWindow] = {}
+
+    # --- recording ----------------------------------------------------------
+
+    def record(self, tenant: str, *, outcome: str,
+               latency: float) -> None:
+        """Account one completed response for ``tenant``."""
+        self.record_good(
+            tenant,
+            available=outcome in GOOD_OUTCOMES,
+            fast=latency <= self.config.latency_threshold)
+
+    def record_good(self, tenant: str, *, available: bool,
+                    fast: bool) -> None:
+        """Account one response by pre-judged goodness bits."""
+        now = self._clock()
+        with self._lock:
+            window = self._tenants.get(tenant)
+            if window is None:
+                self._tenants[tenant] = window = _TenantWindow()
+            window.events.append((now, available, fast))
+            window.total += 1
+            if not available:
+                window.avail_bad += 1
+            if not fast:
+                window.latency_bad += 1
+            window.prune(now - self.config.horizon)
+
+    # --- queries ------------------------------------------------------------
+
+    def tenants(self) -> list[str]:
+        with self._lock:
+            return sorted(self._tenants)
+
+    def _target(self, objective: str) -> float:
+        return (self.config.availability_target
+                if objective == "availability"
+                else self.config.latency_target)
+
+    def burn_rate(self, tenant: str, objective: str,
+                  window: float) -> float:
+        """Observed bad fraction / allowed bad fraction over ``window``.
+
+        0.0 when the tenant has no traffic in the window.  With a
+        target of exactly 1.0 (zero allowance) any bad event burns at
+        ``+inf`` — represented as ``float("inf")``.
+        """
+        now = self._clock()
+        with self._lock:
+            state = self._tenants.get(tenant)
+            if state is None:
+                return 0.0
+            total, bad = state.window_counts(now - window, objective)
+        if total == 0 or bad == 0:
+            return 0.0
+        allowance = 1.0 - self._target(objective)
+        if allowance <= 0.0:
+            return float("inf")
+        return (bad / total) / allowance
+
+    def budget_remaining(self, tenant: str, objective: str) -> float:
+        """Unconsumed error-budget fraction over the budget window.
+
+        1.0 with no traffic (nothing spent), clamped at 0.0 once the
+        budget is overspent.
+        """
+        now = self._clock()
+        with self._lock:
+            state = self._tenants.get(tenant)
+            if state is None:
+                return 1.0
+            total, bad = state.window_counts(
+                now - self.config.budget_window, objective)
+        if total == 0:
+            return 1.0
+        allowed = (1.0 - self._target(objective)) * total
+        if allowed <= 0.0:
+            return 0.0 if bad else 1.0
+        return max(0.0, 1.0 - bad / allowed)
+
+    def alert_state(self, tenant: str, objective: str) -> str:
+        """``"ok"`` | ``"warn"`` | ``"page"`` per the burn rules."""
+        worst = "ok"
+        for rule in self.config.burn_rules:
+            if (self.burn_rate(tenant, objective, rule.long_window)
+                    >= rule.threshold
+                    and self.burn_rate(tenant, objective,
+                                       rule.short_window)
+                    >= rule.threshold):
+                if _SEVERITY.index(rule.state) > _SEVERITY.index(worst):
+                    worst = rule.state
+        return worst
+
+    # --- export -------------------------------------------------------------
+
+    def tenant_snapshot(self, tenant: str) -> dict:
+        """JSON-ready SLO state for one tenant."""
+        with self._lock:
+            state = self._tenants.get(tenant)
+            totals = {
+                "requests": state.total if state else 0,
+                "availability_bad": state.avail_bad if state else 0,
+                "latency_bad": state.latency_bad if state else 0,
+            }
+        objectives = {}
+        for objective in ("availability", "latency"):
+            rules = []
+            for rule in self.config.burn_rules:
+                rules.append({
+                    "state": rule.state,
+                    "threshold": rule.threshold,
+                    "long_window": rule.long_window,
+                    "short_window": rule.short_window,
+                    "long_burn": round(self.burn_rate(
+                        tenant, objective, rule.long_window), 4),
+                    "short_burn": round(self.burn_rate(
+                        tenant, objective, rule.short_window), 4),
+                })
+            objectives[objective] = {
+                "target": self._target(objective),
+                "budget_remaining": round(
+                    self.budget_remaining(tenant, objective), 4),
+                "alert_state": self.alert_state(tenant, objective),
+                "burn_rules": rules,
+            }
+        return {"totals": totals, "objectives": objectives}
+
+    def snapshot(self) -> dict:
+        """The full ``/slo`` payload: config + per-tenant state."""
+        return {
+            "config": {
+                "availability_target": self.config.availability_target,
+                "latency_target": self.config.latency_target,
+                "latency_threshold": self.config.latency_threshold,
+                "budget_window": self.config.budget_window,
+            },
+            "tenants": {tenant: self.tenant_snapshot(tenant)
+                        for tenant in self.tenants()},
+        }
+
+    def publish(self, registry) -> None:
+        """Mirror budgets, burn rates, and alert states into gauges.
+
+        Called by the daemon just before rendering ``/metrics`` so the
+        SLO state is scrapeable alongside the raw counters.  Alert
+        states are exposed as a 0/1/2 severity gauge (ok/warn/page).
+        """
+        budget = registry.gauge(
+            "slo.error_budget_remaining",
+            "unconsumed error-budget fraction over the budget window")
+        burn = registry.gauge(
+            "slo.burn_rate",
+            "error-budget burn rate over each alerting window")
+        severity = registry.gauge(
+            "slo.alert_severity",
+            "burn-rate alert state: 0=ok 1=warn 2=page")
+        for tenant in self.tenants():
+            for objective in ("availability", "latency"):
+                budget.set(
+                    self.budget_remaining(tenant, objective),
+                    tenant=tenant, objective=objective)
+                severity.set(
+                    float(_SEVERITY.index(
+                        self.alert_state(tenant, objective))),
+                    tenant=tenant, objective=objective)
+                for rule in self.config.burn_rules:
+                    burn.set(
+                        min(self.burn_rate(tenant, objective,
+                                           rule.long_window), 1e9),
+                        tenant=tenant, objective=objective,
+                        window=rule.state)

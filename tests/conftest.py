@@ -6,6 +6,21 @@ import pytest
 
 from repro.datasets import generate_dataset
 from repro.table import DataFrame
+from repro.telemetry.metrics import GLOBAL_REGISTRY
+
+
+@pytest.fixture(autouse=True)
+def _reset_global_registry():
+    """Isolate tests from process-global metric state.
+
+    Every GLOBAL_REGISTRY consumer fetches its instruments at call time
+    (never holds an import-time reference), so dropping the instruments
+    between tests is safe — and it means no test can order-depend on
+    counters another test bumped.
+    """
+    GLOBAL_REGISTRY.reset()
+    yield
+    GLOBAL_REGISTRY.reset()
 
 
 @pytest.fixture

@@ -1,0 +1,283 @@
+"""Prometheus exposition: rendering, escaping, and round-trip parsing."""
+
+import math
+
+import pytest
+
+from repro.telemetry.metrics import MetricsRegistry, percentile
+from repro.telemetry.prom import (
+    DEFAULT_BUCKETS,
+    escape_label_value,
+    format_value,
+    metric_name,
+    parse_exposition,
+    render,
+    render_registry,
+)
+
+
+class TestRendering:
+    def test_empty_registry_renders_empty_exposition(self):
+        assert render(MetricsRegistry()) == ""
+        assert parse_exposition("") == {}
+
+    def test_counter_gets_total_suffix_and_help(self):
+        registry = MetricsRegistry()
+        registry.counter("serving.submitted", "requests in").inc(3)
+        text = render(registry)
+        assert "# HELP serving_submitted_total requests in\n" in text
+        assert "# TYPE serving_submitted_total counter\n" in text
+        assert "serving_submitted_total 3\n" in text
+
+    def test_counter_with_existing_total_suffix_not_doubled(self):
+        registry = MetricsRegistry()
+        registry.counter("ops.bytes_total").inc(7)
+        text = render(registry)
+        assert "ops_bytes_total 7" in text
+        assert "total_total" not in text
+
+    def test_registered_but_never_incremented_counter_renders_zero(self):
+        registry = MetricsRegistry()
+        registry.counter("serving.errors")
+        assert "serving_errors_total 0\n" in render(registry)
+
+    def test_dotted_names_become_underscores(self):
+        assert metric_name("sql.tier_dispatch") == "sql_tier_dispatch"
+        assert metric_name("9weird-name") == "_9weird_name"
+
+    def test_labelled_samples_sorted_deterministically(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("sql.tier_dispatch")
+        counter.inc(tier="vector", stage="where")
+        counter.inc(2, tier="compiled", stage="where")
+        text = render(registry)
+        compiled = text.index('tier="compiled"')
+        vector = text.index('tier="vector"')
+        assert compiled < vector
+        assert render(registry) == text
+
+    def test_gauge_renders_current_value(self):
+        registry = MetricsRegistry()
+        registry.gauge("daemon.inflight").set(4.0)
+        text = render(registry)
+        assert "# TYPE daemon_inflight gauge\n" in text
+        assert "daemon_inflight 4\n" in text
+
+    def test_render_registry_alias(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b").inc()
+        assert render_registry(registry) == render(registry)
+
+    def test_trailing_newline(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b").inc()
+        assert render(registry).endswith("\n")
+
+    def test_merged_registries_pool_samples_one_header(self):
+        first = MetricsRegistry()
+        first.counter("cache.lookups", "lookups").inc(result="hit")
+        second = MetricsRegistry()
+        second.counter("cache.lookups").inc(result="miss")
+        text = render([first, second])
+        assert text.count("# TYPE cache_lookups_total counter") == 1
+        assert 'result="hit"' in text and 'result="miss"' in text
+        parse_exposition(text)  # must stay valid after the merge
+
+    def test_merged_type_conflict_raises(self):
+        # The counter exposes as x_y_total — a gauge registered under
+        # that literal name in another registry collides with it.
+        first = MetricsRegistry()
+        first.counter("x.y").inc()
+        second = MetricsRegistry()
+        second.gauge("x.y_total").set(1.0)
+        with pytest.raises(ValueError, match="both"):
+            render([first, second])
+
+
+class TestLabelEscaping:
+    def test_escape_rules(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\nb") == "a\\nb"
+        assert escape_label_value("a\\b") == "a\\\\b"
+
+    @pytest.mark.parametrize("hostile", [
+        'quote"inside', "line\nbreak", "back\\slash",
+        'all\\three\n"at once"', "\\", "\n", '"',
+        "trailing\\", "mixed\\n literal",
+    ])
+    def test_hostile_label_values_round_trip(self, hostile):
+        registry = MetricsRegistry()
+        registry.counter("test.hostile").inc(5, tenant=hostile)
+        parsed = parse_exposition(render(registry))
+        samples = parsed["test_hostile_total"]["samples"]
+        assert samples == [("test_hostile_total", {"tenant": hostile},
+                            5.0)]
+
+    def test_help_with_newline_stays_one_line(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b", "line one\nline two").inc()
+        text = render(registry)
+        assert "# HELP a_b_total line one\\nline two\n" in text
+        parse_exposition(text)
+
+
+class TestHistograms:
+    def test_buckets_are_cumulative_and_inf_equals_count(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("test.latency")
+        values = [0.0005, 0.003, 0.003, 0.2, 5.0, 100.0]
+        for value in values:
+            histogram.observe(value)
+        text = render(registry)
+        counts = []
+        for line in text.splitlines():
+            if line.startswith("test_latency_bucket"):
+                counts.append(int(line.rsplit(" ", 1)[1]))
+        assert counts == sorted(counts)          # cumulative
+        assert counts[-1] == len(values)         # +Inf == count
+        assert f"test_latency_count {len(values)}" in text
+        assert 'le="+Inf"' in text
+
+    def test_observation_above_every_bound_only_in_inf(self):
+        registry = MetricsRegistry()
+        registry.histogram("test.latency").observe(10_000.0)
+        parsed = parse_exposition(render(registry))
+        samples = parsed["test_latency"]["samples"]
+        finite = [s for s in samples if s[0] == "test_latency_bucket"
+                  and s[1]["le"] != "+Inf"]
+        assert all(value == 0.0 for _, _, value in finite)
+        inf = [s for s in samples if s[1].get("le") == "+Inf"]
+        assert inf[0][2] == 1.0
+
+    def test_boundary_observation_counts_into_its_bucket(self):
+        registry = MetricsRegistry()
+        registry.histogram("test.latency").observe(0.005)  # == a bound
+        text = render(registry)
+        assert 'test_latency_bucket{le="0.005"} 1' in text
+        assert 'test_latency_bucket{le="0.0025"} 0' in text
+
+    def test_custom_buckets(self):
+        registry = MetricsRegistry()
+        registry.histogram("test.latency").observe(1.5)
+        text = render(registry, buckets=(1.0, 2.0))
+        assert 'le="1"} 0' in text
+        assert 'le="2"} 1' in text
+
+    def test_labelled_histogram_sum_and_count_per_cell(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("test.latency")
+        histogram.observe(0.1, tenant="gold")
+        histogram.observe(0.3, tenant="gold")
+        histogram.observe(0.2, tenant="bronze")
+        parsed = parse_exposition(render(registry))
+        samples = parsed["test_latency"]["samples"]
+        sums = {s[1]["tenant"]: s[2] for s in samples
+                if s[0] == "test_latency_sum"}
+        assert sums["gold"] == pytest.approx(0.4)
+        assert sums["bronze"] == pytest.approx(0.2)
+
+    def test_empty_histogram_renders_zero_series(self):
+        registry = MetricsRegistry()
+        registry.histogram("test.latency")
+        text = render(registry)
+        assert "test_latency_count 0" in text
+        assert 'test_latency_bucket{le="+Inf"} 0' in text
+
+
+class TestPercentileBoundaries:
+    """percentile() edges, round-tripped through the renderer."""
+
+    def test_q0_is_min_q1_is_max(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 5.0
+
+    def test_single_sample_every_quantile(self):
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert percentile([0.123], q) == 0.123
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    def test_rendered_histogram_agrees_with_percentile(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("test.latency")
+        values = [n / 100.0 for n in range(1, 101)]
+        for value in values:
+            histogram.observe(value)
+        parsed = parse_exposition(render(registry))
+        samples = parsed["test_latency"]["samples"]
+        p50 = percentile(values, 0.5)
+        # The cumulative count at the first bound >= p50 must cover
+        # at least half the observations.
+        for name, labels, value in samples:
+            if name != "test_latency_bucket" or labels["le"] == "+Inf":
+                continue
+            if float(labels["le"]) >= p50:
+                assert value >= len(values) / 2
+        count = [s for s in samples if s[0] == "test_latency_count"]
+        assert count[0][2] == len(values)
+
+    def test_single_sample_round_trip(self):
+        registry = MetricsRegistry()
+        registry.histogram("test.latency").observe(0.42)
+        parsed = parse_exposition(render(registry))
+        samples = parsed["test_latency"]["samples"]
+        total = [s for s in samples if s[0] == "test_latency_sum"]
+        assert total[0][2] == pytest.approx(0.42)
+
+
+class TestValueFormatting:
+    def test_integral_floats_drop_the_dot(self):
+        assert format_value(3.0) == "3"
+        assert format_value(3.5) == "3.5"
+
+    def test_special_values(self):
+        assert format_value(math.inf) == "+Inf"
+        assert format_value(-math.inf) == "-Inf"
+        assert format_value(math.nan) == "NaN"
+
+    def test_special_gauge_values_round_trip(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("test.special")
+        gauge.set(math.inf, kind="inf")
+        gauge.set(math.nan, kind="nan")
+        parsed = parse_exposition(render(registry))
+        values = {s[1]["kind"]: s[2]
+                  for s in parsed["test_special"]["samples"]}
+        assert values["inf"] == math.inf
+        assert math.isnan(values["nan"])
+
+
+class TestParserValidation:
+    def test_malformed_sample_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_exposition("this is not a metric line\n")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ValueError, match="bad sample value"):
+            parse_exposition("metric_name not_a_number\n")
+
+    def test_malformed_labels_rejected(self):
+        with pytest.raises(ValueError, match="malformed labels"):
+            parse_exposition('metric{key=unquoted} 1\n')
+
+    def test_duplicate_type_rejected(self):
+        text = ("# TYPE m counter\nm_total 1\n"
+                "# TYPE m gauge\nm 2\n")
+        with pytest.raises(ValueError, match="duplicate TYPE"):
+            parse_exposition(text)
+
+    def test_histogram_series_attributed_to_family(self):
+        registry = MetricsRegistry()
+        registry.histogram("test.latency").observe(0.1)
+        parsed = parse_exposition(render(registry))
+        assert set(parsed) == {"test_latency"}
+        names = {s[0] for s in parsed["test_latency"]["samples"]}
+        assert names == {"test_latency_bucket", "test_latency_sum",
+                         "test_latency_count"}
+
+    def test_default_buckets_are_sorted_and_positive(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert all(b > 0 for b in DEFAULT_BUCKETS)

@@ -1,0 +1,200 @@
+"""Tail sampler: retention guarantees, determinism, ring bounds."""
+
+import json
+
+import pytest
+
+from repro.telemetry.export import to_chrome_trace
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.sampling import (
+    DROPPED,
+    RETAIN_DEADLINE,
+    RETAIN_ERROR,
+    RETAIN_SLO,
+    SAMPLED,
+    TailSampler,
+)
+
+
+class TestDecisions:
+    def test_error_outcomes_always_retained(self):
+        sampler = TailSampler(ok_rate=0.0)
+        for outcome in ("error_transient", "error_permanent",
+                        "rejected", "degraded"):
+            assert sampler.decide(1, outcome=outcome) == RETAIN_ERROR
+
+    def test_deadline_has_its_own_reason(self):
+        sampler = TailSampler(ok_rate=0.0)
+        assert sampler.decide(
+            1, outcome="deadline_exceeded") == RETAIN_DEADLINE
+
+    def test_slo_violation_retains_an_ok_trace(self):
+        sampler = TailSampler(ok_rate=0.0)
+        assert sampler.decide(
+            1, outcome="ok", slo_violation=True) == RETAIN_SLO
+
+    def test_ok_rate_zero_drops_every_ok_trace(self):
+        sampler = TailSampler(ok_rate=0.0)
+        assert all(sampler.decide(i, outcome="ok") == DROPPED
+                   for i in range(500))
+
+    def test_ok_rate_one_keeps_every_ok_trace(self):
+        sampler = TailSampler(ok_rate=1.0)
+        assert all(sampler.decide(i, outcome="ok") == SAMPLED
+                   for i in range(500))
+
+    def test_decisions_are_seed_deterministic(self):
+        first = [TailSampler(ok_rate=0.3, seed=9).decide(i, outcome="ok")
+                 for i in range(200)]
+        second = [TailSampler(ok_rate=0.3, seed=9).decide(i, outcome="ok")
+                  for i in range(200)]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        a = [TailSampler(ok_rate=0.5, seed=1).decide(i, outcome="ok")
+             for i in range(200)]
+        b = [TailSampler(ok_rate=0.5, seed=2).decide(i, outcome="ok")
+             for i in range(200)]
+        assert a != b
+
+    def test_sampled_fraction_tracks_the_rate(self):
+        sampler = TailSampler(ok_rate=0.25, seed=4)
+        kept = sum(sampler.decide(i, outcome="ok") == SAMPLED
+                   for i in range(2000))
+        assert 0.2 < kept / 2000 < 0.3
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            TailSampler(ok_rate=1.5)
+        with pytest.raises(ValueError):
+            TailSampler(capacity=0)
+
+
+class TestRetentionGuarantee:
+    def test_every_error_trace_retained_under_ok_flood(self):
+        # The acceptance property: a flood of sampled OK traffic can
+        # never evict a failure trace.
+        sampler = TailSampler(ok_rate=1.0, capacity=8, seed=0)
+        error_ids = []
+        for i in range(400):
+            if i % 10 == 0:
+                error_ids.append(i)
+                sampler.record_trace(i, outcome="error_transient")
+            else:
+                sampler.record_trace(i, outcome="ok")
+        retained = {r["trace_id"] for r in sampler.retained()}
+        # Ring holds the newest `capacity` errors, all of them errors.
+        assert retained == set(error_ids[-8:])
+        assert all(r["decision"] == RETAIN_ERROR
+                   for r in sampler.retained())
+        # Lifetime counts still account every single error.
+        assert sampler.counts[RETAIN_ERROR] == len(error_ids)
+
+    def test_ring_caps_both_classes_independently(self):
+        sampler = TailSampler(ok_rate=1.0, capacity=4)
+        for i in range(20):
+            sampler.record_trace(i, outcome="ok")
+        for i in range(20, 40):
+            sampler.record_trace(i, outcome="error_permanent")
+        assert len(sampler.sampled_ok()) == 4
+        assert len(sampler.retained()) == 4
+        assert len(sampler) == 8
+
+    def test_deadline_traces_retained(self):
+        sampler = TailSampler(ok_rate=0.0, capacity=32)
+        for i in range(10):
+            sampler.record_trace(i, outcome="deadline_exceeded")
+        assert len(sampler.retained()) == 10
+        assert sampler.counts[RETAIN_DEADLINE] == 10
+
+
+class TestTail:
+    def test_tail_interleaves_by_arrival(self):
+        sampler = TailSampler(ok_rate=1.0, capacity=16)
+        sampler.record_trace(1, outcome="ok")
+        sampler.record_trace(2, outcome="error_permanent")
+        sampler.record_trace(3, outcome="ok")
+        assert [r["trace_id"] for r in sampler.tail()] == [1, 2, 3]
+
+    def test_tail_limit_returns_newest(self):
+        sampler = TailSampler(ok_rate=1.0, capacity=16)
+        for i in range(10):
+            sampler.record_trace(i, outcome="ok")
+        assert [r["trace_id"] for r in sampler.tail(3)] == [7, 8, 9]
+
+    def test_dropped_traces_never_stored(self):
+        sampler = TailSampler(ok_rate=0.0)
+        sampler.record_trace(1, outcome="ok")
+        assert sampler.tail() == []
+        assert sampler.counts[DROPPED] == 1
+
+
+class TestExportCompatibility:
+    def record_with_trace(self, sampler):
+        from repro.telemetry.spans import Telemetry
+
+        telemetry = Telemetry()
+        with telemetry.span("request", trace_id=7) as root:
+            root.set(uid="req-7")
+            with telemetry.span("attempt"):
+                pass
+        telemetry.event("serving_complete", 7, outcome="error_permanent")
+        return sampler.record_trace(
+            7, outcome="error_permanent", tenant="gold", latency=0.5,
+            spans=telemetry.spans, events=telemetry.events)
+
+    def test_span_and_event_dict_forms_stored(self):
+        sampler = TailSampler()
+        self.record_with_trace(sampler)
+        record = sampler.tail()[0]
+        assert [s["kind"] for s in record["spans"]] == ["attempt",
+                                                        "request"]
+        assert record["spans"][0]["type"] == "span"
+        assert record["events"][0]["kind"] == "serving_complete"
+
+    def test_ndjson_round_trips(self):
+        sampler = TailSampler()
+        self.record_with_trace(sampler)
+        lines = sampler.to_ndjson().splitlines()
+        assert len(lines) == 1
+        parsed = json.loads(lines[0])
+        assert parsed["trace_id"] == 7
+        assert parsed["tenant"] == "gold"
+
+    def test_as_trace_feeds_chrome_export(self):
+        sampler = TailSampler()
+        self.record_with_trace(sampler)
+        chrome = to_chrome_trace(TailSampler.as_trace(sampler.tail()[0]))
+        names = {event["name"] for event in chrome["traceEvents"]}
+        assert {"request", "attempt", "serving_complete"} <= names
+
+    def test_ready_dicts_accepted_too(self):
+        sampler = TailSampler()
+        sampler.record_trace(
+            1, outcome="error_permanent",
+            spans=[{"type": "span", "kind": "request", "trace_id": 1}],
+            events=[{"kind": "serving_enqueue", "chain_id": 1,
+                     "iteration": 0, "at": 0.0}])
+        record = sampler.tail()[0]
+        assert record["spans"][0]["kind"] == "request"
+
+
+class TestInstrumentation:
+    def test_decision_counter_when_registry_given(self):
+        registry = MetricsRegistry()
+        sampler = TailSampler(ok_rate=0.0, registry=registry)
+        sampler.record_trace(1, outcome="ok")
+        sampler.record_trace(2, outcome="error_permanent")
+        counter = registry.counter("sampling.decisions")
+        assert counter.value(decision=DROPPED) == 1
+        assert counter.value(decision=RETAIN_ERROR) == 1
+
+    def test_publish_reports_ring_occupancy(self):
+        registry = MetricsRegistry()
+        sampler = TailSampler(ok_rate=1.0)
+        sampler.record_trace(1, outcome="ok")
+        sampler.record_trace(2, outcome="error_permanent")
+        sampler.publish(registry)
+        gauge = registry.gauge("sampling.ring_occupancy")
+        assert gauge.value(ring="retained") == 1.0
+        assert gauge.value(ring="sampled") == 1.0

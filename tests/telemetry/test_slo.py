@@ -1,0 +1,247 @@
+"""SLO tracker: budgets, burn rates, and multi-window alert states.
+
+Every test drives an injected fake clock — no wall time is ever read,
+so outcomes are exact, not flake-tolerant.
+"""
+
+import pytest
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.slo import (
+    GOOD_OUTCOMES,
+    BurnRule,
+    SLOConfig,
+    SLOTracker,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def tracker(config=None) -> tuple[SLOTracker, FakeClock]:
+    clock = FakeClock()
+    return SLOTracker(config, clock=clock), clock
+
+
+class TestConfigValidation:
+    def test_defaults_scale_to_budget_window(self):
+        config = SLOConfig(budget_window=3600.0)
+        assert [r.state for r in config.burn_rules] == ["page", "warn"]
+        page = config.burn_rules[0]
+        assert page.long_window == pytest.approx(300.0)
+        assert page.short_window == pytest.approx(25.0)
+        assert page.threshold == 14.4
+
+    def test_bad_targets_rejected(self):
+        with pytest.raises(ValueError):
+            SLOConfig(availability_target=0.0)
+        with pytest.raises(ValueError):
+            SLOConfig(latency_target=1.5)
+
+    def test_bad_burn_rule_rejected(self):
+        with pytest.raises(ValueError):
+            BurnRule("page", long_window=10.0, short_window=20.0,
+                     threshold=14.4)
+        with pytest.raises(ValueError):
+            BurnRule("critical", long_window=20.0, short_window=10.0,
+                     threshold=14.4)
+
+    def test_horizon_covers_every_window(self):
+        config = SLOConfig(budget_window=100.0, burn_rules=(
+            BurnRule("warn", long_window=500.0, short_window=10.0,
+                     threshold=2.0),))
+        assert config.horizon == 500.0
+
+
+class TestOutcomeClassification:
+    @pytest.mark.parametrize("outcome", sorted(GOOD_OUTCOMES))
+    def test_good_outcomes_spend_no_budget(self, outcome):
+        slo, _ = tracker()
+        slo.record("t", outcome=outcome, latency=0.01)
+        assert slo.budget_remaining("t", "availability") == 1.0
+
+    @pytest.mark.parametrize("outcome", [
+        "degraded", "deadline_exceeded", "error_transient",
+        "error_permanent", "rejected"])
+    def test_bad_outcomes_spend_budget(self, outcome):
+        slo, _ = tracker()
+        slo.record("t", outcome=outcome, latency=0.01)
+        assert slo.budget_remaining("t", "availability") < 1.0
+
+    def test_slow_ok_spends_latency_budget_only(self):
+        slo, _ = tracker(SLOConfig(latency_threshold=0.5))
+        slo.record("t", outcome="ok", latency=2.0)
+        assert slo.budget_remaining("t", "availability") == 1.0
+        assert slo.budget_remaining("t", "latency") < 1.0
+
+
+class TestBudgets:
+    def test_no_traffic_means_full_budget(self):
+        slo, _ = tracker()
+        assert slo.budget_remaining("ghost", "availability") == 1.0
+        assert slo.burn_rate("ghost", "availability", 60.0) == 0.0
+        assert slo.alert_state("ghost", "availability") == "ok"
+
+    def test_budget_spends_linearly(self):
+        # target 0.9 => 10% allowance; 100 requests allow 10 bad.
+        slo, clock = tracker(SLOConfig(availability_target=0.9,
+                                       budget_window=1000.0))
+        for index in range(100):
+            clock.tick(1.0)
+            outcome = "error_permanent" if index < 5 else "ok"
+            slo.record("t", outcome=outcome, latency=0.01)
+        assert slo.budget_remaining(
+            "t", "availability") == pytest.approx(0.5)
+
+    def test_budget_clamps_at_zero_when_overspent(self):
+        slo, _ = tracker(SLOConfig(availability_target=0.99))
+        for _ in range(10):
+            slo.record("t", outcome="error_permanent", latency=0.0)
+        assert slo.budget_remaining("t", "availability") == 0.0
+
+    def test_events_outside_window_stop_counting(self):
+        slo, clock = tracker(SLOConfig(budget_window=100.0))
+        slo.record("t", outcome="error_permanent", latency=0.0)
+        clock.tick(200.0)
+        for _ in range(10):
+            slo.record("t", outcome="ok", latency=0.0)
+        assert slo.budget_remaining("t", "availability") == 1.0
+
+    def test_memory_bounded_by_horizon(self):
+        slo, clock = tracker(SLOConfig(budget_window=10.0))
+        for _ in range(1000):
+            clock.tick(1.0)
+            slo.record("t", outcome="ok", latency=0.0)
+        assert len(slo._tenants["t"].events) <= 12
+
+    def test_tenants_are_independent(self):
+        slo, _ = tracker()
+        slo.record("a", outcome="error_permanent", latency=0.0)
+        slo.record("b", outcome="ok", latency=0.0)
+        assert slo.budget_remaining("a", "availability") < 1.0
+        assert slo.budget_remaining("b", "availability") == 1.0
+        assert slo.tenants() == ["a", "b"]
+
+
+class TestBurnRates:
+    def test_burn_rate_of_one_spends_exactly_the_allowance(self):
+        # target 0.9: 10% bad == burn rate 1.0
+        slo, clock = tracker(SLOConfig(availability_target=0.9))
+        for index in range(10):
+            clock.tick(0.1)
+            outcome = "error_permanent" if index == 0 else "ok"
+            slo.record("t", outcome=outcome, latency=0.0)
+        assert slo.burn_rate("t", "availability",
+                             60.0) == pytest.approx(1.0)
+
+    def test_zero_allowance_burns_infinite(self):
+        slo, _ = tracker(SLOConfig(availability_target=1.0))
+        slo.record("t", outcome="error_permanent", latency=0.0)
+        assert slo.burn_rate("t", "availability",
+                             60.0) == float("inf")
+
+    def test_window_scopes_the_rate(self):
+        slo, clock = tracker()
+        slo.record("t", outcome="error_permanent", latency=0.0)
+        clock.tick(50.0)
+        slo.record("t", outcome="ok", latency=0.0)
+        # 10s window only sees the ok; 100s window sees both.
+        assert slo.burn_rate("t", "availability", 10.0) == 0.0
+        assert slo.burn_rate("t", "availability", 100.0) > 0.0
+
+
+class TestAlertStates:
+    def outage(self, slo, clock, *, seconds, rate=1.0, spacing=1.0):
+        count = int(seconds / spacing)
+        for index in range(count):
+            clock.tick(spacing)
+            bad = (index % max(1, int(1 / rate))) == 0 if rate < 1 \
+                else True
+            slo.record("t",
+                       outcome="error_permanent" if bad else "ok",
+                       latency=0.0)
+
+    def test_hard_outage_pages(self):
+        slo, clock = tracker(SLOConfig(budget_window=3600.0))
+        # 100% errors for the page rule's long window (300s).
+        self.outage(slo, clock, seconds=360.0)
+        assert slo.alert_state("t", "availability") == "page"
+
+    def test_blip_does_not_page(self):
+        slo, clock = tracker(SLOConfig(budget_window=3600.0))
+        # Error burst far shorter than the long window, then recovery
+        # traffic long enough to clear the short window too.
+        for _ in range(3):
+            clock.tick(1.0)
+            slo.record("t", outcome="error_permanent", latency=0.0)
+        for _ in range(600):
+            clock.tick(1.0)
+            slo.record("t", outcome="ok", latency=0.0)
+        assert slo.alert_state("t", "availability") == "ok"
+
+    def test_alert_clears_when_short_window_recovers(self):
+        slo, clock = tracker(SLOConfig(budget_window=3600.0))
+        self.outage(slo, clock, seconds=360.0)
+        assert slo.alert_state("t", "availability") == "page"
+        # Recovery: good traffic filling the short window (25s).
+        for _ in range(30):
+            clock.tick(1.0)
+            slo.record("t", outcome="ok", latency=0.0)
+        assert slo.alert_state("t", "availability") != "page"
+
+    def test_moderate_burn_warns_without_paging(self):
+        # ~8x burn with a 0.5% allowance = 4% errors: above the warn
+        # threshold (6), below page (14.4).
+        slo, clock = tracker(SLOConfig(budget_window=3600.0))
+        for index in range(1000):
+            clock.tick(1.0)
+            slo.record("t",
+                       outcome=("error_permanent" if index % 25 == 0
+                                else "ok"),
+                       latency=0.0)
+        assert slo.alert_state("t", "availability") == "warn"
+
+
+class TestExport:
+    def test_snapshot_shape(self):
+        slo, _ = tracker()
+        slo.record("gold", outcome="ok", latency=0.1)
+        snapshot = slo.snapshot()
+        assert set(snapshot) == {"config", "tenants"}
+        tenant = snapshot["tenants"]["gold"]
+        assert tenant["totals"]["requests"] == 1
+        for objective in ("availability", "latency"):
+            state = tenant["objectives"][objective]
+            assert state["alert_state"] == "ok"
+            assert state["budget_remaining"] == 1.0
+            assert len(state["burn_rules"]) == 2
+
+    def test_snapshot_totals_survive_pruning(self):
+        slo, clock = tracker(SLOConfig(budget_window=10.0))
+        for _ in range(100):
+            clock.tick(1.0)
+            slo.record("t", outcome="error_permanent", latency=0.0)
+        totals = slo.tenant_snapshot("t")["totals"]
+        assert totals["requests"] == 100
+        assert totals["availability_bad"] == 100
+
+    def test_publish_writes_gauges(self):
+        slo, _ = tracker()
+        slo.record("gold", outcome="error_permanent", latency=2.0)
+        registry = MetricsRegistry()
+        slo.publish(registry)
+        budget = registry.gauge("slo.error_budget_remaining")
+        assert budget.value(tenant="gold",
+                            objective="availability") < 1.0
+        severity = registry.gauge("slo.alert_severity")
+        assert severity.value(tenant="gold",
+                              objective="availability") in (0.0, 1.0,
+                                                            2.0)

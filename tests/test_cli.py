@@ -305,3 +305,23 @@ class TestChaos:
 
     def test_bad_rates_rejected(self, capsys):
         assert main(["chaos", "wikitq", "--rates", "nope"]) == 2
+
+
+class TestServe:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "wikitq"])
+        assert args.port == 0
+        assert args.max_inflight == 16
+        assert args.requests == 0
+        assert args.slo_availability == 0.995
+        assert args.sample_rate == 0.1
+
+    def test_replay_with_self_scrape(self, capsys):
+        assert main(["serve", "wikitq", "--size", "8", "--requests",
+                     "8", "--scrape"]) == 0
+        out = capsys.readouterr().out
+        assert "/metrics /healthz /readyz /slo /traces" in out
+        assert "outcomes: {'ok': 8}" in out
+        assert "serving_outcomes_total" in out
+        assert '"tenants"' in out
+        assert "drained and stopped" in out

@@ -1,0 +1,88 @@
+"""Tier-1 wiring for the metric-hygiene lint (``tools/lint_metrics.py``).
+
+Instrument names must be dotted ``subsystem.name`` string literals and
+no label value may be an f-string — dynamic label values are unbounded
+time-series cardinality, the classic metrics-backend failure mode.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+TOOL = Path(__file__).resolve().parent.parent / "tools" / "lint_metrics.py"
+
+
+def load_lint():
+    spec = importlib.util.spec_from_file_location("lint_metrics", TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def write_rogue(tmp_path, source):
+    fake_src = tmp_path / "src" / "repro"
+    fake_src.mkdir(parents=True)
+    (fake_src / "rogue.py").write_text(source, encoding="utf-8")
+    return fake_src
+
+
+def test_tree_has_no_violations():
+    lint = load_lint()
+    assert lint.find_violations() == []
+
+
+def test_undotted_name_flagged(tmp_path, monkeypatch):
+    lint = load_lint()
+    monkeypatch.setattr(lint, "SRC", write_rogue(
+        tmp_path,
+        'registry.counter("requests")\n'
+        'registry.gauge("Daemon.Inflight")\n'))
+    violations = lint.find_violations()
+    assert len(violations) == 2
+    assert all("dotted subsystem.name" in line for line in violations)
+
+
+def test_computed_name_flagged(tmp_path, monkeypatch):
+    lint = load_lint()
+    monkeypatch.setattr(lint, "SRC", write_rogue(
+        tmp_path,
+        'registry.counter("prefix." + kind)\n'
+        'registry.histogram(name_variable)\n'))
+    violations = lint.find_violations()
+    assert len(violations) == 2
+    assert all("string literal" in line for line in violations)
+
+
+def test_fstring_label_value_flagged(tmp_path, monkeypatch):
+    lint = load_lint()
+    monkeypatch.setattr(lint, "SRC", write_rogue(
+        tmp_path,
+        'counter.inc(tenant=f"user-{uid}")\n'
+        'histogram.observe(0.1, stage=f"{stage}")\n'
+        'gauge.set(1.0, ring=f"{ring}")\n'))
+    violations = lint.find_violations()
+    assert len(violations) == 3
+    assert all("f-string label value" in line for line in violations)
+
+
+def test_clean_and_multiline_calls_pass(tmp_path, monkeypatch):
+    lint = load_lint()
+    monkeypatch.setattr(lint, "SRC", write_rogue(
+        tmp_path,
+        'registry.counter(\n'
+        '    "sql.tier_dispatch",\n'
+        '    "SELECT stages executed").inc(\n'
+        '    stage="where", tier=tier_variable)\n'
+        'gauge.set(float(active))\n'))
+    assert lint.find_violations() == []
+
+
+def test_lint_runs_standalone():
+    import subprocess
+
+    result = subprocess.run(
+        [sys.executable, str(TOOL)], capture_output=True, text=True,
+        env={"PYTHONPATH": str(TOOL.parent.parent / "src"),
+             "PATH": "/usr/bin:/bin"})
+    assert result.returncode == 0, result.stderr
+    assert "dotted literal" in result.stdout

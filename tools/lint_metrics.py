@@ -1,0 +1,105 @@
+"""Lint metric hygiene: dotted names, literal names, no f-string labels.
+
+Two rules, both load-bearing for the ``/metrics`` exposition:
+
+* **Dotted literal names** — every instrument created via
+  ``registry.counter("...")`` / ``.gauge`` / ``.histogram`` must pass a
+  *string literal* in dotted ``subsystem.name`` form (e.g.
+  ``sql.tier_dispatch``).  The renderer maps dots to underscores, the
+  docs and dashboards key on the dotted form, and a computed name would
+  make grep-ability (and this lint) impossible.
+
+* **No f-string label values** — keyword arguments to ``.inc`` /
+  ``.observe`` / ``.set`` are label values; an f-string there means
+  unbounded label cardinality (one time series per distinct value),
+  which is the classic way to blow up a metrics backend.  Dynamic
+  values belong in traces, not labels.
+
+Uses the AST, not regexes, so multi-line calls and nested expressions
+are seen exactly once.  Runs standalone
+(``python tools/lint_metrics.py``, exits non-zero on a violation) and
+as a tier-1 test via ``tests/test_lint_metrics.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: ``subsystem.name`` (two or more lowercase dotted segments).
+DOTTED_NAME = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+#: Methods that create an instrument; first arg is the metric name.
+CREATE_METHODS = frozenset({"counter", "gauge", "histogram"})
+
+#: Methods whose keyword arguments are label values.
+UPDATE_METHODS = frozenset({"inc", "observe", "set"})
+
+
+def _check_create(call: ast.Call, path: Path) -> list[str]:
+    relative = path.relative_to(SRC.parent.parent)
+    where = f"{relative}:{call.lineno}"
+    method = call.func.attr
+    if not call.args:
+        return [f"{where}: {method}() without a metric name"]
+    name = call.args[0]
+    if not isinstance(name, ast.Constant) or not isinstance(name.value,
+                                                            str):
+        return [f"{where}: {method}() metric name must be a string "
+                "literal, not a computed expression"]
+    if not DOTTED_NAME.match(name.value):
+        return [f"{where}: metric name {name.value!r} is not dotted "
+                "subsystem.name form (e.g. 'sql.tier_dispatch')"]
+    return []
+
+
+def _check_update(call: ast.Call, path: Path) -> list[str]:
+    relative = path.relative_to(SRC.parent.parent)
+    violations = []
+    for keyword in call.keywords:
+        if keyword.arg is not None and isinstance(keyword.value,
+                                                  ast.JoinedStr):
+            violations.append(
+                f"{relative}:{call.lineno}: f-string label value for "
+                f"{keyword.arg!r} in .{call.func.attr}() — unbounded "
+                "label cardinality; use a closed vocabulary or put the "
+                "value in a trace")
+    return violations
+
+
+def find_violations() -> list[str]:
+    """Metric-hygiene violations, one human-readable line each."""
+    violations = []
+    for path in sorted(SRC.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"),
+                         filename=str(path))
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)):
+                continue
+            if node.func.attr in CREATE_METHODS:
+                violations.extend(_check_create(node, path))
+            elif node.func.attr in UPDATE_METHODS:
+                violations.extend(_check_update(node, path))
+    return violations
+
+
+def main() -> int:
+    violations = find_violations()
+    for line in violations:
+        print(f"lint_metrics: {line}", file=sys.stderr)
+    if violations:
+        print(f"lint_metrics: {len(violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print("lint_metrics: every metric name is a dotted literal and no "
+          "label value is an f-string")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,7 @@ import time
 
 from harness import MODEL_SEED, benchmark_for, scale
 
+from repro.evalkit import make_report, record_result
 from repro.reporting import save_result
 from repro.serving import (
     AgentSpec,
@@ -40,13 +41,13 @@ POLICY = RetryPolicy(max_retries=1)
 DATASETS = ("wikitq", "tabfact")
 
 
-def _evaluate(dataset: str, reflect):
+def _evaluate(dataset: str, reflect, *, workers: int = WORKERS):
     """One configuration; returns (report, metrics, reflection_tokens)."""
     bench = benchmark_for(dataset, SIZE)
     metrics = ServingMetrics()
     tracer = ChainTracer()
     evaluator = BatchEvaluator(
-        AgentSpec(bank=bench.bank), workers=WORKERS, seed=MODEL_SEED,
+        AgentSpec(bank=bench.bank), workers=workers, seed=MODEL_SEED,
         policy=POLICY, metrics=metrics, tracer=tracer, reflect=reflect)
     report = evaluator.evaluate(bench)
     reflection_tokens = sum(
@@ -55,16 +56,49 @@ def _evaluate(dataset: str, reflect):
     return report, metrics, reflection_tokens
 
 
+def _two_pass(dataset: str, shared: bool):
+    """Replay the suite twice through ONE pool; score the second pass.
+
+    Reflection memory is episodic — keyed by (table digest, question) —
+    so sharing it across requests only matters when an episode recurs.
+    The replay manufactures exactly that: with ``shared_memory=True``
+    pass 2's reflection cycles recall pass 1's reflections (deeper
+    verbal guidance); with the fresh-per-request default pass 2 is
+    bit-identical to pass 1.  One worker pins arrival order to the
+    benchmark's, keeping the A/B seeded and reproducible.
+    """
+    bench = benchmark_for(dataset, SIZE)
+    metrics = ServingMetrics()
+    with WorkerPool(AgentSpec(bank=bench.bank), workers=1,
+                    policy=POLICY, metrics=metrics,
+                    reflect=ReflectPolicy(shared_memory=shared)) as pool:
+        for example in bench.examples:       # pass 1 seeds the memory
+            pool.submit(example.table, example.question,
+                        seed=MODEL_SEED).result(timeout=60)
+        report = make_report(bench.name, len(bench.examples))
+        for example in bench.examples:       # pass 2 recalls (if shared)
+            response = pool.submit(example.table, example.question,
+                                   seed=MODEL_SEED).result(timeout=60)
+            record_result(report, bench.name, example, response)
+    return report, metrics
+
+
 def run_delta() -> dict[str, dict[str, float]]:
     results = {}
     for dataset in DATASETS:
         off_report, off_metrics, off_tokens = _evaluate(dataset, False)
         on_report, on_metrics, on_tokens = _evaluate(
             dataset, ReflectPolicy())
+        fresh_report, fresh_metrics = _two_pass(dataset, False)
+        shared_report, shared_metrics = _two_pass(dataset, True)
         results[dataset] = {
             "accuracy_off": off_report.accuracy,
             "accuracy_on": on_report.accuracy,
+            "accuracy_fresh_replay": fresh_report.accuracy,
+            "accuracy_shared_replay": shared_report.accuracy,
             "reflections": on_metrics.reflections,
+            "reflections_fresh": fresh_metrics.reflections,
+            "reflections_shared": shared_metrics.reflections,
             "reflected": on_metrics.snapshot()["outcomes"].get(
                 "reflected", 0),
             "reflection_tokens": on_tokens,
@@ -92,6 +126,20 @@ def render_delta(results) -> str:
             f"{r['reflections']:>7d} {r['reflection_tokens']:>12d} "
             f"{per_cycle:>10.1f}")
     lines.append("")
+    lines.append("Shared-memory A/B — the suite replayed through one "
+                 "pool, second pass\nscored: ReflectPolicy("
+                 "shared_memory=True) recalls pass-1 reflections,\n"
+                 "the fresh-per-request default replays bit-identically:")
+    for dataset, r in results.items():
+        shared_delta = (r["accuracy_shared_replay"]
+                        - r["accuracy_fresh_replay"])
+        lines.append(
+            f"{dataset:<10} fresh {r['accuracy_fresh_replay']:>6.1%}  "
+            f"shared {r['accuracy_shared_replay']:>6.1%}  "
+            f"delta {shared_delta:>+6.1%}  "
+            f"cycles {r['reflections_fresh']:d} vs "
+            f"{r['reflections_shared']:d}")
+    lines.append("")
     lines.append("Reflection cost is the token sum over `reflection` "
                  "spans (the verbal\nreflection calls); re-run chain "
                  "tokens land in the standard chain spans.")
@@ -110,6 +158,15 @@ def test_reflexion_accuracy_vs_token_cost(benchmark):
         assert r["reflection_tokens"] > 0, dataset
         # ...and with the rung off, no reflection tokens exist at all.
         assert r["off_tokens"] == 0, dataset
+        # Shared memory must pay on the replayed pass — recalled
+        # reflections deepen the verbal guidance for recurring
+        # episodes — and never sink below the fresh replay.
+        assert (r["accuracy_shared_replay"]
+                >= r["accuracy_fresh_replay"]), dataset
+        # The fresh replay is the determinism control: pass 2 equals
+        # the single-worker single pass, so fresh cycles double up.
+        assert r["reflections_shared"] >= r["reflections_fresh"] // 2, \
+            dataset
 
 
 def test_reflection_disabled_overhead_under_2pct():

@@ -65,6 +65,7 @@ from repro.aio.handler import AsyncEffectHandler
 from repro.errors import (
     AdmissionRejectedError,
     CircuitOpenError,
+    ExecutionError,
     QueueClosedError,
     ServingError,
     ServingTimeoutError,
@@ -498,10 +499,14 @@ class AsyncServer:
         deadline = self.policy.deadline()
         table, question = request.table, request.question
         if hasattr(runner, "chain_engines"):
-            # s-vote: n chains coalescing their ticks (the
-            # REPRO_BATCH_SCHEDULER contract, always on here).
+            # s-vote / ensemble: n chains coalescing their ticks (the
+            # REPRO_BATCH_SCHEDULER contract, always on here).  The
+            # runner's exception envelope travels with it: voting-family
+            # runners swallow branch failures, the greedy chain does not.
             batcher = ContinuousBatcher(AsyncEffectHandler(
-                runner.model, runner.registry, deadline=deadline))
+                runner.model, runner.registry, deadline=deadline,
+                catch=getattr(runner, "handler_catch",
+                              (ExecutionError,))))
             engines = runner.chain_engines(table, question)
             for _ in engines:
                 batcher.admit()    # whole population before the first tick

@@ -10,7 +10,12 @@ Subcommands:
 * ``evaluate`` — run one configuration over a benchmark and report
   accuracy plus the iteration histogram.
 * ``batch`` — the same evaluation through the concurrent serving layer
-  (worker pool + answer cache), with serving metrics.
+  (worker pool + answer cache), with serving metrics.  ``--strategy``
+  (or ``REPRO_STRATEGY``) picks any registered reasoning strategy or an
+  ``ensemble:a+b+c`` heterogeneous vote.
+* ``bench strategies`` — the cross-strategy evaluation matrix: every
+  registered strategy plus the heterogeneous ensemble over seeded
+  WikiTQ/TabFact suites, written to ``results/strategy_matrix.txt``.
 * ``chaos`` — sweep deterministic fault-injection rates over a benchmark
   through the hardened serving stack and report the degradation curve
   (accuracy, answer rate, classified outcomes, breaker/retry activity).
@@ -142,16 +147,42 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _resolve_strategy(value: str | None) -> str:
+    """The effective ``--strategy`` value, validated against the registry.
+
+    Precedence: explicit flag, then ``REPRO_STRATEGY``, then the react
+    default.  Raises :class:`repro.errors.StrategyError` for unknown
+    names and malformed ensemble specs, so callers can turn it into a
+    clean usage error instead of a traceback.
+    """
+    from repro.strategies import (get_strategy, is_ensemble_spec,
+                                  parse_ensemble_spec)
+
+    strategy = value or os.environ.get("REPRO_STRATEGY") or "react"
+    if is_ensemble_spec(strategy):
+        parse_ensemble_spec(strategy)
+    else:
+        get_strategy(strategy)
+    return strategy
+
+
 def _cmd_batch(args) -> int:
+    from repro.errors import StrategyError
     from repro.serving import (AgentSpec, AnswerCache, BatchEvaluator,
                                RetryPolicy, ServingMetrics)
     from repro.tracing import ChainTracer
 
+    try:
+        strategy = _resolve_strategy(args.strategy)
+    except StrategyError as exc:
+        print(f"bad --strategy value: {exc}", file=sys.stderr)
+        return 2
     benchmark = generate_dataset(args.dataset, size=args.size,
                                  seed=args.seed)
     spec = AgentSpec(bank=benchmark.bank, profile=args.model,
                      voting=args.voting, samples=args.samples,
-                     sql_only=args.sql_only, sql_backend=args.sql_backend)
+                     sql_only=args.sql_only, sql_backend=args.sql_backend,
+                     strategy=strategy)
     cache = (AnswerCache(args.cache_size) if args.cache_size > 0
              else None)
     policy = RetryPolicy(timeout=args.timeout, max_retries=args.retries)
@@ -185,7 +216,7 @@ def _cmd_batch(args) -> int:
     report = evaluator.evaluate(benchmark)
     snapshot = metrics.snapshot()
     print(f"dataset={args.dataset} model={args.model} "
-          f"voting={args.voting} n={len(benchmark)} "
+          f"voting={args.voting} strategy={strategy} n={len(benchmark)} "
           f"{concurrency}")
     print(f"accuracy: {report.accuracy:.3f}")
     print(f"iteration histogram: {dict(sorted(report.iteration_histogram.items()))}")
@@ -426,6 +457,23 @@ def _cmd_chaos(args) -> int:
     return exit_code
 
 
+def _cmd_bench(args) -> int:
+    from repro.reporting import save_result
+    from repro.reporting.strategy_matrix import render_matrix, run_matrix
+
+    if args.bench_command == "strategies":
+        results = run_matrix(size=args.size, seed=args.seed,
+                             model_seed=args.model_seed,
+                             profile=args.model,
+                             use_scheduler=args.batch_scheduler)
+        text = render_matrix(results, size=args.size, profile=args.model)
+        print(text)
+        if not args.no_save:
+            path = save_result("strategy_matrix", text)
+            print(f"\nmatrix written: {path}")
+    return 0
+
+
 def _cmd_perf(args) -> int:
     from repro.perf import gate as perf_gate
 
@@ -564,6 +612,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="drive voted runners through the sans-IO "
                             "BatchScheduler (coalesced model calls; also "
                             "enabled by REPRO_BATCH_SCHEDULER=1)")
+    batch.add_argument("--strategy", default=None, metavar="NAME",
+                       help="reasoning strategy (react, cot, "
+                            "chain-of-table, commented-code) or an "
+                            "ensemble:a+b+c heterogeneous vote; defaults "
+                            "to $REPRO_STRATEGY, then react")
     batch.add_argument("--reflect", action="store_true",
                        help="arm the reflexion rung: failed attempts "
                             "harvest a failure report, generate a verbal "
@@ -665,6 +718,25 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--trace", metavar="PATH",
                        help="write a fault/serving trace to PATH")
     chaos.set_defaults(func=_cmd_chaos)
+
+    bench = sub.add_parser(
+        "bench", help="cross-configuration evaluation matrices")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    b_strategies = bench_sub.add_parser(
+        "strategies", help="every registered strategy + the "
+                           "heterogeneous ensemble over seeded "
+                           "wikitq/tabfact suites")
+    b_strategies.add_argument("--size", type=int, default=60)
+    b_strategies.add_argument("--seed", type=int, default=11)
+    b_strategies.add_argument("--model", default="codex-sim")
+    b_strategies.add_argument("--model-seed", type=int, default=1)
+    b_strategies.add_argument("--batch-scheduler", action="store_true",
+                              help="drive the ensemble through the "
+                                   "sans-IO BatchScheduler")
+    b_strategies.add_argument("--no-save", action="store_true",
+                              help="print the matrix without writing "
+                                   "results/strategy_matrix.txt")
+    b_strategies.set_defaults(func=_cmd_bench)
 
     perf = sub.add_parser(
         "perf", help="performance-layer smoke / benchmark gate")

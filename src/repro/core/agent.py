@@ -30,13 +30,18 @@ re-exported from :mod:`repro.engine` for back-compat.
 
 from __future__ import annotations
 
-from repro.core.prompt import PromptBuilder, Transcript
+from repro.core.prompt import PromptBuilder
 from repro.engine.core import HARD_ITERATION_CAP, ChainEngine
-from repro.engine.driver import EffectHandler, run_chain
+from repro.engine.driver import EffectHandler, drive, run_chain
 from repro.engine.result import AgentResult
 from repro.errors import IterationLimitError
 from repro.executors.registry import ExecutorRegistry, default_registry
 from repro.llm.base import LanguageModel
+# Submodule imports (not the package __init__): repro.core and
+# repro.strategies import each other's leaves, and going through the
+# package would re-enter a partially initialised __init__.
+from repro.strategies.base import EngineRequest
+from repro.strategies.registry import get_strategy
 from repro.table.frame import DataFrame
 from repro.telemetry.spans import activate, span
 
@@ -61,10 +66,16 @@ class ReActTableAgent:
                  temperature: float = 0.0,
                  few_shot_selector=None,
                  tracer=None,
-                 normalize_columns: bool = False):
+                 normalize_columns: bool = False,
+                 strategy: str = "react"):
         self.model = model
         self.registry = registry or default_registry()
+        # Resolved eagerly so an unknown strategy fails at construction.
+        self.strategy = get_strategy(strategy)
         languages = tuple(self.registry.languages)
+        #: The agent's explicit builder, if any; ``None`` lets the
+        #: strategy's factory apply its own prompt template.
+        self._explicit_builder = prompt_builder is not None
         self.prompt_builder = prompt_builder or PromptBuilder(
             languages=languages)
         if max_iterations is not None and max_iterations < 1:
@@ -91,21 +102,31 @@ class ReActTableAgent:
             languages=self.prompt_builder.languages,
             max_prompt_rows=self.prompt_builder.max_prompt_rows)
 
-    def engine_for(self, table: DataFrame, question: str) -> ChainEngine:
-        """A fresh :class:`ChainEngine` for one question, agent-configured.
+    def engine_for(self, table: DataFrame, question: str):
+        """A fresh engine for one question, agent-configured.
 
         The hook batched drivers use: the returned engine carries this
         agent's prompt builder, temperature and iteration caps, ready to
         be driven by a :class:`repro.engine.BatchScheduler` alongside
-        other chains.
+        other chains.  The engine class itself comes from the strategy
+        registry — ``react`` by default, any registered strategy via the
+        ``strategy`` constructor knob.
         """
         if self.normalize_columns:
             table = _normalize_table_columns(table)
-        return ChainEngine(
-            Transcript(table.with_name("T0"), question),
-            prompt_builder=self._builder_for(question),
+        builder = self._builder_for(question)
+        if (self.strategy.name != "react" and not self._explicit_builder
+                and self.few_shot_selector is None):
+            # No caller customisation: let the strategy's factory pick
+            # its own prompt template (the chain-of-table builder, say)
+            # instead of forcing the react default on it.
+            builder = None
+        return self.strategy.build_engine(EngineRequest(
+            table=table, question=question,
+            languages=tuple(self.registry.languages),
             temperature=self.temperature,
-            max_iterations=self.max_iterations)
+            max_iterations=self.max_iterations,
+            prompt_builder=builder))
 
     def run(self, table: DataFrame, question: str, *,
             seed: int | None = None) -> AgentResult:
@@ -129,5 +150,10 @@ class ReActTableAgent:
         with activate(telemetry), span("agent_run", trace_id=chain) as root:
             if root is not None:
                 root.set(question=question[:120])
-            handler = EffectHandler(model, self.registry)
-            return run_chain(engine, handler, tracer=self.tracer)
+            handler = EffectHandler(model, self.registry,
+                                    catch=self.strategy.handler_catch)
+            if isinstance(engine, ChainEngine):
+                return run_chain(engine, handler, tracer=self.tracer)
+            # CoT-family engines emit several execute effects per model
+            # call; the generic pump handles that shape.
+            return drive(engine, handler)

@@ -16,11 +16,11 @@ the shared :class:`repro.engine.EffectHandler`).
 from __future__ import annotations
 
 from repro.core.agent import AgentResult
-from repro.core.prompt import Transcript
-from repro.engine.cot import CoTEngine
 from repro.engine.driver import EffectHandler, drive
 from repro.executors.registry import ExecutorRegistry, default_registry
 from repro.llm.base import LanguageModel
+from repro.strategies.base import EngineRequest
+from repro.strategies.registry import get_strategy
 from repro.table.frame import DataFrame
 
 __all__ = ["CodexCoTAgent"]
@@ -34,15 +34,17 @@ class CodexCoTAgent:
                  temperature: float = 0.0):
         self.model = model
         self.registry = registry or default_registry()
+        self.strategy = get_strategy("cot")
         self.temperature = temperature
 
     def run(self, table: DataFrame, question: str) -> AgentResult:
-        t0 = table.with_name("T0")
-        engine = CoTEngine(Transcript(t0, question),
-                           languages=tuple(self.registry.languages),
-                           temperature=self.temperature)
+        engine = self.strategy.build_engine(EngineRequest(
+            table=table, question=question,
+            languages=tuple(self.registry.languages),
+            temperature=self.temperature))
         # Any block failure — executor error, missing executor, sandbox
-        # refusal — is noted and skipped, hence the blanket envelope.
+        # refusal — is noted and skipped, hence the blanket envelope
+        # named by the strategy contract.
         handler = EffectHandler(self.model, self.registry,
-                                catch=(Exception,))
+                                catch=self.strategy.handler_catch)
         return drive(engine, handler)

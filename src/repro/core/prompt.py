@@ -28,6 +28,7 @@ __all__ = [
     "ParsedPrompt",
     "parse_prompt",
     "build_cot_prompt",
+    "build_commented_prompt",
     "DEFAULT_FEW_SHOT",
 ]
 
@@ -36,6 +37,13 @@ _QUESTION_MARKER = 'Answer the following question based on the data above: "'
 _INTERMEDIATE_MARKER = "Intermediate table ("
 _FORCED_ANSWER_SUFFIX = "ReAcTable: Answer:"
 _COT_INSTRUCTION_HINT = "in a single response"
+# Strategy-layer instruction hints (repro.strategies): each non-react
+# strategy marks its instruction line so the simulated model — which
+# receives only the prompt string — can recover which completion mode is
+# being asked for.  The hints are disjoint from each other and from the
+# CoT hint above.
+_OPERATOR_INSTRUCTION_HINT = "one table-evolving operator"
+_COMMENTED_INSTRUCTION_HINT = "comment line"
 # The reflexion tier's template extensions (repro.reflect).  A prompt
 # ending with the reflection suffix asks the model to *write* a verbal
 # reflection about a failed run; a prompt whose preamble carries
@@ -195,6 +203,31 @@ def build_cot_prompt(t0: DataFrame, question: str, *,
     )
 
 
+def build_commented_prompt(t0: DataFrame, question: str, *,
+                           languages: tuple[str, ...] = ("sql", "python"),
+                           max_prompt_rows: int | None = 50) -> str:
+    """The commented-program prompt (the arxiv 2602.00543 strategy).
+
+    Like the CoT prompt this asks for the whole program at once, but in
+    *commented* form: a ``#`` comment line describing each step precedes
+    its code block.  Spelling out the intent before the code anchors
+    each block (and lets the engine keep multi-line blocks together),
+    which is the strategy's measurable edge over plain CoT.
+    """
+    names = {"sql": "SQL", "python": "Python"}
+    rendered = " or ".join(
+        names.get(lang, lang.capitalize()) for lang in languages)
+    return (
+        f"{_TABLE_MARKER}\n"
+        f"{encode_head_row_cached(t0, max_rows=max_prompt_rows)}\n"
+        f'{_QUESTION_MARKER}{question}". '
+        f"Generate the complete {rendered} program needed to answer the "
+        f"question, writing a {_COMMENTED_INSTRUCTION_HINT} starting "
+        f"with '#' before each code block to describe what it does, "
+        f"then state the final answer."
+    )
+
+
 @dataclass
 class ParsedPrompt:
     """What the simulated model recovers from a prompt string."""
@@ -206,6 +239,10 @@ class ParsedPrompt:
     force_answer: bool
     languages: tuple[str, ...]
     cot: bool = False
+    #: The prompt asks for table-evolving operators (chain-of-table).
+    chain_of_table: bool = False
+    #: The prompt asks for a commented program (commented-code strategy).
+    commented: bool = False
     #: Questions of the few-shot demonstrations preceding the live one.
     demo_questions: tuple[str, ...] = ()
     #: The prompt asks for a verbal reflection, not the next action.
@@ -282,6 +319,8 @@ def parse_prompt(prompt: str) -> ParsedPrompt:
         force_answer=force_answer,
         languages=tuple(languages),
         cot=_COT_INSTRUCTION_HINT in instruction_line,
+        chain_of_table=_OPERATOR_INSTRUCTION_HINT in instruction_line,
+        commented=_COMMENTED_INSTRUCTION_HINT in instruction_line,
         demo_questions=demo_questions,
         reflect=reflect,
         num_reflections=num_reflections,

@@ -38,13 +38,14 @@ from dataclasses import dataclass, field
 
 from repro.core.actions import ActionKind, parse_action
 from repro.core.agent import HARD_ITERATION_CAP, ReActTableAgent
-from repro.core.prompt import PromptBuilder, Transcript
 from repro.engine.core import ChainEngine
 from repro.engine.driver import EffectHandler
 from repro.engine.scheduler import BatchScheduler
-from repro.errors import ActionParseError, ModelError
+from repro.errors import ActionParseError, ModelError, StrategyError
 from repro.executors.registry import ExecutorRegistry, default_registry
 from repro.llm.base import LanguageModel
+from repro.strategies.base import EngineRequest
+from repro.strategies.registry import get_strategy
 from repro.table.compare import table_fingerprint
 from repro.table.frame import DataFrame
 from repro.telemetry.spans import span
@@ -99,6 +100,21 @@ def get_majority(answers: list[list[str]]) -> list[str]:
     return representative[best]
 
 
+def _branching_strategy(name: str, voter: str):
+    """Resolve a strategy for a branch-forking voter, or refuse.
+
+    Tree- and execution-based voting fork the search tree through the
+    engine's clone/prompt_effect/execute_effect primitives; a
+    single-completion strategy has no branches to fork.
+    """
+    strategy = get_strategy(name)
+    if not strategy.supports_branching:
+        raise StrategyError(
+            f"strategy {strategy.name!r} does not support branch "
+            f"primitives; {voter} voting needs a chain-family strategy")
+    return strategy
+
+
 class SimpleMajorityVoting:
     """Algorithm 1: n independent chains, majority answer.
 
@@ -113,23 +129,34 @@ class SimpleMajorityVoting:
                  temperature: float = DEFAULT_VOTE_TEMPERATURE,
                  n: int = DEFAULT_VOTE_SAMPLES,
                  max_iterations: int | None = None,
-                 use_scheduler: bool = False):
+                 use_scheduler: bool = False,
+                 strategy: str = "react"):
         self.model = model
         self.registry = registry or default_registry()
+        self.strategy = get_strategy(strategy)
         self.temperature = temperature
         self.n = n
         self.max_iterations = max_iterations
         self.use_scheduler = use_scheduler
+
+    @property
+    def handler_catch(self) -> tuple:
+        """The strategy's exception envelope, for external drivers."""
+        return self.strategy.handler_catch
+
+    def _agent(self) -> ReActTableAgent:
+        return ReActTableAgent(
+            self.model, registry=self.registry,
+            temperature=self.temperature,
+            max_iterations=self.max_iterations,
+            strategy=self.strategy.name)
 
     def run(self, table: DataFrame, question: str) -> VotingResult:
         with span("vote_run", method="s-vote", n=self.n):
             if self.use_scheduler:
                 results = self._run_scheduled(table, question)
             else:
-                agent = ReActTableAgent(
-                    self.model, registry=self.registry,
-                    temperature=self.temperature,
-                    max_iterations=self.max_iterations)
+                agent = self._agent()
                 results = [agent.run(table, question)
                            for _ in range(self.n)]
         return self.tally(results)
@@ -143,19 +170,22 @@ class SimpleMajorityVoting:
         then combine the results with :meth:`tally` — same voting policy,
         any sequencing.
         """
-        agent = ReActTableAgent(
-            self.model, registry=self.registry,
-            temperature=self.temperature,
-            max_iterations=self.max_iterations)
+        agent = self._agent()
         return [agent.engine_for(table, question) for _ in range(self.n)]
 
     def tally(self, results) -> VotingResult:
-        """Combine per-chain :class:`AgentResult`\\ s into the vote."""
-        return self._tally([r.answer for r in results],
+        """Combine per-chain :class:`AgentResult`\\ s into the vote.
+
+        Answers pass through the strategy's extraction contract first,
+        so a non-default strategy votes in its own normal form.
+        """
+        extract = self.strategy.extract_answer
+        return self._tally([list(extract(r)) for r in results],
                            [r.iterations for r in results])
 
     def _run_scheduled(self, table: DataFrame, question: str):
-        scheduler = BatchScheduler(self.model, self.registry)
+        scheduler = BatchScheduler(self.model, self.registry,
+                                   catch=self.handler_catch)
         return scheduler.run(self.chain_engines(table, question))
 
     def _tally(self, answers: list[list[str]],
@@ -190,11 +220,11 @@ class TreeExplorationVoting:
                  temperature: float = DEFAULT_VOTE_TEMPERATURE,
                  n: int = DEFAULT_VOTE_SAMPLES,
                  max_branches: int = 256,
-                 max_depth: int = HARD_ITERATION_CAP):
+                 max_depth: int = HARD_ITERATION_CAP,
+                 strategy: str = "react"):
         self.model = model
         self.registry = registry or default_registry()
-        self.prompt_builder = PromptBuilder(
-            languages=tuple(self.registry.languages))
+        self.strategy = _branching_strategy(strategy, "tree-exploration")
         self.temperature = temperature
         self.n = n
         self.max_branches = max_branches
@@ -205,9 +235,10 @@ class TreeExplorationVoting:
         # the handler swallows every exception class.
         handler = EffectHandler(self.model, self.registry,
                                 catch=(Exception,))
-        root = ChainEngine(Transcript(table.with_name("T0"), question),
-                           prompt_builder=self.prompt_builder,
-                           temperature=self.temperature, n=self.n)
+        root = self.strategy.build_engine(EngineRequest(
+            table=table, question=question,
+            languages=tuple(self.registry.languages),
+            temperature=self.temperature, n=self.n))
         queue: deque[ChainEngine] = deque([root])
         answers: list[list[str]] = []
         votes: dict[str, int] = {}
@@ -262,15 +293,15 @@ class ExecutionBasedVoting:
                  registry: ExecutorRegistry | None = None,
                  temperature: float = DEFAULT_VOTE_TEMPERATURE,
                  n: int = DEFAULT_VOTE_SAMPLES,
-                 max_depth: int = HARD_ITERATION_CAP):
+                 max_depth: int = HARD_ITERATION_CAP,
+                 strategy: str = "react"):
         if not model.supports_logprobs:
             raise ModelError(
                 f"execution-based voting needs log-probabilities, which "
                 f"{model.name} does not provide")
         self.model = model
         self.registry = registry or default_registry()
-        self.prompt_builder = PromptBuilder(
-            languages=tuple(self.registry.languages))
+        self.strategy = _branching_strategy(strategy, "execution-based")
         self.temperature = temperature
         self.n = n
         self.max_depth = max_depth
@@ -279,9 +310,10 @@ class ExecutionBasedVoting:
         # Non-executing code never wins a vote: swallow everything.
         handler = EffectHandler(self.model, self.registry,
                                 catch=(Exception,))
-        engine = ChainEngine(Transcript(table.with_name("T0"), question),
-                             prompt_builder=self.prompt_builder,
-                             temperature=self.temperature, n=self.n)
+        engine = self.strategy.build_engine(EngineRequest(
+            table=table, question=question,
+            languages=tuple(self.registry.languages),
+            temperature=self.temperature, n=self.n))
         iterations = 0
         with span("vote_run", method="e-vote", n=self.n):
             while True:
@@ -338,6 +370,9 @@ def make_voter(kind: str, model: LanguageModel, **kwargs):
     """Factory: ``"none" | "s-vote" | "t-vote" | "e-vote"`` → runner.
 
     ``"none"`` returns a greedy single-chain :class:`ReActTableAgent`.
+    Every runner accepts ``strategy=<registered name>`` (default
+    ``"react"``); the branch-forking voters refuse single-completion
+    strategies with a :class:`~repro.errors.StrategyError`.
     """
     if kind in ("none", "greedy"):
         kwargs.pop("temperature", None)

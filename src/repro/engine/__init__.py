@@ -19,6 +19,11 @@ re-implement the loop is now a driver over this core:
 See ``docs/architecture.md`` §10 for the effect-flow diagram.
 """
 
+from repro.engine.chain_of_table import (
+    ChainOfTableEngine,
+    ChainOfTablePromptBuilder,
+)
+from repro.engine.commented import CommentedCodeEngine
 from repro.engine.core import HARD_ITERATION_CAP, ChainEngine
 from repro.engine.cot import CoTEngine
 from repro.engine.driver import EffectHandler, drive, run_chain
@@ -30,6 +35,9 @@ __all__ = [
     "HARD_ITERATION_CAP",
     "AgentResult",
     "ChainEngine",
+    "ChainOfTableEngine",
+    "ChainOfTablePromptBuilder",
+    "CommentedCodeEngine",
     "CoTEngine",
     "ModelCall",
     "Execute",

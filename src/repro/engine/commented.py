@@ -1,0 +1,70 @@
+"""Sans-IO engine for the commented-program strategy (arxiv 2602.00543).
+
+One completion carries a whole program whose code blocks are each
+preceded by a ``#`` comment line describing what the block does — the
+comments decompose the question the way ReAcTable's intermediate tables
+do, but all planning happens up front in a single model call.
+
+Structurally this is the CoT shape (one :class:`ModelCall`, then one
+:class:`Execute` per block), so the engine subclasses
+:class:`~repro.engine.cot.CoTEngine` and overrides its two seams: the
+prompt template and the completion parser.  The parser is block-based
+rather than line-based — a comment line or a new ``ReAcTable:`` head
+flushes the block under construction, and continuation lines accumulate,
+so multi-line Python bodies survive intact.
+"""
+
+from __future__ import annotations
+
+from repro.core.actions import Action, parse_action
+from repro.core.prompt import Transcript, build_commented_prompt
+from repro.engine.cot import CoTEngine
+from repro.errors import ActionParseError
+
+__all__ = ["CommentedCodeEngine"]
+
+
+class CommentedCodeEngine(CoTEngine):
+    """Single-completion commented-program state machine."""
+
+    def __init__(self, transcript: Transcript, *,
+                 languages: tuple[str, ...] = ("sql", "python"),
+                 temperature: float = 0.0,
+                 prompt_hook=None):
+        super().__init__(transcript, languages=languages,
+                         temperature=temperature, prompt_hook=prompt_hook)
+        #: The ``#`` comment lines of the completion, in order — the
+        #: verbal plan, kept for inspection and tests.
+        self.comments: list[str] = []
+
+    def _prompt(self) -> str:
+        return build_commented_prompt(self.transcript.t0,
+                                      self.transcript.question,
+                                      languages=self.languages)
+
+    def _parse_completion(self, text: str) -> list[Action]:
+        actions: list[Action] = []
+        block: list[str] = []
+
+        def flush() -> None:
+            if not block:
+                return
+            try:
+                actions.append(parse_action("\n".join(block)))
+            except ActionParseError:
+                pass
+            block.clear()
+
+        for line in text.splitlines():
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if stripped.startswith("#"):
+                flush()
+                self.comments.append(stripped.lstrip("# ").strip())
+                continue
+            if stripped.startswith("ReAcTable:"):
+                flush()
+            block.append(line)
+        flush()
+        return actions

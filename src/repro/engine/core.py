@@ -205,10 +205,20 @@ class ChainEngine:
             self._finish(answer, forced=self._forcing)
             return
         # Code action: stage the executor effect over the table history.
+        self._stage(action)
+
+    def _stage(self, action: Action) -> None:
+        """Stage the execute effect for a non-answer action.
+
+        The seam subclass engines override to *lower* their action
+        vocabulary into executable code (the chain-of-table engine turns
+        typed operators into SQL/Python here) while inheriting the whole
+        forcing ladder, transcript bookkeeping and clone semantics.
+        """
         self._pending_action = action
         self._pending = Execute(language=action.kind, code=action.payload,
                                 tables=tuple(self.transcript.tables),
-                                iteration=iteration)
+                                iteration=self.iterations)
         self._state = _EXEC
 
     def _on_exec(self, reply: ExecResult) -> None:
@@ -285,7 +295,9 @@ class ChainEngine:
         if self._state == _EXEC or self._pending_action is not None:
             raise EngineProtocolError(
                 "cannot clone mid-step (execution pending)")
-        twin = ChainEngine(
+        # ``type(self)``: subclass engines (chain-of-table) clone to their
+        # own class, keeping their action lowering on every branch.
+        twin = type(self)(
             self.transcript.fork(),
             prompt_builder=self.prompt_builder,
             temperature=self.temperature, n=self.n,

@@ -23,10 +23,14 @@ class CoTEngine:
 
     def __init__(self, transcript: Transcript, *,
                  languages: tuple[str, ...] = ("sql", "python"),
-                 temperature: float = 0.0):
+                 temperature: float = 0.0,
+                 prompt_hook=None):
         self.transcript = transcript
         self.languages = languages
         self.temperature = temperature
+        #: Optional ``str -> str`` transform applied to the assembled
+        #: prompt — the same reflexion seam :class:`ChainEngine` exposes.
+        self.prompt_hook = prompt_hook
         self.events: list[str] = []
         self._state = "model"
         self._queue: list[Action] = []
@@ -49,14 +53,40 @@ class CoTEngine:
             raise EngineProtocolError("chain has not finished")
         return self._result
 
+    def _prompt(self) -> str:
+        """Assemble the single prompt — the seam subclass engines override
+        to swap in another single-shot template (the commented-code engine
+        substitutes its own instruction here)."""
+        return build_cot_prompt(self.transcript.t0,
+                                self.transcript.question,
+                                languages=self.languages)
+
+    def _parse_completion(self, text: str) -> list[Action]:
+        """Parse the completion into the action queue.
+
+        Line-based: each line either parses as an action or is dropped
+        (free-form reasoning text between blocks).  Subclasses override
+        to speak richer completion shapes.
+        """
+        actions: list[Action] = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                actions.append(parse_action(line))
+            except ActionParseError:
+                continue
+        return actions
+
     def next_effect(self) -> ModelCall | Execute:
         if self._state == "done":
             raise EngineProtocolError("chain already finished")
         if self._pending is None:
             # Only reachable in the initial model state.
-            prompt = build_cot_prompt(self.transcript.t0,
-                                      self.transcript.question,
-                                      languages=self.languages)
+            prompt = self._prompt()
+            if self.prompt_hook is not None:
+                prompt = self.prompt_hook(prompt)
             self._pending = ModelCall(prompt=prompt,
                                       temperature=self.temperature,
                                       n=1, iteration=1)
@@ -70,14 +100,7 @@ class CoTEngine:
             # Mirrors the legacy ``complete(...)[0]``: an empty batch is
             # a backend contract violation here, not a forcing event.
             completion = reply.completions[0]
-            for line in completion.text.splitlines():
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    self._queue.append(parse_action(line))
-                except ActionParseError:
-                    continue
+            self._queue.extend(self._parse_completion(completion.text))
             self._advance()
         elif self._state == "exec":
             if not isinstance(reply, ExecResult):

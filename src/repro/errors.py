@@ -61,6 +61,11 @@ __all__ = [
     "AdmissionRejectedError",
     "ReflectionError",
     "ReflectionUnsupportedError",
+    "StrategyError",
+    "UnknownStrategyError",
+    "DuplicateStrategyError",
+    "EnsembleSpecError",
+    "OperatorParseError",
     "RETRYABLE_BUILTINS",
     "is_retryable",
 ]
@@ -314,6 +319,55 @@ class ReflectionUnsupportedError(ReflectionError):
     ``chain_engines`` (tree/execution voters re-sample per step, so a
     chain-level reflection re-run has no seam to inject into).  The
     ladder treats it as "this rung does not apply", not as a failure.
+    """
+
+    retryable = False
+
+
+class StrategyError(ReproError):
+    """Errors raised by the strategy registry (``repro.strategies``)."""
+
+    retryable = False
+
+
+class UnknownStrategyError(StrategyError):
+    """A strategy name not present in the registry was requested.
+
+    Permanent by classification: the same lookup will never succeed —
+    the caller holds a typo or an unregistered strategy, not a runtime
+    condition.
+    """
+
+    retryable = False
+
+
+class DuplicateStrategyError(StrategyError):
+    """A strategy name was registered twice without ``replace=True``.
+
+    Always a programming bug (two modules claiming one name), never a
+    runtime condition.
+    """
+
+    retryable = False
+
+
+class EnsembleSpecError(StrategyError):
+    """A heterogeneous-ensemble spec string could not be parsed.
+
+    Raised for malformed ``ensemble:a+b+c`` specs (empty member list,
+    empty member names).  Unknown member *names* raise
+    :class:`UnknownStrategyError` instead, at resolution time.
+    """
+
+    retryable = False
+
+
+class OperatorParseError(AgentError):
+    """A chain-of-table operator payload could not be parsed.
+
+    The same payload will never parse, so the engine handles it
+    structurally — force a direct answer, exactly like
+    :class:`ActionParseError` on a malformed completion.
     """
 
     retryable = False

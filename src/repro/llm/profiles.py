@@ -67,6 +67,12 @@ class ModelProfile:
     #: Probability the model skips the awkward SQL reformulation entirely
     #: and answers directly (the Section 4.3.3 "Spain" failure mode).
     fallback_giveup_rate: float = 0.65
+    #: Fraction of the CoT penalty relieved when the one-shot program is
+    #: written with a plan comment before each block (the commented-code
+    #: strategy, arxiv 2602.00543): the comments scaffold the plan the
+    #: way intermediate tables ground the chain, but only partially —
+    #: the program is still generated blind.
+    commented_relief: float = 0.35
 
     # --- answer step -------------------------------------------------------
     #: Base competence for reading the final table into an answer.

@@ -40,6 +40,7 @@ from repro.plans.corruption import (
     apply_corruption,
     corrupt_code_text,
 )
+from repro.plans.operators import break_operator, render_operator
 from repro.plans.steps import AnswerStep, CodeStep, ExtractStep
 from repro.table.frame import DataFrame
 from repro.table.schema import is_missing
@@ -109,7 +110,15 @@ class SimulatedTQAModel(LanguageModel):
                 draw = self._next_draw(temperature)
             else:
                 draw = base_draw
-            if parsed.cot:
+            if parsed.chain_of_table:
+                completions.append(
+                    self._complete_chain_of_table(example, parsed,
+                                                  temperature, draw))
+            elif parsed.commented:
+                completions.append(
+                    self._complete_commented(example, parsed, temperature,
+                                             draw))
+            elif parsed.cot:
                 completions.append(
                     self._complete_cot(example, parsed, temperature, draw))
             else:
@@ -143,7 +152,8 @@ class SimulatedTQAModel(LanguageModel):
                           sql_fallback: bool,
                           mental: bool = False,
                           demo_similarity: float = 0.0,
-                          reflections: int = 0) -> float:
+                          reflections: int = 0,
+                          commented: bool = False) -> float:
         profile = self.profile
         z = profile.skill
         z -= profile.difficulty_scale * example.difficulty
@@ -151,7 +161,11 @@ class SimulatedTQAModel(LanguageModel):
         z += profile.demo_affinity * demo_similarity
         z += profile.reflection_bonus * min(reflections, 2)
         if cot:
-            z -= profile.cot_penalty
+            penalty = profile.cot_penalty
+            if commented:
+                # Plan comments scaffold the blind program partially.
+                penalty *= max(0.0, 1.0 - profile.commented_relief)
+            z -= penalty
             z -= profile.cot_temperature_sensitivity * temperature
         else:
             z += profile.grounding_bonus * min(grounding, 3)
@@ -164,14 +178,18 @@ class SimulatedTQAModel(LanguageModel):
 
     def _answer_probability(self, example: TQAExample, *,
                             temperature: float, cot: bool,
-                            reflections: int = 0) -> float:
+                            reflections: int = 0,
+                            commented: bool = False) -> float:
         profile = self.profile
         z = profile.answer_skill
         z -= profile.difficulty_scale * example.difficulty * 0.55
         z -= self._question_noise(example) * 0.6
         z += profile.reflection_bonus * min(reflections, 2) * 0.5
         if cot:
-            z -= profile.cot_penalty * 0.5
+            penalty = profile.cot_penalty
+            if commented:
+                penalty *= max(0.0, 1.0 - profile.commented_relief)
+            z -= penalty * 0.5
             z -= profile.cot_temperature_sensitivity * temperature * 0.5
         else:
             z -= profile.temperature_sensitivity * temperature * 0.5
@@ -577,6 +595,140 @@ class SimulatedTQAModel(LanguageModel):
         values = self._derive_answer(example, tables[-1])
         if aroll.random() >= answer_p:
             values = self._corrupt_answer(example, values, tables[-1])
+        lines.append(self._format_answer(example, values, tables[-1],
+                                         draw))
+        logprob = None
+        present = [lp for lp in logprobs if lp is not None]
+        if self.profile.provides_logprobs:
+            logprob = (sum(present) / len(present)) if present else (
+                self._logprob_value(True, aroll))
+        return Completion("\n".join(lines), logprob)
+
+    # --- chain-of-table-mode completion ----------------------------------------
+
+    def _complete_chain_of_table(self, example: TQAExample,
+                                 parsed: ParsedPrompt, temperature: float,
+                                 draw: int) -> Completion:
+        """Next typed operator (the chain-of-table strategy).
+
+        Same per-step Bernoulli model as ReAct mode — grounding bonus
+        and all — but the emission vocabulary is the operator algebra:
+        a step the vocabulary cannot express makes the model answer
+        directly, and an incorrect draw damages the *plan step* and
+        re-renders it as a well-formed operator computing the wrong
+        thing (plus the occasional outright syntax break).
+        """
+        step_index = parsed.num_code_steps
+        code_steps = example.plan.code_steps
+        if parsed.force_answer or step_index >= len(code_steps):
+            return self._emit_answer(example, parsed, temperature, draw)
+        premature_rng = self._rng("ot-premature", example.uid, step_index,
+                                  draw)
+        premature_p = self.profile.premature_answer_rate * (1 + temperature)
+        if premature_rng.random() < premature_p:
+            return self._emit_answer(example, parsed, temperature, draw)
+        step = code_steps[step_index]
+        operator = render_operator(step)
+        if operator is None:
+            # Whole-table aggregate / conditional count / diff: the
+            # operator vocabulary cannot evolve the table further, so
+            # read the answer off what has been built.
+            return self._emit_answer(example, parsed, temperature, draw)
+        probability = self._step_probability(
+            example, step_index, grounding=parsed.num_code_steps,
+            cot=False, temperature=temperature, sql_fallback=False,
+            demo_similarity=self._demo_similarity(example, parsed),
+            reflections=parsed.num_reflections)
+        roll = self._rng("ot-roll", example.uid, step_index, draw)
+        correct = roll.random() < probability
+        if not correct:
+            operator = self._corrupt_operator(example, step, step_index,
+                                              parsed, operator)
+        logprob = self._logprob_value(
+            correct, self._rng("ot-lp", example.uid, step_index, draw))
+        return Completion(f"ReAcTable: Operator: ```{operator}```.",
+                          logprob)
+
+    def _corrupt_operator(self, example: TQAExample, step: CodeStep,
+                          step_index: int, parsed: ParsedPrompt,
+                          operator: str) -> str:
+        # Same correlation contract as _render_corrupted: corruption
+        # content is seeded per (question, step) — never per draw.
+        rng = self._rng("ot-corrupt", example.uid, step_index)
+        weights = self.profile.error_mode_weights
+        modes = list(weights)
+        ordering = rng.choices(modes, weights=[weights[m] for m in modes],
+                               k=len(modes))
+        seen = set()
+        for mode in ordering + modes:
+            if mode in seen:
+                continue
+            seen.add(mode)
+            if mode is ErrorMode.SYNTAX_ERROR:
+                return break_operator(operator, rng)
+            if mode is ErrorMode.MODULE_HALLUCINATION:
+                continue   # no import surface in operator text
+            damaged = apply_corruption(step, mode,
+                                       current=parsed.current_table,
+                                       original=parsed.t0, rng=rng)
+            if damaged is None:
+                continue
+            rendered = render_operator(damaged)
+            if rendered is not None:
+                return rendered
+        # Every structured mode was inapplicable: break the syntax.
+        return break_operator(operator, rng)
+
+    # --- commented-program-mode completion --------------------------------------
+
+    def _complete_commented(self, example: TQAExample,
+                            parsed: ParsedPrompt, temperature: float,
+                            draw: int) -> Completion:
+        """One-shot commented program (the commented-code strategy).
+
+        Structurally the CoT generator with a plan comment preceding
+        each block; the comments partially relieve the CoT penalty
+        (``commented_relief``) — planning in words before each block is
+        a weaker form of the grounding the chain gets from real
+        intermediate tables.
+        """
+        lines = []
+        logprobs = []
+        tables = [parsed.t0.with_name("T0")]
+        for step_index, step in enumerate(example.plan.code_steps):
+            sql_fallback = step.language not in parsed.languages
+            if sql_fallback and not isinstance(step, ExtractStep):
+                break
+            probability = self._step_probability(
+                example, step_index, grounding=0, cot=True,
+                temperature=temperature, sql_fallback=sql_fallback,
+                commented=True)
+            roll = self._rng("cc-roll", example.uid, step_index, draw)
+            correct = roll.random() < probability
+            current = tables[-1]
+            code, language = self._render_step(
+                example, step, step_index, current, parsed.t0,
+                correct=correct, sql_fallback=sql_fallback)
+            label = {"sql": "SQL", "python": "Python"}[language]
+            lines.append(f"# {step.describe()}")
+            lines.append(f"ReAcTable: {label}: ```{code}```.")
+            logprobs.append(self._logprob_value(
+                correct, self._rng("cc-lp", example.uid, step_index,
+                                   draw)))
+            # Blind internal simulation, exactly like CoT mode.
+            try:
+                executor = self._internal.get(language)
+                outcome = executor.execute(code, tables)
+                tables.append(outcome.table.with_name(f"T{len(tables)}"))
+            except Exception:
+                pass
+        answer_p = self._answer_probability(
+            example, temperature=temperature, cot=True, commented=True)
+        aroll = self._rng("cc-aroll", example.uid, draw)
+        values = self._derive_answer(example, tables[-1])
+        if aroll.random() >= answer_p:
+            values = self._corrupt_answer(example, values, tables[-1])
+        lines.append("# state the final answer")
         lines.append(self._format_answer(example, values, tables[-1],
                                          draw))
         logprob = None

@@ -9,6 +9,16 @@ from repro.plans.corruption import (
     apply_corruption,
     corrupt_code_text,
 )
+from repro.plans.operators import (
+    AddColumnOp,
+    GroupOp,
+    Operator,
+    SelectRowsOp,
+    SortOp,
+    break_operator,
+    parse_operator,
+    render_operator,
+)
 from repro.plans.plan import Plan, PlanTrace
 from repro.plans.steps import (
     AggregateStep,
@@ -45,4 +55,12 @@ __all__ = [
     "ErrorMode",
     "apply_corruption",
     "corrupt_code_text",
+    "Operator",
+    "SelectRowsOp",
+    "AddColumnOp",
+    "GroupOp",
+    "SortOp",
+    "parse_operator",
+    "render_operator",
+    "break_operator",
 ]

@@ -1,0 +1,284 @@
+"""Typed table-evolving operators (the Chain-of-Table action algebra).
+
+Chain-of-Table (arxiv 2401.04398) reasons by *evolving the table*: at
+each step the model names one typed operator — ``select_rows``,
+``add_column``, ``group``, ``sort`` — instead of writing raw code.  This
+module owns the operator vocabulary as a bidirectional mapping onto the
+plan algebra of :mod:`repro.plans.steps`:
+
+* :func:`parse_operator` — operator text → typed operator, which
+  :meth:`Operator.to_step` lowers to a plan step whose ``render`` emits
+  the real SQL/Python the executors run.  The engine side.
+* :func:`render_operator` — plan step → operator text (``None`` for
+  steps the vocabulary cannot express: whole-table aggregates,
+  conditional counts, diffs).  The simulated-model side.
+
+The textual grammar is deliberately tiny — ``name(key=value; ...)`` —
+and forgiving about whitespace.  Corruption composes for free: damaging
+a plan step with :func:`repro.plans.corruption.apply_corruption` and
+re-rendering it yields a *well-formed operator computing the wrong
+thing*, exactly like corrupted SQL.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass
+
+from repro.errors import OperatorParseError
+from repro.plans.steps import (
+    CodeStep,
+    ExtractStep,
+    FilterStep,
+    GroupAggStep,
+    GroupCountStep,
+    ProjectStep,
+    SuperlativeStep,
+)
+
+__all__ = [
+    "Operator",
+    "SelectRowsOp",
+    "AddColumnOp",
+    "GroupOp",
+    "SortOp",
+    "OPERATOR_NAMES",
+    "parse_operator",
+    "render_operator",
+    "break_operator",
+]
+
+
+class Operator:
+    """Base class for typed table-evolving operators."""
+
+    name = ""
+
+    def to_step(self) -> CodeStep:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SelectRowsOp(Operator):
+    """Keep rows matching ``condition`` and/or project ``columns``."""
+
+    condition: str = ""
+    columns: tuple[str, ...] = ()
+    distinct: bool = False
+
+    name = "select_rows"
+
+    def to_step(self) -> CodeStep:
+        if self.condition:
+            return FilterStep(condition=self.condition,
+                              columns=self.columns)
+        if not self.columns:
+            raise OperatorParseError(
+                "select_rows needs a condition or columns")
+        return ProjectStep(columns=self.columns, distinct=self.distinct)
+
+
+@dataclass(frozen=True)
+class AddColumnOp(Operator):
+    """Derive a new column by regex extraction from a string column."""
+
+    source: str
+    target: str
+    pattern: str
+    cast_numeric: bool = False
+
+    name = "add_column"
+
+    def to_step(self) -> CodeStep:
+        return ExtractStep(source=self.source, target=self.target,
+                           pattern=self.pattern,
+                           cast_numeric=self.cast_numeric)
+
+
+@dataclass(frozen=True)
+class GroupOp(Operator):
+    """Group by ``key`` and aggregate (count by default)."""
+
+    key: str
+    agg: str = "count"
+    value: str = ""
+    descending: bool | None = True
+    limit: int | None = 1
+    alias: str = ""
+
+    name = "group"
+
+    def to_step(self) -> CodeStep:
+        if self.agg == "count" and not self.value:
+            return GroupCountStep(key=self.key,
+                                  descending=bool(self.descending),
+                                  limit=self.limit)
+        if not self.value:
+            raise OperatorParseError(
+                f"group with agg={self.agg!r} needs a value column")
+        return GroupAggStep(key=self.key, agg=self.agg, value=self.value,
+                            descending=self.descending, limit=self.limit,
+                            alias=self.alias or None)
+
+
+@dataclass(frozen=True)
+class SortOp(Operator):
+    """Order by ``by`` and keep the top ``k`` rows of ``columns``."""
+
+    by: str
+    columns: tuple[str, ...] = ()
+    descending: bool = True
+    k: int = 1
+
+    name = "sort"
+
+    def to_step(self) -> CodeStep:
+        columns = self.columns or (self.by,)
+        return SuperlativeStep(target=columns[0], by=self.by,
+                               descending=self.descending, k=self.k,
+                               extra_columns=tuple(columns[1:]))
+
+
+OPERATOR_NAMES = ("select_rows", "add_column", "group", "sort")
+
+_OPERATOR_RE = re.compile(
+    r"^\s*(?P<name>[a-z_][a-z0-9_]*)\s*\((?P<body>.*)\)\s*$", re.DOTALL)
+
+
+def _parse_bool(value: str) -> bool:
+    return value.strip().lower() in ("true", "1", "yes")
+
+
+def _parse_limit(value: str) -> int | None:
+    value = value.strip().lower()
+    if value in ("none", ""):
+        return None
+    try:
+        return int(value)
+    except ValueError:
+        raise OperatorParseError(f"not an integer: {value!r}") from None
+
+
+def _parse_columns(value: str) -> tuple[str, ...]:
+    return tuple(part.strip() for part in value.split(",") if part.strip())
+
+
+def _fields(body: str) -> dict[str, str]:
+    fields: dict[str, str] = {}
+    for part in body.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise OperatorParseError(f"malformed field {part!r} "
+                                     f"(expected key=value)")
+        key, value = part.split("=", 1)
+        fields[key.strip()] = value.strip()
+    return fields
+
+
+def _require(fields: dict[str, str], key: str, operator: str) -> str:
+    if key not in fields or not fields[key]:
+        raise OperatorParseError(f"{operator} is missing {key!r}")
+    return fields[key]
+
+
+def parse_operator(text: str) -> Operator:
+    """Parse one operator payload; raises :class:`OperatorParseError`."""
+    match = _OPERATOR_RE.match(text)
+    if not match:
+        raise OperatorParseError(
+            f"not an operator call: {text[:60]!r}")
+    name = match.group("name")
+    fields = _fields(match.group("body"))
+    if name == "select_rows":
+        return SelectRowsOp(condition=fields.get("condition", ""),
+                            columns=_parse_columns(
+                                fields.get("columns", "")),
+                            distinct=_parse_bool(
+                                fields.get("distinct", "false")))
+    if name == "add_column":
+        return AddColumnOp(source=_require(fields, "source", name),
+                           target=_require(fields, "target", name),
+                           pattern=_require(fields, "pattern", name),
+                           cast_numeric=_parse_bool(
+                               fields.get("cast", "false")))
+    if name == "group":
+        descending: bool | None = None
+        if "desc" in fields:
+            descending = _parse_bool(fields["desc"])
+        return GroupOp(key=_require(fields, "key", name),
+                       agg=fields.get("agg", "count").lower(),
+                       value=fields.get("value", ""),
+                       descending=descending,
+                       limit=_parse_limit(fields.get("limit", "none")),
+                       alias=fields.get("alias", ""))
+    if name == "sort":
+        k = _parse_limit(fields.get("k", "1"))
+        return SortOp(by=_require(fields, "by", name),
+                      columns=_parse_columns(fields.get("columns", "")),
+                      descending=_parse_bool(fields.get("desc", "true")),
+                      k=1 if k is None else k)
+    raise OperatorParseError(f"unknown operator {name!r} "
+                             f"(known: {', '.join(OPERATOR_NAMES)})")
+
+
+def render_operator(step: CodeStep) -> str | None:
+    """Render a plan step as operator text; ``None`` if inexpressible.
+
+    The inverse of ``parse_operator(text).to_step().render(...)`` up to
+    field defaults: re-parsing the rendered text lowers to a step that
+    emits the same code.
+    """
+    if isinstance(step, FilterStep):
+        parts = [f"condition={step.condition}"]
+        if step.columns:
+            parts.append(f"columns={', '.join(step.columns)}")
+        return f"select_rows({'; '.join(parts)})"
+    if isinstance(step, ProjectStep):
+        parts = [f"columns={', '.join(step.columns)}"]
+        if step.distinct:
+            parts.append("distinct=true")
+        return f"select_rows({'; '.join(parts)})"
+    if isinstance(step, ExtractStep):
+        parts = [f"source={step.source}", f"target={step.target}",
+                 f"pattern={step.pattern}"]
+        if step.cast_numeric:
+            parts.append("cast=true")
+        return f"add_column({'; '.join(parts)})"
+    if isinstance(step, GroupCountStep):
+        parts = [f"key={step.key}", "agg=count",
+                 f"desc={'true' if step.descending else 'false'}"]
+        if step.limit is not None:
+            parts.append(f"limit={step.limit}")
+        return f"group({'; '.join(parts)})"
+    if isinstance(step, GroupAggStep):
+        parts = [f"key={step.key}", f"agg={step.agg}",
+                 f"value={step.value}"]
+        if step.descending is not None:
+            parts.append(f"desc={'true' if step.descending else 'false'}")
+        if step.limit is not None:
+            parts.append(f"limit={step.limit}")
+        if step.alias:
+            parts.append(f"alias={step.alias}")
+        return f"group({'; '.join(parts)})"
+    if isinstance(step, SuperlativeStep):
+        columns = ", ".join((step.target, *step.extra_columns))
+        return (f"sort(by={step.by}; columns={columns}; "
+                f"desc={'true' if step.descending else 'false'}; "
+                f"k={step.k})")
+    return None   # AggregateStep / CountWhereStep / DiffStep / unknown
+
+
+def break_operator(text: str, rng: random.Random) -> str:
+    """Make operator text unparseable (the syntax-error corruption).
+
+    Deterministic given ``rng``; the engine's forcing ladder absorbs the
+    resulting :class:`OperatorParseError` exactly like malformed SQL.
+    """
+    choice = rng.random()
+    if choice < 0.5 and text.endswith(")"):
+        return text[:-1]                       # drop the closing paren
+    name, _, rest = text.partition("(")
+    return f"{name} {rest}" if rest else text + "("

@@ -34,9 +34,10 @@ from repro.core.prompt import (
     _REFLECTION_SUFFIX,
     _TABLE_MARKER,
 )
-from repro.engine.driver import EffectHandler, run_chain
+from repro.engine.core import ChainEngine
+from repro.engine.driver import EffectHandler, drive, run_chain
 from repro.engine.effects import ModelCall
-from repro.errors import ReflectionUnsupportedError
+from repro.errors import ExecutionError, ReflectionUnsupportedError
 from repro.perf.encode_cache import encode_head_row_cached
 from repro.reflect.harvest import FailureReport, describe
 from repro.reflect.memory import ReflectionMemory
@@ -106,8 +107,12 @@ class ReflectEngine:
             raise ReflectionUnsupportedError(
                 f"runner {type(runner).__name__} exposes no chain-engine "
                 f"seam to re-run with reflections")
+        # Honour the runner's exception envelope: ensemble/CoT-family
+        # branches expect non-execution errors contained, not raised.
         handler = EffectHandler(runner.model, runner.registry,
-                                deadline=deadline)
+                                deadline=deadline,
+                                catch=getattr(runner, "handler_catch",
+                                              (ExecutionError,)))
         with span("reflect_run", index=index, category=report.category):
             prior = self.memory.recall(table, question)
             reflection = self._reflect(handler, table, question, report,
@@ -135,6 +140,15 @@ class ReflectEngine:
                         f"({report.category}); take smaller, verified "
                         f"steps this time.")
 
+    @staticmethod
+    def _drive(engine, handler: EffectHandler):
+        # run_chain assumes the strict alternating chain shape; CoT-family
+        # engines (one completion, several execute effects) take the
+        # generic pump instead — the same dispatch the agents use.
+        if isinstance(engine, ChainEngine):
+            return run_chain(engine, handler)
+        return drive(engine, handler)
+
     def _rerun(self, runner, table: DataFrame, question: str, hook,
                handler: EffectHandler):
         """Re-run the chain(s) with the reflections hook installed."""
@@ -142,8 +156,10 @@ class ReflectEngine:
             engines = runner.chain_engines(table, question)
             for engine in engines:
                 engine.prompt_hook = hook
-            with span("vote_run", method="s-vote", n=runner.n):
-                results = [run_chain(engine, handler)
+            method = ("ensemble" if hasattr(runner, "strategies")
+                      else "s-vote")
+            with span("vote_run", method=method, n=runner.n):
+                results = [self._drive(engine, handler)
                            for engine in engines]
             return runner.tally(results)
         engine = runner.engine_for(table, question)
@@ -151,4 +167,4 @@ class ReflectEngine:
         with span("agent_run", trace_id=None) as root:
             if root is not None:
                 root.set(question=question[:120])
-            return run_chain(engine, handler)
+            return self._drive(engine, handler)

@@ -22,6 +22,8 @@ from repro.datasets.spec import QuestionBank
 from repro.executors.registry import default_registry, sql_only_registry
 from repro.llm.profiles import get_profile
 from repro.llm.simulated import SimulatedTQAModel
+from repro.strategies.ensemble import HeterogeneousEnsemble
+from repro.strategies.registry import is_ensemble_spec, parse_ensemble_spec
 
 __all__ = ["AgentSpec"]
 
@@ -43,14 +45,19 @@ class AgentSpec:
     sql_only: bool = False
     sql_backend: str = "sqlite"
     max_iterations: int | None = None
+    #: A registered strategy name, or an ``ensemble:a+b+c`` spec (which
+    #: overrides ``voting`` — the ensemble is its own voting method).
+    strategy: str = "react"
 
     @property
     def config_key(self) -> str:
         """Canonical config string, part of every cache fingerprint."""
         return ("profile={};voting={};samples={};temperature={};"
-                "sql_only={};sql_backend={};max_iterations={}").format(
+                "sql_only={};sql_backend={};max_iterations={};"
+                "strategy={}").format(
             self.profile, self.voting, self.samples, self.temperature,
-            self.sql_only, self.sql_backend, self.max_iterations)
+            self.sql_only, self.sql_backend, self.max_iterations,
+            self.strategy)
 
     def _model(self, seed: int) -> SimulatedTQAModel:
         return SimulatedTQAModel(self.bank, get_profile(self.profile),
@@ -62,8 +69,15 @@ class AgentSpec:
         return default_registry(sql_backend=self.sql_backend)
 
     def build(self, seed: int):
-        """A fresh runner (agent or voter) seeded for one request."""
+        """A fresh runner (agent, voter or ensemble) seeded per request."""
+        if is_ensemble_spec(self.strategy):
+            return HeterogeneousEnsemble(
+                self._model(seed), parse_ensemble_spec(self.strategy),
+                registry=self._registry(),
+                max_iterations=self.max_iterations)
         kwargs = {"registry": self._registry()}
+        if self.strategy != "react":
+            kwargs["strategy"] = self.strategy
         if self.max_iterations is not None:
             kwargs["max_iterations"] = self.max_iterations
         if self.voting not in ("none", "greedy"):
@@ -72,7 +86,12 @@ class AgentSpec:
         return make_voter(self.voting, self._model(seed), **kwargs)
 
     def build_forced(self, seed: int) -> ReActTableAgent:
-        """The degradation runner: one iteration, forced direct answer."""
+        """The degradation runner: one iteration, forced direct answer.
+
+        Always the react ladder regardless of ``strategy``: forcing is a
+        chain-engine capability, and the degraded rung's contract is "one
+        model call, direct answer" for every strategy.
+        """
         return ReActTableAgent(self._model(seed),
                                registry=self._registry(),
                                max_iterations=1)

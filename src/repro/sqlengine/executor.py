@@ -66,6 +66,7 @@ from repro.sqlengine.vector import (
     VectorContext,
     compile_group_vector,
     compile_vector,
+    distinct_indexes,
     truthy_indexes,
     vector_enabled,
 )
@@ -224,7 +225,14 @@ def _execute_select(stmt: SelectStatement,
             result = _execute_plain(stmt, frame, alias, joined=joined)
 
     if stmt.distinct:
-        result = distinct_rows(result)
+        if vectorized:
+            # Column-at-a-time dedupe; value-identical to the row scan
+            # (same typed keys, same first-occurrence order).
+            _record_tier("distinct", "vector")
+            result = result.take(distinct_indexes(result))
+        else:
+            _record_tier("distinct", "interpreted")
+            result = distinct_rows(result)
 
     if stmt.limit is not None:
         start = min(stmt.offset, result.num_rows)

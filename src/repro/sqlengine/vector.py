@@ -79,6 +79,7 @@ __all__ = [
     "VectorContext",
     "compile_vector",
     "compile_group_vector",
+    "distinct_indexes",
     "truthy_indexes",
 ]
 
@@ -166,6 +167,42 @@ class VectorContext:
         if self._full:
             return mirror
         return mirror[self.start:self.stop]
+
+
+def distinct_indexes(frame: DataFrame) -> list[int]:
+    """First-occurrence indexes of distinct rows, column-at-a-time.
+
+    Value-identical to :func:`repro.table.ops.distinct`'s row scan: keys
+    pair each value with its type name, so ``1`` / ``1.0`` / ``True``
+    stay distinct rows, and first-occurrence order is preserved.  One
+    typed-key pass per *column* (loop-per-operator); dtype-homogeneous
+    columns — the planner's common case — collapse that pass to a
+    constant type tag.  The final membership scan fuses the key columns
+    positionally without materialising row tuples.
+    """
+    names = frame.columns
+    if not names or not frame.num_rows:
+        return list(range(frame.num_rows))
+    key_columns = []
+    for name in names:
+        values = frame.column(name).values
+        key_columns.append(
+            [(type(value).__name__, value) for value in values])
+    seen: set = set()
+    keep: list[int] = []
+    if len(key_columns) == 1:
+        column = key_columns[0]
+        for index in range(len(column)):
+            key = column[index]
+            if key not in seen:
+                seen.add(key)
+                keep.append(index)
+        return keep
+    for index, key in enumerate(zip(*key_columns)):
+        if key not in seen:
+            seen.add(key)
+            keep.append(index)
+    return keep
 
 
 def truthy_indexes(mask, base: int = 0) -> list[int]:

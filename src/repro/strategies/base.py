@@ -1,0 +1,83 @@
+"""The strategy contract: what it takes to be a table-reasoning engine.
+
+A :class:`Strategy` names everything the rest of the stack needs to run
+one reasoning approach end to end without knowing its engine class:
+
+* a **factory** — :meth:`Strategy.build_engine` turns an
+  :class:`EngineRequest` (table, question, knobs) into a sans-IO engine
+  speaking the ModelCall/Execute effect protocol;
+* an **answer-extraction contract** — :meth:`Strategy.extract_answer`
+  maps the engine's :class:`~repro.engine.result.AgentResult` to the
+  answer-value list that comparison and voting operate on, so
+  heterogeneous strategies become commensurable before a tally;
+* an **exception envelope** — :attr:`Strategy.handler_catch`, the
+  ``catch`` tuple its driver's :class:`~repro.engine.driver.EffectHandler`
+  should use (chain-family engines force an answer on
+  :class:`~repro.errors.ExecutionError` and let crashes propagate;
+  CoT-family engines tolerate any block failure);
+* a **branching capability** — :attr:`Strategy.supports_branching`,
+  whether the engine implements the clone/prompt_effect/execute_effect
+  primitives the tree- and execution-voting drivers fork on.
+
+Strategies are plain frozen values; the process-wide name → strategy
+mapping lives in :mod:`repro.strategies.registry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.prompt import PromptBuilder
+from repro.engine.result import AgentResult
+from repro.errors import ExecutionError
+from repro.table.frame import DataFrame
+
+__all__ = ["EngineRequest", "Strategy", "default_extract_answer"]
+
+
+@dataclass(frozen=True)
+class EngineRequest:
+    """Everything a strategy factory may consult to build one engine.
+
+    One request describes one question-answering chain; factories read
+    the knobs they understand and ignore the rest (a single-completion
+    strategy has no iteration cap to apply, for example).
+    """
+
+    table: DataFrame
+    question: str
+    #: Executor languages available to the engine (from the registry).
+    languages: tuple[str, ...] = ("sql", "python")
+    temperature: float = 0.0
+    #: Completions per model call (voting drivers fan out with n > 1).
+    n: int = 1
+    max_iterations: int | None = None
+    #: Caller-supplied prompt builder (few-shot selection, custom
+    #: templates).  ``None`` means the strategy's own default.
+    prompt_builder: PromptBuilder | None = None
+    #: The reflexion seam: a ``str -> str`` prompt transform.
+    prompt_hook: Callable[[str], str] | None = None
+
+
+def default_extract_answer(result: AgentResult) -> list[str]:
+    """The default extraction contract: the result's answer values."""
+    return list(result.answer)
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """One named table-reasoning approach, with its engine factory."""
+
+    name: str
+    description: str
+    build_engine: Callable[[EngineRequest], object]
+    extract_answer: Callable[[AgentResult], list[str]] = (
+        default_extract_answer)
+    #: Whether the engine supports the branch primitives (clone /
+    #: prompt_effect / execute_effect / apply) that tree- and
+    #: execution-voting fork on.
+    supports_branching: bool = False
+    #: The executor exception envelope this strategy's driver should
+    #: hand its :class:`~repro.engine.driver.EffectHandler`.
+    handler_catch: tuple = field(default=(ExecutionError,))

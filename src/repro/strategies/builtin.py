@@ -1,0 +1,98 @@
+"""The four built-in strategies, registered at import time.
+
+This module is the **only** place outside :mod:`repro.engine` that
+instantiates engine classes (``tools/lint_strategies.py`` enforces it).
+Every factory is a pure function of its :class:`EngineRequest`:
+
+* ``react`` — the paper's progressive-grounding loop
+  (:class:`~repro.engine.ChainEngine`).  Bit-identical to the historical
+  construction: same transcript naming, same default prompt builder.
+* ``cot`` — the single-completion Codex-CoT ablation
+  (:class:`~repro.engine.CoTEngine`), Section 4.3.1.
+* ``chain-of-table`` — typed table-evolving operators between model
+  calls (:class:`~repro.engine.ChainOfTableEngine`, arxiv 2401.04398).
+* ``commented-code`` — a whole commented program in one completion
+  (:class:`~repro.engine.CommentedCodeEngine`, arxiv 2602.00543).
+"""
+
+from __future__ import annotations
+
+from repro.core.prompt import PromptBuilder, Transcript
+from repro.engine.chain_of_table import (
+    ChainOfTableEngine,
+    ChainOfTablePromptBuilder,
+)
+from repro.engine.commented import CommentedCodeEngine
+from repro.engine.core import ChainEngine
+from repro.engine.cot import CoTEngine
+from repro.strategies.base import EngineRequest, Strategy
+from repro.strategies.registry import register_strategy
+
+__all__ = ["BUILTIN_STRATEGIES"]
+
+
+def _transcript(req: EngineRequest) -> Transcript:
+    return Transcript(req.table.with_name("T0"), req.question)
+
+
+def build_react(req: EngineRequest) -> ChainEngine:
+    builder = req.prompt_builder or PromptBuilder(languages=req.languages)
+    return ChainEngine(_transcript(req),
+                       prompt_builder=builder,
+                       temperature=req.temperature,
+                       n=req.n,
+                       max_iterations=req.max_iterations,
+                       prompt_hook=req.prompt_hook)
+
+
+def build_cot(req: EngineRequest) -> CoTEngine:
+    return CoTEngine(_transcript(req),
+                     languages=req.languages,
+                     temperature=req.temperature,
+                     prompt_hook=req.prompt_hook)
+
+
+def build_chain_of_table(req: EngineRequest) -> ChainOfTableEngine:
+    builder = req.prompt_builder or ChainOfTablePromptBuilder()
+    return ChainOfTableEngine(_transcript(req),
+                              prompt_builder=builder,
+                              temperature=req.temperature,
+                              n=req.n,
+                              max_iterations=req.max_iterations,
+                              prompt_hook=req.prompt_hook)
+
+
+def build_commented(req: EngineRequest) -> CommentedCodeEngine:
+    return CommentedCodeEngine(_transcript(req),
+                               languages=req.languages,
+                               temperature=req.temperature,
+                               prompt_hook=req.prompt_hook)
+
+
+BUILTIN_STRATEGIES = (
+    Strategy(name="react",
+             description="ReAcTable: iterative SQL/Python with "
+                         "intermediate tables fed back (Section 3.1)",
+             build_engine=build_react,
+             supports_branching=True),
+    Strategy(name="cot",
+             description="Codex-CoT ablation: one completion carries the "
+                         "whole program (Section 4.3.1)",
+             build_engine=build_cot,
+             supports_branching=False,
+             handler_catch=(Exception,)),
+    Strategy(name="chain-of-table",
+             description="Typed table-evolving operators between model "
+                         "calls (arxiv 2401.04398)",
+             build_engine=build_chain_of_table,
+             supports_branching=True),
+    Strategy(name="commented-code",
+             description="Commented single-completion program "
+                         "(arxiv 2602.00543)",
+             build_engine=build_commented,
+             supports_branching=False,
+             handler_catch=(Exception,)),
+)
+
+for _strategy in BUILTIN_STRATEGIES:
+    register_strategy(_strategy)

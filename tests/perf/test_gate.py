@@ -31,6 +31,16 @@ class TestRunGate:
         _, failures = run_gate(baseline_path=baseline, repeats=1)
         assert any("regressed" in failure for failure in failures)
 
+    def test_informational_cases_exempt_from_drift_band(self, tmp_path):
+        # vector_distinct has no FLOORS entry: its ratio is documented
+        # but never gated, even against an absurd baseline.
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "cases": {"vector_distinct": {"speedup": 10_000.0}},
+        }))
+        _, failures = run_gate(baseline_path=baseline, repeats=1)
+        assert failures == []
+
     def test_update_baseline_overwrites(self, tmp_path):
         baseline = tmp_path / "baseline.json"
         baseline.write_text(json.dumps({

@@ -99,7 +99,7 @@ def _random_query(rng: random.Random, frame: DataFrame) -> str:
     cat = rng.choice(text)
     num = rng.choice(numeric)
     key = text[0]  # T1.Key is built from the first text column
-    shape = rng.randrange(14)
+    shape = rng.randrange(15)
     if shape == 0:
         return (f"SELECT * FROM T0 "
                 f"WHERE {_predicate(rng, frame, numeric, text)}")
@@ -168,6 +168,12 @@ def _random_query(rng: random.Random, frame: DataFrame) -> str:
         return (f"SELECT {num}, {cat} FROM T0 "
                 f"WHERE {_predicate(rng, frame, numeric, text)} "
                 f"LIMIT {rng.randint(1, 6)} OFFSET {rng.randint(0, 3)}")
+    if shape == 14:
+        # Multi-column DISTINCT over mixed dtypes — the vectorized
+        # dedupe's fused typed-key path (1 vs 1.0 vs TRUE must stay
+        # distinct, first-occurrence order preserved pre-ORDER BY).
+        return (f"SELECT DISTINCT {cat}, {num} FROM T0 "
+                f"ORDER BY {cat}, {num} LIMIT {rng.randint(3, 12)}")
     # Deliberately broken references: error parity matters too.
     return rng.choice([
         "SELECT missing_col FROM T0",

@@ -57,6 +57,18 @@ class TestTierDispatch:
                                 reason="hash_join_bailed") == 1
         assert dispatch().value(stage="join", tier="compiled") == 1
 
+    def test_distinct_counts_vector_tier(self, tables):
+        execute_sql("SELECT DISTINCT name FROM t", tables)
+        assert dispatch().value(stage="distinct", tier="vector") == 1
+
+    def test_distinct_row_scan_counted_when_vector_off(self, tables,
+                                                       monkeypatch):
+        monkeypatch.setenv("REPRO_SQL_VECTOR", "0")
+        execute_sql("SELECT DISTINCT name FROM t", tables)
+        assert dispatch().value(stage="distinct",
+                                tier="interpreted") == 1
+        assert dispatch().value(stage="distinct", tier="vector") == 0
+
     def test_compiled_tier_counted_when_vector_off(self, tables,
                                                    monkeypatch):
         monkeypatch.setenv("REPRO_SQL_VECTOR", "0")
@@ -80,8 +92,9 @@ class TestTierDispatch:
         execute_sql("SELECT COUNT(*) FROM t GROUP BY name", tables)
         execute_sql("SELECT t.name FROM t JOIN u ON t.id > u.id",
                     tables)
+        execute_sql("SELECT DISTINCT name FROM t", tables)
         tiers = {"vector", "compiled", "interpreted"}
-        stages = {"where", "aggregate", "plain", "join"}
+        stages = {"where", "aggregate", "plain", "join", "distinct"}
         for key in dispatch().values():
             labels = dict(key)
             assert labels["tier"] in tiers

@@ -7,6 +7,7 @@ from repro.sqlengine.planner import FrameShape
 from repro.sqlengine.vector import (
     VectorContext,
     compile_vector,
+    distinct_indexes,
     truthy_indexes,
     vector_enabled,
 )
@@ -113,6 +114,42 @@ class TestTruthyIndexes:
         mask = [True, False, None, True, 1, 0]
         assert truthy_indexes(mask) == [0, 3, 4]
         assert truthy_indexes(mask, base=10) == [10, 13, 14]
+
+
+class TestDistinctIndexes:
+    def test_multi_column_first_occurrence_order(self):
+        frame = DataFrame({
+            "a": [1, 2, 1, 2, 1],
+            "b": ["x", "y", "x", "y", "z"],
+        }, name="T0")
+        assert distinct_indexes(frame) == [0, 1, 4]
+
+    def test_type_tagged_keys_keep_lookalikes_distinct(self):
+        # 1 / 1.0 / True hash and compare equal in Python; the SQL
+        # engine (like the row scan it replaces) keeps them distinct.
+        frame = DataFrame({"a": [1, 1.0, True, 1]}, name="T0")
+        assert distinct_indexes(frame) == [0, 1, 2]
+
+    def test_nulls_dedupe_to_one_row(self):
+        frame = DataFrame({"a": [None, 1, None]}, name="T0")
+        assert distinct_indexes(frame) == [0, 1]
+
+    def test_empty_frame(self):
+        frame = DataFrame({"a": []}, name="T0")
+        assert distinct_indexes(frame) == []
+
+    def test_matches_row_scan_exactly(self):
+        import random
+
+        from repro.table.ops import distinct as row_distinct
+        rng = random.Random(13)
+        frame = DataFrame({
+            "a": [rng.choice([1, 2, None, 1.0, "1"])
+                  for _ in range(60)],
+            "b": [rng.choice(["x", "y"]) for _ in range(60)],
+        }, name="T0")
+        vectorized = frame.take(distinct_indexes(frame))
+        assert vectorized.to_rows() == row_distinct(frame).to_rows()
 
 
 class TestCaching:

@@ -1,0 +1,134 @@
+"""Registry error paths and the strategy contract surface.
+
+The registry is the single engine-resolution seam (see
+``docs/architecture.md`` §15): every failure mode a caller can hit —
+unknown names, duplicate registration, malformed ensemble specs — must
+raise a typed :class:`~repro.errors.StrategyError` subclass with a
+message that says what exists, because the CLI turns these directly
+into user-facing diagnostics.
+"""
+
+import pytest
+
+from repro.errors import (
+    DuplicateStrategyError,
+    EnsembleSpecError,
+    ExecutionError,
+    StrategyError,
+    UnknownStrategyError,
+)
+from repro.strategies import (
+    ENSEMBLE_PREFIX,
+    Strategy,
+    get_strategy,
+    is_ensemble_spec,
+    parse_ensemble_spec,
+    register_strategy,
+    strategy_names,
+)
+
+BUILTINS = ("react", "cot", "chain-of-table", "commented-code")
+
+
+class TestGetStrategy:
+    def test_builtins_resolve_in_registration_order(self):
+        assert strategy_names()[:4] == BUILTINS
+
+    def test_unknown_name_lists_known_strategies(self):
+        with pytest.raises(UnknownStrategyError) as excinfo:
+            get_strategy("no-such-strategy")
+        message = str(excinfo.value)
+        assert "no-such-strategy" in message
+        for name in BUILTINS:
+            assert name in message
+
+    def test_unknown_name_is_a_strategy_error(self):
+        # The CLI catches the base class; the hierarchy must hold.
+        with pytest.raises(StrategyError):
+            get_strategy("nope")
+
+    def test_react_contract(self):
+        react = get_strategy("react")
+        assert react.supports_branching
+        assert react.handler_catch == (ExecutionError,)
+
+    def test_cot_family_tolerates_any_block_failure(self):
+        for name in ("cot", "commented-code"):
+            strategy = get_strategy(name)
+            assert not strategy.supports_branching
+            assert strategy.handler_catch == (Exception,)
+
+    def test_chain_of_table_supports_branching(self):
+        assert get_strategy("chain-of-table").supports_branching
+
+
+class TestRegisterStrategy:
+    def _variant(self, name: str) -> Strategy:
+        return Strategy(name=name, description="test variant",
+                        build_engine=lambda req: None)
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(DuplicateStrategyError) as excinfo:
+            register_strategy(self._variant("react"))
+        assert "react" in str(excinfo.value)
+        assert "replace=True" in str(excinfo.value)
+
+    def test_duplicate_is_a_strategy_error(self):
+        with pytest.raises(StrategyError):
+            register_strategy(self._variant("react"))
+
+    def test_replace_swaps_a_variant_in(self):
+        original = get_strategy("react")
+        try:
+            register_strategy(self._variant("react"), replace=True)
+            assert get_strategy("react").description == "test variant"
+        finally:
+            register_strategy(original, replace=True)
+        assert get_strategy("react") is original
+
+    def test_new_name_registers_and_resolves(self):
+        register_strategy(self._variant("test-only"), replace=True)
+        try:
+            assert "test-only" in strategy_names()
+            assert get_strategy("test-only").name == "test-only"
+        finally:
+            # The registry is process-global: drop the test entry.
+            from repro.strategies.registry import _REGISTRY
+            _REGISTRY.pop("test-only", None)
+
+
+class TestEnsembleSpec:
+    def test_round_trip(self):
+        assert parse_ensemble_spec("ensemble:react+cot") == \
+            ("react", "cot")
+
+    def test_whitespace_tolerated(self):
+        assert parse_ensemble_spec("ensemble: react + cot ") == \
+            ("react", "cot")
+
+    def test_is_ensemble_spec(self):
+        assert is_ensemble_spec(ENSEMBLE_PREFIX + "a+b")
+        assert not is_ensemble_spec("react")
+
+    def test_missing_prefix_rejected(self):
+        with pytest.raises(EnsembleSpecError, match="must start with"):
+            parse_ensemble_spec("react+cot")
+
+    def test_empty_member_rejected(self):
+        with pytest.raises(EnsembleSpecError, match="empty member"):
+            parse_ensemble_spec("ensemble:react+")
+        with pytest.raises(EnsembleSpecError, match="empty member"):
+            parse_ensemble_spec("ensemble:react++cot")
+
+    def test_single_member_rejected(self):
+        with pytest.raises(EnsembleSpecError, match="at least two"):
+            parse_ensemble_spec("ensemble:react")
+
+    def test_unknown_member_rejected(self):
+        with pytest.raises(UnknownStrategyError, match="nope"):
+            parse_ensemble_spec("ensemble:react+nope")
+
+    def test_spec_errors_are_strategy_errors(self):
+        for bad in ("react+cot", "ensemble:react", "ensemble:a+"):
+            with pytest.raises(StrategyError):
+                parse_ensemble_spec(bad)

@@ -1,0 +1,133 @@
+"""Lint the strategy seam: no direct engine instantiation outside it.
+
+The strategy registry (``repro.strategies``) is the single
+engine-resolution seam: agents, voters, the reflexion rung, both serving
+ladders and the CLI resolve engines by *name* through
+``get_strategy(...)``.  The whole substitutability story — register a
+strategy, inherit voting/batching/reflexion/serving for free — collapses
+if a caller "shortcuts" the registry by constructing an engine class
+directly: that call site silently stops honouring ``--strategy``, the
+conformance suite keeps passing (the default path is unchanged), and the
+drift only surfaces when a non-default strategy misbehaves in one ladder.
+
+This lint greps ``src/repro`` for direct constructions of the engine
+classes —
+
+* ``ChainEngine(`` / ``CoTEngine(``
+* ``ChainOfTableEngine(`` / ``CommentedCodeEngine(``
+
+— everywhere except the two modules allowed to touch them:
+``repro/engine/`` (where the classes live) and ``repro/strategies/``
+(whose ``builtin`` module is the one factory site).
+
+Heuristics are line-based and deliberately simple, like the repo's
+other lints; docstring prose is skipped and ``# lint: allow-engine-class``
+on the line silences a finding that is genuinely safe (none are today —
+``isinstance(engine, ChainEngine)`` dispatch does not match, only
+constructions do).
+
+Runs standalone (``python tools/lint_strategies.py``, exits non-zero on
+a violation) and as a tier-1 test via ``tests/test_lint_strategies.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Directories (relative to ``src/repro``) allowed to name engine
+#: classes: where they are defined, and the one factory seam.
+ALLOWED = ("engine", "strategies")
+
+#: ``(pattern, message)`` — a match on a code line is a finding.
+_ENGINE_PATTERNS: list[tuple[re.Pattern, str]] = [
+    (re.compile(r"\bChainOfTableEngine\("),
+     "direct ChainOfTableEngine construction (resolve "
+     "get_strategy('chain-of-table') instead)"),
+    (re.compile(r"\bCommentedCodeEngine\("),
+     "direct CommentedCodeEngine construction (resolve "
+     "get_strategy('commented-code') instead)"),
+    (re.compile(r"\bChainEngine\("),
+     "direct ChainEngine construction (resolve "
+     "get_strategy('react') instead)"),
+    (re.compile(r"\bCoTEngine\("),
+     "direct CoTEngine construction (resolve "
+     "get_strategy('cot') instead)"),
+]
+
+_SUPPRESS = "# lint: allow-engine-class"
+
+
+def _code_lines(text: str):
+    """Yield ``(number, line)`` for code lines, skipping docstring prose.
+
+    Triple-quote tracking is a line-based toggle — good enough for this
+    repo's style (no triple-quoted data strings in ``src/repro``).
+    """
+    in_doc = False
+    for number, line in enumerate(text.splitlines(), start=1):
+        quotes = line.count('"""') + line.count("'''")
+        if in_doc:
+            if quotes % 2:
+                in_doc = False
+            continue
+        if quotes % 2:
+            in_doc = True
+            continue                    # opening docstring line
+        stripped = line.lstrip()
+        if quotes and stripped.startswith(('"""', "'''")):
+            continue                    # one-line docstring
+        yield number, line
+
+
+def scan_file(path: Path) -> list[str]:
+    violations = []
+    try:
+        relpath = path.relative_to(SRC.parent.parent).as_posix()
+    except ValueError:          # outside the repo (test fixtures)
+        relpath = path.name
+    for number, line in _code_lines(path.read_text(encoding="utf-8")):
+        stripped = line.lstrip()
+        if stripped.startswith("#") or _SUPPRESS in line:
+            continue
+        for pattern, message in _ENGINE_PATTERNS:
+            if pattern.search(line):
+                violations.append(f"{relpath}:{number}: {message}")
+                break           # one finding per line is enough
+    return violations
+
+
+def _scanned_files(root: Path = SRC):
+    for path in sorted(root.rglob("*.py")):
+        relative = path.relative_to(root)
+        if relative.parts and relative.parts[0] in ALLOWED:
+            continue
+        yield path
+
+
+def find_violations(root: Path = SRC) -> list[str]:
+    """Engine constructions outside the seam, one line each."""
+    violations = []
+    for path in _scanned_files(root):
+        violations.extend(scan_file(path))
+    return violations
+
+
+def main() -> int:
+    violations = find_violations()
+    for line in violations:
+        print(f"lint_strategies: {line}", file=sys.stderr)
+    if violations:
+        print(f"lint_strategies: {len(violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print("lint_strategies: every engine is resolved through the "
+          "strategy registry")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
